@@ -1,0 +1,227 @@
+"""E8 -- T_Chimera's attribute timestamping vs the relational designs.
+
+The paper's introduction positions object models with
+attribute-timestamped state against tuple timestamping (1NF) and plain
+snapshot databases.  This bench replays one update log -- with a
+configurable *update skew* (how unevenly changes concentrate on few
+attributes) -- into all three baseline stores and the T_Chimera engine,
+and reports:
+
+* storage cells (the space story);
+* update cost;
+* one-attribute history queries (native for attribute timestamping,
+  scan-and-coalesce for tuple timestamping, impossible for snapshot);
+* full-state reconstruction at a past instant (native for tuple
+  timestamping, per-attribute searches for attribute timestamping).
+
+Expected shape (recorded in EXPERIMENTS.md): attribute timestamping
+stores ~1/k of tuple timestamping's cells with k attributes per row and
+skewed updates, and wins attribute-history queries; tuple timestamping
+wins point snapshots; the snapshot store is smallest and fastest but
+answers no history query at all (reported as n/a).
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    AttributeTimestampedStore,
+    HistoryUnsupported,
+    Operation,
+    SnapshotStore,
+    TupleTimestampedStore,
+    replay,
+    stores_agree,
+)
+from repro.database.database import TemporalDatabase
+
+from benchmarks.conftest import emit, format_series
+
+N_KEYS = 20
+N_ATTRS = 8
+N_UPDATES = 2000
+ATTRS = [f"a{i}" for i in range(N_ATTRS)]
+
+
+def _log(skew: float, seed: int = 5) -> list[Operation]:
+    """An update log; *skew* in [0,1): 0 = uniform across attributes,
+    high = concentrated on attribute a0 (the "hot column")."""
+    rng = random.Random(seed)
+    ops = [
+        Operation(
+            "insert", key, 0, row={a: rng.randrange(100) for a in ATTRS}
+        )
+        for key in range(N_KEYS)
+    ]
+    t = 1
+    for _ in range(N_UPDATES):
+        key = rng.randrange(N_KEYS)
+        attribute = (
+            ATTRS[0]
+            if rng.random() < skew
+            else rng.choice(ATTRS)
+        )
+        ops.append(
+            Operation(
+                "update", key, t, attribute=attribute,
+                value=rng.randrange(100),
+            )
+        )
+        t += rng.randint(0, 1)
+    return ops
+
+
+def _model_replay(ops: list[Operation]) -> TemporalDatabase:
+    """The same log through the T_Chimera engine (all attributes
+    temporal: the model's analogue of attribute timestamping)."""
+    db = TemporalDatabase()
+    db.define_class(
+        "row", attributes=[(a, "temporal(integer)") for a in ATTRS]
+    )
+    keys = {}
+    for op in ops:
+        if op.at > db.now:
+            db.tick(op.at - db.now)
+        if op.kind == "insert":
+            keys[op.key] = db.create_object("row", op.row)
+        elif op.kind == "update":
+            db.update_attribute(keys[op.key], op.attribute, op.value)
+    return db, keys
+
+
+@pytest.mark.parametrize(
+    "store_cls",
+    [SnapshotStore, TupleTimestampedStore, AttributeTimestampedStore],
+    ids=["snapshot", "tuple-ts", "attribute-ts"],
+)
+def test_update_throughput(benchmark, store_cls):
+    ops = _log(skew=0.5)
+
+    def run():
+        store = store_cls(ATTRS)
+        replay(store, ops)
+        return store
+
+    benchmark(run)
+
+
+def test_model_update_throughput(benchmark):
+    ops = _log(skew=0.5)[: N_KEYS + 400]  # engine does full typing
+    benchmark(lambda: _model_replay(ops))
+
+
+@pytest.mark.parametrize(
+    "store_cls",
+    [TupleTimestampedStore, AttributeTimestampedStore],
+    ids=["tuple-ts", "attribute-ts"],
+)
+def test_attribute_history_query(benchmark, store_cls):
+    store = store_cls(ATTRS)
+    replay(store, _log(skew=0.5))
+    benchmark(store.attribute_history, 3, "a0")
+
+
+@pytest.mark.parametrize(
+    "store_cls",
+    [TupleTimestampedStore, AttributeTimestampedStore],
+    ids=["tuple-ts", "attribute-ts"],
+)
+def test_point_snapshot_query(benchmark, store_cls):
+    store = store_cls(ATTRS)
+    ops = _log(skew=0.5)
+    replay(store, ops)
+    mid = max(op.at for op in ops) // 2
+    benchmark(store.snapshot_at, 3, mid)
+
+
+def test_e8_summary(benchmark, results_dir):
+    def _run():
+        import timeit
+
+        rows = []
+        for skew in (0.0, 0.5, 0.9):
+            ops = _log(skew=skew)
+            mid = max(op.at for op in ops) // 2
+            stores = {
+                "snapshot": SnapshotStore(ATTRS),
+                "tuple-ts": TupleTimestampedStore(ATTRS),
+                "attribute-ts": AttributeTimestampedStore(ATTRS),
+            }
+            for store in stores.values():
+                replay(store, ops)
+            assert stores_agree(
+                stores["tuple-ts"], stores["attribute-ts"],
+                range(N_KEYS), [0, mid, mid * 2],
+            )
+            for name, store in stores.items():
+                try:
+                    history = timeit.timeit(
+                        lambda: store.attribute_history(3, "a0"), number=200
+                    ) / 200
+                    history_cell = f"{history * 1e6:.1f}"
+                except HistoryUnsupported:
+                    history_cell = "n/a"
+                try:
+                    snap = timeit.timeit(
+                        lambda: store.snapshot_at(3, mid), number=200
+                    ) / 200
+                    snap_cell = f"{snap * 1e6:.1f}"
+                except HistoryUnsupported:
+                    snap_cell = "n/a"
+                rows.append(
+                    (
+                        f"{skew:.1f}",
+                        name,
+                        store.storage_cells(),
+                        history_cell,
+                        snap_cell,
+                    )
+                )
+        emit(
+            "e8_baselines",
+            format_series(
+                "E8: storage & query cost, by update skew "
+                f"({N_KEYS} rows x {N_ATTRS} attrs, {N_UPDATES} updates)",
+                ("skew", "store", "cells", "attr-history us", "snapshot us"),
+                rows,
+            ),
+        )
+
+        # The paper's qualitative claims, asserted:
+        by = {}
+        for skew_label, name, cells, _h, _s in rows:
+            by[(skew_label, name)] = cells
+        for skew_label in ("0.0", "0.5", "0.9"):
+            assert (
+                by[(skew_label, "attribute-ts")]
+                < by[(skew_label, "tuple-ts")]
+            )
+            assert (
+                by[(skew_label, "snapshot")]
+                < by[(skew_label, "attribute-ts")]
+            )
+
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+
+
+def test_model_agrees_with_attribute_store():
+    """The engine's temporal attributes and the N1NF baseline describe
+    the same function of time for the same log."""
+    ops = _log(skew=0.5)[: N_KEYS + 300]
+    store = AttributeTimestampedStore(ATTRS)
+    replay(store, ops)
+    db, keys = _model_replay(ops)
+    horizon = db.now
+    for key in (0, 3, 7):
+        obj = db.get_object(keys[key])
+        for attribute in ("a0", "a3"):
+            history = obj.value[attribute]
+            base = store.attribute_history(key, attribute)
+            model_changes = [
+                (interval.start, carried)
+                for interval, carried in history.pairs()
+            ]
+            base_changes = [(start, v) for (start, _e), v in base]
+            assert model_changes == base_changes

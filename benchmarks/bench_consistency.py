@@ -1,0 +1,116 @@
+"""E6 -- consistency and integrity checking.
+
+Measures Definition 5.5 object consistency and the database-wide
+invariant checkers against population size, history length and
+migration rate, plus the DESIGN.md Section 6 ablation: ``pi(c, t)``
+answered from the maintained set-valued ``ext`` history vs. recomputed
+by scanning the per-oid index.
+
+Expected shape: object consistency linear in the number of
+class-history pairs times temporal attributes (never per-instant);
+full-database checking linear in population; the maintained extent
+wins over the scan as population grows.
+"""
+
+import pytest
+
+from repro.database.integrity import check_database
+from repro.objects.consistency import consistency_violations, is_consistent
+from repro.workloads import WorkloadSpec, build_database
+
+from benchmarks.conftest import emit, format_series
+
+
+def _db(n_objects: int, n_ticks: int, migration_rate: float = 0.1):
+    return build_database(
+        WorkloadSpec(
+            n_objects=n_objects,
+            n_ticks=n_ticks,
+            migration_rate=migration_rate,
+            update_rate=0.5,
+            delete_rate=0.0,
+            seed=99,
+        )
+    )
+
+
+@pytest.mark.parametrize("n_ticks", [20, 80])
+def test_object_consistency_vs_history(benchmark, n_ticks):
+    db = _db(10, n_ticks, migration_rate=0.3)
+    objects = list(db.objects())
+
+    def run():
+        for obj in objects:
+            assert is_consistent(obj, db, db, db.now)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("n_objects", [10, 50])
+def test_full_database_check(benchmark, n_objects):
+    db = _db(n_objects, 30)
+    benchmark(lambda: check_database(db).ok)
+
+
+@pytest.mark.parametrize("n_objects", [10, 100])
+def test_pi_via_maintained_extent(benchmark, n_objects):
+    db = _db(n_objects, 30)
+    t = db.now // 2
+    benchmark(db.pi, "employee", t)
+
+
+@pytest.mark.parametrize("n_objects", [10, 100])
+def test_pi_via_index_scan_ablation(benchmark, n_objects):
+    db = _db(n_objects, 30)
+    t = db.now // 2
+    history = db.get_class("employee").history
+    benchmark(history.members_at_via_scan, t)
+
+
+def test_e6_summary(benchmark, results_dir):
+    def _run():
+        import timeit
+
+        rows = []
+        for n_objects, n_ticks in [(10, 20), (10, 80), (50, 30), (100, 30)]:
+            db = _db(n_objects, n_ticks, migration_rate=0.2)
+            objects = list(db.objects())
+            per_object = timeit.timeit(
+                lambda: [
+                    consistency_violations(o, db, db, db.now) for o in objects
+                ],
+                number=5,
+            ) / (5 * len(objects))
+            whole = timeit.timeit(lambda: check_database(db), number=3) / 3
+            rows.append(
+                (
+                    n_objects,
+                    n_ticks,
+                    len(objects),
+                    f"{per_object * 1e6:.0f}",
+                    f"{whole * 1e3:.1f}",
+                )
+            )
+        emit(
+            "e6_consistency",
+            format_series(
+                "E6: consistency checking cost",
+                ("objects", "ticks", "population",
+                 "Def 5.5 us/object", "full check ms"),
+                rows,
+            ),
+        )
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+
+@pytest.mark.parametrize("n_objects", [10, 100])
+def test_pi_via_stabbing_index(benchmark, n_objects):
+    """The third access path: a centered interval tree over membership
+    intervals (repro.database.indexes)."""
+    from repro.database.indexes import extent_index
+
+    db = _db(n_objects, 30)
+    t = db.now // 2
+    index = extent_index(db, "employee")
+    assert frozenset(index.stab(t)) == db.pi("employee", t)
+    benchmark(index.stab, t)

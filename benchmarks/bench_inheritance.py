@@ -1,0 +1,146 @@
+"""E9 -- inheritance machinery vs hierarchy shape.
+
+Measures, against ISA depth and width:
+
+* ``<=_ISA`` decisions (ancestor-set lookups);
+* ``<=_T`` on types mentioning classes and the lub;
+* Invariant 6.1 extent-inclusion checking;
+* migration cost (extents adjusted along the superclass chain).
+
+Expected shape: isa_le O(1) amortized (precomputed ancestor sets);
+lub linear in the candidate ancestor sets; extent-inclusion checking
+linear in (edges x members); migration linear in hierarchy depth.
+"""
+
+import pytest
+
+from repro.database.database import TemporalDatabase
+from repro.database.integrity import check_extent_inclusion
+from repro.inheritance.isa import IsaHierarchy
+from repro.types.grammar import ObjectType, SetOf
+from repro.types.subtyping import is_subtype, lub
+
+from benchmarks.conftest import emit, format_series
+
+
+def _chain(depth: int) -> IsaHierarchy:
+    isa = IsaHierarchy()
+    isa.add_class("c0")
+    for index in range(1, depth):
+        isa.add_class(f"c{index}", [f"c{index - 1}"])
+    return isa
+
+
+def _tree(depth: int, fanout: int) -> IsaHierarchy:
+    isa = IsaHierarchy()
+    isa.add_class("root")
+    frontier = ["root"]
+    for level in range(depth):
+        next_frontier = []
+        for parent in frontier:
+            for child in range(fanout):
+                name = f"{parent}.{child}"
+                isa.add_class(name, [parent])
+                next_frontier.append(name)
+        frontier = next_frontier
+    return isa
+
+
+@pytest.mark.parametrize("depth", [8, 64, 256])
+def test_isa_le_depth(benchmark, depth):
+    isa = _chain(depth)
+    benchmark(isa.isa_le, f"c{depth - 1}", "c0")
+
+
+@pytest.mark.parametrize("depth", [8, 64])
+def test_subtype_on_nested_types(benchmark, depth):
+    isa = _chain(depth)
+    sub = SetOf(SetOf(ObjectType(f"c{depth - 1}")))
+    sup = SetOf(SetOf(ObjectType("c0")))
+    assert is_subtype(sub, sup, isa)
+    benchmark(is_subtype, sub, sup, isa)
+
+
+@pytest.mark.parametrize("depth,fanout", [(3, 3), (4, 4)])
+def test_class_lub_tree(benchmark, depth, fanout):
+    isa = _tree(depth, fanout)
+    leaves = sorted(
+        name for name in isa.classes() if not isa.children(name)
+    )
+    a, b = leaves[0], leaves[-1]
+    assert isa.class_lub([a, b]) == "root"
+    benchmark(isa.class_lub, [a, b])
+
+
+def _populated_db(depth: int, members: int) -> TemporalDatabase:
+    db = TemporalDatabase()
+    db.define_class("c0", attributes=[("x", "integer")])
+    for index in range(1, depth):
+        db.define_class(f"c{index}", parents=[f"c{index - 1}"])
+    leaf = f"c{depth - 1}"
+    for value in range(members):
+        db.create_object(leaf, {"x": value})
+    db.tick()
+    return db
+
+
+@pytest.mark.parametrize("depth", [4, 16])
+def test_extent_inclusion_check(benchmark, depth):
+    db = _populated_db(depth, members=30)
+    assert check_extent_inclusion(db) == []
+    benchmark(check_extent_inclusion, db)
+
+
+@pytest.mark.parametrize("depth", [4, 16])
+def test_migration_cost_vs_depth(benchmark, depth):
+    db = _populated_db(depth, members=10)
+    oid = next(db.objects()).oid
+    leaf = f"c{depth - 1}"
+
+    def roundtrip():
+        db.tick()
+        db.migrate(oid, "c0")
+        db.tick()
+        db.migrate(oid, leaf)
+
+    benchmark(roundtrip)
+
+
+def test_e9_summary(benchmark, results_dir):
+    def _run():
+        import timeit
+
+        rows = []
+        for depth in (4, 16, 64):
+            isa = _chain(depth)
+            le = timeit.timeit(
+                lambda: isa.isa_le(f"c{depth - 1}", "c0"), number=2000
+            ) / 2000
+            the_lub = timeit.timeit(
+                lambda: lub(
+                    [ObjectType(f"c{depth - 1}"), ObjectType("c1")], isa
+                ),
+                number=500,
+            ) / 500
+            db = _populated_db(depth, members=20)
+            inclusion = timeit.timeit(
+                lambda: check_extent_inclusion(db), number=10
+            ) / 10
+            rows.append(
+                (
+                    depth,
+                    f"{le * 1e9:.0f}",
+                    f"{the_lub * 1e6:.1f}",
+                    f"{inclusion * 1e3:.2f}",
+                )
+            )
+        emit(
+            "e9_inheritance",
+            format_series(
+                "E9: inheritance machinery vs ISA depth",
+                ("depth", "isa_le ns", "lub us", "Inv 6.1 check ms"),
+                rows,
+            ),
+        )
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)

@@ -1,0 +1,145 @@
+"""E10 -- the future-work machinery: queries, views, constraints,
+triggers.
+
+The paper defers these to future work (Section 7); this bench
+characterizes the implementations so the extension carries its weight:
+
+* query evaluation by temporal scope (NOW / AT / SOMETIME / ALWAYS)
+  against population size and history length -- segment-wise
+  evaluation must scale with *changes*, not with elapsed instants;
+* when() and view membership (exact interval-set answers);
+* path expressions (one extra dereference per step);
+* constraint checking and trigger dispatch overhead per update.
+
+Expected shape: NOW/AT flat in history length; SOMETIME/ALWAYS linear
+in pairs (segments), not in instants; trigger dispatch adds a small
+constant per update.
+"""
+
+import pytest
+
+from repro.constraints import ConstraintSet, NonDecreasing
+from repro.database.events import EventKind
+from repro.query import attr, evaluate, parse_query, path, when
+from repro.triggers import Trigger, TriggerManager, on_update
+from repro.triggers.triggers import WriteSpec
+from repro.views import TemporalView
+from repro.workloads import WorkloadSpec, build_database
+
+from benchmarks.conftest import emit, format_series
+
+
+def _db(n_objects: int, n_ticks: int):
+    return build_database(
+        WorkloadSpec(
+            n_objects=n_objects,
+            n_ticks=n_ticks,
+            update_rate=0.6,
+            migration_rate=0.0,
+            delete_rate=0.0,
+            seed=17,
+        )
+    )
+
+
+QUERIES = {
+    "now": "select employee where salary > 2000.0",
+    "at": "select employee where salary > 2000.0 at 10",
+    "sometime": "select employee where salary > 2000.0 sometime",
+    "always": "select employee where salary > 2000.0 always",
+}
+
+
+@pytest.mark.parametrize("scope", sorted(QUERIES))
+@pytest.mark.parametrize("n_objects", [10, 50])
+def test_query_by_scope(benchmark, scope, n_objects):
+    db = _db(n_objects, 40)
+    query = parse_query(QUERIES[scope])
+    benchmark(evaluate, db, query)
+
+
+@pytest.mark.parametrize("n_ticks", [20, 80, 320])
+def test_sometime_vs_history_length(benchmark, n_ticks):
+    db = _db(10, n_ticks)
+    query = parse_query(QUERIES["sometime"])
+    benchmark(evaluate, db, query)
+
+
+@pytest.mark.parametrize("n_ticks", [20, 80])
+def test_when_operator(benchmark, n_ticks):
+    db = _db(10, n_ticks)
+    oid = next(db.live_objects()).oid
+    benchmark(when, db, oid, attr("salary") > 2000.0)
+
+
+def test_path_dereference_overhead(benchmark):
+    db = _db(20, 40)
+    # mentor has domain temporal(person); dereference to the person's
+    # name (static on person, so only the NOW instant can match).
+    via_path = parse_query("select employee where mentor.name = 'emp0'")
+    evaluate(db, via_path)
+    benchmark(evaluate, db, via_path)
+
+
+@pytest.mark.parametrize("n_objects", [10, 50])
+def test_view_membership(benchmark, n_objects):
+    db = _db(n_objects, 40)
+    view = TemporalView(db, "employee", attr("salary") > 2000.0)
+    oid = next(db.live_objects()).oid
+    benchmark(view.membership_times, oid)
+
+
+def test_constraint_check_per_update(benchmark):
+    db = _db(10, 40)
+    rules = ConstraintSet().add(NonDecreasing("employee", "salary"))
+    obj = next(db.live_objects())
+    benchmark(rules.check_object, db, obj)
+
+
+def test_trigger_dispatch_overhead(benchmark):
+    db = _db(10, 10)
+    manager = TriggerManager(db)
+    manager.register(
+        Trigger(
+            "noop",
+            on_update("employee", "salary"),
+            action=lambda d, e: None,
+            writes=(),
+        )
+    )
+    oid = next(db.live_objects()).oid
+    counter = [0.0]
+
+    def one_update():
+        db.tick()
+        counter[0] += 1.0
+        db.update_attribute(oid, "salary", 1000.0 + counter[0])
+
+    benchmark(one_update)
+
+
+def test_e10_summary(benchmark, results_dir):
+    def _run():
+        import timeit
+
+        rows = []
+        for n_objects, n_ticks in [(10, 20), (10, 80), (50, 40)]:
+            db = _db(n_objects, n_ticks)
+            cells = []
+            for scope in ("now", "sometime", "always"):
+                query = parse_query(QUERIES[scope])
+                cost = timeit.timeit(
+                    lambda: evaluate(db, query), number=20
+                ) / 20
+                cells.append(f"{cost * 1e3:.2f}")
+            rows.append((n_objects, n_ticks, *cells))
+        emit(
+            "e10_query",
+            format_series(
+                "E10: query evaluation (ms) by scope",
+                ("objects", "ticks", "now", "sometime", "always"),
+                rows,
+            ),
+        )
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)

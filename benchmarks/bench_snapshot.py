@@ -1,0 +1,104 @@
+"""E7 -- snapshot projection and substitutability coercion.
+
+Measures ``snapshot(i, t)`` (Section 5.3) and the Section 6.1 coercion
+view (``view_as``) against the number of attributes and the temporal
+fraction of the object's state.
+
+Expected shape: both linear in attribute count; per-attribute cost of
+temporal attributes is one bisect into the history, so history length
+only enters logarithmically.
+"""
+
+import pytest
+
+from repro.database.database import TemporalDatabase
+from repro.inheritance.coercion import as_member_of
+from repro.objects.state import h_state, snapshot
+
+from benchmarks.conftest import emit, format_series
+
+
+def _build(n_temporal: int, n_static: int, history: int):
+    db = TemporalDatabase()
+    attrs = [(f"t{i}", "temporal(integer)") for i in range(n_temporal)]
+    attrs += [(f"s{i}", "integer") for i in range(n_static)]
+    db.define_class("base", attributes=[(f"t{i}", "integer")
+                                        for i in range(n_temporal)]
+                    + [(f"s{i}", "integer") for i in range(n_static)])
+    db.define_class("rich", parents=["base"], attributes=attrs)
+    oid = db.create_object(
+        "rich",
+        {f"t{i}": 0 for i in range(n_temporal)}
+        | {f"s{i}": 0 for i in range(n_static)},
+    )
+    for step in range(history):
+        db.tick()
+        for i in range(n_temporal):
+            db.update_attribute(oid, f"t{i}", step)
+    return db, oid
+
+
+@pytest.mark.parametrize("n_attrs", [4, 16, 64])
+def test_snapshot_vs_attribute_count(benchmark, n_attrs):
+    db, oid = _build(n_attrs // 2, n_attrs // 2, history=50)
+    obj = db.get_object(oid)
+    benchmark(snapshot, obj, db.now, db.now)
+
+
+@pytest.mark.parametrize("history", [10, 100, 1000])
+def test_snapshot_vs_history_length(benchmark, history):
+    db, oid = _build(4, 4, history=history)
+    obj = db.get_object(oid)
+    benchmark(snapshot, obj, db.now, db.now)
+
+
+@pytest.mark.parametrize("history", [10, 100])
+def test_h_state_past_instant(benchmark, history):
+    db, oid = _build(8, 0, history=history)
+    obj = db.get_object(oid)
+    benchmark(h_state, obj, db.now // 2, db.now)
+
+
+@pytest.mark.parametrize("n_attrs", [4, 16, 64])
+def test_coercion_view(benchmark, n_attrs):
+    """Seeing a 'rich' instance as its 'base' superclass coerces every
+    temporally-refined attribute with snapshot (Section 6.1)."""
+    db, oid = _build(n_attrs // 2, n_attrs // 2, history=50)
+    obj = db.get_object(oid)
+    base = db.get_class("base")
+    benchmark(as_member_of, obj, base, db.now)
+
+
+def test_e7_summary(benchmark, results_dir):
+    def _run():
+        import timeit
+
+        rows = []
+        for n_attrs, history in [(4, 50), (16, 50), (64, 50), (16, 1000)]:
+            db, oid = _build(n_attrs // 2, n_attrs // 2, history=history)
+            obj = db.get_object(oid)
+            snap = timeit.timeit(
+                lambda: snapshot(obj, db.now, db.now), number=500
+            ) / 500
+            coerce = timeit.timeit(
+                lambda: as_member_of(obj, db.get_class("base"), db.now),
+                number=500,
+            ) / 500
+            rows.append(
+                (
+                    n_attrs,
+                    history,
+                    f"{snap * 1e6:.1f}",
+                    f"{coerce * 1e6:.1f}",
+                )
+            )
+        emit(
+            "e7_snapshot",
+            format_series(
+                "E7: snapshot & coercion (us/op)",
+                ("attributes", "history length", "snapshot", "view-as-super"),
+                rows,
+            ),
+        )
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)

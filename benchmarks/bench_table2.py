@@ -1,0 +1,33 @@
+"""E2 -- regenerate Table 2 of the paper.
+
+"Comparison among the existing temporal object-oriented data models
+(II)": eight models x {what is timestamped, temporal attribute values,
+kinds of attributes, histories of object types}.
+"""
+
+from repro.survey.models import MODELS, t_chimera_row_from_code
+from repro.survey.tables import render_table2, table2_rows
+
+from benchmarks.conftest import emit
+
+
+def test_table2_reproduction(benchmark):
+    rendered = benchmark(render_table2)
+
+    rows = table2_rows()
+    assert rows[0] == (
+        "", "what is timestamped", "temporal attribute values",
+        "kinds of attributes", "histories of object types",
+    )
+    assert rows[-1] == (
+        "Our model", "attributes", "functions^1",
+        "temporal + immutable + non-temporal", "YES",
+    )
+    # Distinguishing claim: only T_Chimera models non-temporal
+    # attributes.
+    assert sum(
+        "non-temporal" in m.kinds_of_attributes for m in MODELS
+    ) == 1
+    assert t_chimera_row_from_code() == MODELS[-1]
+
+    emit("table2", rendered)

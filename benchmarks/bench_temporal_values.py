@@ -1,0 +1,113 @@
+"""E4 -- temporal value operations vs. history length.
+
+The paper argues (Section 3.2) that the value of a temporal variable
+"can be represented more efficiently as a set of pairs" <interval,
+value> than as per-instant pairs.  This bench quantifies that claim and
+the implementation's other representation choices (DESIGN.md Section
+6):
+
+* ``at(t)`` via bisect over pairs is O(log H) -- vs a linear scan;
+* coalescing: adjacent equal-valued pairs are merged, shrinking both
+  storage and lookup structures (ablated with ``coalesce=False``);
+* the interval-pair encoding stores one pair per *change*, the naive
+  per-instant encoding one entry per *instant* -- the paper's
+  efficiency claim, measured as a storage ratio.
+
+Expected shape: bisect flat-ish in H, scan linear in H; pair encoding
+smaller than instant encoding by the mean pair duration.
+"""
+
+import pytest
+
+from repro.workloads import synthetic_history
+
+from benchmarks.conftest import emit, format_series
+
+LENGTHS = [10, 100, 1000, 10000]
+
+
+def _linear_scan_at(history, t):
+    """The naive O(H) lookup, for the ablation."""
+    for interval, value in history.pairs():
+        if interval.start <= t <= interval.end:  # type: ignore[operator]
+            return value
+    raise KeyError(t)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_at_bisect(benchmark, length):
+    history = synthetic_history(length, seed=1)
+    probe = history.last_instant() // 2
+    while not history.defined_at(probe):
+        probe += 1
+    benchmark(history.at, probe)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_at_linear_scan_ablation(benchmark, length):
+    history = synthetic_history(length, seed=1)
+    probe = history.last_instant() // 2
+    while not history.defined_at(probe):
+        probe += 1
+    benchmark(_linear_scan_at, history, probe)
+
+
+@pytest.mark.parametrize("length", [100, 1000])
+def test_assign_append(benchmark, length):
+    """Appending at the history's end (the engine's hot update path)."""
+    base = synthetic_history(length, seed=2)
+    end = base.last_instant()
+
+    def run():
+        history = base.copy()
+        history.assign(end + 1, -1)
+        history.assign(end + 5, -2)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("length", [100, 1000])
+def test_domain_computation(benchmark, length):
+    history = synthetic_history(length, seed=3)
+    benchmark(history.domain)
+
+
+@pytest.mark.parametrize("length", [100, 1000])
+def test_restrict(benchmark, length):
+    from repro.temporal.intervalsets import IntervalSet
+
+    history = synthetic_history(length, seed=4)
+    window = IntervalSet.span(
+        history.first_instant(), history.last_instant() // 2
+    )
+    benchmark(history.restrict, window)
+
+
+def test_e4_summary(benchmark, results_dir):
+    """The E4 artifact: storage and lookup cost of the encodings."""
+    def _run():
+        rows = []
+        for length in LENGTHS:
+            pairs = synthetic_history(length, seed=1)
+            uncoalesced = synthetic_history(length, seed=1, coalesce=False)
+            instants = pairs.domain().cardinality()
+            rows.append(
+                (
+                    length,
+                    len(pairs),
+                    len(uncoalesced),
+                    instants,
+                    f"{instants / max(len(pairs), 1):.1f}x",
+                )
+            )
+        emit(
+            "e4_temporal_values",
+            format_series(
+                "E4: temporal value encodings (storage entries)",
+                ("changes", "coalesced pairs", "raw pairs",
+                 "per-instant entries", "pair-encoding saving"),
+                rows,
+            ),
+        )
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)

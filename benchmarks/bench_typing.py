@@ -1,0 +1,139 @@
+"""E5 -- the type system's executable judgments.
+
+Measures the three judgments of Section 3 against value size:
+
+* ``is_deducible`` (the Definition 3.6 rules, checking mode);
+* ``in_extension`` (Definition 3.5 membership, including the
+  per-pair temporal clause);
+* ``infer_type`` (lub-based synthesis);
+
+plus the throughput of the soundness/completeness theorem checkers the
+property tests run.  Expected shape: all three linear in the size of
+the value term; extension checking of object-valued temporal values
+dominated by interval-set inclusion, not by history length.
+"""
+
+import pytest
+
+from repro.temporal.intervals import Interval
+from repro.temporal.intervalsets import IntervalSet
+from repro.temporal.temporalvalue import TemporalValue
+from repro.types.context import DictTypeContext
+from repro.types.deduction import infer_type, is_deducible
+from repro.types.extension import in_extension
+from repro.types.grammar import ObjectType, RecordOf, SetOf, TemporalType
+from repro.types.parser import parse_type
+from repro.types.theorems import completeness_holds, soundness_holds
+from repro.values.oid import OID
+from repro.values.records import RecordValue
+
+from benchmarks.conftest import emit, format_series
+
+SIZES = [10, 100, 1000]
+
+
+def _wide_record(n: int) -> tuple:
+    value = RecordValue({f"a{i}": i for i in range(n)})
+    t = RecordOf({f"a{i}": parse_type("integer") for i in range(n)})
+    return value, t
+
+
+def _big_set(n: int) -> tuple:
+    return frozenset(range(n)), parse_type("set-of(integer)")
+
+
+def _long_temporal(n: int) -> tuple:
+    history = TemporalValue()
+    for i in range(n):
+        history.put(Interval(3 * i, 3 * i + 2), i)
+    return history, parse_type("temporal(integer)")
+
+
+SHAPES = {
+    "record": _wide_record,
+    "set": _big_set,
+    "temporal": _long_temporal,
+}
+
+
+@pytest.mark.parametrize("shape", sorted(SHAPES))
+@pytest.mark.parametrize("size", SIZES)
+def test_is_deducible(benchmark, shape, size):
+    value, t = SHAPES[shape](size)
+    assert is_deducible(value, t)
+    benchmark(is_deducible, value, t)
+
+
+@pytest.mark.parametrize("shape", sorted(SHAPES))
+@pytest.mark.parametrize("size", SIZES)
+def test_in_extension(benchmark, shape, size):
+    value, t = SHAPES[shape](size)
+    assert in_extension(value, t, 0)
+    benchmark(in_extension, value, t, 0)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_infer_type(benchmark, size):
+    value, _t = _wide_record(size)
+    benchmark(infer_type, value)
+
+
+@pytest.mark.parametrize("pairs", [10, 100, 1000])
+def test_object_valued_temporal_membership(benchmark, pairs):
+    """The fast path: per-pair interval-set inclusion, not a time loop."""
+    oid = OID(1)
+    horizon = pairs * 4
+    ctx = DictTypeContext({"person": {oid: IntervalSet.span(0, horizon)}},
+                          now=horizon)
+    history = TemporalValue()
+    for i in range(pairs):
+        history.put(Interval(3 * i, 3 * i + 2), oid)
+    t = TemporalType(ObjectType("person"))
+    assert in_extension(history, t, 0, ctx)
+    benchmark(in_extension, history, t, 0, ctx)
+
+
+def test_theorem_checker_throughput(benchmark):
+    value, t = _wide_record(50)
+
+    def both():
+        soundness_holds(value, t, horizon=4)
+        completeness_holds(value, t, 0)
+
+    benchmark(both)
+
+
+def test_e5_summary(benchmark, results_dir):
+    def _run():
+        import timeit
+
+        rows = []
+        for size in SIZES:
+            value, t = _wide_record(size)
+            deducible = timeit.timeit(
+                lambda: is_deducible(value, t), number=200
+            ) / 200
+            member = timeit.timeit(
+                lambda: in_extension(value, t, 0), number=200
+            ) / 200
+            inferred = timeit.timeit(
+                lambda: infer_type(value), number=200
+            ) / 200
+            rows.append(
+                (
+                    size,
+                    f"{deducible * 1e6:.1f}",
+                    f"{member * 1e6:.1f}",
+                    f"{inferred * 1e6:.1f}",
+                )
+            )
+        emit(
+            "e5_typing",
+            format_series(
+                "E5: typing judgments on n-field records (us/op)",
+                ("fields", "is_deducible", "in_extension", "infer_type"),
+                rows,
+            ),
+        )
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)

@@ -1,0 +1,48 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each bench regenerates one experiment of DESIGN.md's index (E1-E9) and
+writes its human-readable artifact -- the table or measured series the
+experiment reports -- to ``benchmarks/results/<name>.txt``, so the
+output survives the run regardless of pytest capture settings.
+EXPERIMENTS.md summarizes those artifacts against the paper.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print *text* and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}")
+
+
+def format_series(
+    title: str,
+    header: tuple[str, ...],
+    rows: list[tuple],
+) -> str:
+    """A fixed-width table for measured series."""
+    grid = [tuple(str(cell) for cell in row) for row in [header, *rows]]
+    widths = [max(len(r[i]) for r in grid) for i in range(len(header))]
+    lines = [title]
+    for index, row in enumerate(grid):
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""The paper's running example: research projects (Examples 4.1-5.4).
+
+Reconstructs, against the live engine, the exact artifacts printed in
+the paper:
+
+* the class ``project`` with immutable ``name``, static ``objective``
+  and ``workplan``, temporal ``subproject`` and ``participants``, the
+  c-attribute ``average-participants``, and the metaclass
+  ``m-project`` (Example 4.1);
+* its structural / historical / static types (Example 4.2);
+* the object i1 with the histories of Example 5.1;
+* ``h_state``/``s_state`` (Example 5.2), the consistency conditions of
+  Example 5.3, and the equality notions of Example 5.4.
+
+Run:  python examples/research_projects.py
+"""
+
+import copy
+
+from repro import TemporalDatabase
+from repro.model_functions import h_state, h_type, s_state, s_type, type_
+from repro.objects.consistency import consistency_violations
+from repro.objects.equality import (
+    equal_by_value,
+    instantaneous_value_equal,
+)
+from repro.schema.attribute import Attribute
+from repro.schema.method import MethodSignature
+from repro.values.oid import OID
+from repro.values.structure import format_value
+
+
+def build() -> tuple[TemporalDatabase, dict[str, OID]]:
+    db = TemporalDatabase()
+    db.tick(10)  # the class lifespan starts at 10, as in Example 4.1
+
+    db.define_class("person", attributes=[("name", "string")])
+    db.define_class("task", attributes=[("title", "string")])
+    db.define_class(
+        "project",
+        attributes=[
+            Attribute("name", "temporal(string)", immutable=True),
+            ("objective", "string"),
+            ("workplan", "set-of(task)"),
+            ("subproject", "temporal(project)"),
+            ("participants", "temporal(set-of(person))"),
+        ],
+        methods=[
+            MethodSignature(
+                "add-participant",
+                ("person",),
+                "project",
+                body=_add_participant,
+            )
+        ],
+        c_attributes=[("average-participants", "integer")],
+        c_attr_values={"average-participants": 20},
+    )
+
+    db.tick(10)  # now = 20: the object lifespan of Example 5.1
+    ids: dict[str, OID] = {}
+    ids["i7"] = db.create_object("task", {"title": "implementation"})
+    ids["i2"] = db.create_object("person", {"name": "Ann"})
+    ids["i3"] = db.create_object("person", {"name": "Bob"})
+    ids["i4"] = db.create_object(
+        "project", {"name": "OLD-SUB", "objective": "prototype"}
+    )
+    ids["i1"] = db.create_object(
+        "project",
+        {
+            "name": "IDEA",
+            "objective": "Implementation",
+            "workplan": {ids["i7"]},
+            "subproject": ids["i4"],
+            "participants": frozenset({ids["i2"], ids["i3"]}),
+        },
+    )
+    db.tick(26)  # 46: subproject switched, as in Example 5.1
+    ids["i9"] = db.create_object(
+        "project", {"name": "NEW-SUB", "objective": "integration"}
+    )
+    db.update_attribute(ids["i1"], "subproject", ids["i9"])
+    db.tick(35)  # 81: a participant joins
+    ids["i8"] = db.create_object("person", {"name": "Cai"})
+    db.call_method(ids["i1"], "add-participant", ids["i8"])
+    db.tick(9)  # 90
+    return db, ids
+
+
+def _add_participant(db, oid, receiver, person):
+    current = receiver["participants"]
+    db.update_attribute(
+        oid, "participants", frozenset(current) | {person}
+    )
+    return oid
+
+
+def main() -> None:
+    db, ids = build()
+    i1 = ids["i1"]
+
+    print("== Example 4.1: the class signature ==")
+    project = db.get_class("project")
+    print(f"c        = {project.name}")
+    print(f"type     = {project.kind.value}")
+    print(f"lifespan = {project.lifespan}")
+    for attribute in project.attributes.values():
+        print(f"attr     . {attribute}")
+    for method in project.methods.values():
+        print(f"meth     . {method}")
+    print(f"history  = {format_value(project.history.as_record())}")
+    print(f"mc       = {project.metaclass_name}")
+
+    print("\n== Example 4.2: derived types ==")
+    print(f"type(project)   = {type_(db, 'project')}")
+    print(f"h_type(project) = {h_type(db, 'project')}")
+    print(f"s_type(project) = {s_type(db, 'project')}")
+
+    print("\n== Example 5.1: the object ==")
+    obj = db.get_object(i1)
+    print(f"i             = {obj.oid}")
+    print(f"lifespan      = {obj.lifespan}")
+    for name, value in obj.value.items():
+        print(f"attr-history  . {name}: {format_value(value)}")
+    print(f"class-history = {format_value(obj.class_history)}")
+
+    print("\n== Example 5.2: state projections ==")
+    print(f"s_state(i1)     = {format_value(s_state(db, i1))}")
+    print(f"h_state(i1, 50) = {format_value(h_state(db, i1, 50))}")
+
+    print("\n== Example 5.3: consistency ==")
+    problems = consistency_violations(obj, db, db, db.now)
+    print(f"consistent: {not problems}")
+    for problem in problems:
+        print(f"  VIOLATION: {problem}")
+
+    print("\n== Example 5.4: equality notions ==")
+    twin = copy.deepcopy(obj)
+    twin.oid = OID(999, "project")
+    print(f"value equal to exact twin:        "
+          f"{equal_by_value(obj, twin)}")
+    from repro.temporal.intervals import Interval
+
+    twin.value["subproject"] = copy.deepcopy(obj.value["subproject"])
+    twin.value["subproject"].put(
+        Interval(10, 15), ids["i4"], overwrite=True
+    )
+    print(f"value equal after history change: "
+          f"{equal_by_value(obj, twin)}")
+    print(f"instantaneously equal (same current state): "
+          f"{instantaneous_value_equal(obj, twin, db.now)}")
+
+
+if __name__ == "__main__":
+    main()

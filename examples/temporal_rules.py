@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""The paper's future work, running today: queries, constraints,
+triggers (Section 7).
+
+* a typed temporal query language (``at`` / ``sometime`` / ``always``,
+  ``when``);
+* temporal integrity constraints over past histories ("a salary never
+  decreases", "a probation grade is held at most 30 instants");
+* temporal triggers with a termination analysis.
+
+Run:  python examples/temporal_rules.py
+"""
+
+from repro import TemporalDatabase, Transaction
+from repro.constraints import (
+    ConstraintSet,
+    MaxDuration,
+    NonDecreasing,
+    ValueBounds,
+)
+from repro.database.events import EventKind
+from repro.errors import ConstraintError
+from repro.query import attr, parse_query, evaluate, select, when
+from repro.triggers import Trigger, TriggerManager, on_update
+from repro.triggers.triggers import WriteSpec
+
+
+def main() -> None:
+    db = TemporalDatabase()
+    db.define_class("person", attributes=[("name", "string")])
+    db.define_class(
+        "employee",
+        parents=["person"],
+        attributes=[
+            ("salary", "temporal(real)"),
+            ("grade", "temporal(integer)"),
+            ("dept", "string"),
+        ],
+    )
+    db.tick(10)
+    ann = db.create_object(
+        "employee",
+        {"name": "Ann", "salary": 1000.0, "grade": 1, "dept": "R"},
+    )
+    bob = db.create_object(
+        "employee",
+        {"name": "Bob", "salary": 3000.0, "grade": 4, "dept": "S"},
+    )
+    db.tick(10)
+    db.update_attribute(ann, "salary", 2500.0)
+    db.tick(10)  # now = 30
+
+    print("== temporal queries ==")
+    q = "select employee where salary > 2000.0 at 15"
+    print(f"{q}\n  -> {evaluate(db, parse_query(q))}")
+    q = "select employee where salary >= 2500.0 sometime"
+    print(f"{q}\n  -> {evaluate(db, parse_query(q))}")
+    q = "select employee where salary >= 2500.0 always"
+    print(f"{q}\n  -> {evaluate(db, parse_query(q))}")
+    print(f"when was Ann's salary below 2000?  "
+          f"{when(db, ann, attr('salary') < 2000.0)}")
+
+    print("\n== temporal integrity constraints ==")
+    rules = (
+        ConstraintSet()
+        .add(NonDecreasing("employee", "salary"))
+        .add(ValueBounds("employee", "grade", lo=1, hi=10))
+        .add(MaxDuration("employee", "grade", limit=30, value=1))
+    )
+    print(f"violations now: {rules.check(db) or 'none'}")
+    rules.enforce(db)
+    db.tick()
+    try:
+        with Transaction(db):
+            db.update_attribute(ann, "salary", 500.0)  # a pay cut!
+    except ConstraintError as error:
+        print(f"rejected pay cut: {error}")
+    print(f"Ann's salary unchanged: "
+          f"{db.get_object(ann).value['salary'].at(db.now)}")
+    rules.unenforce(db)
+
+    print("\n== temporal triggers ==")
+    raises_log = []
+    manager = TriggerManager(db)
+    manager.register(
+        Trigger(
+            "promote-on-big-salary",
+            on_update("employee", "salary"),
+            predicate=attr("salary") >= 4000.0,
+            action=lambda d, e: d.update_attribute(e.oid, "grade", 5),
+            writes=(WriteSpec(EventKind.UPDATE, "employee", "grade"),),
+        )
+    )
+    manager.register(
+        Trigger(
+            "log-grade-changes",
+            on_update("employee", "grade"),
+            action=lambda d, e: raises_log.append(
+                (e.oid, e.old_value, e.new_value)
+            ),
+        )
+    )
+    report = manager.termination_report()
+    print(f"termination analysis: terminates={report['terminates']}, "
+          f"cycles={report['cycles']}")
+    db.tick()
+    db.update_attribute(bob, "salary", 4500.0)
+    print(f"fired: {[name for name, _e in manager.fired_log]}")
+    print(f"grade-change log: {raises_log}")
+    print(f"Bob's grade now: "
+          f"{db.get_object(bob).value['grade'].at(db.now)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim.
+
+The offline environment lacks the `wheel` package, so `pip install -e .`
+(PEP 660) cannot build an editable wheel. `python setup.py develop`
+installs the package in editable mode using only setuptools.
+"""
+from setuptools import setup
+
+setup()

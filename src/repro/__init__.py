@@ -1,0 +1,155 @@
+"""T_Chimera: an executable reproduction of *A Formal Temporal
+Object-Oriented Data Model* (Bertino, Ferrari, Guerrini; EDBT 1996).
+
+The paper defines T_Chimera, a temporal extension of the Chimera
+object-oriented data model: temporal types unifying temporal and
+non-temporal domains, classes with lifespans, metaclasses and extent
+histories, objects with attribute-timestamped state and class-history
+(migration), four notions of object equality, consistency in a
+temporal setting, and inheritance with coercion-based substitutability.
+
+This package implements the whole model executably, plus the paper's
+future-work items (temporal query language, temporal integrity
+constraints, temporal triggers) and the relational-era baselines its
+introduction positions against.
+
+Quickstart::
+
+    from repro import TemporalDatabase
+
+    db = TemporalDatabase()
+    db.tick(10)
+    db.define_class(
+        "project",
+        attributes=[
+            ("name", "temporal(string)"),
+            ("objective", "string"),
+            ("participants", "temporal(set-of(project))"),
+        ],
+    )
+    oid = db.create_object("project", {"name": "IDEA", "objective": "demo"})
+    db.tick(5)
+    db.update_attribute(oid, "name", "IDEA-2")
+    print(db.get_object(oid).value["name"])   # {<[10,14],'IDEA'>, <[15,now],'IDEA-2'>}
+
+See ``examples/`` for full scenarios and ``DESIGN.md`` for the
+paper-to-module map.
+"""
+
+from repro.errors import TChimeraError
+from repro.temporal import (
+    NOW,
+    Clock,
+    Interval,
+    IntervalSet,
+    TemporalValue,
+)
+from repro.values import NULL, OID, RecordValue
+from repro.types import (
+    BOOL,
+    CHARACTER,
+    INTEGER,
+    REAL,
+    STRING,
+    TIME,
+    ListOf,
+    ObjectType,
+    RecordOf,
+    SetOf,
+    TemporalType,
+    Type,
+    format_type,
+    in_extension,
+    infer_type,
+    is_deducible,
+    is_subtype,
+    lub,
+    parse_type,
+    t_minus,
+)
+from repro.schema import Attribute, ClassSignature, MethodSignature
+from repro.objects import (
+    TemporalObject,
+    equal_by_identity,
+    equal_by_value,
+    h_state,
+    instantaneous_value_equal,
+    is_consistent,
+    s_state,
+    snapshot,
+    weak_value_equal,
+)
+from repro.inheritance import IsaHierarchy, as_member_of
+from repro.database import (
+    TemporalDatabase,
+    Transaction,
+    check_database,
+    database_from_json,
+    database_to_json,
+)
+from repro.bitemporal import BitemporalDatabase
+from repro.views import TemporalView, ViewRegistry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TChimeraError",
+    # time
+    "NOW",
+    "Clock",
+    "Interval",
+    "IntervalSet",
+    "TemporalValue",
+    # values
+    "NULL",
+    "OID",
+    "RecordValue",
+    # types
+    "Type",
+    "TemporalType",
+    "ObjectType",
+    "SetOf",
+    "ListOf",
+    "RecordOf",
+    "INTEGER",
+    "REAL",
+    "BOOL",
+    "CHARACTER",
+    "STRING",
+    "TIME",
+    "parse_type",
+    "format_type",
+    "t_minus",
+    "in_extension",
+    "is_deducible",
+    "infer_type",
+    "is_subtype",
+    "lub",
+    # schema
+    "Attribute",
+    "MethodSignature",
+    "ClassSignature",
+    # objects
+    "TemporalObject",
+    "h_state",
+    "s_state",
+    "snapshot",
+    "is_consistent",
+    "equal_by_identity",
+    "equal_by_value",
+    "instantaneous_value_equal",
+    "weak_value_equal",
+    # inheritance
+    "IsaHierarchy",
+    "as_member_of",
+    # database
+    "TemporalDatabase",
+    "Transaction",
+    "check_database",
+    "database_to_json",
+    "database_from_json",
+    "BitemporalDatabase",
+    "TemporalView",
+    "ViewRegistry",
+    "__version__",
+]

@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tables``            -- print the reproduced Tables 1-3;
+* ``demo``              -- run the paper's project example end-to-end;
+* ``check  FILE.json``  -- load a persisted database and run the full
+  integrity suite (exit code 1 on violations);
+* ``describe FILE.json [--class NAME | --object SERIAL]`` -- print a
+  database summary, or one class/object in the paper's notation;
+* ``query FILE.json "select ..."`` -- run a query against a persisted
+  database.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _load(path: str):
+    from repro.database.persistence import database_from_json
+
+    return database_from_json(Path(path).read_text())
+
+
+def cmd_tables(_args) -> int:
+    from repro.model_functions import TABLE_3
+    from repro.survey.tables import render_table1, render_table2
+
+    print(render_table1())
+    print()
+    print(render_table2())
+    print()
+    print("Table 3: Functions employed in defining the model")
+    for row in TABLE_3:
+        print(f"  {row.name:<12} {row.signature:<28} {row.description}")
+    return 0
+
+
+def cmd_demo(_args) -> int:
+    import runpy
+
+    example = (
+        Path(__file__).resolve().parent.parent.parent
+        / "examples"
+        / "research_projects.py"
+    )
+    if example.exists():
+        runpy.run_path(str(example), run_name="__main__")
+        return 0
+    print("examples/research_projects.py not found", file=sys.stderr)
+    return 1
+
+
+def cmd_check(args) -> int:
+    from repro.database.integrity import check_database
+
+    db = _load(args.file)
+    report = check_database(db)
+    if report.ok:
+        print(
+            f"OK: {len(db)} objects, {len(tuple(db.classes()))} classes, "
+            f"now={db.now}; every invariant holds"
+        )
+        return 0
+    print(f"VIOLATIONS ({len(report.all_violations())}):")
+    for violation in report.all_violations():
+        print(f"  {violation}")
+    return 1
+
+
+def cmd_describe(args) -> int:
+    from repro.tools import (
+        describe_class,
+        describe_database,
+        describe_object,
+    )
+    from repro.values.oid import OID
+
+    db = _load(args.file)
+    if args.class_name:
+        print(describe_class(db, args.class_name))
+    elif args.object is not None:
+        matches = [
+            obj.oid for obj in db.objects()
+            if obj.oid.serial == args.object
+        ]
+        if not matches:
+            print(f"no object with serial {args.object}", file=sys.stderr)
+            return 1
+        print(describe_object(db, matches[0]))
+    else:
+        print(describe_database(db))
+    return 0
+
+
+def cmd_query(args) -> int:
+    from repro.query import evaluate, parse_query
+
+    db = _load(args.file)
+    hits = evaluate(db, parse_query(args.query))
+    for oid in hits:
+        print(oid)
+    print(f"-- {len(hits)} result(s) at now={db.now}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="T_Chimera: the EDBT 1996 temporal OO data model, "
+        "executable",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print the reproduced Tables 1-3")
+    sub.add_parser("demo", help="run the paper's project example")
+
+    check = sub.add_parser("check", help="integrity-check a saved database")
+    check.add_argument("file")
+
+    describe = sub.add_parser(
+        "describe", help="describe a saved database / class / object"
+    )
+    describe.add_argument("file")
+    describe.add_argument("--class", dest="class_name", default=None)
+    describe.add_argument("--object", type=int, default=None)
+
+    query = sub.add_parser("query", help="query a saved database")
+    query.add_argument("file")
+    query.add_argument("query")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "tables": cmd_tables,
+        "demo": cmd_demo,
+        "check": cmd_check,
+        "describe": cmd_describe,
+        "query": cmd_query,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Relational-era baselines (paper, Section 1).
+
+The introduction classifies temporal extensions of the relational model
+into *tuple timestamping* (1NF relations with extra time attributes,
+e.g. TQuel [16]) and *attribute timestamping* (N1NF relations
+attaching time to attribute values, e.g. HRDM [8], Gadia [9] -- the
+approach T_Chimera adopts for objects), against the backdrop of
+conventional *snapshot* databases that keep no history at all.
+
+This package implements all three as single-table stores with a common
+protocol, so bench E8 can measure the design space the paper argues
+from: storage cells, update cost, attribute-history queries, and
+point-in-time snapshot reconstruction.
+
+* :class:`SnapshotStore` -- current state only; history queries are
+  unsupported (that is the point);
+* :class:`TupleTimestampedStore` -- every update versions the whole
+  row; history per attribute requires scanning row versions;
+* :class:`AttributeTimestampedStore` -- per-attribute value histories
+  (the relational shadow of T_Chimera's temporal attributes);
+* :func:`replay` -- drive any store with a common operation log;
+* :func:`stores_agree` -- cross-validation of the three.
+"""
+
+from repro.baselines.stores import (
+    AttributeTimestampedStore,
+    HistoryUnsupported,
+    Operation,
+    SnapshotStore,
+    TupleTimestampedStore,
+    replay,
+    stores_agree,
+)
+
+__all__ = [
+    "SnapshotStore",
+    "TupleTimestampedStore",
+    "AttributeTimestampedStore",
+    "HistoryUnsupported",
+    "Operation",
+    "replay",
+    "stores_agree",
+]

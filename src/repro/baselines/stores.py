@@ -1,0 +1,300 @@
+"""Baseline store implementations.
+
+All stores hold one logical relation with a fixed attribute list, keyed
+by an integer surrogate.  Time is the same discrete valid-time domain
+as the model's; operations carry an explicit instant and must be
+applied in non-decreasing time order (the stores are valid-time-only,
+like the paper's model).
+
+The measured quantities (bench E8):
+
+* ``storage_cells()`` -- how many attribute-value cells the
+  representation holds (the space story: tuple timestamping copies the
+  whole row per update; attribute timestamping stores one new cell);
+* ``update()`` cost -- what one update touches;
+* ``attribute_history()`` -- the pairs of one attribute over time
+  (native for attribute timestamping; a scan-and-coalesce for tuple
+  timestamping; unsupported for snapshot);
+* ``snapshot_at()`` -- full-row reconstruction at an instant (native
+  for tuple timestamping -- one version lookup; per-attribute searches
+  for attribute timestamping).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+
+class HistoryUnsupported(Exception):
+    """The store does not record history (snapshot baseline)."""
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One log entry: insert / update / delete."""
+
+    kind: str  # "insert" | "update" | "delete"
+    key: int
+    at: int
+    attribute: str | None = None
+    value: Any = None
+    row: dict[str, Any] | None = None
+
+
+class _BaseStore:
+    """Shared bookkeeping: the attribute list and liveness."""
+
+    def __init__(self, attributes: Sequence[str]) -> None:
+        self.attributes = tuple(attributes)
+
+    def insert(self, key: int, row: dict[str, Any], at: int) -> None:
+        raise NotImplementedError
+
+    def update(self, key: int, attribute: str, value: Any, at: int) -> None:
+        raise NotImplementedError
+
+    def delete(self, key: int, at: int) -> None:
+        raise NotImplementedError
+
+    def current(self, key: int) -> dict[str, Any] | None:
+        raise NotImplementedError
+
+    def attribute_history(
+        self, key: int, attribute: str
+    ) -> list[tuple[tuple[int, int | None], Any]]:
+        """Coalesced ``((start, end_or_None), value)`` pairs; ``None``
+        end means "still current"."""
+        raise NotImplementedError
+
+    def snapshot_at(self, key: int, at: int) -> dict[str, Any] | None:
+        raise NotImplementedError
+
+    def storage_cells(self) -> int:
+        raise NotImplementedError
+
+
+class SnapshotStore(_BaseStore):
+    """A conventional database: the current state and nothing else."""
+
+    def __init__(self, attributes: Sequence[str]) -> None:
+        super().__init__(attributes)
+        self._rows: dict[int, dict[str, Any]] = {}
+
+    def insert(self, key: int, row: dict[str, Any], at: int) -> None:
+        self._rows[key] = dict(row)
+
+    def update(self, key: int, attribute: str, value: Any, at: int) -> None:
+        self._rows[key][attribute] = value
+
+    def delete(self, key: int, at: int) -> None:
+        self._rows.pop(key, None)
+
+    def current(self, key: int) -> dict[str, Any] | None:
+        row = self._rows.get(key)
+        return dict(row) if row is not None else None
+
+    def attribute_history(self, key: int, attribute: str):
+        raise HistoryUnsupported(
+            "a snapshot database records only current data (paper, "
+            "Section 1)"
+        )
+
+    def snapshot_at(self, key: int, at: int) -> dict[str, Any] | None:
+        raise HistoryUnsupported(
+            "a snapshot database cannot reconstruct past states"
+        )
+
+    def storage_cells(self) -> int:
+        return sum(len(row) for row in self._rows.values())
+
+
+class TupleTimestampedStore(_BaseStore):
+    """1NF tuple timestamping: each update closes the current row
+    version and appends a full copy stamped ``[start, end)``."""
+
+    def __init__(self, attributes: Sequence[str]) -> None:
+        super().__init__(attributes)
+        # key -> list of [start, end_or_None, row_dict]
+        self._versions: dict[int, list[list[Any]]] = {}
+
+    def insert(self, key: int, row: dict[str, Any], at: int) -> None:
+        self._versions.setdefault(key, []).append([at, None, dict(row)])
+
+    def update(self, key: int, attribute: str, value: Any, at: int) -> None:
+        versions = self._versions[key]
+        start, _end, row = versions[-1]
+        if row.get(attribute) == value:
+            return
+        if start == at:
+            row[attribute] = value
+            return
+        versions[-1][1] = at
+        new_row = dict(row)
+        new_row[attribute] = value
+        versions.append([at, None, new_row])
+
+    def delete(self, key: int, at: int) -> None:
+        versions = self._versions.get(key)
+        if versions and versions[-1][1] is None:
+            if versions[-1][0] >= at:
+                versions.pop()
+            else:
+                versions[-1][1] = at
+
+    def current(self, key: int) -> dict[str, Any] | None:
+        versions = self._versions.get(key)
+        if not versions or versions[-1][1] is not None:
+            return None
+        return dict(versions[-1][2])
+
+    def attribute_history(self, key: int, attribute: str):
+        result: list[tuple[tuple[int, int | None], Any]] = []
+        for start, end, row in self._versions.get(key, ()):
+            value = row.get(attribute)
+            if result and result[-1][1] == value and result[-1][0][1] == start:
+                (prev_start, _), _v = result[-1]
+                result[-1] = ((prev_start, end), value)
+            else:
+                result.append(((start, end), value))
+        return result
+
+    def snapshot_at(self, key: int, at: int) -> dict[str, Any] | None:
+        versions = self._versions.get(key, [])
+        starts = [v[0] for v in versions]
+        index = bisect_right(starts, at) - 1
+        if index < 0:
+            return None
+        start, end, row = versions[index]
+        if end is not None and at >= end:
+            return None
+        return dict(row)
+
+    def storage_cells(self) -> int:
+        return sum(
+            len(row) for versions in self._versions.values()
+            for _s, _e, row in versions
+        )
+
+    def version_count(self) -> int:
+        return sum(len(v) for v in self._versions.values())
+
+
+class AttributeTimestampedStore(_BaseStore):
+    """N1NF attribute timestamping: one value history per attribute --
+    the relational shadow of the model's temporal attributes."""
+
+    def __init__(self, attributes: Sequence[str]) -> None:
+        super().__init__(attributes)
+        # key -> attr -> list of [start, end_or_None, value]
+        self._histories: dict[int, dict[str, list[list[Any]]]] = {}
+        self._lifespans: dict[int, list[int | None]] = {}
+
+    def insert(self, key: int, row: dict[str, Any], at: int) -> None:
+        histories = {
+            attribute: [[at, None, row.get(attribute)]]
+            for attribute in self.attributes
+        }
+        self._histories[key] = histories
+        self._lifespans[key] = [at, None]
+
+    def update(self, key: int, attribute: str, value: Any, at: int) -> None:
+        history = self._histories[key][attribute]
+        last = history[-1]
+        if last[2] == value:
+            return
+        if last[0] == at:
+            last[2] = value
+            return
+        last[1] = at
+        history.append([at, None, value])
+
+    def delete(self, key: int, at: int) -> None:
+        lifespan = self._lifespans.get(key)
+        if lifespan is None or lifespan[1] is not None:
+            return
+        lifespan[1] = at
+        for history in self._histories[key].values():
+            if history and history[-1][1] is None:
+                if history[-1][0] >= at:
+                    history.pop()
+                else:
+                    history[-1][1] = at
+
+    def current(self, key: int) -> dict[str, Any] | None:
+        lifespan = self._lifespans.get(key)
+        if lifespan is None or lifespan[1] is not None:
+            return None
+        return {
+            attribute: history[-1][2]
+            for attribute, history in self._histories[key].items()
+        }
+
+    def attribute_history(self, key: int, attribute: str):
+        return [
+            ((start, end), value)
+            for start, end, value in self._histories.get(key, {}).get(
+                attribute, ()
+            )
+        ]
+
+    def snapshot_at(self, key: int, at: int) -> dict[str, Any] | None:
+        lifespan = self._lifespans.get(key)
+        if lifespan is None or at < lifespan[0]:
+            return None
+        if lifespan[1] is not None and at >= lifespan[1]:
+            return None
+        row: dict[str, Any] = {}
+        for attribute, history in self._histories[key].items():
+            starts = [entry[0] for entry in history]
+            index = bisect_right(starts, at) - 1
+            if index < 0:
+                row[attribute] = None
+                continue
+            start, end, value = history[index]
+            row[attribute] = (
+                value if end is None or at < end else None
+            )
+        return row
+
+    def storage_cells(self) -> int:
+        return sum(
+            len(history)
+            for histories in self._histories.values()
+            for history in histories.values()
+        )
+
+
+def replay(store: _BaseStore, operations: Iterable[Operation]) -> None:
+    """Apply an operation log to a store."""
+    for op in operations:
+        if op.kind == "insert":
+            assert op.row is not None
+            store.insert(op.key, op.row, op.at)
+        elif op.kind == "update":
+            assert op.attribute is not None
+            store.update(op.key, op.attribute, op.value, op.at)
+        elif op.kind == "delete":
+            store.delete(op.key, op.at)
+        else:
+            raise ValueError(f"unknown operation kind {op.kind!r}")
+
+
+def stores_agree(
+    tuple_store: TupleTimestampedStore,
+    attribute_store: AttributeTimestampedStore,
+    keys: Iterable[int],
+    instants: Iterable[int],
+) -> bool:
+    """The two history-keeping stores describe the same function of
+    time (used by the tests to validate the baselines against each
+    other, and both against the model)."""
+    instants = list(instants)
+    for key in keys:
+        for at in instants:
+            if tuple_store.snapshot_at(key, at) != attribute_store.snapshot_at(
+                key, at
+            ):
+                return False
+    return True

@@ -1,0 +1,28 @@
+"""Transaction time: the second time dimension (paper, Section 1.1).
+
+The paper models *valid time* only ("the time a fact was true in
+reality") and notes that the model "can be easily extended to
+different notions of time", *transaction time* ("the time the fact was
+stored in the database") being the other dimension of interest.  This
+package supplies that extension.
+
+:class:`BitemporalDatabase` wraps a valid-time
+:class:`~repro.database.database.TemporalDatabase` with a
+transaction-time commit log: every :meth:`~BitemporalDatabase.commit`
+captures the complete database state (via the persistence codec) under
+the next transaction instant.  ``as_of(tt)`` rehydrates the database
+exactly as it was stored at transaction time tt, and bitemporal
+queries compose the two dimensions: *"what did we believe at
+transaction time tt about the world at valid time vt?"* --
+``as_of(tt)`` followed by any valid-time query ``at vt``.
+
+Transaction time is append-only and never reinterpreted, so the commit
+log is immutable by construction; the implementation stores full
+serialized states (copy-on-commit), which is the simple, obviously
+correct realization -- adequate at model-demonstration scale and
+measured in the test suite.
+"""
+
+from repro.bitemporal.store import BitemporalDatabase
+
+__all__ = ["BitemporalDatabase"]

@@ -1,0 +1,119 @@
+"""The bitemporal wrapper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.database.database import TemporalDatabase
+from repro.database.persistence import database_from_json, database_to_json
+from repro.errors import TimeError
+
+
+@dataclass(frozen=True)
+class Commit:
+    """One transaction-time version."""
+
+    transaction_time: int
+    valid_time: int  # the valid-time clock reading when stored
+    label: str
+    state: str  # serialized database
+
+
+class BitemporalDatabase:
+    """A valid-time database under an append-only transaction-time log.
+
+    Usage::
+
+        bdb = BitemporalDatabase()
+        db = bdb.current                 # the live valid-time database
+        ... db.define_class / create_object / tick ...
+        tt0 = bdb.commit("initial load")
+        ... more updates (including retroactive corrections) ...
+        tt1 = bdb.commit("correction")
+
+        past_belief = bdb.as_of(tt0)     # the database as stored at tt0
+        past_belief.pi("employee", 5)    # bitemporal: belief at tt0
+                                         # about valid instant 5
+    """
+
+    def __init__(self, start_time: int = 0) -> None:
+        self.current = TemporalDatabase(start_time)
+        self._commits: list[Commit] = []
+
+    # -- the transaction-time dimension ------------------------------------
+
+    @property
+    def transaction_now(self) -> int:
+        """The next transaction instant to be assigned."""
+        return len(self._commits)
+
+    def commit(self, label: str = "") -> int:
+        """Store the current state; returns its transaction time."""
+        tt = len(self._commits)
+        self._commits.append(
+            Commit(
+                transaction_time=tt,
+                valid_time=self.current.now,
+                label=label,
+                state=database_to_json(self.current),
+            )
+        )
+        return tt
+
+    def commits(self) -> Iterator[Commit]:
+        return iter(self._commits)
+
+    def transaction_times(self) -> tuple[int, ...]:
+        return tuple(c.transaction_time for c in self._commits)
+
+    def as_of(self, transaction_time: int) -> TemporalDatabase:
+        """The database exactly as stored at *transaction_time*.
+
+        Returns a fresh rehydrated instance; mutating it does not
+        affect the log (transaction time is append-only) nor the
+        current database.
+        """
+        if not 0 <= transaction_time < len(self._commits):
+            raise TimeError(
+                f"no commit at transaction time {transaction_time}; "
+                f"have 0..{len(self._commits) - 1}"
+            )
+        return database_from_json(self._commits[transaction_time].state)
+
+    def latest(self) -> TemporalDatabase:
+        """The most recently committed version."""
+        if not self._commits:
+            raise TimeError("nothing committed yet")
+        return self.as_of(len(self._commits) - 1)
+
+    # -- bitemporal queries --------------------------------------------------
+
+    def believed_extent(
+        self, transaction_time: int, class_name: str, valid_time: int
+    ) -> frozenset:
+        """``pi(c, vt)`` as believed at transaction time *tt* -- the
+        canonical bitemporal question."""
+        return self.as_of(transaction_time).pi(class_name, valid_time)
+
+    def belief_history(
+        self, class_name: str, valid_time: int
+    ) -> list[tuple[int, frozenset]]:
+        """How the belief about ``pi(c, vt)`` evolved across commits:
+        one (transaction_time, extent) pair per commit -- differences
+        between consecutive entries are retroactive corrections."""
+        return [
+            (
+                commit.transaction_time,
+                database_from_json(commit.state).extent(
+                    class_name, valid_time
+                ),
+            )
+            for commit in self._commits
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"BitemporalDatabase(commits={len(self._commits)}, "
+            f"current_valid_now={self.current.now})"
+        )

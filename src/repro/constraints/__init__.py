@@ -1,0 +1,56 @@
+"""A temporal integrity constraint language (paper Section 7).
+
+The paper's future work calls for "a temporal integrity constraint
+language [that] would allow, among other things, to express constraints
+based on past histories of objects".  This package supplies one: a
+small vocabulary of declarative constraint forms over attribute
+histories, compiled to checkers that run on demand or continuously
+(subscribed to database events).
+
+Constraint forms
+----------------
+* :class:`NonDecreasing` / :class:`NonIncreasing` -- the history of a
+  temporal attribute is monotone (e.g. a salary never decreases);
+* :class:`AlwaysMeaningful` -- the attribute is defined at every
+  instant of the object's membership in the class;
+* :class:`ValueBounds` -- every recorded value lies in ``[lo, hi]``;
+* :class:`MaxDuration` -- no value is held longer than ``limit``
+  consecutive instants (optionally one specific value);
+* :class:`Immutable` -- the history is a constant function (the
+  paper's immutable-attribute semantics as a checkable constraint);
+* :class:`HistoryPredicate` -- an arbitrary query-language predicate
+  quantified ``always`` or ``sometime`` over the object's history.
+
+Enforcement: :meth:`ConstraintSet.enforce` subscribes to the database;
+after any operation that violates a constraint it raises
+:class:`ConstraintError`.  Operations are already applied when events
+fire, so transactional enforcement wraps the operation in a
+:class:`~repro.database.transactions.Transaction` -- see
+``examples/temporal_constraints.py``.
+"""
+
+from repro.constraints.constraints import (
+    AlwaysMeaningful,
+    AttributeOrder,
+    Constraint,
+    ConstraintSet,
+    HistoryPredicate,
+    Immutable,
+    MaxDuration,
+    NonDecreasing,
+    NonIncreasing,
+    ValueBounds,
+)
+
+__all__ = [
+    "Constraint",
+    "ConstraintSet",
+    "NonDecreasing",
+    "NonIncreasing",
+    "AlwaysMeaningful",
+    "AttributeOrder",
+    "ValueBounds",
+    "MaxDuration",
+    "Immutable",
+    "HistoryPredicate",
+]

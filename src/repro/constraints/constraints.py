@@ -1,0 +1,367 @@
+"""Constraint forms and the constraint set.
+
+Every constraint targets one class and checks one object at a time;
+objects are checked when they are (or ever were) members of the class,
+against the portion of history recorded while a member -- constraints,
+like consistency (Definition 5.5), are class-relative.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ConstraintError
+from repro.database.events import Event, EventKind
+from repro.objects.object import TemporalObject
+from repro.temporal.intervalsets import IntervalSet
+from repro.temporal.temporalvalue import TemporalValue
+from repro.values.null import is_null
+
+
+class Constraint:
+    """Abstract base: one named, class-scoped temporal constraint."""
+
+    def __init__(self, class_name: str, name: str | None = None) -> None:
+        self.class_name = class_name
+        self.name = name or type(self).__name__
+
+    def violations(self, db, obj: TemporalObject) -> list[str]:
+        """Human-readable violations of this constraint by *obj*."""
+        raise NotImplementedError
+
+    def _membership(self, db, obj: TemporalObject) -> IntervalSet:
+        return db.membership_times(self.class_name, obj.oid)
+
+    def _history(
+        self, db, obj: TemporalObject, attribute: str
+    ) -> TemporalValue | None:
+        """The attribute history restricted to the membership span."""
+        history = obj.temporal_value(attribute)
+        if history is None:
+            return None
+        return history.restrict(self._membership(db, obj), db.now)
+
+    def __repr__(self) -> str:
+        return f"{self.name}({self.class_name!r})"
+
+
+class _AttributeConstraint(Constraint):
+    def __init__(
+        self, class_name: str, attribute: str, name: str | None = None
+    ) -> None:
+        super().__init__(class_name, name)
+        self.attribute = attribute
+
+    def __repr__(self) -> str:
+        return f"{self.name}({self.class_name!r}.{self.attribute})"
+
+
+class NonDecreasing(_AttributeConstraint):
+    """Recorded values of the attribute never decrease over time."""
+
+    def violations(self, db, obj: TemporalObject) -> list[str]:
+        return _monotone_violations(
+            self._history(db, obj, self.attribute),
+            self.attribute,
+            lambda prev, curr: prev <= curr,
+            "decreased",
+        )
+
+
+class NonIncreasing(_AttributeConstraint):
+    """Recorded values of the attribute never increase over time."""
+
+    def violations(self, db, obj: TemporalObject) -> list[str]:
+        return _monotone_violations(
+            self._history(db, obj, self.attribute),
+            self.attribute,
+            lambda prev, curr: prev >= curr,
+            "increased",
+        )
+
+
+def _monotone_violations(
+    history: TemporalValue | None,
+    attribute: str,
+    ok: Callable[[Any, Any], bool],
+    verb: str,
+) -> list[str]:
+    if history is None:
+        return []
+    problems = []
+    previous = None
+    for interval, value in history.pairs():
+        if is_null(value):
+            continue
+        if previous is not None and not ok(previous, value):
+            problems.append(
+                f"{attribute} {verb} from {previous!r} to {value!r} at "
+                f"{interval.start}"
+            )
+        previous = value
+    return problems
+
+
+class AlwaysMeaningful(_AttributeConstraint):
+    """The attribute is meaningful (Definition 5.2) at every instant
+    of the object's membership in the class."""
+
+    def violations(self, db, obj: TemporalObject) -> list[str]:
+        membership = self._membership(db, obj)
+        if membership.is_empty:
+            return []
+        history = obj.temporal_value(self.attribute)
+        domain = (
+            history.domain(db.now) if history is not None
+            else IntervalSet.empty()
+        )
+        missing = membership - domain
+        if missing.is_empty:
+            return []
+        return [
+            f"{self.attribute} is not meaningful during {missing} of the "
+            f"membership in {self.class_name!r}"
+        ]
+
+
+class ValueBounds(_AttributeConstraint):
+    """Every recorded (non-null) value lies within ``[lo, hi]``."""
+
+    def __init__(
+        self,
+        class_name: str,
+        attribute: str,
+        lo: Any = None,
+        hi: Any = None,
+    ) -> None:
+        super().__init__(class_name, attribute)
+        self.lo = lo
+        self.hi = hi
+
+    def violations(self, db, obj: TemporalObject) -> list[str]:
+        history = self._history(db, obj, self.attribute)
+        problems = []
+        values: list[tuple[Any, Any]] = []
+        if history is not None:
+            values = [(i.start, v) for i, v in history.pairs()]
+        else:
+            current = obj.value.get(self.attribute)
+            if current is not None and not isinstance(
+                current, TemporalValue
+            ):
+                values = [(db.now, current)]
+        for at, value in values:
+            if is_null(value):
+                continue
+            if self.lo is not None and value < self.lo:
+                problems.append(
+                    f"{self.attribute} = {value!r} below {self.lo!r} at "
+                    f"{at}"
+                )
+            if self.hi is not None and value > self.hi:
+                problems.append(
+                    f"{self.attribute} = {value!r} above {self.hi!r} at "
+                    f"{at}"
+                )
+        return problems
+
+
+class MaxDuration(_AttributeConstraint):
+    """No value (optionally: one specific value) may be held for more
+    than *limit* consecutive instants."""
+
+    def __init__(
+        self,
+        class_name: str,
+        attribute: str,
+        limit: int,
+        value: Any = None,
+    ) -> None:
+        super().__init__(class_name, attribute)
+        self.limit = limit
+        self.value = value
+
+    def violations(self, db, obj: TemporalObject) -> list[str]:
+        history = self._history(db, obj, self.attribute)
+        if history is None:
+            return []
+        problems = []
+        for interval, value in history.resolved_pairs(db.now):
+            if self.value is not None and value != self.value:
+                continue
+            held = interval.duration()
+            if held > self.limit:
+                problems.append(
+                    f"{self.attribute} held {value!r} for {held} > "
+                    f"{self.limit} instants ({interval})"
+                )
+        return problems
+
+
+class Immutable(_AttributeConstraint):
+    """The attribute's history is a constant function (the immutable
+    attribute notion, as a checkable constraint)."""
+
+    def violations(self, db, obj: TemporalObject) -> list[str]:
+        history = self._history(db, obj, self.attribute)
+        if history is None or history.is_constant():
+            return []
+        return [
+            f"{self.attribute} changed value over time: "
+            f"{list(history.values())!r}"
+        ]
+
+
+class AttributeOrder(Constraint):
+    """Two temporal attributes stand in a pointwise order wherever both
+    are defined: ``fn(a(t), b(t))`` must hold (default: ``a <= b``).
+
+    Example: a task's ``spent`` budget never exceeds its ``allocated``
+    budget, at any instant -- a genuinely temporal constraint comparing
+    two histories, evaluated with the pairwise temporal join
+    (:meth:`TemporalValue.combine`), never per instant.
+    """
+
+    def __init__(
+        self,
+        class_name: str,
+        lower: str,
+        upper: str,
+        ok: Callable[[Any, Any], bool] | None = None,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(class_name, name)
+        self.lower = lower
+        self.upper = upper
+        self.ok = ok if ok is not None else (lambda a, b: a <= b)
+
+    def violations(self, db, obj: TemporalObject) -> list[str]:
+        a = self._history(db, obj, self.lower)
+        b = self._history(db, obj, self.upper)
+        if a is None or b is None:
+            return []
+
+        def check(x: Any, y: Any) -> bool:
+            if is_null(x) or is_null(y):
+                return True
+            return self.ok(x, y)
+
+        joined = a.combine(b, check, now=db.now)
+        bad = joined.when(lambda holds: holds is False, now=db.now)
+        if bad.is_empty:
+            return []
+        return [
+            f"order between {self.lower!r} and {self.upper!r} violated "
+            f"during {bad}"
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.name}({self.class_name!r}.{self.lower} vs "
+            f"{self.upper})"
+        )
+
+
+class HistoryPredicate(Constraint):
+    """A query-language predicate quantified over the history.
+
+    ``mode="always"``: the predicate holds at every instant of
+    membership; ``mode="sometime"``: at some instant.
+    """
+
+    def __init__(
+        self,
+        class_name: str,
+        predicate,
+        mode: str = "always",
+        name: str | None = None,
+    ) -> None:
+        super().__init__(class_name, name)
+        if mode not in ("always", "sometime"):
+            raise ConstraintError(
+                f"HistoryPredicate mode must be always/sometime, got "
+                f"{mode!r}"
+            )
+        self.predicate = predicate
+        self.mode = mode
+
+    def violations(self, db, obj: TemporalObject) -> list[str]:
+        from repro.query.evaluator import evaluate_when
+
+        membership = self._membership(db, obj)
+        if membership.is_empty:
+            return []
+        holds = evaluate_when(db, obj, self.predicate, db.now)
+        if self.mode == "always":
+            missing = membership - holds
+            if missing.is_empty:
+                return []
+            return [
+                f"predicate fails during {missing} of the membership in "
+                f"{self.class_name!r}"
+            ]
+        if (holds & membership).is_empty:
+            return [
+                f"predicate never holds during the membership in "
+                f"{self.class_name!r}"
+            ]
+        return []
+
+
+class ConstraintSet:
+    """A named collection of constraints with batch and continuous
+    checking."""
+
+    def __init__(self) -> None:
+        self._constraints: list[Constraint] = []
+        self._enforcing: list = []
+
+    def add(self, constraint: Constraint) -> "ConstraintSet":
+        self._constraints.append(constraint)
+        return self
+
+    def constraints(self) -> tuple[Constraint, ...]:
+        return tuple(self._constraints)
+
+    def check_object(self, db, obj: TemporalObject) -> list[str]:
+        """All violations by one object (over classes it ever joined)."""
+        problems = []
+        for constraint in self._constraints:
+            if db.membership_times(
+                constraint.class_name, obj.oid
+            ).is_empty:
+                continue
+            for problem in constraint.violations(db, obj):
+                problems.append(f"{constraint!r}: {obj.oid!r}: {problem}")
+        return problems
+
+    def check(self, db) -> list[str]:
+        """All violations across the whole database."""
+        problems = []
+        for obj in db.objects():
+            problems.extend(self.check_object(db, obj))
+        return problems
+
+    # -- continuous enforcement -------------------------------------------------
+
+    def enforce(self, db) -> None:
+        """Subscribe to *db*: any operation leaving a violated
+        constraint raises :class:`ConstraintError` (after the fact --
+        wrap operations in a Transaction for atomic rejection)."""
+
+        def observer(database, event: Event) -> None:
+            if event.kind is EventKind.DELETE:
+                return
+            obj = database.get_object(event.oid)
+            problems = self.check_object(database, obj)
+            if problems:
+                raise ConstraintError("; ".join(problems))
+
+        self._enforcing.append((db, observer))
+        db.subscribe(observer)
+
+    def unenforce(self, db) -> None:
+        for pair in list(self._enforcing):
+            if pair[0] is db:
+                db.unsubscribe(pair[1])
+                self._enforcing.remove(pair)

@@ -1,0 +1,43 @@
+"""The T_Chimera engine: an executable semantics for the model.
+
+* :mod:`repro.database.database` -- :class:`TemporalDatabase`: schema
+  definition (classes, metaclasses, ISA), object creation, attribute
+  updates, object migration and deletion, all stamped by the database
+  clock and maintaining the model's invariants;
+* :mod:`repro.database.integrity` -- checkers for Invariants 5.1, 5.2,
+  6.1 and 6.2, Definition 5.6 (OID-uniqueness, referential integrity)
+  and full-database consistency reports;
+* :mod:`repro.database.transactions` -- atomic multi-operation batches
+  with rollback;
+* :mod:`repro.database.persistence` -- JSON serialization of a whole
+  database.
+"""
+
+from repro.database.database import TemporalDatabase
+from repro.database.integrity import (
+    IntegrityReport,
+    check_database,
+    check_extent_inclusion,
+    check_hierarchy_disjointness,
+    check_invariant_5_1,
+    check_invariant_5_2,
+    check_oid_uniqueness,
+    check_referential_integrity,
+)
+from repro.database.transactions import Transaction
+from repro.database.persistence import database_from_json, database_to_json
+
+__all__ = [
+    "TemporalDatabase",
+    "IntegrityReport",
+    "check_database",
+    "check_invariant_5_1",
+    "check_invariant_5_2",
+    "check_extent_inclusion",
+    "check_hierarchy_disjointness",
+    "check_oid_uniqueness",
+    "check_referential_integrity",
+    "Transaction",
+    "database_to_json",
+    "database_from_json",
+]

@@ -1,0 +1,58 @@
+"""Database events.
+
+The engine emits one :class:`Event` per completed update operation;
+observers (the trigger machinery of :mod:`repro.triggers`, the
+constraint checker of :mod:`repro.constraints`, application code)
+subscribe with ``db.subscribe(callback)``.  Events are emitted *after*
+the operation has been applied, carrying enough context to inspect both
+the new state (via the database) and what changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+from repro.values.oid import OID
+
+
+class EventKind(str, Enum):
+    CREATE = "create"
+    UPDATE = "update"
+    MIGRATE = "migrate"
+    DELETE = "delete"
+    CORRECT = "correct"  # retroactive correction of a temporal attribute
+
+
+@dataclass(frozen=True)
+class Event:
+    """One completed database operation."""
+
+    kind: EventKind
+    at: int
+    oid: OID
+    class_name: str
+    #: UPDATE only: the attribute that changed.
+    attribute: str | None = None
+    #: UPDATE only: the attribute value before the operation.
+    old_value: Any = None
+    #: UPDATE only: the attribute value after the operation.
+    new_value: Any = None
+    #: MIGRATE only: the previous most specific class.
+    from_class: str | None = None
+    #: CORRECT only: the corrected valid-time window.
+    window: tuple[int, int] | None = None
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.kind is EventKind.UPDATE:
+            extra = f", {self.attribute}: {self.old_value!r} -> {self.new_value!r}"
+        if self.kind is EventKind.MIGRATE:
+            extra = f", from {self.from_class!r}"
+        if self.kind is EventKind.CORRECT:
+            extra = f", {self.attribute} over {self.window}"
+        return (
+            f"Event({self.kind.value} {self.oid!r}:{self.class_name}"
+            f"@{self.at}{extra})"
+        )

@@ -1,0 +1,174 @@
+"""Temporal indexes: stabbing queries over many intervals.
+
+The engine's built-in structures answer "which instants for this one
+oid/attribute" queries directly (per-oid interval lists, bisect over
+temporal-value pairs).  The complementary access path -- "which of
+these many intervals contain instant t" (a *stabbing* query), used by
+extent-at-t over long-lived populations and by the query evaluator's
+AT scope -- is served by :class:`IntervalStabbingIndex`.
+
+Implementation: a static interval tree in the classic centered form
+(Edelsbrunner): each node stores the intervals containing its center
+instant, sorted by start and by end, so a stabbing query descends one
+root-to-leaf path collecting prefix hits -- O(log n + k).  The index is
+rebuilt on demand (temporal data is append-mostly; the engine marks it
+stale on mutation).  Bench E6 ablates it against the linear scan.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterable, Iterator, TypeVar
+
+from repro.errors import InvalidIntervalError
+from repro.temporal.instants import Now
+from repro.temporal.intervals import Interval
+
+T = TypeVar("T")
+
+
+class _Node(Generic[T]):
+    __slots__ = ("center", "by_start", "by_end", "left", "right")
+
+    def __init__(self, center: int) -> None:
+        self.center = center
+        self.by_start: list[tuple[int, int, T]] = []  # (start, end, tag)
+        self.by_end: list[tuple[int, int, T]] = []
+        self.left: "_Node[T] | None" = None
+        self.right: "_Node[T] | None" = None
+
+
+class IntervalStabbingIndex(Generic[T]):
+    """A static centered interval tree over tagged concrete intervals.
+
+    Build with ``(interval, tag)`` pairs; query with :meth:`stab` (all
+    tags whose interval contains t) and :meth:`overlapping` (all tags
+    whose interval intersects a probe interval).  Intervals must be
+    concrete (resolve moving endpoints first).
+    """
+
+    def __init__(
+        self, entries: Iterable[tuple[Interval, T]] = ()
+    ) -> None:
+        items: list[tuple[int, int, T]] = []
+        for interval, tag in entries:
+            if interval.is_empty:
+                continue
+            end = interval.end
+            if isinstance(end, Now):
+                raise InvalidIntervalError(
+                    "index intervals must be concrete; resolve moving "
+                    "endpoints against the clock first"
+                )
+            items.append((interval.start, end, tag))
+        self._size = len(items)
+        self._root = self._build(items)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @staticmethod
+    def _build(items: list[tuple[int, int, T]]) -> "_Node[T] | None":
+        if not items:
+            return None
+        endpoints = sorted(
+            {start for start, _e, _t in items}
+            | {end for _s, end, _t in items}
+        )
+        center = endpoints[len(endpoints) // 2]
+        node: _Node[T] = _Node(center)
+        lefts: list[tuple[int, int, T]] = []
+        rights: list[tuple[int, int, T]] = []
+        for item in items:
+            start, end, _tag = item
+            if end < center:
+                lefts.append(item)
+            elif start > center:
+                rights.append(item)
+            else:
+                node.by_start.append(item)
+        node.by_start.sort(key=lambda item: item[0])
+        node.by_end = sorted(node.by_start, key=lambda item: -item[1])
+        node.left = IntervalStabbingIndex._build(lefts)
+        node.right = IntervalStabbingIndex._build(rights)
+        return node
+
+    def stab(self, t: int) -> list[T]:
+        """All tags whose interval contains instant *t*."""
+        hits: list[T] = []
+        node = self._root
+        while node is not None:
+            if t < node.center:
+                for start, _end, tag in node.by_start:
+                    if start > t:
+                        break
+                    hits.append(tag)
+                node = node.left
+            elif t > node.center:
+                for _start, end, tag in node.by_end:
+                    if end < t:
+                        break
+                    hits.append(tag)
+                node = node.right
+            else:
+                hits.extend(tag for _s, _e, tag in node.by_start)
+                break
+        return hits
+
+    def overlapping(self, probe: Interval) -> list[T]:
+        """All tags whose interval shares an instant with *probe*."""
+        if probe.is_empty:
+            return []
+        end = probe.end
+        if isinstance(end, Now):
+            raise InvalidIntervalError("probe must be concrete")
+        hits: list[T] = []
+        self._collect_overlaps(self._root, probe.start, end, hits)
+        return hits
+
+    @staticmethod
+    def _collect_overlaps(
+        node: "_Node[T] | None", lo: int, hi: int, hits: list[T]
+    ) -> None:
+        if node is None:
+            return
+        for start, end, tag in node.by_start:
+            if start > hi:
+                break
+            if end >= lo:
+                hits.append(tag)
+        if lo < node.center:
+            IntervalStabbingIndex._collect_overlaps(
+                node.left, lo, hi, hits
+            )
+        if hi > node.center:
+            IntervalStabbingIndex._collect_overlaps(
+                node.right, lo, hi, hits
+            )
+
+    def instants_covered(self) -> int:
+        """Total coverage (with multiplicity) -- a size diagnostic."""
+        total = 0
+        for start, end, _tag in self._items():
+            total += end - start + 1
+        return total
+
+    def _items(self) -> Iterator[tuple[int, int, T]]:
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            yield from node.by_start
+            stack.append(node.left)
+            stack.append(node.right)
+
+
+def extent_index(db, class_name: str) -> IntervalStabbingIndex:
+    """Build a stabbing index over one class's membership intervals:
+    ``index.stab(t)`` returns the oids of ``pi(class_name, t)``."""
+    cls = db.get_class(class_name)
+    entries = []
+    for oid in cls.history.ever_members():
+        for interval in cls.history.member_times(oid, db.now).intervals:
+            entries.append((interval, oid))
+    return IntervalStabbingIndex(entries)

@@ -1,0 +1,350 @@
+"""Database-wide integrity: the model's invariants, executably.
+
+* **Invariant 5.1** -- class extents agree with object lifespans and
+  class histories:
+
+  1. ``i in C.history.ext(t)`` implies ``t in o_lifespan(i)``;
+  2. ``i in C.history.proper-ext(t)`` throughout tau  iff
+     ``<tau, c> in o.class-history``.
+
+* **Invariant 5.2** -- lifespans partition by class membership:
+
+  1. ``o_lifespan(i) = U_c c_lifespan(i, c)``;
+  2. ``t in c_lifespan(i, c)``  iff  ``i in C.history.ext(t)``.
+
+* **Invariant 6.1** -- extent inclusion along ISA: sublifespans inside
+  superlifespans, ``ext`` inclusion at every instant, ``c_lifespan``
+  inclusion per object.
+
+* **Invariant 6.2** -- hierarchy disjointness: the sets of oids that
+  have *ever* belonged to different hierarchies are disjoint.
+
+* **Definition 5.6** -- a consistent set of objects: OID-UNIQUENESS and
+  referential integrity at an instant.
+
+Every checker returns a list of human-readable violation strings
+(empty = invariant holds); :func:`check_database` aggregates them into
+an :class:`IntegrityReport`.  The engine maintains these invariants by
+construction; the checkers exist to *demonstrate* that (they run after
+every randomized workload in the test suite) and to validate external
+data loaded through persistence.
+
+Instant sampling: the invariants quantify over all of TIME, but every
+quantity involved (extents, lifespans, class histories) is piecewise
+constant, changing only at recorded boundaries; the checkers collect
+those boundaries and check one representative per segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.objects.consistency import consistency_violations
+from repro.objects.object import TemporalObject
+from repro.objects.references import referenced_oids
+from repro.temporal.intervalsets import IntervalSet
+from repro.values.oid import OID
+
+
+@dataclass
+class IntegrityReport:
+    """The outcome of a full-database integrity check."""
+
+    invariant_5_1: list[str] = field(default_factory=list)
+    invariant_5_2: list[str] = field(default_factory=list)
+    extent_inclusion: list[str] = field(default_factory=list)
+    hierarchy_disjointness: list[str] = field(default_factory=list)
+    oid_uniqueness: list[str] = field(default_factory=list)
+    referential_integrity: list[str] = field(default_factory=list)
+    object_consistency: list[str] = field(default_factory=list)
+    extent_index_agreement: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.all_violations()
+
+    def all_violations(self) -> list[str]:
+        return [
+            *self.invariant_5_1,
+            *self.invariant_5_2,
+            *self.extent_inclusion,
+            *self.hierarchy_disjointness,
+            *self.oid_uniqueness,
+            *self.referential_integrity,
+            *self.object_consistency,
+            *self.extent_index_agreement,
+        ]
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _lifespan_set(db, obj: TemporalObject) -> IntervalSet:
+    return IntervalSet([obj.lifespan], now=db.now)
+
+
+def o_lifespan_of(db, oid: OID) -> IntervalSet:
+    """``o_lifespan(i)`` as an interval set (see model_functions)."""
+    return _lifespan_set(db, db.get_object(oid))
+
+
+def c_lifespan_of(db, oid: OID, class_name: str) -> IntervalSet:
+    """``c_lifespan(i, c)``: instants at which i is a member of c.
+
+    Computed from the object's class history and the ISA order
+    (footnote 6: the union of the tau_i whose c_i is a subclass of c).
+    """
+    obj = db.get_object(oid)
+    result = IntervalSet.empty()
+    for interval, most_specific in obj.class_history.pairs():
+        if db.isa.isa_le(most_specific, class_name):
+            result = result | IntervalSet([interval], now=db.now)
+    return result
+
+
+def _sample_instants(db) -> list[int]:
+    """One representative instant per segment of piecewise-constant
+    database history (all boundary instants of every extent, lifespan
+    and class history, capped at now)."""
+    now = db.now
+    points: set[int] = {0, now}
+    for cls in db.classes():
+        points.add(cls.lifespan.start)
+        for interval, _v in cls.history.ext.resolved_pairs(now):
+            points.add(interval.start)
+            if isinstance(interval.end, int):
+                points.update((interval.end, min(interval.end + 1, now)))
+    for obj in db.objects():
+        points.add(obj.lifespan.start)
+        for interval, _v in obj.class_history.resolved_pairs(now):
+            points.add(interval.start)
+            if isinstance(interval.end, int):
+                points.update((interval.end, min(interval.end + 1, now)))
+    return sorted(p for p in points if 0 <= p <= now)
+
+
+def check_invariant_5_1(db) -> list[str]:
+    """Invariant 5.1: extents vs. lifespans and class histories."""
+    problems: list[str] = []
+    now = db.now
+    for cls in db.classes():
+        for oid in cls.history.ever_members():
+            member_times = cls.history.member_times(oid, now)
+            obj = db.get_object(oid)
+            life = _lifespan_set(db, obj)
+            if not member_times.issubset(life):
+                problems.append(
+                    f"5.1.1: {oid!r} in ext of {cls.name!r} at "
+                    f"{member_times - life}, outside its lifespan"
+                )
+        # 5.1.2 (<=): instance intervals appear in the class history.
+        for oid in cls.history.ever_members():
+            instance_times = cls.history.instance_times(oid, now)
+            if instance_times.is_empty:
+                continue
+            obj = db.get_object(oid)
+            from_history = IntervalSet(
+                (
+                    interval
+                    for interval, c in obj.class_history.pairs()
+                    if c == cls.name
+                ),
+                now=now,
+            )
+            if instance_times != from_history:
+                problems.append(
+                    f"5.1.2: proper-ext of {cls.name!r} records {oid!r} "
+                    f"during {instance_times}, but its class history "
+                    f"says {from_history}"
+                )
+    # 5.1.2 (=>): class-history pairs appear in proper-ext.
+    for obj in db.objects():
+        for interval, class_name in obj.class_history.pairs():
+            if not db.known_class(class_name):
+                problems.append(
+                    f"5.1.2: {obj.oid!r} class history names unknown "
+                    f"class {class_name!r}"
+                )
+                continue
+            cls = db.get_class(class_name)
+            span = IntervalSet([interval], now=now)
+            if not span.issubset(
+                cls.history.instance_times(obj.oid, now)
+            ):
+                problems.append(
+                    f"5.1.2: <{interval}, {class_name}> in the class "
+                    f"history of {obj.oid!r} is not reflected in "
+                    f"proper-ext"
+                )
+    return problems
+
+
+def check_invariant_5_2(db) -> list[str]:
+    """Invariant 5.2: lifespans vs. per-class membership lifespans."""
+    problems: list[str] = []
+    now = db.now
+    for obj in db.objects():
+        life = _lifespan_set(db, obj)
+        union = IntervalSet.empty()
+        for class_name in db.class_names():
+            membership = c_lifespan_of(db, obj.oid, class_name)
+            union = union | membership
+            # 5.2.2: c_lifespan agrees with the class's ext.
+            from_ext = db.membership_times(class_name, obj.oid)
+            if membership != from_ext:
+                problems.append(
+                    f"5.2.2: c_lifespan({obj.oid!r}, {class_name!r}) = "
+                    f"{membership} but ext records {from_ext}"
+                )
+        if union != life:
+            problems.append(
+                f"5.2.1: o_lifespan({obj.oid!r}) = {life} but the union "
+                f"of its class memberships is {union}"
+            )
+    return problems
+
+
+def check_extent_inclusion(db) -> list[str]:
+    """Invariant 6.1: subclass extents inside superclass extents."""
+    problems: list[str] = []
+    now = db.now
+    for sub_name in db.class_names():
+        sub = db.get_class(sub_name)
+        for super_name in db.isa.superclasses(sub_name, strict=True):
+            sup = db.get_class(super_name)
+            if not sub.lifespan.issubset(sup.lifespan, now):
+                problems.append(
+                    f"6.1.1: lifespan of {sub_name!r} "
+                    f"{sub.lifespan.resolve(now)} exceeds that of "
+                    f"{super_name!r} {sup.lifespan.resolve(now)}"
+                )
+            for oid in sub.history.ever_members():
+                sub_times = sub.history.member_times(oid, now)
+                sup_times = sup.history.member_times(oid, now)
+                if not sub_times.issubset(sup_times):
+                    problems.append(
+                        f"6.1.2/3: {oid!r} member of {sub_name!r} during "
+                        f"{sub_times - sup_times} without being a member "
+                        f"of superclass {super_name!r}"
+                    )
+    return problems
+
+
+def check_hierarchy_disjointness(db) -> list[str]:
+    """Invariant 6.2: ever-extents of different hierarchies disjoint."""
+    problems: list[str] = []
+    populations: dict[str, set[OID]] = {}
+    for class_name in db.class_names():
+        hierarchy = db.isa.hierarchy_of(class_name)
+        populations.setdefault(hierarchy, set()).update(
+            db.get_class(class_name).history.ever_members()
+        )
+    seen: dict[OID, str] = {}
+    for hierarchy, oids in sorted(populations.items()):
+        for oid in oids:
+            if oid in seen and seen[oid] != hierarchy:
+                problems.append(
+                    f"6.2: {oid!r} has belonged to hierarchies "
+                    f"{seen[oid]!r} and {hierarchy!r}"
+                )
+            seen.setdefault(oid, hierarchy)
+    # The oid brand must agree with the recorded hierarchy.
+    for oid, hierarchy in seen.items():
+        if oid.hierarchy and oid.hierarchy != hierarchy:
+            problems.append(
+                f"6.2: {oid!r} is branded {oid.hierarchy!r} but belongs "
+                f"to hierarchy {hierarchy!r}"
+            )
+    return problems
+
+
+def check_oid_uniqueness(objects: Iterable[TemporalObject]) -> list[str]:
+    """Definition 5.6 condition 1 over an explicit set of objects.
+
+    (A database keyed by oid satisfies it by construction; this checker
+    serves external object sets, e.g. loaded from persistence.)
+    """
+    problems: list[str] = []
+    seen: dict[OID, TemporalObject] = {}
+    for obj in objects:
+        other = seen.get(obj.oid)
+        if other is None:
+            seen[obj.oid] = obj
+            continue
+        if (
+            other.lifespan != obj.lifespan
+            or other.value != obj.value
+            or other.class_history != obj.class_history
+        ):
+            problems.append(
+                f"5.6.1 OID-UNIQUENESS: two distinct objects share oid "
+                f"{obj.oid!r}"
+            )
+    return problems
+
+
+def check_referential_integrity(db, t: int | None = None) -> list[str]:
+    """Definition 5.6 condition 2 at instant *t* (default: now),
+    strengthened per Section 5.2: if o refers to o' at t, then t lies
+    in the lifespan of both."""
+    problems: list[str] = []
+    now = db.now
+    at = now if t is None else t
+    known = {obj.oid for obj in db.objects()}
+    for obj in db.objects():
+        if not obj.alive_at(at, now):
+            continue
+        for ref in referenced_oids(obj, at, now):
+            if ref not in known:
+                problems.append(
+                    f"5.6.2: {obj.oid!r} refers to unknown oid {ref!r} "
+                    f"at time {at}"
+                )
+            elif not db.get_object(ref).alive_at(at, now):
+                problems.append(
+                    f"5.6.2: {obj.oid!r} refers to {ref!r} at time "
+                    f"{at}, outside the lifespan of {ref!r}"
+                )
+    return problems
+
+
+def check_extent_index_agreement(db) -> list[str]:
+    """The redundant extent representations agree: the set-valued
+    ``ext`` history and the per-oid interval index (see ClassHistory)."""
+    problems: list[str] = []
+    for cls in db.classes():
+        for t in _sample_instants(db):
+            via_sets = cls.history.members_at(t)
+            via_index = cls.history.members_at_via_scan(t)
+            if via_sets != via_index:
+                problems.append(
+                    f"ext history and index disagree for {cls.name!r} "
+                    f"at {t}: {via_sets ^ via_index}"
+                )
+    return problems
+
+
+def check_object_consistency(db) -> list[str]:
+    """Definition 5.5 for every object of the database."""
+    problems: list[str] = []
+    for obj in db.objects():
+        for problem in consistency_violations(obj, db, db, db.now):
+            problems.append(f"{obj.oid!r}: {problem}")
+    return problems
+
+
+def check_database(db, include_index_check: bool = True) -> IntegrityReport:
+    """Run every checker and aggregate the violations."""
+    report = IntegrityReport(
+        invariant_5_1=check_invariant_5_1(db),
+        invariant_5_2=check_invariant_5_2(db),
+        extent_inclusion=check_extent_inclusion(db),
+        hierarchy_disjointness=check_hierarchy_disjointness(db),
+        oid_uniqueness=check_oid_uniqueness(db.objects()),
+        referential_integrity=check_referential_integrity(db),
+        object_consistency=check_object_consistency(db),
+    )
+    if include_index_check:
+        report.extent_index_agreement = check_extent_index_agreement(db)
+    return report

@@ -1,0 +1,334 @@
+"""JSON persistence for whole databases.
+
+Serializes the clock, the ISA DAG, every class (signature, c-attribute
+values, ``ext``/``proper-ext`` histories) and every object (lifespan,
+value, retained histories, class history) into a single JSON document,
+and rebuilds an equivalent :class:`TemporalDatabase` from it.
+
+The encoding is self-describing: every non-JSON-native value is a
+``{"$kind": ...}`` object (oid, null, set, record, temporal value,
+interval endpoint "now").  Round-tripping preserves the engine state
+exactly; ``tests/test_persistence.py`` checks
+``check_database(load(dump(db)))`` stays clean and all queries agree.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import PersistenceError
+from repro.objects.object import TemporalObject
+from repro.schema.attribute import Attribute
+from repro.schema.class_def import ClassSignature
+from repro.schema.history import _MembershipTrack
+from repro.schema.metaclass import Metaclass
+from repro.schema.method import MethodSignature
+from repro.temporal.instants import NOW, Now
+from repro.temporal.intervals import Interval
+from repro.temporal.temporalvalue import TemporalValue
+from repro.types.parser import format_type, parse_type
+from repro.values.null import NULL, Null
+from repro.values.oid import OID
+from repro.values.records import RecordValue
+
+_FORMAT = "t-chimera/1"
+
+
+# -- value encoding ------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """Encode one model value as JSON-serializable data."""
+    if isinstance(value, Null):
+        return {"$kind": "null"}
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, OID):
+        return {
+            "$kind": "oid",
+            "serial": value.serial,
+            "hierarchy": value.hierarchy,
+        }
+    if isinstance(value, (set, frozenset)):
+        return {"$kind": "set", "items": [encode_value(v) for v in value]}
+    if isinstance(value, (list, tuple)):
+        return {"$kind": "list", "items": [encode_value(v) for v in value]}
+    if isinstance(value, RecordValue):
+        return {
+            "$kind": "record",
+            "fields": {k: encode_value(v) for k, v in value.items()},
+        }
+    if isinstance(value, TemporalValue):
+        return {
+            "$kind": "temporal",
+            "pairs": [
+                {
+                    "start": interval.start,
+                    "end": "now" if isinstance(interval.end, Now)
+                    else interval.end,
+                    "value": encode_value(carried),
+                }
+                for interval, carried in value.pairs()
+            ],
+        }
+    raise PersistenceError(f"cannot encode value {value!r}")
+
+
+def decode_value(data: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(data, (bool, int, float, str)) or data is None:
+        return data
+    if not isinstance(data, dict) or "$kind" not in data:
+        raise PersistenceError(f"malformed encoded value {data!r}")
+    kind = data["$kind"]
+    if kind == "null":
+        return NULL
+    if kind == "oid":
+        return OID(data["serial"], data.get("hierarchy", ""))
+    if kind == "set":
+        return frozenset(decode_value(v) for v in data["items"])
+    if kind == "list":
+        return tuple(decode_value(v) for v in data["items"])
+    if kind == "record":
+        return RecordValue(
+            {k: decode_value(v) for k, v in data["fields"].items()}
+        )
+    if kind == "temporal":
+        result = TemporalValue()
+        for pair in data["pairs"]:
+            end = NOW if pair["end"] == "now" else pair["end"]
+            result.put(Interval(pair["start"], end), decode_value(pair["value"]))
+        return result
+    raise PersistenceError(f"unknown value kind {kind!r}")
+
+
+def _encode_interval(interval: Interval) -> Any:
+    if interval.is_empty:
+        return None
+    return {
+        "start": interval.start,
+        "end": "now" if isinstance(interval.end, Now) else interval.end,
+    }
+
+
+def _decode_interval(data: Any) -> Interval:
+    if data is None:
+        return Interval.empty()
+    end = NOW if data["end"] == "now" else data["end"]
+    return Interval(data["start"], end)
+
+
+def _encode_track(track: _MembershipTrack) -> Any:
+    return {
+        "sets": encode_value(track.sets),
+        "spans": [
+            {
+                "oid": encode_value(oid),
+                "intervals": [_encode_interval(i) for i in spans],
+            }
+            for oid, spans in track._spans.items()
+        ],
+    }
+
+
+def _decode_track(data: Any) -> _MembershipTrack:
+    track = _MembershipTrack()
+    track.sets = decode_value(data["sets"])
+    for entry in data["spans"]:
+        oid = decode_value(entry["oid"])
+        track._spans[oid] = [
+            _decode_interval(i) for i in entry["intervals"]
+        ]
+    return track
+
+
+# -- database encoding --------------------------------------------------------------
+
+
+def database_to_json(db) -> str:
+    """Serialize *db* to a JSON string."""
+    doc = {
+        "format": _FORMAT,
+        "now": db.now,
+        "next_oid": max(
+            (o.oid.serial for o in db.objects()), default=0
+        )
+        + 1,
+        "classes": [
+            {
+                "name": cls.name,
+                "parents": sorted(db.isa.parents(cls.name)),
+                "lifespan": _encode_interval(cls.lifespan),
+                "attributes": [
+                    {
+                        "name": a.name,
+                        "type": format_type(a.type),
+                        "immutable": a.immutable,
+                        "declared_at": a.declared_at,
+                    }
+                    for a in cls.attributes.values()
+                ],
+                "retired_attributes": [
+                    {
+                        "name": a.name,
+                        "type": format_type(a.type),
+                        "immutable": a.immutable,
+                        "declared_at": a.declared_at,
+                        "retired_at": retired_at,
+                    }
+                    for retirements in cls.retired_attributes.values()
+                    for a, retired_at in retirements
+                ],
+                "methods": [
+                    {
+                        "name": m.name,
+                        "inputs": [format_type(t) for t in m.inputs],
+                        "output": format_type(m.output),
+                    }
+                    for m in cls.methods.values()
+                ],
+                "c_attributes": [
+                    {
+                        "name": a.name,
+                        "type": format_type(a.type),
+                        "immutable": a.immutable,
+                    }
+                    for a in cls.c_attributes.values()
+                ],
+                "c_attr_values": {
+                    name: encode_value(value)
+                    for name, value in cls.history.c_attr_values.items()
+                },
+                "ext": _encode_track(cls.history._ext),
+                "proper_ext": _encode_track(cls.history._proper_ext),
+            }
+            for cls in db.classes()
+        ],
+        "objects": [
+            {
+                "oid": encode_value(obj.oid),
+                "lifespan": _encode_interval(obj.lifespan),
+                "value": {
+                    name: encode_value(v) for name, v in obj.value.items()
+                },
+                "retained": {
+                    name: encode_value(v)
+                    for name, v in obj.retained.items()
+                },
+                "class_history": encode_value(obj.class_history),
+            }
+            for obj in db.objects()
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def database_from_json(text: str):
+    """Rebuild a database from :func:`database_to_json` output."""
+    from repro.database.database import TemporalDatabase
+    from repro.values.oid import OidGenerator
+
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"invalid JSON: {exc}") from exc
+    if doc.get("format") != _FORMAT:
+        raise PersistenceError(
+            f"unsupported format {doc.get('format')!r}; expected "
+            f"{_FORMAT!r}"
+        )
+    db = TemporalDatabase(start_time=doc["now"])
+    db._oids = OidGenerator(doc.get("next_oid", 1))
+
+    # Classes must be added superclasses-first.
+    pending = {entry["name"]: entry for entry in doc["classes"]}
+    ordered: list[dict] = []
+    resolved: set[str] = set()
+    while pending:
+        progressed = False
+        for name in list(pending):
+            entry = pending[name]
+            if all(p in resolved for p in entry["parents"]):
+                ordered.append(entry)
+                resolved.add(name)
+                del pending[name]
+                progressed = True
+        if not progressed:
+            raise PersistenceError(
+                f"cyclic or dangling parents among {sorted(pending)}"
+            )
+
+    for entry in ordered:
+        db.isa.add_class(entry["name"], entry["parents"])
+        cls = ClassSignature(
+            entry["name"],
+            attributes=[
+                Attribute(
+                    a["name"],
+                    parse_type(a["type"]),
+                    a.get("immutable", False),
+                    a.get("declared_at", 0),
+                )
+                for a in entry["attributes"]
+            ],
+            methods=[
+                MethodSignature(
+                    m["name"],
+                    tuple(parse_type(t) for t in m["inputs"]),
+                    parse_type(m["output"]),
+                )
+                for m in entry["methods"]
+            ],
+            c_attributes=[
+                Attribute(
+                    a["name"], parse_type(a["type"]), a.get("immutable", False)
+                )
+                for a in entry["c_attributes"]
+            ],
+            created_at=0,
+        )
+        cls.lifespan = _decode_interval(entry["lifespan"])
+        for retired in entry.get("retired_attributes", ()):
+            cls.retired_attributes.setdefault(
+                retired["name"], []
+            ).append(
+                (
+                    Attribute(
+                        retired["name"],
+                        parse_type(retired["type"]),
+                        retired.get("immutable", False),
+                        retired.get("declared_at", 0),
+                    ),
+                    retired["retired_at"],
+                )
+            )
+        cls.history.c_attr_values = {
+            name: decode_value(value)
+            for name, value in entry["c_attr_values"].items()
+        }
+        cls.history._ext = _decode_track(entry["ext"])
+        cls.history._proper_ext = _decode_track(entry["proper_ext"])
+        db._classes[entry["name"]] = cls
+        metaclass = Metaclass(cls)
+        db._metaclasses[metaclass.name] = metaclass
+
+    for entry in doc["objects"]:
+        oid = decode_value(entry["oid"])
+        lifespan = _decode_interval(entry["lifespan"])
+        class_history = decode_value(entry["class_history"])
+        obj = TemporalObject.__new__(TemporalObject)
+        obj.oid = oid
+        obj.lifespan = lifespan
+        obj.value = {
+            name: decode_value(v) for name, v in entry["value"].items()
+        }
+        obj.retained = {
+            name: decode_value(v) for name, v in entry["retained"].items()
+        }
+        obj.class_history = class_history
+        db._objects[oid] = obj
+
+    return db

@@ -1,0 +1,193 @@
+"""Exception hierarchy for the T_Chimera reproduction.
+
+Every error raised by the library derives from :class:`TChimeraError`, so
+applications can catch the whole family with a single ``except`` clause.
+The sub-hierarchy mirrors the layers of the model: time-domain errors,
+type errors, schema errors, object errors, and database/integrity errors.
+"""
+
+from __future__ import annotations
+
+
+class TChimeraError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+# ---------------------------------------------------------------------------
+# Time domain
+# ---------------------------------------------------------------------------
+
+class TimeError(TChimeraError):
+    """Base class for errors in the temporal substrate."""
+
+
+class InvalidInstantError(TimeError):
+    """An instant is not a natural number (TIME is isomorphic to N)."""
+
+
+class InvalidIntervalError(TimeError):
+    """An interval's endpoints are malformed (e.g. start after end)."""
+
+
+class UnresolvedNowError(TimeError):
+    """An operation needed a concrete value for ``now`` but none was given."""
+
+
+class UndefinedAtError(TimeError):
+    """A partial function from TIME was applied outside its domain."""
+
+
+class OverlappingHistoryError(TimeError):
+    """Two pairs of a temporal value would overlap in time."""
+
+
+class ClockError(TimeError):
+    """The database clock was misused (e.g. moved backwards)."""
+
+
+# ---------------------------------------------------------------------------
+# Types and values
+# ---------------------------------------------------------------------------
+
+class TypeSystemError(TChimeraError):
+    """Base class for errors in the type system."""
+
+
+class TypeSyntaxError(TypeSystemError):
+    """A type expression could not be parsed or constructed (Defs. 3.2-3.4)."""
+
+
+class NotAChimeraTypeError(TypeSyntaxError):
+    """``temporal(T)`` was applied to a type outside CT (Def. 3.3)."""
+
+
+class TypeCheckError(TypeSystemError):
+    """A value is not a legal value of the required type (Def. 3.5/3.6)."""
+
+
+class NoLubError(TypeSystemError):
+    """A set of types has no least upper bound in the type poset."""
+
+
+class UnknownClassError(TypeSystemError):
+    """A class identifier was used that is not defined in the schema."""
+
+
+class ValueError_(TChimeraError):
+    """Base class for malformed values (named to avoid shadowing builtins)."""
+
+
+# ---------------------------------------------------------------------------
+# Schema (classes, metaclasses, methods)
+# ---------------------------------------------------------------------------
+
+class SchemaError(TChimeraError):
+    """Base class for schema-level errors."""
+
+
+class DuplicateClassError(SchemaError):
+    """A class identifier was defined twice."""
+
+
+class DuplicateAttributeError(SchemaError):
+    """A record type or class declares the same attribute name twice."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute name is not part of a class or record."""
+
+
+class UnknownMethodError(SchemaError):
+    """A method name is not part of a class signature."""
+
+
+class RefinementError(SchemaError):
+    """A subclass violates Rule 6.1 (attribute domain refinement) or the
+    covariance/contravariance conditions on method redefinition."""
+
+
+class IsaCycleError(SchemaError):
+    """The declared ISA relationships contain a cycle (must be a DAG)."""
+
+
+# ---------------------------------------------------------------------------
+# Objects
+# ---------------------------------------------------------------------------
+
+class ObjectError(TChimeraError):
+    """Base class for object-level errors."""
+
+
+class UnknownObjectError(ObjectError):
+    """An oid does not denote any object in the database."""
+
+
+class DuplicateOidError(ObjectError):
+    """Two distinct objects share an oid (violates OID-UNIQUENESS)."""
+
+
+class LifespanError(ObjectError):
+    """An operation fell outside an object's or class's lifespan."""
+
+
+class MigrationError(ObjectError):
+    """An illegal object migration (e.g. across disjoint hierarchies,
+    violating Invariant 6.2)."""
+
+
+class SnapshotUndefinedError(ObjectError):
+    """``snapshot(i, t)`` is undefined: the object has static attributes
+    and t is not the current time (paper Section 5.3)."""
+
+
+# ---------------------------------------------------------------------------
+# Database / integrity
+# ---------------------------------------------------------------------------
+
+class DatabaseError(TChimeraError):
+    """Base class for engine-level errors."""
+
+
+class IntegrityError(DatabaseError):
+    """An invariant of the model was violated (Invariants 5.1, 5.2, 6.1,
+    6.2, Definitions 5.5 and 5.6)."""
+
+
+class ReferentialIntegrityError(IntegrityError):
+    """An object refers to an oid outside the database (Def. 5.6, cond. 2)."""
+
+
+class ConsistencyError(IntegrityError):
+    """An object is not a consistent instance of its class (Def. 5.5)."""
+
+
+class TransactionError(DatabaseError):
+    """A transactional update batch could not be applied."""
+
+
+class PersistenceError(DatabaseError):
+    """The store could not be serialized or deserialized."""
+
+
+# ---------------------------------------------------------------------------
+# Query / constraints / triggers (future-work extensions, paper Section 7)
+# ---------------------------------------------------------------------------
+
+class QueryError(TChimeraError):
+    """Base class for query-language errors."""
+
+
+class QuerySyntaxError(QueryError):
+    """The query text could not be parsed."""
+
+
+class QueryTypeError(QueryError):
+    """The query is ill-typed under the Def. 3.6 rules."""
+
+
+class ConstraintError(TChimeraError):
+    """A declared temporal integrity constraint is violated."""
+
+
+class TriggerError(TChimeraError):
+    """A trigger definition or execution error (e.g. non-terminating set)."""

@@ -1,0 +1,36 @@
+"""Inheritance (paper, Section 6).
+
+* :mod:`repro.inheritance.isa` -- the user-declared ISA hierarchy: a
+  DAG over class identifiers (no common root class exists in Chimera),
+  its partial order ``<=_ISA``, least common superclasses, and the
+  partition into hierarchies (weakly connected components) whose object
+  populations must stay disjoint (Invariant 6.2);
+* :mod:`repro.inheritance.refinement` -- Rule 6.1 (attribute domain
+  refinement, including the static-to-temporal refinement) and the
+  covariance/contravariance conditions on method redefinition;
+* :mod:`repro.inheritance.coercion` -- substitutability through
+  coercion: viewing an instance of a subclass as an instance of a
+  superclass, coercing temporally-refined attributes with
+  ``snapshot(i, now)``.
+"""
+
+from repro.inheritance.isa import IsaHierarchy
+from repro.inheritance.refinement import (
+    check_attribute_refinement,
+    check_class_refines,
+    check_method_override,
+    merge_inherited_attributes,
+    merge_inherited_methods,
+)
+from repro.inheritance.coercion import as_member_of, coerce_attribute_value
+
+__all__ = [
+    "IsaHierarchy",
+    "check_attribute_refinement",
+    "check_method_override",
+    "check_class_refines",
+    "merge_inherited_attributes",
+    "merge_inherited_methods",
+    "as_member_of",
+    "coerce_attribute_value",
+]

@@ -1,0 +1,69 @@
+"""Substitutability through coercion (Section 6.1).
+
+Rule 6.1 lets a subclass refine a non-temporal attribute into a
+temporal one.  The value of a temporal attribute is a *function* from
+the time domain, so it cannot directly substitute a non-temporal value;
+whenever an instance of the subclass must be seen as an instance of the
+superclass, the temporal value is **coerced** to its value at the
+current instant -- ``snapshot(i, now).a``, i.e. ``o.v.a(now)`` -- and
+the history is forgotten, which is semantically right: in the
+superclass we were never interested in the history of that attribute.
+
+:func:`as_member_of` builds the full coerced view: the object's state
+as an instance of an ancestor class, with every temporally-refined
+attribute coerced and every subclass-only attribute projected away.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import UnknownAttributeError
+from repro.objects.object import TemporalObject
+from repro.schema.class_def import ClassSignature
+from repro.temporal.temporalvalue import TemporalValue
+from repro.types.grammar import TemporalType, Type
+from repro.values.null import NULL
+from repro.values.records import RecordValue
+
+
+def coerce_attribute_value(
+    value: Any, target_type: Type, now: int
+) -> Any:
+    """Coerce *value* so it fits an attribute of *target_type*.
+
+    * target temporal, value temporal -- passed through (the subclass
+      may have refined the inner domain; the function itself fits);
+    * target non-temporal, value temporal -- the *snapshot coercion*:
+      the value of the function at ``now`` (null when the function is
+      undefined there, e.g. right after the attribute was dropped);
+    * otherwise -- passed through.
+    """
+    if isinstance(value, TemporalValue) and not isinstance(
+        target_type, TemporalType
+    ):
+        return value.get(now, NULL)
+    return value
+
+
+def as_member_of(
+    obj: TemporalObject, target: ClassSignature, now: int
+) -> RecordValue:
+    """The state of *obj* seen as an instance of class *target*.
+
+    For each attribute of *target*: the object's value, coerced per
+    :func:`coerce_attribute_value`.  Raises
+    :class:`UnknownAttributeError` if the object lacks one of the
+    target's attributes (it is then not a member of the class at all).
+    """
+    fields: dict[str, Any] = {}
+    for name, attribute in target.attributes.items():
+        if not obj.has_attribute(name):
+            raise UnknownAttributeError(
+                f"object {obj.oid!r} has no attribute {name!r}; it is "
+                f"not substitutable as a member of {target.name!r}"
+            )
+        fields[name] = coerce_attribute_value(
+            obj.get_attribute(name), attribute.type, now
+        )
+    return RecordValue(fields)

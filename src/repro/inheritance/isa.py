@@ -1,0 +1,195 @@
+"""The ISA hierarchy: a DAG of class identifiers.
+
+Inheritance relationships are described by a user-established ISA
+hierarchy, expressed as a partial order ``<=_ISA`` on CI (Section 6).
+In Chimera there is *no* common superclass of all classes: the
+hierarchy is a DAG consisting of a number of connected components whose
+sources are the *root classes* (classes without superclasses), and the
+oid populations of different hierarchies are disjoint (Invariant 6.2).
+
+We take a *hierarchy* to be a weakly connected component of the DAG,
+identified by the lexicographically least root class in it (a component
+may have several sources; migration is allowed anywhere within a
+component, never across components).
+
+:class:`IsaHierarchy` implements the
+:class:`repro.types.subtyping.IsaOrder` protocol, so it plugs directly
+into the subtype order and lub of Definition 6.1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import DuplicateClassError, IsaCycleError, UnknownClassError
+
+
+class IsaHierarchy:
+    """A mutable DAG of class names with ``<=_ISA`` queries.
+
+    Classes are added with their direct superclasses
+    (:meth:`add_class`); edges cannot be modified afterwards, matching
+    the model (a class's superclasses are fixed at definition).
+    Transitive ancestor sets are maintained incrementally, so
+    :meth:`isa_le` is a set lookup.
+    """
+
+    def __init__(self) -> None:
+        self._parents: dict[str, frozenset[str]] = {}
+        self._children: dict[str, set[str]] = {}
+        self._ancestors: dict[str, frozenset[str]] = {}  # incl. self
+        self._component: dict[str, str] = {}  # class -> hierarchy id
+
+    # -- construction ---------------------------------------------------------
+
+    def add_class(self, name: str, parents: Iterable[str] = ()) -> None:
+        """Declare *name* with its direct superclasses.
+
+        Raises :class:`DuplicateClassError` if already declared and
+        :class:`UnknownClassError` if a parent is not declared yet
+        (superclasses must exist first, which also rules out cycles).
+        """
+        if name in self._parents:
+            raise DuplicateClassError(f"class {name!r} already declared")
+        parent_set = frozenset(parents)
+        if name in parent_set:
+            raise IsaCycleError(f"class {name!r} cannot inherit from itself")
+        for parent in parent_set:
+            if parent not in self._parents:
+                raise UnknownClassError(
+                    f"superclass {parent!r} of {name!r} is not declared"
+                )
+        self._parents[name] = parent_set
+        self._children.setdefault(name, set())
+        ancestors = {name}
+        for parent in parent_set:
+            self._children[parent].add(name)
+            ancestors |= self._ancestors[parent]
+        self._ancestors[name] = frozenset(ancestors)
+        self._component[name] = self._merge_components(name, parent_set)
+
+    def _merge_components(self, name: str, parents: frozenset[str]) -> str:
+        if not parents:
+            return name  # a new root class founds its own hierarchy
+        ids = {self._component[p] for p in parents}
+        winner = min(ids)
+        if len(ids) > 1:
+            # The new class joins several hierarchies into one.
+            for cls, comp in self._component.items():
+                if comp in ids:
+                    self._component[cls] = winner
+        return winner
+
+    # -- queries --------------------------------------------------------------------
+
+    def known(self, name: str) -> bool:
+        return name in self._parents
+
+    def classes(self) -> Iterator[str]:
+        return iter(self._parents)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._parents
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+    def parents(self, name: str) -> frozenset[str]:
+        """The direct superclasses."""
+        self._require(name)
+        return self._parents[name]
+
+    def children(self, name: str) -> frozenset[str]:
+        """The direct subclasses."""
+        self._require(name)
+        return frozenset(self._children[name])
+
+    def superclasses(self, name: str, strict: bool = False) -> frozenset[str]:
+        """All (transitive) superclasses; includes *name* unless strict."""
+        self._require(name)
+        ancestors = self._ancestors[name]
+        return ancestors - {name} if strict else ancestors
+
+    def subclasses(self, name: str, strict: bool = False) -> frozenset[str]:
+        """All (transitive) subclasses; includes *name* unless strict."""
+        self._require(name)
+        found = {
+            cls for cls, ancestors in self._ancestors.items()
+            if name in ancestors
+        }
+        return frozenset(found - {name} if strict else found)
+
+    def roots(self) -> frozenset[str]:
+        """The root classes: classes without superclasses."""
+        return frozenset(c for c, ps in self._parents.items() if not ps)
+
+    def hierarchy_of(self, name: str) -> str:
+        """The identifier of the hierarchy (component) containing *name*."""
+        self._require(name)
+        return self._component[name]
+
+    def hierarchies(self) -> dict[str, frozenset[str]]:
+        """Hierarchy id -> the classes it contains."""
+        result: dict[str, set[str]] = {}
+        for cls, comp in self._component.items():
+            result.setdefault(comp, set()).add(cls)
+        return {comp: frozenset(classes) for comp, classes in result.items()}
+
+    def same_hierarchy(self, a: str, b: str) -> bool:
+        """True iff the two classes live in the same hierarchy."""
+        return self.hierarchy_of(a) == self.hierarchy_of(b)
+
+    # -- the IsaOrder protocol ---------------------------------------------------------
+
+    def isa_le(self, sub: str, sup: str) -> bool:
+        """``sub <=_ISA sup``: *sub* is *sup* or one of its subclasses."""
+        ancestors = self._ancestors.get(sub)
+        if ancestors is None:
+            return sub == sup
+        return sup in ancestors
+
+    def class_lub(self, names: Iterable[str]) -> str | None:
+        """The least common superclass, or None.
+
+        The lub exists iff the common ancestor set has a unique minimal
+        element (the ISA order being a DAG, minimal upper bounds need
+        not be unique, in which case there is no lub).
+        """
+        items = list(names)
+        if not items:
+            return None
+        for name in items:
+            if name not in self._ancestors:
+                return items[0] if all(n == items[0] for n in items) else None
+        common = frozenset.intersection(
+            *(self._ancestors[name] for name in items)
+        )
+        if not common:
+            return None
+        minimal = [
+            c
+            for c in common
+            if not any(
+                other != c and c in self._ancestors[other]
+                for other in common
+            )
+        ]
+        return minimal[0] if len(minimal) == 1 else None
+
+    # -- ordering utilities --------------------------------------------------------------
+
+    def most_specific(self, names: Iterable[str]) -> str | None:
+        """The unique class below all of *names*, if one of them is."""
+        items = list(names)
+        for candidate in items:
+            if all(self.isa_le(candidate, other) for other in items):
+                return candidate
+        return None
+
+    def topological(self) -> list[str]:
+        """Classes ordered so that superclasses precede subclasses."""
+        return sorted(self._parents, key=lambda c: len(self._ancestors[c]))
+
+    def _require(self, name: str) -> None:
+        if name not in self._parents:
+            raise UnknownClassError(f"class {name!r} is not declared")

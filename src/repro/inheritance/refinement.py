@@ -1,0 +1,178 @@
+"""Refinement of inherited features (Rule 6.1 and Section 6.1).
+
+A subclass must contain all attributes and operations of all its
+superclasses; inherited features may be *redefined* under restrictions:
+
+* **Attributes** (Rule 6.1): an attribute of domain T in the superclass
+  may, in the subclass, have domain T' where either
+
+  1. ``T' <=_T T``, or
+  2. ``T' = temporal(T'')`` with ``T'' <=_T T``
+
+  -- i.e. a non-temporal attribute may be refined into a temporal one
+  (on the same or a more specific domain), *never* vice-versa.  Note
+  that clause 1 covers the temporal-to-temporal refinement, since
+  ``temporal(T2) <=_T temporal(T1)`` iff ``T2 <=_T T1``.
+
+* **Methods**: covariance of the result, contravariance of the inputs
+  (checked by :meth:`MethodSignature.is_valid_override`).
+
+:func:`merge_inherited_attributes` computes the effective attribute set
+of a subclass from its superclasses' sets plus its own declarations,
+raising :class:`RefinementError` on violations -- including the case of
+two superclasses contributing *incomparable* domains for the same
+attribute with no declared resolution in the subclass.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import RefinementError
+from repro.schema.attribute import Attribute
+from repro.schema.method import MethodSignature
+from repro.types.grammar import TemporalType, Type
+from repro.types.subtyping import IsaOrder, is_subtype
+
+
+def check_attribute_refinement(
+    refined: Type, inherited: Type, isa: IsaOrder
+) -> bool:
+    """Rule 6.1: may an attribute of inherited domain get *refined* domain?"""
+    if is_subtype(refined, inherited, isa):
+        return True
+    if isinstance(refined, TemporalType) and not isinstance(
+        inherited, TemporalType
+    ):
+        return is_subtype(refined.argument, inherited, isa)
+    return False
+
+
+def check_method_override(
+    own: MethodSignature, inherited: MethodSignature, isa: IsaOrder
+) -> bool:
+    """Covariant result, contravariant inputs."""
+    return own.is_valid_override(inherited, isa)
+
+
+def merge_inherited_attributes(
+    own: Mapping[str, Attribute],
+    inherited_sets: list[Mapping[str, Attribute]],
+    isa: IsaOrder,
+    class_name: str,
+) -> dict[str, Attribute]:
+    """The effective attributes of a class under inheritance.
+
+    Every inherited attribute is present; an own declaration overrides
+    the inherited one iff Rule 6.1 admits the refinement (against every
+    superclass contributing the attribute).  When several superclasses
+    contribute the same attribute with different domains and the class
+    does not redeclare it, the domains must be linearly related and the
+    most specific one wins; incomparable domains raise
+    :class:`RefinementError` (the classic multiple-inheritance
+    conflict, which Chimera requires the user to resolve explicitly).
+    """
+    merged: dict[str, Attribute] = {}
+    for inherited in inherited_sets:
+        for name, attribute in inherited.items():
+            if name in own:
+                continue  # resolved below against every contributor
+            present = merged.get(name)
+            if present is None:
+                merged[name] = attribute
+            elif check_attribute_refinement(
+                present.type, attribute.type, isa
+            ):
+                pass  # the already-chosen domain is the more specific
+            elif check_attribute_refinement(
+                attribute.type, present.type, isa
+            ):
+                merged[name] = attribute
+            elif present.type != attribute.type:
+                raise RefinementError(
+                    f"class {class_name!r}: attribute {name!r} is "
+                    f"inherited with incomparable domains "
+                    f"{present.type!r} and {attribute.type!r}; "
+                    "redeclare it to resolve the conflict"
+                )
+    for name, attribute in own.items():
+        for inherited in inherited_sets:
+            if name in inherited and not check_attribute_refinement(
+                attribute.type, inherited[name].type, isa
+            ):
+                raise RefinementError(
+                    f"class {class_name!r}: attribute {name!r} of domain "
+                    f"{attribute.type!r} does not refine the inherited "
+                    f"domain {inherited[name].type!r} (Rule 6.1); note "
+                    "that a temporal attribute can never be refined "
+                    "into a non-temporal one"
+                )
+        merged[name] = attribute
+    return merged
+
+
+def merge_inherited_methods(
+    own: Mapping[str, MethodSignature],
+    inherited_sets: list[Mapping[str, MethodSignature]],
+    isa: IsaOrder,
+    class_name: str,
+) -> dict[str, MethodSignature]:
+    """The effective methods of a class under inheritance."""
+    merged: dict[str, MethodSignature] = {}
+    for inherited in inherited_sets:
+        for name, method in inherited.items():
+            if name in own:
+                continue
+            present = merged.get(name)
+            if present is None or method.is_valid_override(present, isa):
+                merged[name] = method
+            elif not present.is_valid_override(method, isa):
+                raise RefinementError(
+                    f"class {class_name!r}: method {name!r} is inherited "
+                    f"with incompatible signatures {present!r} and "
+                    f"{method!r}; redeclare it to resolve the conflict"
+                )
+    for name, method in own.items():
+        for inherited in inherited_sets:
+            if name in inherited and not check_method_override(
+                method, inherited[name], isa
+            ):
+                raise RefinementError(
+                    f"class {class_name!r}: method {name!r} redefinition "
+                    f"{method!r} violates covariance of the result / "
+                    f"contravariance of the inputs against "
+                    f"{inherited[name]!r}"
+                )
+        merged[name] = method
+    return merged
+
+
+def check_class_refines(
+    sub_attributes: Mapping[str, Attribute],
+    sub_methods: Mapping[str, MethodSignature],
+    super_attributes: Mapping[str, Attribute],
+    super_methods: Mapping[str, MethodSignature],
+    isa: IsaOrder,
+) -> list[str]:
+    """All Rule-6.1 / variance violations of a subclass signature
+    against one superclass signature; empty when compliant."""
+    problems: list[str] = []
+    for name, attribute in super_attributes.items():
+        if name not in sub_attributes:
+            problems.append(f"attribute {name!r} is missing in the subclass")
+        elif not check_attribute_refinement(
+            sub_attributes[name].type, attribute.type, isa
+        ):
+            problems.append(
+                f"attribute {name!r}: {sub_attributes[name].type!r} does "
+                f"not refine {attribute.type!r}"
+            )
+    for name, method in super_methods.items():
+        if name not in sub_methods:
+            problems.append(f"method {name!r} is missing in the subclass")
+        elif not check_method_override(sub_methods[name], method, isa):
+            problems.append(
+                f"method {name!r}: {sub_methods[name]!r} does not "
+                f"validly override {method!r}"
+            )
+    return problems

@@ -1,0 +1,208 @@
+"""The model's function inventory (paper, Table 3).
+
+One callable per function of Table 3, with the paper's exact names and
+signatures, operating on a :class:`~repro.database.database.
+TemporalDatabase`.  This module is the ground truth for the Table 3
+reproduction: ``benchmarks/bench_table3.py`` regenerates the table by
+introspecting :data:`TABLE_3`.
+
+====================  =========================================  ==========================================
+name                  signature                                  description
+====================  =========================================  ==========================================
+``t_minus``           TT -> CT                                   static type of a temporal type
+``pi``                CI x TIME -> 2^OI                          extent of a class at an instant
+``type_``             CI -> T                                    structural type of a class
+``h_type``            CI -> T                                    historical type of a class
+``s_type``            CI -> T                                    static type of a class
+``h_state``           OI x TIME -> V                             historical value of an object
+``s_state``           OI -> V                                    static value of an object
+``o_lifespan``        OI -> TIME x TIME                          lifespan of an object
+``m_lifespan``        OI x CI -> TIME x TIME                     lifespan of an object as member of a class
+``ref``               OI x TIME -> 2^OI                          oids referred to at an instant
+``snapshot``          OI x TIME -> V                             state of an object at an instant
+====================  =========================================  ==========================================
+
+Section 5.1 also introduces ``c_lifespan``, which Table 3 lists as
+``m_lifespan``; both names are exported and are the same function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.objects import state as _state
+from repro.objects.references import referenced_oids
+from repro.schema.derived_types import (
+    historical_type,
+    static_type,
+    structural_type,
+)
+from repro.temporal.intervalsets import IntervalSet
+from repro.types.grammar import Type, t_minus as _t_minus
+from repro.values.oid import OID
+from repro.values.records import RecordValue
+
+
+def t_minus(temporal_type: Type) -> Type:
+    """``T^- : TT -> CT`` -- the static type corresponding to a
+    temporal type."""
+    return _t_minus(temporal_type)
+
+
+def pi(db, class_name: str, t: int) -> frozenset[OID]:
+    """``pi : CI x TIME -> 2^OI`` -- the extent of a class at an
+    instant (members and instances alike)."""
+    return db.pi(class_name, t)
+
+
+def type_(db, class_name: str) -> Type:
+    """``type : CI -> T`` -- the structural type of a class."""
+    return structural_type(db.get_class(class_name))
+
+
+def h_type(db, class_name: str) -> Type:
+    """``h_type : CI -> T`` -- the historical type of a class (the
+    empty record type when the class has no temporal attributes,
+    footnote 5)."""
+    return historical_type(db.get_class(class_name))
+
+
+def s_type(db, class_name: str) -> Type:
+    """``s_type : CI -> T`` -- the static type of a class (the empty
+    record type when the class has no static attributes)."""
+    return static_type(db.get_class(class_name))
+
+
+def h_state(db, oid: OID, t: int) -> RecordValue:
+    """``h_state : OI x TIME -> V`` -- the historical value of an
+    object at an instant."""
+    return _state.h_state(db.get_object(oid), t, db.now)
+
+
+def s_state(db, oid: OID) -> RecordValue:
+    """``s_state : OI -> V`` -- the static value of an object."""
+    return _state.s_state(db.get_object(oid))
+
+
+def o_lifespan(db, oid: OID) -> IntervalSet:
+    """``o_lifespan : OI -> TIME x TIME`` -- the lifespan of an
+    object."""
+    return IntervalSet([db.get_object(oid).lifespan], now=db.now)
+
+
+def m_lifespan(db, oid: OID, class_name: str) -> IntervalSet:
+    """``m_lifespan : OI x CI -> TIME x TIME`` -- the lifespan of an
+    object as a member of a class (footnote 6: the union of the
+    class-history intervals whose class is a subclass of the given
+    one)."""
+    obj = db.get_object(oid)
+    result = IntervalSet.empty()
+    for interval, most_specific in obj.class_history.pairs():
+        if db.isa.isa_le(most_specific, class_name):
+            result = result | IntervalSet([interval], now=db.now)
+    return result
+
+
+#: Section 5.1's name for the same function.
+c_lifespan = m_lifespan
+
+
+def ref(db, oid: OID, t: int) -> frozenset[OID]:
+    """``ref : OI x TIME -> 2^OI`` -- the oids the object refers to at
+    an instant."""
+    return referenced_oids(db.get_object(oid), t, db.now)
+
+
+def snapshot(db, oid: OID, t: int) -> RecordValue:
+    """``snapshot : OI x TIME -> V`` -- the state of the object
+    projected at an instant (undefined for past instants when the
+    object has static attributes)."""
+    return _state.snapshot(db.get_object(oid), t, db.now)
+
+
+@dataclass(frozen=True)
+class FunctionRow:
+    """One row of Table 3."""
+
+    name: str
+    signature: str
+    description: str
+    implementation: object
+
+
+#: The Table 3 inventory, in the paper's order.
+TABLE_3: tuple[FunctionRow, ...] = (
+    FunctionRow(
+        "T^-", "TT -> CT",
+        "returns the static type corresponding to a temporal type",
+        t_minus,
+    ),
+    FunctionRow(
+        "pi", "CI x TIME -> 2^OI",
+        "returns the extent of a class at a given instant",
+        pi,
+    ),
+    FunctionRow(
+        "type", "CI -> T",
+        "returns the structural type of a class",
+        type_,
+    ),
+    FunctionRow(
+        "h_type", "CI -> T",
+        "returns the historical type of a class",
+        h_type,
+    ),
+    FunctionRow(
+        "s_type", "CI -> T",
+        "returns the static type of a class",
+        s_type,
+    ),
+    FunctionRow(
+        "h_state", "OI x TIME -> V",
+        "returns the historical value of an object",
+        h_state,
+    ),
+    FunctionRow(
+        "s_state", "OI -> V",
+        "returns the static value of an object",
+        s_state,
+    ),
+    FunctionRow(
+        "o_lifespan", "OI -> TIME x TIME",
+        "returns the lifespan of an object",
+        o_lifespan,
+    ),
+    FunctionRow(
+        "m_lifespan", "OI x CI -> TIME x TIME",
+        "returns the lifespan of an object as a member of a given class",
+        m_lifespan,
+    ),
+    FunctionRow(
+        "ref", "OI x TIME -> 2^OI",
+        "returns the set of oids to which an object refers at a given "
+        "instant",
+        ref,
+    ),
+    FunctionRow(
+        "snapshot", "OI x TIME -> V",
+        "projects the state of an object at a given instant",
+        snapshot,
+    ),
+)
+
+__all__ = [
+    "t_minus",
+    "pi",
+    "type_",
+    "h_type",
+    "s_type",
+    "h_state",
+    "s_state",
+    "o_lifespan",
+    "m_lifespan",
+    "c_lifespan",
+    "ref",
+    "snapshot",
+    "FunctionRow",
+    "TABLE_3",
+]

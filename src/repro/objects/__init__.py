@@ -1,0 +1,59 @@
+"""Objects (paper, Section 5).
+
+An object is a 4-tuple (Definition 5.1)::
+
+    (i, lifespan, v, class-history)
+
+* ``i`` -- the oid;
+* ``lifespan`` -- the (contiguous) interval during which the object
+  exists;
+* ``v`` -- a record of attribute values: temporal attributes carry
+  temporal values (partial functions from TIME), static attributes
+  carry plain values (current value only);
+* ``class-history`` -- a temporal value recording the most specific
+  class the object belongs to over time (object *migration*).
+
+This package provides:
+
+* :mod:`repro.objects.object` -- :class:`TemporalObject`;
+* :mod:`repro.objects.state` -- ``h_state``, ``s_state`` and
+  ``snapshot`` (Table 3, Sections 5.2-5.3);
+* :mod:`repro.objects.consistency` -- meaningful attributes and the
+  historical / static / full consistency notions (Defs. 5.2-5.5);
+* :mod:`repro.objects.equality` -- the four equality notions
+  (Defs. 5.7-5.10) plus deep value equality as an extension;
+* :mod:`repro.objects.references` -- the ``ref`` function and
+  referential integrity support (Def. 5.6).
+"""
+
+from repro.objects.object import TemporalObject
+from repro.objects.state import h_state, s_state, snapshot
+from repro.objects.consistency import (
+    is_consistent,
+    is_historically_consistent,
+    is_statically_consistent,
+    meaningful_temporal_attributes,
+)
+from repro.objects.equality import (
+    equal_by_identity,
+    equal_by_value,
+    instantaneous_value_equal,
+    weak_value_equal,
+)
+from repro.objects.references import referenced_oids
+
+__all__ = [
+    "TemporalObject",
+    "h_state",
+    "s_state",
+    "snapshot",
+    "meaningful_temporal_attributes",
+    "is_historically_consistent",
+    "is_statically_consistent",
+    "is_consistent",
+    "equal_by_identity",
+    "equal_by_value",
+    "instantaneous_value_equal",
+    "weak_value_equal",
+    "referenced_oids",
+]

@@ -1,0 +1,245 @@
+"""Object consistency (Definitions 5.2-5.5).
+
+Consistency of an object in a temporal context is checked in two steps
+(Section 5.2): identify, for each instant t of the lifespan, the
+attributes that characterize the object at t (for past instants these
+are only the *meaningful temporal attributes* -- static values are
+recorded only for the present); then check that their values are legal.
+
+* **historical consistency** at t w.r.t. class c:
+  ``h_state(i, t) in [[h_type(c)]]_t`` (Definition 5.3);
+* **static consistency** w.r.t. class c:
+  ``s_state(i) in [[s_type(c)]]_now`` (Definition 5.4);
+* **object consistency** (Definition 5.5): every class-history pair
+  ``<tau, c>`` lies inside c's lifespan; the object is historically
+  consistent with c at every instant of tau; and it is statically
+  consistent with its current class.
+
+Consistency is checked against the most specific class only: Rule 6.1
+guarantees consistency with all superclasses (their attribute domains
+are generalizations) -- :mod:`tests.test_consistency` verifies that
+implication on live databases.
+
+Complexity.  The literal Definition 5.5 quantifies over every instant
+of the lifespan; :func:`is_historically_consistent_throughout` instead
+checks each pair of each temporal value once, using interval-set
+inclusion for class extents, which is equivalent because extensions
+vary with time only through class extents (Definition 3.5) and the
+temporal value is constant on each pair.  The point-wise
+:func:`is_historically_consistent` follows Definition 5.3 verbatim;
+the property tests check the two agree on sampled instants (and bench
+E6 measures the gap).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.errors import UnknownClassError
+from repro.objects.object import TemporalObject
+from repro.objects.state import h_state, s_state
+from repro.schema.class_def import ClassSignature
+from repro.schema.derived_types import (
+    historical_type_at,
+    static_type,
+)
+from repro.temporal.intervals import Interval
+from repro.temporal.intervalsets import IntervalSet
+from repro.temporal.temporalvalue import TemporalValue
+from repro.types.context import TypeContext
+from repro.types.extension import in_extension
+from repro.types.grammar import TemporalType
+
+
+class SchemaView(Protocol):
+    """Access to class signatures (implemented by the database)."""
+
+    def get_class(self, name: str) -> ClassSignature:
+        ...
+
+
+def meaningful_temporal_attributes(
+    obj: TemporalObject, t: int
+) -> tuple[str, ...]:
+    """The temporal attributes of *obj* meaningful at instant *t*
+    (Definition 5.2: t belongs to the domain of the attribute value)."""
+    return tuple(
+        name for name, value in obj.temporal_items() if value.defined_at(t)
+    )
+
+
+def is_historically_consistent(
+    obj: TemporalObject,
+    class_name: str,
+    t: int,
+    schema: SchemaView,
+    ctx: TypeContext,
+    now: int | None = None,
+) -> bool:
+    """Definition 5.3, verbatim: ``h_state(i,t) in [[h_type(c)]]_t``.
+
+    With schema evolution the historical type is itself time-indexed
+    (attributes added or retired after the class's creation
+    characterize instances only during their declaration span), so the
+    check uses ``h_type`` *as of t*.
+    """
+    cls = schema.get_class(class_name)
+    return in_extension(
+        h_state(obj, t, now), historical_type_at(cls, t), t, ctx, now=now
+    )
+
+
+def is_statically_consistent(
+    obj: TemporalObject,
+    class_name: str,
+    schema: SchemaView,
+    ctx: TypeContext,
+    now: int,
+) -> bool:
+    """Definition 5.4: ``s_state(i) in [[s_type(c)]]_now``."""
+    cls = schema.get_class(class_name)
+    return in_extension(s_state(obj), static_type(cls), now, ctx, now=now)
+
+
+def is_historically_consistent_throughout(
+    obj: TemporalObject,
+    class_name: str,
+    span: Interval,
+    schema: SchemaView,
+    ctx: TypeContext,
+    now: int | None = None,
+) -> bool:
+    """Definition 5.3 quantified over every instant of *span*.
+
+    Equivalent to the per-instant loop (see module docstring) but
+    checks each temporal-value pair once.
+    """
+    cls = schema.get_class(class_name)
+    span = span.resolve(now)
+    if span.is_empty:
+        return True
+    span_set = IntervalSet([span])
+    declarations = _temporal_declarations(cls, now)
+    for name, spans in declarations.items():
+        for attribute, declared_set in spans:
+            required = span_set & declared_set
+            if required.is_empty:
+                continue
+            value = obj.temporal_value(name)
+            if value is None:
+                return False
+            # Meaningful throughout the declared portion of the span...
+            if not required.issubset(value.domain(now)):
+                return False
+            # ...and carrying legal values of T^-(T) at every instant.
+            assert isinstance(attribute.type, TemporalType)
+            restricted = value.restrict(required, now)
+            if not in_extension(
+                restricted, attribute.type, span.start, ctx, now=now
+            ):
+                return False
+    # No temporal attribute may be meaningful inside the span outside
+    # its declaration (h_state must have *exactly* h_type_at's
+    # attributes at every instant).
+    for name, value in obj.temporal_items():
+        allowed = IntervalSet.empty()
+        for _attribute, declared_set in declarations.get(name, ()):
+            allowed = allowed | declared_set
+        stray = (value.domain(now) & span_set) - allowed
+        if not stray.is_empty:
+            return False
+    return True
+
+
+def _temporal_declarations(
+    cls: ClassSignature, now: int | None
+) -> dict[str, list]:
+    """Per attribute name: the (attribute, declaration-span) records of
+    its temporal declarations -- the current one plus any retired ones
+    (schema evolution)."""
+    horizon = 2 ** 62
+    result: dict[str, list] = {}
+    for name, attribute in cls.attributes.items():
+        if attribute.is_temporal:
+            result.setdefault(name, []).append(
+                (
+                    attribute,
+                    IntervalSet([Interval(attribute.declared_at, horizon)]),
+                )
+            )
+    for name, retirements in cls.retired_attributes.items():
+        for attribute, retired_at in retirements:
+            if attribute.is_temporal and retired_at > attribute.declared_at:
+                result.setdefault(name, []).append(
+                    (
+                        attribute,
+                        IntervalSet(
+                            [Interval(attribute.declared_at, retired_at - 1)]
+                        ),
+                    )
+                )
+    return result
+
+
+def is_consistent(
+    obj: TemporalObject,
+    schema: SchemaView,
+    ctx: TypeContext,
+    now: int,
+) -> bool:
+    """Definition 5.5: full object consistency."""
+    return not consistency_violations(obj, schema, ctx, now)
+
+
+def consistency_violations(
+    obj: TemporalObject,
+    schema: SchemaView,
+    ctx: TypeContext,
+    now: int,
+) -> list[str]:
+    """The Definition 5.5 conditions that *obj* violates (with reasons)."""
+    problems: list[str] = []
+    current_class: str | None = None
+    for interval, class_name in obj.class_history.pairs():
+        try:
+            cls = schema.get_class(class_name)
+        except UnknownClassError:
+            problems.append(
+                f"class history names unknown class {class_name!r}"
+            )
+            continue
+        resolved = interval.resolve(now)
+        if resolved.is_empty:
+            continue
+        # Condition 1: tau inside the class lifespan.
+        if not resolved.issubset(cls.lifespan, now):
+            problems.append(
+                f"class-history pair <{resolved}, {class_name}> exceeds "
+                f"the class lifespan {cls.lifespan.resolve(now)}"
+            )
+        # Condition 2: historical consistency throughout tau.
+        if not is_historically_consistent_throughout(
+            obj, class_name, resolved, schema, ctx, now
+        ):
+            problems.append(
+                f"not a historically consistent instance of "
+                f"{class_name!r} throughout {resolved}"
+            )
+        if resolved.contains(now):
+            current_class = class_name
+    # Condition 3: static consistency with the current class.
+    if current_class is not None:
+        if not is_statically_consistent(
+            obj, current_class, schema, ctx, now
+        ):
+            problems.append(
+                f"not a statically consistent instance of "
+                f"{current_class!r} at the current time {now}"
+            )
+    elif obj.alive_at(now, now):
+        problems.append(
+            f"object is alive at {now} but its class history assigns it "
+            "no class (objects belong to at least one class at every "
+            "instant of their lifespan)"
+        )
+    return problems

@@ -1,0 +1,211 @@
+"""Object equality (Definitions 5.7-5.10).
+
+Four notions, strictly ordered by implication (when applicable)::
+
+    identity  =>  value  =>  instantaneous-value  =>  weak-value
+
+* **equality by identity**: same oid (and hence, by OID-UNIQUENESS,
+  same everything);
+* **(shallow) value equality**: equal ``v`` components -- same
+  attribute names *and* values; for historical objects this includes
+  the whole history of the temporal attributes;
+* **instantaneous-value equality**: there is an instant t in both
+  lifespans with ``snapshot(o1, t) == snapshot(o2, t)``;
+* **weak-value equality**: there are instants t', t'' with
+  ``snapshot(o1, t') == snapshot(o2, t'')``.
+
+Objects containing static attributes can be compared under the last
+two notions only at the current time (their snapshot is undefined
+elsewhere), as is the comparison of two static objects.
+
+The existential searches do not loop over instants: snapshots are
+piecewise-constant in t, changing only where some temporal attribute's
+pair boundary falls, so it suffices to examine one representative
+instant per *segment* (:func:`snapshot_segments`).
+
+As an extension (Chimera has it; the paper defers it) we also provide
+**deep value equality**: value equality where oid references are
+recursively dereferenced and compared by value, with cycle-tolerant
+bisimulation semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.errors import LifespanError, SnapshotUndefinedError
+from repro.objects.object import TemporalObject
+from repro.objects.state import snapshot
+from repro.temporal.intervals import Interval
+from repro.temporal.intervalsets import IntervalSet
+from repro.temporal.temporalvalue import TemporalValue
+from repro.values.oid import OID
+from repro.values.records import RecordValue
+from repro.values.structure import values_equal
+
+
+def equal_by_identity(o1: TemporalObject, o2: TemporalObject) -> bool:
+    """Definition 5.7: same oid."""
+    return o1.oid == o2.oid
+
+
+def equal_by_value(o1: TemporalObject, o2: TemporalObject) -> bool:
+    """Definition 5.8: equal value components (names and values).
+
+    For historical objects this requires equality of the whole history
+    of the temporal attributes.
+    """
+    return values_equal(o1.value_record(), o2.value_record())
+
+
+def snapshot_segments(
+    obj: TemporalObject, now: int
+) -> Iterator[tuple[Interval, RecordValue]]:
+    """The lifespan split into maximal intervals of constant snapshot.
+
+    Only defined (and only used) for objects with no static attribute;
+    each yielded pair is ``(segment, snapshot throughout it)``.
+    """
+    lifespan = obj.lifespan.resolve(now)
+    if lifespan.is_empty:
+        return
+    boundaries: set[int] = {lifespan.start}
+    for _name, value in obj.temporal_items():
+        for interval, _carried in value.resolved_pairs(now):
+            boundaries.add(interval.start)
+            end = interval.end
+            assert isinstance(end, int)
+            if end + 1 <= lifespan.end:  # type: ignore[operator]
+                boundaries.add(end + 1)
+    cuts = sorted(b for b in boundaries if lifespan.contains(b))
+    for i, start in enumerate(cuts):
+        end = cuts[i + 1] - 1 if i + 1 < len(cuts) else lifespan.end
+        segment = Interval(start, end)  # type: ignore[arg-type]
+        yield segment, snapshot(obj, start, now)
+
+
+def instantaneous_value_equal(
+    o1: TemporalObject, o2: TemporalObject, now: int
+) -> bool:
+    """Definition 5.9: equal snapshots at some *common* instant."""
+    if _has_static(o1) or _has_static(o2):
+        # Comparable only at the current time.
+        return _snapshots_equal_at(o1, o2, now, now, now)
+    common = IntervalSet([o1.lifespan], now=now) & IntervalSet(
+        [o2.lifespan], now=now
+    )
+    if common.is_empty:
+        return False
+    segments2 = list(snapshot_segments(o2, now))
+    for segment1, snap1 in snapshot_segments(o1, now):
+        for segment2, snap2 in segments2:
+            overlap = segment1.intersect(segment2)
+            if overlap.is_empty or common.isdisjoint(
+                IntervalSet([overlap])
+            ):
+                continue
+            if values_equal(snap1, snap2):
+                return True
+    return False
+
+
+def weak_value_equal(
+    o1: TemporalObject, o2: TemporalObject, now: int
+) -> bool:
+    """Definition 5.10: equal snapshots at possibly different instants."""
+    if _has_static(o1) or _has_static(o2):
+        return _snapshots_equal_at(o1, o2, now, now, now)
+    snaps2 = [snap for _seg, snap in snapshot_segments(o2, now)]
+    for _segment, snap1 in snapshot_segments(o1, now):
+        if any(values_equal(snap1, snap2) for snap2 in snaps2):
+            return True
+    return False
+
+
+def deep_value_equal(
+    o1: TemporalObject,
+    o2: TemporalObject,
+    resolve: Callable[[OID], TemporalObject | None],
+    _assumed: set[tuple[OID, OID]] | None = None,
+) -> bool:
+    """Deep value equality (extension): oid references are dereferenced
+    and compared by value, recursively, with bisimulation semantics on
+    cyclic reference graphs (``resolve`` maps an oid to its object, or
+    None for dangling references, which compare by oid)."""
+    assumed = _assumed if _assumed is not None else set()
+    key = (min(o1.oid, o2.oid), max(o1.oid, o2.oid))
+    if key in assumed:
+        return True  # coinductive hypothesis
+    assumed.add(key)
+    if set(o1.value) != set(o2.value):
+        return False
+    return all(
+        _deep_equal(o1.value[name], o2.value[name], resolve, assumed)
+        for name in o1.value
+    )
+
+
+def _deep_equal(
+    a: Any,
+    b: Any,
+    resolve: Callable[[OID], TemporalObject | None],
+    assumed: set[tuple[OID, OID]],
+) -> bool:
+    if isinstance(a, OID) and isinstance(b, OID):
+        oa, ob = resolve(a), resolve(b)
+        if oa is None or ob is None:
+            return a == b
+        return deep_value_equal(oa, ob, resolve, assumed)
+    if isinstance(a, TemporalValue) and isinstance(b, TemporalValue):
+        pa, pb = a.pairs(), b.pairs()
+        if len(pa) != len(pb):
+            return False
+        return all(
+            ia == ib and _deep_equal(va, vb, resolve, assumed)
+            for (ia, va), (ib, vb) in zip(pa, pb)
+        )
+    if isinstance(a, (set, frozenset)) and isinstance(b, (set, frozenset)):
+        if len(a) != len(b):
+            return False
+        unmatched = list(b)
+        for item in a:
+            for candidate in unmatched:
+                if _deep_equal(item, candidate, resolve, assumed):
+                    unmatched.remove(candidate)
+                    break
+            else:
+                return False
+        return True
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(
+            _deep_equal(x, y, resolve, assumed) for x, y in zip(a, b)
+        )
+    if isinstance(a, RecordValue) and isinstance(b, RecordValue):
+        if set(a.names) != set(b.names):
+            return False
+        return all(
+            _deep_equal(a[name], b[name], resolve, assumed)
+            for name in a.names
+        )
+    return values_equal(a, b)
+
+
+def _has_static(obj: TemporalObject) -> bool:
+    return any(
+        not isinstance(v, TemporalValue) for v in obj.value.values()
+    )
+
+
+def _snapshots_equal_at(
+    o1: TemporalObject,
+    o2: TemporalObject,
+    t1: int,
+    t2: int,
+    now: int,
+) -> bool:
+    try:
+        s1 = snapshot(o1, t1, now)
+        s2 = snapshot(o2, t2, now)
+    except (SnapshotUndefinedError, LifespanError):
+        return False
+    return values_equal(s1, s2)

@@ -1,0 +1,196 @@
+"""The object tuple (Definition 5.1).
+
+:class:`TemporalObject` stores the 4-tuple ``(i, lifespan, v,
+class-history)``.  The value component ``v`` is a mapping from
+attribute names to values; an attribute is *temporal* exactly when its
+value is a :class:`~repro.temporal.temporalvalue.TemporalValue` (for
+static attributes only the current value is kept).
+
+Class histories.  For historical objects the whole history of the most
+specific class is recorded; for static objects the paper keeps only the
+current class, as the single pair ``<[now, now], c>`` (Definition 5.1).
+We store the full history uniformly -- the engine knows it anyway from
+the class-side ``proper-ext`` (Invariant 5.1.2 makes the two views
+interderivable) -- and :meth:`paper_class_history` renders the
+static-object view of the definition.
+
+Migration semantics for the value component (Section 5.2): when a
+static attribute is dropped by a migration it is deleted from ``v``
+with no trace; when a temporal attribute is dropped, the values it
+assumed *are maintained in the object even if the attribute is not
+part of the object anymore* -- its temporal value is closed, not
+removed.  :class:`TemporalObject` therefore may carry temporal values
+for attributes outside its current class; they are "meaningful"
+(Definition 5.2) only at the instants of their domains.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.errors import LifespanError, UnknownAttributeError
+from repro.temporal.instants import Now
+from repro.temporal.intervals import Interval
+from repro.temporal.temporalvalue import TemporalValue
+from repro.values.oid import OID
+from repro.values.records import RecordValue
+
+
+class TemporalObject:
+    """One T_Chimera object: ``(i, lifespan, v, class-history)``.
+
+    ``retained`` holds the closed histories of temporal attributes that
+    are "not part of the object anymore" (Section 5.2): dropped by a
+    migration, or whose kind changed to static in the target class (in
+    which case ``value`` holds the current static value *and*
+    ``retained`` keeps the past function -- Definition 5.5's condition
+    2 needs the history to stay checkable against the old class, while
+    condition 3 needs a static slot for the new one).  State
+    projections (``h_state``, ``snapshot``) read temporal attributes
+    from ``value`` and ``retained`` alike; an attribute name never
+    appears as temporal in both.
+    """
+
+    __slots__ = ("oid", "lifespan", "value", "retained", "class_history")
+
+    def __init__(
+        self,
+        oid: OID,
+        created_at: int,
+        most_specific_class: str,
+        attributes: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.oid = oid
+        self.lifespan: Interval = Interval.from_now(created_at)
+        self.value: dict[str, Any] = dict(attributes or {})
+        self.retained: dict[str, TemporalValue] = {}
+        self.class_history = TemporalValue()
+        self.class_history.assign(created_at, most_specific_class)
+
+    # -- lifespan ---------------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """True until the object is deleted."""
+        return self.lifespan.is_moving
+
+    def alive_at(self, t: int, now: int | None = None) -> bool:
+        return self.lifespan.contains(t, now)
+
+    def end_lifespan(self, t: int) -> None:
+        """Delete the object: it exists through ``t - 1``."""
+        if not self.lifespan.is_moving:
+            raise LifespanError(f"object {self.oid!r} was already deleted")
+        if t <= self.lifespan.start:
+            raise LifespanError(
+                f"object {self.oid!r} cannot be deleted in its creation "
+                "tick"
+            )
+        self.lifespan = Interval(self.lifespan.start, t - 1)
+
+    # -- the value component ------------------------------------------------------
+
+    def attribute_names(self) -> tuple[str, ...]:
+        """All attribute names present in ``v`` (including temporal
+        attributes retained from past classes)."""
+        return tuple(self.value)
+
+    def get_attribute(self, name: str) -> Any:
+        try:
+            return self.value[name]
+        except KeyError:
+            raise UnknownAttributeError(
+                f"object {self.oid!r} has no attribute {name!r}"
+            ) from None
+
+    def has_attribute(self, name: str) -> bool:
+        return name in self.value
+
+    def temporal_attribute_names(self) -> tuple[str, ...]:
+        """Attributes whose value is a temporal value (current class
+        only; retained histories excluded)."""
+        return tuple(
+            name
+            for name, value in self.value.items()
+            if isinstance(value, TemporalValue)
+        )
+
+    def temporal_items(self) -> Iterator[tuple[str, TemporalValue]]:
+        """All temporal histories of the object: the temporal attribute
+        values plus the retained histories of dropped attributes."""
+        for name, value in self.value.items():
+            if isinstance(value, TemporalValue):
+                yield name, value
+        for name, value in self.retained.items():
+            if not isinstance(self.value.get(name), TemporalValue):
+                yield name, value
+
+    def temporal_value(self, name: str) -> TemporalValue | None:
+        """The temporal history recorded under *name*, live or retained."""
+        value = self.value.get(name)
+        if isinstance(value, TemporalValue):
+            return value
+        return self.retained.get(name)
+
+    def static_attribute_names(self) -> tuple[str, ...]:
+        """Attributes whose value is a plain (current-only) value."""
+        return tuple(
+            name
+            for name, value in self.value.items()
+            if not isinstance(value, TemporalValue)
+        )
+
+    @property
+    def is_historical(self) -> bool:
+        """True iff the object has at least one temporal attribute."""
+        return any(
+            isinstance(v, TemporalValue) for v in self.value.values()
+        )
+
+    @property
+    def is_static(self) -> bool:
+        return not self.is_historical
+
+    def value_record(self) -> RecordValue:
+        """The ``v`` component as the paper's record value."""
+        return RecordValue(dict(self.value))
+
+    # -- class history ---------------------------------------------------------------
+
+    def most_specific_class(self, t: int) -> str | None:
+        """The most specific class the object belongs to at instant *t*."""
+        return self.class_history.get(t)
+
+    def current_class(self, now: int) -> str:
+        """The most specific class at the current time."""
+        cls = self.class_history.get(now)
+        if cls is None:
+            raise LifespanError(
+                f"object {self.oid!r} does not exist at time {now}"
+            )
+        return cls
+
+    def classes_over_time(self) -> Iterator[tuple[Interval, str]]:
+        """The ``<tau_i, c_i>`` pairs of the class history."""
+        return iter(self.class_history.pairs())
+
+    def paper_class_history(self, now: int) -> TemporalValue:
+        """The ``class-history`` component as Definition 5.1 stores it.
+
+        For a historical object: the full history.  For a static
+        object: the single pair ``<[now, now], c>`` with c the current
+        most specific class.
+        """
+        if self.is_historical:
+            return self.class_history
+        current = self.class_history.get(now)
+        result = TemporalValue()
+        if current is not None:
+            result.put(Interval(now, now), current)
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"TemporalObject({self.oid!r}, lifespan={self.lifespan}, "
+            f"class_history={self.class_history!r})"
+        )

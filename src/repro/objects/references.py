@@ -1,0 +1,64 @@
+"""Object references and the ``ref`` function (Definition 5.6, Table 3).
+
+An object o *refers* to o' at instant t if the oid of o' appears in one
+of o's attribute values at time t.  ``ref(i, t)`` returns the set of
+oids referred to at t; referential integrity requires every such oid to
+identify an object of the database whose lifespan also contains t.
+
+Time-indexing of references: temporal attributes contribute the oids
+occurring in their value *at* t (nothing when not meaningful at t);
+static attributes record only their current value, so they contribute
+oids only when t is the current time -- consistent with how the rest
+of the model treats static state at past instants.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.objects.object import TemporalObject
+from repro.temporal.temporalvalue import TemporalValue
+from repro.values.oid import OID
+from repro.values.records import RecordValue
+
+
+def oids_in_value(value: Any) -> Iterator[OID]:
+    """All oids occurring (recursively) in a non-temporal value."""
+    stack = [value]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, OID):
+            yield current
+        elif isinstance(current, (set, frozenset, list, tuple)):
+            stack.extend(current)
+        elif isinstance(current, RecordValue):
+            stack.extend(current.values())
+        elif isinstance(current, TemporalValue):
+            stack.extend(current.values())
+
+
+def referenced_oids(
+    obj: TemporalObject, t: int, now: int | None = None
+) -> frozenset[OID]:
+    """``ref(i, t)``: oids the object refers to at instant *t*."""
+    found: set[OID] = set()
+    at_present = now is not None and t == now
+    for _name, value in obj.temporal_items():
+        if value.defined_at(t):
+            found.update(oids_in_value(value.at(t)))
+    for value in obj.value.values():
+        if isinstance(value, TemporalValue):
+            continue
+        if at_present or now is None:
+            found.update(oids_in_value(value))
+    return frozenset(found)
+
+
+def all_referenced_oids(obj: TemporalObject) -> frozenset[OID]:
+    """Every oid occurring anywhere in the object's value, at any time."""
+    found: set[OID] = set()
+    for value in obj.value.values():
+        found.update(oids_in_value(value))
+    for value in obj.retained.values():
+        found.update(oids_in_value(value))
+    return frozenset(found)

@@ -1,0 +1,101 @@
+"""Object state projections: ``h_state``, ``s_state``, ``snapshot``.
+
+Given an object ``o`` with value ``(a_1: v_1, ..., a_n: v_n)`` and an
+instant ``t`` in its lifespan (Section 5.2):
+
+* the **historical value** ``h_state(i, t)`` is the record of the
+  *meaningful* temporal attributes at t, each evaluated at t;
+* the **static value** ``s_state(i)`` is the record of the static
+  attributes (their current values -- the only ones recorded);
+* ``snapshot(i, t)`` (Section 5.3) projects the full state at t:
+  static attributes contribute their current value, temporal ones
+  their value at t.  For an object with at least one static attribute
+  the snapshot is **undefined** for ``t != now`` (past values of static
+  attributes are not recorded); for an object with only temporal
+  attributes, ``snapshot`` coincides with ``h_state``.
+
+Conformance note: Definition 5.3 checks ``h_state`` against
+``h_type(c)``, whose record has exactly c's temporal attributes, and
+the meaningful set at t equals that set whenever the object belonged to
+c at t -- so taking "the meaningful attributes" (rather than "c's
+attributes") in ``h_state`` is what makes the consistency check
+sensitive to migration, as Section 5.2's manager/employee discussion
+intends.  For ``snapshot`` at an instant where a temporal attribute is
+not meaningful, we omit the attribute from the record (its function is
+undefined there).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import LifespanError, SnapshotUndefinedError
+from repro.temporal.temporalvalue import TemporalValue
+from repro.objects.object import TemporalObject
+from repro.values.records import RecordValue
+
+
+def h_state(obj: TemporalObject, t: int, now: int | None = None) -> RecordValue:
+    """The historical value of *obj* at instant *t* (Table 3).
+
+    Raises :class:`LifespanError` when *t* is outside the lifespan.
+    """
+    if not obj.alive_at(t, now):
+        raise LifespanError(
+            f"h_state: {t} is outside the lifespan of {obj.oid!r}"
+        )
+    fields: dict[str, Any] = {}
+    for name, value in obj.temporal_items():
+        if value.defined_at(t):
+            fields[name] = value.at(t)
+    return RecordValue(fields)
+
+
+def s_state(obj: TemporalObject) -> RecordValue:
+    """The static value of *obj* (Table 3): its static attributes."""
+    fields = {
+        name: value
+        for name, value in obj.value.items()
+        if not isinstance(value, TemporalValue)
+    }
+    return RecordValue(fields)
+
+
+def snapshot(
+    obj: TemporalObject, t: int, now: int | None = None
+) -> RecordValue:
+    """``snapshot(i, t)``: the projected state of *obj* at instant *t*.
+
+    * for an object with only temporal attributes this equals
+      ``h_state(i, t)`` (footnote 8);
+    * for an object with at least one static attribute it is defined
+      only at ``t == now`` (:class:`SnapshotUndefinedError` otherwise);
+    * as a particular case, the snapshot of a static object at the
+      current instant is its current state.
+    """
+    if not obj.alive_at(t, now):
+        raise LifespanError(
+            f"snapshot: {t} is outside the lifespan of {obj.oid!r}"
+        )
+    has_static = any(
+        not isinstance(v, TemporalValue) for v in obj.value.values()
+    )
+    if has_static:
+        if now is None:
+            raise SnapshotUndefinedError(
+                "snapshot of an object with static attributes needs the "
+                "current time (pass now=)"
+            )
+        if t != now:
+            raise SnapshotUndefinedError(
+                f"snapshot({obj.oid!r}, {t}) is undefined: the object "
+                f"has static attributes and {t} != now ({now})"
+            )
+    fields: dict[str, Any] = {}
+    for name, value in obj.temporal_items():
+        if value.defined_at(t):
+            fields[name] = value.at(t)
+    for name, value in obj.value.items():
+        if not isinstance(value, TemporalValue):
+            fields[name] = value
+    return RecordValue(fields)

@@ -1,0 +1,75 @@
+"""A temporal query language over T_Chimera databases.
+
+The paper defers the query language to future work (Section 7: "we are
+interested in investigating temporal object references and, more
+generally, issues related to the query language and its typing"); this
+package supplies one, small but typed:
+
+.. code-block:: text
+
+    select project where name = 'IDEA' at 50
+    select employee where salary >= 2000 sometime
+    select manager where size(dependents) > 2 always in [10, 40]
+    history of i where participants contains i2     -- a when() query
+
+Structure:
+
+* :mod:`repro.query.ast` -- expression and query nodes;
+* :mod:`repro.query.typing` -- static type checking of predicates
+  against the class's structural type, using the Definition 3.6 rules
+  and the ``<=_T`` order;
+* :mod:`repro.query.evaluator` -- evaluation with the model's
+  semantics: a predicate is evaluated per instant against the object's
+  snapshot; ``at``/``sometime``/``always``/``during`` quantify over the
+  membership lifespan; evaluation is segment-wise (piecewise-constant
+  histories), never per-instant;
+* :mod:`repro.query.parser` -- the concrete syntax above;
+* a fluent builder: ``select("project").where(attr("name") ==
+  const("IDEA")).at(50)``.
+"""
+
+from repro.query.ast import (
+    And,
+    Attr,
+    Compare,
+    Const,
+    Contains,
+    HistoryOf,
+    In,
+    Not,
+    Or,
+    Path,
+    Query,
+    SizeOf,
+    attr,
+    const,
+    path,
+)
+from repro.query.builder import select, when
+from repro.query.evaluator import evaluate, evaluate_when
+from repro.query.parser import parse_query
+from repro.query.typing import type_check
+
+__all__ = [
+    "Attr",
+    "Const",
+    "Compare",
+    "And",
+    "Or",
+    "Not",
+    "In",
+    "Contains",
+    "SizeOf",
+    "HistoryOf",
+    "Path",
+    "path",
+    "Query",
+    "attr",
+    "const",
+    "select",
+    "when",
+    "evaluate",
+    "evaluate_when",
+    "parse_query",
+    "type_check",
+]

@@ -1,0 +1,204 @@
+"""Query AST.
+
+Expressions are evaluated against one object at one instant; queries
+wrap a class name, a predicate and a *temporal scope* that says how the
+predicate quantifies over time.
+
+Null semantics: any comparison, membership or size applied to the null
+value (or to a temporal attribute that is not meaningful at the
+instant) is *false*; ``Not`` then makes it true -- the usual two-valued
+reading with null-rejecting atoms, which keeps the evaluator total
+without a third truth value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+from repro.values.oid import OID
+
+
+class Expr:
+    """Abstract base of query expressions."""
+
+    __slots__ = ()
+
+    # Sugar so builder-style predicates read naturally.
+    def __eq__(self, other: object):  # type: ignore[override]
+        return Compare(CompareOp.EQ, self, _lift(other))
+
+    def __ne__(self, other: object):  # type: ignore[override]
+        return Compare(CompareOp.NE, self, _lift(other))
+
+    def __lt__(self, other: Any):
+        return Compare(CompareOp.LT, self, _lift(other))
+
+    def __le__(self, other: Any):
+        return Compare(CompareOp.LE, self, _lift(other))
+
+    def __gt__(self, other: Any):
+        return Compare(CompareOp.GT, self, _lift(other))
+
+    def __ge__(self, other: Any):
+        return Compare(CompareOp.GE, self, _lift(other))
+
+    def __hash__(self) -> int:
+        return object.__hash__(self)
+
+    def is_in(self, other: Any) -> "In":
+        """``self in other`` (set/list membership)."""
+        return In(self, _lift(other))
+
+    def contains(self, other: Any) -> "Contains":
+        """``other in self`` (set/list membership, flipped)."""
+        return Contains(self, _lift(other))
+
+    def size(self) -> "SizeOf":
+        return SizeOf(self)
+
+
+def _lift(value: Any) -> "Expr":
+    return value if isinstance(value, Expr) else Const(value)
+
+
+@dataclass(frozen=True, eq=False)
+class Attr(Expr):
+    """An attribute of the queried object (by name).
+
+    At evaluation instant t: the value of a temporal attribute at t
+    (null-rejecting when not meaningful), or the current value of a
+    static attribute.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True, eq=False)
+class Const(Expr):
+    """A literal value."""
+
+    value: Any
+
+
+@dataclass(frozen=True, eq=False)
+class Path(Expr):
+    """A temporal object reference path, e.g. ``lead.name``.
+
+    The first step is an attribute of the queried object whose domain
+    is (or whose temporal domain wraps) an object type; each further
+    step dereferences the oid *at the evaluation instant* and reads the
+    next attribute of the referenced object -- the paper's "temporal
+    object references" (Section 7).  A step is undefined (the atom is
+    false) when the reference is null/undefined at that instant, when
+    the referenced object does not exist then, or when a static
+    attribute is read at a past instant.
+    """
+
+    steps: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.steps) < 2:
+            raise ValueError("a path needs at least two steps; use Attr")
+
+
+def path(*steps: str) -> Path:
+    """Builder sugar: a dereferencing path (``path("lead", "name")``)."""
+    return Path(tuple(steps))
+
+
+@dataclass(frozen=True, eq=False)
+class HistoryOf(Expr):
+    """The whole temporal value of a temporal attribute (not just the
+    value at the evaluation instant)."""
+
+    name: str
+
+
+class CompareOp(str, Enum):
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+
+@dataclass(frozen=True, eq=False)
+class Compare(Expr):
+    op: CompareOp
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class And(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class Or(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class Not(Expr):
+    operand: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class In(Expr):
+    """``item in collection``."""
+
+    item: Expr
+    collection: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class Contains(Expr):
+    """``collection contains item``."""
+
+    collection: Expr
+    item: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class SizeOf(Expr):
+    """The cardinality of a set/list valued expression."""
+
+    operand: Expr
+
+
+class TemporalScope(str, Enum):
+    """How a query predicate quantifies over time."""
+
+    NOW = "now"            # at the current instant
+    AT = "at"              # at one given instant
+    SOMETIME = "sometime"  # exists t in the membership lifespan
+    ALWAYS = "always"      # forall t in the membership lifespan
+    SOMETIME_IN = "sometime-in"  # exists t in the given interval
+    ALWAYS_IN = "always-in"      # forall t in the given interval
+
+
+@dataclass(frozen=True)
+class Query:
+    """``select <class> [where <pred>] [<scope>]``."""
+
+    class_name: str
+    predicate: Expr | None = None
+    scope: TemporalScope = TemporalScope.NOW
+    at: int | None = None
+    interval: tuple[int, int] | None = None
+
+
+def attr(name: str) -> Attr:
+    """Builder sugar: an attribute reference."""
+    return Attr(name)
+
+
+def const(value: Any) -> Const:
+    """Builder sugar: a literal."""
+    return Const(value)

@@ -1,0 +1,126 @@
+"""Fluent query construction.
+
+.. code-block:: python
+
+    from repro.query import select, attr
+
+    q = select("project").where(attr("name") == "IDEA").at(50)
+    oids = q.run(db)
+
+    holds = when(db, oid, attr("participants").contains(i2))
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.query.ast import Expr, Query, TemporalScope, _lift
+from repro.temporal.intervalsets import IntervalSet
+from repro.values.oid import OID
+
+
+class QueryBuilder:
+    """Accumulates the pieces of a :class:`Query`."""
+
+    def __init__(self, class_name: str) -> None:
+        self._class_name = class_name
+        self._predicate: Expr | None = None
+        self._scope = TemporalScope.NOW
+        self._at: int | None = None
+        self._interval: tuple[int, int] | None = None
+
+    def where(self, predicate: Expr | Any) -> "QueryBuilder":
+        """Add (conjoin) a predicate."""
+        lifted = _lift(predicate)
+        if self._predicate is None:
+            self._predicate = lifted
+        else:
+            from repro.query.ast import And
+
+            self._predicate = And(self._predicate, lifted)
+        return self
+
+    def at(self, t: int) -> "QueryBuilder":
+        """Evaluate at one past (or present) instant."""
+        self._scope = TemporalScope.AT
+        self._at = t
+        return self
+
+    def now(self) -> "QueryBuilder":
+        self._scope = TemporalScope.NOW
+        return self
+
+    def sometime(self) -> "QueryBuilder":
+        """The predicate must hold at some instant of membership."""
+        self._scope = TemporalScope.SOMETIME
+        return self
+
+    def always(self) -> "QueryBuilder":
+        """The predicate must hold at every instant of membership."""
+        self._scope = TemporalScope.ALWAYS
+        return self
+
+    def sometime_in(self, start: int, end: int) -> "QueryBuilder":
+        self._scope = TemporalScope.SOMETIME_IN
+        self._interval = (start, end)
+        return self
+
+    def always_in(self, start: int, end: int) -> "QueryBuilder":
+        self._scope = TemporalScope.ALWAYS_IN
+        self._interval = (start, end)
+        return self
+
+    def build(self) -> Query:
+        return Query(
+            self._class_name,
+            self._predicate,
+            self._scope,
+            self._at,
+            self._interval,
+        )
+
+    def run(self, db) -> list[OID]:
+        """Build and evaluate against *db*."""
+        from repro.query.evaluator import evaluate
+
+        return evaluate(db, self.build())
+
+    def run_records(self, db) -> list[tuple[OID, Any]]:
+        """Like :meth:`run`, but pairs each hit with its snapshot.
+
+        The snapshot is taken at the query's anchor instant (the ``at``
+        instant for AT scope, otherwise ``now``); objects whose
+        snapshot is undefined there (static attributes at a past
+        instant) are paired with ``None``.
+        """
+        from repro.errors import SnapshotUndefinedError
+        from repro.objects.state import snapshot
+        from repro.query.ast import TemporalScope
+        from repro.query.evaluator import evaluate
+
+        query = self.build()
+        at = (
+            query.at
+            if query.scope is TemporalScope.AT and query.at is not None
+            else db.now
+        )
+        results = []
+        for oid in evaluate(db, query):
+            try:
+                record = snapshot(db.get_object(oid), at, db.now)
+            except SnapshotUndefinedError:
+                record = None
+            results.append((oid, record))
+        return results
+
+
+def select(class_name: str) -> QueryBuilder:
+    """Start a query over the extent of *class_name*."""
+    return QueryBuilder(class_name)
+
+
+def when(db, oid: OID, predicate: Expr) -> IntervalSet:
+    """The instants at which *predicate* holds of the object *oid*."""
+    from repro.query.evaluator import evaluate_when
+
+    return evaluate_when(db, db.get_object(oid), predicate, db.now)

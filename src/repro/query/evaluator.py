@@ -1,0 +1,275 @@
+"""Query evaluation.
+
+Semantics.  A query over class c ranges over the oids in ``pi(c, t)``
+(members *and* instances, per Definition 3.5's reading of object
+types), with the instants t determined by the temporal scope:
+
+* ``NOW`` / ``AT t`` -- the predicate must hold at the single instant;
+* ``SOMETIME`` (resp. ``ALWAYS``) -- at some (resp. every) instant of
+  the object's membership lifespan ``m_lifespan(i, c)``;
+* ``SOMETIME_IN [a,b]`` / ``ALWAYS_IN [a,b]`` -- membership lifespan
+  intersected with the interval (an object never a member inside the
+  interval satisfies no SOMETIME_IN and every ALWAYS_IN vacuously --
+  except it is not returned at all, since the query ranges over
+  members).
+
+Attribute access follows the substitutability view of Section 6.1:
+``Attr(a)`` on a temporal attribute reads the function at the
+evaluation instant; a static attribute contributes its current value
+only when the evaluation instant is ``now`` (at past instants a static
+attribute is unknown, and any atom over it is false -- the same
+information asymmetry as in Definition 5.5's consistency check).
+
+Per-segment evaluation: predicates over piecewise-constant histories
+are themselves piecewise constant; :func:`evaluate_when` computes the
+exact interval set where the predicate holds by intersecting pair
+domains, and the quantified scopes reduce to emptiness/coverage tests
+on that set.  Nothing ever iterates per instant.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import QueryError
+from repro.objects.object import TemporalObject
+from repro.query.ast import (
+    And,
+    Attr,
+    Path,
+    Compare,
+    CompareOp,
+    Const,
+    Contains,
+    Expr,
+    HistoryOf,
+    In,
+    Not,
+    Or,
+    Query,
+    SizeOf,
+    TemporalScope,
+)
+from repro.query.typing import type_check
+from repro.temporal.intervals import Interval
+from repro.temporal.intervalsets import IntervalSet
+from repro.temporal.temporalvalue import TemporalValue
+from repro.values.null import is_null
+from repro.values.oid import OID
+from repro.values.structure import values_equal
+
+_UNDEF = object()  # the "no value here" marker (null-rejecting atoms)
+
+
+def evaluate(db, query: Query) -> list[OID]:
+    """Run *query* against *db*; returns matching oids, sorted."""
+    cls = db.get_class(query.class_name)
+    type_check(query, cls, db)
+    now = db.now
+    results: list[OID] = []
+    for oid in sorted(db.pi(query.class_name, _anchor_instant(query, now))):
+        membership = db.membership_times(query.class_name, oid)
+        if _matches(db, oid, query, membership, now):
+            results.append(oid)
+    return results
+
+
+def _anchor_instant(query: Query, now: int) -> int:
+    """The instant whose extent the query ranges over."""
+    if query.scope is TemporalScope.AT:
+        assert query.at is not None
+        return query.at
+    return now
+
+
+def _matches(
+    db, oid: OID, query: Query, membership: IntervalSet, now: int
+) -> bool:
+    obj = db.get_object(oid)
+    if query.predicate is None:
+        return True
+    if query.scope in (TemporalScope.NOW, TemporalScope.AT):
+        at = now if query.scope is TemporalScope.NOW else query.at
+        assert at is not None
+        return _eval_at(db, obj, query.predicate, at, now) is True
+    holds = evaluate_when(db, obj, query.predicate, now)
+    scoped = membership
+    if query.scope in (TemporalScope.SOMETIME_IN, TemporalScope.ALWAYS_IN):
+        assert query.interval is not None
+        scoped = membership & IntervalSet.span(*query.interval)
+        if scoped.is_empty:
+            return False
+    if query.scope in (TemporalScope.SOMETIME, TemporalScope.SOMETIME_IN):
+        return not (holds & scoped).is_empty
+    return scoped.issubset(holds)
+
+
+def evaluate_when(
+    db, obj: TemporalObject, predicate: Expr, now: int
+) -> IntervalSet:
+    """The set of instants (up to *now*) at which *predicate* holds of
+    *obj* -- the ``when()`` operator."""
+    horizon = obj.lifespan.resolve(now)
+    if horizon.is_empty:
+        return IntervalSet.empty()
+    result = IntervalSet.empty()
+    extra: set[int] = set()
+    if _mentions_path(predicate):
+        # Path atoms depend on OTHER objects' histories; their change
+        # points must also cut the segments.  Conservative and correct:
+        # take every object's boundaries (histories are piecewise
+        # constant between them).
+        for other in db.objects():
+            extra.add(other.lifespan.start)
+            end = other.lifespan.end
+            if not isinstance(end, int):
+                pass
+            elif end + 1 <= horizon.end:  # type: ignore[operator]
+                extra.add(end + 1)
+            for _name, value in other.temporal_items():
+                for interval, _carried in value.resolved_pairs(now):
+                    extra.add(interval.start)
+                    pair_end = interval.end
+                    assert isinstance(pair_end, int)
+                    if pair_end + 1 <= horizon.end:  # type: ignore[operator]
+                        extra.add(pair_end + 1)
+    for segment in _segments(obj, horizon, now, extra):
+        if _eval_at(db, obj, predicate, segment.start, now) is True:
+            result = result | IntervalSet([segment])
+    return result
+
+
+def _segments(
+    obj: TemporalObject,
+    horizon: Interval,
+    now: int,
+    extra: set[int] | None = None,
+) -> Iterator[Interval]:
+    """Maximal intervals of *horizon* on which every temporal attribute
+    of *obj* is constant (and ``now`` is isolated, because static
+    attributes flip from unknown to known there).  *extra* adds cut
+    points (used when the predicate dereferences other objects)."""
+    boundaries: set[int] = {horizon.start}
+    if extra:
+        boundaries |= extra
+    for _name, value in obj.temporal_items():
+        for interval, _carried in value.resolved_pairs(now):
+            boundaries.add(interval.start)
+            end = interval.end
+            assert isinstance(end, int)
+            if end + 1 <= horizon.end:  # type: ignore[operator]
+                boundaries.add(end + 1)
+    if horizon.contains(now):
+        boundaries.add(now)  # static attributes become visible at now
+    cuts = sorted(b for b in boundaries if horizon.contains(b))
+    for index, start in enumerate(cuts):
+        end = cuts[index + 1] - 1 if index + 1 < len(cuts) else horizon.end
+        yield Interval(start, end)  # type: ignore[arg-type]
+
+
+def _read_attribute(obj: TemporalObject, name: str, t: int, now: int) -> Any:
+    """One attribute of one object at one instant (Attr semantics)."""
+    value = obj.value.get(name, _UNDEF)
+    if value is _UNDEF:
+        retained = obj.retained.get(name)
+        if retained is not None and retained.defined_at(t):
+            return retained.at(t)
+        return _UNDEF
+    if isinstance(value, TemporalValue):
+        return value.at(t) if value.defined_at(t) else _UNDEF
+    return value if t == now else _UNDEF
+
+
+def _mentions_path(expr: Expr) -> bool:
+    if isinstance(expr, Path):
+        return True
+    for field in ("left", "right", "operand", "item", "collection"):
+        child = getattr(expr, field, None)
+        if isinstance(child, Expr) and _mentions_path(child):
+            return True
+    return False
+
+
+def _eval_at(db, obj: TemporalObject, expr: Expr, t: int, now: int) -> Any:
+    """Evaluate *expr* for *obj* at instant *t*; ``_UNDEF`` when an
+    atom touches a value unknown at *t*."""
+    if isinstance(expr, Attr):
+        return _read_attribute(obj, expr.name, t, now)
+    if isinstance(expr, Path):
+        current_obj = obj
+        value: Any = _UNDEF
+        for index, step in enumerate(expr.steps):
+            value = _read_attribute(current_obj, step, t, now)
+            if value is _UNDEF or is_null(value):
+                return _UNDEF if index < len(expr.steps) - 1 else value
+            if index == len(expr.steps) - 1:
+                return value
+            if not isinstance(value, OID):
+                return _UNDEF
+            try:
+                current_obj = db.get_object(value)
+            except Exception:
+                return _UNDEF
+            if not current_obj.alive_at(t, now):
+                return _UNDEF
+        return value
+    if isinstance(expr, HistoryOf):
+        history = obj.temporal_value(expr.name)
+        return history if history is not None else _UNDEF
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Compare):
+        left = _eval_at(db, obj, expr.left, t, now)
+        right = _eval_at(db, obj, expr.right, t, now)
+        if left is _UNDEF or right is _UNDEF:
+            return False
+        if is_null(left) or is_null(right):
+            return False
+        return _compare(expr.op, left, right)
+    if isinstance(expr, And):
+        return (
+            _eval_at(db, obj, expr.left, t, now) is True
+            and _eval_at(db, obj, expr.right, t, now) is True
+        )
+    if isinstance(expr, Or):
+        return (
+            _eval_at(db, obj, expr.left, t, now) is True
+            or _eval_at(db, obj, expr.right, t, now) is True
+        )
+    if isinstance(expr, Not):
+        return _eval_at(db, obj, expr.operand, t, now) is not True
+    if isinstance(expr, (In, Contains)):
+        item = _eval_at(db, obj, expr.item, t, now)
+        collection = _eval_at(db, obj, expr.collection, t, now)
+        if item is _UNDEF or collection is _UNDEF:
+            return False
+        if is_null(collection) or not isinstance(
+            collection, (set, frozenset, list, tuple)
+        ):
+            return False
+        return any(values_equal(item, member) for member in collection)
+    if isinstance(expr, SizeOf):
+        operand = _eval_at(db, obj, expr.operand, t, now)
+        if operand is _UNDEF or is_null(operand):
+            return _UNDEF
+        if not isinstance(operand, (set, frozenset, list, tuple)):
+            return _UNDEF
+        return len(operand)
+    raise QueryError(f"unknown expression {expr!r}")
+
+
+def _compare(op: CompareOp, left: Any, right: Any) -> bool:
+    if op is CompareOp.EQ:
+        return values_equal(left, right)
+    if op is CompareOp.NE:
+        return not values_equal(left, right)
+    try:
+        if op is CompareOp.LT:
+            return left < right
+        if op is CompareOp.LE:
+            return left <= right
+        if op is CompareOp.GT:
+            return left > right
+        return left >= right
+    except TypeError:
+        return False

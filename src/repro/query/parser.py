@@ -1,0 +1,308 @@
+"""Concrete syntax for queries.
+
+Grammar (case-insensitive keywords)::
+
+    query     ::=  'select' IDENT [ 'where' pred ] [ scope ]
+    scope     ::=  'at' INT
+                |  'sometime' [ 'in' interval ]
+                |  'always'   [ 'in' interval ]
+    interval  ::=  '[' INT ',' INT ']'
+    pred      ::=  conj { 'or' conj }
+    conj      ::=  atom { 'and' atom }
+    atom      ::=  'not' atom
+                |  '(' pred ')'
+                |  operand cmp operand
+                |  operand 'in' operand
+                |  operand 'contains' operand
+    operand   ::=  'size' '(' operand ')'
+                |  'history' '(' IDENT ')'
+                |  IDENT                -- an attribute
+                |  literal
+    literal   ::=  INT | FLOAT | STRING | 'true' | 'false' | 'null'
+                |  'oid' '(' INT [ ',' IDENT ] ')'
+    cmp       ::=  '=' | '<>' | '!=' | '<' | '<=' | '>' | '>='
+
+Examples::
+
+    select project where name = 'IDEA' at 50
+    select employee where salary >= 2000.0 sometime
+    select manager where size(dependents) > 2 always in [10, 40]
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.errors import QuerySyntaxError
+from repro.query.ast import (
+    And,
+    Attr,
+    Path,
+    Compare,
+    CompareOp,
+    Const,
+    Contains,
+    Expr,
+    HistoryOf,
+    In,
+    Not,
+    Or,
+    Query,
+    SizeOf,
+    TemporalScope,
+)
+from repro.values.null import NULL
+from repro.values.oid import OID
+
+_TOKEN_RE = re.compile(
+    r"""\s*(?:
+        (?P<float>\d+\.\d+)
+      | (?P<int>\d+)
+      | (?P<string>'(?:[^'\\]|\\.)*')
+      | (?P<op><>|!=|<=|>=|=|<|>)
+      | (?P<punct>[()\[\],.])
+      | (?P<ident>[A-Za-z_][A-Za-z0-9_-]*)
+    )""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "where", "at", "sometime", "always", "in", "and", "or",
+    "not", "contains", "size", "history", "true", "false", "null", "oid",
+}
+
+
+def _tokenize(text: str) -> list[tuple[str, Any]]:
+    tokens: list[tuple[str, Any]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise QuerySyntaxError(
+                    f"unexpected character {text[pos]!r} at {pos} in "
+                    f"{text!r}"
+                )
+            break
+        if match.group("float") is not None:
+            tokens.append(("number", float(match.group("float"))))
+        elif match.group("int") is not None:
+            tokens.append(("number", int(match.group("int"))))
+        elif match.group("string") is not None:
+            raw = match.group("string")[1:-1]
+            tokens.append(("string", raw.replace("\\'", "'")))
+        elif match.group("op") is not None:
+            tokens.append(("op", match.group("op")))
+        elif match.group("punct") is not None:
+            tokens.append(("punct", match.group("punct")))
+        else:
+            word = match.group("ident")
+            if word.lower() in _KEYWORDS:
+                tokens.append(("keyword", word.lower()))
+            else:
+                tokens.append(("ident", word))
+        pos = match.end()
+    tokens.append(("end", None))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    def _peek(self) -> tuple[str, Any]:
+        return self._tokens[self._index]
+
+    def _next(self) -> tuple[str, Any]:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> None:
+        kind, value = self._next()
+        if kind != "keyword" or value != word:
+            raise QuerySyntaxError(
+                f"expected {word!r} in {self._text!r}, got {value!r}"
+            )
+
+    def _expect_punct(self, mark: str) -> None:
+        kind, value = self._next()
+        if kind != "punct" or value != mark:
+            raise QuerySyntaxError(
+                f"expected {mark!r} in {self._text!r}, got {value!r}"
+            )
+
+    def parse(self) -> Query:
+        self._expect_keyword("select")
+        kind, class_name = self._next()
+        if kind != "ident":
+            raise QuerySyntaxError(
+                f"expected a class name after 'select', got {class_name!r}"
+            )
+        predicate: Expr | None = None
+        if self._peek() == ("keyword", "where"):
+            self._next()
+            predicate = self._pred()
+        scope, at, interval = self._scope()
+        kind, value = self._next()
+        if kind != "end":
+            raise QuerySyntaxError(
+                f"trailing input {value!r} in {self._text!r}"
+            )
+        return Query(class_name, predicate, scope, at, interval)
+
+    def _scope(self) -> tuple[TemporalScope, int | None, tuple[int, int] | None]:
+        kind, value = self._peek()
+        if kind != "keyword":
+            return TemporalScope.NOW, None, None
+        if value == "at":
+            self._next()
+            kind, at = self._next()
+            if kind != "number" or not isinstance(at, int):
+                raise QuerySyntaxError("'at' needs an integer instant")
+            return TemporalScope.AT, at, None
+        if value in ("sometime", "always"):
+            self._next()
+            if self._peek() == ("keyword", "in"):
+                self._next()
+                interval = self._interval()
+                scope = (
+                    TemporalScope.SOMETIME_IN
+                    if value == "sometime"
+                    else TemporalScope.ALWAYS_IN
+                )
+                return scope, None, interval
+            scope = (
+                TemporalScope.SOMETIME
+                if value == "sometime"
+                else TemporalScope.ALWAYS
+            )
+            return scope, None, None
+        return TemporalScope.NOW, None, None
+
+    def _interval(self) -> tuple[int, int]:
+        self._expect_punct("[")
+        kind, start = self._next()
+        if kind != "number" or not isinstance(start, int):
+            raise QuerySyntaxError("interval start must be an integer")
+        self._expect_punct(",")
+        kind, end = self._next()
+        if kind != "number" or not isinstance(end, int):
+            raise QuerySyntaxError("interval end must be an integer")
+        self._expect_punct("]")
+        return (start, end)
+
+    def _pred(self) -> Expr:
+        left = self._conj()
+        while self._peek() == ("keyword", "or"):
+            self._next()
+            left = Or(left, self._conj())
+        return left
+
+    def _conj(self) -> Expr:
+        left = self._atom()
+        while self._peek() == ("keyword", "and"):
+            self._next()
+            left = And(left, self._atom())
+        return left
+
+    def _atom(self) -> Expr:
+        kind, value = self._peek()
+        if (kind, value) == ("keyword", "not"):
+            self._next()
+            return Not(self._atom())
+        if (kind, value) == ("punct", "("):
+            self._next()
+            inner = self._pred()
+            self._expect_punct(")")
+            return inner
+        left = self._operand()
+        kind, value = self._next()
+        if kind == "op":
+            op = {
+                "=": CompareOp.EQ,
+                "<>": CompareOp.NE,
+                "!=": CompareOp.NE,
+                "<": CompareOp.LT,
+                "<=": CompareOp.LE,
+                ">": CompareOp.GT,
+                ">=": CompareOp.GE,
+            }[value]
+            return Compare(op, left, self._operand())
+        if (kind, value) == ("keyword", "in"):
+            return In(left, self._operand())
+        if (kind, value) == ("keyword", "contains"):
+            return Contains(left, self._operand())
+        raise QuerySyntaxError(
+            f"expected a comparison in {self._text!r}, got {value!r}"
+        )
+
+    def _operand(self) -> Expr:
+        kind, value = self._next()
+        if kind == "number":
+            return Const(value)
+        if kind == "string":
+            return Const(value)
+        if kind == "keyword":
+            if value == "true":
+                return Const(True)
+            if value == "false":
+                return Const(False)
+            if value == "null":
+                return Const(NULL)
+            if value == "size":
+                self._expect_punct("(")
+                inner = self._operand()
+                self._expect_punct(")")
+                return SizeOf(inner)
+            if value == "history":
+                self._expect_punct("(")
+                kind, name = self._next()
+                if kind != "ident":
+                    raise QuerySyntaxError(
+                        "history(...) needs an attribute name"
+                    )
+                self._expect_punct(")")
+                return HistoryOf(name)
+            if value == "oid":
+                self._expect_punct("(")
+                kind, serial = self._next()
+                if kind != "number" or not isinstance(serial, int):
+                    raise QuerySyntaxError("oid(...) needs an integer")
+                hierarchy = ""
+                if self._peek() == ("punct", ","):
+                    self._next()
+                    kind, hierarchy = self._next()
+                    if kind != "ident":
+                        raise QuerySyntaxError(
+                            "oid(serial, hierarchy) needs an identifier"
+                        )
+                self._expect_punct(")")
+                return Const(OID(serial, hierarchy))
+        if kind == "ident":
+            steps = [value]
+            while self._peek() == ("punct", "."):
+                self._next()
+                step_kind, step = self._next()
+                if step_kind != "ident":
+                    raise QuerySyntaxError(
+                        f"expected an attribute after '.' in "
+                        f"{self._text!r}"
+                    )
+                steps.append(step)
+            if len(steps) > 1:
+                return Path(tuple(steps))
+            return Attr(value)
+        raise QuerySyntaxError(
+            f"expected an operand in {self._text!r}, got {value!r}"
+        )
+
+
+def parse_query(text: str) -> Query:
+    """Parse the concrete query syntax into a :class:`Query`."""
+    if not isinstance(text, str) or not text.strip():
+        raise QuerySyntaxError(f"not a query: {text!r}")
+    return _Parser(text).parse()

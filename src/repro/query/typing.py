@@ -1,0 +1,215 @@
+"""Static typing of query predicates.
+
+Each expression is assigned a type relative to the queried class's
+structural type; the rules reuse the model's type machinery:
+
+* ``Attr(a)`` has the class's declared domain, with ``temporal(T)``
+  collapsing to ``T`` (the evaluator reads the function at one
+  instant -- the coercion view of Section 6.1);
+* ``HistoryOf(a)`` has the declared ``temporal(T)`` itself and is only
+  legal on temporal attributes;
+* ``Const(v)`` is typed by the inference of Definition 3.6;
+* comparisons require the two sides to be related by ``<=_T`` in one
+  direction or the other (or both numeric); order comparisons require
+  a totally ordered basic type;
+* ``In``/``Contains`` require a collection whose element type relates
+  to the item type;
+* ``SizeOf`` requires a collection and has type integer;
+* the connectives require (and have) type bool.
+
+A violation raises :class:`QueryTypeError` with the offending subterm.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import QueryTypeError, TypeCheckError
+from repro.query.ast import (
+    And,
+    Attr,
+    Path,
+    Compare,
+    CompareOp,
+    Const,
+    Contains,
+    Expr,
+    HistoryOf,
+    In,
+    Not,
+    Or,
+    Query,
+    SizeOf,
+)
+from repro.schema.class_def import ClassSignature
+from repro.types.context import TypeContext
+from repro.types.deduction import infer_type
+from repro.types.grammar import (
+    BOOL,
+    BOTTOM,
+    INTEGER,
+    BasicType,
+    BottomType,
+    ListOf,
+    SetOf,
+    TemporalType,
+    Type,
+)
+from repro.types.subtyping import is_subtype
+from repro.values.null import is_null
+
+_ORDERED = {"integer", "real", "string", "character", "time"}
+
+
+def type_check(query: Query, cls: ClassSignature, ctx: TypeContext) -> None:
+    """Check the query's predicate against class *cls*; raise
+    :class:`QueryTypeError` on the first violation."""
+    if query.predicate is None:
+        return
+    result = _type_of(query.predicate, cls, ctx)
+    if result != BOOL:
+        raise QueryTypeError(
+            f"query predicate has type {result!r}, expected bool"
+        )
+
+
+def _type_of(expr: Expr, cls: ClassSignature, ctx: TypeContext) -> Type:
+    if isinstance(expr, Attr):
+        attribute = _attribute(cls, expr.name)
+        declared = attribute.type
+        if isinstance(declared, TemporalType):
+            return declared.argument
+        return declared
+    if isinstance(expr, Path):
+        return _type_of_path(expr, cls, ctx)
+    if isinstance(expr, HistoryOf):
+        attribute = _attribute(cls, expr.name)
+        if not isinstance(attribute.type, TemporalType):
+            raise QueryTypeError(
+                f"history of {expr.name!r}: the attribute is not "
+                "temporal"
+            )
+        return attribute.type
+    if isinstance(expr, Const):
+        if is_null(expr.value):
+            return BOTTOM
+        try:
+            return infer_type(expr.value, ctx)
+        except TypeCheckError as exc:
+            raise QueryTypeError(
+                f"literal {expr.value!r} is not a T_Chimera value: {exc}"
+            ) from exc
+    if isinstance(expr, Compare):
+        left = _type_of(expr.left, cls, ctx)
+        right = _type_of(expr.right, cls, ctx)
+        if not _comparable(left, right, ctx):
+            raise QueryTypeError(
+                f"cannot compare {left!r} with {right!r}"
+            )
+        if expr.op not in (CompareOp.EQ, CompareOp.NE):
+            if not (_is_ordered(left) or isinstance(left, BottomType)) or \
+               not (_is_ordered(right) or isinstance(right, BottomType)):
+                raise QueryTypeError(
+                    f"order comparison needs an ordered basic type, got "
+                    f"{left!r} {expr.op.value} {right!r}"
+                )
+        return BOOL
+    if isinstance(expr, (And, Or)):
+        for side in (expr.left, expr.right):
+            side_type = _type_of(side, cls, ctx)
+            if side_type != BOOL:
+                raise QueryTypeError(
+                    f"connective operand has type {side_type!r}, "
+                    "expected bool"
+                )
+        return BOOL
+    if isinstance(expr, Not):
+        operand = _type_of(expr.operand, cls, ctx)
+        if operand != BOOL:
+            raise QueryTypeError(
+                f"'not' operand has type {operand!r}, expected bool"
+            )
+        return BOOL
+    if isinstance(expr, (In, Contains)):
+        item = expr.item if isinstance(expr, In) else expr.item
+        collection = (
+            expr.collection if isinstance(expr, In) else expr.collection
+        )
+        collection_type = _type_of(collection, cls, ctx)
+        if not isinstance(collection_type, (SetOf, ListOf)):
+            raise QueryTypeError(
+                f"membership needs a set/list, got {collection_type!r}"
+            )
+        item_type = _type_of(item, cls, ctx)
+        if not _comparable(item_type, collection_type.element, ctx):
+            raise QueryTypeError(
+                f"membership item {item_type!r} is unrelated to element "
+                f"type {collection_type.element!r}"
+            )
+        return BOOL
+    if isinstance(expr, SizeOf):
+        operand = _type_of(expr.operand, cls, ctx)
+        if not isinstance(operand, (SetOf, ListOf)):
+            raise QueryTypeError(
+                f"size() needs a set/list, got {operand!r}"
+            )
+        return INTEGER
+    raise QueryTypeError(f"unknown expression {expr!r}")
+
+
+def _type_of_path(expr: Path, cls: ClassSignature, ctx: TypeContext) -> Type:
+    """Resolve a dereferencing path through the schema.
+
+    Intermediate steps must have an object-type domain (possibly
+    wrapped in temporal); the path's type is the final attribute's
+    domain, de-temporalized."""
+    get_class = getattr(ctx, "get_class", None)
+    if not callable(get_class):
+        raise QueryTypeError(
+            "path expressions need a database context (class lookups)"
+        )
+    current = cls
+    for index, step in enumerate(expr.steps):
+        attribute = _attribute(current, step)
+        declared = attribute.type
+        if isinstance(declared, TemporalType):
+            declared = declared.argument
+        if index == len(expr.steps) - 1:
+            return declared
+        from repro.types.grammar import ObjectType as _ObjectType
+
+        if not isinstance(declared, _ObjectType):
+            raise QueryTypeError(
+                f"path step {step!r} has domain {declared!r}, not an "
+                "object type; cannot dereference further"
+            )
+        current = get_class(declared.class_name)
+    raise AssertionError("unreachable")
+
+
+def _attribute(cls: ClassSignature, name: str):
+    if name not in cls.attributes:
+        raise QueryTypeError(
+            f"class {cls.name!r} has no attribute {name!r}"
+        )
+    return cls.attributes[name]
+
+
+def _comparable(a: Type, b: Type, ctx: TypeContext) -> bool:
+    if isinstance(a, BottomType) or isinstance(b, BottomType):
+        return True
+    if is_subtype(a, b, ctx.isa) or is_subtype(b, a, ctx.isa):
+        return True
+    if not (isinstance(a, BasicType) and isinstance(b, BasicType)):
+        return False
+    # integer and real are numerically comparable; character values
+    # are strings of length one, so the two textual types compare.
+    numeric = {"integer", "real"}
+    textual = {"string", "character"}
+    return (a.name in numeric and b.name in numeric) or (
+        a.name in textual and b.name in textual
+    )
+
+
+def _is_ordered(t: Type) -> bool:
+    return isinstance(t, BasicType) and t.name in _ORDERED

@@ -1,0 +1,41 @@
+"""Classes, metaclasses and their histories (paper, Section 4).
+
+A T_Chimera class is a 7-tuple (Definition 4.1)::
+
+    (c, type, lifespan, attr, meth, history, mc)
+
+* ``c`` -- the class identifier;
+* ``type`` -- ``static`` or ``historical`` (historical iff at least one
+  *c-attribute* has a temporal domain);
+* ``lifespan`` -- the (contiguous) interval during which the class has
+  existed;
+* ``attr`` / ``meth`` -- the attributes and methods of the *instances*;
+* ``history`` -- a record value with the c-attribute values plus two
+  temporal values ``ext`` and ``proper-ext`` tracking the members and
+  the instances of the class over time;
+* ``mc`` -- the metaclass of which the class is the unique instance.
+
+This package provides :class:`Attribute`, :class:`MethodSignature`,
+:class:`ClassSignature`, :class:`ClassHistory` and :class:`Metaclass`,
+and the derived *structural*, *historical* and *static* types of a
+class (the ``type``, ``h_type`` and ``s_type`` functions of Table 3).
+"""
+
+from repro.schema.attribute import Attribute
+from repro.schema.method import MethodSignature
+from repro.schema.history import ClassHistory
+from repro.schema.metaclass import Metaclass
+from repro.schema.class_def import ClassKind, ClassSignature
+from repro.schema.derived_types import historical_type, static_type, structural_type
+
+__all__ = [
+    "Attribute",
+    "MethodSignature",
+    "ClassHistory",
+    "Metaclass",
+    "ClassKind",
+    "ClassSignature",
+    "structural_type",
+    "historical_type",
+    "static_type",
+]

@@ -1,0 +1,83 @@
+"""Attribute declarations.
+
+Each attribute is characterized by its name and the type of its values
+(Definition 4.1).  The paper distinguishes three *kinds* of attributes
+(Section 1.1):
+
+* **temporal** (historical) -- the domain is a temporal type; the value
+  may change over time and all its values are recorded;
+* **immutable** -- a special case of temporal: the value is a constant
+  function from the temporal domain (e.g. ``name`` in Example 4.1,
+  "immutable during the project lifetime");
+* **static** (non-temporal) -- the value may change but past values are
+  not recorded.
+
+The kind is determined by the declared type (temporal vs. not); the
+``immutable`` flag marks a temporal attribute as constant, which the
+engine enforces on update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemaError, TypeSyntaxError
+from repro.types.grammar import TemporalType, Type
+from repro.types.parser import parse_type
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """An attribute declaration ``(a_name, a_type)`` with a kind flag.
+
+    ``declared_at`` supports the schema-evolution extension: an
+    attribute added to a class after its creation characterizes
+    instances only from that instant on, and the consistency notions
+    (Defs. 5.3-5.5) quantify over the attribute's declaration span.
+    Attributes declared with the class carry the class's creation
+    instant (the default 0 is "since the beginning of time", which is
+    always sound).
+    """
+
+    name: str
+    type: Type
+    immutable: bool = False
+    declared_at: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError("attribute name must be a non-empty string")
+        if isinstance(self.type, str):
+            # Convenience: accept concrete syntax.
+            object.__setattr__(self, "type", parse_type(self.type))
+        if not isinstance(self.type, Type):
+            raise TypeSyntaxError(
+                f"attribute {self.name!r} needs a Type, got {self.type!r}"
+            )
+        if self.immutable and not self.is_temporal:
+            raise SchemaError(
+                f"attribute {self.name!r}: immutable attributes are a "
+                "special case of temporal ones (a constant function from "
+                "a temporal domain); declare a temporal type"
+            )
+
+    @property
+    def is_temporal(self) -> bool:
+        """True iff the attribute's domain is a temporal type."""
+        return isinstance(self.type, TemporalType)
+
+    @property
+    def is_static(self) -> bool:
+        """True iff the attribute is non-temporal."""
+        return not self.is_temporal
+
+    @property
+    def kind(self) -> str:
+        """``"immutable"``, ``"temporal"`` or ``"static"``."""
+        if self.immutable:
+            return "immutable"
+        return "temporal" if self.is_temporal else "static"
+
+    def __repr__(self) -> str:
+        flag = ", immutable" if self.immutable else ""
+        return f"({self.name}, {self.type!r}{flag})"

@@ -1,0 +1,195 @@
+"""Class signatures (Definition 4.1).
+
+A :class:`ClassSignature` packages the 7-tuple
+``(c, type, lifespan, attr, meth, history, mc)``.  The ``type``
+component -- whether the class is *static* or *historical* -- is not
+stored but derived: a class is historical iff at least one of its
+c-attributes has a temporal domain.  (Instances of a static class can
+still be historical objects: Example 4.1's ``project`` is a static
+class with temporal instance attributes.)
+
+Lifespans are contiguous (a class is never recreated after deletion):
+the live lifespan is the moving interval ``[created_at, now]``, closed
+when the class is dropped.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Iterable, Mapping
+
+from repro.errors import (
+    DuplicateAttributeError,
+    LifespanError,
+    SchemaError,
+)
+from repro.schema.attribute import Attribute
+from repro.schema.history import ClassHistory
+from repro.schema.method import MethodSignature
+from repro.temporal.intervals import Interval
+from repro.types.grammar import Type
+
+
+class ClassKind(str, Enum):
+    """The ``type`` component of Definition 4.1."""
+
+    STATIC = "static"
+    HISTORICAL = "historical"
+
+
+class ClassSignature:
+    """One T_Chimera class: signature plus runtime history."""
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Iterable[Attribute] = (),
+        methods: Iterable[MethodSignature] = (),
+        c_attributes: Iterable[Attribute] = (),
+        created_at: int = 0,
+        metaclass_name: str | None = None,
+        c_attr_values: Mapping[str, Any] | None = None,
+    ) -> None:
+        if not name or not isinstance(name, str):
+            raise SchemaError("class name must be a non-empty string")
+        self.name = name
+        self.attributes: dict[str, Attribute] = {}
+        for attribute in attributes:
+            if attribute.name in self.attributes:
+                raise DuplicateAttributeError(
+                    f"class {name!r} declares attribute "
+                    f"{attribute.name!r} twice"
+                )
+            self.attributes[attribute.name] = attribute
+        self.methods: dict[str, MethodSignature] = {}
+        for method in methods:
+            if method.name in self.methods:
+                raise SchemaError(
+                    f"class {name!r} declares method {method.name!r} twice"
+                )
+            self.methods[method.name] = method
+        self.c_attributes: dict[str, Attribute] = {}
+        for c_attribute in c_attributes:
+            if c_attribute.name in self.c_attributes:
+                raise DuplicateAttributeError(
+                    f"class {name!r} declares c-attribute "
+                    f"{c_attribute.name!r} twice"
+                )
+            if c_attribute.name in ("ext", "proper-ext"):
+                raise SchemaError(
+                    f"c-attribute name {c_attribute.name!r} is reserved "
+                    "for the class history"
+                )
+            self.c_attributes[c_attribute.name] = c_attribute
+        self.lifespan: Interval = Interval.from_now(created_at)
+        self.metaclass_name = metaclass_name or f"m-{name}"
+        self.history = ClassHistory(dict(c_attr_values or {}))
+        #: Schema evolution: attributes removed from the class, with
+        #: the instant of removal (their histories on objects are
+        #: retained, and consistency honours every declaration span --
+        #: a name may be declared and retired several times).
+        self.retired_attributes: dict[str, list[tuple[Attribute, int]]] = {}
+
+    # -- the `type` component ------------------------------------------------------
+
+    @property
+    def kind(self) -> ClassKind:
+        """``historical`` iff some c-attribute has a temporal domain."""
+        if any(a.is_temporal for a in self.c_attributes.values()):
+            return ClassKind.HISTORICAL
+        return ClassKind.STATIC
+
+    @property
+    def is_historical(self) -> bool:
+        return self.kind is ClassKind.HISTORICAL
+
+    # -- instance-attribute views ----------------------------------------------------
+
+    def attribute(self, name: str) -> Attribute:
+        try:
+            return self.attributes[name]
+        except KeyError:
+            raise SchemaError(
+                f"class {self.name!r} has no attribute {name!r}"
+            ) from None
+
+    def temporal_attributes(self) -> dict[str, Attribute]:
+        """The attributes with a temporal domain."""
+        return {
+            name: a for name, a in self.attributes.items() if a.is_temporal
+        }
+
+    def static_attributes(self) -> dict[str, Attribute]:
+        """The attributes with a non-temporal domain."""
+        return {
+            name: a for name, a in self.attributes.items() if a.is_static
+        }
+
+    def instances_are_historical(self) -> bool:
+        """True iff instances of the class are historical objects
+        (at least one instance attribute is temporal)."""
+        return any(a.is_temporal for a in self.attributes.values())
+
+    # -- schema evolution -----------------------------------------------------------
+
+    def declare_attribute(self, attribute: Attribute) -> None:
+        """Add *attribute* to the signature (schema evolution).
+
+        If the same name was retired earlier, the new declaration
+        supersedes it going forward; the retirement record is kept so
+        past consistency still honours the old span.
+        """
+        if attribute.name in self.attributes:
+            raise DuplicateAttributeError(
+                f"class {self.name!r} already has attribute "
+                f"{attribute.name!r}"
+            )
+        self.attributes[attribute.name] = attribute
+
+    def retire_attribute(self, name: str, at: int) -> Attribute:
+        """Remove attribute *name* from the signature at instant *at*."""
+        attribute = self.attribute(name)
+        del self.attributes[name]
+        self.retired_attributes.setdefault(name, []).append(
+            (attribute, at)
+        )
+        return attribute
+
+    def attribute_span(self, name: str, now_hint: int | None = None):
+        """The instants during which *name* is (was) declared:
+        ``(declared_at, retired_at_or_None)``; None when never
+        declared."""
+        if name in self.attributes:
+            return (self.attributes[name].declared_at, None)
+        if name in self.retired_attributes:
+            attribute, retired_at = self.retired_attributes[name][-1]
+            return (attribute.declared_at, retired_at)
+        return None
+
+    # -- lifespan -----------------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        return self.lifespan.is_moving
+
+    def close_lifespan(self, t: int) -> None:
+        """Drop the class: its lifespan ends at ``t - 1``."""
+        if not self.lifespan.is_moving:
+            raise LifespanError(f"class {self.name!r} was already dropped")
+        if t <= self.lifespan.start:
+            raise LifespanError(
+                f"class {self.name!r} cannot be dropped in its creation "
+                "tick"
+            )
+        self.lifespan = Interval(self.lifespan.start, t - 1)
+
+    def alive_at(self, t: int, now: int | None = None) -> bool:
+        return self.lifespan.contains(t, now)
+
+    def __repr__(self) -> str:
+        return (
+            f"ClassSignature({self.name!r}, kind={self.kind.value}, "
+            f"lifespan={self.lifespan}, "
+            f"attributes={list(self.attributes)}, "
+            f"methods={list(self.methods)})"
+        )

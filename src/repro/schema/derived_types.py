@@ -1,0 +1,87 @@
+"""The structural, historical and static types of a class (Section 4).
+
+For a class C with ``attr = {(a_1, T_1), ..., (a_n, T_n)}``:
+
+* **structural type** (function ``type`` of Table 3)::
+
+      record-of(a_1: T_1, ..., a_n: T_n)
+
+* **historical type** (``h_type``): the record over the *temporal*
+  attributes, with each domain stripped of its temporal constructor::
+
+      record-of(a_k: T^-(T_k), ..., a_m: T^-(T_m))
+
+  -- it is the type of ``h_state`` snapshots of the temporal part;
+
+* **static type** (``s_type``): the record over the non-temporal
+  attributes, domains unchanged.
+
+Footnote 5: ``h_type`` (resp. ``s_type``) is *null* when the class has
+no temporal (resp. no static) attributes; we return the empty record
+type, and :func:`is_null_type` recognizes it.
+"""
+
+from __future__ import annotations
+
+from repro.schema.class_def import ClassSignature
+from repro.types.grammar import RecordOf, Type, t_minus
+
+
+def structural_type(cls: ClassSignature) -> RecordOf:
+    """``type(c)``: the record type of all instance attributes."""
+    return RecordOf({name: a.type for name, a in cls.attributes.items()})
+
+
+def historical_type(cls: ClassSignature) -> RecordOf:
+    """``h_type(c)``: the record of temporal attributes, de-temporalized.
+
+    Returns the empty record type when the class has no temporal
+    attributes (footnote 5's null value).
+    """
+    return RecordOf(
+        {
+            name: t_minus(a.type)
+            for name, a in cls.attributes.items()
+            if a.is_temporal
+        }
+    )
+
+
+def static_type(cls: ClassSignature) -> RecordOf:
+    """``s_type(c)``: the record of non-temporal attributes.
+
+    Returns the empty record type when the class has no static
+    attributes (footnote 5's null value).
+    """
+    return RecordOf(
+        {name: a.type for name, a in cls.attributes.items() if a.is_static}
+    )
+
+
+def is_null_type(t: Type) -> bool:
+    """True for the empty record type standing in for footnote 5's null."""
+    return isinstance(t, RecordOf) and t.is_empty()
+
+
+def historical_type_at(cls: ClassSignature, t: int) -> RecordOf:
+    """``h_type(c)`` restricted to the attributes declared at instant t.
+
+    With schema evolution, the temporal attributes characterizing
+    instances vary over time: an attribute added at d (or retired at r)
+    belongs to the historical type only for ``d <= t`` (resp.
+    ``t < r``).  Without evolution this coincides with
+    :func:`historical_type`.
+    """
+    fields = {
+        name: t_minus(a.type)
+        for name, a in cls.attributes.items()
+        if a.is_temporal and a.declared_at <= t
+    }
+    for name, retirements in cls.retired_attributes.items():
+        if name in fields:
+            continue
+        for attribute, retired_at in retirements:
+            if attribute.is_temporal and attribute.declared_at <= t < retired_at:
+                fields[name] = t_minus(attribute.type)
+                break
+    return RecordOf(fields)

@@ -1,0 +1,195 @@
+"""Class histories: c-attribute values, ``ext`` and ``proper-ext``.
+
+The ``history`` component of a class (Definition 4.1) is a record
+value::
+
+    (a_1: v_1, ..., a_n: v_n, ext: E, proper-ext: PE)
+
+where the ``a_i`` are the c-attributes and ``E`` / ``PE`` are temporal
+values recording, for each instant of the class lifespan, the oids of
+the objects that are *members* (instances of the class or of one of its
+subclasses) and *instances* (the class is their most specific class).
+``PE(t) ⊆ E(t)`` for every t in the lifespan.
+
+Representation.  ``E`` and ``PE`` are temporal values carrying
+``frozenset[OID]``; in addition the history maintains a per-oid index
+(oid -> intervals of membership) so that ``pi``-style membership
+queries (function ``pi`` of Table 3, Invariants 5.1/5.2/6.1) do not
+scan the set-valued history.  The two representations are redundant by
+construction; :mod:`repro.database.integrity` cross-checks them, and
+the ablation bench E6/E8 measures what the index buys.
+
+Clock discipline: all mutations happen at the caller-supplied current
+time, which must not precede earlier mutations.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import LifespanError, SchemaError
+from repro.temporal.instants import Now
+from repro.temporal.intervals import Interval
+from repro.temporal.intervalsets import IntervalSet
+from repro.temporal.temporalvalue import TemporalValue
+from repro.values.oid import OID
+from repro.values.records import RecordValue
+
+
+class _MembershipTrack:
+    """One of ``ext`` / ``proper-ext``: a set-valued temporal value plus
+    a per-oid interval index."""
+
+    __slots__ = ("sets", "_spans")
+
+    def __init__(self) -> None:
+        self.sets = TemporalValue()  # carries frozenset[OID]
+        self._spans: dict[OID, list[Interval]] = {}
+
+    def current(self, t: int) -> frozenset[OID]:
+        return self.sets.get(t, frozenset())
+
+    def add(self, oid: OID, t: int) -> None:
+        spans = self._spans.setdefault(oid, [])
+        if spans and spans[-1].is_moving:
+            return  # already a member
+        spans.append(Interval.from_now(t))
+        self.sets.assign(t, self.current(t) | {oid})
+
+    def remove(self, oid: OID, t: int) -> None:
+        """End membership: *oid* is a member through ``t - 1``."""
+        spans = self._spans.get(oid)
+        if not spans or not spans[-1].is_moving:
+            return  # not currently a member
+        start = spans[-1].start
+        if t <= start:
+            # Joined and left within the same tick: never a member.
+            spans.pop()
+            if not spans:
+                del self._spans[oid]
+        else:
+            spans[-1] = Interval(start, t - 1)
+        current = self.current(t)
+        if oid in current:
+            self.sets.assign(t, current - {oid})
+
+    def contains(self, oid: OID, t: int) -> bool:
+        spans = self._spans.get(oid)
+        if not spans:
+            return False
+        for interval in reversed(spans):
+            if interval.is_moving:
+                if t >= interval.start:
+                    return True
+            elif interval.start <= t <= interval.end:  # type: ignore[operator]
+                return True
+            elif t > interval.end:  # type: ignore[operator]
+                return False
+        return False
+
+    def times(self, oid: OID, now: int | None) -> IntervalSet:
+        return IntervalSet(self._spans.get(oid, ()), now=now)
+
+    def members_at(self, t: int) -> frozenset[OID]:
+        return self.current(t)
+
+    def all_ever(self) -> frozenset[OID]:
+        return frozenset(self._spans)
+
+    def at_via_scan(self, t: int) -> frozenset[OID]:
+        """Membership at *t* recomputed from the per-oid index (used by
+        the integrity cross-check and the ablation bench)."""
+        return frozenset(
+            oid for oid in self._spans if self.contains(oid, t)
+        )
+
+
+class ClassHistory:
+    """The ``history`` component of one class."""
+
+    def __init__(self, c_attr_values: dict[str, Any] | None = None) -> None:
+        self.c_attr_values: dict[str, Any] = dict(c_attr_values or {})
+        self._ext = _MembershipTrack()
+        self._proper_ext = _MembershipTrack()
+
+    # -- c-attributes ------------------------------------------------------------
+
+    def get_c_attr(self, name: str) -> Any:
+        if name not in self.c_attr_values:
+            raise SchemaError(f"no c-attribute {name!r}")
+        return self.c_attr_values[name]
+
+    def set_c_attr(self, name: str, value: Any, t: int) -> None:
+        """Update a c-attribute; temporal c-attribute values are
+        extended at instant *t*, static ones replaced."""
+        current = self.c_attr_values.get(name)
+        if isinstance(current, TemporalValue):
+            current.assign(t, value)
+        else:
+            self.c_attr_values[name] = value
+
+    # -- extents -------------------------------------------------------------------
+
+    @property
+    def ext(self) -> TemporalValue:
+        """The temporal value of member sets (``ext`` of Def. 4.1)."""
+        return self._ext.sets
+
+    @property
+    def proper_ext(self) -> TemporalValue:
+        """The temporal value of instance sets (``proper-ext``)."""
+        return self._proper_ext.sets
+
+    def members_at(self, t: int) -> frozenset[OID]:
+        """``pi(c, t)`` restricted to this class: members at instant t."""
+        return self._ext.members_at(t)
+
+    def instances_at(self, t: int) -> frozenset[OID]:
+        return self._proper_ext.members_at(t)
+
+    def member_times(self, oid: OID, now: int | None = None) -> IntervalSet:
+        """The instants at which *oid* is a member (via the index)."""
+        return self._ext.times(oid, now)
+
+    def instance_times(self, oid: OID, now: int | None = None) -> IntervalSet:
+        return self._proper_ext.times(oid, now)
+
+    def is_member(self, oid: OID, t: int) -> bool:
+        return self._ext.contains(oid, t)
+
+    def is_instance(self, oid: OID, t: int) -> bool:
+        return self._proper_ext.contains(oid, t)
+
+    def ever_members(self) -> frozenset[OID]:
+        """Every oid that has ever been a member of the class."""
+        return self._ext.all_ever()
+
+    def members_at_via_scan(self, t: int) -> frozenset[OID]:
+        """Members at *t* recomputed without the set-valued history."""
+        return self._ext.at_via_scan(t)
+
+    def add_member(self, oid: OID, t: int) -> None:
+        self._ext.add(oid, t)
+
+    def remove_member(self, oid: OID, t: int) -> None:
+        self._ext.remove(oid, t)
+
+    def add_instance(self, oid: OID, t: int) -> None:
+        if not self._ext.contains(oid, t):
+            raise LifespanError(
+                f"{oid!r} must be a member before becoming an instance"
+            )
+        self._proper_ext.add(oid, t)
+
+    def remove_instance(self, oid: OID, t: int) -> None:
+        self._proper_ext.remove(oid, t)
+
+    # -- the record view of Definition 4.1 -------------------------------------------
+
+    def as_record(self) -> RecordValue:
+        """The history as the paper's record value
+        ``(a_1: v_1, ..., ext: E, proper-ext: PE)``."""
+        fields: dict[str, Any] = dict(self.c_attr_values)
+        fields["ext"] = self._ext.sets
+        fields["proper-ext"] = self._proper_ext.sets
+        return RecordValue(fields)

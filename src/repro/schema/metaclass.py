@@ -1,0 +1,62 @@
+"""Metaclasses.
+
+To model class features uniformly with object features, each class is
+the unique instance of a *metaclass* (Definition 4.1's ``mc``
+component; the Smalltalk-80 view of [10]).  The metaclass's attribute
+signature describes the class-level state: the declared c-attributes
+plus the two membership-history attributes that every class carries::
+
+    ext:        temporal(set-of(c))
+    proper-ext: temporal(set-of(c))
+
+so the class's ``history`` record (Definition 4.1) is exactly an
+instance of the metaclass's structural type -- the test suite checks
+that ``history.as_record()`` is a legal value of
+``Metaclass.structural_type()``.
+"""
+
+from __future__ import annotations
+
+from repro.schema.attribute import Attribute
+from repro.schema.class_def import ClassSignature
+from repro.schema.method import MethodSignature
+from repro.types.grammar import ObjectType, RecordOf, SetOf, TemporalType
+
+
+class Metaclass:
+    """The metaclass of one class: a special class with one instance."""
+
+    def __init__(
+        self,
+        class_signature: ClassSignature,
+        c_methods: tuple[MethodSignature, ...] = (),
+    ) -> None:
+        self.name = class_signature.metaclass_name
+        self.instance_name = class_signature.name
+        self._class = class_signature
+        self.c_methods: dict[str, MethodSignature] = {
+            m.name: m for m in c_methods
+        }
+
+    @property
+    def attributes(self) -> dict[str, Attribute]:
+        """The c-attributes plus the built-in ext / proper-ext."""
+        member_history = TemporalType(SetOf(ObjectType(self.instance_name)))
+        attrs = dict(self._class.c_attributes)
+        attrs["ext"] = Attribute("ext", member_history)
+        attrs["proper-ext"] = Attribute("proper-ext", member_history)
+        return attrs
+
+    def structural_type(self) -> RecordOf:
+        """The record type that the class's ``history`` value inhabits."""
+        return RecordOf(
+            {name: a.type for name, a in self.attributes.items()}
+        )
+
+    @property
+    def unique_instance(self) -> ClassSignature:
+        """The class of which this metaclass is the class."""
+        return self._class
+
+    def __repr__(self) -> str:
+        return f"Metaclass({self.name!r}, instance={self.instance_name!r})"

@@ -1,0 +1,80 @@
+"""Method signatures.
+
+Each method is characterized by its name and the types of its input and
+output parameters (Definition 4.1)::
+
+    m_sign :  T_1 x ... x T_n -> T
+
+Redefinition in a subclass must verify the *covariance* rule for the
+result parameter and the *contravariance* rule for the input parameters
+(Section 6.1); :meth:`MethodSignature.is_valid_override` implements the
+check.  An optional *body* (a plain Python callable) makes signatures
+executable for the examples and the time-dependent-behaviour extension;
+the body receives the receiver's snapshot and the arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SchemaError, TypeSyntaxError
+from repro.types.grammar import Type
+from repro.types.parser import parse_type
+from repro.types.subtyping import IsaOrder, is_subtype
+
+
+@dataclass(frozen=True)
+class MethodSignature:
+    """A method signature ``(m_name, T_1 x ... x T_n -> T)``."""
+
+    name: str
+    inputs: tuple[Type, ...]
+    output: Type
+    body: Callable[..., Any] | None = field(
+        default=None, compare=False, hash=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError("method name must be a non-empty string")
+        inputs = tuple(
+            parse_type(t) if isinstance(t, str) else t for t in self.inputs
+        )
+        object.__setattr__(self, "inputs", inputs)
+        if isinstance(self.output, str):
+            object.__setattr__(self, "output", parse_type(self.output))
+        for t in (*self.inputs, self.output):
+            if not isinstance(t, Type):
+                raise TypeSyntaxError(
+                    f"method {self.name!r}: parameter types must be "
+                    f"Types, got {t!r}"
+                )
+
+    @property
+    def arity(self) -> int:
+        return len(self.inputs)
+
+    def is_valid_override(
+        self, inherited: "MethodSignature", isa: IsaOrder
+    ) -> bool:
+        """Check the redefinition rules against an inherited signature.
+
+        * same arity;
+        * **contravariance** of the inputs: each input domain may be
+          *generalized*, i.e. ``inherited_input <=_T own_input``;
+        * **covariance** of the output: the result domain may be
+          *specialized*, i.e. ``own_output <=_T inherited_output``.
+        """
+        if self.name != inherited.name or self.arity != inherited.arity:
+            return False
+        inputs_ok = all(
+            is_subtype(sup_t, own_t, isa)
+            for own_t, sup_t in zip(self.inputs, inherited.inputs)
+        )
+        output_ok = is_subtype(self.output, inherited.output, isa)
+        return inputs_ok and output_ok
+
+    def __repr__(self) -> str:
+        ins = " x ".join(repr(t) for t in self.inputs) if self.inputs else "()"
+        return f"({self.name}, {ins} -> {self.output!r})"

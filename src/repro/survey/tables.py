@@ -1,0 +1,101 @@
+"""Renderers for Tables 1 and 2."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.survey.models import (
+    MODELS,
+    TABLE1_LEGEND,
+    TABLE2_LEGEND,
+    ModelFeatures,
+)
+
+TABLE1_COLUMNS = (
+    ("", "citation"),
+    ("oo data model", "oo_data_model"),
+    ("time structure", "time_structure"),
+    ("time dimension", "time_dimension"),
+    ("values & objects", "values_and_objects"),
+    ("class features", "class_features"),
+)
+
+TABLE2_COLUMNS = (
+    ("", "citation"),
+    ("what is timestamped", "what_is_timestamped"),
+    ("temporal attribute values", "temporal_attribute_values"),
+    ("kinds of attributes", "kinds_of_attributes"),
+    ("histories of object types", "histories_of_object_types"),
+)
+
+
+def table1_rows(
+    models: Sequence[ModelFeatures] = MODELS,
+) -> list[tuple[str, ...]]:
+    """Header row plus one row per model, in the paper's order."""
+    header = tuple(title for title, _field in TABLE1_COLUMNS)
+    rows = [header]
+    for model in models:
+        rows.append(
+            tuple(getattr(model, field) for _t, field in TABLE1_COLUMNS)
+        )
+    return rows
+
+
+def table2_rows(
+    models: Sequence[ModelFeatures] = MODELS,
+) -> list[tuple[str, ...]]:
+    header = tuple(title for title, _field in TABLE2_COLUMNS)
+    rows = [header]
+    for model in models:
+        rows.append(
+            tuple(getattr(model, field) for _t, field in TABLE2_COLUMNS)
+        )
+    return rows
+
+
+def render_table(
+    rows: list[tuple[str, ...]],
+    legend: Sequence[str] = (),
+    title: str = "",
+) -> str:
+    """ASCII-render a table with aligned columns and the legend."""
+    widths = [
+        max(len(row[column]) for row in rows)
+        for column in range(len(rows[0]))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    for index, row in enumerate(rows):
+        lines.append(
+            " | ".join(
+                cell.ljust(width) for cell, width in zip(row, widths)
+            ).rstrip()
+        )
+        if index == 0:
+            lines.append(separator)
+    if legend:
+        lines.append("")
+        lines.append("Legenda:")
+        lines.extend(f"  {note}" for note in legend)
+    return "\n".join(lines)
+
+
+def render_table1() -> str:
+    return render_table(
+        table1_rows(),
+        TABLE1_LEGEND,
+        "Table 1: Comparison among the existing temporal "
+        "object-oriented data models (I)",
+    )
+
+
+def render_table2() -> str:
+    return render_table(
+        table2_rows(),
+        TABLE2_LEGEND,
+        "Table 2: Comparison among the existing temporal "
+        "object-oriented data models (II)",
+    )

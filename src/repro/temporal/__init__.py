@@ -1,0 +1,57 @@
+"""The time domain substrate of T_Chimera.
+
+The paper assumes (Section 3.2) a discrete, linear time domain::
+
+    TIME = {0, 1, ..., now, ...}   isomorphic to the natural numbers
+
+with ``0`` the relative beginning and ``now`` a special constant denoting
+the current time.  An interval ``[t1, t2]`` is the set of consecutive
+instants between ``t1`` and ``t2`` inclusive; ``[`` denotes the null
+interval.  A set of disjoint intervals is used as a compact notation for
+the set of instants it covers.
+
+This package provides:
+
+* :mod:`repro.temporal.instants` -- instants, the :data:`NOW` marker and
+  endpoint resolution;
+* :mod:`repro.temporal.intervals` -- closed intervals with an optional
+  moving ``now`` right endpoint;
+* :mod:`repro.temporal.intervalsets` -- canonical disjoint interval sets
+  with a full Boolean algebra;
+* :mod:`repro.temporal.algebra` -- Allen's interval relations;
+* :mod:`repro.temporal.temporalvalue` -- values of the temporal types
+  ``temporal(T)``: partial functions from TIME, stored as coalesced
+  ``(interval, value)`` pairs;
+* :mod:`repro.temporal.clock` -- the advancing database clock that gives
+  ``now`` its concrete value.
+"""
+
+from repro.temporal.instants import (
+    NOW,
+    Now,
+    TimePoint,
+    is_instant,
+    resolve_endpoint,
+    validate_instant,
+)
+from repro.temporal.intervals import Interval, NULL_INTERVAL
+from repro.temporal.intervalsets import IntervalSet
+from repro.temporal.algebra import AllenRelation, allen_relation
+from repro.temporal.temporalvalue import TemporalValue
+from repro.temporal.clock import Clock
+
+__all__ = [
+    "NOW",
+    "Now",
+    "TimePoint",
+    "is_instant",
+    "validate_instant",
+    "resolve_endpoint",
+    "Interval",
+    "NULL_INTERVAL",
+    "IntervalSet",
+    "AllenRelation",
+    "allen_relation",
+    "TemporalValue",
+    "Clock",
+]

@@ -1,0 +1,100 @@
+"""Allen's interval relations over the discrete time domain.
+
+The paper defines interval union, intersection, inclusion and membership
+with their usual set semantics (Section 3.2).  For query predicates and
+constraint checking it is convenient to also expose the thirteen basic
+relations of Allen's interval algebra, adapted to closed discrete
+intervals.
+
+On a *discrete* domain the distinction between ``meets`` and ``before``
+is conventional: we take ``a meets b`` to mean ``a.end + 1 == b.start``
+(the intervals abut with no gap and no shared instant), matching how the
+paper coalesces ``<[10,50],v1>, <[51,now],v2>`` histories.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import InvalidIntervalError
+from repro.temporal.intervals import Interval
+
+
+class AllenRelation(str, Enum):
+    """The thirteen basic relations of Allen's interval algebra."""
+
+    BEFORE = "before"
+    MEETS = "meets"
+    OVERLAPS = "overlaps"
+    STARTS = "starts"
+    DURING = "during"
+    FINISHES = "finishes"
+    EQUAL = "equal"
+    FINISHED_BY = "finished-by"
+    CONTAINS = "contains"
+    STARTED_BY = "started-by"
+    OVERLAPPED_BY = "overlapped-by"
+    MET_BY = "met-by"
+    AFTER = "after"
+
+    def inverse(self) -> "AllenRelation":
+        """The converse relation (``a R b`` iff ``b R.inverse() a``)."""
+        return _INVERSES[self]
+
+
+_INVERSES = {
+    AllenRelation.BEFORE: AllenRelation.AFTER,
+    AllenRelation.MEETS: AllenRelation.MET_BY,
+    AllenRelation.OVERLAPS: AllenRelation.OVERLAPPED_BY,
+    AllenRelation.STARTS: AllenRelation.STARTED_BY,
+    AllenRelation.DURING: AllenRelation.CONTAINS,
+    AllenRelation.FINISHES: AllenRelation.FINISHED_BY,
+    AllenRelation.EQUAL: AllenRelation.EQUAL,
+    AllenRelation.FINISHED_BY: AllenRelation.FINISHES,
+    AllenRelation.CONTAINS: AllenRelation.DURING,
+    AllenRelation.STARTED_BY: AllenRelation.STARTS,
+    AllenRelation.OVERLAPPED_BY: AllenRelation.OVERLAPS,
+    AllenRelation.MET_BY: AllenRelation.MEETS,
+    AllenRelation.AFTER: AllenRelation.BEFORE,
+}
+
+
+def allen_relation(
+    a: Interval, b: Interval, now: int | None = None
+) -> AllenRelation:
+    """Classify the relation of interval *a* to interval *b*.
+
+    Exactly one of the thirteen relations holds for any pair of
+    non-empty intervals.  Raises :class:`InvalidIntervalError` for the
+    null interval, whose relation to anything is undefined.
+    """
+    ra, rb = a.resolve(now), b.resolve(now)
+    if ra.is_empty or rb.is_empty:
+        raise InvalidIntervalError(
+            "Allen relations are undefined for the null interval"
+        )
+    a1, a2 = ra.start, ra.end
+    b1, b2 = rb.start, rb.end
+    assert isinstance(a2, int) and isinstance(b2, int)
+
+    if a2 + 1 < b1:
+        return AllenRelation.BEFORE
+    if a2 + 1 == b1:
+        return AllenRelation.MEETS
+    if b2 + 1 < a1:
+        return AllenRelation.AFTER
+    if b2 + 1 == a1:
+        return AllenRelation.MET_BY
+    if a1 == b1 and a2 == b2:
+        return AllenRelation.EQUAL
+    if a1 == b1:
+        return AllenRelation.STARTS if a2 < b2 else AllenRelation.STARTED_BY
+    if a2 == b2:
+        return AllenRelation.FINISHES if a1 > b1 else AllenRelation.FINISHED_BY
+    if b1 < a1 and a2 < b2:
+        return AllenRelation.DURING
+    if a1 < b1 and b2 < a2:
+        return AllenRelation.CONTAINS
+    if a1 < b1:
+        return AllenRelation.OVERLAPS
+    return AllenRelation.OVERLAPPED_BY

@@ -1,0 +1,56 @@
+"""The database clock.
+
+The paper treats ``now`` as a special constant of the time domain that
+denotes the current time (Section 3.2).  Operationally, a
+:class:`Clock` owns the concrete value of ``now`` for one database:
+updates are stamped with the clock reading, and moving ``[t, now]``
+intervals are resolved against it.
+
+Clock discipline
+----------------
+* time starts at 0 (the relative beginning) unless stated otherwise;
+* the clock only moves forward (:meth:`tick`, :meth:`advance_to`);
+* reading the clock (:attr:`now`) has no side effects.
+
+Keeping the clock explicit (rather than wall-clock derived) makes every
+run of the engine, the tests and the benchmarks deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClockError
+from repro.temporal.instants import validate_instant
+
+
+class Clock:
+    """A deterministic, monotonically advancing reading of ``now``."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0) -> None:
+        self._now = validate_instant(start, "clock start")
+
+    @property
+    def now(self) -> int:
+        """The current time instant."""
+        return self._now
+
+    def tick(self, steps: int = 1) -> int:
+        """Advance the clock by *steps* instants and return the new time."""
+        if steps < 0:
+            raise ClockError("the clock cannot move backwards")
+        self._now += steps
+        return self._now
+
+    def advance_to(self, instant: int) -> int:
+        """Move the clock forward to *instant* (idempotent at *instant*)."""
+        validate_instant(instant, "clock target")
+        if instant < self._now:
+            raise ClockError(
+                f"cannot move the clock back from {self._now} to {instant}"
+            )
+        self._now = instant
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now})"

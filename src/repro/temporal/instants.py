@@ -1,0 +1,94 @@
+"""Instants of the T_Chimera time domain.
+
+The domain of the basic value type ``time`` is ``TIME = {0, 1, ..., now,
+...}``, isomorphic to the natural numbers (paper, Section 3.2).  Instants
+are therefore plain non-negative ``int`` values.
+
+``now`` is a special constant denoting the current time.  In a running
+database ``now`` has a concrete value supplied by the database
+:class:`~repro.temporal.clock.Clock`; in *stored* data (interval
+endpoints, query texts) it appears symbolically, as the singleton
+:data:`NOW`.  A stored interval ``[51, NOW]`` is a *moving* interval: it
+covers all instants from 51 up to whatever the clock currently reads.
+
+:func:`resolve_endpoint` turns a symbolic endpoint into a concrete
+instant given the clock reading.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import InvalidInstantError, UnresolvedNowError
+
+
+class Now:
+    """The symbolic ``now`` marker.
+
+    A singleton (:data:`NOW`); ``Now()`` always returns the same object.
+    It can be stored wherever an instant is expected and is resolved to a
+    concrete instant with :func:`resolve_endpoint`.
+    """
+
+    _instance: "Now | None" = None
+
+    def __new__(cls) -> "Now":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "now"
+
+    def __hash__(self) -> int:
+        return hash("T_Chimera.now")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Now)
+
+    def __reduce__(self):
+        # Pickling must preserve singleton identity.
+        return (Now, ())
+
+
+NOW = Now()
+
+#: A time point as it may appear in stored data: a concrete instant or NOW.
+TimePoint = Union[int, Now]
+
+
+def is_instant(value: object) -> bool:
+    """Return True iff *value* is a concrete instant (a natural number).
+
+    ``bool`` is excluded even though it subclasses ``int``: ``True`` is a
+    boolean value, not a time instant.
+    """
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def validate_instant(value: object, what: str = "instant") -> int:
+    """Validate that *value* is a concrete instant and return it.
+
+    Raises :class:`InvalidInstantError` otherwise.
+    """
+    if not is_instant(value):
+        raise InvalidInstantError(
+            f"{what} must be a natural number, got {value!r}"
+        )
+    return value  # type: ignore[return-value]
+
+
+def resolve_endpoint(point: TimePoint, now: int | None) -> int:
+    """Resolve a possibly-symbolic time point to a concrete instant.
+
+    * a concrete instant resolves to itself;
+    * :data:`NOW` resolves to *now* -- raising
+      :class:`UnresolvedNowError` when *now* is ``None``.
+    """
+    if isinstance(point, Now):
+        if now is None:
+            raise UnresolvedNowError(
+                "a symbolic 'now' endpoint needs a concrete clock reading"
+            )
+        return validate_instant(now, "now")
+    return validate_instant(point)

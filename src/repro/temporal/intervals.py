@@ -1,0 +1,231 @@
+"""Closed intervals over the discrete T_Chimera time domain.
+
+An interval ``I = [t1, t2]`` is the set of consecutive time instants from
+``t1`` to ``t2``, both included (paper, Section 3.2).  A single instant
+``t`` is the interval ``[t, t]``; ``[`` denotes the null interval, which
+contains no instants and is available here as :data:`NULL_INTERVAL`.
+
+The right endpoint may be the symbolic :data:`~repro.temporal.instants.NOW`
+marker, giving a *moving* interval ``[t, now]`` that tracks the database
+clock.  Operations that depend on the concrete extent of a moving interval
+take a ``now`` argument; purely structural operations do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import InvalidIntervalError
+from repro.temporal.instants import (
+    NOW,
+    Now,
+    TimePoint,
+    resolve_endpoint,
+    validate_instant,
+)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[start, end]`` of time instants.
+
+    ``start`` is a concrete instant.  ``end`` is a concrete instant or
+    :data:`NOW`.  The empty (null) interval is the distinguished object
+    :data:`NULL_INTERVAL`, constructed with :meth:`Interval.empty`.
+
+    Instances are immutable and hashable.
+    """
+
+    start: int
+    end: TimePoint
+    _empty: bool = False
+
+    def __post_init__(self) -> None:
+        if self._empty:
+            return
+        validate_instant(self.start, "interval start")
+        if not isinstance(self.end, Now):
+            validate_instant(self.end, "interval end")
+            if self.end < self.start:
+                raise InvalidIntervalError(
+                    f"interval start {self.start} is after end {self.end}; "
+                    "use Interval.empty() for the null interval"
+                )
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "Interval":
+        """Return the null interval ``[`` (contains no instants)."""
+        return _NULL
+
+    @classmethod
+    def instant(cls, t: int) -> "Interval":
+        """Return the singleton interval ``[t, t]``."""
+        return cls(t, t)
+
+    @classmethod
+    def from_now(cls, t: int) -> "Interval":
+        """Return the moving interval ``[t, now]``."""
+        return cls(t, NOW)
+
+    # -- structural predicates --------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff this is the null interval."""
+        return self._empty
+
+    @property
+    def is_moving(self) -> bool:
+        """True iff the right endpoint is the symbolic ``now``."""
+        return not self._empty and isinstance(self.end, Now)
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve(self, now: int | None = None) -> "Interval":
+        """Replace a symbolic ``now`` endpoint with the clock reading.
+
+        Returns an interval with concrete endpoints.  A moving interval
+        whose start is after *now* resolves to the null interval (the
+        value became defined "in the future" relative to an earlier
+        clock reading; this cannot arise under the engine's clock
+        discipline but is well-defined here).
+        """
+        if self._empty or not isinstance(self.end, Now):
+            return self
+        end = resolve_endpoint(self.end, now)
+        if end < self.start:
+            return _NULL
+        return Interval(self.start, end)
+
+    def end_instant(self, now: int | None = None) -> int:
+        """The concrete right endpoint (resolving ``now`` if needed)."""
+        if self._empty:
+            raise InvalidIntervalError("the null interval has no endpoints")
+        return resolve_endpoint(self.end, now)
+
+    # -- extent ------------------------------------------------------------
+
+    def duration(self, now: int | None = None) -> int:
+        """Number of instants in the interval (0 for the null interval)."""
+        if self._empty:
+            return 0
+        resolved = self.resolve(now)
+        if resolved._empty:
+            return 0
+        return resolved.end - resolved.start + 1  # type: ignore[operator]
+
+    def instants(self, now: int | None = None) -> Iterator[int]:
+        """Iterate over the instants the interval contains, in order."""
+        resolved = self.resolve(now)
+        if resolved._empty:
+            return iter(())
+        return iter(range(resolved.start, resolved.end + 1))  # type: ignore[arg-type]
+
+    def contains(self, t: int, now: int | None = None) -> bool:
+        """True iff instant *t* belongs to the interval (``t in I``)."""
+        validate_instant(t)
+        resolved = self.resolve(now if now is not None else t)
+        if resolved._empty:
+            return False
+        if self.is_moving and now is None:
+            # [s, now] read at instant t: t is in it iff t >= s.
+            return t >= self.start
+        return resolved.start <= t <= resolved.end  # type: ignore[operator]
+
+    def __contains__(self, t: object) -> bool:
+        if not isinstance(t, int) or isinstance(t, bool):
+            return False
+        return self.contains(t)
+
+    # -- algebra (on resolved intervals) ------------------------------------
+
+    def overlaps(self, other: "Interval", now: int | None = None) -> bool:
+        """True iff the two intervals share at least one instant."""
+        a, b = self.resolve(now), other.resolve(now)
+        if a._empty or b._empty:
+            return False
+        return a.start <= b.end and b.start <= a.end  # type: ignore[operator]
+
+    def adjacent(self, other: "Interval", now: int | None = None) -> bool:
+        """True iff the intervals abut (e.g. ``[3,5]`` and ``[6,9]``).
+
+        Time is discrete, so abutting intervals cover a contiguous span.
+        """
+        a, b = self.resolve(now), other.resolve(now)
+        if a._empty or b._empty:
+            return False
+        return a.end + 1 == b.start or b.end + 1 == a.start  # type: ignore[operator]
+
+    def intersect(self, other: "Interval", now: int | None = None) -> "Interval":
+        """The interval of instants common to both (possibly null)."""
+        a, b = self.resolve(now), other.resolve(now)
+        if a._empty or b._empty:
+            return _NULL
+        start = max(a.start, b.start)
+        end = min(a.end, b.end)  # type: ignore[type-var]
+        if end < start:
+            return _NULL
+        return Interval(start, end)
+
+    def union(self, other: "Interval", now: int | None = None) -> "Interval":
+        """The union, when it is itself an interval.
+
+        Defined only for overlapping or adjacent intervals; a union of
+        separated intervals is an interval *set*
+        (:class:`~repro.temporal.intervalsets.IntervalSet`).
+        """
+        a, b = self.resolve(now), other.resolve(now)
+        if a._empty:
+            return b
+        if b._empty:
+            return a
+        if not (a.overlaps(b) or a.adjacent(b)):
+            raise InvalidIntervalError(
+                f"union of separated intervals {a} and {b} is not an "
+                "interval; use IntervalSet"
+            )
+        return Interval(min(a.start, b.start), max(a.end, b.end))  # type: ignore[type-var]
+
+    def difference(
+        self, other: "Interval", now: int | None = None
+    ) -> tuple["Interval", ...]:
+        """Instants of self not in *other*: zero, one, or two intervals."""
+        a, b = self.resolve(now), other.resolve(now)
+        if a._empty:
+            return ()
+        if b._empty or not a.overlaps(b):
+            return (a,)
+        pieces = []
+        if a.start < b.start:  # type: ignore[operator]
+            pieces.append(Interval(a.start, b.start - 1))  # type: ignore[operator]
+        if a.end > b.end:  # type: ignore[operator]
+            pieces.append(Interval(b.end + 1, a.end))  # type: ignore[operator]
+        return tuple(pieces)
+
+    def issubset(self, other: "Interval", now: int | None = None) -> bool:
+        """True iff every instant of self is in *other* (``I1 <= I2``)."""
+        a, b = self.resolve(now), other.resolve(now)
+        if a._empty:
+            return True
+        if b._empty:
+            return False
+        return b.start <= a.start and a.end <= b.end  # type: ignore[operator]
+
+    # -- display -------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        if self._empty:
+            return "[]"
+        return f"[{self.start},{self.end!r}]"
+
+    def __str__(self) -> str:
+        return repr(self)
+
+
+_NULL = Interval(0, 0, _empty=True)
+
+#: The null interval ``[`` -- the interval containing no time instants.
+NULL_INTERVAL = _NULL

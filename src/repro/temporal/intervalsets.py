@@ -1,0 +1,242 @@
+"""Canonical sets of disjoint intervals.
+
+The paper (Section 3.2) uses a set of disjoint intervals
+``I = {[ti,tj], ..., [tr,ts]}`` as a compact notation for the set of time
+instants those intervals cover.  :class:`IntervalSet` realizes that
+notation as a first-class value with a full Boolean algebra: union,
+intersection, difference, complement (relative to a horizon), inclusion
+and membership tests.
+
+Canonical form
+--------------
+An :class:`IntervalSet` always stores concrete (resolved), pairwise
+disjoint, *non-adjacent* intervals sorted by start.  Adjacency is
+coalesced away because time is discrete: ``{[3,5], [6,9]}`` denotes the
+same instants as ``{[3,9]}``.  Canonicalization makes structural equality
+coincide with extensional (instant-set) equality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import InvalidIntervalError
+from repro.temporal.instants import validate_instant
+from repro.temporal.intervals import Interval
+
+
+class IntervalSet:
+    """An immutable set of time instants, stored as disjoint intervals."""
+
+    __slots__ = ("_intervals",)
+
+    def __init__(
+        self,
+        intervals: Iterable[Interval] = (),
+        now: int | None = None,
+    ) -> None:
+        """Build an interval set from any iterable of intervals.
+
+        Overlapping and adjacent input intervals are merged; moving
+        intervals are resolved against *now* (required if any input
+        interval is moving).
+        """
+        concrete: list[tuple[int, int]] = []
+        for interval in intervals:
+            resolved = interval.resolve(now)
+            if resolved.is_empty:
+                continue
+            concrete.append((resolved.start, resolved.end))  # type: ignore[arg-type]
+        concrete.sort()
+        merged: list[tuple[int, int]] = []
+        for start, end in concrete:
+            if merged and start <= merged[-1][1] + 1:
+                prev_start, prev_end = merged[-1]
+                merged[-1] = (prev_start, max(prev_end, end))
+            else:
+                merged.append((start, end))
+        self._intervals: tuple[Interval, ...] = tuple(
+            Interval(s, e) for s, e in merged
+        )
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        """The empty set of instants (the null interval ``[``)."""
+        return _EMPTY
+
+    @classmethod
+    def instant(cls, t: int) -> "IntervalSet":
+        """The singleton set ``{[t,t]}``."""
+        return cls([Interval.instant(t)])
+
+    @classmethod
+    def span(cls, start: int, end: int) -> "IntervalSet":
+        """The contiguous set ``{[start, end]}``."""
+        return cls([Interval(start, end)])
+
+    @classmethod
+    def from_instants(cls, instants: Iterable[int]) -> "IntervalSet":
+        """Build from an arbitrary iterable of instants."""
+        points = sorted({validate_instant(t) for t in instants})
+        intervals: list[Interval] = []
+        i = 0
+        while i < len(points):
+            j = i
+            while j + 1 < len(points) and points[j + 1] == points[j] + 1:
+                j += 1
+            intervals.append(Interval(points[i], points[j]))
+            i = j + 1
+        return cls(intervals)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, int]]) -> "IntervalSet":
+        """Build from ``(start, end)`` integer pairs."""
+        return cls(Interval(s, e) for s, e in pairs)
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def intervals(self) -> tuple[Interval, ...]:
+        """The canonical disjoint intervals, sorted by start."""
+        return self._intervals
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._intervals
+
+    def is_contiguous(self) -> bool:
+        """True iff the set is a single interval (or empty).
+
+        Class and object lifespans are required to be contiguous
+        (paper, Sections 4 and 5.1).
+        """
+        return len(self._intervals) <= 1
+
+    def start(self) -> int:
+        """The earliest instant in the set."""
+        if not self._intervals:
+            raise InvalidIntervalError("empty interval set has no start")
+        return self._intervals[0].start
+
+    def end(self) -> int:
+        """The latest instant in the set."""
+        if not self._intervals:
+            raise InvalidIntervalError("empty interval set has no end")
+        return self._intervals[-1].end  # type: ignore[return-value]
+
+    def cardinality(self) -> int:
+        """The number of instants in the set."""
+        return sum(interval.duration() for interval in self._intervals)
+
+    def instants(self) -> Iterator[int]:
+        """Iterate over all instants, in increasing order."""
+        for interval in self._intervals:
+            yield from interval.instants()
+
+    def hull(self) -> Interval:
+        """The smallest single interval containing the whole set."""
+        if not self._intervals:
+            return Interval.empty()
+        return Interval(self.start(), self.end())
+
+    # -- membership and comparison ---------------------------------------------
+
+    def contains(self, t: int) -> bool:
+        """True iff instant *t* is in the set (binary search)."""
+        validate_instant(t)
+        lo, hi = 0, len(self._intervals) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            interval = self._intervals[mid]
+            if t < interval.start:
+                hi = mid - 1
+            elif t > interval.end:  # type: ignore[operator]
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    def __contains__(self, t: object) -> bool:
+        if not isinstance(t, int) or isinstance(t, bool):
+            return False
+        return self.contains(t)
+
+    def issubset(self, other: "IntervalSet") -> bool:
+        """True iff every instant of self is in *other*."""
+        return (self & other) == self
+
+    def isdisjoint(self, other: "IntervalSet") -> bool:
+        """True iff the two sets share no instant."""
+        return (self & other).is_empty
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __bool__(self) -> bool:
+        return not self.is_empty
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    # -- Boolean algebra ----------------------------------------------------------
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        return IntervalSet([*self._intervals, *other._intervals])
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        result: list[Interval] = []
+        a, b = self._intervals, other._intervals
+        i = j = 0
+        while i < len(a) and j < len(b):
+            piece = a[i].intersect(b[j])
+            if not piece.is_empty:
+                result.append(piece)
+            # advance whichever interval ends first
+            if a[i].end <= b[j].end:  # type: ignore[operator]
+                i += 1
+            else:
+                j += 1
+        return IntervalSet(result)
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        result: list[Interval] = []
+        for interval in self._intervals:
+            pieces: Sequence[Interval] = (interval,)
+            for cut in other._intervals:
+                next_pieces: list[Interval] = []
+                for piece in pieces:
+                    next_pieces.extend(piece.difference(cut))
+                pieces = next_pieces
+                if not pieces:
+                    break
+            result.extend(pieces)
+        return IntervalSet(result)
+
+    def symmetric_difference(self, other: "IntervalSet") -> "IntervalSet":
+        return (self - other) | (other - self)
+
+    def complement(self, horizon: Interval) -> "IntervalSet":
+        """Instants of *horizon* not in the set."""
+        return IntervalSet([horizon]) - self
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+    __xor__ = symmetric_difference
+
+    # -- display -----------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        if not self._intervals:
+            return "{}"
+        return "{" + ", ".join(repr(i) for i in self._intervals) + "}"
+
+
+_EMPTY = IntervalSet()

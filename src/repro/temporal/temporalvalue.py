@@ -1,0 +1,495 @@
+"""Temporal values: partial functions from TIME to a value domain.
+
+The extension of a temporal type ``temporal(T)`` at time ``t`` is the set
+of partial functions ``f : TIME -> U_t' [[T]]_t'`` such that ``f(t')``,
+when defined, is a legal value of ``T`` at ``t'`` (Definition 3.5).  The
+paper represents such a function compactly as a set of pairs::
+
+    { <tau_1, v_1>, ..., <tau_n, v_n> }
+
+where the ``tau_i`` are disjoint time intervals and the function takes
+value ``v_i`` throughout ``tau_i`` (Section 3.2).  :class:`TemporalValue`
+realizes exactly that representation.
+
+Representation invariants
+-------------------------
+* pairs are sorted by interval start and pairwise disjoint;
+* at most one pair has a *moving* ``[t, now]`` interval, and it is the
+  last pair (the "open" pair tracking the current value);
+* adjacent pairs carrying equal values are coalesced (``coalesce=False``
+  at construction disables this, for the ablation bench E4).
+
+Mutation protocol
+-----------------
+The engine updates temporal attributes through two operations:
+
+* :meth:`assign` -- "the value becomes v at instant t": closes the open
+  pair at ``t-1`` and opens ``<[t, now], v>``;
+* :meth:`close` -- "the value stops being recorded after instant t":
+  closes the open pair (object deletion, attribute dropped by migration;
+  the history is retained, per Section 5.2).
+
+:meth:`put` supports arbitrary (e.g. retroactive) insertions and is used
+by loaders and the workload generator.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.errors import (
+    OverlappingHistoryError,
+    UndefinedAtError,
+    UnresolvedNowError,
+)
+from repro.temporal.instants import NOW, Now, validate_instant
+from repro.temporal.intervals import Interval
+from repro.temporal.intervalsets import IntervalSet
+
+
+class TemporalValue:
+    """A partial function from TIME, stored as ``<interval, value>`` pairs."""
+
+    __slots__ = ("_pairs", "_coalesce")
+
+    def __init__(
+        self,
+        pairs: Iterable[tuple[Interval, Any]] = (),
+        coalesce: bool = True,
+    ) -> None:
+        self._coalesce = coalesce
+        self._pairs: list[list[Any]] = []  # [start, end(int|Now), value]
+        for interval, value in pairs:
+            self.put(interval, value)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def constant(cls, value: Any, interval: Interval) -> "TemporalValue":
+        """A constant function over *interval* (immutable attributes)."""
+        return cls([(interval, value)])
+
+    @classmethod
+    def from_items(
+        cls, items: Iterable[tuple[tuple[int, int | Now], Any]]
+    ) -> "TemporalValue":
+        """Build from ``((start, end), value)`` items."""
+        return cls(
+            (Interval(start, end), value) for (start, end), value in items
+        )
+
+    def copy(self) -> "TemporalValue":
+        """An independent copy (pair values are shared, not deep-copied)."""
+        clone = TemporalValue(coalesce=self._coalesce)
+        clone._pairs = [list(pair) for pair in self._pairs]
+        return clone
+
+    # -- internal helpers -------------------------------------------------------
+
+    def _starts(self) -> list[int]:
+        return [pair[0] for pair in self._pairs]
+
+    def _locate(self, t: int) -> int | None:
+        """Index of the pair whose interval contains *t*, if any.
+
+        A moving (``now``-ended) pair is taken to contain every instant
+        from its start onwards; the engine's clock discipline guarantees
+        it is only ever queried at instants up to the current time.
+        """
+        idx = bisect_right(self._starts(), t) - 1
+        if idx < 0:
+            return None
+        start, end, _value = self._pairs[idx]
+        if isinstance(end, Now):
+            return idx if t >= start else None
+        return idx if start <= t <= end else None
+
+    def _open_index(self) -> int | None:
+        """Index of the moving pair, if present (always the last pair)."""
+        if self._pairs and isinstance(self._pairs[-1][1], Now):
+            return len(self._pairs) - 1
+        return None
+
+    # -- queries ---------------------------------------------------------------
+
+    def defined_at(self, t: int) -> bool:
+        """True iff the function is defined at instant *t*."""
+        validate_instant(t)
+        return self._locate(t) is not None
+
+    def at(self, t: int) -> Any:
+        """The value of the function at instant *t*.
+
+        Raises :class:`UndefinedAtError` if *t* is outside the domain.
+        """
+        validate_instant(t)
+        idx = self._locate(t)
+        if idx is None:
+            raise UndefinedAtError(f"temporal value undefined at instant {t}")
+        return self._pairs[idx][2]
+
+    def get(self, t: int, default: Any = None) -> Any:
+        """The value at *t*, or *default* when undefined."""
+        idx = self._locate(t)
+        return default if idx is None else self._pairs[idx][2]
+
+    def __call__(self, t: int) -> Any:
+        return self.at(t)
+
+    def domain(self, now: int | None = None) -> IntervalSet:
+        """The set of instants at which the function is defined.
+
+        *now* is needed only when the value has an open pair.
+        """
+        return IntervalSet(
+            (Interval(start, end) for start, end, _ in self._pairs), now=now
+        )
+
+    def pairs(self) -> tuple[tuple[Interval, Any], ...]:
+        """The raw ``(interval, value)`` pairs (moving last pair intact)."""
+        return tuple(
+            (Interval(start, end), value) for start, end, value in self._pairs
+        )
+
+    def resolved_pairs(self, now: int) -> tuple[tuple[Interval, Any], ...]:
+        """Pairs with the open interval resolved against *now*."""
+        result = []
+        for start, end, value in self._pairs:
+            interval = Interval(start, end).resolve(now)
+            if not interval.is_empty:
+                result.append((interval, value))
+        return tuple(result)
+
+    def values(self) -> Iterator[Any]:
+        """Iterate over the values carried by the pairs, in time order."""
+        return iter(pair[2] for pair in self._pairs)
+
+    def is_empty(self) -> bool:
+        """True iff the function is nowhere defined."""
+        return not self._pairs
+
+    def has_open_pair(self) -> bool:
+        """True iff the last pair's interval is ``[t, now]``."""
+        return self._open_index() is not None
+
+    def first_instant(self) -> int:
+        """The earliest instant of the domain."""
+        if not self._pairs:
+            raise UndefinedAtError("temporal value is nowhere defined")
+        return self._pairs[0][0]
+
+    def last_instant(self, now: int | None = None) -> int:
+        """The latest instant of the domain (resolving an open pair)."""
+        if not self._pairs:
+            raise UndefinedAtError("temporal value is nowhere defined")
+        end = self._pairs[-1][1]
+        if isinstance(end, Now):
+            interval = Interval(self._pairs[-1][0], end).resolve(now)
+            return interval.end  # type: ignore[return-value]
+        return end
+
+    def current(self, now: int) -> Any:
+        """The value at the current time (``f(now)``)."""
+        return self.at(now)
+
+    def is_constant(self) -> bool:
+        """True iff all pairs carry the same value (immutable attribute)."""
+        values = [pair[2] for pair in self._pairs]
+        return all(v == values[0] for v in values[1:]) if values else True
+
+    def when(
+        self, predicate: Callable[[Any], bool], now: int | None = None
+    ) -> IntervalSet:
+        """The set of instants at which ``predicate(f(t))`` holds."""
+        hits = [
+            Interval(start, end)
+            for start, end, value in self._pairs
+            if predicate(value)
+        ]
+        return IntervalSet(hits, now=now)
+
+    # -- mutation ------------------------------------------------------------------
+
+    def assign(self, t: int, value: Any) -> None:
+        """Record that the value becomes *value* at instant *t*.
+
+        The open pair (if any) is closed at ``t - 1`` and a new open pair
+        ``<[t, now], value>`` begins, unless the current value already
+        equals *value*, in which case the open pair simply keeps
+        extending (coalescing).  Assigning strictly inside recorded
+        history raises :class:`OverlappingHistoryError` -- retroactive
+        corrections must use :meth:`put` with ``overwrite=True``.
+        """
+        validate_instant(t)
+        open_idx = self._open_index()
+        if open_idx is not None:
+            start = self._pairs[open_idx][0]
+            if t < start:
+                raise OverlappingHistoryError(
+                    f"assign at {t} predates the open pair starting at "
+                    f"{start}; use put(..., overwrite=True) for "
+                    "retroactive corrections"
+                )
+            if self._coalesce and self._pairs[open_idx][2] == value:
+                return
+            if t == start:
+                self._pairs[open_idx][2] = value
+                self._maybe_merge_backward(open_idx)
+                return
+            self._pairs[open_idx][1] = t - 1
+        elif self._pairs:
+            last_end = self._pairs[-1][1]
+            if t <= last_end:
+                raise OverlappingHistoryError(
+                    f"assign at {t} overlaps recorded history ending at "
+                    f"{last_end}; use put(..., overwrite=True)"
+                )
+        self._pairs.append([t, NOW, value])
+        self._maybe_merge_backward(len(self._pairs) - 1)
+
+    def close(self, t: int) -> None:
+        """Close the open pair so the function is undefined after *t*.
+
+        If the open pair starts at ``t + 1`` or later it never held and
+        is removed entirely.  A no-op when there is no open pair.
+        ``t = -1`` is accepted as "before the beginning of time" (an
+        open pair starting at 0 gets removed).
+        """
+        if t != -1:
+            validate_instant(t)
+        open_idx = self._open_index()
+        if open_idx is None:
+            return
+        start = self._pairs[open_idx][0]
+        if t < start:
+            del self._pairs[open_idx]
+        else:
+            self._pairs[open_idx][1] = t
+
+    def put(
+        self,
+        interval: Interval,
+        value: Any,
+        overwrite: bool = False,
+        now: int | None = None,
+    ) -> None:
+        """Insert ``<interval, value>`` anywhere in the history.
+
+        A moving interval may be inserted only if nothing is recorded at
+        or after its start.  With ``overwrite=False`` (default) any
+        overlap with existing pairs raises
+        :class:`OverlappingHistoryError`; with ``overwrite=True`` the
+        overlapping stretches of existing pairs are carved away first.
+        """
+        if interval.is_empty:
+            return
+        start = interval.start
+        end = interval.end
+        if isinstance(end, Now):
+            open_idx = self._open_index()
+            conflict = self._pairs and not (
+                isinstance(self._pairs[-1][1], int)
+                and self._pairs[-1][1] < start
+            )
+            if conflict:
+                if not overwrite:
+                    raise OverlappingHistoryError(
+                        f"open pair starting at {start} overlaps history"
+                    )
+                # Truncate everything at or after `start`.
+                self._carve(Interval(start, NOW), now)
+            if open_idx is not None and self._open_index() is not None:
+                raise OverlappingHistoryError(
+                    "a temporal value admits a single open pair"
+                )
+            self._pairs.append([start, NOW, value])
+            self._maybe_merge_backward(len(self._pairs) - 1)
+            return
+
+        overlapping = self._overlapping_indexes(start, end, now)
+        if overlapping:
+            if not overwrite:
+                raise OverlappingHistoryError(
+                    f"interval {interval} overlaps recorded history"
+                )
+            self._carve(interval, now)
+        idx = bisect_right(self._starts(), start)
+        self._pairs.insert(idx, [start, end, value])
+        self._maybe_merge_backward(idx + 1 if idx + 1 < len(self._pairs) else idx)
+        self._maybe_merge_backward(idx)
+
+    def restrict(self, allowed: IntervalSet, now: int | None = None) -> "TemporalValue":
+        """The restriction of the function to ``domain & allowed``."""
+        result = TemporalValue(coalesce=self._coalesce)
+        for start, end, value in self._pairs:
+            interval = Interval(start, end).resolve(now)
+            if interval.is_empty:
+                continue
+            piece_set = IntervalSet([interval]) & allowed
+            for piece in piece_set.intervals:
+                result.put(piece, value)
+        return result
+
+    def map(self, fn: Callable[[Any], Any]) -> "TemporalValue":
+        """Apply *fn* to every carried value, preserving the domain."""
+        result = TemporalValue(coalesce=self._coalesce)
+        for start, end, value in self._pairs:
+            result._pairs.append([start, end, fn(value)])
+        return result
+
+    def combine(
+        self,
+        other: "TemporalValue",
+        fn: Callable[[Any, Any], Any],
+        now: int | None = None,
+    ) -> "TemporalValue":
+        """The pairwise temporal join: ``h(t) = fn(f(t), g(t))``.
+
+        Defined exactly on the intersection of the two domains; the
+        result is computed once per overlapping segment (both inputs
+        are piecewise constant).  *now* resolves open pairs; the result
+        is fully concrete.
+        """
+        result = TemporalValue(coalesce=self._coalesce)
+        if now is None and (self.has_open_pair() or other.has_open_pair()):
+            raise UnresolvedNowError(
+                "combine over open pairs needs now="
+            )
+        mine = (
+            self.resolved_pairs(now) if now is not None else self.pairs()
+        )
+        theirs = (
+            other.resolved_pairs(now) if now is not None else other.pairs()
+        )
+        for interval_a, value_a in mine:
+            for interval_b, value_b in theirs:
+                overlap = interval_a.intersect(interval_b, now)
+                if not overlap.is_empty:
+                    result.put(overlap, fn(value_a, value_b))
+        return result
+
+    def coalesced(self) -> "TemporalValue":
+        """A copy with adjacent equal-valued pairs merged."""
+        result = TemporalValue(coalesce=True)
+        for start, end, value in self._pairs:
+            result._pairs.append([start, end, value])
+            result._maybe_merge_backward(len(result._pairs) - 1)
+        return result
+
+    # -- mutation internals ------------------------------------------------------
+
+    def _overlapping_indexes(
+        self, start: int, end: int, now: int | None
+    ) -> list[int]:
+        probe = Interval(start, end)
+        hits = []
+        for idx, (s, e, _v) in enumerate(self._pairs):
+            existing = Interval(s, e)
+            if isinstance(e, Now):
+                # An open pair overlaps anything at or after its start.
+                if end >= s:
+                    hits.append(idx)
+            elif probe.overlaps(existing, now):
+                hits.append(idx)
+        return hits
+
+    def _carve(self, interval: Interval, now: int | None) -> None:
+        """Remove *interval* from the domain, splitting pairs as needed."""
+        start = interval.start
+        end = interval.end
+        new_pairs: list[list[Any]] = []
+        for s, e, v in self._pairs:
+            if isinstance(end, Now):
+                # Carving [start, now]: keep only the part before start.
+                if isinstance(e, Now):
+                    if s < start:
+                        new_pairs.append([s, start - 1, v])
+                elif e < start:
+                    new_pairs.append([s, e, v])
+                elif s < start:
+                    new_pairs.append([s, start - 1, v])
+                continue
+            if isinstance(e, Now):
+                # Existing open pair vs a concrete carve interval.
+                if s > end:
+                    new_pairs.append([s, e, v])
+                    continue
+                if s < start:
+                    new_pairs.append([s, start - 1, v])
+                new_pairs.append([end + 1, e, v])
+                continue
+            existing = Interval(s, e)
+            for piece in existing.difference(Interval(start, end), now):
+                new_pairs.append([piece.start, piece.end, v])
+        # Drop degenerate open pairs like [end+1, now] when end+1 > now.
+        self._pairs = [
+            p
+            for p in new_pairs
+            if isinstance(p[1], Now) or p[0] <= p[1]
+        ]
+        self._pairs.sort(key=lambda p: p[0])
+
+    def _maybe_merge_backward(self, idx: int) -> None:
+        """Coalesce pair *idx* into its predecessor when legal."""
+        if not self._coalesce or idx <= 0 or idx >= len(self._pairs):
+            return
+        prev, curr = self._pairs[idx - 1], self._pairs[idx]
+        prev_end = prev[1]
+        if isinstance(prev_end, Now):
+            return
+        if prev_end + 1 == curr[0] and prev[2] == curr[2]:
+            prev[1] = curr[1]
+            del self._pairs[idx]
+
+    # -- comparison -----------------------------------------------------------------
+
+    def equals_at(self, other: "TemporalValue", now: int) -> bool:
+        """Extensional equality of the two functions, read at time *now*."""
+        return self.resolved_pairs(now) == other.resolved_pairs(now)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TemporalValue):
+            return NotImplemented
+        mine = self.coalesced()._pairs if not self._coalesce else self._pairs
+        theirs = (
+            other.coalesced()._pairs if not other._coalesce else other._pairs
+        )
+        return mine == theirs
+
+    def __hash__(self) -> int:
+        canon = self if self._coalesce else self.coalesced()
+        return hash(
+            tuple(
+                (start, end if not isinstance(end, Now) else NOW, _hashable(v))
+                for start, end, v in canon._pairs
+            )
+        )
+
+    def __len__(self) -> int:
+        """The number of stored pairs."""
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[tuple[Interval, Any]]:
+        return iter(self.pairs())
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"<[{start},{end!r}],{value!r}>" for start, end, value in self._pairs
+        )
+        return "{" + body + "}"
+
+
+def _hashable(value: Any) -> Any:
+    """Best-effort hashable projection of a carried value."""
+    if isinstance(value, (set, frozenset)):
+        return frozenset(_hashable(v) for v in value)
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    try:
+        hash(value)
+    except TypeError:
+        return repr(value)
+    return value

@@ -1,0 +1,19 @@
+"""Developer-facing tooling over a live database."""
+
+from repro.tools.describe import describe_class, describe_database, describe_object
+from repro.tools.analytics import (
+    attribute_average_history,
+    attribute_sum_history,
+    population_history,
+    value_duration,
+)
+
+__all__ = [
+    "describe_class",
+    "describe_object",
+    "describe_database",
+    "population_history",
+    "attribute_sum_history",
+    "attribute_average_history",
+    "value_duration",
+]

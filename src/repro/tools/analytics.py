@@ -1,0 +1,133 @@
+"""Temporal analytics: derived histories over a live database.
+
+The class-side temporal values (``ext``, ``proper-ext``) and the
+object-side attribute histories compose, via ``map`` and ``combine``,
+into derived time series without any per-instant iteration:
+
+* :func:`population_history` -- |pi(c, t)| as a function of t;
+* :func:`attribute_sum_history` / :func:`attribute_average_history` --
+  aggregates of one temporal attribute over the class extent as
+  functions of t;
+* :func:`value_duration` -- for one object, how long each value of an
+  attribute was held (the "for how long" question).
+
+These are the queries a c-attribute like Example 4.1's
+``average-participants`` would cache; here they are computed exactly
+from the histories.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.temporal.intervals import Interval
+from repro.temporal.intervalsets import IntervalSet
+from repro.temporal.temporalvalue import TemporalValue
+from repro.values.null import is_null
+from repro.values.oid import OID
+
+
+def population_history(db, class_name: str) -> TemporalValue:
+    """``t -> |pi(class_name, t)|`` as a temporal value."""
+    cls = db.get_class(class_name)
+    return cls.history.ext.map(len)
+
+
+def instance_population_history(db, class_name: str) -> TemporalValue:
+    """``t -> |proper-ext(class_name, t)|``."""
+    cls = db.get_class(class_name)
+    return cls.history.proper_ext.map(len)
+
+
+def _member_histories(
+    db, class_name: str, attribute: str
+) -> list[TemporalValue]:
+    """Each ever-member's attribute history restricted to its
+    membership span (so migrated-away stretches do not count)."""
+    cls = db.get_class(class_name)
+    histories = []
+    for oid in cls.history.ever_members():
+        obj = db.get_object(oid)
+        history = obj.temporal_value(attribute)
+        if history is None:
+            continue
+        member_times = cls.history.member_times(oid, db.now)
+        histories.append(history.restrict(member_times, db.now))
+    return histories
+
+
+def attribute_sum_history(
+    db, class_name: str, attribute: str
+) -> TemporalValue:
+    """``t -> sum of attribute over the members recording it at t``.
+
+    Null stretches contribute nothing.  Defined wherever at least one
+    member records a non-null value.
+    """
+    total = TemporalValue()
+    for history in _member_histories(db, class_name, attribute):
+        contribution = history.map(lambda v: 0 if is_null(v) else v)
+        if total.is_empty():
+            total = contribution
+            continue
+        overlap = total.combine(contribution, lambda a, b: a + b, now=db.now)
+        only_total = total.restrict(
+            total.domain(db.now) - contribution.domain(db.now), db.now
+        )
+        only_new = contribution.restrict(
+            contribution.domain(db.now) - total.domain(db.now), db.now
+        )
+        merged = TemporalValue()
+        for part in (overlap, only_total, only_new):
+            for interval, value in part.resolved_pairs(db.now):
+                merged.put(interval, value)
+        total = merged
+    return total
+
+
+def attribute_average_history(
+    db, class_name: str, attribute: str
+) -> TemporalValue:
+    """``t -> average of the attribute over members recording it``."""
+    count = TemporalValue()
+    for history in _member_histories(db, class_name, attribute):
+        ones = history.map(lambda v: 0 if is_null(v) else 1)
+        if count.is_empty():
+            count = ones
+            continue
+        overlap = count.combine(ones, lambda a, b: a + b, now=db.now)
+        only_count = count.restrict(
+            count.domain(db.now) - ones.domain(db.now), db.now
+        )
+        only_ones = ones.restrict(
+            ones.domain(db.now) - count.domain(db.now), db.now
+        )
+        merged = TemporalValue()
+        for part in (overlap, only_count, only_ones):
+            for interval, value in part.resolved_pairs(db.now):
+                merged.put(interval, value)
+        count = merged
+    total = attribute_sum_history(db, class_name, attribute)
+    # Stretches where every member records null have count 0; the
+    # average is null there (carried as the model null).
+    from repro.values.null import NULL
+
+    return total.combine(
+        count, lambda s, n: (s / n) if n else NULL, now=db.now
+    )
+
+
+def value_duration(
+    db, oid: OID, attribute: str
+) -> dict[Any, int]:
+    """For one object: total instants each value of *attribute* was
+    held (open stretches counted up to now)."""
+    obj = db.get_object(oid)
+    history = obj.temporal_value(attribute)
+    if history is None:
+        return {}
+    totals: dict[Any, int] = {}
+    for interval, value in history.resolved_pairs(db.now):
+        key = value if not is_null(value) else None
+        totals[key] = totals.get(key, 0) + interval.duration()
+    return totals

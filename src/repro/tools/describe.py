@@ -1,0 +1,84 @@
+"""Pretty-printers rendering engine state in the paper's notation.
+
+``describe_class`` prints the 7-tuple of Definition 4.1 exactly as
+Example 4.1 lays it out; ``describe_object`` prints the 4-tuple of
+Definition 5.1 as Example 5.1 does; ``describe_database`` summarizes
+the schema and population.  Used by the examples and handy in a REPL.
+"""
+
+from __future__ import annotations
+
+from repro.schema.class_def import ClassSignature
+from repro.schema.derived_types import historical_type, static_type
+from repro.values.oid import OID
+from repro.values.structure import format_value
+
+
+def describe_class(db, class_name: str) -> str:
+    """Definition 4.1's tuple, in Example 4.1's layout."""
+    cls: ClassSignature = db.get_class(class_name)
+    lines = [
+        f"c        = {cls.name}",
+        f"type     = {cls.kind.value}",
+        f"lifespan = {cls.lifespan}",
+        "attr     = {"
+        + ", ".join(
+            f"({a.name}, {a.type!r})" for a in cls.attributes.values()
+        )
+        + "}",
+        "meth     = {"
+        + ", ".join(repr(m) for m in cls.methods.values())
+        + "}",
+        f"history  = {format_value(cls.history.as_record())}",
+        f"mc       = {cls.metaclass_name}",
+        f"h_type   = {historical_type(cls)!r}",
+        f"s_type   = {static_type(cls)!r}",
+    ]
+    return "\n".join(lines)
+
+
+def describe_object(db, oid: OID) -> str:
+    """Definition 5.1's tuple, in Example 5.1's layout."""
+    obj = db.get_object(oid)
+    lines = [
+        f"i             = {obj.oid}",
+        f"lifespan      = {obj.lifespan}",
+        "v             = ("
+        + ", ".join(
+            f"{name}: {format_value(value)}"
+            for name, value in obj.value.items()
+        )
+        + ")",
+        f"class-history = {format_value(obj.class_history)}",
+    ]
+    if obj.retained:
+        lines.append(
+            "retained      = ("
+            + ", ".join(
+                f"{name}: {format_value(value)}"
+                for name, value in obj.retained.items()
+            )
+            + ")"
+        )
+    return "\n".join(lines)
+
+
+def describe_database(db) -> str:
+    """Schema and population summary."""
+    lines = [f"now = {db.now}"]
+    lines.append(f"hierarchies: {sorted(db.isa.hierarchies())}")
+    for name in sorted(db.class_names()):
+        cls = db.get_class(name)
+        population = len(cls.history.members_at(db.now))
+        instances = len(cls.history.instances_at(db.now))
+        parents = sorted(db.isa.parents(name))
+        lines.append(
+            f"  class {name}"
+            + (f" isa {', '.join(parents)}" if parents else "")
+            + f": {len(cls.attributes)} attrs, "
+            f"{population} members / {instances} instances at now"
+            + ("" if cls.is_alive else " (dropped)")
+        )
+    alive = sum(1 for _ in db.live_objects())
+    lines.append(f"objects: {len(db)} total, {alive} alive")
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Temporal triggers (paper Section 7).
+
+Chimera supports "a powerful language for defining triggers" (Section
+1), and the paper's future work singles out *temporal triggers* --
+including re-visiting termination and confluence.  This package
+provides event-condition-action triggers whose conditions can consult
+object histories (via the query language), a cascade-executing runtime
+with depth bounding, and a static *termination analysis* over the
+triggering graph (the classical may-activate cycle test, extended with
+the temporal observation that conditions restricted to strictly-past
+history cannot self-reactivate within one instant).
+
+* :class:`Trigger` -- (event spec, condition, action, writes
+  declaration);
+* :class:`TriggerManager` -- registration, runtime cascade execution,
+  :meth:`~TriggerManager.termination_report`.
+"""
+
+from repro.triggers.triggers import (
+    Trigger,
+    TriggerManager,
+    on_create,
+    on_delete,
+    on_migrate,
+    on_update,
+)
+
+__all__ = [
+    "Trigger",
+    "TriggerManager",
+    "on_create",
+    "on_update",
+    "on_migrate",
+    "on_delete",
+]

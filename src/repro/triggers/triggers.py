@@ -1,0 +1,231 @@
+"""ECA triggers with temporal conditions.
+
+A trigger is (event, condition, action):
+
+* **event** -- which database operations activate it: an
+  :class:`EventSpec` matching kind, class (including subclasses) and,
+  for updates, the attribute;
+* **condition** -- optional; a callable ``(db, event) -> bool`` or a
+  query-language predicate evaluated on the affected object at ``now``.
+  Temporal conditions (e.g. "salary decreased", "held value v for 10
+  instants") read the object's history;
+* **action** -- a callable ``(db, event) -> None``; it may perform
+  further database operations, which can activate other triggers
+  (cascading).  Each trigger declares ``writes``: the (class,
+  attribute) pairs its action may update, plus the classes it may
+  create/migrate/delete in -- the input to the termination analysis.
+
+Termination analysis.  Build the *triggering graph*: an edge t1 -> t2
+when something t1 writes matches t2's event spec.  A cycle means the
+set *may* not terminate (the classical sufficient condition for
+termination is acyclicity); the report lists the cycles so the
+designer can break them.  The runtime independently bounds cascade
+depth and raises :class:`TriggerError` beyond it, so even a cyclic set
+cannot loop forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import TriggerError
+from repro.database.events import Event, EventKind
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """What activates a trigger."""
+
+    kind: EventKind
+    class_name: str
+    attribute: str | None = None  # UPDATE only; None = any attribute
+
+    def matches(self, db, event: Event) -> bool:
+        if event.kind is not self.kind:
+            return False
+        if not db.isa.isa_le(event.class_name, self.class_name):
+            return False
+        if self.kind is EventKind.UPDATE and self.attribute is not None:
+            return event.attribute == self.attribute
+        return True
+
+
+def on_create(class_name: str) -> EventSpec:
+    return EventSpec(EventKind.CREATE, class_name)
+
+
+def on_update(class_name: str, attribute: str | None = None) -> EventSpec:
+    return EventSpec(EventKind.UPDATE, class_name, attribute)
+
+
+def on_migrate(class_name: str) -> EventSpec:
+    return EventSpec(EventKind.MIGRATE, class_name)
+
+
+def on_delete(class_name: str) -> EventSpec:
+    return EventSpec(EventKind.DELETE, class_name)
+
+
+@dataclass(frozen=True)
+class WriteSpec:
+    """One kind of write a trigger action may perform."""
+
+    kind: EventKind
+    class_name: str
+    attribute: str | None = None
+
+    def may_activate(self, db, spec: EventSpec) -> bool:
+        if self.kind is not spec.kind:
+            return False
+        related = db.isa.isa_le(
+            self.class_name, spec.class_name
+        ) or db.isa.isa_le(spec.class_name, self.class_name)
+        if not related:
+            return False
+        if self.kind is EventKind.UPDATE and spec.attribute is not None:
+            return self.attribute is None or self.attribute == spec.attribute
+        return True
+
+
+@dataclass
+class Trigger:
+    """One event-condition-action rule."""
+
+    name: str
+    event: EventSpec
+    action: Callable[[Any, Event], None]
+    condition: Callable[[Any, Event], bool] | None = None
+    #: Query-language predicate alternative to `condition`, evaluated
+    #: on the affected object at the current time.
+    predicate: Any = None
+    #: What the action may write (for the termination analysis).
+    writes: tuple[WriteSpec, ...] = ()
+    #: Condition only consults strictly-past history: within a single
+    #: clock instant the condition's truth cannot be changed by the
+    #: trigger's own writes, which refines the termination analysis.
+    past_only: bool = False
+
+    def should_fire(self, db, event: Event) -> bool:
+        if not self.event.matches(db, event):
+            return False
+        if self.condition is not None and not self.condition(db, event):
+            return False
+        if self.predicate is not None:
+            from repro.query.evaluator import _eval_at
+
+            if event.kind is EventKind.DELETE:
+                return False
+            obj = db.get_object(event.oid)
+            if _eval_at(db, obj, self.predicate, db.now, db.now) is not True:
+                return False
+        return True
+
+
+class TriggerManager:
+    """Registers triggers on a database and runs the cascades."""
+
+    def __init__(self, db, max_cascade_depth: int = 64) -> None:
+        self._db = db
+        self._triggers: list[Trigger] = []
+        self._max_depth = max_cascade_depth
+        self._depth = 0
+        self._fired_log: list[tuple[str, Event]] = []
+        db.subscribe(self._on_event)
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, trigger: Trigger) -> "TriggerManager":
+        if any(t.name == trigger.name for t in self._triggers):
+            raise TriggerError(
+                f"trigger {trigger.name!r} already registered"
+            )
+        self._triggers.append(trigger)
+        return self
+
+    def triggers(self) -> tuple[Trigger, ...]:
+        return tuple(self._triggers)
+
+    @property
+    def fired_log(self) -> list[tuple[str, Event]]:
+        """(trigger name, activating event) pairs, in firing order."""
+        return list(self._fired_log)
+
+    def detach(self) -> None:
+        self._db.unsubscribe(self._on_event)
+
+    # -- runtime -------------------------------------------------------------------
+
+    def _on_event(self, db, event: Event) -> None:
+        to_fire = [t for t in self._triggers if t.should_fire(db, event)]
+        if not to_fire:
+            return
+        if self._depth >= self._max_depth:
+            raise TriggerError(
+                f"trigger cascade exceeded depth {self._max_depth} "
+                f"(triggered by {event!r}); the trigger set may be "
+                "non-terminating"
+            )
+        self._depth += 1
+        try:
+            for trigger in to_fire:
+                self._fired_log.append((trigger.name, event))
+                trigger.action(db, event)
+        finally:
+            self._depth -= 1
+
+    # -- static termination analysis ----------------------------------------------
+
+    def triggering_graph(self) -> dict[str, set[str]]:
+        """Edges t1 -> t2: t1's declared writes may activate t2."""
+        graph: dict[str, set[str]] = {t.name: set() for t in self._triggers}
+        for source in self._triggers:
+            for target in self._triggers:
+                if any(
+                    write.may_activate(self._db, target.event)
+                    for write in source.writes
+                ):
+                    graph[source.name].add(target.name)
+        return graph
+
+    def cycles(self) -> list[list[str]]:
+        """Elementary cycles of the triggering graph, ignoring
+        self-loops of ``past_only`` triggers (their condition cannot be
+        re-enabled by their own write within one instant)."""
+        graph = self.triggering_graph()
+        past_only = {t.name for t in self._triggers if t.past_only}
+        for name in past_only:
+            graph[name].discard(name)
+        return _elementary_cycles(graph)
+
+    def termination_report(self) -> dict[str, Any]:
+        """May-terminate verdict plus the offending cycles."""
+        found = self.cycles()
+        return {
+            "terminates": not found,
+            "cycles": found,
+            "trigger_count": len(self._triggers),
+        }
+
+
+def _elementary_cycles(graph: dict[str, set[str]]) -> list[list[str]]:
+    """All elementary cycles (Johnson-lite via DFS; graphs here are
+    tiny -- trigger sets, not data)."""
+    cycles: list[list[str]] = []
+    seen_signatures: set[tuple[str, ...]] = set()
+
+    def dfs(start: str, node: str, path: list[str]) -> None:
+        for succ in sorted(graph.get(node, ())):
+            if succ == start:
+                cycle = path[:]
+                rotation = min(range(len(cycle)), key=lambda i: cycle[i])
+                signature = tuple(cycle[rotation:] + cycle[:rotation])
+                if signature not in seen_signatures:
+                    seen_signatures.add(signature)
+                    cycles.append(list(signature))
+            elif succ > start and succ not in path:
+                dfs(start, succ, path + [succ])
+
+    for start in sorted(graph):
+        dfs(start, start, [start])
+    return cycles

@@ -1,0 +1,110 @@
+"""The T_Chimera type system (paper, Sections 3 and 6).
+
+The type grammar (Definitions 3.1-3.4)::
+
+    T  ::=  time                                  (T_Chimera only)
+         |  integer | real | bool | character | string     (BVT)
+         |  c                                     (object types, c in CI)
+         |  set-of(T) | list-of(T)
+         |  record-of(a1: T1, ..., an: TN)
+         |  temporal(T')   where T' is a Chimera type (no temporal inside)
+
+The *Chimera* types CT are those built without ``temporal``; T_Chimera
+adds ``time``, the temporal types TT = {temporal(T) | T in CT}, and
+closes the structured constructors over the whole grammar (so
+``set-of(temporal(integer))`` is a T_Chimera type even though
+``temporal(set-of(temporal(integer)))`` is not).
+
+Submodules:
+
+* :mod:`repro.types.grammar` -- the type terms;
+* :mod:`repro.types.parser` -- concrete syntax (``temporal(set-of(project))``);
+* :mod:`repro.types.context` -- the typing context (class extents, ISA);
+* :mod:`repro.types.extension` -- the extensions ``[[T]]_t`` (Def. 3.5);
+* :mod:`repro.types.deduction` -- the typing rules (Def. 3.6) and type
+  inference;
+* :mod:`repro.types.subtyping` -- the subtype order ``<=_T`` and lub
+  (Def. 6.1);
+* :mod:`repro.types.theorems` -- executable statements of Theorems 3.1,
+  3.2 and 6.1.
+"""
+
+from repro.types.grammar import (
+    BOOL,
+    BOTTOM,
+    CHARACTER,
+    INTEGER,
+    REAL,
+    STRING,
+    TIME,
+    BasicType,
+    BottomType,
+    ListOf,
+    ObjectType,
+    RecordOf,
+    SetOf,
+    TemporalType,
+    Type,
+    is_chimera_type,
+    is_temporal_type,
+    t_minus,
+)
+from repro.types.parser import format_type, parse_type
+from repro.types.context import (
+    DictTypeContext,
+    EMPTY_CONTEXT,
+    EmptyTypeContext,
+    TypeContext,
+)
+from repro.types.extension import in_extension
+from repro.types.deduction import infer_type, is_deducible
+from repro.types.subtyping import (
+    EMPTY_ISA,
+    EmptyIsaOrder,
+    IsaOrder,
+    is_subtype,
+    lub,
+)
+from repro.types.theorems import (
+    completeness_holds,
+    extension_inclusion_holds,
+    soundness_holds,
+)
+
+__all__ = [
+    "Type",
+    "BasicType",
+    "BottomType",
+    "ObjectType",
+    "SetOf",
+    "ListOf",
+    "RecordOf",
+    "TemporalType",
+    "INTEGER",
+    "REAL",
+    "BOOL",
+    "CHARACTER",
+    "STRING",
+    "TIME",
+    "BOTTOM",
+    "is_chimera_type",
+    "is_temporal_type",
+    "t_minus",
+    "parse_type",
+    "format_type",
+    "TypeContext",
+    "DictTypeContext",
+    "EmptyTypeContext",
+    "EMPTY_CONTEXT",
+    "in_extension",
+    "is_deducible",
+    "infer_type",
+    "IsaOrder",
+    "EmptyIsaOrder",
+    "EMPTY_ISA",
+    "is_subtype",
+    "lub",
+    "soundness_holds",
+    "completeness_holds",
+    "extension_inclusion_holds",
+]

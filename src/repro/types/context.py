@@ -1,0 +1,183 @@
+"""Typing contexts: the information the type system needs from a schema.
+
+The extensions ``[[T]]_t`` (Definition 3.5) and the typing rules
+(Definition 3.6) are parameterized by the function
+``pi : CI x TIME -> 2^OI`` assigning each class its extent at each
+instant, and -- for the lub in the set/list rules -- by the ISA order.
+A :class:`TypeContext` packages both.
+
+Three implementations:
+
+* :class:`EmptyTypeContext` -- no classes at all (the pure value world);
+* :class:`DictTypeContext` -- extents given explicitly as
+  ``{class_name: {oid: IntervalSet}}``; used by tests, the theorem
+  checkers and the workload generator;
+* ``TemporalDatabase`` (in :mod:`repro.database.database`) -- the live
+  engine, which implements this protocol against its class histories.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Protocol, runtime_checkable
+
+from repro.temporal.intervalsets import IntervalSet
+from repro.types.subtyping import EMPTY_ISA, IsaOrder
+from repro.values.oid import OID
+
+
+@runtime_checkable
+class TypeContext(Protocol):
+    """What the type system needs to know about classes and objects."""
+
+    def extent(self, class_name: str, t: int) -> frozenset[OID]:
+        """``pi(c, t)``: oids of members of *class_name* at instant *t*."""
+        ...
+
+    def membership_times(self, class_name: str, oid: OID) -> IntervalSet:
+        """The instants at which *oid* is a member of *class_name*.
+
+        (Empty when never a member; this is ``c_lifespan`` in object
+        terms.)  ``ever_member`` and ``member_throughout`` derive from
+        it.
+        """
+        ...
+
+    def known_class(self, class_name: str) -> bool:
+        """True iff *class_name* is a class of the schema."""
+        ...
+
+    @property
+    def current_time(self) -> int | None:
+        """The clock reading, when the context has a clock."""
+        ...
+
+    @property
+    def isa(self) -> IsaOrder:
+        """The ISA order on class identifiers."""
+        ...
+
+
+class _MembershipMixin:
+    """Derived membership queries shared by the implementations."""
+
+    def ever_member(self, class_name: str, oid: OID) -> bool:
+        """True iff there is an instant at which *oid* belongs to the class."""
+        return not self.membership_times(class_name, oid).is_empty  # type: ignore[attr-defined]
+
+    def member_throughout(
+        self, class_name: str, oid: OID, times: IntervalSet
+    ) -> bool:
+        """True iff *oid* belongs to the class at every instant of *times*."""
+        return times.issubset(self.membership_times(class_name, oid))  # type: ignore[attr-defined]
+
+
+class EmptyTypeContext(_MembershipMixin):
+    """A context with no classes: every class lookup is empty."""
+
+    def classes_of(self, oid: OID) -> tuple[str, ...]:
+        """Classes whose extent has ever contained *oid* (none here)."""
+        return ()
+
+    def extent(self, class_name: str, t: int) -> frozenset[OID]:
+        return frozenset()
+
+    def membership_times(self, class_name: str, oid: OID) -> IntervalSet:
+        return IntervalSet.empty()
+
+    def known_class(self, class_name: str) -> bool:
+        return False
+
+    @property
+    def current_time(self) -> int | None:
+        return None
+
+    @property
+    def isa(self) -> IsaOrder:
+        return EMPTY_ISA
+
+
+EMPTY_CONTEXT = EmptyTypeContext()
+
+
+class DictTypeContext(_MembershipMixin):
+    """A typing context built from explicit membership interval sets.
+
+    ``memberships`` maps each class name to ``{oid: interval-set}``:
+    the instants at which each oid is a member of the class.  The
+    caller is responsible for ISA coherence (a subclass member should
+    also appear under its superclasses), exactly as Invariant 6.1
+    demands of a real schema; :class:`repro.database.integrity` checks
+    that coherence for live databases.
+    """
+
+    def __init__(
+        self,
+        memberships: Mapping[str, Mapping[OID, IntervalSet]] | None = None,
+        isa: IsaOrder = EMPTY_ISA,
+        now: int | None = None,
+    ) -> None:
+        self._memberships: dict[str, dict[OID, IntervalSet]] = {
+            cls: dict(members) for cls, members in (memberships or {}).items()
+        }
+        self._isa = isa
+        self._now = now
+
+    @classmethod
+    def from_constant_extents(
+        cls,
+        extents: Mapping[str, Iterable[OID]],
+        horizon: tuple[int, int] = (0, 10**9),
+        isa: IsaOrder = EMPTY_ISA,
+        now: int | None = None,
+    ) -> "DictTypeContext":
+        """A context whose extents do not vary over *horizon*."""
+        span = IntervalSet.span(*horizon)
+        memberships = {
+            name: {oid: span for oid in oids} for name, oids in extents.items()
+        }
+        return cls(memberships, isa=isa, now=now)
+
+    def add_membership(
+        self, class_name: str, oid: OID, times: IntervalSet
+    ) -> None:
+        """Record that *oid* belongs to *class_name* throughout *times*."""
+        members = self._memberships.setdefault(class_name, {})
+        members[oid] = members.get(oid, IntervalSet.empty()) | times
+
+    # -- TypeContext protocol ---------------------------------------------------
+
+    def classes_of(self, oid: OID) -> tuple[str, ...]:
+        """Classes whose extent contains *oid*.
+
+        At the current time when the context has a clock, else at any
+        time -- matching how type inference resolves the existential in
+        the ``i : c`` rule.
+        """
+        names = []
+        for class_name, members in self._memberships.items():
+            times = members.get(oid)
+            if times is None or times.is_empty:
+                continue
+            if self._now is None or self._now in times:
+                names.append(class_name)
+        return tuple(names)
+
+    def extent(self, class_name: str, t: int) -> frozenset[OID]:
+        members = self._memberships.get(class_name, {})
+        return frozenset(oid for oid, times in members.items() if t in times)
+
+    def membership_times(self, class_name: str, oid: OID) -> IntervalSet:
+        return self._memberships.get(class_name, {}).get(
+            oid, IntervalSet.empty()
+        )
+
+    def known_class(self, class_name: str) -> bool:
+        return class_name in self._memberships
+
+    @property
+    def current_time(self) -> int | None:
+        return self._now
+
+    @property
+    def isa(self) -> IsaOrder:
+        return self._isa

@@ -1,0 +1,193 @@
+"""The typing rules for values (Definition 3.6) and type inference.
+
+Definition 3.6 gives one inference rule per value former:
+
+* ``null : T`` for every type T;
+* ``v : B`` when ``v in dom(B)``;
+* ``v : time`` when v is an instant;
+* ``i : c`` when ``i in pi(c, t)`` for some instant t -- note the
+  existential over t: an oid is typeable by every class it has *ever*
+  belonged to;
+* ``{v1,...,vn} : set-of(⊔ Ti)`` from ``vi : Ti`` (and likewise lists);
+* records component-wise, with distinct attribute names;
+* ``{(t1,v1),...,(tn,vn)} : temporal(T)`` from ``vi : T`` and distinct
+  instants ti.
+
+Two faces of the rules are exposed:
+
+:func:`is_deducible` -- the *checking* judgment ``v : T``.  It is
+syntax-directed: for collections we check every element against the
+target element type instead of searching for element types ``Ti`` whose
+lub is the target.  The two formulations coincide because deducibility
+is upward closed along ``<=_T``: if ``v : T'`` is deducible and
+``T' <=_T T``, then ``v : T`` is deducible directly -- for oids because
+``pi`` is monotone along ISA (a member of a subclass is a member of the
+superclass, Invariant 6.1), and for structured values by induction.
+Hence ``vi : Ti`` with ``⊔Ti = T`` gives ``vi : T`` for every i, and
+conversely ``vi : T`` for all i exhibits ``Ti = T`` with lub T.
+``test_deduction_lub_formulation_agrees`` exercises this equivalence.
+
+:func:`infer_type` -- the *synthesis* judgment: computes a type for the
+value (the lub-based reading, literally).  Inference fails with
+:class:`NoLubError` on heterogeneous collections without a lub; empty
+collections infer ``set-of(⊥)`` / ``list-of(⊥)`` with the inference-only
+bottom type.  For an oid, the inferred type is the *most specific* class
+containing it (at the context's current time when set, else ever);
+synthesis prefers specificity, checking accepts any ever-containing
+class, exactly as the rule's existential allows.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import NoLubError, TypeCheckError
+from repro.temporal.instants import is_instant
+from repro.temporal.temporalvalue import TemporalValue
+from repro.types.context import EMPTY_CONTEXT, TypeContext
+from repro.types.extension import in_basic_domain
+from repro.types.grammar import (
+    BOOL,
+    BOTTOM,
+    CHARACTER,
+    INTEGER,
+    REAL,
+    STRING,
+    BasicType,
+    BottomType,
+    ListOf,
+    ObjectType,
+    RecordOf,
+    SetOf,
+    TemporalType,
+    Type,
+)
+from repro.types.subtyping import lub
+from repro.values.null import is_null
+from repro.values.oid import OID
+from repro.values.records import RecordValue
+
+
+def is_deducible(
+    value: Any,
+    t: Type,
+    ctx: TypeContext = EMPTY_CONTEXT,
+) -> bool:
+    """Decide whether ``value : t`` is derivable by the Def. 3.6 rules."""
+    if is_null(value):
+        return True
+    if isinstance(t, BottomType):
+        return False
+    if isinstance(t, BasicType):
+        return in_basic_domain(value, t)
+    if isinstance(t, ObjectType):
+        return isinstance(value, OID) and ctx.ever_member(  # type: ignore[attr-defined]
+            t.class_name, value
+        )
+    if isinstance(t, SetOf):
+        if not isinstance(value, (set, frozenset)):
+            return False
+        return all(is_deducible(v, t.element, ctx) for v in value)
+    if isinstance(t, ListOf):
+        if not isinstance(value, (list, tuple)):
+            return False
+        return all(is_deducible(v, t.element, ctx) for v in value)
+    if isinstance(t, RecordOf):
+        if not isinstance(value, RecordValue):
+            return False
+        if set(value.names) != set(t.names):
+            return False
+        return all(
+            is_deducible(value[name], t.field_type(name), ctx)
+            for name in t.names
+        )
+    if isinstance(t, TemporalType):
+        if not isinstance(value, TemporalValue):
+            return False
+        # Distinctness of the instants t_i is the pairwise disjointness
+        # of the intervals, which TemporalValue maintains structurally.
+        return all(is_deducible(v, t.argument, ctx) for v in value.values())
+    raise AssertionError(f"unhandled type term {t!r}")
+
+
+def infer_type(
+    value: Any,
+    ctx: TypeContext = EMPTY_CONTEXT,
+) -> Type:
+    """Synthesize a type for *value* (the lub-based reading of Def. 3.6).
+
+    Raises :class:`TypeCheckError` for things that are not T_Chimera
+    values at all (e.g. a dict), and :class:`NoLubError` for
+    heterogeneous collections with no lub.  ``null`` has every type;
+    by convention inference returns the bottom type for it.
+    """
+    if is_null(value):
+        return BOTTOM
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INTEGER
+    if isinstance(value, float):
+        return REAL
+    if isinstance(value, str):
+        return CHARACTER if len(value) == 1 else STRING
+    if isinstance(value, OID):
+        return ObjectType(_most_specific_class(value, ctx))
+    if isinstance(value, (set, frozenset)):
+        element = _elements_lub([infer_type(v, ctx) for v in value], ctx)
+        return SetOf(element)
+    if isinstance(value, (list, tuple)):
+        element = _elements_lub([infer_type(v, ctx) for v in value], ctx)
+        return ListOf(element)
+    if isinstance(value, RecordValue):
+        return RecordOf(
+            {name: infer_type(v, ctx) for name, v in value.items()}
+        )
+    if isinstance(value, TemporalValue):
+        inner = _elements_lub(
+            [infer_type(v, ctx) for v in value.values()], ctx
+        )
+        if isinstance(inner, BottomType):
+            # An everywhere-undefined temporal value; any carrier works.
+            return TemporalType(INTEGER)
+        if not inner.is_chimera():
+            raise TypeCheckError(
+                f"temporal value carries non-Chimera values of type "
+                f"{inner!r}"
+            )
+        return TemporalType(inner)
+    raise TypeCheckError(f"{value!r} is not a T_Chimera value")
+
+
+def _elements_lub(types: list[Type], ctx: TypeContext) -> Type:
+    if not types:
+        return BOTTOM
+    return lub(types, ctx.isa)
+
+
+def _most_specific_class(oid: OID, ctx: TypeContext) -> str:
+    """The most specific class containing *oid*.
+
+    Prefers membership at the context's current time; falls back to
+    membership at any time.  Raises :class:`TypeCheckError` when the
+    context knows nothing about the oid (the ``i : c`` rule has no
+    applicable premise).
+    """
+    candidates = getattr(ctx, "classes_of", None)
+    if callable(candidates):
+        names = list(candidates(oid))
+    else:
+        names = []
+    if not names:
+        raise TypeCheckError(
+            f"cannot infer a type for {oid!r}: the context records no "
+            "class membership for it"
+        )
+    # The most specific: a candidate below all others in the ISA order.
+    isa = ctx.isa
+    for name in names:
+        if all(isa.isa_le(name, other) for other in names):
+            return name
+    raise NoLubError(
+        f"oid {oid!r} belongs to incomparable classes {sorted(names)}"
+    )

@@ -1,0 +1,165 @@
+"""Type extensions ``[[T]]_t`` (Definition 3.5).
+
+``in_extension(v, T, t, ctx)`` decides ``v in [[T]]_t``:
+
+* ``null in [[T]]_t`` for every T;
+* ``[[B]]_t = dom(B)`` for basic value types;
+* ``[[time]]_t = TIME``;
+* ``[[c]]_t = pi(c, t)`` for object types;
+* ``[[set-of(T)]]_t = 2^[[T]]_t``;
+* ``[[list-of(T)]]_t`` = finite sequences over ``[[T]]_t``;
+* ``[[record-of(a1:T1,...)]]_t`` = records with exactly those
+  attributes, component-wise;
+* ``[[temporal(T)]]_t`` = partial functions f from TIME such that
+  ``f(t') in [[T]]_t'`` wherever defined.  Note the *primed* instant:
+  a temporal value is checked against the extension of T at each
+  instant of its own domain, not at t.  In fact ``[[temporal(T)]]_t``
+  does not depend on t at all -- and neither does any other clause
+  except the object-type one, which is the paper's point in writing
+  the interpretation "by fixing a time instant t".
+
+Efficiency: for a pair ``<tau, v>`` of a temporal value, membership of
+``v`` in ``[[T]]_t'`` must hold for *every* ``t' in tau``.  When T
+mentions no object types the check is time-independent and done once;
+when T is itself an object type we use the context's
+``member_throughout`` (an interval-set inclusion, not a per-instant
+loop); only for structured types that *contain* object types do we fall
+back to representative instants per pair -- still per-pair, never
+per-instant, because extents are piecewise-constant... almost: they are
+not, so for full fidelity the fallback checks every instant of the pair
+(tests keep such histories short; the engine's own consistency checker
+uses the fast paths).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import UnresolvedNowError
+from repro.temporal.instants import is_instant
+from repro.temporal.intervalsets import IntervalSet
+from repro.temporal.temporalvalue import TemporalValue
+from repro.types.context import EMPTY_CONTEXT, TypeContext
+from repro.types.grammar import (
+    BasicType,
+    BottomType,
+    ListOf,
+    ObjectType,
+    RecordOf,
+    SetOf,
+    TemporalType,
+    Type,
+)
+from repro.values.null import is_null
+from repro.values.oid import OID
+from repro.values.records import RecordValue
+
+_BASIC_CHECKS = {
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "real": lambda v: isinstance(v, float)
+    or (isinstance(v, int) and not isinstance(v, bool)),
+    "bool": lambda v: isinstance(v, bool),
+    "character": lambda v: isinstance(v, str) and len(v) == 1,
+    "string": lambda v: isinstance(v, str),
+    "time": is_instant,
+}
+
+
+def in_basic_domain(value: Any, basic: BasicType) -> bool:
+    """``value in dom(B)`` for a basic predefined value type.
+
+    ``dom(real)`` is the set of real numbers, so integers qualify (the
+    naturals and integers embed in R); ``dom(integer)`` excludes
+    booleans (bool is its own basic type with domain {true, false}).
+    """
+    return _BASIC_CHECKS[basic.name](value)
+
+
+def in_extension(
+    value: Any,
+    t: Type,
+    at: int,
+    ctx: TypeContext = EMPTY_CONTEXT,
+    now: int | None = None,
+) -> bool:
+    """Decide ``value in [[t]]_at`` under typing context *ctx*.
+
+    *now* resolves any open ``[s, now]`` pair inside temporal values;
+    when omitted, the context's clock is used, and if the context has
+    no clock either, a temporal value with an open pair raises
+    :class:`UnresolvedNowError`.
+    """
+    if now is None:
+        now = ctx.current_time
+    return _member(value, t, at, ctx, now)
+
+
+def _member(
+    value: Any, t: Type, at: int, ctx: TypeContext, now: int | None
+) -> bool:
+    if is_null(value):
+        return True
+    if isinstance(t, BottomType):
+        return False  # only null inhabits the bottom type
+    if isinstance(t, BasicType):
+        return in_basic_domain(value, t)
+    if isinstance(t, ObjectType):
+        return isinstance(value, OID) and value in ctx.extent(
+            t.class_name, at
+        )
+    if isinstance(t, SetOf):
+        if not isinstance(value, (set, frozenset)):
+            return False
+        return all(_member(v, t.element, at, ctx, now) for v in value)
+    if isinstance(t, ListOf):
+        if not isinstance(value, (list, tuple)):
+            return False
+        return all(_member(v, t.element, at, ctx, now) for v in value)
+    if isinstance(t, RecordOf):
+        if not isinstance(value, RecordValue):
+            return False
+        if set(value.names) != set(t.names):
+            return False
+        return all(
+            _member(value[name], t.field_type(name), at, ctx, now)
+            for name in t.names
+        )
+    if isinstance(t, TemporalType):
+        return _temporal_member(value, t, ctx, now)
+    raise AssertionError(f"unhandled type term {t!r}")
+
+
+def _temporal_member(
+    value: Any, t: TemporalType, ctx: TypeContext, now: int | None
+) -> bool:
+    if not isinstance(value, TemporalValue):
+        return False
+    inner = t.argument
+    time_independent = not inner.mentions_object_types()
+    for interval, carried in value.pairs():
+        if time_independent:
+            # [[inner]]_t is the same set for every t: check once.
+            if not _member(carried, inner, interval.start, ctx, now):
+                return False
+            continue
+        if interval.is_moving and now is None:
+            raise UnresolvedNowError(
+                "temporal value has an open [t, now] pair; pass now= or "
+                "use a context with a clock"
+            )
+        resolved = interval.resolve(now)
+        if resolved.is_empty:
+            continue
+        if isinstance(inner, ObjectType) and isinstance(carried, OID):
+            # Fast path: interval-set inclusion instead of a time loop.
+            if not ctx.member_throughout(  # type: ignore[attr-defined]
+                inner.class_name, carried, IntervalSet([resolved])
+            ):
+                return False
+            continue
+        if is_null(carried):
+            continue
+        for instant in resolved.instants():
+            if not _member(carried, inner, instant, ctx, now):
+                return False
+    return True

@@ -1,0 +1,320 @@
+"""Type terms of the T_Chimera grammar (Definitions 3.1-3.4).
+
+All type terms are immutable and hashable, with structural equality.
+``is_chimera()`` decides membership in the Chimera subset CT (no
+``temporal`` constructor anywhere in the term); Definition 3.3 only
+admits ``temporal(T)`` for ``T in CT``, which the
+:class:`TemporalType` constructor enforces.
+
+A note on ``time``: the paper extends the basic value types BVT with
+``time`` (Section 3.1), and also lists ``time`` as a T_Chimera type of
+its own in Definition 3.4.  We model ``time`` as a basic type, so
+``temporal(time)`` -- a partial function from instants to instants --
+is admitted, consistently with BVT being a subset of CT.
+
+:class:`BottomType` is an implementation device, not part of the paper's
+grammar: it is the type of the empty set/list in *type inference* (the
+lub-based set and list rules of Definition 3.6 need a least element for
+``n = 0``).  It never appears in schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.errors import (
+    DuplicateAttributeError,
+    NotAChimeraTypeError,
+    TypeSyntaxError,
+)
+
+
+class Type:
+    """Abstract base of all type terms."""
+
+    __slots__ = ()
+
+    def is_chimera(self) -> bool:
+        """True iff the term belongs to CT (no ``temporal`` inside)."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["Type", ...]:
+        """The immediate component types of the term."""
+        return ()
+
+    def subterms(self) -> Iterator["Type"]:
+        """All subterms, this term first (pre-order)."""
+        yield self
+        for child in self.children():
+            yield from child.subterms()
+
+    def size(self) -> int:
+        """The number of constructors in the term."""
+        return sum(1 for _ in self.subterms())
+
+    def depth(self) -> int:
+        """The nesting depth of the term (a basic type has depth 1)."""
+        kids = self.children()
+        return 1 + (max(k.depth() for k in kids) if kids else 0)
+
+    def mentions_object_types(self) -> bool:
+        """True iff any subterm is an object type.
+
+        Membership in ``[[T]]_t`` is time-dependent exactly when the
+        type mentions object types (class extents vary over time).
+        """
+        return any(isinstance(t, ObjectType) for t in self.subterms())
+
+    def mentioned_classes(self) -> frozenset[str]:
+        """The class identifiers appearing in the term."""
+        return frozenset(
+            t.class_name for t in self.subterms() if isinstance(t, ObjectType)
+        )
+
+    def __str__(self) -> str:
+        return repr(self)
+
+
+#: Names of the basic predefined value types (paper: "containing at
+#: least integer, real, bool, character and string", extended with time).
+BASIC_TYPE_NAMES = frozenset(
+    {"integer", "real", "bool", "character", "string", "time"}
+)
+
+
+@dataclass(frozen=True)
+class BasicType(Type):
+    """A basic predefined value type ``B in BVT`` (or ``time``)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in BASIC_TYPE_NAMES:
+            raise TypeSyntaxError(
+                f"unknown basic type {self.name!r}; "
+                f"expected one of {sorted(BASIC_TYPE_NAMES)}"
+            )
+
+    def is_chimera(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+INTEGER = BasicType("integer")
+REAL = BasicType("real")
+BOOL = BasicType("bool")
+CHARACTER = BasicType("character")
+STRING = BasicType("string")
+TIME = BasicType("time")
+
+#: The basic value types, by name.
+BASIC_TYPES: Mapping[str, BasicType] = {
+    t.name: t for t in (INTEGER, REAL, BOOL, CHARACTER, STRING, TIME)
+}
+
+
+@dataclass(frozen=True)
+class ObjectType(Type):
+    """An object type: a class identifier used as a type (Def. 3.1)."""
+
+    class_name: str
+
+    def __post_init__(self) -> None:
+        if not self.class_name or not isinstance(self.class_name, str):
+            raise TypeSyntaxError("object type needs a non-empty class name")
+        if self.class_name in BASIC_TYPE_NAMES:
+            raise TypeSyntaxError(
+                f"{self.class_name!r} is a basic type name, not a class name"
+            )
+
+    def is_chimera(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return self.class_name
+
+
+@dataclass(frozen=True)
+class SetOf(Type):
+    """``set-of(T)``: finite sets of instances of T (Defs. 3.2/3.4)."""
+
+    element: Type
+
+    def is_chimera(self) -> bool:
+        return self.element.is_chimera()
+
+    def children(self) -> tuple[Type, ...]:
+        return (self.element,)
+
+    def __repr__(self) -> str:
+        return f"set-of({self.element!r})"
+
+
+@dataclass(frozen=True)
+class ListOf(Type):
+    """``list-of(T)``: finite lists of instances of T (Defs. 3.2/3.4)."""
+
+    element: Type
+
+    def is_chimera(self) -> bool:
+        return self.element.is_chimera()
+
+    def children(self) -> tuple[Type, ...]:
+        return (self.element,)
+
+    def __repr__(self) -> str:
+        return f"list-of({self.element!r})"
+
+
+class RecordOf(Type):
+    """``record-of(a1: T1, ..., an: Tn)`` with distinct names ai."""
+
+    __slots__ = ("_fields",)
+
+    def __init__(
+        self,
+        fields: Mapping[str, Type] | None = None,
+        /,
+        **kwargs: Type,
+    ) -> None:
+        items: list[tuple[str, Type]] = []
+        seen: set[str] = set()
+        sources: list[Mapping[str, Type]] = []
+        if fields is not None:
+            sources.append(fields)
+        if kwargs:
+            sources.append(kwargs)
+        for source in sources:
+            for name, typ in source.items():
+                if name in seen:
+                    raise DuplicateAttributeError(
+                        f"record type declares attribute {name!r} twice"
+                    )
+                if not isinstance(typ, Type):
+                    raise TypeSyntaxError(
+                        f"record field {name!r} must be a Type, got {typ!r}"
+                    )
+                seen.add(name)
+                items.append((name, typ))
+        self._fields: dict[str, Type] = dict(items)
+
+    @property
+    def fields(self) -> Mapping[str, Type]:
+        """Field name -> field type, in declaration order."""
+        return dict(self._fields)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._fields)
+
+    def field_type(self, name: str) -> Type:
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise TypeSyntaxError(
+                f"record type has no attribute {name!r}"
+            ) from None
+
+    def is_chimera(self) -> bool:
+        return all(t.is_chimera() for t in self._fields.values())
+
+    def children(self) -> tuple[Type, ...]:
+        return tuple(self._fields.values())
+
+    def is_empty(self) -> bool:
+        """True for the empty record type.
+
+        Used to model the *null type* of footnote 5: ``h_type`` /
+        ``s_type`` of a class with no temporal / no static attributes.
+        """
+        return not self._fields
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RecordOf):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._fields.items()))
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}: {v!r}" for k, v in self._fields.items())
+        return f"record-of({body})"
+
+
+#: The empty record type, standing in for footnote 5's "null" result of
+#: h_type / s_type.
+EMPTY_RECORD_TYPE = RecordOf({})
+
+
+@dataclass(frozen=True)
+class TemporalType(Type):
+    """``temporal(T)`` for a Chimera type T (Definition 3.3).
+
+    Instances are partial functions from TIME to instances of T.
+    Applying ``temporal`` to a non-Chimera type (one already containing
+    ``temporal``) raises :class:`NotAChimeraTypeError`.
+    """
+
+    argument: Type
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.argument, Type):
+            raise TypeSyntaxError(
+                f"temporal(...) needs a Type, got {self.argument!r}"
+            )
+        if not self.argument.is_chimera():
+            raise NotAChimeraTypeError(
+                f"temporal({self.argument!r}) is not a T_Chimera type: "
+                "the argument of temporal(...) must be a Chimera type "
+                "(Definition 3.3)"
+            )
+
+    def is_chimera(self) -> bool:
+        return False
+
+    def children(self) -> tuple[Type, ...]:
+        return (self.argument,)
+
+    def __repr__(self) -> str:
+        return f"temporal({self.argument!r})"
+
+
+@dataclass(frozen=True)
+class BottomType(Type):
+    """The least type (inference-only; the type of empty collections)."""
+
+    def is_chimera(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+
+BOTTOM = BottomType()
+
+
+def is_temporal_type(t: Type) -> bool:
+    """True iff *t* is a temporal type (a member of TT)."""
+    return isinstance(t, TemporalType)
+
+
+def t_minus(t: Type) -> Type:
+    """The function ``T^-`` of the paper (Table 3).
+
+    Takes ``temporal(T)`` and returns the corresponding static type
+    ``T``; e.g. ``T^-(temporal(integer)) = integer``.
+    """
+    if not isinstance(t, TemporalType):
+        raise TypeSyntaxError(
+            f"T^- is defined on temporal types only, got {t!r}"
+        )
+    return t.argument
+
+
+def is_chimera_type(t: Type) -> bool:
+    """True iff *t* belongs to the Chimera subset CT."""
+    return t.is_chimera()

@@ -1,0 +1,173 @@
+"""Concrete syntax for T_Chimera types.
+
+The paper writes types as, e.g.::
+
+    time
+    temporal(integer)
+    list-of(boolean)
+    temporal(set-of(project))
+    record-of(task: temporal(project), startbudget: real, endbudget: real)
+
+:func:`parse_type` accepts exactly this syntax (``boolean`` is accepted
+as an alias of ``bool``, and ``setof``/``listof``/``recordof`` without
+the hyphen are tolerated).  Any identifier that is not a basic type name
+or a constructor is an object type (a class name), per Definition 3.1.
+
+:func:`format_type` is the inverse, and round-trips:
+``parse_type(format_type(t)) == t``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from repro.errors import TypeSyntaxError
+from repro.types.grammar import (
+    BASIC_TYPES,
+    ListOf,
+    ObjectType,
+    RecordOf,
+    SetOf,
+    TemporalType,
+    Type,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<ident>[A-Za-z_][A-Za-z0-9_-]*)|(?P<punct>[(),:]))"
+)
+
+_ALIASES = {"boolean": "bool", "int": "integer", "char": "character"}
+_CONSTRUCTORS = {"set-of", "setof", "list-of", "listof", "record-of",
+                 "recordof", "temporal"}
+
+
+class _Token(NamedTuple):
+    kind: str  # "ident" | "punct" | "end"
+    text: str
+    pos: int
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise TypeSyntaxError(
+                    f"unexpected character {text[pos]!r} at position {pos} "
+                    f"in type {text!r}"
+                )
+            break
+        if match.group("ident") is not None:
+            yield _Token("ident", match.group("ident"), match.start("ident"))
+        else:
+            yield _Token("punct", match.group("punct"), match.start("punct"))
+        pos = match.end()
+    yield _Token("end", "", len(text))
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = list(_tokenize(text))
+        self._index = 0
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _next(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, text: str) -> None:
+        token = self._next()
+        if token.text != text:
+            raise TypeSyntaxError(
+                f"expected {text!r} at position {token.pos} in type "
+                f"{self._text!r}, got {token.text!r}"
+            )
+
+    def parse(self) -> Type:
+        result = self.type_()
+        tail = self._next()
+        if tail.kind != "end":
+            raise TypeSyntaxError(
+                f"trailing input {tail.text!r} at position {tail.pos} "
+                f"in type {self._text!r}"
+            )
+        return result
+
+    def type_(self) -> Type:
+        token = self._next()
+        if token.kind != "ident":
+            raise TypeSyntaxError(
+                f"expected a type at position {token.pos} in "
+                f"{self._text!r}, got {token.text!r}"
+            )
+        name = _ALIASES.get(token.text, token.text)
+        lowered = name.lower()
+        if lowered in _CONSTRUCTORS:
+            return self._constructor(lowered)
+        if name in BASIC_TYPES:
+            return BASIC_TYPES[name]
+        return ObjectType(name)
+
+    def _constructor(self, name: str) -> Type:
+        self._expect("(")
+        if name in ("set-of", "setof"):
+            inner = self.type_()
+            self._expect(")")
+            return SetOf(inner)
+        if name in ("list-of", "listof"):
+            inner = self.type_()
+            self._expect(")")
+            return ListOf(inner)
+        if name == "temporal":
+            inner = self.type_()
+            self._expect(")")
+            return TemporalType(inner)
+        # record-of(a1: T1, ..., an: Tn); record-of() is the empty record.
+        fields: dict[str, Type] = {}
+        if self._peek().text == ")":
+            self._next()
+            return RecordOf(fields)
+        while True:
+            name_token = self._next()
+            if name_token.kind != "ident":
+                raise TypeSyntaxError(
+                    f"expected an attribute name at position "
+                    f"{name_token.pos} in {self._text!r}"
+                )
+            self._expect(":")
+            if name_token.text in fields:
+                raise TypeSyntaxError(
+                    f"record type declares attribute "
+                    f"{name_token.text!r} twice in {self._text!r}"
+                )
+            fields[name_token.text] = self.type_()
+            token = self._next()
+            if token.text == ")":
+                return RecordOf(fields)
+            if token.text != ",":
+                raise TypeSyntaxError(
+                    f"expected ',' or ')' at position {token.pos} in "
+                    f"{self._text!r}, got {token.text!r}"
+                )
+
+
+def parse_type(text: str) -> Type:
+    """Parse the paper's concrete type syntax into a type term."""
+    if not isinstance(text, str) or not text.strip():
+        raise TypeSyntaxError(f"not a type expression: {text!r}")
+    return _Parser(text).parse()
+
+
+def format_type(t: Type) -> str:
+    """Render a type term in the paper's concrete syntax."""
+    if not isinstance(t, Type):
+        raise TypeSyntaxError(f"not a type term: {t!r}")
+    return repr(t)

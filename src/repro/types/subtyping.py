@@ -1,0 +1,160 @@
+"""The subtype order ``<=_T`` and least upper bounds (Definition 6.1).
+
+``T2 <=_T T1`` iff one of:
+
+* ``T1 = T2``;
+* both are object types and ``T2 <=_ISA T1`` (T2 a subclass of T1);
+* ``set-of``/``list-of`` with element types in the relation (covariant);
+* records over the *same* attribute names with field types in the
+  relation, component-wise (covariant);
+* ``temporal(T2') <=_T temporal(T1')`` iff ``T2' <=_T T1'``.
+
+Direction of the object-type and record clauses.  The EDBT text of
+Definition 6.1 prints the ISA premise as ``T1 <=_ISA (T2)`` and the
+record premise as ``T'_i <=_T T''_i`` (with the primes on T1's fields),
+which read literally would make subtyping contravariant in both.  That
+reading contradicts Theorem 6.1 (``T1 <=_T T2`` implies
+``[[T1]]_t ⊆ [[T2]]_t``): for object types, ``[[c2]]_t ⊆ [[c1]]_t``
+holds exactly when c2 is a *subclass* of c1 (Invariant 6.1), and for
+records extension inclusion is component-wise covariant by Definition
+3.5.  We therefore implement the covariant reading, which Theorem 6.1
+forces; the property test ``test_theorem_6_1`` exercises the
+implication.
+
+The type poset and lub.  ``(T, <=_T)`` is a poset; the typing rules for
+sets and lists (Definition 3.6) use the least upper bound ``⊔`` of the
+element types.  A lub need not exist (e.g. ``integer ⊔ string``, or two
+classes with no common superclass, or classes whose minimal common
+superclasses are incomparable); :func:`lub` raises :class:`NoLubError`
+in that case, and :func:`try_lub` returns ``None``.
+
+The ISA order itself is supplied by an :class:`IsaOrder` -- implemented
+by :class:`repro.inheritance.isa.IsaHierarchy` for real schemas and by
+:class:`EmptyIsaOrder` (no classes related) for the plain value world.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.errors import NoLubError
+from repro.types.grammar import (
+    BottomType,
+    ListOf,
+    ObjectType,
+    RecordOf,
+    SetOf,
+    TemporalType,
+    Type,
+)
+
+
+@runtime_checkable
+class IsaOrder(Protocol):
+    """The partial order ``<=_ISA`` on class identifiers."""
+
+    def isa_le(self, sub: str, sup: str) -> bool:
+        """True iff class *sub* is *sup* or a (transitive) subclass."""
+        ...
+
+    def class_lub(self, names: Iterable[str]) -> str | None:
+        """The least common superclass, or None when it does not exist."""
+        ...
+
+
+class EmptyIsaOrder:
+    """The discrete ISA order: no class is related to any other."""
+
+    def isa_le(self, sub: str, sup: str) -> bool:
+        return sub == sup
+
+    def class_lub(self, names: Iterable[str]) -> str | None:
+        distinct = set(names)
+        if len(distinct) == 1:
+            return next(iter(distinct))
+        return None
+
+
+EMPTY_ISA = EmptyIsaOrder()
+
+
+def is_subtype(t2: Type, t1: Type, isa: IsaOrder = EMPTY_ISA) -> bool:
+    """Decide ``t2 <=_T t1`` under the given ISA order (Def. 6.1)."""
+    if t1 == t2:
+        return True
+    if isinstance(t2, BottomType):
+        return True
+    if isinstance(t2, ObjectType) and isinstance(t1, ObjectType):
+        return isa.isa_le(t2.class_name, t1.class_name)
+    if isinstance(t2, SetOf) and isinstance(t1, SetOf):
+        return is_subtype(t2.element, t1.element, isa)
+    if isinstance(t2, ListOf) and isinstance(t1, ListOf):
+        return is_subtype(t2.element, t1.element, isa)
+    if isinstance(t2, RecordOf) and isinstance(t1, RecordOf):
+        if set(t2.names) != set(t1.names):
+            return False
+        return all(
+            is_subtype(t2.field_type(name), t1.field_type(name), isa)
+            for name in t1.names
+        )
+    if isinstance(t2, TemporalType) and isinstance(t1, TemporalType):
+        return is_subtype(t2.argument, t1.argument, isa)
+    return False
+
+
+def lub(types: Iterable[Type], isa: IsaOrder = EMPTY_ISA) -> Type:
+    """The least upper bound ``⊔`` of a non-empty set of types.
+
+    Raises :class:`NoLubError` when the types have no lub in the poset.
+    """
+    result = try_lub(types, isa)
+    if result is None:
+        raise NoLubError("the types have no least upper bound")
+    return result
+
+
+def try_lub(types: Iterable[Type], isa: IsaOrder = EMPTY_ISA) -> Type | None:
+    """Like :func:`lub` but returns None instead of raising."""
+    items = list(types)
+    if not items:
+        raise NoLubError("the lub of an empty set of types is undefined")
+    result: Type | None = items[0]
+    for t in items[1:]:
+        if result is None:
+            return None
+        result = _lub2(result, t, isa)
+    return result
+
+
+def _lub2(a: Type, b: Type, isa: IsaOrder) -> Type | None:
+    if a == b:
+        return a
+    if isinstance(a, BottomType):
+        return b
+    if isinstance(b, BottomType):
+        return a
+    if isinstance(a, ObjectType) and isinstance(b, ObjectType):
+        name = isa.class_lub([a.class_name, b.class_name])
+        return ObjectType(name) if name is not None else None
+    if isinstance(a, SetOf) and isinstance(b, SetOf):
+        inner = _lub2(a.element, b.element, isa)
+        return SetOf(inner) if inner is not None else None
+    if isinstance(a, ListOf) and isinstance(b, ListOf):
+        inner = _lub2(a.element, b.element, isa)
+        return ListOf(inner) if inner is not None else None
+    if isinstance(a, RecordOf) and isinstance(b, RecordOf):
+        if set(a.names) != set(b.names):
+            return None
+        fields: dict[str, Type] = {}
+        for name in a.names:
+            inner = _lub2(a.field_type(name), b.field_type(name), isa)
+            if inner is None:
+                return None
+            fields[name] = inner
+        return RecordOf(fields)
+    if isinstance(a, TemporalType) and isinstance(b, TemporalType):
+        inner = _lub2(a.argument, b.argument, isa)
+        if inner is None or not inner.is_chimera():
+            return None
+        return TemporalType(inner)
+    return None

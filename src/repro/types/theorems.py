@@ -1,0 +1,150 @@
+"""Executable statements of the paper's theorems.
+
+The paper proves three metatheoretic results (proofs in the companion
+technical report [4], which is not available); here each theorem is an
+executable checker, and the test suite quantifies them over randomly
+generated values and types with hypothesis.
+
+* **Theorem 3.1 (Soundness).**  If T is deduced for v by the Def. 3.6
+  rules, then there exists ``t in TIME`` with ``v in [[T]]_t``.
+  :func:`soundness_holds` searches for the witness instant.
+
+* **Theorem 3.2 (Completeness).**  If ``v in [[T]]_t`` then the rules
+  deduce ``v : T``.  :func:`completeness_holds` is the implication for
+  one (v, T, t) triple.
+
+* **Theorem 6.1.**  ``T1 <=_T T2`` implies ``[[T1]]_t ⊆ [[T2]]_t`` for
+  every t.  Extensions are infinite sets, so
+  :func:`extension_inclusion_holds` checks the inclusion on a provided
+  sample of candidate values (the hypothesis tests feed it values
+  generated *from* T1, which is the non-vacuous direction).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.temporal.intervalsets import IntervalSet
+from repro.temporal.temporalvalue import TemporalValue
+from repro.types.context import EMPTY_CONTEXT, TypeContext
+from repro.types.deduction import is_deducible
+from repro.types.extension import in_extension
+from repro.types.grammar import Type
+from repro.types.subtyping import is_subtype
+from repro.values.oid import OID
+
+
+def witness_instants(
+    value: Any,
+    t: Type,
+    ctx: TypeContext = EMPTY_CONTEXT,
+    horizon: int = 64,
+) -> Iterable[int]:
+    """Candidate witness instants for ``exists t . v in [[T]]_t``.
+
+    Membership only depends on the instant through class extents
+    (Definition 3.5), so the candidates are: the instants bounding the
+    membership intervals of every oid reachable in *value* for every
+    class mentioned in *t*, plus ``0..horizon`` as a fallback for the
+    time-independent cases.
+    """
+    seen: set[int] = set()
+    for oid in _reachable_oids(value):
+        for class_name in t.mentioned_classes():
+            times = ctx.membership_times(class_name, oid)
+            for interval in times.intervals:
+                seen.add(interval.start)
+                end = interval.end
+                if isinstance(end, int):
+                    seen.add(end)
+    for candidate in range(0, horizon + 1):
+        seen.add(candidate)
+    return sorted(seen)
+
+
+def soundness_holds(
+    value: Any,
+    t: Type,
+    ctx: TypeContext = EMPTY_CONTEXT,
+    now: int | None = None,
+    horizon: int = 64,
+) -> bool:
+    """Theorem 3.1 for one (value, type) pair.
+
+    Precondition: ``v : t`` is deducible (the theorem's hypothesis);
+    returns True iff some instant t' has ``v in [[t]]_t'``.
+    """
+    if not is_deducible(value, t, ctx):
+        raise AssertionError(
+            "soundness_holds precondition: the value must be deducible "
+            f"at the type; {value!r} : {t!r} is not"
+        )
+    return any(
+        in_extension(value, t, instant, ctx, now=now)
+        for instant in witness_instants(value, t, ctx, horizon)
+    )
+
+
+def completeness_holds(
+    value: Any,
+    t: Type,
+    at: int,
+    ctx: TypeContext = EMPTY_CONTEXT,
+    now: int | None = None,
+) -> bool:
+    """Theorem 3.2 for one (value, type, instant) triple.
+
+    ``v in [[T]]_t  implies  v : T deducible`` -- vacuously true when
+    the membership fails.
+    """
+    if not in_extension(value, t, at, ctx, now=now):
+        return True
+    return is_deducible(value, t, ctx)
+
+
+def extension_inclusion_holds(
+    t1: Type,
+    t2: Type,
+    samples: Iterable[Any],
+    at: int,
+    ctx: TypeContext = EMPTY_CONTEXT,
+    now: int | None = None,
+) -> bool:
+    """Theorem 6.1 for one instant, on a sample of candidate values.
+
+    Precondition: ``t1 <=_T t2``.  Returns True iff every sample in
+    ``[[t1]]_at`` is also in ``[[t2]]_at``.
+    """
+    if not is_subtype(t1, t2, ctx.isa):
+        raise AssertionError(
+            f"extension_inclusion_holds precondition: {t1!r} <=_T {t2!r}"
+        )
+    for value in samples:
+        if in_extension(value, t1, at, ctx, now=now) and not in_extension(
+            value, t2, at, ctx, now=now
+        ):
+            return False
+    return True
+
+
+def _reachable_oids(value: Any) -> Iterable[OID]:
+    """All oids occurring (recursively) inside *value*."""
+    stack = [value]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, OID):
+            yield current
+        elif isinstance(current, (set, frozenset, list, tuple)):
+            stack.extend(current)
+        elif isinstance(current, TemporalValue):
+            stack.extend(current.values())
+        elif hasattr(current, "values") and hasattr(current, "names"):
+            stack.extend(current.values())
+
+
+__all__ = [
+    "soundness_holds",
+    "completeness_holds",
+    "extension_inclusion_holds",
+    "witness_instants",
+]

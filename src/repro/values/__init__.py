@@ -1,0 +1,50 @@
+"""The T_Chimera value universe.
+
+Chimera distinguishes *values* from *objects* (paper, Section 2): values
+are symbolic, printable elements identified by themselves (primitive
+values) or by their components (complex values); objects are abstract
+elements identified by an oid regardless of their state.  In T_Chimera
+oids are themselves handled as values (Section 3.2): an oid is a value
+of the object type named by a class.
+
+This package provides the carriers of those values:
+
+* :data:`NULL` -- the null value, a legal value of every type;
+* :class:`OID` -- object identifiers, branded with their hierarchy;
+* :class:`RecordValue` -- immutable record values;
+* set values (``set``/``frozenset``), list values (``list``/``tuple``),
+  and primitive values (``int``, ``float``, ``bool``, ``str``);
+* temporal values (:class:`~repro.temporal.temporalvalue.TemporalValue`).
+
+plus structural helpers: :func:`values_equal`, :func:`normalize_value`,
+:func:`format_value`, and the value-kind predicates.
+"""
+
+from repro.values.null import NULL, Null, is_null
+from repro.values.oid import OID, OidGenerator
+from repro.values.records import RecordValue
+from repro.values.structure import (
+    format_value,
+    is_list_value,
+    is_primitive_value,
+    is_record_value,
+    is_set_value,
+    normalize_value,
+    values_equal,
+)
+
+__all__ = [
+    "NULL",
+    "Null",
+    "is_null",
+    "OID",
+    "OidGenerator",
+    "RecordValue",
+    "values_equal",
+    "normalize_value",
+    "format_value",
+    "is_set_value",
+    "is_list_value",
+    "is_record_value",
+    "is_primitive_value",
+]

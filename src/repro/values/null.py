@@ -1,0 +1,46 @@
+"""The null value.
+
+Definition 3.5 opens with ``null in [[T]]_t`` for every type T and every
+instant t: the null value is a legal value of *every* T_Chimera type,
+and the first typing rule of Definition 3.6 types it accordingly.
+
+We use a dedicated singleton rather than Python's ``None`` so that
+``None`` can keep its ordinary host-language meaning ("no argument",
+"not found") without being confused with the model-level null.
+"""
+
+from __future__ import annotations
+
+
+class Null:
+    """The distinguished null value (singleton :data:`NULL`)."""
+
+    _instance: "Null | None" = None
+
+    def __new__(cls) -> "Null":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "null"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __hash__(self) -> int:
+        return hash("T_Chimera.null")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Null)
+
+    def __reduce__(self):
+        return (Null, ())
+
+
+NULL = Null()
+
+
+def is_null(value: object) -> bool:
+    """True iff *value* is the model-level null value."""
+    return isinstance(value, Null)

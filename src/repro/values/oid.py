@@ -1,0 +1,62 @@
+"""Object identifiers.
+
+Each object has a unique, system-defined oid, assigned at creation and
+immutable for the object's lifetime (paper, Section 2).  The oid is the
+*time-invariant* identity of the object -- the analogue of the "essence"
+of Clifford and Croker (Section 5.2) -- and in T_Chimera oids are
+themselves values, typed by the classes whose extent contains them.
+
+Hierarchy branding
+------------------
+Invariant 6.2 requires that the sets of oids of objects that have *ever*
+belonged to different ISA hierarchies are disjoint: an object cannot
+migrate across hierarchies even at different times.  To make this
+invariant checkable locally, the oid allocator brands each oid with the
+name of the root class of the hierarchy it was created in; the engine
+refuses migrations that would change the brand, and the global invariant
+check reduces to a per-oid comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Iterator
+
+
+@dataclass(frozen=True, order=True)
+class OID:
+    """An object identifier ``i_k``, branded with its hierarchy root.
+
+    ``serial`` is the system-assigned number; ``hierarchy`` is the name
+    of the hierarchy's root class (or ``""`` for oids minted outside a
+    database, e.g. in unit tests of the value layer).
+    """
+
+    serial: int
+    hierarchy: str = ""
+
+    def __repr__(self) -> str:
+        if self.hierarchy:
+            return f"i{self.serial}@{self.hierarchy}"
+        return f"i{self.serial}"
+
+    def __str__(self) -> str:
+        return repr(self)
+
+
+class OidGenerator:
+    """Mints fresh oids with strictly increasing serials."""
+
+    __slots__ = ("_counter",)
+
+    def __init__(self, start: int = 1) -> None:
+        self._counter: Iterator[int] = count(start)
+
+    def fresh(self, hierarchy: str = "") -> OID:
+        """Return a never-before-issued oid branded with *hierarchy*."""
+        return OID(next(self._counter), hierarchy)
+
+    def fresh_many(self, n: int, hierarchy: str = "") -> list[OID]:
+        """Return *n* fresh oids."""
+        return [self.fresh(hierarchy) for _ in range(n)]

@@ -1,0 +1,148 @@
+"""Record values.
+
+Instances of ``record-of(a_1: T_1, ..., a_n: T_n)`` are records
+``(a_1: v_1, ..., a_n: v_n)`` whose i-th component is an instance of
+``T_i`` (Definition 3.2 / 3.5).  A complex value is identified by the
+values of all its components (paper, Section 2): changing a component
+changes the identity of the value.  :class:`RecordValue` is therefore
+immutable, with structural equality and hashing over its fields.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.errors import DuplicateAttributeError, UnknownAttributeError
+
+
+class RecordValue:
+    """An immutable record ``(a_1: v_1, ..., a_n: v_n)``.
+
+    Field order is preserved (it is part of the printed form) but does
+    not affect equality: two records are equal iff they bind the same
+    names to equal values, matching the set-of-attributes reading of
+    Definition 3.5.
+    """
+
+    __slots__ = ("_fields",)
+
+    def __init__(
+        self,
+        fields: Mapping[str, Any] | None = None,
+        /,
+        **kwargs: Any,
+    ) -> None:
+        items: list[tuple[str, Any]] = []
+        seen: set[str] = set()
+        sources: list[Mapping[str, Any]] = []
+        if fields is not None:
+            sources.append(fields)
+        if kwargs:
+            sources.append(kwargs)
+        for source in sources:
+            for name, value in source.items():
+                if name in seen:
+                    raise DuplicateAttributeError(
+                        f"record declares attribute {name!r} twice"
+                    )
+                seen.add(name)
+                items.append((name, value))
+        object.__setattr__(self, "_fields", dict(items))
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """The attribute names, in declaration order."""
+        return tuple(self._fields)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._fields.get(name, default)
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise UnknownAttributeError(
+                f"record has no attribute {name!r} "
+                f"(has {sorted(self._fields)})"
+            ) from None
+
+    def __getattr__(self, name: str) -> Any:
+        # Called only when normal lookup fails; gives `record.name` sugar.
+        fields = object.__getattribute__(self, "_fields")
+        if name in fields:
+            return fields[name]
+        raise AttributeError(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._fields
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        return iter(self._fields.items())
+
+    def values(self) -> Iterator[Any]:
+        return iter(self._fields.values())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    # -- derivation --------------------------------------------------------------
+
+    def with_field(self, name: str, value: Any) -> "RecordValue":
+        """A copy with *name* bound to *value* (added or replaced)."""
+        fields = dict(self._fields)
+        fields[name] = value
+        return RecordValue(fields)
+
+    def without_field(self, name: str) -> "RecordValue":
+        """A copy with *name* removed (error if absent)."""
+        if name not in self._fields:
+            raise UnknownAttributeError(f"record has no attribute {name!r}")
+        fields = {k: v for k, v in self._fields.items() if k != name}
+        return RecordValue(fields)
+
+    def project(self, names: tuple[str, ...] | list[str]) -> "RecordValue":
+        """The sub-record on *names*, preserving this record's order."""
+        wanted = set(names)
+        missing = wanted - set(self._fields)
+        if missing:
+            raise UnknownAttributeError(
+                f"record has no attribute(s) {sorted(missing)}"
+            )
+        return RecordValue(
+            {k: v for k, v in self._fields.items() if k in wanted}
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """A plain (mutable) dict copy of the fields."""
+        return dict(self._fields)
+
+    # -- comparison -----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RecordValue):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __hash__(self) -> int:
+        from repro.temporal.temporalvalue import _hashable
+
+        return hash(
+            frozenset((k, _hashable(v)) for k, v in self._fields.items())
+        )
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}: {v!r}" for k, v in self._fields.items())
+        return f"({body})"
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("RecordValue is immutable")
+
+    def __reduce__(self):
+        # Slots + frozen __setattr__ defeat the default copy/pickle
+        # protocol; rebuild from the field dict instead.
+        return (RecordValue, (dict(self._fields),))

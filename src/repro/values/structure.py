@@ -1,0 +1,143 @@
+"""Structural predicates and helpers over the value universe.
+
+The value kinds and their Python carriers:
+
+==================  =============================================
+value kind          Python carrier
+==================  =============================================
+null                :data:`~repro.values.null.NULL`
+integer             ``int`` (excluding ``bool``)
+real                ``float``
+bool                ``bool``
+character           ``str`` of length 1 (by type, not by carrier)
+string              ``str``
+time                ``int`` (a natural number)
+oid (object types)  :class:`~repro.values.oid.OID`
+set-of(T)           ``set`` / ``frozenset``
+list-of(T)          ``list`` / ``tuple``
+record-of(...)      :class:`~repro.values.records.RecordValue`
+temporal(T)         :class:`~repro.temporal.temporalvalue.TemporalValue`
+==================  =============================================
+
+``set`` vs ``frozenset`` and ``list`` vs ``tuple`` are interchangeable on
+input; :func:`normalize_value` canonicalizes to the immutable carriers so
+complex values behave as values (identified by their components).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.temporal.temporalvalue import TemporalValue
+from repro.values.null import Null
+from repro.values.oid import OID
+from repro.values.records import RecordValue
+
+_PRIMITIVE_CARRIERS = (int, float, bool, str)
+
+
+def is_primitive_value(value: Any) -> bool:
+    """True for carriers of the basic predefined value types."""
+    return isinstance(value, _PRIMITIVE_CARRIERS)
+
+
+def is_set_value(value: Any) -> bool:
+    """True for carriers of ``set-of(T)`` values."""
+    return isinstance(value, (set, frozenset))
+
+
+def is_list_value(value: Any) -> bool:
+    """True for carriers of ``list-of(T)`` values."""
+    return isinstance(value, (list, tuple))
+
+
+def is_record_value(value: Any) -> bool:
+    """True for carriers of ``record-of(...)`` values."""
+    return isinstance(value, RecordValue)
+
+
+def normalize_value(value: Any) -> Any:
+    """Canonicalize a value to immutable carriers, recursively.
+
+    Sets become ``frozenset``, lists become ``tuple``; records and
+    temporal values are rebuilt over normalized components.  Primitive
+    values, oids and null are returned unchanged.
+    """
+    if isinstance(value, (set, frozenset)):
+        return frozenset(normalize_value(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return tuple(normalize_value(v) for v in value)
+    if isinstance(value, RecordValue):
+        return RecordValue({k: normalize_value(v) for k, v in value.items()})
+    if isinstance(value, TemporalValue):
+        return value.map(normalize_value)
+    return value
+
+
+def values_equal(a: Any, b: Any) -> bool:
+    """Deep structural equality over the value universe.
+
+    This is the equality used for (shallow) value equality of objects
+    (Definition 5.8): component-wise over records, element-wise over
+    collections, extensional over temporal values, and identity of oids
+    (an oid is a value; dereferencing it is *deep* equality, which is
+    out of scope here -- see :mod:`repro.objects.equality`).
+    """
+    if isinstance(a, Null) or isinstance(b, Null):
+        return isinstance(a, Null) and isinstance(b, Null)
+    if isinstance(a, OID) or isinstance(b, OID):
+        return isinstance(a, OID) and isinstance(b, OID) and a == b
+    if isinstance(a, TemporalValue) or isinstance(b, TemporalValue):
+        return (
+            isinstance(a, TemporalValue)
+            and isinstance(b, TemporalValue)
+            and a == b
+        )
+    if is_set_value(a) or is_set_value(b):
+        if not (is_set_value(a) and is_set_value(b)):
+            return False
+        return frozenset(normalize_value(v) for v in a) == frozenset(
+            normalize_value(v) for v in b
+        )
+    if is_list_value(a) or is_list_value(b):
+        if not (is_list_value(a) and is_list_value(b)):
+            return False
+        return len(a) == len(b) and all(
+            values_equal(x, y) for x, y in zip(a, b)
+        )
+    if isinstance(a, RecordValue) or isinstance(b, RecordValue):
+        if not (isinstance(a, RecordValue) and isinstance(b, RecordValue)):
+            return False
+        if set(a.names) != set(b.names):
+            return False
+        return all(values_equal(a[name], b[name]) for name in a.names)
+    if isinstance(a, bool) != isinstance(b, bool):
+        # bool is not comparable with the numeric types at the model level
+        return False
+    return a == b
+
+
+def format_value(value: Any) -> str:
+    """A printable form of any value (values are printable; Section 2)."""
+    if isinstance(value, Null):
+        return "null"
+    if isinstance(value, (set, frozenset)):
+        if not value:
+            return "{}"
+        parts = sorted(format_value(v) for v in value)
+        return "{" + ", ".join(parts) + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(format_value(v) for v in value) + "]"
+    if isinstance(value, RecordValue):
+        body = ", ".join(
+            f"{name}: {format_value(v)}" for name, v in value.items()
+        )
+        return f"({body})"
+    if isinstance(value, TemporalValue):
+        body = ", ".join(
+            f"<{interval}, {format_value(v)}>" for interval, v in value.pairs()
+        )
+        return "{" + body + "}"
+    if isinstance(value, str):
+        return f"'{value}'"
+    return repr(value)

@@ -1,0 +1,22 @@
+"""Views: intensionally defined temporal extents.
+
+Chimera "provides capabilities for defining deductive rules, that can
+be used to define views" (paper, Section 2).  T_Chimera's temporal
+setting makes a view's extent a *function of time*, like a class
+extent: the view ``rich = employee where salary >= 2000`` has, at every
+instant t, the extent ``{ i in pi(employee, t) | pred holds of i at t }``.
+
+:class:`TemporalView` wraps a base class and a query-language predicate
+and exposes the class-extent vocabulary: ``extent(t)`` (the
+π-analogue), ``membership_times(oid)`` (the m_lifespan-analogue,
+computed exactly via ``when``), ``ever_members()``; plus set-algebra
+composition (union/intersection/difference of views over the same
+hierarchy).  Views are virtual -- nothing is materialized, so they are
+always consistent with the data; :class:`repro.views.registry.
+ViewRegistry` attaches named views to a database.
+"""
+
+from repro.views.view import TemporalView
+from repro.views.registry import ViewRegistry
+
+__all__ = ["TemporalView", "ViewRegistry"]

@@ -1,0 +1,63 @@
+"""Named views attached to a database."""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.query.ast import Expr
+from repro.views.view import TemporalView
+
+
+class ViewRegistry:
+    """A catalogue of named temporal views over one database.
+
+    Views are virtual: the registry stores the definitions, the data
+    stays in the engine, so views can never drift out of date.
+    """
+
+    def __init__(self, db) -> None:
+        self._db = db
+        self._views: dict[str, TemporalView] = {}
+
+    def define(
+        self,
+        name: str,
+        base_class: str,
+        predicate: Expr | None = None,
+    ) -> TemporalView:
+        """Define (and return) a named view; names are unique."""
+        if name in self._views:
+            raise QueryError(f"view {name!r} already defined")
+        if self._db.known_class(name):
+            raise QueryError(
+                f"view name {name!r} collides with a class name"
+            )
+        view = TemporalView(self._db, base_class, predicate, name)
+        self._views[name] = view
+        return view
+
+    def define_composed(self, name: str, view: TemporalView) -> TemporalView:
+        """Register an already-composed view under a name."""
+        if name in self._views:
+            raise QueryError(f"view {name!r} already defined")
+        view.name = name
+        self._views[name] = view
+        return view
+
+    def get(self, name: str) -> TemporalView:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise QueryError(f"no view named {name!r}") from None
+
+    def drop(self, name: str) -> None:
+        self.get(name)
+        del self._views[name]
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._views)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._views
+
+    def __len__(self) -> int:
+        return len(self._views)

@@ -1,0 +1,145 @@
+"""Temporal views over class extents."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import QueryError
+from repro.query.ast import Expr
+from repro.query.evaluator import _eval_at, evaluate_when
+from repro.query.typing import type_check
+from repro.query.ast import Query, TemporalScope
+from repro.temporal.intervalsets import IntervalSet
+from repro.values.oid import OID
+
+
+class TemporalView:
+    """An intensional extent: base class + predicate (+ composition).
+
+    The membership function is
+
+        member(i, t)  iff  i in pi(base, t)  and  pred(i, t)
+
+    evaluated with the query language's semantics (null-rejecting
+    atoms, static attributes visible only at ``now``).
+    """
+
+    def __init__(
+        self,
+        db,
+        base_class: str,
+        predicate: Expr | None = None,
+        name: str = "",
+    ) -> None:
+        self._db = db
+        self.base_class = base_class
+        self.predicate = predicate
+        self.name = name or f"view-of-{base_class}"
+        # Fail fast on ill-typed predicates.
+        if predicate is not None:
+            type_check(
+                Query(base_class, predicate, TemporalScope.NOW),
+                db.get_class(base_class),
+                db,
+            )
+
+    # -- the class-extent vocabulary ------------------------------------------
+
+    def extent(self, t: int) -> frozenset[OID]:
+        """The view's extent at instant *t* (the pi-analogue)."""
+        hits = set()
+        for oid in self._db.pi(self.base_class, t):
+            if self._member_at(oid, t):
+                hits.add(oid)
+        return frozenset(hits)
+
+    def membership_times(self, oid: OID) -> IntervalSet:
+        """The instants at which *oid* belongs to the view (exact,
+        via segment-wise when-evaluation)."""
+        db = self._db
+        base_times = db.membership_times(self.base_class, oid)
+        if base_times.is_empty:
+            return IntervalSet.empty()
+        if self.predicate is None:
+            return base_times
+        obj = db.get_object(oid)
+        holds = evaluate_when(db, obj, self.predicate, db.now)
+        return base_times & holds
+
+    def ever_members(self) -> frozenset[OID]:
+        """Every oid that belongs to the view at some instant."""
+        cls = self._db.get_class(self.base_class)
+        return frozenset(
+            oid
+            for oid in cls.history.ever_members()
+            if not self.membership_times(oid).is_empty
+        )
+
+    def _member_at(self, oid: OID, t: int) -> bool:
+        if self.predicate is None:
+            return True
+        obj = self._db.get_object(oid)
+        return _eval_at(self._db, obj, self.predicate, t, self._db.now) is (
+            True
+        )
+
+    # -- composition -----------------------------------------------------------
+
+    def _combine(
+        self,
+        other: "TemporalView",
+        op: Callable[[IntervalSet, IntervalSet], IntervalSet],
+        tag: str,
+    ) -> "TemporalView":
+        if not isinstance(other, TemporalView):
+            raise QueryError("views compose with views")
+        if self._db is not other._db:
+            raise QueryError("views must live in the same database")
+        return _ComposedView(
+            self._db, self, other, op, f"({self.name} {tag} {other.name})"
+        )
+
+    def __and__(self, other: "TemporalView") -> "TemporalView":
+        return self._combine(other, lambda a, b: a & b, "and")
+
+    def __or__(self, other: "TemporalView") -> "TemporalView":
+        return self._combine(other, lambda a, b: a | b, "or")
+
+    def __sub__(self, other: "TemporalView") -> "TemporalView":
+        return self._combine(other, lambda a, b: a - b, "minus")
+
+    def __repr__(self) -> str:
+        return f"TemporalView({self.name!r}, base={self.base_class!r})"
+
+
+class _ComposedView(TemporalView):
+    """Set-algebra composition of two views."""
+
+    def __init__(self, db, left, right, op, name) -> None:
+        self._db = db
+        self._left = left
+        self._right = right
+        self._op = op
+        self.name = name
+        self.base_class = left.base_class
+        self.predicate = None
+
+    def extent(self, t: int) -> frozenset[OID]:
+        candidates = self._left.extent(t) | self._right.extent(t)
+        return frozenset(
+            oid for oid in candidates if t in self.membership_times(oid)
+        )
+
+    def membership_times(self, oid: OID) -> IntervalSet:
+        return self._op(
+            self._left.membership_times(oid),
+            self._right.membership_times(oid),
+        )
+
+    def ever_members(self) -> frozenset[OID]:
+        candidates = self._left.ever_members() | self._right.ever_members()
+        return frozenset(
+            oid
+            for oid in candidates
+            if not self.membership_times(oid).is_empty
+        )

@@ -1,0 +1,30 @@
+"""Seeded synthetic workload generation.
+
+The paper has no evaluation workloads (none existed for temporal OO
+models in 1996); the degrees of freedom its definitions introduce --
+history length, fraction of temporal vs. static attributes, migration
+rate, reference density, hierarchy shape -- are exactly the knobs this
+package exposes.  Everything is seeded and deterministic.
+
+* :func:`synthetic_history` -- a single temporal value with a given
+  number of pairs (bench E4);
+* :class:`WorkloadSpec` / :func:`build_database` -- a full database
+  grown by replaying creates/updates/migrations/deletes over the
+  clock (benches E6-E8, integration and property tests);
+* :func:`standard_schema` -- the employee/manager/project schema used
+  across examples and benches.
+"""
+
+from repro.workloads.generator import (
+    WorkloadSpec,
+    build_database,
+    standard_schema,
+    synthetic_history,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "build_database",
+    "standard_schema",
+    "synthetic_history",
+]

@@ -1,0 +1,230 @@
+"""Workload generator implementation."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.database.database import TemporalDatabase
+from repro.temporal.intervals import Interval
+from repro.temporal.temporalvalue import TemporalValue
+from repro.values.oid import OID
+
+
+def synthetic_history(
+    pairs: int,
+    seed: int = 0,
+    value_pool: int = 1000,
+    gap_probability: float = 0.1,
+    coalesce: bool = True,
+) -> TemporalValue:
+    """A temporal value with *pairs* pairs of pseudo-random integers.
+
+    Pair lengths are 1-20 instants; with probability *gap_probability*
+    a gap is left between consecutive pairs (the partial function is
+    undefined there).  The last pair is closed, so the history is fully
+    concrete (no ``now`` dependence) -- what bench E4 wants.
+    """
+    rng = random.Random(seed)
+    history = TemporalValue(coalesce=coalesce)
+    t = 0
+    for _ in range(pairs):
+        length = rng.randint(1, 20)
+        history.put(
+            Interval(t, t + length - 1), rng.randrange(value_pool)
+        )
+        t += length
+        if rng.random() < gap_probability:
+            t += rng.randint(1, 5)
+    return history
+
+
+@dataclass
+class WorkloadSpec:
+    """Parameters of a generated database workload."""
+
+    #: objects created initially (split across leaf classes).
+    n_objects: int = 50
+    #: clock ticks to simulate after the initial population.
+    n_ticks: int = 100
+    #: per-tick probability that a given live object gets one
+    #: temporal-attribute update.
+    update_rate: float = 0.3
+    #: per-tick probability that a given live object gets one
+    #: static-attribute update.
+    static_update_rate: float = 0.1
+    #: per-tick probability that some object migrates.
+    migration_rate: float = 0.05
+    #: per-tick probability that a new object is created.
+    create_rate: float = 0.05
+    #: per-tick probability that some (unreferenced) object is deleted.
+    delete_rate: float = 0.02
+    #: number of extra temporal attributes on the leaf class.
+    temporal_attributes: int = 2
+    #: number of extra static attributes on the leaf class.
+    static_attributes: int = 2
+    #: probability that an update to the reference attribute targets
+    #: another object (reference density).
+    reference_fraction: float = 0.3
+    #: number of project objects (cross-hierarchy references: their
+    #: lead/participants point into the person hierarchy).
+    n_projects: int = 0
+    #: per-tick probability that some project's team is reshuffled.
+    project_update_rate: float = 0.1
+    seed: int = 0
+
+
+def standard_schema(
+    db: TemporalDatabase,
+    temporal_attributes: int = 2,
+    static_attributes: int = 2,
+) -> None:
+    """The schema shared by examples and benches.
+
+    ``person`` <- ``employee`` <- ``manager`` (the paper's migration
+    example) plus a self-referential ``project`` class, with the
+    requested number of extra payload attributes on ``employee``.
+    """
+    db.define_class("person", attributes=[("name", "string")])
+    employee_attrs: list[tuple[str, str]] = [
+        ("salary", "temporal(real)"),
+        ("dept", "string"),
+        ("mentor", "temporal(person)"),
+    ]
+    for index in range(temporal_attributes):
+        employee_attrs.append((f"metric{index}", "temporal(integer)"))
+    for index in range(static_attributes):
+        employee_attrs.append((f"note{index}", "string"))
+    db.define_class("employee", parents=["person"], attributes=employee_attrs)
+    db.define_class(
+        "manager",
+        parents=["employee"],
+        attributes=[
+            ("dependents", "temporal(set-of(person))"),
+            ("officialcar", "string"),
+        ],
+    )
+    db.define_class(
+        "project",
+        attributes=[
+            ("name", "temporal(string)"),
+            ("objective", "string"),
+            ("lead", "temporal(person)"),
+            ("participants", "temporal(set-of(person))"),
+        ],
+    )
+
+
+def build_database(spec: WorkloadSpec) -> TemporalDatabase:
+    """Grow a database by replaying *spec* against the clock.
+
+    Returns the populated database; deterministic in ``spec.seed``.
+    All operations go through the public engine API, so the result
+    satisfies every invariant by construction (the property tests
+    re-verify that with the checkers).
+    """
+    rng = random.Random(spec.seed)
+    db = TemporalDatabase()
+    standard_schema(
+        db, spec.temporal_attributes, spec.static_attributes
+    )
+    db.tick()
+
+    employees: list[OID] = []
+    managers: set[OID] = set()
+    for index in range(spec.n_objects):
+        oid = db.create_object(
+            "employee",
+            {
+                "name": f"emp{index}",
+                "salary": float(1000 + rng.randrange(2000)),
+                "dept": rng.choice("RSTU"),
+            },
+        )
+        employees.append(oid)
+    projects: list[OID] = []
+    for index in range(spec.n_projects):
+        lead = rng.choice(employees) if employees else None
+        attributes = {"name": f"proj{index}", "objective": "run"}
+        if lead is not None:
+            attributes["lead"] = lead
+            attributes["participants"] = frozenset(
+                rng.sample(employees, min(3, len(employees)))
+            )
+        projects.append(db.create_object("project", attributes))
+
+    for _ in range(spec.n_ticks):
+        db.tick()
+        live = [
+            oid
+            for oid in employees
+            if db.get_object(oid).alive_at(db.now, db.now)
+        ]
+        if not live:
+            break
+        for oid in live:
+            if rng.random() < spec.update_rate:
+                self_class = db.get_object(oid).current_class(db.now)
+                choice = rng.random()
+                if choice < spec.reference_fraction and len(live) > 1:
+                    other = rng.choice([o for o in live if o != oid])
+                    db.update_attribute(oid, "mentor", other)
+                elif spec.temporal_attributes and choice < 0.7:
+                    index = rng.randrange(spec.temporal_attributes)
+                    db.update_attribute(
+                        oid, f"metric{index}", rng.randrange(100)
+                    )
+                else:
+                    db.update_attribute(
+                        oid,
+                        "salary",
+                        float(1000 + rng.randrange(3000)),
+                    )
+            if rng.random() < spec.static_update_rate:
+                if spec.static_attributes:
+                    index = rng.randrange(spec.static_attributes)
+                    db.update_attribute(
+                        oid, f"note{index}", f"n{rng.randrange(50)}"
+                    )
+                else:
+                    db.update_attribute(oid, "dept", rng.choice("RSTU"))
+        if rng.random() < spec.migration_rate and live:
+            candidate = rng.choice(live)
+            if candidate in managers:
+                db.migrate(candidate, "employee")
+                managers.discard(candidate)
+            else:
+                db.migrate(
+                    candidate,
+                    "manager",
+                    {"officialcar": f"car{rng.randrange(10)}"},
+                )
+                managers.add(candidate)
+        if rng.random() < spec.create_rate:
+            oid = db.create_object(
+                "employee",
+                {
+                    "name": f"emp{len(employees)}",
+                    "salary": float(1000 + rng.randrange(2000)),
+                    "dept": rng.choice("RSTU"),
+                },
+            )
+            employees.append(oid)
+        if projects and rng.random() < spec.project_update_rate and live:
+            project = rng.choice(projects)
+            db.update_attribute(
+                project,
+                "participants",
+                frozenset(rng.sample(live, min(3, len(live)))),
+            )
+            db.update_attribute(project, "lead", rng.choice(live))
+        if rng.random() < spec.delete_rate and len(live) > 2:
+            victim = rng.choice(live)
+            try:
+                db.delete_object(victim)
+                managers.discard(victim)
+            except Exception:
+                pass  # currently referenced; skip
+    db.tick()
+    return db

@@ -1,0 +1,122 @@
+"""Shared fixtures: the paper's running examples as live databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.database.database import TemporalDatabase
+from repro.schema.attribute import Attribute
+from repro.schema.method import MethodSignature
+
+
+@pytest.fixture
+def empty_db() -> TemporalDatabase:
+    return TemporalDatabase()
+
+
+@pytest.fixture
+def project_db():
+    """The schema and object of Examples 4.1 / 5.1.
+
+    Timeline: classes defined at 10; object i1 ("IDEA") created at 20
+    with subproject i4 and participants {i2, i3}; subproject changed to
+    i9 at 46; participant i8 added at 81; clock parked at 90.
+
+    Returns (db, names) with names mapping the paper's identifiers to
+    the actual oids.
+    """
+    db = TemporalDatabase()
+    db.tick(10)
+    db.define_class("person", attributes=[("name", "string")])
+    db.define_class("task", attributes=[("title", "string")])
+    db.define_class(
+        "project",
+        attributes=[
+            Attribute("name", "temporal(string)", immutable=True),
+            ("objective", "string"),
+            ("workplan", "set-of(task)"),
+            ("subproject", "temporal(project)"),
+            ("participants", "temporal(set-of(person))"),
+        ],
+        methods=[
+            MethodSignature("add-participant", ("person",), "project"),
+        ],
+        c_attributes=[("average-participants", "integer")],
+        c_attr_values={"average-participants": 20},
+    )
+    db.tick(10)  # now = 20
+    names = {}
+    names["i7"] = db.create_object("task", {"title": "implementation"})
+    names["i2"] = db.create_object("person", {"name": "Ann"})
+    names["i3"] = db.create_object("person", {"name": "Bob"})
+    names["i4"] = db.create_object(
+        "project", {"name": "SUB-OLD", "objective": "old sub"}
+    )
+    names["i1"] = db.create_object(
+        "project",
+        {
+            "name": "IDEA",
+            "objective": "Implementation",
+            "workplan": {names["i7"]},
+            "subproject": names["i4"],
+            "participants": frozenset({names["i2"], names["i3"]}),
+        },
+    )
+    db.tick(26)  # now = 46
+    names["i9"] = db.create_object(
+        "project", {"name": "SUB-NEW", "objective": "new sub"}
+    )
+    db.update_attribute(names["i1"], "subproject", names["i9"])
+    db.tick(35)  # now = 81
+    names["i8"] = db.create_object("person", {"name": "Cai"})
+    db.update_attribute(
+        names["i1"],
+        "participants",
+        frozenset({names["i2"], names["i3"], names["i8"]}),
+    )
+    db.tick(9)  # now = 90
+    return db, names
+
+
+@pytest.fixture
+def staff_db():
+    """The employee/manager migration scenario of Section 5.2.
+
+    Timeline: classes at 0; Dan hired as employee at 10 (salary
+    static in employee? no -- salary is temporal in employee here to
+    exercise refinement, see below); promoted to manager at 30 (gains
+    dependents + officialcar); salary raised at 40; demoted at 60;
+    clock parked at 70.
+    """
+    db = TemporalDatabase()
+    db.define_class("person", attributes=[("name", "string")])
+    db.define_class(
+        "employee",
+        parents=["person"],
+        attributes=[("salary", "temporal(real)"), ("dept", "string")],
+    )
+    db.define_class(
+        "manager",
+        parents=["employee"],
+        attributes=[
+            ("dependents", "temporal(set-of(person))"),
+            ("officialcar", "string"),
+        ],
+    )
+    db.tick(10)
+    dan = db.create_object(
+        "employee", {"name": "Dan", "salary": 1000.0, "dept": "R"}
+    )
+    pat = db.create_object("person", {"name": "Pat"})
+    db.tick(20)  # 30
+    db.migrate(
+        dan,
+        "manager",
+        {"officialcar": "M-1", "dependents": frozenset({pat})},
+    )
+    db.tick(10)  # 40
+    db.update_attribute(dan, "salary", 2000.0)
+    db.tick(20)  # 60
+    db.migrate(dan, "employee")
+    db.tick(10)  # 70
+    return db, {"dan": dan, "pat": pat}

@@ -1,0 +1,237 @@
+"""Hypothesis strategies for the T_Chimera universe.
+
+Generates instants, intervals, interval sets, temporal values, type
+terms, and -- crucially for the theorem tests -- *(type, value)* pairs
+where the value is drawn from ``[[T]]_t`` for a fixed shared typing
+context, so soundness/completeness can be quantified meaningfully.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.temporal.intervals import Interval
+from repro.temporal.intervalsets import IntervalSet
+from repro.temporal.temporalvalue import TemporalValue
+from repro.types.context import DictTypeContext
+from repro.types.grammar import (
+    BOOL,
+    CHARACTER,
+    INTEGER,
+    REAL,
+    STRING,
+    TIME,
+    ListOf,
+    ObjectType,
+    RecordOf,
+    SetOf,
+    TemporalType,
+    Type,
+)
+from repro.types.subtyping import IsaOrder
+from repro.values.null import NULL
+from repro.values.oid import OID
+from repro.values.records import RecordValue
+
+MAX_INSTANT = 200
+
+instants = st.integers(min_value=0, max_value=MAX_INSTANT)
+
+
+@st.composite
+def intervals(draw, max_instant: int = MAX_INSTANT):
+    start = draw(st.integers(min_value=0, max_value=max_instant))
+    end = draw(st.integers(min_value=start, max_value=max_instant))
+    return Interval(start, end)
+
+
+@st.composite
+def interval_sets(draw, max_intervals: int = 6):
+    pieces = draw(st.lists(intervals(), max_size=max_intervals))
+    return IntervalSet(pieces)
+
+
+@st.composite
+def temporal_values(draw, values=st.integers(-100, 100), max_pairs: int = 8):
+    """A concrete (no open pair) temporal value with random gaps."""
+    n = draw(st.integers(min_value=0, max_value=max_pairs))
+    history = TemporalValue()
+    t = draw(st.integers(min_value=0, max_value=10))
+    for _ in range(n):
+        length = draw(st.integers(min_value=1, max_value=10))
+        history.put(Interval(t, t + length - 1), draw(values))
+        t += length + draw(st.integers(min_value=0, max_value=4))
+    return history
+
+
+# ---------------------------------------------------------------------------
+# A small fixed class world shared by type/value generation.
+# ---------------------------------------------------------------------------
+
+#: class name -> (parents)
+WORLD_CLASSES: dict[str, tuple[str, ...]] = {
+    "person": (),
+    "employee": ("person",),
+    "manager": ("employee",),
+    "project": (),
+}
+
+WORLD_OIDS: dict[str, tuple[OID, ...]] = {
+    "person": (OID(1, "person"), OID(2, "person"), OID(3, "person")),
+    "employee": (OID(2, "person"), OID(3, "person")),
+    "manager": (OID(3, "person"),),
+    "project": (OID(10, "project"), OID(11, "project")),
+}
+
+
+class WorldIsa:
+    """The ISA order of the fixed class world."""
+
+    _ANCESTORS = {
+        "person": {"person"},
+        "employee": {"employee", "person"},
+        "manager": {"manager", "employee", "person"},
+        "project": {"project"},
+    }
+
+    def isa_le(self, sub: str, sup: str) -> bool:
+        return sup in self._ANCESTORS.get(sub, {sub})
+
+    def class_lub(self, names) -> str | None:
+        items = list(names)
+        if not items:
+            return None
+        common = set.intersection(
+            *(set(self._ANCESTORS.get(n, {n})) for n in items)
+        )
+        minimal = [
+            c
+            for c in common
+            if not any(
+                o != c and c in self._ANCESTORS.get(o, ()) for o in common
+            )
+        ]
+        return minimal[0] if len(minimal) == 1 else None
+
+
+WORLD_ISA: IsaOrder = WorldIsa()
+
+
+def world_context(now: int | None = 150) -> DictTypeContext:
+    """A typing context for the fixed world, constant over [0, 200]."""
+    return DictTypeContext.from_constant_extents(
+        WORLD_OIDS, horizon=(0, MAX_INSTANT), isa=WORLD_ISA, now=now
+    )
+
+
+basic_types = st.sampled_from([INTEGER, REAL, BOOL, CHARACTER, STRING, TIME])
+object_types = st.sampled_from(
+    [ObjectType(name) for name in WORLD_CLASSES]
+)
+_attr_names = st.sampled_from(["a", "b", "c", "d"])
+
+
+def chimera_types(max_depth: int = 3):
+    """Types in CT (no temporal constructor)."""
+    return st.recursive(
+        st.one_of(basic_types, object_types),
+        lambda children: st.one_of(
+            children.map(SetOf),
+            children.map(ListOf),
+            st.dictionaries(
+                _attr_names, children, min_size=1, max_size=3
+            ).map(RecordOf),
+        ),
+        max_leaves=max_depth * 2,
+    )
+
+
+def t_chimera_types(max_depth: int = 3):
+    """Arbitrary T_Chimera types (temporal allowed, not nested)."""
+    leaf = st.one_of(
+        basic_types, object_types, chimera_types(2).map(TemporalType)
+    )
+    return st.recursive(
+        leaf,
+        lambda children: st.one_of(
+            children.map(SetOf),
+            children.map(ListOf),
+            st.dictionaries(
+                _attr_names, children, min_size=1, max_size=3
+            ).map(RecordOf),
+        ),
+        max_leaves=max_depth * 2,
+    )
+
+
+@st.composite
+def values_of_type(draw, t: Type, allow_null: bool = True, depth: int = 0):
+    """A value drawn from ``[[t]]_x`` for every x in [0, MAX_INSTANT]
+    of the fixed world (the world's extents are constant, so the draw
+    is uniform in time)."""
+    if allow_null and depth > 0 and draw(st.integers(0, 19)) == 0:
+        return NULL
+    if t == INTEGER:
+        return draw(st.integers(-1000, 1000))
+    if t == REAL:
+        return draw(
+            st.floats(
+                allow_nan=False, allow_infinity=False, width=32
+            )
+        )
+    if t == BOOL:
+        return draw(st.booleans())
+    if t == CHARACTER:
+        return draw(st.characters(codec="ascii", min_codepoint=33,
+                                  max_codepoint=126))
+    if t == STRING:
+        return draw(st.text(max_size=8))
+    if t == TIME:
+        return draw(instants)
+    if isinstance(t, ObjectType):
+        pool = WORLD_OIDS.get(t.class_name, ())
+        if not pool:
+            return NULL
+        return draw(st.sampled_from(pool))
+    if isinstance(t, SetOf):
+        items = draw(
+            st.lists(values_of_type(t.element, depth=depth + 1), max_size=3)
+        )
+        return frozenset(items)
+    if isinstance(t, ListOf):
+        return tuple(
+            draw(
+                st.lists(
+                    values_of_type(t.element, depth=depth + 1), max_size=3
+                )
+            )
+        )
+    if isinstance(t, RecordOf):
+        return RecordValue(
+            {
+                name: draw(values_of_type(ft, depth=depth + 1))
+                for name, ft in t.fields.items()
+            }
+        )
+    if isinstance(t, TemporalType):
+        history = TemporalValue()
+        clock = draw(st.integers(0, 10))
+        for _ in range(draw(st.integers(0, 3))):
+            length = draw(st.integers(1, 8))
+            if clock + length - 1 > MAX_INSTANT:
+                break
+            history.put(
+                Interval(clock, clock + length - 1),
+                draw(values_of_type(t.argument, depth=depth + 1)),
+            )
+            clock += length + draw(st.integers(0, 3))
+        return history
+    raise AssertionError(f"no generator for {t!r}")
+
+
+@st.composite
+def typed_values(draw, types=None):
+    """(type, value-in-its-extension) pairs over the fixed world."""
+    t = draw(types if types is not None else t_chimera_types())
+    value = draw(values_of_type(t))
+    return t, value

@@ -1,0 +1,70 @@
+"""Deeper Allen-algebra properties: composition coherence.
+
+Beyond the per-pair classification tests, these pin the algebra's
+*relational* structure: the composition of two observed relations must
+be consistent with the observed third relation (a R b, b S c constrain
+a ? c), checked empirically over random triples -- a coherence test of
+the classifier, not a full composition-table implementation.
+"""
+
+from hypothesis import given, settings
+
+from repro.temporal.algebra import AllenRelation, allen_relation
+from repro.temporal.intervals import Interval
+
+from tests.strategies import intervals
+
+# A few exact entries of Allen's composition table (r1 ; r2 -> allowed
+# third relations), enough to catch classifier inconsistencies.
+COMPOSITION_SAMPLES = {
+    (AllenRelation.BEFORE, AllenRelation.BEFORE): {AllenRelation.BEFORE},
+    (AllenRelation.DURING, AllenRelation.DURING): {AllenRelation.DURING},
+    (AllenRelation.EQUAL, AllenRelation.EQUAL): {AllenRelation.EQUAL},
+    (AllenRelation.MEETS, AllenRelation.MEETS): {AllenRelation.BEFORE},
+    (AllenRelation.STARTS, AllenRelation.STARTS): {AllenRelation.STARTS},
+    (AllenRelation.FINISHES, AllenRelation.FINISHES): {
+        AllenRelation.FINISHES
+    },
+    (AllenRelation.AFTER, AllenRelation.AFTER): {AllenRelation.AFTER},
+    (AllenRelation.CONTAINS, AllenRelation.CONTAINS): {
+        AllenRelation.CONTAINS
+    },
+}
+
+
+class TestCompositionCoherence:
+    @settings(max_examples=300, deadline=None)
+    @given(intervals(), intervals(), intervals())
+    def test_sampled_composition_entries(self, a, b, c):
+        r1 = allen_relation(a, b)
+        r2 = allen_relation(b, c)
+        allowed = COMPOSITION_SAMPLES.get((r1, r2))
+        if allowed is not None:
+            assert allen_relation(a, c) in allowed
+
+    @settings(max_examples=300, deadline=None)
+    @given(intervals(), intervals())
+    def test_equal_relation_is_genuine_equality(self, a, b):
+        if allen_relation(a, b) is AllenRelation.EQUAL:
+            assert a == b
+
+    @settings(max_examples=300, deadline=None)
+    @given(intervals(), intervals())
+    def test_before_is_transitively_ordered_with_meets(self, a, b):
+        """before/meets imply strict precedence of endpoints."""
+        relation = allen_relation(a, b)
+        if relation in (AllenRelation.BEFORE, AllenRelation.MEETS):
+            assert a.end < b.start  # type: ignore[operator]
+
+    def test_exhaustive_small_domain(self):
+        """All interval pairs over a small instant domain classify to
+        exactly one relation, and the 13 relations all occur."""
+        seen = set()
+        domain = range(0, 6)
+        pairs = [
+            Interval(s, e) for s in domain for e in domain if e >= s
+        ]
+        for a in pairs:
+            for b in pairs:
+                seen.add(allen_relation(a, b))
+        assert seen == set(AllenRelation)

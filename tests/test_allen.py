@@ -1,0 +1,96 @@
+"""Allen's interval relations on the discrete time domain."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import InvalidIntervalError
+from repro.temporal.algebra import AllenRelation, allen_relation
+from repro.temporal.intervals import Interval, NULL_INTERVAL
+
+from tests.strategies import intervals
+
+
+CASES = [
+    (Interval(1, 2), Interval(5, 9), AllenRelation.BEFORE),
+    (Interval(1, 4), Interval(5, 9), AllenRelation.MEETS),
+    (Interval(1, 6), Interval(5, 9), AllenRelation.OVERLAPS),
+    (Interval(5, 7), Interval(5, 9), AllenRelation.STARTS),
+    (Interval(6, 8), Interval(5, 9), AllenRelation.DURING),
+    (Interval(7, 9), Interval(5, 9), AllenRelation.FINISHES),
+    (Interval(5, 9), Interval(5, 9), AllenRelation.EQUAL),
+    (Interval(5, 9), Interval(7, 9), AllenRelation.FINISHED_BY),
+    (Interval(5, 9), Interval(6, 8), AllenRelation.CONTAINS),
+    (Interval(5, 9), Interval(5, 7), AllenRelation.STARTED_BY),
+    (Interval(5, 9), Interval(1, 6), AllenRelation.OVERLAPPED_BY),
+    (Interval(5, 9), Interval(1, 4), AllenRelation.MET_BY),
+    (Interval(5, 9), Interval(1, 2), AllenRelation.AFTER),
+]
+
+
+class TestClassification:
+    @pytest.mark.parametrize("a,b,expected", CASES)
+    def test_each_relation(self, a, b, expected):
+        assert allen_relation(a, b) is expected
+
+    def test_null_interval_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            allen_relation(NULL_INTERVAL, Interval(1, 2))
+        with pytest.raises(InvalidIntervalError):
+            allen_relation(Interval(1, 2), NULL_INTERVAL)
+
+    def test_moving_intervals_resolved(self):
+        a = Interval.from_now(5)
+        assert allen_relation(a, Interval(5, 9), now=9) is AllenRelation.EQUAL
+
+    def test_meets_is_discrete_abutment(self):
+        # [1,4] meets [5,9]: no gap, no shared instant (discrete time).
+        assert allen_relation(Interval(1, 4), Interval(5, 9)) is (
+            AllenRelation.MEETS
+        )
+        assert allen_relation(Interval(1, 5), Interval(5, 9)) is (
+            AllenRelation.OVERLAPS
+        )
+
+
+class TestAlgebraicProperties:
+    @given(intervals(), intervals())
+    def test_exactly_one_relation(self, a, b):
+        # Totality: every pair classifies (no exception, one verdict).
+        assert allen_relation(a, b) in AllenRelation
+
+    @given(intervals(), intervals())
+    def test_converse(self, a, b):
+        assert allen_relation(b, a) is allen_relation(a, b).inverse()
+
+    @given(intervals())
+    def test_reflexive_is_equal(self, a):
+        assert allen_relation(a, a) is AllenRelation.EQUAL
+
+    def test_inverse_is_involution(self):
+        for relation in AllenRelation:
+            assert relation.inverse().inverse() is relation
+
+    def test_equal_is_self_inverse(self):
+        assert AllenRelation.EQUAL.inverse() is AllenRelation.EQUAL
+
+    @given(intervals(), intervals())
+    def test_overlap_relations_match_interval_overlap(self, a, b):
+        relation = allen_relation(a, b)
+        disjoint = relation in (
+            AllenRelation.BEFORE,
+            AllenRelation.AFTER,
+            AllenRelation.MEETS,
+            AllenRelation.MET_BY,
+        )
+        assert a.overlaps(b) == (not disjoint)
+
+    @given(intervals(), intervals())
+    def test_containment_relations_match_issubset(self, a, b):
+        relation = allen_relation(a, b)
+        inside = relation in (
+            AllenRelation.STARTS,
+            AllenRelation.DURING,
+            AllenRelation.FINISHES,
+            AllenRelation.EQUAL,
+        )
+        assert a.issubset(b) == inside

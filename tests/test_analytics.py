@@ -1,0 +1,152 @@
+"""Derived temporal analytics (repro.tools.analytics)."""
+
+import pytest
+
+from repro.tools.analytics import (
+    attribute_average_history,
+    attribute_sum_history,
+    instance_population_history,
+    population_history,
+    value_duration,
+)
+from repro.values.null import NULL
+
+
+@pytest.fixture
+def team(empty_db):
+    db = empty_db
+    db.define_class(
+        "employee", attributes=[("salary", "temporal(real)")]
+    )
+    a = db.create_object("employee", {"salary": 1000.0})
+    db.tick(10)
+    b = db.create_object("employee", {"salary": 3000.0})
+    db.tick(10)
+    db.update_attribute(a, "salary", 2000.0)
+    db.tick(10)  # now = 30
+    return db, a, b
+
+
+class TestPopulation:
+    def test_population_history(self, team):
+        db, a, b = team
+        population = population_history(db, "employee")
+        assert population.at(5) == 1
+        assert population.at(15) == 2
+        assert population.at(db.now) == 2
+
+    def test_follows_deletions(self, team):
+        db, a, b = team
+        db.delete_object(b)
+        population = population_history(db, "employee")
+        assert population.at(db.now - 1) == 2
+        assert population.at(db.now) == 1
+
+    def test_instances_vs_members(self, empty_db):
+        db = empty_db
+        db.define_class("person", attributes=[("name", "string")])
+        db.define_class("employee", parents=["person"])
+        db.create_object("employee")
+        db.tick()
+        assert population_history(db, "person").at(0) == 1
+        assert instance_population_history(db, "person").is_empty() or (
+            instance_population_history(db, "person").get(0, 0) == 0
+        )
+
+
+class TestAggregates:
+    def test_sum_history(self, team):
+        db, a, b = team
+        total = attribute_sum_history(db, "employee", "salary")
+        assert total.at(5) == 1000.0
+        assert total.at(15) == 4000.0
+        assert total.at(25) == 5000.0
+
+    def test_average_history(self, team):
+        db, a, b = team
+        average = attribute_average_history(db, "employee", "salary")
+        assert average.at(5) == 1000.0
+        assert average.at(15) == 2000.0
+        assert average.at(25) == 2500.0
+
+    def test_null_contributions_ignored_in_sum(self, team):
+        db, a, b = team
+        db.update_attribute(a, "salary", NULL)
+        db.tick()
+        total = attribute_sum_history(db, "employee", "salary")
+        assert total.at(db.now) == 3000.0
+
+    def test_migrated_away_stretches_excluded(self, empty_db):
+        db = empty_db
+        db.define_class("person", attributes=[("name", "string")])
+        db.define_class(
+            "employee",
+            parents=["person"],
+            attributes=[("salary", "temporal(real)")],
+        )
+        oid = db.create_object("employee", {"salary": 1000.0})
+        db.tick(10)
+        db.migrate(oid, "person")  # leaves employee at t=10
+        db.tick(5)
+        total = attribute_sum_history(db, "employee", "salary")
+        assert total.at(5) == 1000.0
+        assert not total.defined_at(12)
+
+
+class TestValueDuration:
+    def test_durations(self, team):
+        db, a, b = team
+        durations = value_duration(db, a, "salary")
+        # 1000.0 held [0,19] = 20 instants; 2000.0 [20,30] = 11.
+        assert durations[1000.0] == 20
+        assert durations[2000.0] == 11
+
+    def test_null_bucket(self, team):
+        db, a, b = team
+        db.update_attribute(a, "salary", NULL)
+        db.tick(4)
+        durations = value_duration(db, a, "salary")
+        assert durations[None] == 5
+
+    def test_static_attribute_empty(self, empty_db):
+        db = empty_db
+        db.define_class("box", attributes=[("label", "string")])
+        oid = db.create_object("box", {"label": "x"})
+        assert value_duration(db, oid, "label") == {}
+
+
+from hypothesis import given, settings, strategies as st
+
+
+class TestAnalyticsAgainstBruteForce:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 300))
+    def test_sum_and_population_match_per_instant(self, seed):
+        from repro.temporal.temporalvalue import TemporalValue
+        from repro.values.null import is_null
+        from repro.workloads import WorkloadSpec, build_database
+
+        db = build_database(
+            WorkloadSpec(n_objects=4, n_ticks=12, update_rate=0.6,
+                         migration_rate=0.2, delete_rate=0.1, seed=seed)
+        )
+        total = attribute_sum_history(db, "employee", "salary")
+        population = population_history(db, "employee")
+        cls = db.get_class("employee")
+        for t in range(0, db.now + 1):
+            members = cls.history.members_at(t)
+            assert population.get(t, 0) == len(members)
+            expected = 0.0
+            defined = False
+            for oid in members:
+                history = db.get_object(oid).temporal_value("salary")
+                if history is None or not history.defined_at(t):
+                    continue
+                defined = True
+                value = history.at(t)
+                if not is_null(value):
+                    expected += value
+            if defined:
+                assert total.at(t) == expected, t
+            else:
+                assert not total.defined_at(t), t

@@ -1,0 +1,213 @@
+"""The relational-era baselines and their cross-validation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    AttributeTimestampedStore,
+    HistoryUnsupported,
+    Operation,
+    SnapshotStore,
+    TupleTimestampedStore,
+    replay,
+    stores_agree,
+)
+
+
+def simple_log():
+    return [
+        Operation("insert", 1, 0, row={"a": 1, "b": "x"}),
+        Operation("update", 1, 5, attribute="a", value=2),
+        Operation("update", 1, 9, attribute="b", value="y"),
+        Operation("insert", 2, 3, row={"a": 10, "b": "z"}),
+        Operation("update", 1, 12, attribute="a", value=3),
+        Operation("delete", 2, 14),
+    ]
+
+
+def all_stores():
+    attrs = ["a", "b"]
+    return (
+        SnapshotStore(attrs),
+        TupleTimestampedStore(attrs),
+        AttributeTimestampedStore(attrs),
+    )
+
+
+class TestSnapshotStore:
+    def test_current_only(self):
+        snapshot_store, *_ = all_stores()
+        replay(snapshot_store, simple_log())
+        assert snapshot_store.current(1) == {"a": 3, "b": "y"}
+        assert snapshot_store.current(2) is None  # deleted
+
+    def test_history_unsupported(self):
+        snapshot_store, *_ = all_stores()
+        replay(snapshot_store, simple_log())
+        with pytest.raises(HistoryUnsupported):
+            snapshot_store.attribute_history(1, "a")
+        with pytest.raises(HistoryUnsupported):
+            snapshot_store.snapshot_at(1, 5)
+
+    def test_storage_is_current_cells_only(self):
+        snapshot_store, *_ = all_stores()
+        replay(snapshot_store, simple_log())
+        assert snapshot_store.storage_cells() == 2  # one live row, 2 attrs
+
+
+class TestTupleTimestamping:
+    def test_versions_whole_rows(self):
+        _, tuple_store, _ = all_stores()
+        replay(tuple_store, simple_log())
+        # key 1: insert + 3 updates = 4 versions of 2 cells each.
+        assert tuple_store.version_count() == 4 + 1
+        assert tuple_store.storage_cells() == 5 * 2
+
+    def test_snapshot_reconstruction(self):
+        _, tuple_store, _ = all_stores()
+        replay(tuple_store, simple_log())
+        assert tuple_store.snapshot_at(1, 0) == {"a": 1, "b": "x"}
+        assert tuple_store.snapshot_at(1, 7) == {"a": 2, "b": "x"}
+        assert tuple_store.snapshot_at(1, 10) == {"a": 2, "b": "y"}
+        assert tuple_store.snapshot_at(2, 13) == {"a": 10, "b": "z"}
+        assert tuple_store.snapshot_at(2, 14) is None  # deleted at 14
+        assert tuple_store.snapshot_at(1, 100) == {"a": 3, "b": "y"}
+
+    def test_attribute_history_coalesces(self):
+        _, tuple_store, _ = all_stores()
+        replay(tuple_store, simple_log())
+        # b was "x" through versions at 0 and 5, then "y".
+        history = tuple_store.attribute_history(1, "b")
+        assert history == [((0, 9), "x"), ((9, None), "y")]
+
+    def test_same_value_update_is_free(self):
+        _, tuple_store, _ = all_stores()
+        tuple_store.insert(1, {"a": 1, "b": 2}, 0)
+        tuple_store.update(1, "a", 1, 5)
+        assert tuple_store.version_count() == 1
+
+    def test_same_instant_update_in_place(self):
+        _, tuple_store, _ = all_stores()
+        tuple_store.insert(1, {"a": 1, "b": 2}, 3)
+        tuple_store.update(1, "a", 9, 3)
+        assert tuple_store.version_count() == 1
+        assert tuple_store.current(1) == {"a": 9, "b": 2}
+
+
+class TestAttributeTimestamping:
+    def test_per_attribute_histories(self):
+        _, _, attribute_store = all_stores()
+        replay(attribute_store, simple_log())
+        assert attribute_store.attribute_history(1, "a") == [
+            ((0, 5), 1), ((5, 12), 2), ((12, None), 3),
+        ]
+        assert attribute_store.attribute_history(1, "b") == [
+            ((0, 9), "x"), ((9, None), "y"),
+        ]
+
+    def test_storage_cells_fewer_than_tuple(self):
+        """The space story: attribute timestamping stores one new cell
+        per change; tuple timestamping copies the whole row."""
+        _, tuple_store, attribute_store = all_stores()
+        replay(tuple_store, simple_log())
+        replay(attribute_store, simple_log())
+        assert attribute_store.storage_cells() < tuple_store.storage_cells()
+
+    def test_snapshot_reconstruction(self):
+        _, _, attribute_store = all_stores()
+        replay(attribute_store, simple_log())
+        assert attribute_store.snapshot_at(1, 7) == {"a": 2, "b": "x"}
+        assert attribute_store.snapshot_at(2, 2) is None
+        assert attribute_store.snapshot_at(2, 14) is None
+
+    def test_delete_closes_histories(self):
+        _, _, attribute_store = all_stores()
+        replay(attribute_store, simple_log())
+        assert attribute_store.current(2) is None
+        assert attribute_store.attribute_history(2, "a") == [((3, 14), 10)]
+
+
+class TestAgreement:
+    def test_simple_log(self):
+        _, tuple_store, attribute_store = all_stores()
+        replay(tuple_store, simple_log())
+        replay(attribute_store, simple_log())
+        assert stores_agree(
+            tuple_store, attribute_store, [1, 2], range(0, 20)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_random_logs(self, seed):
+        """The two history-keeping stores always describe the same
+        function of time."""
+        rng = random.Random(seed)
+        attrs = ["a", "b", "c"]
+        ops = []
+        t = 0
+        live = set()
+        for key in (1, 2, 3):
+            ops.append(
+                Operation(
+                    "insert", key, t,
+                    row={a: rng.randrange(5) for a in attrs},
+                )
+            )
+            live.add(key)
+            t += rng.randint(0, 2)
+        for _ in range(40):
+            t += rng.randint(0, 3)
+            action = rng.random()
+            if action < 0.85 or not live:
+                key = rng.choice([1, 2, 3])
+                if key not in live:
+                    continue
+                ops.append(
+                    Operation(
+                        "update", key, t,
+                        attribute=rng.choice(attrs),
+                        value=rng.randrange(5),
+                    )
+                )
+            else:
+                key = rng.choice(sorted(live))
+                ops.append(Operation("delete", key, t))
+                live.discard(key)
+        _, tuple_store, attribute_store = (
+            SnapshotStore(attrs),
+            TupleTimestampedStore(attrs),
+            AttributeTimestampedStore(attrs),
+        )
+        replay(tuple_store, ops)
+        replay(attribute_store, ops)
+        assert stores_agree(
+            tuple_store, attribute_store, [1, 2, 3], range(0, t + 2)
+        )
+
+    def test_agreement_with_the_model(self, empty_db):
+        """The attribute-timestamped baseline mirrors a T_Chimera
+        temporal attribute exactly (same update log)."""
+        db = empty_db
+        db.define_class("item", attributes=[("v", "temporal(integer)")])
+        store = AttributeTimestampedStore(["v"])
+        oid = db.create_object("item", {"v": 1})
+        store.insert(1, {"v": 1}, db.now)
+        for value in (2, 5, 5, 9):
+            db.tick(3)
+            db.update_attribute(oid, "v", value)
+            store.update(1, "v", value, db.now)
+        history = db.get_object(oid).value["v"]
+        base_history = store.attribute_history(1, "v")
+        model_pairs = [
+            (interval.start, carried)
+            for interval, carried in history.pairs()
+        ]
+        base_pairs = [(start, v) for (start, _end), v in base_history]
+        assert model_pairs == base_pairs
+
+    def test_unknown_operation_kind(self):
+        store = SnapshotStore(["a"])
+        with pytest.raises(ValueError):
+            replay(store, [Operation("upsert", 1, 0)])

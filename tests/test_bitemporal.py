@@ -1,0 +1,142 @@
+"""The transaction-time extension (Section 1.1's second dimension)."""
+
+import pytest
+
+from repro.bitemporal import BitemporalDatabase
+from repro.database.integrity import check_database
+from repro.errors import TimeError
+from repro.model_functions import h_state
+from repro.values.structure import values_equal
+
+
+@pytest.fixture
+def payroll():
+    """Three commits: initial load, a raise, a retroactive-looking
+    second raise (valid time always moves forward; what changes across
+    commits is what is *stored*)."""
+    bdb = BitemporalDatabase()
+    db = bdb.current
+    db.define_class(
+        "employee",
+        attributes=[("name", "string"), ("salary", "temporal(real)")],
+    )
+    ann = db.create_object("employee", {"name": "Ann", "salary": 1000.0})
+    tt0 = bdb.commit("initial load")
+    db.tick(10)
+    db.update_attribute(ann, "salary", 2000.0)
+    tt1 = bdb.commit("raise at vt=10")
+    db.tick(10)
+    bob = db.create_object("employee", {"name": "Bob", "salary": 900.0})
+    tt2 = bdb.commit("hire at vt=20")
+    return bdb, {"ann": ann, "bob": bob, "tts": (tt0, tt1, tt2)}
+
+
+class TestCommitLog:
+    def test_transaction_times_are_sequential(self, payroll):
+        bdb, names = payroll
+        assert names["tts"] == (0, 1, 2)
+        assert bdb.transaction_times() == (0, 1, 2)
+        assert bdb.transaction_now == 3
+
+    def test_commit_records_valid_time(self, payroll):
+        bdb, _ = payroll
+        assert [c.valid_time for c in bdb.commits()] == [0, 10, 20]
+        assert [c.label for c in bdb.commits()] == [
+            "initial load", "raise at vt=10", "hire at vt=20",
+        ]
+
+    def test_as_of_bounds(self, payroll):
+        bdb, _ = payroll
+        with pytest.raises(TimeError):
+            bdb.as_of(3)
+        with pytest.raises(TimeError):
+            bdb.as_of(-1)
+
+    def test_empty_log(self):
+        with pytest.raises(TimeError):
+            BitemporalDatabase().latest()
+
+
+class TestAsOf:
+    def test_rehydrated_states_differ_by_commit(self, payroll):
+        bdb, names = payroll
+        v0, v1, v2 = (bdb.as_of(tt) for tt in (0, 1, 2))
+        assert v0.now == 0 and v1.now == 10 and v2.now == 20
+        assert len(v0) == 1 and len(v2) == 2
+        # The raise is invisible at tt=0, visible from tt=1.
+        ann = names["ann"]
+        assert v0.get_object(ann).value["salary"].at(0) == 1000.0
+        assert v1.get_object(ann).value["salary"].at(10) == 2000.0
+
+    def test_every_version_is_integral(self, payroll):
+        bdb, _ = payroll
+        for tt in bdb.transaction_times():
+            report = check_database(bdb.as_of(tt))
+            assert report.ok, report.all_violations()
+
+    def test_versions_are_isolated(self, payroll):
+        """Mutating a rehydrated version affects neither the log nor
+        the current database (transaction time is append-only)."""
+        bdb, names = payroll
+        version = bdb.as_of(2)
+        version.tick()
+        version.update_attribute(names["ann"], "salary", 9999.0)
+        again = bdb.as_of(2)
+        assert again.get_object(names["ann"]).value["salary"].at(
+            again.now
+        ) == 2000.0
+        assert bdb.current.get_object(names["ann"]).value["salary"].at(
+            bdb.current.now
+        ) == 2000.0
+
+    def test_latest(self, payroll):
+        bdb, _ = payroll
+        assert bdb.latest().now == 20
+
+
+class TestBitemporalQueries:
+    def test_believed_extent(self, payroll):
+        """What did we believe at tt about the population at vt?"""
+        bdb, names = payroll
+        # At tt=0 we had stored only Ann.
+        assert bdb.believed_extent(0, "employee", 0) == frozenset(
+            {names["ann"]}
+        )
+        # At tt=2, the belief about vt=20 includes Bob...
+        assert names["bob"] in bdb.believed_extent(2, "employee", 20)
+        # ...but the belief about vt=5 still does not (valid time!).
+        assert names["bob"] not in bdb.believed_extent(2, "employee", 5)
+
+    def test_belief_history(self, payroll):
+        bdb, names = payroll
+        evolution = bdb.belief_history("employee", 0)
+        assert [tt for tt, _extent in evolution] == [0, 1, 2]
+        # The belief about valid instant 0 never changed.
+        assert all(
+            extent == frozenset({names["ann"]})
+            for _tt, extent in evolution
+        )
+
+    def test_valid_time_queries_inside_a_version(self, payroll):
+        bdb, names = payroll
+        version = bdb.as_of(1)
+        assert values_equal(
+            h_state(version, names["ann"], 5)["salary"], 1000.0
+        )
+        assert values_equal(
+            h_state(version, names["ann"], 10)["salary"], 2000.0
+        )
+
+    def test_query_language_inside_a_version(self, payroll):
+        from repro.query import parse_query, evaluate
+
+        bdb, names = payroll
+        hits = evaluate(
+            bdb.as_of(2),
+            parse_query("select employee where salary < 1000.0"),
+        )
+        assert hits == [names["bob"]]
+        assert evaluate(
+            bdb.as_of(0),
+            parse_query("select employee where salary < 1000.0"),
+        ) == []

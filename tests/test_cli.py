@@ -1,0 +1,106 @@
+"""The ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.database.persistence import database_to_json
+from repro.workloads import WorkloadSpec, build_database
+
+
+def run_cli(*args: str):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+@pytest.fixture(scope="module")
+def saved_db(tmp_path_factory):
+    db = build_database(WorkloadSpec(n_objects=5, n_ticks=15, seed=3))
+    path = tmp_path_factory.mktemp("cli") / "db.json"
+    path.write_text(database_to_json(db))
+    return path, db
+
+
+class TestTables:
+    def test_prints_all_three(self):
+        result = run_cli("tables")
+        assert result.returncode == 0
+        assert "Table 1" in result.stdout
+        assert "Table 2" in result.stdout
+        assert "Table 3" in result.stdout
+        assert "Our model" in result.stdout
+        assert "o_lifespan" in result.stdout
+
+
+class TestCheck:
+    def test_clean_database(self, saved_db):
+        path, _db = saved_db
+        result = run_cli("check", str(path))
+        assert result.returncode == 0
+        assert "every invariant holds" in result.stdout
+
+    def test_corrupted_database(self, saved_db, tmp_path):
+        path, _db = saved_db
+        # Corrupt an object's class history by text surgery (the
+        # carried value of a class-history pair).
+        text = path.read_text().replace(
+            '"value": "employee"', '"value": "ghost"', 1
+        )
+        assert text != path.read_text()
+        bad = tmp_path / "bad.json"
+        bad.write_text(text)
+        result = run_cli("check", str(bad))
+        assert result.returncode == 1
+        assert "VIOLATIONS" in result.stdout
+
+    def test_missing_file(self):
+        result = run_cli("check", "/nonexistent.json")
+        assert result.returncode != 0
+
+
+class TestDescribe:
+    def test_database_summary(self, saved_db):
+        path, db = saved_db
+        result = run_cli("describe", str(path))
+        assert result.returncode == 0
+        assert f"now = {db.now}" in result.stdout
+        assert "class employee" in result.stdout
+
+    def test_class(self, saved_db):
+        path, _db = saved_db
+        result = run_cli("describe", str(path), "--class", "employee")
+        assert result.returncode == 0
+        assert "c        = employee" in result.stdout
+        assert "h_type" in result.stdout
+
+    def test_object(self, saved_db):
+        path, db = saved_db
+        serial = next(db.objects()).oid.serial
+        result = run_cli("describe", str(path), "--object", str(serial))
+        assert result.returncode == 0
+        assert "class-history" in result.stdout
+
+    def test_unknown_object(self, saved_db):
+        path, _db = saved_db
+        result = run_cli("describe", str(path), "--object", "99999")
+        assert result.returncode == 1
+
+
+class TestQuery:
+    def test_query_runs(self, saved_db):
+        path, _db = saved_db
+        result = run_cli(
+            "query", str(path), "select employee where salary > 0.0"
+        )
+        assert result.returncode == 0
+        assert "result(s)" in result.stdout
+
+    def test_no_command_fails(self):
+        result = run_cli()
+        assert result.returncode != 0

@@ -1,0 +1,49 @@
+"""The database clock."""
+
+import pytest
+
+from repro.errors import ClockError, InvalidInstantError
+from repro.temporal.clock import Clock
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0
+
+    def test_custom_start(self):
+        assert Clock(10).now == 10
+
+    def test_invalid_start(self):
+        with pytest.raises(InvalidInstantError):
+            Clock(-1)
+
+    def test_tick(self):
+        clock = Clock()
+        assert clock.tick() == 1
+        assert clock.tick(5) == 6
+        assert clock.now == 6
+
+    def test_tick_backwards_rejected(self):
+        with pytest.raises(ClockError):
+            Clock().tick(-1)
+
+    def test_advance_to(self):
+        clock = Clock(3)
+        assert clock.advance_to(9) == 9
+
+    def test_advance_to_is_idempotent_at_now(self):
+        clock = Clock(3)
+        assert clock.advance_to(3) == 3
+
+    def test_advance_backwards_rejected(self):
+        clock = Clock(9)
+        with pytest.raises(ClockError):
+            clock.advance_to(3)
+
+    def test_reading_has_no_side_effects(self):
+        clock = Clock(4)
+        for _ in range(3):
+            assert clock.now == 4
+
+    def test_repr(self):
+        assert repr(Clock(7)) == "Clock(now=7)"

@@ -1,0 +1,76 @@
+"""Substitutability through coercion (Section 6.1)."""
+
+import pytest
+
+from repro.errors import MigrationError, UnknownAttributeError
+from repro.inheritance.coercion import as_member_of, coerce_attribute_value
+from repro.temporal.temporalvalue import TemporalValue
+from repro.types.grammar import INTEGER, REAL, TemporalType
+from repro.values.null import NULL
+from repro.values.records import RecordValue
+from repro.values.structure import values_equal
+
+
+class TestCoerceAttributeValue:
+    def test_temporal_to_static_snapshot(self):
+        """The coercion is o.v.a(now) -- the current value."""
+        history = TemporalValue.from_items([((0, 5), 1), ((6, 20), 2)])
+        assert coerce_attribute_value(history, INTEGER, now=10) == 2
+        assert coerce_attribute_value(history, INTEGER, now=3) == 1
+
+    def test_undefined_now_coerces_to_null(self):
+        history = TemporalValue.from_items([((0, 5), 1)])
+        assert coerce_attribute_value(history, INTEGER, now=10) is NULL
+
+    def test_temporal_to_temporal_passthrough(self):
+        history = TemporalValue.from_items([((0, 5), 1)])
+        out = coerce_attribute_value(history, TemporalType(INTEGER), now=3)
+        assert out is history
+
+    def test_static_passthrough(self):
+        assert coerce_attribute_value(7, INTEGER, now=3) == 7
+
+
+class TestViewAs:
+    def test_refined_attribute_coerced(self, empty_db):
+        """A subclass refines a static attribute into a temporal one;
+        viewing an instance at the superclass coerces with snapshot."""
+        db = empty_db
+        db.define_class("account", attributes=[("balance", "real")])
+        db.define_class(
+            "audited",
+            parents=["account"],
+            attributes=[("balance", "temporal(real)")],
+        )
+        oid = db.create_object("audited", {"balance": 10.0})
+        db.tick(5)
+        db.update_attribute(oid, "balance", 20.0)
+        view = db.view_as(oid, "account")
+        assert values_equal(view, RecordValue(balance=20.0))
+        # The history is intact on the object itself.
+        assert db.get_object(oid).value["balance"].at(0) == 10.0
+
+    def test_view_projects_away_sub_attributes(self, staff_db):
+        db, names = staff_db
+        db.migrate(names["dan"], "manager", {"officialcar": "M-2"})
+        view = db.view_as(names["dan"], "employee")
+        assert set(view.names) == {"name", "salary", "dept"}
+        # salary is temporal in employee too: passed through.
+        assert view["salary"].at(40) == 2000.0
+
+    def test_view_as_person(self, staff_db):
+        db, names = staff_db
+        view = db.view_as(names["dan"], "person")
+        assert set(view.names) == {"name"}
+
+    def test_not_a_member_rejected(self, staff_db):
+        db, names = staff_db
+        with pytest.raises(MigrationError):
+            db.view_as(names["pat"], "employee")
+
+    def test_missing_attribute_rejected(self, staff_db):
+        db, names = staff_db
+        dan = db.get_object(names["dan"])
+        del dan.value["name"]
+        with pytest.raises(UnknownAttributeError):
+            as_member_of(dan, db.get_class("person"), db.now)

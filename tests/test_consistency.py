@@ -1,0 +1,184 @@
+"""Object consistency (Definitions 5.2-5.5, Example 5.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.objects.consistency import (
+    consistency_violations,
+    is_consistent,
+    is_historically_consistent,
+    is_historically_consistent_throughout,
+    is_statically_consistent,
+    meaningful_temporal_attributes,
+)
+from repro.temporal.intervals import Interval
+from repro.temporal.temporalvalue import TemporalValue
+from repro.workloads import WorkloadSpec, build_database
+
+
+class TestMeaningfulAttributes:
+    def test_definition_5_2(self, project_db):
+        db, names = project_db
+        obj = db.get_object(names["i1"])
+        assert set(meaningful_temporal_attributes(obj, 50)) == {
+            "name", "subproject", "participants",
+        }
+        # Before creation nothing is meaningful.
+        assert meaningful_temporal_attributes(obj, 5) == ()
+
+    def test_retained_attribute_meaningful_in_its_past(self, staff_db):
+        db, names = staff_db
+        dan = db.get_object(names["dan"])
+        # dependents was recorded during the manager period [30, 59].
+        assert "dependents" in meaningful_temporal_attributes(dan, 45)
+        assert "dependents" not in meaningful_temporal_attributes(dan, 65)
+
+
+class TestHistoricalConsistency:
+    def test_example_5_3(self, project_db):
+        """The Example 5.1 object is historically consistent with the
+        Example 4.1 class at every probed instant."""
+        db, names = project_db
+        obj = db.get_object(names["i1"])
+        for t in (20, 45, 46, 50, 80, 81, 90):
+            assert is_historically_consistent(
+                obj, "project", t, db, db, db.now
+            )
+
+    def test_throughout_agrees_with_pointwise(self, project_db):
+        """The segment-wise check equals the per-instant Definition 5.3
+        (on sampled instants)."""
+        db, names = project_db
+        obj = db.get_object(names["i1"])
+        span = Interval(20, 90)
+        throughout = is_historically_consistent_throughout(
+            obj, "project", span, db, db, db.now
+        )
+        pointwise = all(
+            is_historically_consistent(obj, "project", t, db, db, db.now)
+            for t in range(20, 91, 7)
+        )
+        assert throughout == pointwise is True
+
+    def test_missing_temporal_attribute_fails(self, project_db):
+        db, names = project_db
+        obj = db.get_object(names["i1"])
+        hole = obj.value["name"]
+        del obj.value["name"]
+        assert not is_historically_consistent(
+            obj, "project", 50, db, db, db.now
+        )
+        obj.value["name"] = hole
+
+    def test_wrongly_typed_history_fails(self, project_db):
+        db, names = project_db
+        obj = db.get_object(names["i1"])
+        obj.value["name"] = TemporalValue.from_items([((20, 90), 123)])
+        assert not is_historically_consistent_throughout(
+            obj, "project", Interval(20, 90), db, db, db.now
+        )
+
+    def test_extra_meaningful_attribute_fails(self, project_db):
+        """h_state must have exactly h_type's attributes."""
+        db, names = project_db
+        obj = db.get_object(names["i1"])
+        obj.value["intruder"] = TemporalValue.from_items([((30, 40), 1)])
+        assert not is_historically_consistent_throughout(
+            obj, "project", Interval(30, 40), db, db, db.now
+        )
+        assert is_historically_consistent_throughout(
+            obj, "project", Interval(41, 90), db, db, db.now
+        )
+        del obj.value["intruder"]
+
+
+class TestStaticConsistency:
+    def test_holds(self, project_db):
+        db, names = project_db
+        obj = db.get_object(names["i1"])
+        assert is_statically_consistent(obj, "project", db, db, db.now)
+
+    def test_wrong_static_value_fails(self, project_db):
+        db, names = project_db
+        obj = db.get_object(names["i1"])
+        obj.value["objective"] = 42  # not a string
+        assert not is_statically_consistent(obj, "project", db, db, db.now)
+        obj.value["objective"] = "Implementation"
+
+    def test_dangling_static_reference_fails(self, project_db):
+        """workplan: set-of(task) must hold CURRENT members of task."""
+        db, names = project_db
+        from repro.values.oid import OID
+
+        obj = db.get_object(names["i1"])
+        saved = obj.value["workplan"]
+        obj.value["workplan"] = {OID(999, "task")}
+        assert not is_statically_consistent(obj, "project", db, db, db.now)
+        obj.value["workplan"] = saved
+
+
+class TestObjectConsistency:
+    def test_paper_objects_consistent(self, project_db):
+        db, names = project_db
+        for oid in names.values():
+            assert is_consistent(db.get_object(oid), db, db, db.now)
+
+    def test_migrated_object_consistent(self, staff_db):
+        """Definition 5.5 across the employee->manager->employee story."""
+        db, names = staff_db
+        assert is_consistent(db.get_object(names["dan"]), db, db, db.now)
+
+    def test_class_history_exceeding_class_lifespan(self, project_db):
+        db, names = project_db
+        obj = db.get_object(names["i1"])
+        # Rewrite history to start before the class existed (class born
+        # at 10; pretend membership from 5).
+        obj.class_history = TemporalValue()
+        obj.class_history.assign(5, "project")
+        obj.lifespan = Interval.from_now(5)
+        problems = consistency_violations(obj, db, db, db.now)
+        assert any("lifespan" in p for p in problems)
+
+    def test_unknown_class_reported(self, project_db):
+        db, names = project_db
+        obj = db.get_object(names["i1"])
+        obj.class_history.assign(db.now, "ghost")
+        problems = consistency_violations(obj, db, db, db.now)
+        assert any("unknown class" in p for p in problems)
+
+    def test_alive_object_with_no_class_reported(self, empty_db):
+        from repro.objects.object import TemporalObject
+        from repro.values.oid import OID
+
+        empty_db.tick(5)
+        orphan = TemporalObject(OID(1), 1, "nowhere")
+        orphan.class_history = TemporalValue()  # erase it
+        problems = consistency_violations(orphan, empty_db, empty_db, 5)
+        assert any("no class" in p for p in problems)
+
+    def test_superclass_consistency_implied(self, staff_db):
+        """Consistency w.r.t. the most specific class implies
+        consistency w.r.t. superclasses (via coercion for refined
+        attributes) -- checked on the coerced view."""
+        db, names = staff_db
+        from repro.inheritance.coercion import as_member_of
+        from repro.schema.derived_types import static_type
+        from repro.types.extension import in_extension
+
+        dan = db.get_object(names["dan"])
+        view = as_member_of(dan, db.get_class("person"), db.now)
+        person_static = static_type(db.get_class("person"))
+        assert in_extension(view, person_static, db.now, db, now=db.now)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_engine_maintains_consistency(self, seed):
+        """Whatever the engine does, every object stays Def-5.5
+        consistent (randomized workloads)."""
+        db = build_database(
+            WorkloadSpec(n_objects=6, n_ticks=25, migration_rate=0.3,
+                         seed=seed)
+        )
+        for obj in db.objects():
+            problems = consistency_violations(obj, db, db, db.now)
+            assert problems == []

@@ -1,0 +1,283 @@
+"""The temporal integrity constraint language (Section 7 extension)."""
+
+import pytest
+
+from repro.constraints import (
+    AlwaysMeaningful,
+    ConstraintSet,
+    HistoryPredicate,
+    Immutable,
+    MaxDuration,
+    NonDecreasing,
+    NonIncreasing,
+    ValueBounds,
+)
+from repro.database.transactions import Transaction
+from repro.errors import ConstraintError
+from repro.query import attr
+
+
+@pytest.fixture
+def salary_db(empty_db):
+    db = empty_db
+    db.define_class("person", attributes=[("name", "string")])
+    db.define_class(
+        "employee",
+        parents=["person"],
+        attributes=[("salary", "temporal(real)"), ("grade", "temporal(integer)")],
+    )
+    db.tick(10)
+    oid = db.create_object(
+        "employee", {"name": "Ann", "salary": 1000.0, "grade": 3}
+    )
+    return db, oid
+
+
+class TestNonDecreasing:
+    def test_clean_history(self, salary_db):
+        db, oid = salary_db
+        db.tick(5)
+        db.update_attribute(oid, "salary", 1500.0)
+        rule = NonDecreasing("employee", "salary")
+        assert rule.violations(db, db.get_object(oid)) == []
+
+    def test_decrease_detected(self, salary_db):
+        db, oid = salary_db
+        db.tick(5)
+        db.update_attribute(oid, "salary", 500.0)
+        rule = NonDecreasing("employee", "salary")
+        problems = rule.violations(db, db.get_object(oid))
+        assert problems and "decreased" in problems[0]
+
+    def test_non_increasing_dual(self, salary_db):
+        db, oid = salary_db
+        db.tick(5)
+        db.update_attribute(oid, "grade", 2)
+        assert NonIncreasing("employee", "grade").violations(
+            db, db.get_object(oid)
+        ) == []
+        db.tick(5)
+        db.update_attribute(oid, "grade", 4)
+        problems = NonIncreasing("employee", "grade").violations(
+            db, db.get_object(oid)
+        )
+        assert problems and "increased" in problems[0]
+
+    def test_null_gaps_ignored(self, salary_db):
+        from repro.values.null import NULL
+
+        db, oid = salary_db
+        db.tick(5)
+        db.update_attribute(oid, "salary", NULL)
+        db.tick(5)
+        db.update_attribute(oid, "salary", 1200.0)
+        assert NonDecreasing("employee", "salary").violations(
+            db, db.get_object(oid)
+        ) == []
+
+
+class TestAlwaysMeaningful:
+    def test_holds(self, salary_db):
+        db, oid = salary_db
+        db.tick(20)
+        assert AlwaysMeaningful("employee", "salary").violations(
+            db, db.get_object(oid)
+        ) == []
+
+    def test_gap_detected(self, salary_db):
+        db, oid = salary_db
+        db.tick(5)
+        obj = db.get_object(oid)
+        obj.value["salary"].close(db.now - 1)  # stop recording
+        db.tick(5)
+        obj.value["salary"].assign(db.now, 1100.0)
+        problems = AlwaysMeaningful("employee", "salary").violations(
+            db, obj
+        )
+        assert problems and "not meaningful" in problems[0]
+
+
+class TestValueBounds:
+    def test_bounds(self, salary_db):
+        db, oid = salary_db
+        rule = ValueBounds("employee", "salary", lo=0.0, hi=2000.0)
+        assert rule.violations(db, db.get_object(oid)) == []
+        db.tick(5)
+        db.update_attribute(oid, "salary", 5000.0)
+        problems = rule.violations(db, db.get_object(oid))
+        assert problems and "above" in problems[0]
+
+    def test_static_attribute_bounds(self, empty_db):
+        db = empty_db
+        db.define_class("box", attributes=[("weight", "integer")])
+        oid = db.create_object("box", {"weight": -2})
+        rule = ValueBounds("box", "weight", lo=0)
+        problems = rule.violations(db, db.get_object(oid))
+        assert problems and "below" in problems[0]
+
+
+class TestMaxDuration:
+    def test_held_too_long(self, salary_db):
+        db, oid = salary_db
+        db.tick(30)
+        db.update_attribute(oid, "salary", 1100.0)
+        db.tick(1)
+        rule = MaxDuration("employee", "salary", limit=10)
+        problems = rule.violations(db, db.get_object(oid))
+        assert problems and "held" in problems[0]
+
+    def test_specific_value_only(self, salary_db):
+        db, oid = salary_db
+        db.tick(30)
+        rule = MaxDuration("employee", "salary", limit=10, value=999.0)
+        assert rule.violations(db, db.get_object(oid)) == []
+
+
+class TestImmutable:
+    def test_constant_ok(self, salary_db):
+        db, oid = salary_db
+        assert Immutable("employee", "salary").violations(
+            db, db.get_object(oid)
+        ) == []
+
+    def test_change_detected(self, salary_db):
+        db, oid = salary_db
+        db.tick(5)
+        db.update_attribute(oid, "salary", 2000.0)
+        problems = Immutable("employee", "salary").violations(
+            db, db.get_object(oid)
+        )
+        assert problems and "changed" in problems[0]
+
+
+class TestHistoryPredicate:
+    def test_always_mode(self, salary_db):
+        db, oid = salary_db
+        db.tick(5)
+        rule = HistoryPredicate(
+            "employee", attr("salary") > 0.0, mode="always"
+        )
+        assert rule.violations(db, db.get_object(oid)) == []
+        db.update_attribute(oid, "salary", -5.0)
+        db.tick(1)
+        assert rule.violations(db, db.get_object(oid))
+
+    def test_sometime_mode(self, salary_db):
+        db, oid = salary_db
+        rule = HistoryPredicate(
+            "employee", attr("salary") > 9000.0, mode="sometime"
+        )
+        assert rule.violations(db, db.get_object(oid))
+        db.tick(5)
+        db.update_attribute(oid, "salary", 9500.0)
+        db.tick(1)
+        assert rule.violations(db, db.get_object(oid)) == []
+
+    def test_bad_mode(self):
+        with pytest.raises(ConstraintError):
+            HistoryPredicate("c", attr("x") > 0, mode="never")
+
+
+class TestConstraintSet:
+    def test_batch_check(self, salary_db):
+        db, oid = salary_db
+        rules = ConstraintSet().add(
+            NonDecreasing("employee", "salary")
+        ).add(ValueBounds("employee", "salary", hi=2000.0))
+        assert rules.check(db) == []
+        db.tick(5)
+        db.update_attribute(oid, "salary", 900.0)
+        db.tick(5)
+        db.update_attribute(oid, "salary", 3000.0)
+        problems = rules.check(db)
+        assert len(problems) == 2
+
+    def test_scoped_to_class_members(self, salary_db):
+        db, _oid = salary_db
+        stranger = db.create_object("person", {"name": "Zed"})
+        rules = ConstraintSet().add(NonDecreasing("employee", "salary"))
+        # The person object is never an employee: not checked.
+        assert rules.check_object(db, db.get_object(stranger)) == []
+
+    def test_continuous_enforcement(self, salary_db):
+        db, oid = salary_db
+        rules = ConstraintSet().add(NonDecreasing("employee", "salary"))
+        rules.enforce(db)
+        db.tick(5)
+        db.update_attribute(oid, "salary", 1200.0)  # fine
+        with pytest.raises(ConstraintError):
+            db.update_attribute(oid, "salary", 100.0)
+        rules.unenforce(db)
+        db.update_attribute(oid, "salary", 50.0)  # no longer guarded
+
+    def test_enforcement_with_transaction_rolls_back(self, salary_db):
+        db, oid = salary_db
+        rules = ConstraintSet().add(NonDecreasing("employee", "salary"))
+        rules.enforce(db)
+        db.tick(5)
+        with pytest.raises(ConstraintError):
+            with Transaction(db):
+                db.update_attribute(oid, "salary", 100.0)
+        # Rolled back: the offending pair is gone.
+        assert db.get_object(oid).value["salary"].at(db.now) == 1000.0
+        assert rules.check(db) == []
+
+
+class TestAttributeOrder:
+    @pytest.fixture
+    def budget_db(self, empty_db):
+        from repro.constraints import AttributeOrder
+
+        db = empty_db
+        db.define_class(
+            "task",
+            attributes=[
+                ("spent", "temporal(real)"),
+                ("allocated", "temporal(real)"),
+            ],
+        )
+        oid = db.create_object(
+            "task", {"spent": 0.0, "allocated": 100.0}
+        )
+        return db, oid, AttributeOrder("task", "spent", "allocated")
+
+    def test_order_holds(self, budget_db):
+        db, oid, rule = budget_db
+        db.tick(5)
+        db.update_attribute(oid, "spent", 80.0)
+        assert rule.violations(db, db.get_object(oid)) == []
+
+    def test_violation_window_reported(self, budget_db):
+        db, oid, rule = budget_db
+        db.tick(5)
+        db.update_attribute(oid, "spent", 120.0)   # over budget at 5
+        db.tick(5)
+        db.update_attribute(oid, "allocated", 150.0)  # fixed at 10
+        problems = rule.violations(db, db.get_object(oid))
+        assert len(problems) == 1
+        assert "[5,9]" in problems[0]
+
+    def test_null_stretches_ignored(self, budget_db):
+        from repro.values.null import NULL
+
+        db, oid, rule = budget_db
+        db.tick(5)
+        db.update_attribute(oid, "allocated", NULL)
+        db.update_attribute(oid, "spent", 999.0)
+        assert rule.violations(db, db.get_object(oid)) == []
+
+    def test_custom_comparator(self, empty_db):
+        from repro.constraints import AttributeOrder
+
+        db = empty_db
+        db.define_class(
+            "range",
+            attributes=[("lo", "temporal(integer)"),
+                        ("hi", "temporal(integer)")],
+        )
+        oid = db.create_object("range", {"lo": 0, "hi": 0})
+        strict = AttributeOrder(
+            "range", "lo", "hi", ok=lambda a, b: a < b
+        )
+        problems = strict.violations(db, db.get_object(oid))
+        assert problems  # 0 < 0 fails

@@ -1,0 +1,214 @@
+"""Retroactive corrections: rewriting valid-time history.
+
+Valid time records when facts were true in reality (Section 1.1);
+discovering the recorded history was wrong calls for rewriting the
+affected stretch -- the operation that distinguishes valid time from
+append-only transaction time.  ``correct_attribute`` rewrites one
+temporal attribute over one past interval; paired with the bitemporal
+log, the pre-correction belief stays queryable.
+"""
+
+import pytest
+
+from repro.bitemporal import BitemporalDatabase
+from repro.database.integrity import check_database
+from repro.errors import (
+    InvalidIntervalError,
+    LifespanError,
+    ReferentialIntegrityError,
+    SchemaError,
+    TypeCheckError,
+)
+from repro.objects.consistency import is_consistent
+from repro.schema.attribute import Attribute
+
+
+@pytest.fixture
+def ledger(empty_db):
+    db = empty_db
+    db.define_class("person", attributes=[("name", "string")])
+    db.define_class(
+        "employee",
+        parents=["person"],
+        attributes=[
+            ("salary", "temporal(real)"),
+            ("mentor", "temporal(person)"),
+            Attribute("badge", "temporal(string)", immutable=True),
+            ("dept", "string"),
+        ],
+    )
+    ann = db.create_object(
+        "employee",
+        {"name": "Ann", "salary": 1000.0, "badge": "B-1", "dept": "R"},
+    )
+    db.tick(10)
+    db.update_attribute(ann, "salary", 2000.0)
+    db.tick(10)  # now = 20
+    return db, ann
+
+
+class TestBasicCorrection:
+    def test_mid_history_rewrite(self, ledger):
+        db, ann = ledger
+        db.correct_attribute(ann, "salary", 3, 7, 1500.0)
+        history = db.get_object(ann).value["salary"]
+        assert history.at(2) == 1000.0
+        assert history.at(3) == 1500.0 == history.at(7)
+        assert history.at(8) == 1000.0
+        assert history.at(db.now) == 2000.0
+        assert is_consistent(db.get_object(ann), db, db, db.now)
+        assert check_database(db).ok
+
+    def test_correction_spanning_a_change(self, ledger):
+        db, ann = ledger
+        db.correct_attribute(ann, "salary", 8, 12, 1750.0)
+        history = db.get_object(ann).value["salary"]
+        assert history.at(7) == 1000.0
+        assert history.at(8) == 1750.0 == history.at(12)
+        assert history.at(13) == 2000.0
+
+    def test_correction_up_to_now_becomes_current(self, ledger):
+        """A correction whose window reaches now makes the corrected
+        value current: the function continues with it."""
+        db, ann = ledger
+        correction_end = db.now
+        db.correct_attribute(ann, "salary", 15, correction_end, 3000.0)
+        history = db.get_object(ann).value["salary"]
+        assert history.at(correction_end) == 3000.0
+        db.tick(5)
+        assert history.at(db.now) == 3000.0  # still current
+        # ...and ordinary updates keep working afterwards.
+        db.update_attribute(ann, "salary", 4000.0)
+        assert history.at(db.now) == 4000.0
+        assert check_database(db).ok
+
+    def test_strictly_past_correction_leaves_current_value(self, ledger):
+        db, ann = ledger
+        db.correct_attribute(ann, "salary", 12, db.now - 1, 3000.0)
+        history = db.get_object(ann).value["salary"]
+        assert history.at(db.now - 1) == 3000.0
+        assert history.at(db.now) == 2000.0  # present untouched
+        db.tick(3)
+        assert history.at(db.now) == 2000.0
+        assert check_database(db).ok
+
+    def test_retained_history_correctable(self, ledger):
+        """After a migration drops the attribute, its retained history
+        is still the correction target."""
+        db, ann = ledger
+        db.migrate(ann, "person")
+        db.tick()
+        db.correct_attribute(ann, "salary", 3, 7, 1234.0)
+        assert db.get_object(ann).retained["salary"].at(5) == 1234.0
+        assert check_database(db).ok
+
+
+class TestCorrectionRules:
+    def test_future_rejected(self, ledger):
+        db, ann = ledger
+        with pytest.raises(LifespanError):
+            db.correct_attribute(ann, "salary", 5, db.now + 5, 0.0)
+
+    def test_outside_lifespan_rejected(self, empty_db):
+        db = empty_db
+        db.define_class("e", attributes=[("v", "temporal(real)")])
+        db.tick(10)
+        oid = db.create_object("e", {"v": 1.0})
+        db.tick(5)
+        with pytest.raises(LifespanError):
+            db.correct_attribute(oid, "v", 5, 12, 2.0)  # born at 10
+
+    def test_reversed_interval_rejected(self, ledger):
+        db, ann = ledger
+        with pytest.raises(InvalidIntervalError):
+            db.correct_attribute(ann, "salary", 7, 3, 0.0)
+
+    def test_static_attribute_rejected(self, ledger):
+        db, ann = ledger
+        with pytest.raises(SchemaError):
+            db.correct_attribute(ann, "dept", 3, 7, "S")
+
+    def test_immutable_attribute_rejected(self, ledger):
+        db, ann = ledger
+        with pytest.raises(SchemaError):
+            db.correct_attribute(ann, "badge", 3, 7, "B-2")
+
+    def test_type_checked(self, ledger):
+        db, ann = ledger
+        with pytest.raises(TypeCheckError):
+            db.correct_attribute(ann, "salary", 3, 7, "lots")
+
+    def test_reference_must_span_the_interval(self, ledger):
+        db, ann = ledger
+        late = db.create_object("person", {"name": "Late"})  # born at 20
+        # Rejected either as a type error (late is not in [[person]]_3)
+        # or as referential-integrity, depending on which check fires.
+        with pytest.raises((TypeCheckError, ReferentialIntegrityError)):
+            db.correct_attribute(ann, "mentor", 3, 7, late)
+        # But a correction inside the referent's lifespan is fine.
+        db.tick(5)
+        db.correct_attribute(ann, "mentor", 20, 22, late)
+        assert db.get_object(ann).value["mentor"].at(21) == late
+        assert check_database(db).ok
+
+
+class TestWithBitemporalLog:
+    def test_pre_correction_belief_survives(self):
+        bdb = BitemporalDatabase()
+        db = bdb.current
+        db.define_class("e", attributes=[("v", "temporal(real)")])
+        oid = db.create_object("e", {"v": 1.0})
+        db.tick(10)
+        tt0 = bdb.commit("as recorded")
+        db.correct_attribute(oid, "v", 2, 6, 9.0)
+        tt1 = bdb.commit("after audit correction")
+        # Current belief: corrected.
+        assert bdb.as_of(tt1).get_object(oid).value["v"].at(4) == 9.0
+        # The belief as stored before the audit: uncorrected.
+        assert bdb.as_of(tt0).get_object(oid).value["v"].at(4) == 1.0
+
+
+class TestMachineRegressions:
+    def test_correct_at_now_then_update(self, empty_db):
+        """Regression (found by the stateful machine): a correction
+        window ending at now must not leave a future-starting open
+        pair that blocks the next update."""
+        db = empty_db
+        db.define_class("e", attributes=[("salary", "temporal(real)")])
+        oid = db.create_object("e", {"salary": 1.0})
+        db.tick()
+        db.correct_attribute(oid, "salary", db.now, db.now, 0.0)
+        db.update_attribute(oid, "salary", 5.0)  # used to raise
+        assert db.get_object(oid).value["salary"].at(db.now) == 5.0
+        assert check_database(db).ok
+
+
+class TestCorrectionEvents:
+    def test_event_emitted(self, ledger):
+        from repro.database.events import EventKind
+
+        db, ann = ledger
+        seen = []
+        db.subscribe(lambda d, e: seen.append(e))
+        db.correct_attribute(ann, "salary", 3, 7, 1500.0)
+        assert len(seen) == 1
+        event = seen[0]
+        assert event.kind is EventKind.CORRECT
+        assert event.attribute == "salary"
+        assert event.window == (3, 7)
+        assert event.new_value == 1500.0
+
+    def test_constraints_guard_corrections(self, ledger):
+        from repro.constraints import ConstraintSet, NonDecreasing
+        from repro.database.transactions import Transaction
+        from repro.errors import ConstraintError
+
+        db, ann = ledger
+        rules = ConstraintSet().add(NonDecreasing("employee", "salary"))
+        rules.enforce(db)
+        with pytest.raises(ConstraintError):
+            with Transaction(db):
+                # A correction introducing a mid-history decrease.
+                db.correct_attribute(ann, "salary", 5, 7, 1.0)
+        # Rolled back.
+        assert db.get_object(ann).value["salary"].at(6) == 1000.0

@@ -1,0 +1,183 @@
+"""Cross-feature integration: the extensions composed together.
+
+Each extension is tested in isolation elsewhere; these scenarios run
+them *through each other* -- evolution + persistence + corrections +
+views + bitemporal on one database -- and assert the invariant suite
+stays clean at every seam.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    BitemporalDatabase,
+    TemporalView,
+    check_database,
+    database_from_json,
+    database_to_json,
+)
+from repro.query import attr, evaluate, parse_query
+from repro.tools import population_history
+from repro.workloads import WorkloadSpec, build_database
+
+
+class TestEvolutionThroughPersistence:
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(0, 500))
+    def test_evolved_workload_roundtrips(self, seed):
+        """Grow a random database, evolve its schema, correct a
+        history, round-trip through JSON: invariants hold at each step
+        and the clone answers like the original."""
+        db = build_database(
+            WorkloadSpec(n_objects=5, n_ticks=15, migration_rate=0.2,
+                         seed=seed)
+        )
+        db.add_attribute("employee", ("bonus", "temporal(real)"))
+        db.tick()
+        victim = next(db.live_objects())
+        db.update_attribute(victim.oid, "bonus", 10.0)
+        db.remove_attribute("employee", "bonus")
+        db.tick()
+        # Retroactive correction on a surviving temporal attribute.
+        born = victim.lifespan.start
+        if born + 1 < db.now:
+            db.correct_attribute(
+                victim.oid, "salary", born, born + 1, 777.0
+            )
+        assert check_database(db).ok, check_database(db).all_violations()
+        clone = database_from_json(database_to_json(db))
+        assert check_database(clone).ok
+        query = parse_query("select employee where salary > 0.0 sometime")
+        assert evaluate(clone, query) == evaluate(db, query)
+        assert population_history(clone, "employee") == (
+            population_history(db, "employee")
+        )
+
+
+class TestViewsOverBitemporalVersions:
+    def test_view_extents_differ_across_commits(self):
+        bdb = BitemporalDatabase()
+        db = bdb.current
+        db.define_class(
+            "employee", attributes=[("salary", "temporal(real)")]
+        )
+        ann = db.create_object("employee", {"salary": 1000.0})
+        tt0 = bdb.commit("before the raise")
+        db.tick(5)
+        db.update_attribute(ann, "salary", 3000.0)
+        tt1 = bdb.commit("after the raise")
+
+        def rich_extent(version):
+            view = TemporalView(
+                version, "employee", attr("salary") >= 2000.0
+            )
+            return view.extent(version.now)
+
+        assert rich_extent(bdb.as_of(tt0)) == frozenset()
+        assert rich_extent(bdb.as_of(tt1)) == frozenset({ann})
+
+    def test_corrections_visible_through_views_per_version(self):
+        bdb = BitemporalDatabase()
+        db = bdb.current
+        db.define_class(
+            "employee", attributes=[("salary", "temporal(real)")]
+        )
+        ann = db.create_object("employee", {"salary": 1000.0})
+        db.tick(10)
+        tt0 = bdb.commit("as recorded")
+        db.correct_attribute(ann, "salary", 2, 5, 9000.0)
+        tt1 = bdb.commit("corrected")
+        before = TemporalView(
+            bdb.as_of(tt0), "employee", attr("salary") >= 5000.0
+        )
+        after = TemporalView(
+            bdb.as_of(tt1), "employee", attr("salary") >= 5000.0
+        )
+        assert before.membership_times(ann).is_empty
+        assert list(after.membership_times(ann).instants()) == [2, 3, 4, 5]
+
+
+class TestEvolutionThroughMigration:
+    def test_added_attribute_survives_demotion_and_repromotion(
+        self, empty_db
+    ):
+        """Schema evolution composed with migration: an attribute added
+        to manager after objects migrated keeps the §5.2 retention
+        semantics across further migrations."""
+        db = empty_db
+        db.define_class("person", attributes=[("name", "string")])
+        db.define_class(
+            "employee",
+            parents=["person"],
+            attributes=[("salary", "temporal(real)")],
+        )
+        db.define_class("manager", parents=["employee"])
+        dan = db.create_object(
+            "employee", {"name": "Dan", "salary": 1000.0}
+        )
+        db.tick(5)
+        db.migrate(dan, "manager")
+        db.tick(5)
+        db.add_attribute("manager", ("budget", "temporal(real)"))
+        added_at = db.now
+        db.update_attribute(dan, "budget", 500.0)
+        db.tick(5)
+        db.migrate(dan, "employee")   # budget history retained
+        obj = db.get_object(dan)
+        assert "budget" in obj.retained
+        assert obj.retained["budget"].at(added_at) == 500.0
+        db.tick(5)
+        db.migrate(dan, "manager")    # resumed
+        assert obj.value["budget"].at(added_at) == 500.0
+        report = check_database(db)
+        assert report.ok, report.all_violations()
+
+    def test_removed_attribute_during_membership_gap(self, empty_db):
+        """Remove an attribute from manager while the object is NOT a
+        manager: on re-promotion the attribute no longer exists."""
+        db = empty_db
+        db.define_class("person", attributes=[("name", "string")])
+        db.define_class(
+            "employee",
+            parents=["person"],
+            attributes=[("salary", "temporal(real)")],
+        )
+        db.define_class(
+            "manager",
+            parents=["employee"],
+            attributes=[("budget", "temporal(real)")],
+        )
+        dan = db.create_object(
+            "employee", {"name": "Dan", "salary": 1.0}
+        )
+        db.tick()
+        db.migrate(dan, "manager", {"budget": 10.0})
+        db.tick(5)
+        db.migrate(dan, "employee")
+        db.tick()
+        db.remove_attribute("manager", "budget")
+        db.tick()
+        db.migrate(dan, "manager")
+        obj = db.get_object(dan)
+        assert "budget" not in obj.value       # gone from the schema
+        assert "budget" in obj.retained        # the old span survives
+        report = check_database(db)
+        assert report.ok, report.all_violations()
+
+
+class TestAnalyticsOverEvolvedSchema:
+    def test_sum_history_spans_an_added_attribute(self, empty_db):
+        from repro.tools import attribute_sum_history
+
+        db = empty_db
+        db.define_class(
+            "employee", attributes=[("salary", "temporal(real)")]
+        )
+        a = db.create_object("employee", {"salary": 100.0})
+        db.tick(10)
+        db.add_attribute("employee", ("bonus", "temporal(real)"))
+        db.update_attribute(a, "bonus", 5.0)
+        db.tick(5)
+        bonus_total = attribute_sum_history(db, "employee", "bonus")
+        assert not bonus_total.defined_at(5)   # before the declaration
+        assert bonus_total.at(db.now) == 5.0

@@ -1,0 +1,387 @@
+"""The engine: schema and object operations."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateClassError,
+    LifespanError,
+    MigrationError,
+    ReferentialIntegrityError,
+    SchemaError,
+    TypeCheckError,
+    UnknownClassError,
+    UnknownObjectError,
+)
+from repro.database.database import TemporalDatabase
+from repro.schema.attribute import Attribute
+from repro.schema.method import MethodSignature
+from repro.temporal.temporalvalue import TemporalValue
+from repro.values.null import NULL
+from repro.values.oid import OID
+
+
+class TestSchemaOps:
+    def test_define_class(self, empty_db):
+        cls = empty_db.define_class("p", attributes=[("x", "integer")])
+        assert empty_db.get_class("p") is cls
+        assert empty_db.known_class("p")
+        assert "p" in empty_db.class_names()
+
+    def test_duplicate_class(self, empty_db):
+        empty_db.define_class("p")
+        with pytest.raises(DuplicateClassError):
+            empty_db.define_class("p")
+
+    def test_unknown_parent(self, empty_db):
+        with pytest.raises(UnknownClassError):
+            empty_db.define_class("q", parents=["ghost"])
+
+    def test_unknown_class_in_attribute_domain(self, empty_db):
+        with pytest.raises(UnknownClassError):
+            empty_db.define_class("q", attributes=[("r", "ghost")])
+        # ...and the failed definition left no trace in the ISA DAG.
+        empty_db.define_class("q", attributes=[("x", "integer")])
+
+    def test_self_reference_allowed(self, empty_db):
+        # project's subproject: temporal(project) (Example 4.1).
+        empty_db.define_class(
+            "project", attributes=[("sub", "temporal(project)")]
+        )
+
+    def test_inherited_attributes_merged(self, empty_db):
+        empty_db.define_class("a", attributes=[("x", "integer")])
+        cls = empty_db.define_class(
+            "b", parents=["a"], attributes=[("y", "string")]
+        )
+        assert set(cls.attributes) == {"x", "y"}
+
+    def test_bad_refinement_rejected_and_rolled_back(self, empty_db):
+        empty_db.define_class("a", attributes=[("x", "integer")])
+        with pytest.raises(Exception):
+            empty_db.define_class(
+                "b", parents=["a"], attributes=[("x", "string")]
+            )
+        assert "b" not in empty_db.isa
+        # Can retry with a correct definition.
+        empty_db.define_class(
+            "b", parents=["a"], attributes=[("x", "temporal(integer)")]
+        )
+
+    def test_metaclass_created(self, empty_db):
+        empty_db.define_class("p", c_attributes=[("n", "integer")])
+        mc = empty_db.get_metaclass("m-p")
+        assert mc.instance_name == "p"
+        assert "n" in mc.attributes
+
+    def test_undeclared_c_attr_value_rejected(self, empty_db):
+        with pytest.raises(SchemaError):
+            empty_db.define_class("p", c_attr_values={"ghost": 1})
+        assert "p" not in empty_db.isa
+
+    def test_drop_class(self, empty_db):
+        empty_db.define_class("p")
+        empty_db.tick(5)
+        empty_db.drop_class("p")
+        assert not empty_db.get_class("p").is_alive
+        with pytest.raises(LifespanError):
+            empty_db.create_object("p")
+
+    def test_drop_with_live_subclass_rejected(self, empty_db):
+        empty_db.define_class("a")
+        empty_db.define_class("b", parents=["a"])
+        empty_db.tick()
+        with pytest.raises(SchemaError):
+            empty_db.drop_class("a")
+
+    def test_drop_with_members_rejected(self, empty_db):
+        empty_db.define_class("p", attributes=[("x", "integer")])
+        oid = empty_db.create_object("p", {"x": 1})
+        empty_db.tick()
+        with pytest.raises(SchemaError):
+            empty_db.drop_class("p")
+        empty_db.delete_object(oid)
+        empty_db.drop_class("p")
+
+
+class TestCreateObject:
+    def test_basic(self, empty_db):
+        empty_db.define_class(
+            "p", attributes=[("x", "integer"), ("h", "temporal(string)")]
+        )
+        oid = empty_db.create_object("p", {"x": 1, "h": "a"})
+        obj = empty_db.get_object(oid)
+        assert obj.value["x"] == 1
+        assert isinstance(obj.value["h"], TemporalValue)
+        assert obj.value["h"].at(empty_db.now) == "a"
+
+    def test_omitted_attributes_are_null(self, empty_db):
+        empty_db.define_class(
+            "p", attributes=[("x", "integer"), ("h", "temporal(string)")]
+        )
+        oid = empty_db.create_object("p")
+        obj = empty_db.get_object(oid)
+        assert obj.value["x"] is NULL
+        assert obj.value["h"].at(empty_db.now) is NULL
+
+    def test_unknown_attribute_rejected(self, empty_db):
+        empty_db.define_class("p", attributes=[("x", "integer")])
+        with pytest.raises(SchemaError):
+            empty_db.create_object("p", {"ghost": 1})
+
+    def test_type_checked(self, empty_db):
+        empty_db.define_class("p", attributes=[("x", "integer")])
+        with pytest.raises(TypeCheckError):
+            empty_db.create_object("p", {"x": "not an int"})
+
+    def test_temporal_attr_rejects_prebuilt_history(self, empty_db):
+        empty_db.define_class("p", attributes=[("h", "temporal(integer)")])
+        with pytest.raises(TypeCheckError):
+            empty_db.create_object(
+                "p", {"h": TemporalValue.from_items([((0, 5), 1)])}
+            )
+
+    def test_static_attr_rejects_temporal_value(self, empty_db):
+        empty_db.define_class("p", attributes=[("x", "integer")])
+        with pytest.raises(TypeCheckError):
+            empty_db.create_object(
+                "p", {"x": TemporalValue.from_items([((0, 5), 1)])}
+            )
+
+    def test_reference_must_exist(self, empty_db):
+        # A dangling oid is already a type error: it is in no extent
+        # [[p]]_now (the referential-integrity checker additionally
+        # guards deletions and loaded data).
+        empty_db.define_class("p", attributes=[("r", "temporal(p)")])
+        with pytest.raises((TypeCheckError, ReferentialIntegrityError)):
+            empty_db.create_object("p", {"r": OID(99, "p")})
+
+    def test_extents_updated_up_the_hierarchy(self, empty_db):
+        empty_db.define_class("a")
+        empty_db.define_class("b", parents=["a"])
+        oid = empty_db.create_object("b")
+        now = empty_db.now
+        assert oid in empty_db.pi("a", now)
+        assert oid in empty_db.pi("b", now)
+        assert oid in empty_db.get_class("b").history.instances_at(now)
+        assert oid not in empty_db.get_class("a").history.instances_at(now)
+
+    def test_oid_branding(self, empty_db):
+        empty_db.define_class("a")
+        empty_db.define_class("b", parents=["a"])
+        empty_db.define_class("z")
+        b = empty_db.create_object("b")
+        z = empty_db.create_object("z")
+        assert b.hierarchy == "a"
+        assert z.hierarchy == "z"
+
+    def test_unknown_class(self, empty_db):
+        with pytest.raises(UnknownClassError):
+            empty_db.create_object("ghost")
+
+
+class TestUpdateAttribute:
+    def setup_db(self, db):
+        db.define_class(
+            "p",
+            attributes=[
+                ("x", "integer"),
+                ("h", "temporal(integer)"),
+                Attribute("fixed", "temporal(string)", immutable=True),
+            ],
+        )
+        return db.create_object("p", {"x": 1, "h": 10, "fixed": "F"})
+
+    def test_static_update_replaces(self, empty_db):
+        oid = self.setup_db(empty_db)
+        empty_db.tick()
+        empty_db.update_attribute(oid, "x", 2)
+        assert empty_db.get_object(oid).value["x"] == 2
+
+    def test_temporal_update_extends_history(self, empty_db):
+        oid = self.setup_db(empty_db)
+        created = empty_db.now
+        empty_db.tick(5)
+        empty_db.update_attribute(oid, "h", 20)
+        history = empty_db.get_object(oid).value["h"]
+        assert history.at(created) == 10
+        assert history.at(empty_db.now) == 20
+
+    def test_immutable_attribute_refuses_change(self, empty_db):
+        oid = self.setup_db(empty_db)
+        empty_db.tick()
+        with pytest.raises(SchemaError):
+            empty_db.update_attribute(oid, "fixed", "G")
+        # Re-assigning the same value is permitted (constant function).
+        empty_db.update_attribute(oid, "fixed", "F")
+
+    def test_type_checked(self, empty_db):
+        oid = self.setup_db(empty_db)
+        empty_db.tick()
+        with pytest.raises(TypeCheckError):
+            empty_db.update_attribute(oid, "h", "not an int")
+
+    def test_null_always_allowed(self, empty_db):
+        oid = self.setup_db(empty_db)
+        empty_db.tick()
+        empty_db.update_attribute(oid, "h", NULL)
+        assert empty_db.get_object(oid).value["h"].at(empty_db.now) is NULL
+
+    def test_unknown_attribute(self, empty_db):
+        oid = self.setup_db(empty_db)
+        with pytest.raises(SchemaError):
+            empty_db.update_attribute(oid, "ghost", 1)
+
+    def test_dead_object_rejected(self, empty_db):
+        oid = self.setup_db(empty_db)
+        empty_db.tick()
+        empty_db.delete_object(oid)
+        with pytest.raises(LifespanError):
+            empty_db.update_attribute(oid, "x", 2)
+
+
+class TestDeleteObject:
+    def test_lifespan_ends_before_deletion_tick(self, empty_db):
+        empty_db.define_class("p")
+        oid = empty_db.create_object("p")
+        created = empty_db.now
+        empty_db.tick(5)
+        empty_db.delete_object(oid)
+        obj = empty_db.get_object(oid)
+        assert obj.alive_at(created, empty_db.now)
+        assert obj.alive_at(empty_db.now - 1, empty_db.now)
+        assert not obj.alive_at(empty_db.now, empty_db.now)
+        assert oid not in empty_db.pi("p", empty_db.now)
+        assert oid in empty_db.pi("p", empty_db.now - 1)
+
+    def test_cannot_delete_in_creation_tick(self, empty_db):
+        empty_db.define_class("p")
+        oid = empty_db.create_object("p")
+        with pytest.raises(LifespanError):
+            empty_db.delete_object(oid)
+
+    def test_referenced_object_protected(self, empty_db):
+        empty_db.define_class("p", attributes=[("r", "temporal(p)")])
+        a = empty_db.create_object("p")
+        empty_db.tick()
+        b = empty_db.create_object("p", {"r": a})
+        empty_db.tick()
+        with pytest.raises(ReferentialIntegrityError):
+            empty_db.delete_object(a)
+        empty_db.delete_object(a, force=True)
+
+    def test_histories_closed(self, empty_db):
+        empty_db.define_class("p", attributes=[("h", "temporal(integer)")])
+        oid = empty_db.create_object("p", {"h": 1})
+        empty_db.tick(5)
+        empty_db.delete_object(oid)
+        history = empty_db.get_object(oid).value["h"]
+        assert not history.has_open_pair()
+        assert history.last_instant() == empty_db.now - 1
+
+    def test_unknown_oid(self, empty_db):
+        with pytest.raises(UnknownObjectError):
+            empty_db.get_object(OID(7))
+        with pytest.raises(UnknownObjectError):
+            empty_db.delete_object(OID(7))
+
+
+class TestMethods:
+    def test_call_method(self, empty_db):
+        def raise_by(db, oid, receiver, amount):
+            current = receiver["balance"]
+            db.update_attribute(oid, "balance", current + amount)
+            return current + amount
+
+        empty_db.define_class(
+            "account",
+            attributes=[("balance", "temporal(real)")],
+            methods=[
+                MethodSignature(
+                    "raise_by", ("real",), "real", body=raise_by
+                )
+            ],
+        )
+        oid = empty_db.create_object("account", {"balance": 10.0})
+        empty_db.tick()
+        result = empty_db.call_method(oid, "raise_by", 5.0)
+        assert result == 15.0
+        assert empty_db.get_object(oid).value["balance"].at(
+            empty_db.now
+        ) == 15.0
+
+    def test_argument_types_checked(self, empty_db):
+        empty_db.define_class(
+            "account",
+            attributes=[("balance", "temporal(real)")],
+            methods=[
+                MethodSignature(
+                    "noop", ("real",), "real", body=lambda *a: 0.0
+                )
+            ],
+        )
+        oid = empty_db.create_object("account", {"balance": 1.0})
+        with pytest.raises(TypeCheckError):
+            empty_db.call_method(oid, "noop", "x")
+        with pytest.raises(TypeCheckError):
+            empty_db.call_method(oid, "noop")
+
+    def test_result_type_checked(self, empty_db):
+        empty_db.define_class(
+            "account",
+            attributes=[("balance", "temporal(real)")],
+            methods=[
+                MethodSignature(
+                    "broken", (), "real", body=lambda *a: "oops"
+                )
+            ],
+        )
+        oid = empty_db.create_object("account", {"balance": 1.0})
+        with pytest.raises(TypeCheckError):
+            empty_db.call_method(oid, "broken")
+
+    def test_time_dependent_receiver(self, empty_db):
+        """The time-dependent behaviour extension: the receiver is a
+        snapshot at the requested instant."""
+        seen = []
+
+        def probe(db, oid, receiver):
+            seen.append(receiver.get("h"))
+            return 0
+
+        empty_db.define_class(
+            "p",
+            attributes=[("h", "temporal(integer)")],
+            methods=[MethodSignature("probe", (), "integer", body=probe)],
+        )
+        oid = empty_db.create_object("p", {"h": 1})
+        first = empty_db.now
+        empty_db.tick(5)
+        empty_db.update_attribute(oid, "h", 2)
+        empty_db.call_method(oid, "probe")
+        empty_db.call_method(oid, "probe", at=first)
+        assert seen == [2, 1]
+
+    def test_missing_method(self, empty_db):
+        empty_db.define_class("p")
+        oid = empty_db.create_object("p")
+        with pytest.raises(SchemaError):
+            empty_db.call_method(oid, "ghost")
+
+
+class TestTypeContextProtocol:
+    def test_membership_queries(self, staff_db):
+        db, names = staff_db
+        dan = names["dan"]
+        times = db.membership_times("manager", dan)
+        assert 30 in times and 59 in times and 60 not in times
+        assert db.ever_member("manager", dan)
+        assert not db.ever_member("manager", names["pat"])
+
+    def test_classes_of(self, staff_db):
+        db, names = staff_db
+        assert set(db.classes_of(names["dan"])) == {"person", "employee"}
+        assert db.classes_of(OID(999)) == ()
+
+    def test_current_time(self, staff_db):
+        db, _ = staff_db
+        assert db.current_time == db.now == 70

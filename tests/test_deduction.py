@@ -1,0 +1,204 @@
+"""The typing rules for values (Definition 3.6) and type inference."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NoLubError, TypeCheckError
+from repro.temporal.intervalsets import IntervalSet
+from repro.temporal.temporalvalue import TemporalValue
+from repro.types.context import DictTypeContext, EMPTY_CONTEXT
+from repro.types.deduction import infer_type, is_deducible
+from repro.types.grammar import (
+    BOOL,
+    BOTTOM,
+    CHARACTER,
+    INTEGER,
+    REAL,
+    STRING,
+    TIME,
+    ListOf,
+    ObjectType,
+    RecordOf,
+    SetOf,
+    TemporalType,
+)
+from repro.types.subtyping import is_subtype, try_lub
+from repro.values.null import NULL
+from repro.values.oid import OID
+from repro.values.records import RecordValue
+
+from tests.strategies import (
+    WORLD_ISA,
+    WORLD_OIDS,
+    typed_values,
+    world_context,
+)
+
+
+class TestNullRule:
+    @pytest.mark.parametrize(
+        "t", [INTEGER, TIME, SetOf(STRING), TemporalType(BOOL)]
+    )
+    def test_null_deducible_at_every_type(self, t):
+        assert is_deducible(NULL, t)
+
+
+class TestBasicRules:
+    def test_basic_values(self):
+        assert is_deducible(5, INTEGER)
+        assert is_deducible(1.5, REAL)
+        assert is_deducible(True, BOOL)
+        assert is_deducible("a", CHARACTER)
+        assert is_deducible("abc", STRING)
+        assert not is_deducible("abc", INTEGER)
+
+    def test_time_rule(self):
+        assert is_deducible(7, TIME)
+        assert not is_deducible(-7, TIME)
+
+    def test_char_also_string(self):
+        # dom(character) is a subset of dom(string): both rules apply.
+        assert is_deducible("a", STRING)
+        assert is_deducible("a", CHARACTER)
+
+
+class TestOidRule:
+    """i : c iff i in pi(c, t) for SOME t (the existential premise)."""
+
+    def test_current_member(self):
+        ctx = world_context()
+        assert is_deducible(OID(2, "person"), ObjectType("employee"), ctx)
+
+    def test_past_member_still_typeable(self):
+        oid = OID(9)
+        ctx = DictTypeContext(
+            {"person": {oid: IntervalSet.span(0, 10)}}, now=100
+        )
+        # Not a member now, but was at t in [0,10]: deducible.
+        assert is_deducible(oid, ObjectType("person"), ctx)
+
+    def test_never_member(self):
+        ctx = world_context()
+        assert not is_deducible(OID(99), ObjectType("person"), ctx)
+
+    def test_superclass_typing_via_pi(self):
+        # pi includes members of subclasses, so subsumption is built in.
+        ctx = world_context()
+        assert is_deducible(OID(3, "person"), ObjectType("person"), ctx)
+        assert is_deducible(OID(3, "person"), ObjectType("employee"), ctx)
+        assert is_deducible(OID(3, "person"), ObjectType("manager"), ctx)
+
+
+class TestStructuredRules:
+    def test_homogeneous_set(self):
+        assert is_deducible(frozenset({1, 2, 3}), SetOf(INTEGER))
+
+    def test_empty_collections_deducible_at_anything(self):
+        assert is_deducible(frozenset(), SetOf(ObjectType("person")))
+        assert is_deducible((), ListOf(STRING))
+
+    def test_heterogeneous_set_via_lub(self):
+        """{i_employee, i_person} : set-of(person) -- the lub rule."""
+        ctx = world_context()
+        mixed = frozenset({OID(1, "person"), OID(2, "person")})
+        assert is_deducible(mixed, SetOf(ObjectType("person")), ctx)
+        assert not is_deducible(mixed, SetOf(ObjectType("employee")), ctx)
+
+    def test_record_rule(self):
+        v = RecordValue(a=1, b="x")
+        assert is_deducible(v, RecordOf(a=INTEGER, b=STRING))
+        assert not is_deducible(v, RecordOf(a=INTEGER))
+        assert not is_deducible(v, RecordOf(a=INTEGER, b=BOOL))
+
+    def test_temporal_rule(self):
+        tv = TemporalValue.from_items([((5, 10), 12), ((11, 30), 5)])
+        assert is_deducible(tv, TemporalType(INTEGER))
+        assert not is_deducible(tv, TemporalType(STRING))
+
+    def test_temporal_carrier(self):
+        assert not is_deducible(5, TemporalType(INTEGER))
+
+    @given(typed_values(), st.data())
+    def test_deduction_lub_formulation_agrees(self, pair, data):
+        """The syntax-directed set rule equals the lub formulation:
+        checking every element against T agrees with inferring element
+        types and comparing their lub (see deduction module docstring).
+        """
+        _t, value = pair
+        ctx = world_context()
+        elements = data.draw(
+            st.lists(st.sampled_from(sorted(
+                [1, 2, "x"] + [o for pool in WORLD_OIDS.values() for o in pool],
+                key=repr,
+            )), max_size=4)
+        )
+        collection = frozenset(elements)
+        try:
+            inferred = [infer_type(e, ctx) for e in collection]
+        except (TypeCheckError, NoLubError):
+            return
+        target = try_lub(inferred, WORLD_ISA) if inferred else BOTTOM
+        if target is None:
+            return
+        assert is_deducible(collection, SetOf(target), ctx)
+
+
+class TestInference:
+    def test_primitives(self):
+        assert infer_type(5) == INTEGER
+        assert infer_type(1.5) == REAL
+        assert infer_type(True) == BOOL
+        assert infer_type("a") == CHARACTER
+        assert infer_type("ab") == STRING
+
+    def test_null_infers_bottom(self):
+        assert infer_type(NULL) == BOTTOM
+
+    def test_oid_most_specific(self):
+        ctx = world_context()
+        assert infer_type(OID(3, "person"), ctx) == ObjectType("manager")
+        assert infer_type(OID(1, "person"), ctx) == ObjectType("person")
+
+    def test_unknown_oid_rejected(self):
+        with pytest.raises(TypeCheckError):
+            infer_type(OID(77), world_context())
+
+    def test_set_lub(self):
+        ctx = world_context()
+        mixed = frozenset({OID(2, "person"), OID(3, "person")})
+        assert infer_type(mixed, ctx) == SetOf(ObjectType("employee"))
+
+    def test_empty_set(self):
+        assert infer_type(frozenset()) == SetOf(BOTTOM)
+        assert infer_type([]) == ListOf(BOTTOM)
+
+    def test_heterogeneous_without_lub_rejected(self):
+        with pytest.raises(NoLubError):
+            infer_type(frozenset({1, "xy"}))
+
+    def test_record(self):
+        assert infer_type(RecordValue(a=1, b="xy")) == RecordOf(
+            a=INTEGER, b=STRING
+        )
+
+    def test_temporal(self):
+        tv = TemporalValue.from_items([((0, 5), 12)])
+        assert infer_type(tv) == TemporalType(INTEGER)
+
+    def test_non_value_rejected(self):
+        with pytest.raises(TypeCheckError):
+            infer_type({"a": 1})  # dicts are not T_Chimera values
+        with pytest.raises(TypeCheckError):
+            infer_type(object())
+
+    @given(typed_values())
+    def test_inference_is_deducible_and_subtype(self, pair):
+        """infer_type returns a deducible type below any generated
+        target type (principality, restricted to the generated pairs)."""
+        t, value = pair
+        ctx = world_context()
+        try:
+            inferred = infer_type(value, ctx)
+        except (NoLubError, TypeCheckError):
+            return  # inference is partial; checking is the total one
+        assert is_deducible(value, inferred, ctx) or inferred == BOTTOM

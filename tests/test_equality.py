@@ -1,0 +1,213 @@
+"""The four equality notions (Definitions 5.7-5.10)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.objects.equality import (
+    deep_value_equal,
+    equal_by_identity,
+    equal_by_value,
+    instantaneous_value_equal,
+    snapshot_segments,
+    weak_value_equal,
+)
+from repro.objects.object import TemporalObject
+from repro.temporal.temporalvalue import TemporalValue
+from repro.values.oid import OID
+
+
+def historical(oid, created, pairs, extra=None):
+    """An all-temporal object with one attribute 'score'."""
+    score = TemporalValue.from_items(pairs)
+    attrs = {"score": score}
+    if extra:
+        attrs.update(extra)
+    return TemporalObject(oid, created, "player", attrs)
+
+
+class TestIdentity:
+    def test_definition_5_7(self):
+        a = historical(OID(1), 0, [((0, 5), 10)])
+        b = historical(OID(1), 0, [((0, 5), 10)])
+        c = historical(OID(2), 0, [((0, 5), 10)])
+        assert equal_by_identity(a, b)
+        assert not equal_by_identity(a, c)
+
+    def test_applies_to_static_objects(self):
+        a = TemporalObject(OID(1), 0, "person", {"name": "Ann"})
+        b = TemporalObject(OID(1), 0, "person", {"name": "Ann"})
+        assert equal_by_identity(a, b)
+
+
+class TestValueEquality:
+    def test_definition_5_8(self):
+        a = historical(OID(1), 0, [((0, 5), 10), ((6, 9), 20)])
+        b = historical(OID(2), 0, [((0, 5), 10), ((6, 9), 20)])
+        assert equal_by_value(a, b)
+
+    def test_requires_whole_history(self):
+        a = historical(OID(1), 0, [((0, 5), 10), ((6, 9), 20)])
+        b = historical(OID(2), 0, [((0, 9), 20)])
+        assert not equal_by_value(a, b)
+
+    def test_requires_same_attribute_names(self):
+        a = TemporalObject(OID(1), 0, "c", {"x": 1})
+        b = TemporalObject(OID(2), 0, "c", {"y": 1})
+        assert not equal_by_value(a, b)
+
+    def test_static_objects_reduce_to_plain_equality(self):
+        a = TemporalObject(OID(1), 0, "person", {"name": "Ann"})
+        b = TemporalObject(OID(2), 0, "person", {"name": "Ann"})
+        c = TemporalObject(OID(3), 0, "person", {"name": "Bob"})
+        assert equal_by_value(a, b)
+        assert not equal_by_value(a, c)
+
+
+class TestInstantaneousValueEquality:
+    def test_definition_5_9(self):
+        # Same value during the overlap [6,9]: snapshots agree at 6.
+        a = historical(OID(1), 0, [((0, 5), 10), ((6, 9), 20)])
+        b = historical(OID(2), 0, [((0, 5), 99), ((6, 9), 20)])
+        assert instantaneous_value_equal(a, b, now=9)
+        assert not equal_by_value(a, b)
+
+    def test_needs_common_instant(self):
+        a = historical(OID(1), 0, [((0, 4), 10)])
+        b = historical(OID(2), 0, [((6, 9), 10)])
+        a.end_lifespan(5)
+        # Lifespans [0,4] and [0,now] overlap but snapshots never agree
+        # at a COMMON instant (a holds 10 on [0,4]; b is undefined
+        # there).
+        assert not instantaneous_value_equal(a, b, now=9)
+        # ...yet they are weakly equal: 10 at t'=2 vs t''=7.
+        assert weak_value_equal(a, b, now=9)
+
+    def test_static_objects_compared_at_now_only(self):
+        a = TemporalObject(OID(1), 0, "person", {"name": "Ann"})
+        b = TemporalObject(OID(2), 3, "person", {"name": "Ann"})
+        assert instantaneous_value_equal(a, b, now=10)
+        b.value["name"] = "Bob"
+        assert not instantaneous_value_equal(a, b, now=10)
+
+
+class TestWeakValueEquality:
+    def test_definition_5_10(self):
+        a = historical(OID(1), 0, [((0, 5), 10)])
+        b = historical(OID(2), 0, [((20, 30), 10)])
+        b.lifespan = __import__(
+            "repro.temporal.intervals", fromlist=["Interval"]
+        ).Interval(20, 30)
+        assert weak_value_equal(a, b, now=40)
+
+    def test_never_equal(self):
+        a = historical(OID(1), 0, [((0, 5), 10)])
+        b = historical(OID(2), 0, [((0, 5), 99)])
+        a.end_lifespan(6)
+        b.end_lifespan(6)
+        assert not weak_value_equal(a, b, now=9)
+
+    def test_gap_instants_have_empty_snapshots(self):
+        """Degenerate case: at instants where no temporal attribute is
+        meaningful the snapshot is the empty record, and two empty
+        snapshots compare equal -- the objects look alike at times
+        where nothing is recorded about either."""
+        a = historical(OID(1), 0, [((0, 5), 10)])
+        b = historical(OID(2), 0, [((0, 5), 99)])
+        # Lifespans still open at now=9; [6,9] is a gap for both.
+        assert weak_value_equal(a, b, now=9)
+        assert instantaneous_value_equal(a, b, now=9)
+
+
+class TestImplicationChain:
+    """value => instantaneous => weak (Section 5.3)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_chain_on_random_histories(self, data):
+        def draw_pairs(label):
+            n = data.draw(st.integers(1, 4), label=label)
+            pairs, t = [], 0
+            for _ in range(n):
+                length = data.draw(st.integers(1, 5))
+                pairs.append(((t, t + length - 1), data.draw(
+                    st.integers(0, 2))))
+                t += length
+            return pairs
+
+        a = historical(OID(1), 0, draw_pairs("a"))
+        b = historical(OID(2), 0, draw_pairs("b"))
+        now = 40
+        if equal_by_value(a, b):
+            assert instantaneous_value_equal(a, b, now)
+        if instantaneous_value_equal(a, b, now):
+            assert weak_value_equal(a, b, now)
+
+    def test_identity_implies_all(self):
+        a = historical(OID(1), 0, [((0, 5), 10)])
+        b = historical(OID(1), 0, [((0, 5), 10)])
+        assert equal_by_identity(a, b)
+        assert equal_by_value(a, b)
+        assert instantaneous_value_equal(a, b, now=9)
+        assert weak_value_equal(a, b, now=9)
+
+
+class TestSnapshotSegments:
+    def test_piecewise_constant_partition(self):
+        obj = historical(OID(1), 0, [((0, 5), 10), ((6, 9), 20)])
+        obj.end_lifespan(10)
+        segments = list(snapshot_segments(obj, now=20))
+        starts = [segment.start for segment, _snap in segments]
+        assert starts == [0, 6]
+        # Each segment's snapshot is constant throughout it.
+        from repro.objects.state import snapshot
+        from repro.values.structure import values_equal
+
+        for segment, snap in segments:
+            for t in segment.instants():
+                assert values_equal(snapshot(obj, t, 20), snap)
+
+
+class TestExample54:
+    def test_projects_story(self, project_db):
+        """Example 5.4: same current state + same histories => value
+        equal; same current values only => instantaneous equal."""
+        db, names = project_db
+        from repro.objects.equality import equal_by_value
+
+        i1 = db.get_object(names["i1"])
+        import copy
+
+        twin = copy.deepcopy(i1)
+        twin.oid = OID(999, "project")
+        assert equal_by_value(i1, twin)
+        assert instantaneous_value_equal(i1, twin, db.now)
+
+
+class TestDeepEquality:
+    def test_dereferences_oids(self):
+        ann1 = TemporalObject(OID(10), 0, "person", {"name": "Ann"})
+        ann2 = TemporalObject(OID(20), 0, "person", {"name": "Ann"})
+        a = TemporalObject(OID(1), 0, "team", {"lead": OID(10)})
+        b = TemporalObject(OID(2), 0, "team", {"lead": OID(20)})
+        world = {o.oid: o for o in (ann1, ann2, a, b)}
+        assert not equal_by_value(a, b)  # different oids shallowly
+        assert deep_value_equal(a, b, world.get)
+
+    def test_detects_deep_difference(self):
+        ann = TemporalObject(OID(10), 0, "person", {"name": "Ann"})
+        bob = TemporalObject(OID(20), 0, "person", {"name": "Bob"})
+        a = TemporalObject(OID(1), 0, "team", {"lead": OID(10)})
+        b = TemporalObject(OID(2), 0, "team", {"lead": OID(20)})
+        world = {o.oid: o for o in (ann, bob, a, b)}
+        assert not deep_value_equal(a, b, world.get)
+
+    def test_cyclic_references_bisimulate(self):
+        a = TemporalObject(OID(1), 0, "node", {"next": OID(2)})
+        b = TemporalObject(OID(2), 0, "node", {"next": OID(1)})
+        world = {OID(1): a, OID(2): b}
+        assert deep_value_equal(a, b, world.get)
+
+    def test_dangling_compares_by_oid(self):
+        a = TemporalObject(OID(1), 0, "t", {"r": OID(9)})
+        b = TemporalObject(OID(2), 0, "t", {"r": OID(9)})
+        assert deep_value_equal(a, b, lambda _oid: None)

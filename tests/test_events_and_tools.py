@@ -1,0 +1,140 @@
+"""Database events and the describe tooling."""
+
+import pytest
+
+from repro.database.events import Event, EventKind
+from repro.schema.method import MethodSignature
+from repro.tools import describe_class, describe_database, describe_object
+from repro.errors import SchemaError, TypeCheckError
+
+
+class TestEvents:
+    def test_create_event(self, empty_db):
+        db = empty_db
+        db.define_class("p", attributes=[("x", "integer")])
+        seen = []
+        db.subscribe(lambda d, e: seen.append(e))
+        oid = db.create_object("p", {"x": 1})
+        assert len(seen) == 1
+        event = seen[0]
+        assert event.kind is EventKind.CREATE
+        assert event.oid == oid and event.class_name == "p"
+        assert event.at == db.now
+
+    def test_update_event_carries_old_and_new(self, empty_db):
+        db = empty_db
+        db.define_class(
+            "p", attributes=[("x", "integer"), ("h", "temporal(integer)")]
+        )
+        oid = db.create_object("p", {"x": 1, "h": 10})
+        seen = []
+        db.subscribe(lambda d, e: seen.append(e))
+        db.tick()
+        db.update_attribute(oid, "x", 2)
+        db.update_attribute(oid, "h", 20)
+        assert [(e.attribute, e.old_value, e.new_value) for e in seen] == [
+            ("x", 1, 2),
+            ("h", 10, 20),
+        ]
+
+    def test_migrate_and_delete_events(self, staff_db):
+        db, names = staff_db
+        seen = []
+        db.subscribe(lambda d, e: seen.append(e))
+        db.tick()
+        db.migrate(names["dan"], "manager", {"officialcar": "M"})
+        db.tick()
+        db.delete_object(names["pat"])
+        kinds = [e.kind for e in seen]
+        assert kinds == [EventKind.MIGRATE, EventKind.DELETE]
+        assert seen[0].from_class == "employee"
+        assert seen[0].class_name == "manager"
+
+    def test_unsubscribe(self, empty_db):
+        db = empty_db
+        db.define_class("p")
+        seen = []
+        callback = lambda d, e: seen.append(e)  # noqa: E731
+        db.subscribe(callback)
+        db.create_object("p")
+        db.unsubscribe(callback)
+        db.create_object("p")
+        assert len(seen) == 1
+
+    def test_event_repr(self):
+        from repro.values.oid import OID
+
+        event = Event(
+            EventKind.UPDATE, 5, OID(1), "p",
+            attribute="x", old_value=1, new_value=2,
+        )
+        assert "x: 1 -> 2" in repr(event)
+
+
+class TestCMethods:
+    def make(self, empty_db):
+        def recompute(db, cls):
+            extent = cls.history.members_at(db.now)
+            cls.history.set_c_attr("count", len(extent), db.now)
+            return len(extent)
+
+        db = empty_db
+        db.define_class(
+            "p",
+            attributes=[("x", "integer")],
+            c_attributes=[("count", "integer")],
+            c_attr_values={"count": 0},
+            c_methods=[
+                MethodSignature(
+                    "recount", (), "integer", body=recompute
+                )
+            ],
+        )
+        return db
+
+    def test_c_method_updates_c_attribute(self, empty_db):
+        db = self.make(empty_db)
+        db.create_object("p", {"x": 1})
+        db.create_object("p", {"x": 2})
+        assert db.call_c_method("p", "recount") == 2
+        assert db.get_class("p").history.get_c_attr("count") == 2
+
+    def test_missing_c_method(self, empty_db):
+        db = self.make(empty_db)
+        with pytest.raises(SchemaError):
+            db.call_c_method("p", "ghost")
+
+    def test_c_method_arity_checked(self, empty_db):
+        db = self.make(empty_db)
+        with pytest.raises(TypeCheckError):
+            db.call_c_method("p", "recount", 1)
+
+
+class TestDescribe:
+    def test_describe_class(self, project_db):
+        db, _ = project_db
+        text = describe_class(db, "project")
+        assert "c        = project" in text
+        assert "type     = static" in text
+        assert "mc       = m-project" in text
+        assert "(name, temporal(string))" in text
+        assert "h_type   = record-of(name: string" in text
+
+    def test_describe_object(self, project_db):
+        db, names = project_db
+        text = describe_object(db, names["i1"])
+        assert "lifespan      = [20,now]" in text
+        assert "class-history = {<[20,now], 'project'>}" in text
+        assert "'IDEA'" in text
+
+    def test_describe_object_with_retained(self, staff_db):
+        db, names = staff_db
+        text = describe_object(db, names["dan"])
+        assert "retained      = (dependents:" in text
+
+    def test_describe_database(self, staff_db):
+        db, _ = staff_db
+        text = describe_database(db)
+        assert "now = 70" in text
+        assert "class manager isa employee" in text
+        assert "objects: 2 total, 2 alive" in text

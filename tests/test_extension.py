@@ -1,0 +1,242 @@
+"""Type extensions [[T]]_t (Definition 3.5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import UnresolvedNowError
+from repro.temporal.intervals import Interval
+from repro.temporal.intervalsets import IntervalSet
+from repro.temporal.temporalvalue import TemporalValue
+from repro.types.context import DictTypeContext
+from repro.types.extension import in_basic_domain, in_extension
+from repro.types.grammar import (
+    BOOL,
+    CHARACTER,
+    INTEGER,
+    REAL,
+    STRING,
+    TIME,
+    ListOf,
+    ObjectType,
+    RecordOf,
+    SetOf,
+    TemporalType,
+)
+from repro.values.null import NULL
+from repro.values.oid import OID
+from repro.values.records import RecordValue
+
+from tests.strategies import typed_values, world_context
+
+
+class TestNull:
+    """null in [[T]]_t for every T (Definition 3.5, first clause)."""
+
+    @pytest.mark.parametrize(
+        "t",
+        [
+            INTEGER,
+            TIME,
+            ObjectType("person"),
+            SetOf(INTEGER),
+            RecordOf(a=STRING),
+            TemporalType(INTEGER),
+        ],
+    )
+    def test_null_in_every_type(self, t):
+        assert in_extension(NULL, t, 0, world_context())
+
+
+class TestBasicDomains:
+    def test_integer(self):
+        assert in_basic_domain(5, INTEGER)
+        assert in_basic_domain(-5, INTEGER)
+        assert not in_basic_domain(5.0, INTEGER)
+        assert not in_basic_domain(True, INTEGER)
+
+    def test_real_includes_integers(self):
+        # dom(real) is R; the integers embed.
+        assert in_basic_domain(1.5, REAL)
+        assert in_basic_domain(2, REAL)
+        assert not in_basic_domain(True, REAL)
+        assert not in_basic_domain("1.5", REAL)
+
+    def test_bool(self):
+        assert in_basic_domain(True, BOOL)
+        assert not in_basic_domain(1, BOOL)
+
+    def test_character_is_length_one(self):
+        assert in_basic_domain("a", CHARACTER)
+        assert not in_basic_domain("ab", CHARACTER)
+        assert not in_basic_domain("", CHARACTER)
+
+    def test_string(self):
+        assert in_basic_domain("", STRING)
+        assert in_basic_domain("abc", STRING)
+
+    def test_time_is_naturals(self):
+        assert in_basic_domain(0, TIME)
+        assert not in_basic_domain(-1, TIME)
+        assert not in_basic_domain(True, TIME)
+
+
+class TestObjectTypes:
+    """[[c]]_t = pi(c, t): extents vary over time."""
+
+    def setup_method(self):
+        self.i1 = OID(1)
+        self.i2 = OID(2)
+        self.ctx = DictTypeContext(
+            {
+                "person": {
+                    self.i1: IntervalSet.span(0, 100),
+                    self.i2: IntervalSet.span(10, 50),
+                },
+            },
+            now=120,
+        )
+
+    def test_member_at_instant(self):
+        assert in_extension(self.i2, ObjectType("person"), 30, self.ctx)
+
+    def test_not_member_outside(self):
+        assert not in_extension(self.i2, ObjectType("person"), 5, self.ctx)
+        assert not in_extension(self.i2, ObjectType("person"), 60, self.ctx)
+
+    def test_unknown_class_empty_extent(self):
+        assert not in_extension(self.i1, ObjectType("ghost"), 30, self.ctx)
+
+    def test_non_oid_rejected(self):
+        assert not in_extension(42, ObjectType("person"), 30, self.ctx)
+
+
+class TestStructured:
+    def test_set(self):
+        ctx = world_context()
+        t = SetOf(INTEGER)
+        assert in_extension(frozenset({1, 2}), t, 0, ctx)
+        assert in_extension(set(), t, 0, ctx)
+        assert not in_extension(frozenset({1, "x"}), t, 0, ctx)
+        assert not in_extension([1, 2], t, 0, ctx)
+
+    def test_list(self):
+        ctx = world_context()
+        t = ListOf(STRING)
+        assert in_extension(["a", "b"], t, 0, ctx)
+        assert in_extension((), t, 0, ctx)
+        assert not in_extension(["a", 1], t, 0, ctx)
+        assert not in_extension({"a"}, t, 0, ctx)
+
+    def test_record_exact_names(self):
+        ctx = world_context()
+        t = RecordOf(a=INTEGER, b=STRING)
+        assert in_extension(RecordValue(a=1, b="x"), t, 0, ctx)
+        assert not in_extension(RecordValue(a=1), t, 0, ctx)
+        assert not in_extension(RecordValue(a=1, b="x", c=0), t, 0, ctx)
+        assert not in_extension(RecordValue(a="x", b="x"), t, 0, ctx)
+
+    def test_record_null_fields(self):
+        ctx = world_context()
+        t = RecordOf(a=INTEGER, b=STRING)
+        assert in_extension(RecordValue(a=NULL, b=NULL), t, 0, ctx)
+
+    def test_example_3_2(self):
+        """Example 3.2, with the world's person/employee extents."""
+        ctx = world_context()
+        i2 = OID(2, "person")  # an employee in the fixed world
+        assert in_extension(10, INTEGER, 0, ctx)
+        assert in_extension(100, INTEGER, 0, ctx)
+        assert in_extension(i2, ObjectType("employee"), 5, ctx)
+        assert in_extension(
+            frozenset({OID(1, "person"), i2}),
+            SetOf(ObjectType("person")),
+            5,
+            ctx,
+        )
+        assert in_extension(
+            TemporalValue.from_items([((5, 10), 12), ((11, 30), 5)]),
+            TemporalType(INTEGER),
+            5,
+            ctx,
+        )
+        assert in_extension(
+            RecordValue(
+                name="Bob",
+                score=TemporalValue.from_items(
+                    [((1, 100), 40), ((101, 200), 70)]
+                ),
+            ),
+            RecordOf(name=STRING, score=TemporalType(INTEGER)),
+            5,
+            ctx,
+        )
+
+
+class TestTemporalExtension:
+    """[[temporal(T)]]_t: partial functions with per-instant legality."""
+
+    def test_carrier_must_be_temporal_value(self):
+        assert not in_extension(
+            5, TemporalType(INTEGER), 0, world_context()
+        )
+
+    def test_per_pair_check(self):
+        tv = TemporalValue.from_items([((0, 5), 1), ((6, 9), "x")])
+        assert not in_extension(tv, TemporalType(INTEGER), 0, world_context())
+
+    def test_empty_function_is_legal(self):
+        assert in_extension(
+            TemporalValue(), TemporalType(INTEGER), 0, world_context()
+        )
+
+    def test_null_pairs_are_legal(self):
+        tv = TemporalValue.from_items([((0, 5), NULL)])
+        assert in_extension(tv, TemporalType(INTEGER), 0, world_context())
+
+    def test_object_valued_checks_membership_throughout(self):
+        """f(t') in [[T]]_t' -- the primed instant of Definition 3.5."""
+        oid = OID(7)
+        ctx = DictTypeContext(
+            {"person": {oid: IntervalSet.span(10, 20)}}, now=100
+        )
+        inside = TemporalValue.from_items([((12, 18), oid)])
+        assert in_extension(inside, TemporalType(ObjectType("person")), 0, ctx)
+        spills = TemporalValue.from_items([((15, 25), oid)])
+        assert not in_extension(
+            spills, TemporalType(ObjectType("person")), 0, ctx
+        )
+
+    def test_structured_object_valued(self):
+        oid = OID(7)
+        ctx = DictTypeContext(
+            {"person": {oid: IntervalSet.span(10, 20)}}, now=100
+        )
+        good = TemporalValue.from_items([((12, 14), frozenset({oid}))])
+        t = TemporalType(SetOf(ObjectType("person")))
+        assert in_extension(good, t, 0, ctx)
+        bad = TemporalValue.from_items([((19, 22), frozenset({oid}))])
+        assert not in_extension(bad, t, 0, ctx)
+
+    def test_open_pair_needs_now(self):
+        oid = OID(7)
+        ctx = DictTypeContext({"person": {oid: IntervalSet.span(0, 100)}})
+        tv = TemporalValue()
+        tv.assign(5, oid)
+        with pytest.raises(UnresolvedNowError):
+            in_extension(tv, TemporalType(ObjectType("person")), 0, ctx)
+        assert in_extension(
+            tv, TemporalType(ObjectType("person")), 0, ctx, now=50
+        )
+
+    def test_time_independence_without_object_types(self):
+        """[[T]]_t is the same for every t when T mentions no classes."""
+        tv = TemporalValue.from_items([((0, 9), 42)])
+        ctx = world_context()
+        for at in (0, 7, 100):
+            assert in_extension(tv, TemporalType(INTEGER), at, ctx)
+
+    @given(typed_values(), st.integers(0, 200))
+    def test_generated_values_inhabit_their_type(self, pair, at):
+        """The strategies only generate (T, v) with v in [[T]]_at."""
+        t, value = pair
+        assert in_extension(value, t, at, world_context())

@@ -1,0 +1,93 @@
+"""Historical classes: temporal c-attributes evolving over time.
+
+A class is *historical* if at least one of its c-attributes has a
+temporal domain (Definition 4.1) -- the class-level analogue of
+historical objects.  Example 4.1 notes that had ``average-participants``
+recorded its changes over time, the project class would be historical.
+"""
+
+import pytest
+
+from repro.schema.attribute import Attribute
+from repro.schema.class_def import ClassKind
+from repro.schema.method import MethodSignature
+from repro.temporal.temporalvalue import TemporalValue
+
+
+@pytest.fixture
+def stats_db(empty_db):
+    """A historical class whose c-attribute tracks the average salary."""
+
+    def recompute(db, cls):
+        extent = cls.history.members_at(db.now)
+        salaries = [
+            db.get_object(oid).value["salary"].get(db.now)
+            for oid in extent
+        ]
+        salaries = [s for s in salaries if isinstance(s, float)]
+        average = sum(salaries) / len(salaries) if salaries else 0.0
+        cls.history.set_c_attr("avg-salary", average, db.now)
+        return average
+
+    db = empty_db
+    db.define_class(
+        "employee",
+        attributes=[("salary", "temporal(real)")],
+        c_attributes=[Attribute("avg-salary", "temporal(real)")],
+        c_methods=[
+            MethodSignature("recompute", (), "real", body=recompute)
+        ],
+    )
+    return db
+
+
+class TestHistoricalClass:
+    def test_kind(self, stats_db):
+        assert stats_db.get_class("employee").kind is ClassKind.HISTORICAL
+        assert stats_db.get_class("employee").is_historical
+
+    def test_c_attribute_starts_as_temporal_value(self, stats_db):
+        history = stats_db.get_class("employee").history
+        assert isinstance(history.get_c_attr("avg-salary"), TemporalValue)
+
+    def test_c_attribute_history_accumulates(self, stats_db):
+        db = stats_db
+        a = db.create_object("employee", {"salary": 1000.0})
+        db.call_c_method("employee", "recompute")
+        t0 = db.now
+        db.tick(10)
+        db.create_object("employee", {"salary": 3000.0})
+        db.call_c_method("employee", "recompute")
+        history = db.get_class("employee").history.get_c_attr("avg-salary")
+        assert history.at(t0) == 1000.0
+        assert history.at(db.now) == 2000.0
+        # The class-level history is itself a temporal value: the past
+        # average remains queryable.
+        assert history.at(t0 + 5) == 1000.0
+
+    def test_history_record_inhabits_metaclass_type(self, stats_db):
+        """The class history (including the temporal c-attribute) is a
+        legal value of the metaclass's structural type."""
+        from repro.types.extension import in_extension
+
+        db = stats_db
+        db.create_object("employee", {"salary": 1000.0})
+        db.call_c_method("employee", "recompute")
+        db.tick(5)
+        metaclass = db.get_metaclass("m-employee")
+        record = db.get_class("employee").history.as_record()
+        assert in_extension(
+            record, metaclass.structural_type(), db.now, db, now=db.now
+        )
+
+    def test_static_class_counterpart(self, empty_db):
+        empty_db.define_class(
+            "plain",
+            attributes=[("h", "temporal(integer)")],
+            c_attributes=[("count", "integer")],
+            c_attr_values={"count": 0},
+        )
+        cls = empty_db.get_class("plain")
+        assert cls.kind is ClassKind.STATIC
+        # ...even though its INSTANCES are historical objects.
+        assert cls.instances_are_historical()

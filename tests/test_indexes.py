@@ -1,0 +1,117 @@
+"""The interval stabbing index."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.database.indexes import IntervalStabbingIndex, extent_index
+from repro.errors import InvalidIntervalError
+from repro.temporal.intervals import Interval
+
+from tests.strategies import intervals
+
+
+class TestBasics:
+    def test_empty(self):
+        index = IntervalStabbingIndex()
+        assert len(index) == 0
+        assert index.stab(5) == []
+        assert index.overlapping(Interval(0, 10)) == []
+
+    def test_single(self):
+        index = IntervalStabbingIndex([(Interval(3, 7), "a")])
+        assert index.stab(3) == ["a"]
+        assert index.stab(7) == ["a"]
+        assert index.stab(2) == [] and index.stab(8) == []
+
+    def test_empty_intervals_skipped(self):
+        index = IntervalStabbingIndex([(Interval.empty(), "a")])
+        assert len(index) == 0
+
+    def test_moving_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            IntervalStabbingIndex([(Interval.from_now(3), "a")])
+        index = IntervalStabbingIndex([(Interval(0, 5), "a")])
+        with pytest.raises(InvalidIntervalError):
+            index.overlapping(Interval.from_now(1))
+
+    def test_stab_multiple(self):
+        index = IntervalStabbingIndex(
+            [
+                (Interval(0, 10), "a"),
+                (Interval(5, 15), "b"),
+                (Interval(12, 20), "c"),
+            ]
+        )
+        assert sorted(index.stab(7)) == ["a", "b"]
+        assert sorted(index.stab(12)) == ["b", "c"]
+        assert sorted(index.stab(11)) == ["b"]
+
+    def test_overlapping(self):
+        index = IntervalStabbingIndex(
+            [
+                (Interval(0, 4), "a"),
+                (Interval(6, 9), "b"),
+                (Interval(20, 30), "c"),
+            ]
+        )
+        assert sorted(index.overlapping(Interval(3, 7))) == ["a", "b"]
+        assert index.overlapping(Interval(10, 19)) == []
+        assert sorted(index.overlapping(Interval(0, 100))) == [
+            "a", "b", "c",
+        ]
+
+    def test_instants_covered(self):
+        index = IntervalStabbingIndex(
+            [(Interval(0, 4), 1), (Interval(2, 3), 2)]
+        )
+        assert index.instants_covered() == 5 + 2
+
+
+class TestAgainstBruteForce:
+    @given(
+        st.lists(intervals(max_instant=60), max_size=25),
+        st.integers(0, 70),
+    )
+    def test_stab_matches_scan(self, pieces, t):
+        entries = [(piece, i) for i, piece in enumerate(pieces)]
+        index = IntervalStabbingIndex(entries)
+        expected = sorted(
+            i for i, piece in enumerate(pieces) if piece.contains(t)
+        )
+        assert sorted(index.stab(t)) == expected
+
+    @given(
+        st.lists(intervals(max_instant=60), max_size=25),
+        intervals(max_instant=70),
+    )
+    def test_overlap_matches_scan(self, pieces, probe):
+        entries = [(piece, i) for i, piece in enumerate(pieces)]
+        index = IntervalStabbingIndex(entries)
+        expected = sorted(
+            i for i, piece in enumerate(pieces) if piece.overlaps(probe)
+        )
+        assert sorted(index.overlapping(probe)) == expected
+
+    def test_large_random(self):
+        rng = random.Random(9)
+        pieces = []
+        for i in range(500):
+            start = rng.randrange(1000)
+            pieces.append((Interval(start, start + rng.randrange(50)), i))
+        index = IntervalStabbingIndex(pieces)
+        for t in rng.sample(range(1050), 50):
+            expected = sorted(
+                tag for piece, tag in pieces if piece.contains(t)
+            )
+            assert sorted(index.stab(t)) == expected
+
+
+class TestExtentIndex:
+    def test_matches_pi(self, staff_db):
+        db, _names = staff_db
+        for class_name in db.class_names():
+            index = extent_index(db, class_name)
+            for t in (0, 10, 29, 30, 45, 59, 60, 70):
+                assert frozenset(index.stab(t)) == db.pi(class_name, t)

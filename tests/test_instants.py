@@ -1,0 +1,104 @@
+"""Instants, the NOW marker and endpoint resolution."""
+
+import pickle
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidInstantError, UnresolvedNowError
+from repro.temporal.instants import (
+    NOW,
+    Now,
+    is_instant,
+    resolve_endpoint,
+    validate_instant,
+)
+
+
+class TestIsInstant:
+    def test_naturals_are_instants(self):
+        assert is_instant(0)
+        assert is_instant(1)
+        assert is_instant(10**12)
+
+    def test_negative_is_not(self):
+        assert not is_instant(-1)
+
+    def test_bool_is_not_an_instant(self):
+        # True is a boolean value, not time instant 1.
+        assert not is_instant(True)
+        assert not is_instant(False)
+
+    def test_float_is_not(self):
+        assert not is_instant(1.0)
+
+    def test_string_is_not(self):
+        assert not is_instant("5")
+
+    def test_now_marker_is_not_concrete(self):
+        assert not is_instant(NOW)
+
+    @given(st.integers(min_value=0))
+    def test_all_naturals(self, n):
+        assert is_instant(n)
+
+
+class TestValidateInstant:
+    def test_passes_through(self):
+        assert validate_instant(7) == 7
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidInstantError):
+            validate_instant(-3)
+
+    def test_rejects_bool(self):
+        with pytest.raises(InvalidInstantError):
+            validate_instant(True)
+
+    def test_error_names_the_role(self):
+        with pytest.raises(InvalidInstantError, match="clock start"):
+            validate_instant(-1, "clock start")
+
+
+class TestNowSingleton:
+    def test_singleton(self):
+        assert Now() is NOW
+        assert Now() is Now()
+
+    def test_equality(self):
+        assert NOW == Now()
+        assert NOW != 5
+
+    def test_repr(self):
+        assert repr(NOW) == "now"
+
+    def test_hashable(self):
+        assert hash(NOW) == hash(Now())
+        assert len({NOW, Now()}) == 1
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(NOW)) is NOW
+
+
+class TestResolveEndpoint:
+    def test_concrete_resolves_to_itself(self):
+        assert resolve_endpoint(42, now=100) == 42
+
+    def test_concrete_without_now(self):
+        assert resolve_endpoint(42, now=None) == 42
+
+    def test_now_resolves_to_clock(self):
+        assert resolve_endpoint(NOW, now=17) == 17
+
+    def test_now_without_clock_raises(self):
+        with pytest.raises(UnresolvedNowError):
+            resolve_endpoint(NOW, now=None)
+
+    def test_invalid_concrete_raises(self):
+        with pytest.raises(InvalidInstantError):
+            resolve_endpoint(-1, now=5)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_resolution_is_identity_on_instants(self, t):
+        assert resolve_endpoint(t, now=0) == t
+        assert resolve_endpoint(NOW, now=t) == t

@@ -1,0 +1,171 @@
+"""End-to-end integration: the whole model working together.
+
+A single long-running scenario exercising every subsystem at once --
+schema with multiple hierarchies, inheritance with refinement,
+migrations, deletions, the query language, constraints, triggers,
+transactions, persistence -- with invariant checks after every phase.
+"""
+
+import pytest
+
+from repro import TemporalDatabase, Transaction, check_database
+from repro.constraints import ConstraintSet, NonDecreasing
+from repro.database.events import EventKind
+from repro.errors import ConstraintError
+from repro.database.persistence import database_from_json, database_to_json
+from repro.model_functions import h_state, m_lifespan, pi, snapshot
+from repro.objects.consistency import is_consistent
+from repro.query import attr, parse_query, evaluate, select
+from repro.schema.attribute import Attribute
+from repro.triggers import Trigger, TriggerManager, on_update
+from repro.triggers.triggers import WriteSpec
+from repro.values.structure import values_equal
+
+
+def assert_clean(db):
+    report = check_database(db)
+    assert report.ok, report.all_violations()
+
+
+def test_company_lifecycle():
+    db = TemporalDatabase()
+
+    # Phase 1: schema. Two hierarchies (staff and projects).
+    db.define_class("person", attributes=[("name", "string")])
+    db.define_class(
+        "employee",
+        parents=["person"],
+        attributes=[
+            ("salary", "temporal(real)"),
+            ("dept", "string"),
+            ("grade", "temporal(integer)"),
+        ],
+    )
+    db.define_class(
+        "manager",
+        parents=["employee"],
+        attributes=[
+            ("dependents", "temporal(set-of(person))"),
+            ("officialcar", "string"),
+        ],
+    )
+    db.define_class(
+        "project",
+        attributes=[
+            Attribute("name", "temporal(string)", immutable=True),
+            ("objective", "string"),
+            ("lead", "temporal(employee)"),
+            ("team", "temporal(set-of(employee))"),
+        ],
+    )
+    assert_clean(db)
+
+    # Phase 2: hires and a project.
+    db.tick(10)
+    staff = [
+        db.create_object(
+            "employee",
+            {"name": f"E{i}", "salary": 1000.0 + 100 * i, "dept": "R",
+             "grade": 1},
+        )
+        for i in range(6)
+    ]
+    apollo = db.create_object(
+        "project",
+        {
+            "name": "Apollo",
+            "objective": "ship",
+            "lead": staff[0],
+            "team": frozenset(staff[:3]),
+        },
+    )
+    assert_clean(db)
+
+    # Phase 3: constraints + triggers guard the payroll.
+    rules = ConstraintSet().add(NonDecreasing("employee", "salary"))
+    rules.enforce(db)
+    promotions = []
+    triggers = TriggerManager(db)
+    triggers.register(
+        Trigger(
+            "auto-grade",
+            on_update("employee", "salary"),
+            predicate=attr("salary") >= 2000.0,
+            action=lambda d, e: d.update_attribute(e.oid, "grade", 2),
+            writes=(WriteSpec(EventKind.UPDATE, "employee", "grade"),),
+        )
+    )
+    triggers.register(
+        Trigger(
+            "log-grades",
+            on_update("employee", "grade"),
+            action=lambda d, e: promotions.append(e.oid),
+        )
+    )
+    assert triggers.termination_report()["terminates"]
+
+    db.tick(10)  # 20
+    db.update_attribute(staff[1], "salary", 2500.0)  # fires the cascade
+    assert promotions == [staff[1]]
+    with pytest.raises(ConstraintError):
+        with Transaction(db):
+            db.update_attribute(staff[1], "salary", 100.0)
+    assert db.get_object(staff[1]).value["salary"].at(db.now) == 2500.0
+    assert_clean(db)
+
+    # Phase 4: promotion to manager, project lead change.
+    db.tick(10)  # 30
+    db.migrate(
+        staff[1],
+        "manager",
+        {"officialcar": "M-1", "dependents": frozenset()},
+    )
+    db.update_attribute(apollo, "lead", staff[1])
+    assert staff[1] in pi(db, "manager", db.now)
+    assert_clean(db)
+
+    # Phase 5: time-travel queries across the whole story.
+    db.tick(10)  # 40
+    q = evaluate(db, parse_query(
+        "select employee where salary >= 2000.0 sometime"
+    ))
+    assert staff[1] in q
+    rich_at_15 = evaluate(db, parse_query(
+        "select employee where salary >= 2000.0 at 15"
+    ))
+    assert rich_at_15 == []
+    assert values_equal(
+        h_state(db, staff[1], 15),
+        h_state(db, staff[1], 12),
+    )
+    assert m_lifespan(db, staff[1], "manager").start() == 30
+
+    # Phase 6: demotion, deletion, and the retained history.
+    db.tick(10)  # 50
+    rules.unenforce(db)
+    triggers.detach()
+    db.migrate(staff[1], "employee")
+    assert "dependents" in db.get_object(staff[1]).retained
+    leaver = staff[5]
+    db.update_attribute(
+        apollo, "team", frozenset(staff[:3])
+    )  # team never contained staff[5]
+    db.tick()
+    db.delete_object(leaver)
+    assert not db.get_object(leaver).alive_at(db.now, db.now)
+    assert_clean(db)
+
+    # Phase 7: every object is Def-5.5 consistent; persistence
+    # round-trips; the clone answers identically.
+    for oid in staff[:5] + [apollo]:
+        assert is_consistent(db.get_object(oid), db, db, db.now)
+    clone = database_from_json(database_to_json(db))
+    assert_clean(clone)
+    assert values_equal(
+        snapshot(clone, apollo, clone.now), snapshot(db, apollo, db.now)
+    )
+    assert pi(clone, "employee", 25) == pi(db, "employee", 25)
+    assert (
+        select("employee").where(attr("grade") == 2).run(clone)
+        == select("employee").where(attr("grade") == 2).run(db)
+    )

@@ -1,0 +1,197 @@
+"""Invariants 5.1, 5.2, 6.1, 6.2 and Definition 5.6, by maintenance
+and by violation injection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.database.integrity import (
+    check_database,
+    check_extent_inclusion,
+    check_extent_index_agreement,
+    check_hierarchy_disjointness,
+    check_invariant_5_1,
+    check_invariant_5_2,
+    check_object_consistency,
+    check_oid_uniqueness,
+    check_referential_integrity,
+)
+from repro.objects.object import TemporalObject
+from repro.temporal.intervals import Interval
+from repro.temporal.temporalvalue import TemporalValue
+from repro.values.oid import OID
+from repro.workloads import WorkloadSpec, build_database
+
+
+class TestMaintainedByConstruction:
+    def test_paper_fixtures_clean(self, project_db, staff_db):
+        for db, _names in (project_db, staff_db):
+            report = check_database(db)
+            assert report.ok, report.all_violations()
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_workloads_clean(self, seed):
+        """Whatever sequence of engine operations runs, every invariant
+        of the model holds afterwards."""
+        db = build_database(
+            WorkloadSpec(
+                n_objects=8,
+                n_ticks=30,
+                migration_rate=0.25,
+                delete_rate=0.05,
+                seed=seed,
+            )
+        )
+        report = check_database(db)
+        assert report.ok, report.all_violations()
+
+
+class TestInvariant51Injection:
+    def test_extent_outside_lifespan_detected(self, staff_db):
+        db, names = staff_db
+        dan = db.get_object(names["dan"])
+        # Shrink Dan's lifespan below his recorded memberships.
+        dan.lifespan = Interval(10, 40)
+        problems = check_invariant_5_1(db)
+        assert any("5.1.1" in p for p in problems)
+
+    def test_class_history_vs_proper_ext_detected(self, staff_db):
+        db, names = staff_db
+        dan = db.get_object(names["dan"])
+        dan.class_history = TemporalValue()
+        dan.class_history.assign(10, "employee")  # erase the migrations
+        problems = check_invariant_5_1(db)
+        assert any("5.1.2" in p for p in problems)
+
+
+class TestInvariant52Injection:
+    def test_lifespan_not_covered_detected(self, staff_db):
+        db, names = staff_db
+        dan = db.get_object(names["dan"])
+        dan.lifespan = Interval(5, 65)  # exists before any membership
+        problems = check_invariant_5_2(db)
+        assert any("5.2.1" in p for p in problems)
+
+    def test_c_lifespan_vs_ext_detected(self, staff_db):
+        db, names = staff_db
+        employee = db.get_class("employee")
+        employee.history.remove_member(names["dan"], db.now)
+        db.tick()
+        problems = check_invariant_5_2(db)
+        assert any("5.2.2" in p for p in problems)
+
+
+class TestInvariant61Injection:
+    def test_clean_initially(self, staff_db):
+        db, _ = staff_db
+        assert check_extent_inclusion(db) == []
+
+    def test_subclass_member_not_in_superclass_detected(self, staff_db):
+        db, names = staff_db
+        person = db.get_class("person")
+        person.history.remove_member(names["dan"], db.now)
+        db.tick()
+        problems = check_extent_inclusion(db)
+        assert any("6.1" in p for p in problems)
+
+    def test_lifespan_inclusion_detected(self, staff_db):
+        db, _ = staff_db
+        manager = db.get_class("manager")
+        manager.lifespan = Interval(0, 10**6)
+        person = db.get_class("person")
+        person.lifespan = Interval(5, 10)
+        problems = check_extent_inclusion(db)
+        assert any("6.1.1" in p for p in problems)
+
+
+class TestInvariant62Injection:
+    def test_clean_initially(self, project_db):
+        db, _ = project_db
+        assert check_hierarchy_disjointness(db) == []
+
+    def test_cross_hierarchy_membership_detected(self, project_db):
+        db, names = project_db
+        # Smuggle a person oid into the project extent.
+        db.get_class("project").history.add_member(names["i2"], db.now)
+        problems = check_hierarchy_disjointness(db)
+        assert any("6.2" in p for p in problems)
+
+    def test_brand_mismatch_detected(self, empty_db):
+        db = empty_db
+        db.define_class("a")
+        db.define_class("z")
+        foreign = OID(50, "z")
+        db.get_class("a").history.add_member(foreign, 0)
+        problems = check_hierarchy_disjointness(db)
+        assert any("branded" in p for p in problems)
+
+
+class TestDefinition56:
+    def test_oid_uniqueness_clean(self, project_db):
+        db, _ = project_db
+        assert check_oid_uniqueness(db.objects()) == []
+
+    def test_oid_uniqueness_violation(self):
+        a = TemporalObject(OID(1), 0, "c", {"x": 1})
+        b = TemporalObject(OID(1), 0, "c", {"x": 2})
+        problems = check_oid_uniqueness([a, b])
+        assert any("OID-UNIQUENESS" in p for p in problems)
+
+    def test_same_tuple_twice_is_fine(self):
+        a = TemporalObject(OID(1), 0, "c", {"x": 1})
+        b = TemporalObject(OID(1), 0, "c", {"x": 1})
+        assert check_oid_uniqueness([a, b]) == []
+
+    def test_referential_integrity_clean(self, project_db):
+        db, _ = project_db
+        assert check_referential_integrity(db) == []
+        assert check_referential_integrity(db, 50) == []
+
+    def test_dangling_reference_detected(self, project_db):
+        db, names = project_db
+        i1 = db.get_object(names["i1"])
+        i1.value["workplan"] = {OID(999, "task")}
+        problems = check_referential_integrity(db)
+        assert any("unknown oid" in p for p in problems)
+
+    def test_reference_outside_lifespan_detected(self, project_db):
+        db, names = project_db
+        # Delete i9 by force while i1's subproject still points at it.
+        db.delete_object(names["i9"], force=True)
+        db.tick()
+        problems = check_referential_integrity(db)
+        assert any("outside the lifespan" in p for p in problems)
+
+
+class TestExtentIndexAgreement:
+    def test_clean(self, staff_db):
+        db, _ = staff_db
+        assert check_extent_index_agreement(db) == []
+
+    def test_divergence_detected(self, staff_db):
+        db, names = staff_db
+        employee = db.get_class("employee")
+        # Corrupt the set-valued history only (not the index).
+        employee.history.ext.assign(db.now, frozenset())
+        db.tick()
+        problems = check_extent_index_agreement(db)
+        assert problems
+
+
+class TestReport:
+    def test_aggregation_and_bool(self, staff_db):
+        db, names = staff_db
+        report = check_database(db)
+        assert report.ok and bool(report)
+        db.get_object(names["dan"]).value["dept"] = 42  # type violation
+        report = check_database(db)
+        assert not report.ok
+        assert any(
+            "statically consistent" in p for p in report.object_consistency
+        )
+
+    def test_object_consistency_section(self, staff_db):
+        db, names = staff_db
+        del db.get_object(names["dan"]).value["salary"]
+        problems = check_object_consistency(db)
+        assert any("historically consistent" in p for p in problems)

@@ -1,0 +1,169 @@
+"""Closed intervals: construction, membership, algebra (Section 3.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidIntervalError
+from repro.temporal.instants import NOW
+from repro.temporal.intervals import Interval, NULL_INTERVAL
+
+from tests.strategies import intervals
+
+
+class TestConstruction:
+    def test_simple(self):
+        i = Interval(3, 7)
+        assert i.start == 3 and i.end == 7
+
+    def test_instant_interval(self):
+        assert Interval.instant(5) == Interval(5, 5)
+
+    def test_reversed_endpoints_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(7, 3)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(Exception):
+            Interval(-1, 3)
+
+    def test_null_interval(self):
+        assert NULL_INTERVAL.is_empty
+        assert Interval.empty() is NULL_INTERVAL
+
+    def test_moving_interval(self):
+        i = Interval.from_now(10)
+        assert i.is_moving
+        assert i.end is NOW
+
+    def test_repr(self):
+        assert repr(Interval(3, 7)) == "[3,7]"
+        assert repr(NULL_INTERVAL) == "[]"
+
+
+class TestMembership:
+    def test_inclusive_both_ends(self):
+        i = Interval(3, 7)
+        assert 3 in i and 7 in i and 5 in i
+
+    def test_outside(self):
+        i = Interval(3, 7)
+        assert 2 not in i and 8 not in i
+
+    def test_single_instant(self):
+        assert 5 in Interval.instant(5)
+        assert 4 not in Interval.instant(5)
+
+    def test_null_contains_nothing(self):
+        assert 0 not in NULL_INTERVAL
+
+    def test_bool_is_not_an_instant(self):
+        assert True not in Interval(0, 5)
+
+    def test_moving_contains_after_start(self):
+        i = Interval.from_now(10)
+        assert i.contains(10) and i.contains(1000)
+        assert not i.contains(9)
+
+    def test_moving_with_explicit_now(self):
+        i = Interval.from_now(10)
+        assert i.contains(15, now=20)
+        assert not i.contains(25, now=20)
+
+
+class TestResolve:
+    def test_concrete_unchanged(self):
+        i = Interval(3, 7)
+        assert i.resolve(100) is i
+
+    def test_moving_resolves(self):
+        assert Interval.from_now(10).resolve(25) == Interval(10, 25)
+
+    def test_moving_before_start_resolves_empty(self):
+        assert Interval.from_now(10).resolve(5).is_empty
+
+    def test_duration(self):
+        assert Interval(3, 7).duration() == 5
+        assert Interval.instant(4).duration() == 1
+        assert NULL_INTERVAL.duration() == 0
+        assert Interval.from_now(10).duration(now=14) == 5
+
+    def test_instants_iteration(self):
+        assert list(Interval(3, 6).instants()) == [3, 4, 5, 6]
+        assert list(NULL_INTERVAL.instants()) == []
+
+
+class TestAlgebra:
+    def test_overlap(self):
+        assert Interval(1, 5).overlaps(Interval(5, 9))
+        assert not Interval(1, 4).overlaps(Interval(5, 9))
+
+    def test_adjacent_discrete(self):
+        # [3,5] and [6,9] abut: time is discrete (paper's coalescing).
+        assert Interval(3, 5).adjacent(Interval(6, 9))
+        assert Interval(6, 9).adjacent(Interval(3, 5))
+        assert not Interval(3, 5).adjacent(Interval(7, 9))
+
+    def test_intersect(self):
+        assert Interval(1, 6).intersect(Interval(4, 9)) == Interval(4, 6)
+        assert Interval(1, 3).intersect(Interval(5, 9)).is_empty
+
+    def test_union_overlapping(self):
+        assert Interval(1, 6).union(Interval(4, 9)) == Interval(1, 9)
+
+    def test_union_adjacent(self):
+        assert Interval(3, 5).union(Interval(6, 9)) == Interval(3, 9)
+
+    def test_union_separated_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(1, 3).union(Interval(6, 9))
+
+    def test_union_with_null(self):
+        assert Interval(1, 3).union(NULL_INTERVAL) == Interval(1, 3)
+
+    def test_difference_middle_splits(self):
+        pieces = Interval(1, 9).difference(Interval(4, 6))
+        assert pieces == (Interval(1, 3), Interval(7, 9))
+
+    def test_difference_disjoint(self):
+        assert Interval(1, 3).difference(Interval(5, 9)) == (Interval(1, 3),)
+
+    def test_difference_covering(self):
+        assert Interval(4, 6).difference(Interval(1, 9)) == ()
+
+    def test_issubset(self):
+        assert Interval(4, 6).issubset(Interval(1, 9))
+        assert not Interval(1, 9).issubset(Interval(4, 6))
+        assert NULL_INTERVAL.issubset(Interval(1, 2))
+        assert not Interval(1, 2).issubset(NULL_INTERVAL)
+
+    @given(intervals(), intervals())
+    def test_intersection_commutes(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(intervals(), intervals())
+    def test_intersection_is_lower_bound(self, a, b):
+        meet = a.intersect(b)
+        assert meet.issubset(a) and meet.issubset(b)
+
+    @given(intervals())
+    def test_difference_with_self_is_empty(self, a):
+        assert a.difference(a) == ()
+
+    @given(intervals(), intervals())
+    def test_difference_disjoint_from_subtrahend(self, a, b):
+        for piece in a.difference(b):
+            assert not piece.overlaps(b)
+
+    @given(intervals(), intervals())
+    def test_overlap_iff_nonempty_intersection(self, a, b):
+        assert a.overlaps(b) == (not a.intersect(b).is_empty)
+
+    @given(intervals(), intervals())
+    def test_duration_of_union_when_defined(self, a, b):
+        if a.overlaps(b) or a.adjacent(b):
+            union = a.union(b)
+            inter = a.intersect(b)
+            assert (
+                union.duration()
+                == a.duration() + b.duration() - inter.duration()
+            )

@@ -1,0 +1,185 @@
+"""Disjoint interval sets and their Boolean algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidIntervalError
+from repro.temporal.intervals import Interval
+from repro.temporal.intervalsets import IntervalSet
+
+from tests.strategies import interval_sets, intervals
+
+
+class TestCanonicalization:
+    def test_merges_overlapping(self):
+        s = IntervalSet([Interval(1, 5), Interval(3, 8)])
+        assert s.intervals == (Interval(1, 8),)
+
+    def test_merges_adjacent(self):
+        # {[3,5], [6,9]} denotes the same instants as {[3,9]}.
+        s = IntervalSet([Interval(3, 5), Interval(6, 9)])
+        assert s.intervals == (Interval(3, 9),)
+
+    def test_keeps_separated(self):
+        s = IntervalSet([Interval(1, 3), Interval(6, 9)])
+        assert s.intervals == (Interval(1, 3), Interval(6, 9))
+
+    def test_sorts_input(self):
+        s = IntervalSet([Interval(6, 9), Interval(1, 3)])
+        assert s.intervals == (Interval(1, 3), Interval(6, 9))
+
+    def test_drops_empty_inputs(self):
+        s = IntervalSet([Interval.empty(), Interval(1, 2)])
+        assert s.intervals == (Interval(1, 2),)
+
+    def test_moving_inputs_resolved(self):
+        s = IntervalSet([Interval.from_now(5)], now=9)
+        assert s.intervals == (Interval(5, 9),)
+
+    def test_structural_equality_is_extensional(self):
+        a = IntervalSet([Interval(1, 3), Interval(4, 6)])
+        b = IntervalSet([Interval(1, 6)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_from_instants(self):
+        s = IntervalSet.from_instants([5, 1, 2, 3, 9, 8])
+        assert s.intervals == (Interval(1, 3), Interval(5, 5), Interval(8, 9))
+
+    def test_from_pairs(self):
+        assert IntervalSet.from_pairs([(1, 2), (4, 6)]).cardinality() == 5
+
+
+class TestQueries:
+    def test_empty(self):
+        assert IntervalSet.empty().is_empty
+        assert not IntervalSet.empty()
+        assert len(IntervalSet.empty()) == 0
+
+    def test_contiguity(self):
+        assert IntervalSet.span(1, 9).is_contiguous()
+        assert IntervalSet.empty().is_contiguous()
+        assert not IntervalSet.from_pairs([(1, 2), (5, 6)]).is_contiguous()
+
+    def test_start_end(self):
+        s = IntervalSet.from_pairs([(3, 5), (8, 12)])
+        assert s.start() == 3 and s.end() == 12
+
+    def test_start_of_empty_raises(self):
+        with pytest.raises(InvalidIntervalError):
+            IntervalSet.empty().start()
+
+    def test_cardinality(self):
+        assert IntervalSet.from_pairs([(1, 3), (5, 5)]).cardinality() == 4
+
+    def test_hull(self):
+        assert IntervalSet.from_pairs([(1, 2), (8, 9)]).hull() == Interval(1, 9)
+
+    def test_membership_binary_search(self):
+        s = IntervalSet.from_pairs([(0, 10), (20, 30), (40, 50)])
+        assert 25 in s and 40 in s and 50 in s
+        assert 15 not in s and 31 not in s and 51 not in s
+
+    def test_instants(self):
+        s = IntervalSet.from_pairs([(1, 3), (6, 7)])
+        assert list(s.instants()) == [1, 2, 3, 6, 7]
+
+
+class TestBooleanAlgebra:
+    def test_union(self):
+        a = IntervalSet.from_pairs([(1, 3)])
+        b = IntervalSet.from_pairs([(2, 6), (9, 9)])
+        assert (a | b) == IntervalSet.from_pairs([(1, 6), (9, 9)])
+
+    def test_intersection(self):
+        a = IntervalSet.from_pairs([(1, 5), (10, 20)])
+        b = IntervalSet.from_pairs([(4, 12)])
+        assert (a & b) == IntervalSet.from_pairs([(4, 5), (10, 12)])
+
+    def test_difference(self):
+        a = IntervalSet.from_pairs([(1, 10)])
+        b = IntervalSet.from_pairs([(3, 4), (7, 8)])
+        assert (a - b) == IntervalSet.from_pairs([(1, 2), (5, 6), (9, 10)])
+
+    def test_symmetric_difference(self):
+        a = IntervalSet.from_pairs([(1, 5)])
+        b = IntervalSet.from_pairs([(4, 8)])
+        assert (a ^ b) == IntervalSet.from_pairs([(1, 3), (6, 8)])
+
+    def test_complement(self):
+        s = IntervalSet.from_pairs([(3, 4)])
+        assert s.complement(Interval(0, 9)) == IntervalSet.from_pairs(
+            [(0, 2), (5, 9)]
+        )
+
+    def test_issubset(self):
+        small = IntervalSet.from_pairs([(2, 3)])
+        big = IntervalSet.from_pairs([(1, 5)])
+        assert small.issubset(big)
+        assert not big.issubset(small)
+
+    def test_isdisjoint(self):
+        assert IntervalSet.span(1, 3).isdisjoint(IntervalSet.span(5, 9))
+        assert not IntervalSet.span(1, 5).isdisjoint(IntervalSet.span(5, 9))
+
+    # -- algebraic laws (property-based) --------------------------------------
+
+    @given(interval_sets(), interval_sets())
+    def test_union_commutative(self, a, b):
+        assert (a | b) == (b | a)
+
+    @given(interval_sets(), interval_sets())
+    def test_intersection_commutative(self, a, b):
+        assert (a & b) == (b & a)
+
+    @given(interval_sets(), interval_sets(), interval_sets())
+    def test_union_associative(self, a, b, c):
+        assert ((a | b) | c) == (a | (b | c))
+
+    @given(interval_sets(), interval_sets(), interval_sets())
+    def test_intersection_distributes_over_union(self, a, b, c):
+        assert (a & (b | c)) == ((a & b) | (a & c))
+
+    @given(interval_sets())
+    def test_idempotence(self, a):
+        assert (a | a) == a
+        assert (a & a) == a
+
+    @given(interval_sets(), interval_sets())
+    def test_absorption(self, a, b):
+        assert (a | (a & b)) == a
+        assert (a & (a | b)) == a
+
+    @given(interval_sets(), interval_sets())
+    def test_difference_then_add_back(self, a, b):
+        assert ((a - b) | (a & b)) == a
+
+    @given(interval_sets(), interval_sets())
+    def test_de_morgan_within_horizon(self, a, b):
+        horizon = Interval(0, 250)
+        left = (a | b).complement(horizon)
+        right = a.complement(horizon) & b.complement(horizon)
+        assert left == right
+
+    @given(interval_sets())
+    def test_double_complement(self, a):
+        horizon = Interval(0, 250)
+        assert a.complement(horizon).complement(horizon) == a & IntervalSet(
+            [horizon]
+        )
+
+    @given(interval_sets(), interval_sets())
+    def test_extensional_agreement_with_python_sets(self, a, b):
+        """The algebra agrees with plain instant-set semantics."""
+        sa, sb = set(a.instants()), set(b.instants())
+        assert set((a | b).instants()) == sa | sb
+        assert set((a & b).instants()) == sa & sb
+        assert set((a - b).instants()) == sa - sb
+
+    @given(interval_sets())
+    def test_roundtrip_through_instants(self, a):
+        assert IntervalSet.from_instants(a.instants()) == a
+
+    @given(interval_sets(), st.integers(0, 250))
+    def test_membership_matches_instants(self, a, t):
+        assert (t in a) == (t in set(a.instants()))

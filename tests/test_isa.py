@@ -1,0 +1,199 @@
+"""The ISA hierarchy DAG (Section 6)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DuplicateClassError, IsaCycleError, UnknownClassError
+from repro.inheritance.isa import IsaHierarchy
+
+
+def diamond() -> IsaHierarchy:
+    """a <- b, a <- c, {b,c} <- d (multiple inheritance diamond)."""
+    isa = IsaHierarchy()
+    isa.add_class("a")
+    isa.add_class("b", ["a"])
+    isa.add_class("c", ["a"])
+    isa.add_class("d", ["b", "c"])
+    return isa
+
+
+def two_hierarchies() -> IsaHierarchy:
+    isa = IsaHierarchy()
+    isa.add_class("person")
+    isa.add_class("employee", ["person"])
+    isa.add_class("manager", ["employee"])
+    isa.add_class("project")
+    isa.add_class("subproject", ["project"])
+    return isa
+
+
+class TestConstruction:
+    def test_duplicate_rejected(self):
+        isa = IsaHierarchy()
+        isa.add_class("a")
+        with pytest.raises(DuplicateClassError):
+            isa.add_class("a")
+
+    def test_unknown_parent_rejected(self):
+        # Superclasses must exist first -- this also rules out cycles.
+        with pytest.raises(UnknownClassError):
+            IsaHierarchy().add_class("b", ["ghost"])
+
+    def test_self_inheritance_rejected(self):
+        with pytest.raises(IsaCycleError):
+            IsaHierarchy().add_class("a", ["a"])
+
+    def test_contains_len(self):
+        isa = diamond()
+        assert "a" in isa and "ghost" not in isa
+        assert len(isa) == 4
+        assert set(isa.classes()) == {"a", "b", "c", "d"}
+
+
+class TestOrder:
+    def test_le_reflexive(self):
+        isa = diamond()
+        for name in "abcd":
+            assert isa.isa_le(name, name)
+
+    def test_le_direct_and_transitive(self):
+        isa = two_hierarchies()
+        assert isa.isa_le("employee", "person")
+        assert isa.isa_le("manager", "person")
+        assert not isa.isa_le("person", "manager")
+
+    def test_le_across_hierarchies(self):
+        isa = two_hierarchies()
+        assert not isa.isa_le("manager", "project")
+
+    def test_le_diamond(self):
+        isa = diamond()
+        assert isa.isa_le("d", "a")
+        assert isa.isa_le("d", "b") and isa.isa_le("d", "c")
+        assert not isa.isa_le("b", "c")
+
+    def test_superclasses_subclasses(self):
+        isa = diamond()
+        assert isa.superclasses("d") == {"a", "b", "c", "d"}
+        assert isa.superclasses("d", strict=True) == {"a", "b", "c"}
+        assert isa.subclasses("a") == {"a", "b", "c", "d"}
+        assert isa.subclasses("b", strict=True) == {"d"}
+
+    def test_parents_children(self):
+        isa = diamond()
+        assert isa.parents("d") == {"b", "c"}
+        assert isa.children("a") == {"b", "c"}
+
+    def test_unknown_class_errors(self):
+        with pytest.raises(UnknownClassError):
+            diamond().superclasses("ghost")
+
+
+class TestRootsAndHierarchies:
+    def test_roots(self):
+        assert two_hierarchies().roots() == {"person", "project"}
+
+    def test_components(self):
+        isa = two_hierarchies()
+        assert isa.hierarchy_of("manager") == "person"
+        assert isa.hierarchy_of("subproject") == "project"
+        assert isa.same_hierarchy("manager", "employee")
+        assert not isa.same_hierarchy("manager", "project")
+
+    def test_hierarchies_partition(self):
+        groups = two_hierarchies().hierarchies()
+        assert groups["person"] == {"person", "employee", "manager"}
+        assert groups["project"] == {"project", "subproject"}
+
+    def test_component_merge_by_multi_root_class(self):
+        """A class with parents in two components merges them."""
+        isa = IsaHierarchy()
+        isa.add_class("x")
+        isa.add_class("y")
+        assert not isa.same_hierarchy("x", "y")
+        isa.add_class("z", ["x", "y"])
+        assert isa.same_hierarchy("x", "y")
+        assert isa.hierarchy_of("z") == "x"  # lexicographically least root
+
+
+class TestLub:
+    def test_chain(self):
+        isa = two_hierarchies()
+        assert isa.class_lub(["manager", "employee"]) == "employee"
+        assert isa.class_lub(["manager", "person"]) == "person"
+
+    def test_siblings(self):
+        assert diamond().class_lub(["b", "c"]) == "a"
+
+    def test_diamond_down(self):
+        assert diamond().class_lub(["d", "b"]) == "b"
+
+    def test_ambiguous_minimal_uppers(self):
+        """d <= b and d <= c with b, c incomparable: lub(d, e) where e
+        is under both b and c too has two minimal upper bounds."""
+        isa = diamond()
+        isa.add_class("e", ["b", "c"])
+        assert isa.class_lub(["d", "e"]) is None
+
+    def test_no_common_superclass(self):
+        assert two_hierarchies().class_lub(["person", "project"]) is None
+
+    def test_singleton_and_empty(self):
+        isa = diamond()
+        assert isa.class_lub(["b"]) == "b"
+        assert isa.class_lub([]) is None
+
+    def test_most_specific(self):
+        isa = two_hierarchies()
+        assert isa.most_specific(["person", "manager"]) == "manager"
+        assert isa.most_specific(["person", "project"]) is None
+
+
+class TestTopological:
+    def test_supers_first(self):
+        order = diamond().topological()
+        assert order.index("a") < order.index("b")
+        assert order.index("b") < order.index("d")
+        assert order.index("c") < order.index("d")
+
+    def test_networkx_agreement(self):
+        """Cross-validate DAG queries against networkx."""
+        import networkx as nx
+
+        isa = diamond()
+        isa.add_class("e", ["d"])
+        graph = nx.DiGraph()
+        for name in isa.classes():
+            graph.add_node(name)
+            for parent in isa.parents(name):
+                graph.add_edge(name, parent)  # subclass -> superclass
+        assert nx.is_directed_acyclic_graph(graph)
+        for sub in isa.classes():
+            reachable = nx.descendants(graph, sub) | {sub}
+            assert reachable == set(isa.superclasses(sub))
+
+    @given(st.lists(st.integers(0, 8), min_size=1, max_size=20))
+    def test_random_dags_stay_consistent(self, parent_picks):
+        """Grow a random DAG; <=_ISA must remain a partial order and
+        agree with networkx reachability."""
+        import networkx as nx
+
+        isa = IsaHierarchy()
+        names = []
+        for index, pick in enumerate(parent_picks):
+            name = f"c{index}"
+            parents = []
+            if names:
+                parents = [names[pick % len(names)]]
+            isa.add_class(name, parents)
+            names.append(name)
+        graph = nx.DiGraph()
+        for name in names:
+            graph.add_node(name)
+            for parent in isa.parents(name):
+                graph.add_edge(name, parent)
+        for a in names:
+            for b in names:
+                assert isa.isa_le(a, b) == (
+                    a == b or b in nx.descendants(graph, a)
+                )

@@ -1,0 +1,181 @@
+"""Object migration (Section 5.2): the manager/employee story."""
+
+import pytest
+
+from repro.errors import LifespanError, MigrationError, SchemaError, TypeCheckError
+from repro.objects.consistency import is_consistent
+from repro.temporal.temporalvalue import TemporalValue
+from repro.values.null import NULL
+
+
+class TestPromotionDemotion:
+    def test_promotion_adds_attributes(self, staff_db):
+        db, names = staff_db
+        dan = db.get_object(names["dan"])
+        # At 45 Dan is a manager with dependents and officialcar.
+        assert dan.most_specific_class(45) == "manager"
+
+    def test_demotion_drops_static_without_trace(self, staff_db):
+        """'If the attributes ... are static, they are simply deleted
+        from the object and no track of their existence is recorded'."""
+        db, names = staff_db
+        dan = db.get_object(names["dan"])
+        assert "officialcar" not in dan.value
+        assert "officialcar" not in dan.retained
+
+    def test_demotion_retains_temporal_history(self, staff_db):
+        """'If they are temporal, the values they have assumed ... are
+        maintained in the object, even if they are not part of the
+        object anymore'."""
+        db, names = staff_db
+        dan = db.get_object(names["dan"])
+        assert "dependents" not in dan.value
+        dependents = dan.retained["dependents"]
+        assert dependents.defined_at(45)
+        assert names["pat"] in dependents.at(45)
+        assert not dependents.defined_at(60)  # closed at demotion
+
+    def test_class_history_records_migrations(self, staff_db):
+        db, names = staff_db
+        dan = db.get_object(names["dan"])
+        classes = [c for _i, c in dan.class_history.pairs()]
+        assert classes == ["employee", "manager", "employee"]
+
+    def test_extents_follow(self, staff_db):
+        db, names = staff_db
+        dan = names["dan"]
+        assert dan in db.pi("manager", 45)
+        assert dan not in db.pi("manager", 65)
+        assert dan in db.pi("employee", 45)  # member via subclass
+        assert dan in db.pi("person", 65)
+
+    def test_proper_ext_vs_ext(self, staff_db):
+        db, names = staff_db
+        dan = names["dan"]
+        employee = db.get_class("employee")
+        # While a manager, Dan is a member but not an instance of
+        # employee.
+        assert dan in employee.history.members_at(45)
+        assert dan not in employee.history.instances_at(45)
+        assert dan in employee.history.instances_at(65)
+
+    def test_repromotion_resumes_history(self, staff_db):
+        """An employee re-promoted to manager continues the dependents
+        history across the gap."""
+        db, names = staff_db
+        db.tick(10)  # 80
+        db.migrate(names["dan"], "manager", {"officialcar": "M-2"})
+        dan = db.get_object(names["dan"])
+        dependents = dan.value["dependents"]
+        assert dependents.defined_at(45)        # old manager period
+        assert not dependents.defined_at(70)    # the employee gap
+        assert dependents.defined_at(80)        # resumed
+        assert "dependents" not in dan.retained
+        assert is_consistent(dan, db, db, db.now)
+
+    def test_consistency_throughout(self, staff_db):
+        db, names = staff_db
+        assert is_consistent(db.get_object(names["dan"]), db, db, db.now)
+
+
+class TestMigrationRules:
+    def test_same_class_rejected(self, staff_db):
+        db, names = staff_db
+        with pytest.raises(MigrationError):
+            db.migrate(names["dan"], "employee")
+
+    def test_cross_hierarchy_rejected(self, project_db):
+        db, names = project_db
+        with pytest.raises(MigrationError):
+            db.migrate(names["i2"], "project")
+
+    def test_unknown_attribute_rejected(self, staff_db):
+        db, names = staff_db
+        db.tick()
+        with pytest.raises(SchemaError):
+            db.migrate(names["dan"], "manager", {"ghost": 1})
+
+    def test_values_type_checked_before_mutation(self, staff_db):
+        db, names = staff_db
+        db.tick()
+        with pytest.raises(TypeCheckError):
+            db.migrate(names["dan"], "manager", {"officialcar": 42})
+        # Nothing was applied.
+        dan = db.get_object(names["dan"])
+        assert dan.current_class(db.now) == "employee"
+
+    def test_migrate_dead_object(self, staff_db):
+        db, names = staff_db
+        db.tick()
+        db.delete_object(names["pat"])
+        with pytest.raises(LifespanError):
+            db.migrate(names["pat"], "employee")
+
+    def test_new_temporal_attribute_defaults_to_null(self, staff_db):
+        db, names = staff_db
+        db.tick()
+        db.migrate(names["dan"], "manager", {"officialcar": "M-9"})
+        dan = db.get_object(names["dan"])
+        assert dan.value["dependents"].at(db.now) is NULL
+        assert is_consistent(dan, db, db, db.now)
+
+
+class TestKindChangingMigration:
+    """Attributes whose temporal/static kind differs between source and
+    target class (static <-> temporal refinement, Rule 6.1)."""
+
+    def make_db(self, empty_db):
+        db = empty_db
+        db.define_class("account", attributes=[("balance", "real")])
+        db.define_class(
+            "audited",
+            parents=["account"],
+            attributes=[("balance", "temporal(real)")],
+        )
+        return db
+
+    def test_static_to_temporal_starts_recording(self, empty_db):
+        db = self.make_db(empty_db)
+        oid = db.create_object("account", {"balance": 10.0})
+        db.tick(5)
+        db.migrate(oid, "audited")
+        obj = db.get_object(oid)
+        history = obj.value["balance"]
+        assert isinstance(history, TemporalValue)
+        # Recording starts at migration from the current static value.
+        assert history.at(db.now) == 10.0
+        assert not history.defined_at(db.now - 1)
+        assert is_consistent(obj, db, db, db.now)
+
+    def test_temporal_to_static_coerces_and_retains(self, empty_db):
+        db = self.make_db(empty_db)
+        oid = db.create_object("audited", {"balance": 10.0})
+        db.tick(5)
+        db.update_attribute(oid, "balance", 20.0)
+        db.tick(5)
+        db.migrate(oid, "account")
+        obj = db.get_object(oid)
+        # The static slot holds the coerced current value...
+        assert obj.value["balance"] == 20.0
+        # ...and the history survives, closed at the migration.
+        retained = obj.retained["balance"]
+        assert retained.at(0) == 10.0
+        assert retained.at(db.now - 1) == 20.0
+        assert not retained.defined_at(db.now)
+        assert is_consistent(obj, db, db, db.now)
+
+    def test_roundtrip_resumes_history(self, empty_db):
+        db = self.make_db(empty_db)
+        oid = db.create_object("audited", {"balance": 10.0})
+        db.tick(5)
+        db.migrate(oid, "account")
+        db.tick(5)
+        db.update_attribute(oid, "balance", 99.0)
+        db.tick(5)
+        db.migrate(oid, "audited")
+        obj = db.get_object(oid)
+        history = obj.value["balance"]
+        assert history.at(0) == 10.0        # original recording
+        assert not history.defined_at(7)    # static gap not recorded
+        assert history.at(db.now) == 99.0   # resumed from static value
+        assert is_consistent(obj, db, db, db.now)

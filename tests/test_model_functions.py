@@ -1,0 +1,184 @@
+"""The Table 3 function inventory."""
+
+import pytest
+
+from repro.errors import SnapshotUndefinedError, TypeSyntaxError
+from repro.model_functions import (
+    TABLE_3,
+    c_lifespan,
+    h_state,
+    h_type,
+    m_lifespan,
+    o_lifespan,
+    pi,
+    ref,
+    s_state,
+    s_type,
+    snapshot,
+    t_minus,
+    type_,
+)
+from repro.temporal.intervalsets import IntervalSet
+from repro.types.parser import parse_type
+from repro.values.records import RecordValue
+from repro.values.structure import values_equal
+
+
+class TestTMinus:
+    def test_paper_example(self):
+        assert t_minus(parse_type("temporal(integer)")) == parse_type(
+            "integer"
+        )
+
+    def test_static_rejected(self):
+        with pytest.raises(TypeSyntaxError):
+            t_minus(parse_type("integer"))
+
+
+class TestPi:
+    def test_extent_over_time(self, project_db):
+        db, names = project_db
+        assert names["i1"] in pi(db, "project", 20)
+        assert names["i1"] not in pi(db, "project", 19)
+        assert names["i9"] in pi(db, "project", 46)
+        assert names["i9"] not in pi(db, "project", 45)
+
+    def test_members_and_instances(self, staff_db):
+        db, names = staff_db
+        # pi counts members: Dan (a manager at 45) is in pi(employee, 45).
+        assert names["dan"] in pi(db, "employee", 45)
+
+
+class TestClassTypes:
+    def test_type_h_type_s_type(self, project_db):
+        """Example 4.2, against the live schema."""
+        db, _ = project_db
+        assert h_type(db, "project") == parse_type(
+            "record-of(name: string, subproject: project, "
+            "participants: set-of(person))"
+        )
+        assert s_type(db, "project") == parse_type(
+            "record-of(objective: string, workplan: set-of(task))"
+        )
+        structural = type_(db, "project")
+        assert structural.field_type("name") == parse_type(
+            "temporal(string)"
+        )
+
+
+class TestStates:
+    def test_h_state_example(self, project_db):
+        db, names = project_db
+        state = h_state(db, names["i1"], 50)
+        assert values_equal(
+            state,
+            RecordValue(
+                name="IDEA",
+                subproject=names["i9"],
+                participants=frozenset({names["i2"], names["i3"]}),
+            ),
+        )
+
+    def test_s_state_example(self, project_db):
+        db, names = project_db
+        assert values_equal(
+            s_state(db, names["i1"]),
+            RecordValue(
+                objective="Implementation", workplan={names["i7"]}
+            ),
+        )
+
+    def test_snapshot_now_vs_past(self, project_db):
+        db, names = project_db
+        snap = snapshot(db, names["i1"], db.now)
+        assert snap["subproject"] == names["i9"]
+        with pytest.raises(SnapshotUndefinedError):
+            snapshot(db, names["i1"], 50)
+
+
+class TestLifespans:
+    def test_o_lifespan(self, project_db):
+        db, names = project_db
+        assert o_lifespan(db, names["i1"]) == IntervalSet.span(20, 90)
+
+    def test_m_lifespan_footnote_6(self, staff_db):
+        """m_lifespan counts membership via subclasses: Dan's manager
+        period is inside his employee membership."""
+        db, names = staff_db
+        dan = names["dan"]
+        assert m_lifespan(db, dan, "manager") == IntervalSet.span(30, 59)
+        assert m_lifespan(db, dan, "employee") == IntervalSet.span(10, 70)
+        assert m_lifespan(db, dan, "person") == IntervalSet.span(10, 70)
+        assert m_lifespan(db, dan, "project").is_empty
+
+    def test_c_lifespan_is_m_lifespan(self):
+        assert c_lifespan is m_lifespan
+
+    def test_m_lifespan_agrees_with_membership_times(self, staff_db):
+        """Invariant 5.2.2 as a spot check on the two derivations."""
+        db, names = staff_db
+        for class_name in db.class_names():
+            assert m_lifespan(db, names["dan"], class_name) == (
+                db.membership_times(class_name, names["dan"])
+            )
+
+
+class TestRef:
+    def test_ref_over_time(self, project_db):
+        db, names = project_db
+        assert names["i4"] in ref(db, names["i1"], 30)
+        assert names["i9"] in ref(db, names["i1"], 50)
+        assert names["i8"] in ref(db, names["i1"], db.now)
+
+
+class TestTable3Inventory:
+    def test_eleven_functions(self):
+        assert len(TABLE_3) == 11
+
+    def test_names_match_paper(self):
+        assert [row.name for row in TABLE_3] == [
+            "T^-", "pi", "type", "h_type", "s_type", "h_state",
+            "s_state", "o_lifespan", "m_lifespan", "ref", "snapshot",
+        ]
+
+    def test_signatures_match_paper(self):
+        by_name = {row.name: row.signature for row in TABLE_3}
+        assert by_name["pi"] == "CI x TIME -> 2^OI"
+        assert by_name["m_lifespan"] == "OI x CI -> TIME x TIME"
+        assert by_name["snapshot"] == "OI x TIME -> V"
+
+    def test_every_row_is_implemented(self):
+        for row in TABLE_3:
+            assert callable(row.implementation)
+            assert row.description
+
+
+class TestDeletedObjects:
+    def test_model_functions_on_deleted_objects(self, staff_db):
+        """Deleted objects stay queryable about their past (histories
+        are never erased); only present-tense operations refuse."""
+        from repro.errors import LifespanError
+        from repro.objects.state import h_state as raw_h_state
+
+        db, names = staff_db
+        db.tick()
+        db.delete_object(names["pat"])
+        deleted_at = db.now
+        db.tick(5)
+        # Lifespan closed at deletion - 1.
+        life = o_lifespan(db, names["pat"])
+        assert life.end() == deleted_at - 1
+        # Extent queries honour the past.
+        assert names["pat"] in pi(db, "person", deleted_at - 1)
+        assert names["pat"] not in pi(db, "person", deleted_at)
+        # m_lifespan reflects the closed membership.
+        times = m_lifespan(db, names["pat"], "person")
+        assert times.end() == deleted_at - 1
+        # State projections work inside the lifespan...
+        obj = db.get_object(names["pat"])
+        assert raw_h_state(obj, deleted_at - 1, db.now) is not None
+        # ...and refuse outside it.
+        import pytest as _pytest
+
+        with _pytest.raises(LifespanError):
+            raw_h_state(obj, db.now, db.now)

@@ -1,0 +1,132 @@
+"""The object tuple (Definition 5.1) and its lifespan."""
+
+import pytest
+
+from repro.errors import LifespanError, UnknownAttributeError
+from repro.objects.object import TemporalObject
+from repro.temporal.intervals import Interval
+from repro.temporal.temporalvalue import TemporalValue
+from repro.values.oid import OID
+from repro.values.records import RecordValue
+
+
+def make_historical() -> TemporalObject:
+    """The object of Example 5.1 (paper oids renamed)."""
+    name = TemporalValue()
+    name.assign(20, "IDEA")
+    subproject = TemporalValue.from_items([((20, 45), OID(4))])
+    subproject.assign(46, OID(9))
+    participants = TemporalValue.from_items(
+        [((20, 80), frozenset({OID(2), OID(3)}))]
+    )
+    participants.assign(81, frozenset({OID(2), OID(3), OID(8)}))
+    return TemporalObject(
+        OID(1),
+        created_at=20,
+        most_specific_class="project",
+        attributes={
+            "name": name,
+            "objective": "Implementation",
+            "workplan": {OID(7)},
+            "subproject": subproject,
+            "participants": participants,
+        },
+    )
+
+
+class TestLifespan:
+    def test_open_until_deleted(self):
+        obj = make_historical()
+        assert obj.lifespan == Interval.from_now(20)
+        assert obj.is_alive
+        assert obj.alive_at(20) and obj.alive_at(10**6)
+        assert not obj.alive_at(19)
+
+    def test_end_lifespan(self):
+        obj = make_historical()
+        obj.end_lifespan(90)
+        assert obj.lifespan == Interval(20, 89)
+        assert not obj.is_alive
+        with pytest.raises(LifespanError):
+            obj.end_lifespan(95)
+
+    def test_cannot_die_at_birth(self):
+        obj = make_historical()
+        with pytest.raises(LifespanError):
+            obj.end_lifespan(20)
+
+
+class TestValueComponent:
+    def test_attribute_access(self):
+        obj = make_historical()
+        assert obj.get_attribute("objective") == "Implementation"
+        assert obj.has_attribute("name")
+        with pytest.raises(UnknownAttributeError):
+            obj.get_attribute("ghost")
+
+    def test_partition(self):
+        obj = make_historical()
+        assert set(obj.temporal_attribute_names()) == {
+            "name", "subproject", "participants",
+        }
+        assert set(obj.static_attribute_names()) == {
+            "objective", "workplan",
+        }
+
+    def test_historical_vs_static(self):
+        assert make_historical().is_historical
+        static = TemporalObject(OID(5), 0, "person", {"name": "Ann"})
+        assert static.is_static and not static.is_historical
+
+    def test_value_record(self):
+        record = make_historical().value_record()
+        assert isinstance(record, RecordValue)
+        assert set(record.names) == {
+            "name", "objective", "workplan", "subproject", "participants",
+        }
+
+    def test_temporal_items_include_retained(self):
+        obj = make_historical()
+        retained = TemporalValue.from_items([((1, 5), 0)])
+        obj.retained["old"] = retained
+        names = dict(obj.temporal_items())
+        assert "old" in names and "name" in names
+
+    def test_temporal_value_lookup(self):
+        obj = make_historical()
+        assert obj.temporal_value("name").at(30) == "IDEA"
+        obj.retained["gone"] = TemporalValue.from_items([((0, 1), 9)])
+        assert obj.temporal_value("gone").at(0) == 9
+        assert obj.temporal_value("objective") is None
+
+
+class TestClassHistory:
+    def test_most_specific_class(self):
+        obj = make_historical()
+        assert obj.most_specific_class(25) == "project"
+        assert obj.most_specific_class(10) is None
+
+    def test_current_class(self):
+        obj = make_historical()
+        assert obj.current_class(40) == "project"
+        with pytest.raises(LifespanError):
+            obj.current_class(5)
+
+    def test_migration_recorded(self):
+        obj = TemporalObject(OID(1), 0, "employee")
+        obj.class_history.assign(10, "manager")
+        obj.class_history.assign(20, "employee")
+        pairs = list(obj.classes_over_time())
+        assert [c for _i, c in pairs] == ["employee", "manager", "employee"]
+        assert obj.most_specific_class(15) == "manager"
+
+    def test_paper_class_history_for_static_object(self):
+        """Definition 5.1: a static object's class-history is the single
+        pair <[now, now], c>."""
+        static = TemporalObject(OID(5), 0, "person", {"name": "Ann"})
+        view = static.paper_class_history(now=42)
+        assert view.pairs() == ((Interval(42, 42), "person"),)
+
+    def test_paper_class_history_for_historical_object(self):
+        obj = make_historical()
+        assert obj.paper_class_history(now=50) == obj.class_history

@@ -1,0 +1,95 @@
+"""The public API surface and the error hierarchy."""
+
+import inspect
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_entry_points(self):
+        assert callable(repro.TemporalDatabase)
+        assert callable(repro.BitemporalDatabase)
+        assert callable(repro.parse_type)
+        assert callable(repro.check_database)
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_callables_have_docstrings(self):
+        """Every public item of the façade is documented."""
+        for name in repro.__all__:
+            item = getattr(repro, name)
+            if inspect.isclass(item) or inspect.isfunction(item):
+                assert item.__doc__, f"{name} lacks a docstring"
+
+    def test_subpackage_facades(self):
+        import repro.query
+        import repro.constraints
+        import repro.triggers
+        import repro.baselines
+        import repro.survey
+        import repro.workloads
+        import repro.views
+        import repro.bitemporal
+        import repro.tools
+
+        for module in (
+            repro.query, repro.constraints, repro.triggers,
+            repro.baselines, repro.survey, repro.workloads,
+            repro.views, repro.bitemporal, repro.tools,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+
+class TestErrorHierarchy:
+    def test_every_error_derives_from_the_root(self):
+        for name in dir(errors):
+            item = getattr(errors, name)
+            if (
+                inspect.isclass(item)
+                and issubclass(item, Exception)
+                and item.__module__ == "repro.errors"
+            ):
+                assert issubclass(item, errors.TChimeraError), name
+
+    def test_family_relationships(self):
+        assert issubclass(errors.InvalidIntervalError, errors.TimeError)
+        assert issubclass(errors.UndefinedAtError, errors.TimeError)
+        assert issubclass(
+            errors.NotAChimeraTypeError, errors.TypeSystemError
+        )
+        assert issubclass(errors.RefinementError, errors.SchemaError)
+        assert issubclass(
+            errors.ReferentialIntegrityError, errors.IntegrityError
+        )
+        assert issubclass(errors.IntegrityError, errors.DatabaseError)
+
+    def test_single_catch_all(self):
+        """One except clause catches the whole library."""
+        from repro import TemporalDatabase
+
+        db = TemporalDatabase()
+        try:
+            db.get_class("ghost")
+        except errors.TChimeraError:
+            pass
+        else:
+            pytest.fail("expected a TChimeraError")
+
+    def test_errors_are_documented(self):
+        for name in dir(errors):
+            item = getattr(errors, name)
+            if (
+                inspect.isclass(item)
+                and issubclass(item, Exception)
+                and item.__module__ == "repro.errors"
+            ):
+                assert item.__doc__, name

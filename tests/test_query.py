@@ -1,0 +1,340 @@
+"""The temporal query language: parser, typing, evaluation."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError, QueryTypeError
+from repro.query import (
+    attr,
+    const,
+    evaluate,
+    parse_query,
+    select,
+    when,
+)
+from repro.query.ast import (
+    And,
+    Attr,
+    Compare,
+    CompareOp,
+    Const,
+    Contains,
+    HistoryOf,
+    In,
+    Not,
+    Or,
+    Query,
+    SizeOf,
+    TemporalScope,
+)
+from repro.temporal.intervalsets import IntervalSet
+from repro.values.null import NULL
+from repro.values.oid import OID
+
+
+@pytest.fixture
+def payroll_db(empty_db):
+    db = empty_db
+    db.define_class("person", attributes=[("name", "string")])
+    db.define_class(
+        "employee",
+        parents=["person"],
+        attributes=[
+            ("salary", "temporal(real)"),
+            ("dept", "string"),
+            ("skills", "temporal(set-of(person))"),
+        ],
+    )
+    db.tick(10)
+    ann = db.create_object(
+        "employee", {"name": "Ann", "salary": 1000.0, "dept": "R"}
+    )
+    bob = db.create_object(
+        "employee", {"name": "Bob", "salary": 3000.0, "dept": "S"}
+    )
+    db.tick(10)  # 20
+    db.update_attribute(ann, "salary", 2500.0)
+    db.tick(10)  # 30
+    return db, {"ann": ann, "bob": bob}
+
+
+class TestParser:
+    def test_minimal(self):
+        q = parse_query("select employee")
+        assert q == Query("employee")
+        assert q.scope is TemporalScope.NOW
+
+    def test_where_comparison(self):
+        q = parse_query("select employee where salary > 1000.0")
+        assert isinstance(q.predicate, Compare)
+        assert q.predicate.op is CompareOp.GT
+
+    def test_scopes(self):
+        assert parse_query("select e at 5").scope is TemporalScope.AT
+        assert parse_query("select e at 5").at == 5
+        assert parse_query("select e sometime").scope is (
+            TemporalScope.SOMETIME
+        )
+        assert parse_query("select e always").scope is TemporalScope.ALWAYS
+        q = parse_query("select e sometime in [3, 9]")
+        assert q.scope is TemporalScope.SOMETIME_IN
+        assert q.interval == (3, 9)
+        q = parse_query("select e always in [3, 9]")
+        assert q.scope is TemporalScope.ALWAYS_IN
+
+    def test_connectives_and_precedence(self):
+        q = parse_query(
+            "select e where a = 1 and b = 2 or not c = 3"
+        )
+        assert isinstance(q.predicate, Or)
+        assert isinstance(q.predicate.left, And)
+        assert isinstance(q.predicate.right, Not)
+
+    def test_parentheses(self):
+        q = parse_query("select e where a = 1 and (b = 2 or c = 3)")
+        assert isinstance(q.predicate, And)
+        assert isinstance(q.predicate.right, Or)
+
+    def test_membership(self):
+        q = parse_query("select e where oid(3, person) in skills")
+        assert isinstance(q.predicate, In)
+        assert q.predicate.item == Const(OID(3, "person"))
+        q = parse_query("select e where skills contains oid(3)")
+        assert isinstance(q.predicate, Contains)
+
+    def test_size_history(self):
+        q = parse_query("select e where size(skills) >= 2")
+        assert isinstance(q.predicate.left, SizeOf)
+        q2 = parse_query("select e where history(salary) = null")
+        assert isinstance(q2.predicate.left, HistoryOf)
+
+    def test_literals(self):
+        q = parse_query(
+            "select e where a = 'text' or b = true or c = null"
+        )
+        assert q is not None
+        assert parse_query("select e where a = 1.25").predicate.right == (
+            Const(1.25)
+        )
+
+    def test_escaped_string(self):
+        q = parse_query(r"select e where name = 'O\'Brien'")
+        assert q.predicate.right == Const("O'Brien")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "select",
+            "select e where",
+            "select e where a",
+            "select e where a = ",
+            "select e at x",
+            "select e sometime in [1 2]",
+            "select e where (a = 1",
+            "select e trailing",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(bad)
+
+
+class TestTyping:
+    def test_attribute_vs_literal(self, payroll_db):
+        db, _ = payroll_db
+        with pytest.raises(QueryTypeError):
+            evaluate(db, parse_query("select employee where salary = 'x'"))
+
+    def test_unknown_attribute(self, payroll_db):
+        db, _ = payroll_db
+        with pytest.raises(QueryTypeError):
+            evaluate(db, parse_query("select employee where ghost = 1"))
+
+    def test_order_comparison_needs_ordered_type(self, payroll_db):
+        db, _ = payroll_db
+        with pytest.raises(QueryTypeError):
+            evaluate(db, parse_query("select employee where skills > 1"))
+
+    def test_membership_needs_collection(self, payroll_db):
+        db, _ = payroll_db
+        with pytest.raises(QueryTypeError):
+            evaluate(db, parse_query("select employee where 1 in salary"))
+
+    def test_size_needs_collection(self, payroll_db):
+        db, _ = payroll_db
+        with pytest.raises(QueryTypeError):
+            evaluate(db, parse_query("select employee where size(dept) = 1"))
+
+    def test_history_needs_temporal_attribute(self, payroll_db):
+        db, _ = payroll_db
+        with pytest.raises(QueryTypeError):
+            evaluate(
+                db, parse_query("select employee where history(dept) = null")
+            )
+
+    def test_numeric_cross_comparison_allowed(self, payroll_db):
+        db, _ = payroll_db
+        evaluate(db, parse_query("select employee where salary > 1000"))
+
+    def test_null_comparable_with_anything(self, payroll_db):
+        db, _ = payroll_db
+        evaluate(db, parse_query("select employee where dept = null"))
+
+
+class TestEvaluation:
+    def test_now_scope(self, payroll_db):
+        db, names = payroll_db
+        assert evaluate(
+            db, parse_query("select employee where salary > 2000.0")
+        ) == sorted([names["ann"], names["bob"]])
+
+    def test_at_scope(self, payroll_db):
+        db, names = payroll_db
+        hits = evaluate(
+            db, parse_query("select employee where salary > 2000.0 at 15")
+        )
+        assert hits == [names["bob"]]
+
+    def test_at_uses_extent_at_that_instant(self, payroll_db):
+        db, names = payroll_db
+        assert evaluate(db, parse_query("select employee at 5")) == []
+
+    def test_sometime_always(self, payroll_db):
+        db, names = payroll_db
+        assert evaluate(
+            db, parse_query("select employee where salary >= 2500.0 sometime")
+        ) == sorted([names["ann"], names["bob"]])
+        assert evaluate(
+            db, parse_query("select employee where salary >= 2500.0 always")
+        ) == [names["bob"]]
+
+    def test_scoped_intervals(self, payroll_db):
+        db, names = payroll_db
+        assert evaluate(
+            db,
+            parse_query(
+                "select employee where salary >= 2500.0 sometime in [10, 19]"
+            ),
+        ) == [names["bob"]]
+        assert evaluate(
+            db,
+            parse_query(
+                "select employee where salary >= 2500.0 always in [20, 30]"
+            ),
+        ) == sorted([names["ann"], names["bob"]])
+
+    def test_static_attribute_only_at_now(self, payroll_db):
+        """At past instants a static attribute is unknown: atoms over
+        it are false (the Definition 5.5 information asymmetry)."""
+        db, names = payroll_db
+        assert evaluate(
+            db, parse_query("select employee where dept = 'R'")
+        ) == [names["ann"]]
+        assert evaluate(
+            db, parse_query("select employee where dept = 'R' at 15")
+        ) == []
+        # But a negated atom over it is true there (not-true semantics).
+        assert evaluate(
+            db, parse_query("select employee where not dept = 'R' at 15")
+        ) == sorted(names.values())
+
+    def test_superclass_query_sees_members(self, payroll_db):
+        db, names = payroll_db
+        assert evaluate(db, parse_query("select person")) == sorted(
+            names.values()
+        )
+
+    def test_null_rejecting_atoms(self, payroll_db):
+        db, names = payroll_db
+        carl = db.create_object("employee", {"name": "Carl"})
+        hits = evaluate(
+            db, parse_query("select employee where salary > 0.0")
+        )
+        assert carl not in hits
+
+    def test_when_operator(self, payroll_db):
+        db, names = payroll_db
+        holds = when(db, names["ann"], attr("salary") < 2000.0)
+        assert holds == IntervalSet.span(10, 19)
+
+    def test_builder_equivalence(self, payroll_db):
+        db, names = payroll_db
+        via_text = evaluate(
+            db,
+            parse_query("select employee where salary > 2000.0 at 15"),
+        )
+        via_builder = (
+            select("employee").where(attr("salary") > 2000.0).at(15).run(db)
+        )
+        assert via_text == via_builder
+
+    def test_builder_conjoins_where_calls(self, payroll_db):
+        db, names = payroll_db
+        hits = (
+            select("employee")
+            .where(attr("salary") > 0.0)
+            .where(attr("dept") == "R")
+            .run(db)
+        )
+        assert hits == [names["ann"]]
+
+    def test_membership_evaluation(self, payroll_db):
+        db, names = payroll_db
+        db.update_attribute(
+            names["ann"], "skills", frozenset({names["bob"]})
+        )
+        hits = select("employee").where(
+            attr("skills").contains(const(names["bob"]))
+        ).run(db)
+        assert hits == [names["ann"]]
+
+    def test_size_evaluation(self, payroll_db):
+        db, names = payroll_db
+        db.update_attribute(
+            names["ann"], "skills", frozenset({names["bob"], names["ann"]})
+        )
+        hits = select("employee").where(
+            attr("skills").size() >= const(2)
+        ).run(db)
+        assert hits == [names["ann"]]
+
+    def test_no_predicate_returns_extent(self, payroll_db):
+        db, names = payroll_db
+        assert evaluate(db, parse_query("select employee")) == sorted(
+            names.values()
+        )
+
+
+class TestRunRecords:
+    def test_snapshots_at_now(self, payroll_db):
+        db, names = payroll_db
+        rows = (
+            select("employee").where(attr("salary") > 2000.0).run_records(db)
+        )
+        assert [oid for oid, _r in rows] == sorted(names.values())
+        by_oid = dict(rows)
+        assert by_oid[names["ann"]]["salary"] == 2500.0
+        assert by_oid[names["ann"]]["name"] == "Ann"
+
+    def test_snapshots_at_past_instant_with_static_attrs(self, payroll_db):
+        """Objects with static attributes have undefined past
+        snapshots: paired with None."""
+        db, names = payroll_db
+        rows = (
+            select("employee")
+            .where(attr("salary") > 2000.0)
+            .at(15)
+            .run_records(db)
+        )
+        assert rows == [(names["bob"], None)]
+
+    def test_all_temporal_objects_materialize_in_the_past(self, empty_db):
+        db = empty_db
+        db.define_class("m", attributes=[("v", "temporal(integer)")])
+        oid = db.create_object("m", {"v": 1})
+        db.tick(10)
+        db.update_attribute(oid, "v", 2)
+        db.tick(5)
+        rows = select("m").where(attr("v") == 1).at(5).run_records(db)
+        assert rows[0][0] == oid
+        assert rows[0][1]["v"] == 1

@@ -1,0 +1,186 @@
+"""The query evaluator against a brute-force per-instant oracle.
+
+The evaluator is segment-wise (it never loops over instants); the
+oracle here *does* loop over every instant, re-deriving each atom from
+first principles.  Hypothesis drives both over randomized databases
+and predicates; they must always agree -- for every temporal scope.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.database.database import TemporalDatabase
+from repro.query.ast import (
+    And,
+    Attr,
+    Compare,
+    CompareOp,
+    Const,
+    Not,
+    Or,
+    Query,
+    TemporalScope,
+)
+from repro.query.evaluator import evaluate
+from repro.temporal.temporalvalue import TemporalValue
+from repro.values.null import is_null
+
+
+def build_db(seed: int) -> TemporalDatabase:
+    rng = random.Random(seed)
+    db = TemporalDatabase()
+    db.define_class(
+        "item",
+        attributes=[
+            ("hot", "temporal(integer)"),
+            ("cold", "integer"),
+        ],
+    )
+    for _ in range(4):
+        db.create_object(
+            "item",
+            {"hot": rng.randrange(4), "cold": rng.randrange(4)},
+        )
+    for _ in range(12):
+        db.tick(rng.randint(1, 3))
+        for obj in list(db.live_objects()):
+            if rng.random() < 0.5:
+                db.update_attribute(
+                    obj.oid, "hot", rng.randrange(4)
+                )
+            if rng.random() < 0.2:
+                db.update_attribute(
+                    obj.oid, "cold", rng.randrange(4)
+                )
+        if rng.random() < 0.15:
+            db.create_object("item", {"hot": rng.randrange(4),
+                                      "cold": rng.randrange(4)})
+        if rng.random() < 0.1:
+            candidates = list(db.live_objects())
+            if len(candidates) > 2:
+                victim = rng.choice(candidates)
+                if victim.lifespan.start < db.now:
+                    db.delete_object(victim.oid)
+    db.tick()
+    return db
+
+
+ATOMS = st.sampled_from(["hot", "cold"])
+OPS = st.sampled_from(list(CompareOp))
+
+
+@st.composite
+def predicates(draw, depth: int = 0):
+    kind = draw(st.integers(0, 5 if depth < 2 else 2))
+    if kind <= 2:
+        return Compare(
+            draw(OPS), Attr(draw(ATOMS)), Const(draw(st.integers(0, 4)))
+        )
+    if kind == 3:
+        return Not(draw(predicates(depth=depth + 1)))
+    if kind == 4:
+        return And(
+            draw(predicates(depth=depth + 1)),
+            draw(predicates(depth=depth + 1)),
+        )
+    return Or(
+        draw(predicates(depth=depth + 1)),
+        draw(predicates(depth=depth + 1)),
+    )
+
+
+def oracle_eval_at(db, obj, predicate, t: int) -> bool:
+    """Definition-style evaluation of one atom at one instant."""
+    if isinstance(predicate, Compare):
+        value = obj.value.get(predicate.left.name)
+        if isinstance(value, TemporalValue):
+            operand = value.get(t, None) if value.defined_at(t) else None
+        else:
+            operand = value if t == db.now else None
+        literal = predicate.right.value
+        if operand is None or is_null(operand):
+            return False
+        table = {
+            CompareOp.EQ: operand == literal,
+            CompareOp.NE: operand != literal,
+            CompareOp.LT: operand < literal,
+            CompareOp.LE: operand <= literal,
+            CompareOp.GT: operand > literal,
+            CompareOp.GE: operand >= literal,
+        }
+        return table[predicate.op]
+    if isinstance(predicate, Not):
+        return not oracle_eval_at(db, obj, predicate.operand, t)
+    if isinstance(predicate, And):
+        return oracle_eval_at(db, obj, predicate.left, t) and (
+            oracle_eval_at(db, obj, predicate.right, t)
+        )
+    if isinstance(predicate, Or):
+        return oracle_eval_at(db, obj, predicate.left, t) or (
+            oracle_eval_at(db, obj, predicate.right, t)
+        )
+    raise AssertionError(predicate)
+
+
+def oracle(db, query: Query) -> list:
+    anchor = query.at if query.scope is TemporalScope.AT else db.now
+    hits = []
+    for oid in sorted(db.pi("item", anchor)):
+        obj = db.get_object(oid)
+        membership = list(db.membership_times("item", oid).instants())
+        if query.scope in (TemporalScope.NOW, TemporalScope.AT):
+            t = db.now if query.scope is TemporalScope.NOW else query.at
+            if oracle_eval_at(db, obj, query.predicate, t):
+                hits.append(oid)
+            continue
+        scoped = membership
+        if query.scope in (
+            TemporalScope.SOMETIME_IN, TemporalScope.ALWAYS_IN
+        ):
+            lo, hi = query.interval
+            scoped = [t for t in membership if lo <= t <= hi]
+            if not scoped:
+                continue
+        results = [
+            oracle_eval_at(db, obj, query.predicate, t) for t in scoped
+        ]
+        if query.scope in (
+            TemporalScope.SOMETIME, TemporalScope.SOMETIME_IN
+        ):
+            if any(results):
+                hits.append(oid)
+        elif all(results):
+            hits.append(oid)
+    return hits
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10**6), predicates(), st.data())
+def test_evaluator_matches_oracle(seed, predicate, data):
+    db = build_db(seed % 50)  # reuse a pool of databases
+    scope = data.draw(st.sampled_from(list(TemporalScope)))
+    at = None
+    interval = None
+    if scope is TemporalScope.AT:
+        at = data.draw(st.integers(0, db.now))
+    if scope in (TemporalScope.SOMETIME_IN, TemporalScope.ALWAYS_IN):
+        lo = data.draw(st.integers(0, db.now))
+        hi = data.draw(st.integers(lo, db.now))
+        interval = (lo, hi)
+    query = Query("item", predicate, scope, at, interval)
+    assert evaluate(db, query) == oracle(db, query)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 20), predicates())
+def test_when_matches_oracle(seed, predicate):
+    from repro.query.evaluator import evaluate_when
+
+    db = build_db(seed)
+    for obj in db.objects():
+        holds = evaluate_when(db, obj, predicate, db.now)
+        span = obj.lifespan.resolve(db.now)
+        for t in span.instants():
+            assert (t in holds) == oracle_eval_at(db, obj, predicate, t)

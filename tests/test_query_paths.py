@@ -1,0 +1,182 @@
+"""Temporal object references: path expressions (paper Section 7).
+
+``lead.name`` dereferences the ``lead`` oid *at the evaluation
+instant* and reads the referenced object's attribute at that same
+instant -- so a path's history interleaves the reference's history
+with the referent's history.
+"""
+
+import pytest
+
+from repro.errors import QuerySyntaxError, QueryTypeError
+from repro.query import attr, evaluate, parse_query, path, select, when
+from repro.query.ast import Path
+from repro.temporal.intervalsets import IntervalSet
+
+
+@pytest.fixture
+def org_db(empty_db):
+    """Projects whose leads (and the leads' own grades) change."""
+    db = empty_db
+    db.define_class(
+        "person",
+        attributes=[("name", "string"), ("grade", "temporal(integer)")],
+    )
+    db.define_class(
+        "project",
+        attributes=[
+            ("title", "string"),
+            ("lead", "temporal(person)"),
+            ("parent", "temporal(project)"),
+        ],
+    )
+    ann = db.create_object("person", {"name": "Ann", "grade": 1})
+    bob = db.create_object("person", {"name": "Bob", "grade": 5})
+    root = db.create_object("project", {"title": "root", "lead": ann})
+    child = db.create_object(
+        "project", {"title": "child", "lead": bob, "parent": root}
+    )
+    db.tick(10)
+    db.update_attribute(ann, "grade", 3)       # Ann: 1 on [0,9], 3 from 10
+    db.tick(10)
+    db.update_attribute(root, "lead", bob)     # root led by Ann then Bob
+    db.tick(10)  # now = 30
+    return db, {"ann": ann, "bob": bob, "root": root, "child": child}
+
+
+class TestConstruction:
+    def test_builder(self):
+        p = path("lead", "grade")
+        assert isinstance(p, Path)
+        assert p.steps == ("lead", "grade")
+
+    def test_needs_two_steps(self):
+        with pytest.raises(ValueError):
+            Path(("lead",))
+
+    def test_parser(self):
+        q = parse_query("select project where lead.grade > 2")
+        assert isinstance(q.predicate.left, Path)
+        assert q.predicate.left.steps == ("lead", "grade")
+
+    def test_parser_deep_path(self):
+        q = parse_query("select project where parent.lead.grade > 2")
+        assert q.predicate.left.steps == ("parent", "lead", "grade")
+
+    def test_parser_rejects_trailing_dot(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select project where lead. = 1")
+
+
+class TestTyping:
+    def test_path_type_is_final_attribute(self, org_db):
+        db, _ = org_db
+        evaluate(db, parse_query("select project where lead.grade > 2"))
+
+    def test_type_error_through_path(self, org_db):
+        db, _ = org_db
+        with pytest.raises(QueryTypeError):
+            evaluate(
+                db, parse_query("select project where lead.grade = 'x'")
+            )
+
+    def test_non_object_step_rejected(self, org_db):
+        db, _ = org_db
+        with pytest.raises(QueryTypeError):
+            evaluate(
+                db, parse_query("select project where title.grade = 1")
+            )
+
+    def test_unknown_step_rejected(self, org_db):
+        db, _ = org_db
+        with pytest.raises(QueryTypeError):
+            evaluate(
+                db, parse_query("select project where lead.ghost = 1")
+            )
+
+
+class TestEvaluation:
+    def test_now(self, org_db):
+        db, names = org_db
+        # Both projects are led by Bob (grade 5) now.
+        hits = evaluate(db, parse_query(
+            "select project where lead.grade >= 5"
+        ))
+        assert hits == sorted([names["root"], names["child"]])
+
+    def test_at_past_instant(self, org_db):
+        db, names = org_db
+        # At t=5: root led by Ann with grade 1.
+        hits = evaluate(db, parse_query(
+            "select project where lead.grade = 1 at 5"
+        ))
+        assert hits == [names["root"]]
+
+    def test_referent_history_cuts_segments(self, org_db):
+        """The path value changes when the REFERENT's attribute
+        changes, even if the reference itself is constant."""
+        db, names = org_db
+        holds = when(db, names["root"], path("lead", "grade") < 4)
+        # Ann grade 1 on [0,9], 3 on [10,19] (lead until 19); Bob
+        # (grade 5) from 20.
+        assert holds == IntervalSet.span(0, 19)
+
+    def test_sometime_always(self, org_db):
+        db, names = org_db
+        assert evaluate(db, parse_query(
+            "select project where lead.grade = 1 sometime"
+        )) == [names["root"]]
+        assert evaluate(db, parse_query(
+            "select project where lead.grade >= 1 always"
+        )) == sorted([names["root"], names["child"]])
+
+    def test_two_hop_path(self, org_db):
+        db, names = org_db
+        hits = evaluate(db, parse_query(
+            "select project where parent.lead.grade = 3 sometime"
+        ))
+        assert hits == [names["child"]]
+
+    def test_static_referent_attribute_past_is_unknown(self, org_db):
+        """name is static on person: a past path read is undefined --
+        the same information asymmetry as direct static reads."""
+        db, names = org_db
+        assert evaluate(db, parse_query(
+            "select project where lead.name = 'Ann' at 5"
+        )) == []
+        # At the current instant it is visible.
+        assert evaluate(db, parse_query(
+            "select project where lead.name = 'Bob'"
+        )) == sorted([names["root"], names["child"]])
+
+    def test_null_reference_rejects_atom(self, org_db):
+        db, names = org_db
+        orphan = db.create_object("project", {"title": "orphan"})
+        hits = evaluate(db, parse_query(
+            "select project where lead.grade >= 0"
+        ))
+        assert orphan not in hits
+
+    def test_deleted_referent_rejects_atom(self, org_db):
+        db, names = org_db
+        db.tick()
+        # Re-point child's lead to Ann, then delete Bob later.
+        db.update_attribute(names["child"], "lead", names["ann"])
+        db.update_attribute(names["root"], "lead", names["ann"])
+        db.tick()
+        db.delete_object(names["bob"])
+        db.tick()
+        # At instants where Bob led root but is now deleted... Bob
+        # still existed THEN, so the past read is fine:
+        holds = when(db, names["root"], path("lead", "grade") == 5)
+        assert 25 in holds  # Bob (grade 5) led root at 25, alive then
+
+    def test_builder_sugar(self, org_db):
+        db, names = org_db
+        hits = (
+            select("project")
+            .where(path("lead", "grade") == 1)
+            .at(5)
+            .run(db)
+        )
+        assert hits == [names["root"]]

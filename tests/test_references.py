@@ -1,0 +1,68 @@
+"""The ref function and referential integrity (Definition 5.6)."""
+
+from repro.objects.references import (
+    all_referenced_oids,
+    oids_in_value,
+    referenced_oids,
+)
+from repro.objects.object import TemporalObject
+from repro.temporal.temporalvalue import TemporalValue
+from repro.values.oid import OID
+from repro.values.records import RecordValue
+
+
+class TestOidsInValue:
+    def test_flat(self):
+        assert set(oids_in_value(OID(1))) == {OID(1)}
+        assert set(oids_in_value(42)) == set()
+
+    def test_nested_collections(self):
+        value = [frozenset({OID(1)}), (OID(2), [OID(3)])]
+        assert set(oids_in_value(value)) == {OID(1), OID(2), OID(3)}
+
+    def test_records(self):
+        value = RecordValue(a=OID(1), b=[OID(2)])
+        assert set(oids_in_value(value)) == {OID(1), OID(2)}
+
+    def test_temporal_values(self):
+        tv = TemporalValue.from_items([((0, 5), OID(1)), ((6, 9), OID(2))])
+        assert set(oids_in_value(tv)) == {OID(1), OID(2)}
+
+
+class TestRef:
+    def test_paper_example(self, project_db):
+        """ref(i1, 50): subproject i9 + participants {i2, i3}; the
+        static workplan contributes only at the current time."""
+        db, names = project_db
+        obj = db.get_object(names["i1"])
+        at_50 = referenced_oids(obj, 50, db.now)
+        assert at_50 == frozenset(
+            {names["i9"], names["i2"], names["i3"]}
+        )
+
+    def test_static_attributes_contribute_at_now(self, project_db):
+        db, names = project_db
+        obj = db.get_object(names["i1"])
+        at_now = referenced_oids(obj, db.now, db.now)
+        assert names["i7"] in at_now  # workplan (static) visible at now
+        assert names["i8"] in at_now  # participants at 90
+
+    def test_not_meaningful_not_referenced(self, project_db):
+        db, names = project_db
+        obj = db.get_object(names["i1"])
+        # Before creation: nothing.
+        assert referenced_oids(obj, 10, db.now) == frozenset()
+
+    def test_retained_histories_counted(self, staff_db):
+        db, names = staff_db
+        dan = db.get_object(names["dan"])
+        # dependents (retained after demotion) referenced pat at 45.
+        assert names["pat"] in referenced_oids(dan, 45, db.now)
+        assert names["pat"] not in referenced_oids(dan, db.now, db.now)
+
+    def test_all_referenced(self, project_db):
+        db, names = project_db
+        obj = db.get_object(names["i1"])
+        everything = all_referenced_oids(obj)
+        for key in ("i2", "i3", "i4", "i7", "i8", "i9"):
+            assert names[key] in everything

@@ -1,0 +1,210 @@
+"""Rule 6.1 (attribute refinement) and method redefinition."""
+
+import pytest
+
+from repro.errors import RefinementError
+from repro.inheritance.refinement import (
+    check_attribute_refinement,
+    check_class_refines,
+    check_method_override,
+    merge_inherited_attributes,
+    merge_inherited_methods,
+)
+from repro.schema.attribute import Attribute
+from repro.schema.method import MethodSignature
+from repro.types.grammar import (
+    INTEGER,
+    REAL,
+    STRING,
+    ObjectType,
+    SetOf,
+    TemporalType,
+)
+
+from tests.strategies import WORLD_ISA
+
+person = ObjectType("person")
+employee = ObjectType("employee")
+manager = ObjectType("manager")
+
+
+class TestAttributeRefinement:
+    def test_same_domain(self):
+        assert check_attribute_refinement(INTEGER, INTEGER, WORLD_ISA)
+
+    def test_specialized_domain(self):
+        # Rule 6.1 clause 1: T' <=_T T.
+        assert check_attribute_refinement(employee, person, WORLD_ISA)
+        assert check_attribute_refinement(
+            SetOf(manager), SetOf(person), WORLD_ISA
+        )
+
+    def test_generalization_rejected(self):
+        assert not check_attribute_refinement(person, employee, WORLD_ISA)
+
+    def test_static_to_temporal(self):
+        # Rule 6.1 clause 2: T' = temporal(T'') with T'' <=_T T.
+        assert check_attribute_refinement(
+            TemporalType(INTEGER), INTEGER, WORLD_ISA
+        )
+        assert check_attribute_refinement(
+            TemporalType(employee), person, WORLD_ISA
+        )
+
+    def test_temporal_to_static_rejected(self):
+        # "...but not vice-versa" (Section 6.1).
+        assert not check_attribute_refinement(
+            INTEGER, TemporalType(INTEGER), WORLD_ISA
+        )
+        assert not check_attribute_refinement(
+            employee, TemporalType(person), WORLD_ISA
+        )
+
+    def test_temporal_to_temporal_specialization(self):
+        # Covered by clause 1 through temporal covariance.
+        assert check_attribute_refinement(
+            TemporalType(employee), TemporalType(person), WORLD_ISA
+        )
+        assert not check_attribute_refinement(
+            TemporalType(person), TemporalType(employee), WORLD_ISA
+        )
+
+    def test_unrelated_rejected(self):
+        assert not check_attribute_refinement(STRING, INTEGER, WORLD_ISA)
+
+
+class TestMethodOverride:
+    def test_covariance_contravariance(self):
+        base = MethodSignature("m", (person,), person)
+        good = MethodSignature("m", (person,), employee)
+        assert check_method_override(good, base, WORLD_ISA)
+        bad_out = MethodSignature("m", (person,), ObjectType("project"))
+        assert not check_method_override(bad_out, base, WORLD_ISA)
+        bad_in = MethodSignature("m", (manager,), person)
+        assert not check_method_override(bad_in, base, WORLD_ISA)
+
+
+class TestMergeAttributes:
+    def test_inherits_everything(self):
+        merged = merge_inherited_attributes(
+            {},
+            [{"a": Attribute("a", INTEGER)}],
+            WORLD_ISA,
+            "sub",
+        )
+        assert set(merged) == {"a"}
+
+    def test_own_addition(self):
+        merged = merge_inherited_attributes(
+            {"b": Attribute("b", STRING)},
+            [{"a": Attribute("a", INTEGER)}],
+            WORLD_ISA,
+            "sub",
+        )
+        assert set(merged) == {"a", "b"}
+
+    def test_valid_redefinition(self):
+        merged = merge_inherited_attributes(
+            {"a": Attribute("a", TemporalType(INTEGER))},
+            [{"a": Attribute("a", INTEGER)}],
+            WORLD_ISA,
+            "sub",
+        )
+        assert merged["a"].type == TemporalType(INTEGER)
+
+    def test_invalid_redefinition_rejected(self):
+        with pytest.raises(RefinementError):
+            merge_inherited_attributes(
+                {"a": Attribute("a", STRING)},
+                [{"a": Attribute("a", INTEGER)}],
+                WORLD_ISA,
+                "sub",
+            )
+
+    def test_multiple_inheritance_most_specific_wins(self):
+        merged = merge_inherited_attributes(
+            {},
+            [
+                {"a": Attribute("a", person)},
+                {"a": Attribute("a", employee)},
+            ],
+            WORLD_ISA,
+            "sub",
+        )
+        assert merged["a"].type == employee
+
+    def test_multiple_inheritance_conflict_rejected(self):
+        with pytest.raises(RefinementError, match="incomparable"):
+            merge_inherited_attributes(
+                {},
+                [
+                    {"a": Attribute("a", INTEGER)},
+                    {"a": Attribute("a", STRING)},
+                ],
+                WORLD_ISA,
+                "sub",
+            )
+
+    def test_conflict_resolved_by_redeclaration(self):
+        merged = merge_inherited_attributes(
+            {"a": Attribute("a", TemporalType(employee))},
+            [
+                {"a": Attribute("a", person)},
+                {"a": Attribute("a", employee)},
+            ],
+            WORLD_ISA,
+            "sub",
+        )
+        assert merged["a"].type == TemporalType(employee)
+
+    def test_redeclaration_checked_against_every_contributor(self):
+        with pytest.raises(RefinementError):
+            merge_inherited_attributes(
+                {"a": Attribute("a", person)},  # refines neither branch
+                [
+                    {"a": Attribute("a", employee)},
+                    {"a": Attribute("a", manager)},
+                ],
+                WORLD_ISA,
+                "sub",
+            )
+
+
+class TestMergeMethods:
+    def test_inherit_and_override(self):
+        base = MethodSignature("m", (person,), person)
+        better = MethodSignature("m", (person,), employee)
+        merged = merge_inherited_methods(
+            {"m": better}, [{"m": base}], WORLD_ISA, "sub"
+        )
+        assert merged["m"] is better
+
+    def test_invalid_override_rejected(self):
+        base = MethodSignature("m", (person,), employee)
+        worse = MethodSignature("m", (person,), person)
+        with pytest.raises(RefinementError):
+            merge_inherited_methods(
+                {"m": worse}, [{"m": base}], WORLD_ISA, "sub"
+            )
+
+
+class TestCheckClassRefines:
+    def test_compliant(self):
+        problems = check_class_refines(
+            {"a": Attribute("a", TemporalType(employee))},
+            {"m": MethodSignature("m", (person,), employee)},
+            {"a": Attribute("a", person)},
+            {"m": MethodSignature("m", (employee,), person)},
+            WORLD_ISA,
+        )
+        assert problems == []
+
+    def test_missing_and_bad(self):
+        problems = check_class_refines(
+            {"a": Attribute("a", STRING)},
+            {},
+            {"a": Attribute("a", INTEGER), "b": Attribute("b", STRING)},
+            {"m": MethodSignature("m", (), INTEGER)},
+            WORLD_ISA,
+        )
+        assert len(problems) == 3  # bad a, missing b, missing m

@@ -1,0 +1,323 @@
+"""Attributes, methods, class signatures, metaclasses (Section 4)."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateAttributeError,
+    LifespanError,
+    SchemaError,
+    TypeSyntaxError,
+)
+from repro.schema.attribute import Attribute
+from repro.schema.class_def import ClassKind, ClassSignature
+from repro.schema.derived_types import (
+    historical_type,
+    is_null_type,
+    static_type,
+    structural_type,
+)
+from repro.schema.metaclass import Metaclass
+from repro.schema.method import MethodSignature
+from repro.temporal.intervals import Interval
+from repro.temporal.temporalvalue import TemporalValue
+from repro.types.extension import in_extension
+from repro.types.grammar import (
+    INTEGER,
+    REAL,
+    STRING,
+    ObjectType,
+    RecordOf,
+    SetOf,
+    TemporalType,
+)
+from repro.types.parser import parse_type
+from repro.values.oid import OID
+
+from tests.strategies import WORLD_ISA, world_context
+
+
+class TestAttribute:
+    def test_basic(self):
+        a = Attribute("salary", TemporalType(REAL))
+        assert a.is_temporal and not a.is_static
+        assert a.kind == "temporal"
+
+    def test_concrete_syntax_accepted(self):
+        a = Attribute("name", "temporal(string)")
+        assert a.type == TemporalType(STRING)
+
+    def test_static(self):
+        a = Attribute("dept", STRING)
+        assert a.is_static and a.kind == "static"
+
+    def test_immutable_needs_temporal(self):
+        # Immutable attributes are a special case of temporal ones
+        # (constant functions from the temporal domain; Section 1.1).
+        a = Attribute("name", "temporal(string)", immutable=True)
+        assert a.kind == "immutable"
+        with pytest.raises(SchemaError):
+            Attribute("name", STRING, immutable=True)
+
+    def test_bad_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("", INTEGER)
+
+    def test_bad_type(self):
+        with pytest.raises(TypeSyntaxError):
+            Attribute("a", 42)
+
+
+class TestMethodSignature:
+    def test_basic(self):
+        m = MethodSignature("add-participant", ("person",), "project")
+        assert m.inputs == (ObjectType("person"),)
+        assert m.output == ObjectType("project")
+        assert m.arity == 1
+
+    def test_repr_matches_paper(self):
+        m = MethodSignature("add-participant", ("person",), "project")
+        assert repr(m) == "(add-participant, person -> project)"
+
+    def test_override_covariant_output(self):
+        base = MethodSignature("m", (), "person")
+        good = MethodSignature("m", (), "employee")
+        bad = MethodSignature("m", (), "project")
+        assert good.is_valid_override(base, WORLD_ISA)
+        assert not bad.is_valid_override(base, WORLD_ISA)
+
+    def test_override_contravariant_inputs(self):
+        base = MethodSignature("m", ("employee",), "integer")
+        generalized = MethodSignature("m", ("person",), "integer")
+        specialized = MethodSignature("m", ("manager",), "integer")
+        assert generalized.is_valid_override(base, WORLD_ISA)
+        assert not specialized.is_valid_override(base, WORLD_ISA)
+
+    def test_override_arity_mismatch(self):
+        base = MethodSignature("m", ("person",), "integer")
+        other = MethodSignature("m", ("person", "person"), "integer")
+        assert not other.is_valid_override(base, WORLD_ISA)
+
+
+def make_project_class(created_at=10) -> ClassSignature:
+    """The class of Example 4.1."""
+    return ClassSignature(
+        "project",
+        attributes=[
+            Attribute("name", "temporal(string)", immutable=True),
+            Attribute("objective", "string"),
+            Attribute("workplan", "set-of(task)"),
+            Attribute("subproject", "temporal(project)"),
+            Attribute("participants", "temporal(set-of(person))"),
+        ],
+        methods=[MethodSignature("add-participant", ("person",), "project")],
+        c_attributes=[Attribute("average-participants", "integer")],
+        created_at=created_at,
+        c_attr_values={"average-participants": 20},
+    )
+
+
+class TestClassSignature:
+    def test_example_4_1_is_static(self):
+        """The project class is static: its only c-attribute is static
+        -- even though its instances are historical objects."""
+        cls = make_project_class()
+        assert cls.kind is ClassKind.STATIC
+        assert not cls.is_historical
+        assert cls.instances_are_historical()
+
+    def test_historical_class(self):
+        cls = ClassSignature(
+            "stats",
+            c_attributes=[Attribute("avg", "temporal(real)")],
+        )
+        assert cls.kind is ClassKind.HISTORICAL
+
+    def test_attribute_partition(self):
+        cls = make_project_class()
+        assert set(cls.temporal_attributes()) == {
+            "name", "subproject", "participants",
+        }
+        assert set(cls.static_attributes()) == {"objective", "workplan"}
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(DuplicateAttributeError):
+            ClassSignature(
+                "c",
+                attributes=[Attribute("a", INTEGER), Attribute("a", STRING)],
+            )
+
+    def test_reserved_c_attribute_names(self):
+        with pytest.raises(SchemaError):
+            ClassSignature("c", c_attributes=[Attribute("ext", INTEGER)])
+
+    def test_lifespan(self):
+        cls = make_project_class(created_at=10)
+        assert cls.lifespan == Interval.from_now(10)
+        assert cls.is_alive
+        assert cls.alive_at(10) and cls.alive_at(500)
+        assert not cls.alive_at(9)
+
+    def test_close_lifespan(self):
+        cls = make_project_class(created_at=10)
+        cls.close_lifespan(50)
+        assert cls.lifespan == Interval(10, 49)
+        assert not cls.is_alive
+        with pytest.raises(LifespanError):
+            cls.close_lifespan(60)
+
+    def test_cannot_drop_in_creation_tick(self):
+        cls = make_project_class(created_at=10)
+        with pytest.raises(LifespanError):
+            cls.close_lifespan(10)
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            make_project_class().attribute("ghost")
+
+
+class TestDerivedTypes:
+    def test_structural_type(self):
+        t = structural_type(make_project_class())
+        assert t == parse_type(
+            "record-of(name: temporal(string), objective: string, "
+            "workplan: set-of(task), subproject: temporal(project), "
+            "participants: temporal(set-of(person)))"
+        )
+
+    def test_h_type_example_4_2(self):
+        """h_type(project) from Example 4.2."""
+        assert historical_type(make_project_class()) == parse_type(
+            "record-of(name: string, subproject: project, "
+            "participants: set-of(person))"
+        )
+
+    def test_s_type_example_4_2(self):
+        """s_type(project) from Example 4.2."""
+        assert static_type(make_project_class()) == parse_type(
+            "record-of(objective: string, workplan: set-of(task))"
+        )
+
+    def test_footnote_5_null_types(self):
+        all_static = ClassSignature(
+            "s", attributes=[Attribute("a", INTEGER)]
+        )
+        assert is_null_type(historical_type(all_static))
+        assert not is_null_type(static_type(all_static))
+        all_temporal = ClassSignature(
+            "t", attributes=[Attribute("a", "temporal(integer)")]
+        )
+        assert is_null_type(static_type(all_temporal))
+        assert not is_null_type(historical_type(all_temporal))
+
+
+class TestClassHistory:
+    def test_membership_lifecycle(self):
+        cls = make_project_class()
+        oid = OID(1)
+        cls.history.add_member(oid, 20)
+        assert cls.history.is_member(oid, 20)
+        assert cls.history.is_member(oid, 99)
+        assert not cls.history.is_member(oid, 19)
+        cls.history.remove_member(oid, 50)
+        assert cls.history.is_member(oid, 49)
+        assert not cls.history.is_member(oid, 50)
+
+    def test_member_times(self):
+        cls = make_project_class()
+        oid = OID(1)
+        cls.history.add_member(oid, 20)
+        cls.history.remove_member(oid, 50)
+        cls.history.add_member(oid, 60)
+        times = cls.history.member_times(oid, now=70)
+        assert list(times.instants())[:1] == [20]
+        assert 49 in times and 50 not in times and 65 in times
+
+    def test_instance_requires_membership(self):
+        cls = make_project_class()
+        with pytest.raises(LifespanError):
+            cls.history.add_instance(OID(1), 20)
+
+    def test_proper_ext_subset_of_ext(self):
+        cls = make_project_class()
+        oid = OID(1)
+        cls.history.add_member(oid, 20)
+        cls.history.add_instance(oid, 20)
+        assert cls.history.instances_at(30) <= cls.history.members_at(30)
+
+    def test_join_and_leave_same_tick(self):
+        cls = make_project_class()
+        oid = OID(1)
+        cls.history.add_member(oid, 20)
+        cls.history.remove_member(oid, 20)
+        assert not cls.history.is_member(oid, 20)
+        assert cls.history.member_times(oid, now=30).is_empty
+
+    def test_scan_agrees_with_sets(self):
+        cls = make_project_class()
+        a, b = OID(1), OID(2)
+        cls.history.add_member(a, 20)
+        cls.history.add_member(b, 25)
+        cls.history.remove_member(a, 30)
+        for t in (19, 20, 24, 25, 29, 30, 40):
+            assert cls.history.members_at(t) == (
+                cls.history.members_at_via_scan(t)
+            )
+
+    def test_c_attr_values(self):
+        cls = make_project_class()
+        assert cls.history.get_c_attr("average-participants") == 20
+        cls.history.set_c_attr("average-participants", 25, 30)
+        assert cls.history.get_c_attr("average-participants") == 25
+        with pytest.raises(SchemaError):
+            cls.history.get_c_attr("ghost")
+
+    def test_temporal_c_attr(self):
+        cls = ClassSignature(
+            "stats",
+            c_attributes=[Attribute("avg", "temporal(real)")],
+            c_attr_values={"avg": TemporalValue.from_items([((0, 0), 1.0)])},
+        )
+        cls.history.set_c_attr("avg", 2.0, 5)
+        assert cls.history.get_c_attr("avg").at(5) == 2.0
+        assert cls.history.get_c_attr("avg").at(0) == 1.0
+
+    def test_as_record_shape(self):
+        """Definition 4.1: (a1: v1, ..., ext: E, proper-ext: PE)."""
+        record = make_project_class().history.as_record()
+        assert set(record.names) == {
+            "average-participants", "ext", "proper-ext",
+        }
+
+
+class TestMetaclass:
+    def test_naming(self):
+        cls = make_project_class()
+        mc = Metaclass(cls)
+        assert mc.name == "m-project"
+        assert mc.instance_name == "project"
+        assert mc.unique_instance is cls
+
+    def test_structural_type_includes_extents(self):
+        mc = Metaclass(make_project_class())
+        t = mc.structural_type()
+        member_history = parse_type("temporal(set-of(project))")
+        assert t.field_type("ext") == member_history
+        assert t.field_type("proper-ext") == member_history
+        assert t.field_type("average-participants") == INTEGER
+
+    def test_history_inhabits_metaclass_type(self):
+        """The class history record is a legal value of the metaclass's
+        structural type -- classes really are instances of their
+        metaclasses."""
+        cls = make_project_class()
+        oid = OID(1, "project")
+        cls.history.add_member(oid, 20)
+        cls.history.add_instance(oid, 20)
+        mc = Metaclass(cls)
+        from repro.temporal.intervalsets import IntervalSet
+
+        ctx = world_context()
+        ctx.add_membership("project", oid, IntervalSet.span(20, 100))
+        assert in_extension(
+            cls.history.as_record(), mc.structural_type(), 50, ctx, now=50
+        )

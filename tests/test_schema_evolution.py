@@ -1,0 +1,249 @@
+"""Schema evolution: time-indexed attribute declarations.
+
+The paper cites Zdonik's object-oriented type evolution [22] as the
+backdrop of migration; this extension evolves the *class* over time:
+attributes may be added or removed after the class's creation, and the
+consistency notions (Defs. 5.3-5.5) quantify over each attribute's
+declaration span -- so a database remains fully consistent across
+schema changes without rewriting object histories.
+"""
+
+import pytest
+
+from repro.database.integrity import check_database
+from repro.errors import LifespanError, SchemaError
+from repro.objects.consistency import (
+    is_consistent,
+    is_historically_consistent,
+)
+from repro.schema.derived_types import historical_type_at
+from repro.temporal.temporalvalue import TemporalValue
+from repro.types.parser import parse_type
+from repro.values.null import NULL
+
+
+@pytest.fixture
+def shop_db(empty_db):
+    db = empty_db
+    db.define_class(
+        "item",
+        attributes=[("price", "temporal(real)"), ("label", "string")],
+    )
+    db.define_class("discounted", parents=["item"])
+    a = db.create_object("item", {"price": 10.0, "label": "plain"})
+    b = db.create_object("discounted", {"price": 5.0, "label": "cheap"})
+    db.tick(10)
+    return db, {"a": a, "b": b}
+
+
+class TestAddAttribute:
+    def test_static_addition(self, shop_db):
+        db, names = shop_db
+        db.add_attribute("item", ("origin", "string"))
+        for oid in names.values():
+            assert db.get_object(oid).value["origin"] is NULL
+        db.update_attribute(names["a"], "origin", "EU")
+        assert db.get_object(names["a"]).value["origin"] == "EU"
+        assert check_database(db).ok
+
+    def test_temporal_addition_starts_now(self, shop_db):
+        db, names = shop_db
+        added_at = db.now
+        db.add_attribute("item", ("stock", "temporal(integer)"))
+        obj = db.get_object(names["a"])
+        history = obj.value["stock"]
+        assert isinstance(history, TemporalValue)
+        assert history.at(added_at) is NULL
+        assert not history.defined_at(added_at - 1)
+        # Consistency holds across the addition boundary.
+        assert is_consistent(obj, db, db, db.now)
+        report = check_database(db)
+        assert report.ok, report.all_violations()
+
+    def test_h_type_is_time_indexed(self, shop_db):
+        db, _ = shop_db
+        added_at = db.now
+        db.add_attribute("item", ("stock", "temporal(integer)"))
+        cls = db.get_class("item")
+        before = historical_type_at(cls, added_at - 1)
+        after = historical_type_at(cls, added_at)
+        assert "stock" not in before.names
+        assert "stock" in after.names
+        assert before.field_type("price") == parse_type("real")
+
+    def test_pointwise_consistency_across_boundary(self, shop_db):
+        db, names = shop_db
+        added_at = db.now
+        db.add_attribute("item", ("stock", "temporal(integer)"))
+        db.tick(5)
+        obj = db.get_object(names["a"])
+        assert is_historically_consistent(
+            obj, "item", added_at - 1, db, db, db.now
+        )
+        assert is_historically_consistent(
+            obj, "item", db.now, db, db, db.now
+        )
+
+    def test_subclasses_inherit_the_addition(self, shop_db):
+        db, names = shop_db
+        db.add_attribute("item", ("stock", "temporal(integer)"))
+        assert "stock" in db.get_class("discounted").attributes
+        assert "stock" in db.get_object(names["b"]).value
+
+    def test_conflict_with_subclass_rejected(self, shop_db):
+        db, _ = shop_db
+        db.add_attribute("discounted", ("rate", "real"))
+        with pytest.raises(SchemaError):
+            db.add_attribute("item", ("rate", "real"))
+
+    def test_duplicate_rejected(self, shop_db):
+        db, _ = shop_db
+        with pytest.raises(SchemaError):
+            db.add_attribute("item", ("price", "real"))
+
+    def test_dropped_class_rejected(self, empty_db):
+        empty_db.define_class("gone")
+        empty_db.tick()
+        empty_db.drop_class("gone")
+        with pytest.raises(LifespanError):
+            empty_db.add_attribute("gone", ("x", "integer"))
+
+
+class TestRemoveAttribute:
+    def test_static_removal_without_trace(self, shop_db):
+        db, names = shop_db
+        db.remove_attribute("item", "label")
+        obj = db.get_object(names["a"])
+        assert "label" not in obj.value
+        assert "label" not in obj.retained
+        assert "label" not in db.get_class("item").attributes
+        assert check_database(db).ok
+
+    def test_temporal_removal_retains_history(self, shop_db):
+        db, names = shop_db
+        removed_at = db.now
+        db.remove_attribute("item", "price")
+        obj = db.get_object(names["a"])
+        assert "price" not in obj.value
+        retained = obj.retained["price"]
+        assert retained.at(0) == 10.0
+        assert not retained.defined_at(removed_at)
+        # Past consistency still honours the old declaration span.
+        assert is_consistent(obj, db, db, db.now)
+        report = check_database(db)
+        assert report.ok, report.all_violations()
+
+    def test_h_type_forgets_from_removal_on(self, shop_db):
+        db, _ = shop_db
+        removed_at = db.now
+        db.remove_attribute("item", "price")
+        cls = db.get_class("item")
+        assert "price" in historical_type_at(cls, removed_at - 1).names
+        assert "price" not in historical_type_at(cls, removed_at).names
+
+    def test_inherited_attribute_must_be_removed_at_declaration(
+        self, shop_db
+    ):
+        db, _ = shop_db
+        with pytest.raises(SchemaError, match="inherited"):
+            db.remove_attribute("discounted", "price")
+
+    def test_unknown_attribute(self, shop_db):
+        db, _ = shop_db
+        with pytest.raises(SchemaError):
+            db.remove_attribute("item", "ghost")
+
+
+class TestAddRemoveCycles:
+    def test_remove_then_readd_resumes_history(self, shop_db):
+        db, names = shop_db
+        db.remove_attribute("item", "price")
+        db.tick(5)
+        db.add_attribute("item", ("price", "temporal(real)"))
+        obj = db.get_object(names["a"])
+        history = obj.value["price"]
+        assert history.at(0) == 10.0          # the old span survives
+        assert not history.defined_at(12)     # the gap stays undefined
+        assert history.at(db.now) is NULL     # recording resumed
+        assert "price" not in obj.retained
+        assert is_consistent(obj, db, db, db.now)
+        report = check_database(db)
+        assert report.ok, report.all_violations()
+
+    def test_full_lifecycle_updates_keep_working(self, shop_db):
+        db, names = shop_db
+        db.remove_attribute("item", "price")
+        db.tick(5)
+        db.add_attribute("item", ("price", "temporal(real)"))
+        db.tick(2)
+        db.update_attribute(names["a"], "price", 12.5)
+        obj = db.get_object(names["a"])
+        assert obj.value["price"].at(db.now) == 12.5
+        assert check_database(db).ok
+
+
+class TestEvolutionPersistence:
+    def test_roundtrip_preserves_declaration_spans(self, shop_db):
+        from repro.database.persistence import (
+            database_from_json,
+            database_to_json,
+        )
+
+        db, names = shop_db
+        db.remove_attribute("item", "label")
+        db.add_attribute("item", ("stock", "temporal(integer)"))
+        clone = database_from_json(database_to_json(db))
+        cls = clone.get_class("item")
+        assert cls.attributes["stock"].declared_at == db.now
+        assert "label" in cls.retired_attributes
+        _attr, retired_at = cls.retired_attributes["label"][-1]
+        assert retired_at == db.now
+        report = check_database(clone)
+        assert report.ok, report.all_violations()
+        # And the clone keeps evolving.
+        clone.tick()
+        clone.update_attribute(names["a"], "stock", 3)
+        assert check_database(clone).ok
+
+
+class TestRepeatedRetirement:
+    """Regression: the stateful machine found that retiring the same
+    attribute name twice lost the earlier declaration span, making
+    objects with histories in that span spuriously inconsistent."""
+
+    def _base(self, empty_db):
+        db = empty_db
+        db.define_class("person", attributes=[("name", "string")])
+        db.define_class(
+            "employee",
+            parents=["person"],
+            attributes=[("salary", "temporal(real)")],
+        )
+        db.create_object("employee", {"name": "A", "salary": 1.0})
+        return db
+
+    def test_retire_readd_as_static_retire(self, empty_db):
+        db = self._base(empty_db)
+        db.add_attribute("employee", ("extra", "temporal(integer)"))
+        db.tick()
+        db.remove_attribute("employee", "extra")
+        db.add_attribute("employee", ("extra", "integer"))
+        db.remove_attribute("employee", "extra")
+        report = check_database(db)
+        assert report.ok, report.all_violations()
+        assert len(db.get_class("employee").retired_attributes["extra"]) == 2
+
+    def test_two_temporal_spans_both_honoured(self, empty_db):
+        db = self._base(empty_db)
+        db.add_attribute("employee", ("extra", "temporal(integer)"))
+        db.tick()
+        db.remove_attribute("employee", "extra")
+        db.tick()
+        db.add_attribute("employee", ("extra", "temporal(integer)"))
+        db.tick()
+        db.remove_attribute("employee", "extra")
+        report = check_database(db)
+        assert report.ok, report.all_violations()
+        cls = db.get_class("employee")
+        spans = cls.retired_attributes["extra"]
+        assert [a.declared_at for a, _r in spans] == [0, 2]

@@ -1,0 +1,116 @@
+"""h_state, s_state and snapshot (Table 3, Sections 5.2-5.3)."""
+
+import pytest
+
+from repro.errors import LifespanError, SnapshotUndefinedError
+from repro.objects.state import h_state, s_state, snapshot
+from repro.values.records import RecordValue
+from repro.values.structure import values_equal
+
+from tests.test_object import make_historical
+from repro.objects.object import TemporalObject
+from repro.temporal.temporalvalue import TemporalValue
+from repro.values.oid import OID
+
+
+class TestHState:
+    def test_example_5_2(self):
+        """h_state(i1, 50) from Example 5.2."""
+        obj = make_historical()
+        state = h_state(obj, 50, now=90)
+        assert values_equal(
+            state,
+            RecordValue(
+                name="IDEA",
+                subproject=OID(9),
+                participants=frozenset({OID(2), OID(3)}),
+            ),
+        )
+
+    def test_only_meaningful_attributes(self):
+        obj = make_historical()
+        obj.value["bonus"] = TemporalValue.from_items([((30, 40), 7)])
+        assert "bonus" in h_state(obj, 35, now=90).names
+        assert "bonus" not in h_state(obj, 50, now=90).names
+
+    def test_outside_lifespan_raises(self):
+        with pytest.raises(LifespanError):
+            h_state(make_historical(), 5, now=90)
+
+    def test_includes_retained_histories(self):
+        obj = make_historical()
+        obj.retained["old"] = TemporalValue.from_items([((25, 30), "x")])
+        assert h_state(obj, 28, now=90)["old"] == "x"
+
+    def test_static_object_has_empty_h_state(self):
+        static = TemporalObject(OID(5), 0, "person", {"name": "Ann"})
+        assert len(h_state(static, 10, now=20)) == 0
+
+
+class TestSState:
+    def test_example_5_2(self):
+        """s_state(i1) from Example 5.2."""
+        state = s_state(make_historical())
+        assert values_equal(
+            state,
+            RecordValue(
+                objective="Implementation", workplan={OID(7)}
+            ),
+        )
+
+    def test_all_temporal_object_has_empty_s_state(self):
+        obj = TemporalObject(
+            OID(1), 0, "c",
+            {"a": TemporalValue.from_items([((0, 5), 1)])},
+        )
+        assert len(s_state(obj)) == 0
+
+
+class TestSnapshot:
+    def test_snapshot_at_now(self):
+        """snapshot(i1, now) from Section 5.3."""
+        obj = make_historical()
+        snap = snapshot(obj, 90, now=90)
+        assert values_equal(
+            snap,
+            RecordValue(
+                name="IDEA",
+                objective="Implementation",
+                workplan={OID(7)},
+                subproject=OID(9),
+                participants=frozenset({OID(2), OID(3), OID(8)}),
+            ),
+        )
+
+    def test_undefined_for_past_with_static_attributes(self):
+        """snapshot(i1, t) undefined for t != now (Section 5.3)."""
+        obj = make_historical()
+        with pytest.raises(SnapshotUndefinedError):
+            snapshot(obj, 50, now=90)
+
+    def test_needs_now_when_static_attributes(self):
+        with pytest.raises(SnapshotUndefinedError):
+            snapshot(make_historical(), 50)
+
+    def test_all_temporal_coincides_with_h_state(self):
+        """Footnote 8: snapshot == h_state for purely temporal objects."""
+        obj = TemporalObject(
+            OID(1), 0, "c",
+            {
+                "a": TemporalValue.from_items([((0, 10), 1), ((11, 20), 2)]),
+                "b": TemporalValue.from_items([((5, 15), "x")]),
+            },
+        )
+        for t in (0, 7, 12, 20):
+            assert values_equal(
+                snapshot(obj, t, now=30), h_state(obj, t, now=30)
+            )
+
+    def test_static_object_snapshot_is_current_state(self):
+        static = TemporalObject(OID(5), 0, "person", {"name": "Ann"})
+        snap = snapshot(static, 42, now=42)
+        assert values_equal(snap, RecordValue(name="Ann"))
+
+    def test_outside_lifespan(self):
+        with pytest.raises(LifespanError):
+            snapshot(make_historical(), 5, now=90)

@@ -1,0 +1,168 @@
+"""Stateful property testing of the engine.
+
+A hypothesis rule-based state machine drives an arbitrary interleaving
+of engine operations -- tick, create, update (temporal and static),
+migrate up/down, delete, schema evolution (add/remove attributes),
+retroactive corrections --
+and asserts, as the machine invariant, the
+full integrity suite: Invariants 5.1/5.2/6.1/6.2, Definition 5.6, and
+Definition 5.5 consistency for every object.  Hypothesis shrinks any
+violating sequence to a minimal reproduction.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.database.database import TemporalDatabase
+from repro.database.integrity import check_database
+from repro.errors import ReferentialIntegrityError
+from repro.values.null import NULL
+
+
+class EngineMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.db = TemporalDatabase()
+        self.db.define_class("person", attributes=[("name", "string")])
+        self.db.define_class(
+            "employee",
+            parents=["person"],
+            attributes=[
+                ("salary", "temporal(real)"),
+                ("mentor", "temporal(person)"),
+                ("dept", "string"),
+            ],
+        )
+        self.db.define_class(
+            "manager",
+            parents=["employee"],
+            attributes=[("officialcar", "string")],
+        )
+        self.counter = 0
+        self.ops_since_tick = 0
+        self.extra_attribute_present = False
+
+    # -- helpers ----------------------------------------------------------
+
+    def _live(self):
+        return [o.oid for o in self.db.live_objects()]
+
+    def _pick(self, data, pool):
+        return pool[data.draw(st.integers(0, len(pool) - 1))]
+
+    # -- rules ------------------------------------------------------------
+
+    @rule()
+    def tick(self) -> None:
+        self.db.tick()
+        self.ops_since_tick = 0
+
+    @rule(salary=st.floats(0, 10_000, allow_nan=False))
+    def create(self, salary: float) -> None:
+        self.counter += 1
+        self.db.create_object(
+            "employee",
+            {"name": f"e{self.counter}", "salary": salary, "dept": "R"},
+        )
+
+    @precondition(lambda self: self._live())
+    @rule(data=st.data(), salary=st.floats(0, 10_000, allow_nan=False))
+    def update_salary(self, data, salary: float) -> None:
+        oid = self._pick(data, self._live())
+        self.db.update_attribute(oid, "salary", salary)
+
+    @precondition(lambda self: len(self._live()) >= 2)
+    @rule(data=st.data())
+    def update_mentor(self, data) -> None:
+        live = self._live()
+        oid = self._pick(data, live)
+        other = self._pick(data, [o for o in live if o != oid])
+        self.db.update_attribute(oid, "mentor", other)
+
+    @precondition(lambda self: self._live())
+    @rule(data=st.data())
+    def clear_mentor(self, data) -> None:
+        oid = self._pick(data, self._live())
+        self.db.update_attribute(oid, "mentor", NULL)
+
+    @precondition(lambda self: self._live())
+    @rule(data=st.data())
+    def migrate(self, data) -> None:
+        oid = self._pick(data, self._live())
+        current = self.db.get_object(oid).current_class(self.db.now)
+        if current == "employee":
+            self.db.migrate(oid, "manager", {"officialcar": "M"})
+        else:
+            self.db.migrate(oid, "employee")
+
+    @precondition(lambda self: self._live())
+    @rule(data=st.data())
+    def delete(self, data) -> None:
+        oid = self._pick(data, self._live())
+        obj = self.db.get_object(oid)
+        if obj.lifespan.start >= self.db.now:
+            return  # cannot die in the creation tick
+        try:
+            self.db.delete_object(oid)
+        except ReferentialIntegrityError:
+            pass  # currently mentored by someone; legal refusal
+
+    @precondition(lambda self: self._live())
+    @rule(data=st.data(), value=st.floats(0, 9_999, allow_nan=False))
+    def correct_salary(self, data, value: float) -> None:
+        oid = self._pick(data, self._live())
+        obj = self.db.get_object(oid)
+        born = obj.lifespan.start
+        if born >= self.db.now:
+            return
+        start = born + data.draw(
+            st.integers(0, self.db.now - born), label="start"
+        )
+        end = start + data.draw(
+            st.integers(0, self.db.now - start), label="len"
+        )
+        self.db.correct_attribute(oid, "salary", start, end, value)
+
+    @precondition(lambda self: not self.extra_attribute_present)
+    @rule(temporal=st.booleans())
+    def add_attribute(self, temporal: bool) -> None:
+        domain = "temporal(integer)" if temporal else "integer"
+        self.db.add_attribute("employee", ("extra", domain))
+        self.extra_attribute_present = True
+
+    @precondition(lambda self: self.extra_attribute_present)
+    @rule()
+    def remove_attribute(self) -> None:
+        self.db.remove_attribute("employee", "extra")
+        self.extra_attribute_present = False
+
+    @precondition(lambda self: self.extra_attribute_present)
+    @rule(data=st.data(), value=st.integers(0, 9))
+    def update_extra(self, data, value: int) -> None:
+        live = self._live()
+        if not live:
+            return
+        oid = self._pick(data, live)
+        self.db.update_attribute(oid, "extra", value)
+
+    # -- the machine invariant ------------------------------------------------
+
+    @invariant()
+    def model_invariants_hold(self) -> None:
+        if not hasattr(self, "db"):
+            return
+        report = check_database(self.db)
+        assert report.ok, report.all_violations()
+
+
+EngineMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=20, deadline=None
+)
+TestEngineMachine = EngineMachine.TestCase

@@ -1,0 +1,177 @@
+"""The subtype order <=_T and lub (Definition 6.1)."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import NoLubError
+from repro.types.grammar import (
+    BOOL,
+    BOTTOM,
+    INTEGER,
+    REAL,
+    STRING,
+    ListOf,
+    ObjectType,
+    RecordOf,
+    SetOf,
+    TemporalType,
+)
+from repro.types.subtyping import (
+    EMPTY_ISA,
+    is_subtype,
+    lub,
+    try_lub,
+)
+
+from tests.strategies import WORLD_ISA, t_chimera_types
+
+person = ObjectType("person")
+employee = ObjectType("employee")
+manager = ObjectType("manager")
+project = ObjectType("project")
+
+
+class TestBaseCases:
+    def test_reflexive(self):
+        assert is_subtype(INTEGER, INTEGER)
+        assert is_subtype(SetOf(person), SetOf(person), WORLD_ISA)
+
+    def test_distinct_basics_unrelated(self):
+        assert not is_subtype(INTEGER, REAL)
+        assert not is_subtype(REAL, INTEGER)
+        assert not is_subtype(BOOL, STRING)
+
+    def test_object_types_follow_isa(self):
+        assert is_subtype(employee, person, WORLD_ISA)
+        assert is_subtype(manager, person, WORLD_ISA)
+        assert not is_subtype(person, employee, WORLD_ISA)
+        assert not is_subtype(employee, project, WORLD_ISA)
+
+    def test_object_types_without_isa_unrelated(self):
+        assert not is_subtype(employee, person, EMPTY_ISA)
+
+    def test_bottom_below_everything(self):
+        assert is_subtype(BOTTOM, INTEGER)
+        assert is_subtype(BOTTOM, SetOf(person), WORLD_ISA)
+
+
+class TestStructuralRules:
+    def test_set_covariant(self):
+        assert is_subtype(SetOf(employee), SetOf(person), WORLD_ISA)
+        assert not is_subtype(SetOf(person), SetOf(employee), WORLD_ISA)
+
+    def test_list_covariant(self):
+        assert is_subtype(ListOf(employee), ListOf(person), WORLD_ISA)
+
+    def test_record_covariant_same_names(self):
+        sub = RecordOf(a=employee, b=INTEGER)
+        sup = RecordOf(a=person, b=INTEGER)
+        assert is_subtype(sub, sup, WORLD_ISA)
+        assert not is_subtype(sup, sub, WORLD_ISA)
+
+    def test_record_different_names_unrelated(self):
+        # Definition 6.1 requires the same attribute set (no width
+        # subtyping).
+        assert not is_subtype(
+            RecordOf(a=employee, b=INTEGER),
+            RecordOf(a=person),
+            WORLD_ISA,
+        )
+
+    def test_temporal_covariant(self):
+        assert is_subtype(
+            TemporalType(employee), TemporalType(person), WORLD_ISA
+        )
+
+    def test_temporal_unrelated_to_static(self):
+        # temporal(T) <= T is NOT subtyping; it is Rule 6.1 refinement
+        # plus coercion (Section 6.1).
+        assert not is_subtype(TemporalType(INTEGER), INTEGER)
+        assert not is_subtype(INTEGER, TemporalType(INTEGER))
+
+    def test_mixed_constructors_unrelated(self):
+        assert not is_subtype(SetOf(INTEGER), ListOf(INTEGER))
+        assert not is_subtype(SetOf(INTEGER), INTEGER)
+
+    def test_deep_nesting(self):
+        sub = SetOf(RecordOf(x=ListOf(manager)))
+        sup = SetOf(RecordOf(x=ListOf(person)))
+        assert is_subtype(sub, sup, WORLD_ISA)
+
+
+class TestPosetLaws:
+    @given(t_chimera_types())
+    def test_reflexivity(self, t):
+        assert is_subtype(t, t, WORLD_ISA)
+
+    @given(t_chimera_types(), t_chimera_types())
+    def test_antisymmetry(self, a, b):
+        if is_subtype(a, b, WORLD_ISA) and is_subtype(b, a, WORLD_ISA):
+            assert a == b
+
+    @given(t_chimera_types(), t_chimera_types(), t_chimera_types())
+    def test_transitivity(self, a, b, c):
+        if is_subtype(a, b, WORLD_ISA) and is_subtype(b, c, WORLD_ISA):
+            assert is_subtype(a, c, WORLD_ISA)
+
+
+class TestLub:
+    def test_same_type(self):
+        assert lub([INTEGER, INTEGER]) == INTEGER
+
+    def test_classes(self):
+        assert lub([employee, manager], WORLD_ISA) == employee
+        assert lub([employee, person], WORLD_ISA) == person
+
+    def test_unrelated_classes_no_lub(self):
+        with pytest.raises(NoLubError):
+            lub([person, project], WORLD_ISA)
+        assert try_lub([person, project], WORLD_ISA) is None
+
+    def test_unrelated_basics_no_lub(self):
+        with pytest.raises(NoLubError):
+            lub([INTEGER, STRING])
+
+    def test_structural(self):
+        assert lub([SetOf(manager), SetOf(employee)], WORLD_ISA) == SetOf(
+            employee
+        )
+        assert lub(
+            [RecordOf(a=manager), RecordOf(a=person)], WORLD_ISA
+        ) == RecordOf(a=person)
+
+    def test_temporal(self):
+        assert lub(
+            [TemporalType(manager), TemporalType(person)], WORLD_ISA
+        ) == TemporalType(person)
+
+    def test_bottom_is_unit(self):
+        assert lub([BOTTOM, INTEGER]) == INTEGER
+        assert lub([SetOf(BOTTOM), SetOf(person)], WORLD_ISA) == SetOf(person)
+
+    def test_empty_set_of_types_rejected(self):
+        with pytest.raises(NoLubError):
+            lub([])
+
+    def test_singleton(self):
+        assert lub([SetOf(INTEGER)]) == SetOf(INTEGER)
+
+    @given(t_chimera_types())
+    def test_lub_with_self(self, t):
+        assert lub([t, t], WORLD_ISA) == t
+
+    @given(t_chimera_types(), t_chimera_types())
+    def test_lub_is_upper_bound(self, a, b):
+        result = try_lub([a, b], WORLD_ISA)
+        if result is not None:
+            assert is_subtype(a, result, WORLD_ISA)
+            assert is_subtype(b, result, WORLD_ISA)
+
+    @given(t_chimera_types(), t_chimera_types())
+    def test_lub_commutative(self, a, b):
+        assert try_lub([a, b], WORLD_ISA) == try_lub([b, a], WORLD_ISA)
+
+    @given(t_chimera_types(), t_chimera_types())
+    def test_subtype_implies_lub_is_super(self, a, b):
+        if is_subtype(a, b, WORLD_ISA):
+            assert try_lub([a, b], WORLD_ISA) == b

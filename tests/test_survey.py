@@ -1,0 +1,95 @@
+"""Tables 1 and 2: the encoded claims and the code-derived row."""
+
+from repro.survey.models import (
+    MODELS,
+    TABLE1_LEGEND,
+    TABLE2_LEGEND,
+    t_chimera_row_from_code,
+)
+from repro.survey.tables import (
+    render_table,
+    render_table1,
+    render_table2,
+    table1_rows,
+    table2_rows,
+)
+
+
+class TestRegistry:
+    def test_eight_models(self):
+        assert len(MODELS) == 8
+        assert MODELS[-1].citation == "Our model"
+
+    def test_citations_in_paper_order(self):
+        assert [m.citation for m in MODELS] == [
+            "[21]", "[6]", "[11]", "[13]", "[19]", "[15]", "[7]",
+            "Our model",
+        ]
+
+    def test_table1_claims(self):
+        """Spot-check Table 1 cells against the printed table."""
+        by = {m.citation: m for m in MODELS}
+        assert by["[21]"].time_structure == "user-defined"
+        assert by["[21]"].time_dimension == "arbitrary^1"
+        assert by["[11]"].oo_data_model == "TIGUKAT"
+        assert by["[19]"].oo_data_model == "OSAM*"
+        assert all(
+            m.values_and_objects == "objects"
+            for m in MODELS
+            if m.citation != "Our model"
+        )
+        assert by["Our model"].values_and_objects == "both"
+        assert by["Our model"].class_features == "YES"
+
+    def test_table2_claims(self):
+        by = {m.citation: m for m in MODELS}
+        assert by["[13]"].what_is_timestamped == "objects"
+        assert by["[15]"].temporal_attribute_values == "sets of triples^3"
+        assert by["[15]"].kinds_of_attributes == "temporal"
+        assert by["Our model"].kinds_of_attributes == (
+            "temporal + immutable + non-temporal"
+        )
+        assert by["Our model"].histories_of_object_types == "YES"
+        # Only our model supports non-temporal attributes.
+        assert sum(
+            "non-temporal" in m.kinds_of_attributes for m in MODELS
+        ) == 1
+
+    def test_histories_of_object_types_column(self):
+        by = {m.citation: m for m in MODELS}
+        yes = {c for c, m in by.items() if m.histories_of_object_types == "YES"}
+        assert yes == {"[21]", "[11]", "[7]", "Our model"}
+
+
+class TestDerivedRow:
+    def test_our_row_is_backed_by_the_implementation(self):
+        """Every 'Our model' cell is witnessed by the code."""
+        assert t_chimera_row_from_code() == MODELS[-1]
+
+
+class TestRendering:
+    def test_table1_rows_shape(self):
+        rows = table1_rows()
+        assert len(rows) == 9  # header + 8 models
+        assert rows[0][1] == "oo data model"
+        assert rows[-1][0] == "Our model"
+
+    def test_table2_rows_shape(self):
+        rows = table2_rows()
+        assert len(rows) == 9
+        assert rows[0][1] == "what is timestamped"
+
+    def test_render_aligns_and_includes_legend(self):
+        text = render_table(table1_rows(), TABLE1_LEGEND, "Table 1")
+        lines = text.splitlines()
+        assert lines[0] == "Table 1"
+        assert "Legenda:" in text
+        assert "transaction or as valid time" in text
+
+    def test_full_renderings(self):
+        t1 = render_table1()
+        assert "OODAPLEX" in t1 and "Our model" in t1 and "Chimera" in t1
+        t2 = render_table2()
+        assert "sets of triples^3" in t2
+        for note in TABLE2_LEGEND:
+            assert note in t2

@@ -1,0 +1,330 @@
+"""Temporal values: partial functions from TIME (Section 3.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import OverlappingHistoryError, UndefinedAtError
+from repro.temporal.instants import NOW
+from repro.temporal.intervals import Interval
+from repro.temporal.intervalsets import IntervalSet
+from repro.temporal.temporalvalue import TemporalValue
+
+from tests.strategies import temporal_values
+
+
+def paper_example() -> TemporalValue:
+    """{<[5,10],12>, <[11,30],5>} from Example 3.2."""
+    return TemporalValue.from_items([((5, 10), 12), ((11, 30), 5)])
+
+
+class TestQueries:
+    def test_at(self):
+        tv = paper_example()
+        assert tv.at(5) == 12 and tv.at(10) == 12
+        assert tv.at(11) == 5 and tv.at(30) == 5
+
+    def test_at_outside_domain_raises(self):
+        tv = paper_example()
+        with pytest.raises(UndefinedAtError):
+            tv.at(4)
+        with pytest.raises(UndefinedAtError):
+            tv.at(31)
+
+    def test_get_default(self):
+        assert paper_example().get(4, "none") == "none"
+
+    def test_call_syntax(self):
+        assert paper_example()(7) == 12
+
+    def test_defined_at(self):
+        tv = paper_example()
+        assert tv.defined_at(10) and not tv.defined_at(40)
+
+    def test_domain(self):
+        assert paper_example().domain() == IntervalSet.span(5, 30)
+
+    def test_domain_with_gap(self):
+        tv = TemporalValue.from_items([((1, 3), "a"), ((7, 9), "b")])
+        assert tv.domain() == IntervalSet.from_pairs([(1, 3), (7, 9)])
+
+    def test_first_last_instants(self):
+        tv = paper_example()
+        assert tv.first_instant() == 5
+        assert tv.last_instant() == 30
+
+    def test_empty(self):
+        tv = TemporalValue()
+        assert tv.is_empty()
+        with pytest.raises(UndefinedAtError):
+            tv.first_instant()
+
+    def test_is_constant(self):
+        assert TemporalValue.from_items([((1, 3), 7), ((9, 12), 7)]).is_constant()
+        assert not paper_example().is_constant()
+        assert TemporalValue().is_constant()
+
+    def test_when(self):
+        tv = paper_example()
+        assert tv.when(lambda v: v > 10) == IntervalSet.span(5, 10)
+        assert tv.when(lambda v: v < 0).is_empty
+
+    def test_values_in_time_order(self):
+        assert list(paper_example().values()) == [12, 5]
+
+    def test_repr_matches_paper_notation(self):
+        assert repr(paper_example()) == "{<[5,10],12>, <[11,30],5>}"
+
+
+class TestAssignClose:
+    def test_assign_builds_history(self):
+        tv = TemporalValue()
+        tv.assign(5, "a")
+        tv.assign(9, "b")
+        assert tv.pairs() == (
+            (Interval(5, 8), "a"),
+            (Interval.from_now(9), "b"),
+        )
+
+    def test_assign_same_value_coalesces(self):
+        tv = TemporalValue()
+        tv.assign(5, "a")
+        tv.assign(9, "a")
+        assert len(tv) == 1
+
+    def test_assign_at_open_start_overwrites(self):
+        tv = TemporalValue()
+        tv.assign(5, "a")
+        tv.assign(5, "b")
+        assert tv.pairs() == ((Interval.from_now(5), "b"),)
+
+    def test_assign_into_past_raises(self):
+        tv = TemporalValue()
+        tv.assign(5, "a")
+        with pytest.raises(OverlappingHistoryError):
+            tv.assign(3, "b")
+
+    def test_assign_after_close_leaves_gap(self):
+        tv = TemporalValue()
+        tv.assign(5, "a")
+        tv.close(7)
+        tv.assign(10, "b")
+        assert not tv.defined_at(8) and not tv.defined_at(9)
+        assert tv.at(10) == "b"
+
+    def test_close(self):
+        tv = TemporalValue()
+        tv.assign(5, "a")
+        tv.close(9)
+        assert tv.pairs() == ((Interval(5, 9), "a"),)
+        assert not tv.has_open_pair()
+
+    def test_close_before_start_removes_pair(self):
+        tv = TemporalValue()
+        tv.assign(5, "a")
+        tv.close(4)
+        assert tv.is_empty()
+
+    def test_close_minus_one(self):
+        tv = TemporalValue()
+        tv.assign(0, "a")
+        tv.close(-1)
+        assert tv.is_empty()
+
+    def test_close_without_open_pair_is_noop(self):
+        tv = paper_example()
+        tv.close(50)
+        assert tv == paper_example()
+
+    def test_open_pair_tracks_now(self):
+        tv = TemporalValue()
+        tv.assign(5, "a")
+        assert tv.at(5) == "a" and tv.at(500) == "a"
+        assert tv.last_instant(now=42) == 42
+
+    def test_resolved_pairs(self):
+        tv = TemporalValue()
+        tv.assign(5, "a")
+        assert tv.resolved_pairs(9) == ((Interval(5, 9), "a"),)
+
+
+class TestPut:
+    def test_put_disjoint(self):
+        tv = paper_example()
+        tv.put(Interval(40, 50), 9)
+        assert tv.at(45) == 9
+
+    def test_put_overlap_rejected(self):
+        tv = paper_example()
+        with pytest.raises(OverlappingHistoryError):
+            tv.put(Interval(8, 12), 0)
+
+    def test_put_overwrite_carves(self):
+        tv = paper_example()
+        tv.put(Interval(8, 12), 0, overwrite=True)
+        assert tv.at(7) == 12 and tv.at(8) == 0 and tv.at(12) == 0
+        assert tv.at(13) == 5
+
+    def test_put_adjacent_equal_coalesces(self):
+        tv = TemporalValue()
+        tv.put(Interval(1, 3), "x")
+        tv.put(Interval(4, 6), "x")
+        assert len(tv) == 1
+        assert tv.pairs() == ((Interval(1, 6), "x"),)
+
+    def test_put_second_open_pair_rejected(self):
+        tv = TemporalValue()
+        tv.assign(5, "a")
+        with pytest.raises(OverlappingHistoryError):
+            tv.put(Interval.from_now(10), "b")
+
+    def test_put_out_of_order(self):
+        tv = TemporalValue()
+        tv.put(Interval(10, 20), "b")
+        tv.put(Interval(1, 5), "a")
+        assert [v for _i, v in tv.pairs()] == ["a", "b"]
+
+
+class TestTransforms:
+    def test_restrict(self):
+        tv = paper_example()
+        cut = tv.restrict(IntervalSet.span(8, 15))
+        assert cut.domain() == IntervalSet.span(8, 15)
+        assert cut.at(8) == 12 and cut.at(15) == 5
+
+    def test_restrict_to_nothing(self):
+        assert paper_example().restrict(IntervalSet.empty()).is_empty()
+
+    def test_map(self):
+        doubled = paper_example().map(lambda v: v * 2)
+        assert doubled.at(7) == 24 and doubled.at(20) == 10
+
+    def test_map_preserves_domain(self):
+        tv = paper_example()
+        assert tv.map(str).domain() == tv.domain()
+
+    def test_copy_is_independent(self):
+        tv = TemporalValue()
+        tv.assign(1, "a")
+        clone = tv.copy()
+        clone.assign(5, "b")
+        assert tv.get(5) == "a" and clone.get(5) == "b"
+
+    def test_coalesced(self):
+        raw = TemporalValue(coalesce=False)
+        raw.put(Interval(1, 3), "x")
+        raw.put(Interval(4, 6), "x")
+        assert len(raw) == 2
+        assert len(raw.coalesced()) == 1
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert paper_example() == paper_example()
+
+    def test_coalescing_invariance(self):
+        a = TemporalValue(coalesce=False)
+        a.put(Interval(1, 3), "x")
+        a.put(Interval(4, 6), "x")
+        b = TemporalValue.from_items([((1, 6), "x")])
+        assert a == b
+
+    def test_equals_at_resolves_open_pairs(self):
+        a = TemporalValue()
+        a.assign(5, "v")
+        b = TemporalValue.from_items([((5, 9), "v")])
+        assert a.equals_at(b, now=9)
+        assert not a.equals_at(b, now=10)
+
+    def test_hashable(self):
+        assert hash(paper_example()) == hash(paper_example())
+
+    def test_constant_constructor(self):
+        tv = TemporalValue.constant("IDEA", Interval(20, 90))
+        assert tv.is_constant() and tv.at(20) == "IDEA" == tv.at(90)
+
+
+class TestProperties:
+    @given(temporal_values())
+    def test_pairs_sorted_and_disjoint(self, tv):
+        pairs = tv.pairs()
+        for (i1, _), (i2, _) in zip(pairs, pairs[1:]):
+            assert i1.end < i2.start
+
+    @given(temporal_values())
+    def test_at_agrees_with_pairs(self, tv):
+        for interval, value in tv.pairs():
+            for t in interval.instants():
+                assert tv.at(t) == value
+
+    @given(temporal_values())
+    def test_domain_cardinality(self, tv):
+        total = sum(i.duration() for i, _v in tv.pairs())
+        assert tv.domain().cardinality() == total
+
+    @given(temporal_values(), st.integers(0, 300))
+    def test_defined_iff_in_domain(self, tv, t):
+        assert tv.defined_at(t) == (t in tv.domain())
+
+    @given(temporal_values())
+    def test_restrict_to_domain_is_identity(self, tv):
+        assert tv.restrict(tv.domain()) == tv
+
+    @given(temporal_values(), st.integers(0, 300), st.integers(0, 300))
+    def test_restrict_semantics(self, tv, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        window = IntervalSet.span(lo, hi)
+        cut = tv.restrict(window)
+        for t in range(lo, min(hi, 301) + 1):
+            if tv.defined_at(t):
+                assert cut.at(t) == tv.at(t)
+        assert cut.domain() == (tv.domain() & window)
+
+    @given(temporal_values())
+    def test_map_identity(self, tv):
+        assert tv.map(lambda v: v) == tv
+
+    @given(temporal_values())
+    def test_when_partitions_domain(self, tv):
+        yes = tv.when(lambda v: v >= 0)
+        no = tv.when(lambda v: v < 0)
+        assert (yes | no) == tv.domain()
+        assert (yes & no).is_empty
+
+
+class TestCombine:
+    def test_pairwise_join(self):
+        a = TemporalValue.from_items([((0, 9), 1), ((10, 19), 2)])
+        b = TemporalValue.from_items([((5, 14), 10)])
+        joined = a.combine(b, lambda x, y: x + y)
+        assert joined.pairs() == (
+            (Interval(5, 9), 11),
+            (Interval(10, 14), 12),
+        )
+
+    def test_domain_is_intersection(self):
+        a = TemporalValue.from_items([((0, 4), "x")])
+        b = TemporalValue.from_items([((10, 14), "y")])
+        assert a.combine(b, lambda x, y: (x, y)).is_empty()
+
+    def test_open_pairs_need_now(self):
+        from repro.errors import UnresolvedNowError
+
+        a = TemporalValue()
+        a.assign(0, 1)
+        b = TemporalValue.from_items([((0, 9), 2)])
+        with pytest.raises(UnresolvedNowError):
+            a.combine(b, lambda x, y: x + y)
+        joined = a.combine(b, lambda x, y: x + y, now=5)
+        assert joined.domain() == IntervalSet.span(0, 5)
+
+    def test_per_instant_agreement(self):
+        """combine(f, g)(t) == fn(f(t), g(t)) wherever both defined."""
+        a = TemporalValue.from_items([((0, 3), 1), ((7, 12), 5)])
+        b = TemporalValue.from_items([((2, 8), 10), ((11, 20), 20)])
+        joined = a.combine(b, lambda x, y: x * y)
+        for t in range(0, 21):
+            both = a.defined_at(t) and b.defined_at(t)
+            assert joined.defined_at(t) == both
+            if both:
+                assert joined.at(t) == a.at(t) * b.at(t)

@@ -1,0 +1,175 @@
+"""Model-based testing of TemporalValue mutations.
+
+The oracle is a plain ``dict[instant, value]``; a hypothesis-driven
+sequence of assign / close / put(overwrite=True) operations is applied
+to both the oracle and the real structure, then the two must agree on
+every instant of the horizon.  This pins down the trickiest code in
+the temporal substrate (the carve/split logic of overwriting ``put``).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.temporal.instants import NOW, Now
+from repro.temporal.intervals import Interval
+from repro.temporal.temporalvalue import TemporalValue
+
+HORIZON = 60
+
+
+class _Oracle:
+    """The per-instant reference semantics."""
+
+    def __init__(self) -> None:
+        self.map: dict[int, int] = {}
+        self.open_since: int | None = None
+        self.open_value: int | None = None
+
+    def _normalize(self) -> None:
+        """Mirror coalescing: the open pair absorbs an adjacent closed
+        stretch of the same value, so its start is the beginning of the
+        maximal constant suffix -- exactly what the real structure's
+        pair-merging produces."""
+        if self.open_since is None:
+            return
+        while self.map.get(self.open_since - 1) == self.open_value:
+            self.open_since -= 1
+            del self.map[self.open_since]
+
+    def materialize(self, now: int) -> dict[int, int]:
+        result = dict(self.map)
+        if self.open_since is not None:
+            for t in range(self.open_since, now + 1):
+                result[t] = self.open_value
+        return result
+
+    def assign(self, t: int, value: int) -> bool:
+        """Mirror TemporalValue.assign; False = op would raise."""
+        if self.open_since is not None:
+            if t < self.open_since:
+                return False
+            if value == self.open_value:
+                # Assigning the unchanged value does not change the
+                # function: the open pair keeps its original start.
+                return True
+            # close open at t-1, open new at t
+            for instant in range(self.open_since, t):
+                self.map[instant] = self.open_value
+            self.open_since, self.open_value = t, value
+            self._normalize()
+            return True
+        if self.map and t <= max(self.map):
+            return False
+        self.open_since, self.open_value = t, value
+        self._normalize()
+        return True
+
+    def close(self, t: int) -> None:
+        if self.open_since is None:
+            return
+        if t < self.open_since:
+            self.open_since = self.open_value = None
+            return
+        for instant in range(self.open_since, t + 1):
+            self.map[instant] = self.open_value
+        self.open_since = self.open_value = None
+
+    def put_overwrite(self, start: int, end: int, value: int) -> None:
+        # Carve the open pair if it overlaps.
+        if self.open_since is not None and end >= self.open_since:
+            for instant in range(self.open_since, start):
+                self.map[instant] = self.open_value
+            if self.open_since < start:
+                pass
+            # the open pair's tail beyond `end` stays open only in the
+            # real structure when its start > end; mirror that:
+            if self.open_since > end:
+                pass
+            else:
+                # split: [open_since, start-1] materialized above;
+                # [end+1, now] stays open
+                new_start = end + 1
+                if new_start > self.open_since:
+                    self.open_since = new_start
+        for instant in range(start, end + 1):
+            self.map[instant] = value
+        self._normalize()
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("assign"),
+            st.integers(0, HORIZON),
+            st.integers(0, 5),
+        ),
+        st.tuples(st.just("close"), st.integers(0, HORIZON), st.just(0)),
+        st.tuples(
+            st.just("put"),
+            st.integers(0, HORIZON),
+            st.integers(0, 5),
+        ),
+    ),
+    max_size=12,
+)
+
+
+class TestAgainstOracle:
+    @settings(max_examples=200, deadline=None)
+    @given(ops, st.data())
+    def test_mutation_sequences(self, operations, data):
+        oracle = _Oracle()
+        real = TemporalValue()
+        for op, a, value in operations:
+            if op == "assign":
+                expected_ok = oracle.assign(a, value)
+                try:
+                    real.assign(a, value)
+                    assert expected_ok, "real accepted, oracle refused"
+                except Exception:
+                    assert not expected_ok, "real refused, oracle accepted"
+            elif op == "close":
+                oracle.close(a)
+                real.close(a)
+            else:  # put overwrite over [a, b]
+                b = data.draw(st.integers(a, min(a + 10, HORIZON)))
+                oracle.put_overwrite(a, b, value)
+                real.put(Interval(a, b), value, overwrite=True)
+        now = HORIZON + 5
+        expected = oracle.materialize(now)
+        for t in range(0, now + 1):
+            if t in expected:
+                assert real.defined_at(t), f"missing at {t}"
+                assert real.at(t) == expected[t], f"wrong value at {t}"
+            else:
+                assert not real.defined_at(t), f"spurious at {t}"
+
+    @settings(max_examples=100, deadline=None)
+    @given(ops)
+    def test_structural_invariants_always_hold(self, operations):
+        """Whatever happens: sorted, disjoint pairs; at most one open
+        pair; coalesced neighbours differ."""
+        real = TemporalValue()
+        for op, a, value in operations:
+            try:
+                if op == "assign":
+                    real.assign(a, value)
+                elif op == "close":
+                    real.close(a)
+                else:
+                    real.put(Interval(a, min(a + 7, HORIZON)), value,
+                             overwrite=True)
+            except Exception:
+                continue
+            pairs = real.pairs()
+            for index, (interval, _v) in enumerate(pairs):
+                if index + 1 < len(pairs):
+                    nxt = pairs[index + 1][0]
+                    assert isinstance(interval.end, int)
+                    assert interval.end < nxt.start
+            open_pairs = [p for p, _v in pairs if p.is_moving]
+            assert len(open_pairs) <= 1
+            if open_pairs:
+                assert pairs[-1][0].is_moving
+            for (i1, v1), (i2, v2) in zip(pairs, pairs[1:]):
+                if isinstance(i1.end, int) and i1.end + 1 == i2.start:
+                    assert v1 != v2, "uncoalesced equal neighbours"

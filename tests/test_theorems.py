@@ -1,0 +1,168 @@
+"""Executable metatheory: Theorems 3.1, 3.2 and 6.1.
+
+The paper proves these by induction (proofs in the companion technical
+report); here hypothesis quantifies them over randomly generated
+types, values and instants of the fixed class world.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.types.deduction import infer_type, is_deducible
+from repro.types.extension import in_extension
+from repro.types.grammar import (
+    INTEGER,
+    ListOf,
+    ObjectType,
+    RecordOf,
+    SetOf,
+    TemporalType,
+)
+from repro.types.subtyping import is_subtype
+from repro.types.theorems import (
+    completeness_holds,
+    extension_inclusion_holds,
+    soundness_holds,
+)
+from repro.values.null import NULL
+from repro.values.oid import OID
+
+from tests.strategies import (
+    MAX_INSTANT,
+    WORLD_ISA,
+    t_chimera_types,
+    typed_values,
+    values_of_type,
+    world_context,
+)
+
+
+class TestTheorem31Soundness:
+    """Deduced types are inhabited: v : T implies exists t, v in [[T]]_t."""
+
+    @given(typed_values())
+    @settings(max_examples=150)
+    def test_soundness_on_generated_pairs(self, pair):
+        t, value = pair
+        ctx = world_context()
+        if is_deducible(value, t, ctx):
+            assert soundness_holds(value, t, ctx, now=150)
+
+    @given(typed_values())
+    @settings(max_examples=100)
+    def test_soundness_of_inferred_type(self, pair):
+        _t, value = pair
+        ctx = world_context()
+        try:
+            inferred = infer_type(value, ctx)
+        except Exception:
+            return
+        if is_deducible(value, inferred, ctx):
+            assert soundness_holds(value, inferred, ctx, now=150)
+
+    def test_precondition_enforced(self):
+        import pytest
+
+        with pytest.raises(AssertionError):
+            soundness_holds("not an int", INTEGER)
+
+
+class TestTheorem32Completeness:
+    """v in [[T]]_t implies v : T is deducible."""
+
+    @given(typed_values(), st.integers(0, MAX_INSTANT))
+    @settings(max_examples=150)
+    def test_completeness_on_generated_pairs(self, pair, at):
+        t, value = pair
+        assert completeness_holds(value, t, at, world_context(), now=150)
+
+    @given(t_chimera_types(), st.data(), st.integers(0, MAX_INSTANT))
+    @settings(max_examples=100)
+    def test_completeness_on_cross_typed_values(self, t, data, at):
+        """Draw the value from a DIFFERENT random type; whenever it
+        happens to lie in [[t]]_at, deduction must find t."""
+        other = data.draw(t_chimera_types())
+        value = data.draw(values_of_type(other))
+        assert completeness_holds(value, t, at, world_context(), now=150)
+
+    def test_vacuous_when_not_member(self):
+        assert completeness_holds("x", INTEGER, 0)
+
+
+class TestTheorem61ExtensionInclusion:
+    """T1 <=_T T2 implies [[T1]]_t included in [[T2]]_t, for all t."""
+
+    @given(typed_values(), st.integers(0, MAX_INSTANT))
+    @settings(max_examples=120)
+    def test_value_of_subtype_in_supertype_extension(self, pair, at):
+        t, value = pair
+        ctx = world_context()
+        for super_type in _supertypes_of(t):
+            assert is_subtype(t, super_type, WORLD_ISA)
+            if in_extension(value, t, at, ctx):
+                assert in_extension(value, super_type, at, ctx)
+
+    @given(st.integers(0, MAX_INSTANT))
+    def test_class_chain(self, at):
+        ctx = world_context()
+        samples = [OID(1, "person"), OID(2, "person"), OID(3, "person"),
+                   OID(99), NULL]
+        assert extension_inclusion_holds(
+            ObjectType("manager"), ObjectType("employee"), samples, at, ctx
+        )
+        assert extension_inclusion_holds(
+            ObjectType("employee"), ObjectType("person"), samples, at, ctx
+        )
+
+    @given(st.data(), st.integers(0, MAX_INSTANT))
+    @settings(max_examples=100)
+    def test_structural_lifting(self, data, at):
+        """The inclusion lifts through set-of/list-of/record/temporal."""
+        ctx = world_context()
+        sub, sup = SetOf(ObjectType("manager")), SetOf(ObjectType("person"))
+        value = data.draw(values_of_type(sub))
+        assert extension_inclusion_holds(sub, sup, [value], at, ctx)
+        sub_t = TemporalType(ObjectType("employee"))
+        sup_t = TemporalType(ObjectType("person"))
+        tv = data.draw(values_of_type(sub_t))
+        assert extension_inclusion_holds(sub_t, sup_t, [tv], at, ctx)
+
+    def test_precondition_enforced(self):
+        import pytest
+
+        with pytest.raises(AssertionError):
+            extension_inclusion_holds(
+                ObjectType("person"),
+                ObjectType("manager"),
+                [],
+                0,
+                world_context(),
+            )
+
+
+def _supertypes_of(t):
+    """A few syntactic supertypes of t in the fixed world."""
+    results = [t]
+    if isinstance(t, ObjectType):
+        ladder = {
+            "manager": ["employee", "person"],
+            "employee": ["person"],
+        }
+        results.extend(
+            ObjectType(name) for name in ladder.get(t.class_name, [])
+        )
+    if isinstance(t, (SetOf, ListOf)):
+        wrap = type(t)
+        results.extend(wrap(inner) for inner in _supertypes_of(t.element))
+    if isinstance(t, TemporalType):
+        results.extend(
+            TemporalType(inner)
+            for inner in _supertypes_of(t.argument)
+            if inner.is_chimera()
+        )
+    if isinstance(t, RecordOf) and t.names:
+        first = t.names[0]
+        for sup_field in _supertypes_of(t.field_type(first)):
+            fields = dict(t.fields)
+            fields[first] = sup_field
+            results.append(RecordOf(fields))
+    return results

@@ -1,0 +1,109 @@
+"""Atomic update batches with rollback."""
+
+import pytest
+
+from repro.database.transactions import Transaction
+from repro.errors import IntegrityError, TransactionError, TypeCheckError
+
+
+class TestCommit:
+    def test_successful_batch(self, staff_db):
+        db, names = staff_db
+        db.tick()
+        with Transaction(db):
+            db.update_attribute(names["dan"], "salary", 3000.0)
+            db.update_attribute(names["dan"], "dept", "S")
+        dan = db.get_object(names["dan"])
+        assert dan.value["salary"].at(db.now) == 3000.0
+        assert dan.value["dept"] == "S"
+
+    def test_commit_clears_backup(self, staff_db):
+        db, _ = staff_db
+        txn = Transaction(db).begin()
+        assert txn.active
+        txn.commit()
+        assert not txn.active
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+
+class TestRollback:
+    def test_exception_rolls_back_everything(self, staff_db):
+        db, names = staff_db
+        db.tick()
+        before = db.get_object(names["dan"]).value["salary"].at(db.now)
+        with pytest.raises(TypeCheckError):
+            with Transaction(db):
+                db.update_attribute(names["dan"], "salary", 9999.0)
+                db.update_attribute(names["dan"], "salary", "bad")
+        after = db.get_object(names["dan"]).value["salary"].at(db.now)
+        assert after == before
+
+    def test_rollback_restores_schema(self, staff_db):
+        db, _ = staff_db
+        with pytest.raises(RuntimeError):
+            with Transaction(db):
+                db.define_class("temp", attributes=[("x", "integer")])
+                raise RuntimeError("abort")
+        assert not db.known_class("temp")
+        assert "temp" not in db.isa
+
+    def test_rollback_restores_objects_and_clock(self, staff_db):
+        db, names = staff_db
+        now_before = db.now
+        count_before = len(db)
+        with pytest.raises(RuntimeError):
+            with Transaction(db):
+                db.tick(10)
+                db.create_object("person", {"name": "Ghost"})
+                raise RuntimeError("abort")
+        assert db.now == now_before
+        assert len(db) == count_before
+
+    def test_rollback_without_begin(self, staff_db):
+        db, _ = staff_db
+        with pytest.raises(TransactionError):
+            Transaction(db).rollback()
+
+    def test_double_begin_rejected(self, staff_db):
+        db, _ = staff_db
+        txn = Transaction(db).begin()
+        with pytest.raises(TransactionError):
+            txn.begin()
+        txn.rollback()
+
+    def test_engine_still_consistent_after_rollback(self, staff_db):
+        from repro.database.integrity import check_database
+
+        db, names = staff_db
+        with pytest.raises(RuntimeError):
+            with Transaction(db):
+                db.tick()
+                db.migrate(names["dan"], "manager", {"officialcar": "M"})
+                raise RuntimeError("abort")
+        report = check_database(db)
+        assert report.ok, report.all_violations()
+        # And the engine remains usable.
+        db.tick()
+        db.update_attribute(names["dan"], "salary", 1234.0)
+
+
+class TestVerifyingTransaction:
+    def test_verify_aborts_on_integrity_violation(self, staff_db):
+        db, names = staff_db
+        db.tick()
+        with pytest.raises(IntegrityError):
+            with Transaction(db, verify=True):
+                # Bypass the engine API to corrupt state.
+                db.get_object(names["dan"]).value["dept"] = 42
+        # The corruption was rolled back.
+        assert db.get_object(names["dan"]).value["dept"] == "R"
+
+    def test_verify_passes_clean_batch(self, staff_db):
+        db, names = staff_db
+        db.tick()
+        with Transaction(db, verify=True):
+            db.update_attribute(names["dan"], "salary", 1500.0)
+        assert db.get_object(names["dan"]).value["salary"].at(
+            db.now
+        ) == 1500.0

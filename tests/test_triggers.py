@@ -1,0 +1,318 @@
+"""Temporal triggers: ECA rules, cascades, termination analysis."""
+
+import pytest
+
+from repro.database.events import EventKind
+from repro.errors import TriggerError
+from repro.query import attr
+from repro.triggers import (
+    Trigger,
+    TriggerManager,
+    on_create,
+    on_delete,
+    on_migrate,
+    on_update,
+)
+from repro.triggers.triggers import WriteSpec
+
+
+@pytest.fixture
+def hr_db(empty_db):
+    db = empty_db
+    db.define_class("person", attributes=[("name", "string")])
+    db.define_class(
+        "employee",
+        parents=["person"],
+        attributes=[
+            ("salary", "temporal(real)"),
+            ("grade", "temporal(integer)"),
+        ],
+    )
+    db.tick(5)
+    return db
+
+
+class TestEventMatching:
+    def test_update_event_with_attribute(self, hr_db):
+        db = hr_db
+        fired = []
+        manager = TriggerManager(db)
+        manager.register(
+            Trigger(
+                "on-salary",
+                on_update("employee", "salary"),
+                action=lambda d, e: fired.append(e),
+            )
+        )
+        oid = db.create_object("employee", {"name": "A", "salary": 1.0})
+        db.tick()
+        db.update_attribute(oid, "salary", 2.0)
+        db.update_attribute(oid, "grade", 1)
+        assert len(fired) == 1
+        assert fired[0].attribute == "salary"
+        assert fired[0].old_value == 1.0 and fired[0].new_value == 2.0
+
+    def test_event_matches_subclasses(self, hr_db):
+        db = hr_db
+        db.define_class("manager", parents=["employee"])
+        fired = []
+        TriggerManager(db).register(
+            Trigger(
+                "on-any-person-create",
+                on_create("person"),
+                action=lambda d, e: fired.append(e.class_name),
+            )
+        )
+        db.create_object("manager", {"name": "M", "salary": 1.0})
+        db.create_object("person", {"name": "P"})
+        assert fired == ["manager", "person"]
+
+    def test_migrate_and_delete_events(self, hr_db):
+        db = hr_db
+        db.define_class("manager", parents=["employee"])
+        log = []
+        manager = TriggerManager(db)
+        manager.register(
+            Trigger(
+                "migrations",
+                on_migrate("employee"),
+                action=lambda d, e: log.append(("m", e.from_class)),
+            )
+        )
+        manager.register(
+            Trigger(
+                "deletions",
+                on_delete("person"),
+                action=lambda d, e: log.append(("d", e.class_name)),
+            )
+        )
+        oid = db.create_object("employee", {"name": "A", "salary": 1.0})
+        db.tick()
+        db.migrate(oid, "manager")
+        db.tick()
+        db.delete_object(oid)
+        assert log == [("m", "employee"), ("d", "manager")]
+
+
+class TestConditions:
+    def test_callable_condition(self, hr_db):
+        """A temporal condition: fire only when the salary decreased."""
+        db = hr_db
+        fired = []
+
+        def decreased(database, event):
+            return (
+                event.old_value is not None
+                and event.new_value < event.old_value
+            )
+
+        TriggerManager(db).register(
+            Trigger(
+                "pay-cut",
+                on_update("employee", "salary"),
+                condition=decreased,
+                action=lambda d, e: fired.append(e.new_value),
+            )
+        )
+        oid = db.create_object("employee", {"name": "A", "salary": 5.0})
+        db.tick()
+        db.update_attribute(oid, "salary", 9.0)
+        db.tick()
+        db.update_attribute(oid, "salary", 3.0)
+        assert fired == [3.0]
+
+    def test_query_predicate_condition(self, hr_db):
+        db = hr_db
+        fired = []
+        TriggerManager(db).register(
+            Trigger(
+                "big-earner",
+                on_update("employee", "salary"),
+                predicate=attr("salary") > 100.0,
+                action=lambda d, e: fired.append(e.oid),
+            )
+        )
+        oid = db.create_object("employee", {"name": "A", "salary": 5.0})
+        db.tick()
+        db.update_attribute(oid, "salary", 50.0)
+        db.update_attribute(oid, "salary", 500.0)
+        assert fired == [oid]
+
+
+class TestCascades:
+    def test_trigger_triggers_trigger(self, hr_db):
+        """salary update -> grade bump -> audit log."""
+        db = hr_db
+        audit = []
+        manager = TriggerManager(db)
+        manager.register(
+            Trigger(
+                "bump-grade",
+                on_update("employee", "salary"),
+                action=lambda d, e: d.update_attribute(e.oid, "grade", 99),
+                writes=(WriteSpec(EventKind.UPDATE, "employee", "grade"),),
+            )
+        )
+        manager.register(
+            Trigger(
+                "audit-grade",
+                on_update("employee", "grade"),
+                action=lambda d, e: audit.append(e.new_value),
+                writes=(),
+            )
+        )
+        oid = db.create_object("employee", {"name": "A", "salary": 1.0})
+        db.tick()
+        db.update_attribute(oid, "salary", 2.0)
+        assert audit == [99]
+        names = [name for name, _e in manager.fired_log]
+        assert names == ["bump-grade", "audit-grade"]
+
+    def test_runaway_cascade_bounded(self, hr_db):
+        db = hr_db
+        manager = TriggerManager(db, max_cascade_depth=8)
+        manager.register(
+            Trigger(
+                "loop",
+                on_update("employee", "grade"),
+                action=lambda d, e: d.update_attribute(
+                    e.oid, "grade", (e.new_value or 0) + 1
+                ),
+                writes=(WriteSpec(EventKind.UPDATE, "employee", "grade"),),
+            )
+        )
+        oid = db.create_object("employee", {"name": "A", "salary": 1.0})
+        db.tick()
+        with pytest.raises(TriggerError, match="cascade"):
+            db.update_attribute(oid, "grade", 0)
+
+    def test_duplicate_name_rejected(self, hr_db):
+        manager = TriggerManager(hr_db)
+        trigger = Trigger("t", on_create("person"), action=lambda d, e: None)
+        manager.register(trigger)
+        with pytest.raises(TriggerError):
+            manager.register(
+                Trigger("t", on_create("person"), action=lambda d, e: None)
+            )
+
+    def test_detach(self, hr_db):
+        db = hr_db
+        fired = []
+        manager = TriggerManager(db)
+        manager.register(
+            Trigger(
+                "t", on_create("person"),
+                action=lambda d, e: fired.append(1),
+            )
+        )
+        manager.detach()
+        db.create_object("person", {"name": "X"})
+        assert fired == []
+
+
+class TestTerminationAnalysis:
+    def test_acyclic_set_terminates(self, hr_db):
+        manager = TriggerManager(hr_db)
+        manager.register(
+            Trigger(
+                "a",
+                on_update("employee", "salary"),
+                action=lambda d, e: None,
+                writes=(WriteSpec(EventKind.UPDATE, "employee", "grade"),),
+            )
+        )
+        manager.register(
+            Trigger(
+                "b",
+                on_update("employee", "grade"),
+                action=lambda d, e: None,
+                writes=(),
+            )
+        )
+        report = manager.termination_report()
+        assert report["terminates"] and report["cycles"] == []
+
+    def test_cycle_detected(self, hr_db):
+        manager = TriggerManager(hr_db)
+        manager.register(
+            Trigger(
+                "a",
+                on_update("employee", "salary"),
+                action=lambda d, e: None,
+                writes=(WriteSpec(EventKind.UPDATE, "employee", "grade"),),
+            )
+        )
+        manager.register(
+            Trigger(
+                "b",
+                on_update("employee", "grade"),
+                action=lambda d, e: None,
+                writes=(WriteSpec(EventKind.UPDATE, "employee", "salary"),),
+            )
+        )
+        report = manager.termination_report()
+        assert not report["terminates"]
+        assert sorted(report["cycles"][0]) == ["a", "b"]
+
+    def test_self_loop(self, hr_db):
+        manager = TriggerManager(hr_db)
+        manager.register(
+            Trigger(
+                "selfie",
+                on_update("employee", "grade"),
+                action=lambda d, e: None,
+                writes=(WriteSpec(EventKind.UPDATE, "employee", "grade"),),
+            )
+        )
+        assert manager.cycles() == [["selfie"]]
+
+    def test_past_only_refinement(self, hr_db):
+        """A condition reading strictly-past history cannot re-enable
+        itself within one instant: its self-loop is discounted."""
+        manager = TriggerManager(hr_db)
+        manager.register(
+            Trigger(
+                "selfie",
+                on_update("employee", "grade"),
+                action=lambda d, e: None,
+                writes=(WriteSpec(EventKind.UPDATE, "employee", "grade"),),
+                past_only=True,
+            )
+        )
+        report = manager.termination_report()
+        assert report["terminates"]
+
+    def test_write_spec_attribute_wildcard(self, hr_db):
+        manager = TriggerManager(hr_db)
+        manager.register(
+            Trigger(
+                "wild",
+                on_update("employee", "salary"),
+                action=lambda d, e: None,
+                writes=(WriteSpec(EventKind.UPDATE, "employee", None),),
+            )
+        )
+        graph = manager.triggering_graph()
+        assert "wild" in graph["wild"]  # may write salary itself
+
+
+class TestPredicateOnDelete:
+    def test_predicate_trigger_never_fires_on_delete(self, hr_db):
+        """A query-predicate condition needs a live object to evaluate
+        against; DELETE events cannot satisfy it."""
+        db = hr_db
+        fired = []
+        from repro.triggers import on_delete
+
+        TriggerManager(db).register(
+            Trigger(
+                "ghost",
+                on_delete("employee"),
+                predicate=attr("salary") > 0.0,
+                action=lambda d, e: fired.append(e),
+            )
+        )
+        oid = db.create_object("employee", {"name": "A", "salary": 5.0})
+        db.tick()
+        db.delete_object(oid)
+        assert fired == []

@@ -1,0 +1,84 @@
+"""Typing contexts (repro.types.context)."""
+
+import pytest
+
+from repro.temporal.intervalsets import IntervalSet
+from repro.types.context import (
+    DictTypeContext,
+    EMPTY_CONTEXT,
+    EmptyTypeContext,
+)
+from repro.types.subtyping import EMPTY_ISA
+from repro.values.oid import OID
+
+from tests.strategies import WORLD_ISA
+
+
+class TestEmptyContext:
+    def test_everything_is_empty(self):
+        ctx = EmptyTypeContext()
+        assert ctx.extent("person", 0) == frozenset()
+        assert ctx.membership_times("person", OID(1)).is_empty
+        assert not ctx.known_class("person")
+        assert ctx.classes_of(OID(1)) == ()
+        assert not ctx.ever_member("person", OID(1))
+        assert ctx.member_throughout(
+            "person", OID(1), IntervalSet.empty()
+        )  # vacuous
+        assert ctx.current_time is None
+        assert ctx.isa is EMPTY_ISA
+
+    def test_module_singleton(self):
+        assert isinstance(EMPTY_CONTEXT, EmptyTypeContext)
+
+
+class TestDictContext:
+    def setup_method(self):
+        self.oid = OID(1)
+        self.ctx = DictTypeContext(
+            {"person": {self.oid: IntervalSet.span(10, 20)}},
+            isa=WORLD_ISA,
+            now=15,
+        )
+
+    def test_extent(self):
+        assert self.ctx.extent("person", 15) == frozenset({self.oid})
+        assert self.ctx.extent("person", 5) == frozenset()
+        assert self.ctx.extent("ghost", 15) == frozenset()
+
+    def test_membership_queries(self):
+        assert self.ctx.ever_member("person", self.oid)
+        assert not self.ctx.ever_member("person", OID(9))
+        assert self.ctx.member_throughout(
+            "person", self.oid, IntervalSet.span(12, 18)
+        )
+        assert not self.ctx.member_throughout(
+            "person", self.oid, IntervalSet.span(12, 25)
+        )
+
+    def test_classes_of_respects_the_clock(self):
+        # At now=15 the oid is a member.
+        assert self.ctx.classes_of(self.oid) == ("person",)
+        late = DictTypeContext(
+            {"person": {self.oid: IntervalSet.span(10, 20)}}, now=30
+        )
+        assert late.classes_of(self.oid) == ()
+        clockless = DictTypeContext(
+            {"person": {self.oid: IntervalSet.span(10, 20)}}
+        )
+        assert clockless.classes_of(self.oid) == ("person",)
+
+    def test_add_membership_unions(self):
+        self.ctx.add_membership(
+            "person", self.oid, IntervalSet.span(30, 40)
+        )
+        times = self.ctx.membership_times("person", self.oid)
+        assert 35 in times and 15 in times and 25 not in times
+
+    def test_from_constant_extents(self):
+        ctx = DictTypeContext.from_constant_extents(
+            {"task": [OID(5), OID(6)]}, horizon=(0, 100)
+        )
+        assert ctx.extent("task", 0) == ctx.extent("task", 100)
+        assert ctx.known_class("task")
+        assert not ctx.known_class("person")

@@ -1,0 +1,190 @@
+"""The type grammar (Definitions 3.1-3.4)."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import (
+    DuplicateAttributeError,
+    NotAChimeraTypeError,
+    TypeSyntaxError,
+)
+from repro.types.grammar import (
+    BOOL,
+    BOTTOM,
+    CHARACTER,
+    INTEGER,
+    REAL,
+    STRING,
+    TIME,
+    BASIC_TYPES,
+    BasicType,
+    ListOf,
+    ObjectType,
+    RecordOf,
+    SetOf,
+    TemporalType,
+    is_chimera_type,
+    is_temporal_type,
+    t_minus,
+)
+
+from tests.strategies import chimera_types, t_chimera_types
+
+
+class TestBasicTypes:
+    def test_the_five_plus_time(self):
+        # BVT contains at least integer, real, bool, character, string;
+        # T_Chimera adds time (Section 3.1).
+        assert set(BASIC_TYPES) == {
+            "integer", "real", "bool", "character", "string", "time",
+        }
+
+    def test_unknown_basic_rejected(self):
+        with pytest.raises(TypeSyntaxError):
+            BasicType("decimal")
+
+    def test_equality_by_name(self):
+        assert BasicType("integer") == INTEGER
+        assert INTEGER != REAL
+
+    def test_all_chimera(self):
+        for t in (INTEGER, REAL, BOOL, CHARACTER, STRING, TIME):
+            assert t.is_chimera()
+
+
+class TestObjectTypes:
+    def test_class_names_are_types(self):
+        # Definition 3.1: OT = CI.
+        t = ObjectType("project")
+        assert t.class_name == "project"
+        assert t.is_chimera()
+
+    def test_basic_names_rejected(self):
+        with pytest.raises(TypeSyntaxError):
+            ObjectType("integer")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TypeSyntaxError):
+            ObjectType("")
+
+
+class TestStructuredTypes:
+    def test_set_list(self):
+        assert SetOf(INTEGER).element == INTEGER
+        assert ListOf(ObjectType("p")).is_chimera()
+
+    def test_record_fields(self):
+        r = RecordOf(a=INTEGER, b=STRING)
+        assert r.names == ("a", "b")
+        assert r.field_type("a") == INTEGER
+
+    def test_record_duplicate_rejected(self):
+        with pytest.raises(DuplicateAttributeError):
+            RecordOf({"a": INTEGER}, a=STRING)
+
+    def test_record_field_must_be_type(self):
+        with pytest.raises(TypeSyntaxError):
+            RecordOf(a="integer")  # strings are not Type terms here
+
+    def test_record_equality_ignores_order(self):
+        assert RecordOf(a=INTEGER, b=STRING) == RecordOf(b=STRING, a=INTEGER)
+
+    def test_record_missing_field(self):
+        with pytest.raises(TypeSyntaxError):
+            RecordOf(a=INTEGER).field_type("z")
+
+    def test_empty_record_is_null_type_carrier(self):
+        assert RecordOf({}).is_empty()
+        assert not RecordOf(a=INTEGER).is_empty()
+
+    def test_nesting(self):
+        t = SetOf(RecordOf(a=ListOf(INTEGER)))
+        assert t.depth() == 4
+        assert t.size() == 4
+
+
+class TestTemporalTypes:
+    def test_temporal_of_chimera(self):
+        # Definition 3.3: one temporal type per Chimera type.
+        t = TemporalType(INTEGER)
+        assert is_temporal_type(t)
+        assert not t.is_chimera()
+
+    def test_nested_temporal_rejected(self):
+        with pytest.raises(NotAChimeraTypeError):
+            TemporalType(TemporalType(INTEGER))
+
+    def test_temporal_inside_structure_rejected(self):
+        with pytest.raises(NotAChimeraTypeError):
+            TemporalType(SetOf(TemporalType(INTEGER)))
+
+    def test_structure_of_temporal_allowed(self):
+        # Definition 3.4 closes set-of/list-of/record-of over all of T.
+        t = SetOf(TemporalType(INTEGER))
+        assert not t.is_chimera()
+        assert repr(t) == "set-of(temporal(integer))"
+
+    def test_temporal_of_time_allowed(self):
+        # time is added to BVT (Section 3.1), hence in CT.
+        assert TemporalType(TIME).is_chimera() is False
+
+    def test_t_minus(self):
+        assert t_minus(TemporalType(INTEGER)) == INTEGER
+        assert t_minus(TemporalType(SetOf(ObjectType("p")))) == SetOf(
+            ObjectType("p")
+        )
+
+    def test_t_minus_on_static_rejected(self):
+        with pytest.raises(TypeSyntaxError):
+            t_minus(INTEGER)
+
+    def test_example_3_1(self):
+        """The five types of Example 3.1 are all constructible."""
+        project = ObjectType("project")
+        TIME
+        TemporalType(INTEGER)
+        ListOf(BOOL)
+        TemporalType(SetOf(project))
+        RecordOf(
+            task=TemporalType(project), startbudget=REAL, endbudget=REAL
+        )
+
+
+class TestTermStructure:
+    def test_subterms_preorder(self):
+        t = SetOf(RecordOf(a=INTEGER))
+        kinds = [type(s).__name__ for s in t.subterms()]
+        assert kinds == ["SetOf", "RecordOf", "BasicType"]
+
+    def test_mentions_object_types(self):
+        assert SetOf(ObjectType("p")).mentions_object_types()
+        assert not SetOf(INTEGER).mentions_object_types()
+
+    def test_mentioned_classes(self):
+        t = RecordOf(a=ObjectType("p"), b=SetOf(ObjectType("q")))
+        assert t.mentioned_classes() == {"p", "q"}
+
+    def test_bottom(self):
+        assert BOTTOM.is_chimera()
+        assert repr(BOTTOM) == "⊥"
+
+    @given(chimera_types())
+    def test_chimera_types_have_no_temporal(self, t):
+        assert is_chimera_type(t)
+        assert not any(is_temporal_type(s) for s in t.subterms())
+
+    @given(t_chimera_types())
+    def test_no_nested_temporal_anywhere(self, t):
+        for sub in t.subterms():
+            if is_temporal_type(sub):
+                assert is_chimera_type(sub.argument)
+
+    @given(t_chimera_types())
+    def test_size_and_depth_positive(self, t):
+        assert t.size() >= 1
+        assert 1 <= t.depth() <= t.size()
+
+    @given(t_chimera_types())
+    def test_hashable_and_self_equal(self, t):
+        assert t == t
+        assert hash(t) == hash(t)

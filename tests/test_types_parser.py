@@ -1,0 +1,124 @@
+"""The concrete type syntax."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import NotAChimeraTypeError, TypeSyntaxError
+from repro.types.grammar import (
+    BOOL,
+    INTEGER,
+    REAL,
+    STRING,
+    TIME,
+    ListOf,
+    ObjectType,
+    RecordOf,
+    SetOf,
+    TemporalType,
+)
+from repro.types.parser import format_type, parse_type
+
+from tests.strategies import t_chimera_types
+
+
+class TestParse:
+    def test_basic(self):
+        assert parse_type("integer") == INTEGER
+        assert parse_type("time") == TIME
+
+    def test_aliases(self):
+        assert parse_type("boolean") == BOOL
+        assert parse_type("int") == INTEGER
+
+    def test_class_name(self):
+        assert parse_type("project") == ObjectType("project")
+
+    def test_set_list(self):
+        assert parse_type("set-of(integer)") == SetOf(INTEGER)
+        assert parse_type("list-of(project)") == ListOf(ObjectType("project"))
+
+    def test_hyphenless_tolerated(self):
+        assert parse_type("setof(integer)") == SetOf(INTEGER)
+        assert parse_type("listof(integer)") == ListOf(INTEGER)
+
+    def test_temporal(self):
+        assert parse_type("temporal(integer)") == TemporalType(INTEGER)
+
+    def test_example_3_1(self):
+        """Example 3.1, verbatim."""
+        assert parse_type("time") == TIME
+        assert parse_type("temporal(integer)") == TemporalType(INTEGER)
+        assert parse_type("list-of(boolean)") == ListOf(BOOL)
+        assert parse_type("temporal(set-of(project))") == TemporalType(
+            SetOf(ObjectType("project"))
+        )
+        assert parse_type(
+            "record-of(task:temporal(project),startbudget:real,"
+            "endbudget:real)"
+        ) == RecordOf(
+            task=TemporalType(ObjectType("project")),
+            startbudget=REAL,
+            endbudget=REAL,
+        )
+
+    def test_record_with_spaces(self):
+        t = parse_type("record-of( a : integer , b : string )")
+        assert t == RecordOf(a=INTEGER, b=STRING)
+
+    def test_empty_record(self):
+        assert parse_type("record-of()") == RecordOf({})
+
+    def test_nesting(self):
+        t = parse_type("set-of(record-of(xs: list-of(set-of(person))))")
+        assert t == SetOf(
+            RecordOf(xs=ListOf(SetOf(ObjectType("person"))))
+        )
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "set-of(",
+            "set-of()",
+            "set-of(integer",
+            "record-of(a integer)",
+            "record-of(a:)",
+            "temporal()",
+            "integer)",
+            "integer extra",
+            "record-of(a: integer,)",
+            "set-of(integer))",
+            "?",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(TypeSyntaxError):
+            parse_type(bad)
+
+    def test_nested_temporal_rejected_semantically(self):
+        with pytest.raises(NotAChimeraTypeError):
+            parse_type("temporal(temporal(integer))")
+
+    def test_duplicate_record_field(self):
+        with pytest.raises(Exception):
+            parse_type("record-of(a: integer, a: string)")
+
+
+class TestFormat:
+    def test_format(self):
+        assert format_type(SetOf(INTEGER)) == "set-of(integer)"
+        assert (
+            format_type(RecordOf(a=INTEGER, b=STRING))
+            == "record-of(a: integer, b: string)"
+        )
+
+    def test_format_rejects_non_types(self):
+        with pytest.raises(TypeSyntaxError):
+            format_type("integer")
+
+    @given(t_chimera_types())
+    def test_roundtrip(self, t):
+        assert parse_type(format_type(t)) == t

@@ -1,0 +1,274 @@
+"""The value universe: null, oids, records, structural helpers."""
+
+import copy
+import pickle
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DuplicateAttributeError, UnknownAttributeError
+from repro.temporal.temporalvalue import TemporalValue
+from repro.values import (
+    NULL,
+    OID,
+    Null,
+    OidGenerator,
+    RecordValue,
+    format_value,
+    is_list_value,
+    is_null,
+    is_primitive_value,
+    is_record_value,
+    is_set_value,
+    normalize_value,
+    values_equal,
+)
+
+
+class TestNull:
+    def test_singleton(self):
+        assert Null() is NULL
+
+    def test_is_null(self):
+        assert is_null(NULL)
+        assert not is_null(None)
+        assert not is_null(0)
+        assert not is_null("")
+
+    def test_falsy(self):
+        assert not NULL
+
+    def test_repr(self):
+        assert repr(NULL) == "null"
+
+    def test_equality(self):
+        assert NULL == Null()
+        assert NULL != None  # noqa: E711 -- the model null is not None
+
+    def test_pickle(self):
+        assert pickle.loads(pickle.dumps(NULL)) is NULL
+
+
+class TestOid:
+    def test_identity(self):
+        assert OID(1) == OID(1)
+        assert OID(1) != OID(2)
+
+    def test_hierarchy_brand(self):
+        assert OID(1, "person") != OID(1, "project")
+        assert OID(3, "person").hierarchy == "person"
+
+    def test_ordering(self):
+        assert OID(1) < OID(2)
+
+    def test_repr(self):
+        assert repr(OID(4)) == "i4"
+        assert repr(OID(4, "person")) == "i4@person"
+
+    def test_hashable(self):
+        assert len({OID(1), OID(1), OID(2)}) == 2
+
+    def test_generator_fresh(self):
+        gen = OidGenerator()
+        a, b = gen.fresh(), gen.fresh()
+        assert a != b
+        assert a.serial < b.serial
+
+    def test_generator_many(self):
+        gen = OidGenerator()
+        oids = gen.fresh_many(10, "h")
+        assert len(set(oids)) == 10
+        assert all(oid.hierarchy == "h" for oid in oids)
+
+    def test_generator_start(self):
+        assert OidGenerator(100).fresh().serial == 100
+
+
+class TestRecordValue:
+    def test_construction_and_access(self):
+        record = RecordValue(name="Bob", score=40)
+        assert record["name"] == "Bob"
+        assert record.score == 40
+        assert record.get("missing") is None
+
+    def test_mapping_argument(self):
+        record = RecordValue({"a": 1, "b": 2})
+        assert record.names == ("a", "b")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(DuplicateAttributeError):
+            RecordValue({"a": 1}, a=2)
+
+    def test_unknown_attribute(self):
+        with pytest.raises(UnknownAttributeError):
+            RecordValue(a=1)["b"]
+        with pytest.raises(AttributeError):
+            RecordValue(a=1).b
+
+    def test_immutable(self):
+        record = RecordValue(a=1)
+        with pytest.raises(AttributeError):
+            record.a = 2
+
+    def test_equality_ignores_field_order(self):
+        assert RecordValue(a=1, b=2) == RecordValue(b=2, a=1)
+        assert hash(RecordValue(a=1, b=2)) == hash(RecordValue(b=2, a=1))
+
+    def test_inequality(self):
+        assert RecordValue(a=1) != RecordValue(a=2)
+        assert RecordValue(a=1) != RecordValue(a=1, b=2)
+
+    def test_with_field(self):
+        record = RecordValue(a=1)
+        extended = record.with_field("b", 2)
+        assert "b" not in record and extended["b"] == 2
+
+    def test_without_field(self):
+        record = RecordValue(a=1, b=2)
+        assert record.without_field("b") == RecordValue(a=1)
+        with pytest.raises(UnknownAttributeError):
+            record.without_field("z")
+
+    def test_project(self):
+        record = RecordValue(a=1, b=2, c=3)
+        assert record.project(["a", "c"]) == RecordValue(a=1, c=3)
+        with pytest.raises(UnknownAttributeError):
+            record.project(["z"])
+
+    def test_iteration(self):
+        record = RecordValue(a=1, b=2)
+        assert list(record) == ["a", "b"]
+        assert dict(record.items()) == {"a": 1, "b": 2}
+        assert len(record) == 2
+
+    def test_contains(self):
+        assert "a" in RecordValue(a=1)
+        assert "b" not in RecordValue(a=1)
+
+    def test_repr_matches_paper(self):
+        assert repr(RecordValue(name="Bob", score=40)) == (
+            "(name: 'Bob', score: 40)"
+        )
+
+    def test_deepcopy(self):
+        record = RecordValue(a=[1, 2])
+        clone = copy.deepcopy(record)
+        assert clone == record and clone["a"] is not record["a"]
+
+    def test_pickle(self):
+        record = RecordValue(a=1, b="x")
+        assert pickle.loads(pickle.dumps(record)) == record
+
+    def test_hashable_with_unhashable_fields(self):
+        assert isinstance(hash(RecordValue(a=[1, 2], b={3})), int)
+
+
+class TestKindPredicates:
+    def test_primitives(self):
+        for value in (1, 1.5, True, "s"):
+            assert is_primitive_value(value)
+        assert not is_primitive_value(NULL)
+        assert not is_primitive_value([1])
+
+    def test_collections(self):
+        assert is_set_value({1}) and is_set_value(frozenset())
+        assert is_list_value([1]) and is_list_value((1,))
+        assert not is_set_value([1]) and not is_list_value({1})
+
+    def test_records(self):
+        assert is_record_value(RecordValue(a=1))
+        assert not is_record_value({"a": 1})
+
+
+class TestNormalize:
+    def test_set_to_frozenset(self):
+        assert normalize_value({1, 2}) == frozenset({1, 2})
+        assert isinstance(normalize_value({1}), frozenset)
+
+    def test_list_to_tuple(self):
+        assert normalize_value([1, [2]]) == (1, (2,))
+
+    def test_record_recursion(self):
+        normalized = normalize_value(RecordValue(a=[1], b={2}))
+        assert isinstance(normalized["a"], tuple)
+        assert isinstance(normalized["b"], frozenset)
+
+    def test_nested_set_of_lists(self):
+        assert normalize_value({(1, 2)}) == frozenset({(1, 2)})
+
+    def test_primitives_unchanged(self):
+        for value in (1, 1.5, "x", True, NULL, OID(3)):
+            assert normalize_value(value) == value
+
+
+class TestValuesEqual:
+    def test_primitives(self):
+        assert values_equal(1, 1)
+        assert not values_equal(1, 2)
+        assert values_equal("a", "a")
+
+    def test_bool_not_equal_to_int(self):
+        assert not values_equal(True, 1)
+        assert not values_equal(0, False)
+
+    def test_int_float_numeric(self):
+        assert values_equal(1, 1.0)
+
+    def test_null(self):
+        assert values_equal(NULL, NULL)
+        assert not values_equal(NULL, 0)
+
+    def test_oids(self):
+        assert values_equal(OID(1), OID(1))
+        assert not values_equal(OID(1), OID(2))
+        assert not values_equal(OID(1), 1)
+
+    def test_collections_cross_carrier(self):
+        assert values_equal([1, 2], (1, 2))
+        assert values_equal({1, 2}, frozenset({2, 1}))
+        assert not values_equal([1, 2], [2, 1])
+        assert not values_equal([1], {1})
+
+    def test_records(self):
+        assert values_equal(RecordValue(a=[1]), RecordValue(a=(1,)))
+        assert not values_equal(RecordValue(a=1), RecordValue(b=1))
+
+    def test_temporal_values(self):
+        a = TemporalValue.from_items([((1, 5), "x")])
+        b = TemporalValue.from_items([((1, 3), "x"), ((4, 5), "x")])
+        assert values_equal(a, b)  # coalescing-invariant
+        assert not values_equal(a, TemporalValue.from_items([((1, 5), "y")]))
+        assert not values_equal(a, "x")
+
+    def test_nested(self):
+        a = RecordValue(xs={(1, 2)}, r=RecordValue(k=NULL))
+        b = RecordValue(xs=frozenset({(1, 2)}), r=RecordValue(k=NULL))
+        assert values_equal(a, b)
+
+    @given(st.integers() | st.text(max_size=5) | st.booleans())
+    def test_reflexive(self, v):
+        assert values_equal(v, v)
+
+
+class TestFormatValue:
+    def test_primitives(self):
+        assert format_value(5) == "5"
+        assert format_value("ab") == "'ab'"
+        assert format_value(NULL) == "null"
+
+    def test_set_sorted_for_determinism(self):
+        assert format_value({3, 1, 2}) == "{1, 2, 3}"
+        assert format_value(set()) == "{}"
+
+    def test_list(self):
+        assert format_value([1, 2]) == "[1, 2]"
+
+    def test_record(self):
+        assert format_value(RecordValue(a=1, b="x")) == "(a: 1, b: 'x')"
+
+    def test_temporal(self):
+        tv = TemporalValue.from_items([((1, 100), 40), ((101, 200), 70)])
+        assert format_value(tv) == "{<[1,100], 40>, <[101,200], 70>}"
+
+    def test_oid(self):
+        assert format_value(OID(2)) == "i2"

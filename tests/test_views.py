@@ -1,0 +1,193 @@
+"""Temporal views (Chimera's deductive views, Section 2)."""
+
+import pytest
+
+from repro.errors import QueryError, QueryTypeError
+from repro.query import attr
+from repro.temporal.intervalsets import IntervalSet
+from repro.views import TemporalView, ViewRegistry
+
+
+@pytest.fixture
+def payroll(empty_db):
+    db = empty_db
+    db.define_class("person", attributes=[("name", "string")])
+    db.define_class(
+        "employee",
+        parents=["person"],
+        attributes=[("salary", "temporal(real)"), ("dept", "string")],
+    )
+    ann = db.create_object(
+        "employee", {"name": "Ann", "salary": 1000.0, "dept": "R"}
+    )
+    bob = db.create_object(
+        "employee", {"name": "Bob", "salary": 3000.0, "dept": "S"}
+    )
+    db.tick(10)
+    db.update_attribute(ann, "salary", 2500.0)   # Ann rich from t=10
+    db.tick(10)
+    db.update_attribute(bob, "salary", 1500.0)   # Bob poor from t=20
+    db.tick(10)  # now = 30
+    return db, {"ann": ann, "bob": bob}
+
+
+class TestExtent:
+    def test_extent_varies_over_time(self, payroll):
+        db, names = payroll
+        rich = TemporalView(db, "employee", attr("salary") >= 2000.0)
+        assert rich.extent(5) == frozenset({names["bob"]})
+        assert rich.extent(15) == frozenset(
+            {names["ann"], names["bob"]}
+        )
+        assert rich.extent(25) == frozenset({names["ann"]})
+
+    def test_predicate_free_view_is_the_class_extent(self, payroll):
+        db, names = payroll
+        everyone = TemporalView(db, "employee")
+        assert everyone.extent(5) == db.pi("employee", 5)
+
+    def test_membership_times_exact(self, payroll):
+        db, names = payroll
+        rich = TemporalView(db, "employee", attr("salary") >= 2000.0)
+        assert rich.membership_times(names["ann"]) == IntervalSet.span(
+            10, 30
+        )
+        assert rich.membership_times(names["bob"]) == IntervalSet.span(
+            0, 19
+        )
+
+    def test_ever_members(self, payroll):
+        db, names = payroll
+        rich = TemporalView(db, "employee", attr("salary") >= 2000.0)
+        assert rich.ever_members() == frozenset(names.values())
+        titans = TemporalView(db, "employee", attr("salary") >= 9000.0)
+        assert titans.ever_members() == frozenset()
+
+    def test_views_never_go_stale(self, payroll):
+        db, names = payroll
+        rich = TemporalView(db, "employee", attr("salary") >= 2000.0)
+        assert names["bob"] not in rich.extent(db.now)
+        db.update_attribute(names["bob"], "salary", 5000.0)
+        assert names["bob"] in rich.extent(db.now)
+
+    def test_ill_typed_predicate_rejected_at_definition(self, payroll):
+        db, _ = payroll
+        with pytest.raises(QueryTypeError):
+            TemporalView(db, "employee", attr("salary") == "rich")
+
+
+class TestComposition:
+    def test_intersection(self, payroll):
+        db, names = payroll
+        rich = TemporalView(db, "employee", attr("salary") >= 2000.0)
+        in_r = TemporalView(db, "employee", attr("dept") == "R")
+        both = rich & in_r
+        # dept is static: visible only at now; Ann is rich and in R now.
+        assert both.extent(db.now) == frozenset({names["ann"]})
+        assert both.membership_times(names["ann"]) == (
+            IntervalSet.instant(db.now)
+        )
+
+    def test_union_and_difference(self, payroll):
+        db, names = payroll
+        rich = TemporalView(db, "employee", attr("salary") >= 2000.0)
+        poor = TemporalView(db, "employee", attr("salary") < 2000.0)
+        everyone = rich | poor
+        assert everyone.membership_times(names["ann"]) == (
+            db.membership_times("employee", names["ann"])
+        )
+        only_rich = everyone - poor
+        assert only_rich.membership_times(names["ann"]) == (
+            rich.membership_times(names["ann"])
+        )
+
+    def test_cross_database_composition_rejected(self, payroll):
+        from repro.database.database import TemporalDatabase
+
+        db, _ = payroll
+        other = TemporalDatabase()
+        other.define_class("employee", attributes=[("salary", "real")])
+        a = TemporalView(db, "employee")
+        b = TemporalView(other, "employee")
+        with pytest.raises(QueryError):
+            a & b
+
+
+class TestRegistry:
+    def test_define_get_drop(self, payroll):
+        db, names = payroll
+        registry = ViewRegistry(db)
+        rich = registry.define(
+            "rich", "employee", attr("salary") >= 2000.0
+        )
+        assert registry.get("rich") is rich
+        assert "rich" in registry and len(registry) == 1
+        registry.drop("rich")
+        assert "rich" not in registry
+        with pytest.raises(QueryError):
+            registry.get("rich")
+
+    def test_duplicate_and_collision_rejected(self, payroll):
+        db, _ = payroll
+        registry = ViewRegistry(db)
+        registry.define("rich", "employee", attr("salary") >= 2000.0)
+        with pytest.raises(QueryError):
+            registry.define("rich", "employee")
+        with pytest.raises(QueryError):
+            registry.define("employee", "employee")
+
+    def test_named_composition(self, payroll):
+        db, names = payroll
+        registry = ViewRegistry(db)
+        rich = registry.define("rich", "employee", attr("salary") >= 2000.0)
+        in_r = registry.define("in-r", "employee", attr("dept") == "R")
+        both = registry.define_composed("rich-in-r", rich & in_r)
+        assert registry.get("rich-in-r").extent(db.now) == frozenset(
+            {names["ann"]}
+        )
+
+
+from hypothesis import given, settings, strategies as st
+
+
+class TestViewsAgainstBruteForce:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 200))
+    def test_membership_times_match_per_instant_filter(self, seed):
+        """view.membership_times == { t | i in pi(base,t) and pred@t }
+        computed instant by instant."""
+        from repro.query.evaluator import _eval_at
+        from repro.workloads import WorkloadSpec, build_database
+
+        db = build_database(
+            WorkloadSpec(n_objects=4, n_ticks=15, update_rate=0.6,
+                         migration_rate=0.0, delete_rate=0.0, seed=seed)
+        )
+        predicate = attr("salary") >= 2000.0
+        view = TemporalView(db, "employee", predicate)
+        for obj in db.objects():
+            times = view.membership_times(obj.oid)
+            base = db.membership_times("employee", obj.oid)
+            for t in range(0, db.now + 1):
+                expected = (
+                    t in base
+                    and _eval_at(db, obj, predicate, t, db.now) is True
+                )
+                assert (t in times) == expected, (obj.oid, t)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 100))
+    def test_extent_matches_membership_times(self, seed):
+        from repro.workloads import WorkloadSpec, build_database
+
+        db = build_database(
+            WorkloadSpec(n_objects=4, n_ticks=12, seed=seed,
+                         migration_rate=0.0, delete_rate=0.0)
+        )
+        view = TemporalView(db, "employee", attr("salary") >= 2000.0)
+        for t in (0, db.now // 2, db.now):
+            extent = view.extent(t)
+            for obj in db.objects():
+                assert (obj.oid in extent) == (
+                    t in view.membership_times(obj.oid)
+                )

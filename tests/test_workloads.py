@@ -1,0 +1,139 @@
+"""The workload generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.database.integrity import check_database
+from repro.temporal.temporalvalue import TemporalValue
+from repro.workloads import (
+    WorkloadSpec,
+    build_database,
+    standard_schema,
+    synthetic_history,
+)
+
+
+class TestSyntheticHistory:
+    def test_pair_count(self):
+        for n in (0, 1, 10, 100):
+            assert len(synthetic_history(n, coalesce=False)) == n
+
+    def test_deterministic_in_seed(self):
+        assert synthetic_history(50, seed=7) == synthetic_history(50, seed=7)
+        assert synthetic_history(50, seed=7) != synthetic_history(50, seed=8)
+
+    def test_fully_concrete(self):
+        history = synthetic_history(20, seed=1)
+        assert not history.has_open_pair()
+
+    def test_uncoalesced_variant(self):
+        raw = synthetic_history(50, seed=3, coalesce=False)
+        assert raw.coalesced() == synthetic_history(50, seed=3)
+
+    def test_gaps_appear(self):
+        history = synthetic_history(100, seed=0, gap_probability=0.5)
+        domain = history.domain()
+        assert len(domain) > 1  # not one contiguous interval
+
+
+class TestStandardSchema:
+    def test_shape(self, empty_db):
+        standard_schema(empty_db, temporal_attributes=3, static_attributes=1)
+        employee = empty_db.get_class("employee")
+        assert "metric2" in employee.attributes
+        assert "note0" in employee.attributes
+        assert empty_db.isa.isa_le("manager", "person")
+        assert "project" in empty_db.class_names()
+
+    def test_manager_inherits_payload(self, empty_db):
+        standard_schema(empty_db)
+        manager = empty_db.get_class("manager")
+        assert "salary" in manager.attributes
+        assert "dependents" in manager.attributes
+
+
+class TestBuildDatabase:
+    def test_deterministic(self):
+        spec = WorkloadSpec(n_objects=5, n_ticks=20, seed=11)
+        a = build_database(spec)
+        b = build_database(spec)
+        assert len(a) == len(b)
+        assert a.now == b.now
+        for obj_a, obj_b in zip(a.objects(), b.objects()):
+            assert obj_a.oid == obj_b.oid
+            assert obj_a.class_history == obj_b.class_history
+
+    def test_objects_accumulate_history(self):
+        db = build_database(
+            WorkloadSpec(n_objects=5, n_ticks=40, update_rate=0.9, seed=2)
+        )
+        lengths = [
+            len(obj.value["salary"])
+            for obj in db.objects()
+            if isinstance(obj.value.get("salary"), TemporalValue)
+        ]
+        assert max(lengths) > 3
+
+    def test_migrations_happen(self):
+        db = build_database(
+            WorkloadSpec(
+                n_objects=6, n_ticks=60, migration_rate=0.5, seed=3
+            )
+        )
+        migrated = [
+            obj
+            for obj in db.objects()
+            if len(obj.class_history) > 1
+        ]
+        assert migrated
+
+    @settings(max_examples=4, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_always_integrity_clean(self, seed):
+        db = build_database(
+            WorkloadSpec(
+                n_objects=6,
+                n_ticks=25,
+                migration_rate=0.3,
+                delete_rate=0.1,
+                seed=seed,
+            )
+        )
+        report = check_database(db)
+        assert report.ok, report.all_violations()
+
+
+class TestCrossHierarchyWorkloads:
+    def test_projects_reference_employees(self):
+        db = build_database(
+            WorkloadSpec(
+                n_objects=6, n_ticks=30, n_projects=3,
+                project_update_rate=0.4, migration_rate=0.2, seed=7,
+            )
+        )
+        report = check_database(db)
+        assert report.ok, report.all_violations()
+        projects = db.pi("project", db.now)
+        assert len(projects) == 3
+        from repro.objects.references import referenced_oids
+
+        referencing = [
+            oid for oid in projects
+            if referenced_oids(db.get_object(oid), db.now, db.now)
+        ]
+        assert referencing  # cross-hierarchy references exist
+
+    @settings(max_examples=3, deadline=None)
+    @given(st.integers(0, 500))
+    def test_invariant_6_2_under_cross_references(self, seed):
+        """Cross-hierarchy REFERENCES are fine; cross-hierarchy
+        MEMBERSHIP never happens (Invariant 6.2)."""
+        from repro.database.integrity import check_hierarchy_disjointness
+
+        db = build_database(
+            WorkloadSpec(
+                n_objects=5, n_ticks=20, n_projects=2,
+                project_update_rate=0.5, migration_rate=0.3, seed=seed,
+            )
+        )
+        assert check_hierarchy_disjointness(db) == []
