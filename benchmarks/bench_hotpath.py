@@ -1,0 +1,230 @@
+"""E11 -- hot-path caches: cached vs ablated micro-benchmarks.
+
+Measures the three read paths the caching layer (PR 1) accelerates,
+each with caching enabled and with caching ablated via
+``repro.perf.disabled()``:
+
+* ``snapshot(i, t)`` on an object with a deep attribute history (the
+  seed's E7 workload: 16 attributes, history 1000 -- 303.4 us/op in
+  the seed, where every ``at()`` rebuilt the start-key list);
+* repeated ``pi(c, t)`` / anchor-extent stabs across a sweep of
+  instants over a churning population (exercises the extent cache and
+  the interval-stabbing index);
+* AT- and NOW-scoped query evaluation over objects with deep
+  per-attribute histories (exercises the start-key cache under the
+  evaluator's per-candidate reads).
+
+Ablated runs recompute every answer from first principles but still
+run the *current* algorithms; the seed reference column in the JSON
+records the pre-PR numbers for the snapshot workload where the seed's
+E7 artifact provides one.
+
+Run directly (not under pytest -- the ``bench_`` prefix keeps it out
+of collection)::
+
+    python benchmarks/bench_hotpath.py           # full run + artifacts
+    python benchmarks/bench_hotpath.py --smoke   # quick CI sanity run
+
+The full run writes ``benchmarks/results/e11_hotpath.txt`` and the
+machine-readable ``BENCH_hotpath.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import timeit
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (REPO_ROOT, REPO_ROOT / "src"):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from repro import perf  # noqa: E402
+from repro.database.database import TemporalDatabase  # noqa: E402
+from repro.query import attr, select  # noqa: E402
+
+from benchmarks.conftest import emit, format_series  # noqa: E402
+
+#: The seed's E7 artifact (benchmarks/results/e7_snapshot.txt before
+#: this PR): snapshot at 16 attributes, history 1000.
+SEED_SNAPSHOT_16_1000_US = 303.4
+
+
+def _timeit_us(fn, number: int) -> float:
+    """Best-of-3 mean, in microseconds per call."""
+    best = min(timeit.timeit(fn, number=number) for _ in range(3))
+    return best / number * 1e6
+
+
+def _build_snapshot_db(n_attrs: int, history: int):
+    db = TemporalDatabase()
+    half = n_attrs // 2
+    attrs = [(f"t{i}", "temporal(integer)") for i in range(half)]
+    attrs += [(f"s{i}", "integer") for i in range(half)]
+    db.define_class("rich", attributes=attrs)
+    oid = db.create_object(
+        "rich",
+        {f"t{i}": 0 for i in range(half)}
+        | {f"s{i}": 0 for i in range(half)},
+    )
+    for step in range(history):
+        db.tick()
+        for i in range(half):
+            db.update_attribute(oid, f"t{i}", step)
+    return db, oid
+
+
+def bench_snapshot(history: int, number: int) -> dict:
+    """snapshot(i, now) with deep per-attribute histories."""
+    db, oid = _build_snapshot_db(16, history)
+    run = lambda: db.snapshot_at(oid)  # noqa: E731
+    run()  # warm the cache once; steady-state is what the cache serves
+    cached = _timeit_us(run, number)
+    with perf.disabled():
+        ablated = _timeit_us(run, max(number // 10, 5))
+    return {
+        "workload": f"snapshot history={history}",
+        "cached_us": round(cached, 2),
+        "ablated_us": round(ablated, 2),
+        "speedup": round(ablated / cached, 1),
+    }
+
+
+def _build_extent_db(n_objects: int, ticks: int):
+    db = TemporalDatabase()
+    db.define_class("thing", attributes=[("score", "temporal(integer)")])
+    oids = [db.create_object("thing", {"score": i}) for i in range(n_objects)]
+    for step in range(ticks):
+        db.tick()
+        # Churn: a rolling window of deletions keeps membership
+        # intervals non-trivial so the stabbing index has work to do.
+        if step % 10 == 5 and oids:
+            db.delete_object(oids.pop(), force=True)
+    return db
+
+
+def bench_extent(n_objects: int, ticks: int, number: int) -> dict:
+    """Repeated pi/anchor-extent stabs across a sweep of instants."""
+    db = _build_extent_db(n_objects, ticks)
+    instants = list(range(0, db.now + 1, max(db.now // 50, 1)))
+
+    def sweep():
+        for t in instants:
+            db.anchor_extent("thing", t)
+
+    sweep()
+    cached = _timeit_us(sweep, number)
+    with perf.disabled():
+        ablated = _timeit_us(sweep, max(number // 10, 3))
+    return {
+        "workload": f"extent sweep n={n_objects} ticks={ticks}",
+        "cached_us": round(cached, 2),
+        "ablated_us": round(ablated, 2),
+        "speedup": round(ablated / cached, 1),
+    }
+
+
+def _build_query_db(n_objects: int, ticks: int):
+    db = TemporalDatabase()
+    db.define_class("thing", attributes=[("score", "temporal(integer)")])
+    oids = [db.create_object("thing", {"score": i}) for i in range(n_objects)]
+    for step in range(ticks):
+        db.tick()
+        for i, oid in enumerate(oids):
+            db.update_attribute(oid, "score", (step * (i + 3)) % 997)
+    return db
+
+
+def bench_query(
+    scope: str, n_objects: int, ticks: int, number: int
+) -> dict:
+    """AT/NOW-scoped query over deep per-object histories."""
+    db = _build_query_db(n_objects, ticks)
+    query = select("thing").where(attr("score") > 400)
+    if scope == "AT":
+        query = query.at(db.now // 2)
+    run = lambda: query.run(db)  # noqa: E731
+    run()
+    cached = _timeit_us(run, number)
+    with perf.disabled():
+        ablated = _timeit_us(run, max(number // 10, 3))
+    return {
+        "workload": f"query {scope} n={n_objects} history={ticks}",
+        "cached_us": round(cached, 2),
+        "ablated_us": round(ablated, 2),
+        "speedup": round(ablated / cached, 1),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workloads, no artifacts (CI sanity check)",
+    )
+    args = parser.parse_args(argv)
+
+    perf.reset_stats()
+    if args.smoke:
+        results = [
+            bench_snapshot(history=100, number=50),
+            bench_extent(n_objects=64, ticks=40, number=10),
+            bench_query("AT", n_objects=40, ticks=40, number=5),
+        ]
+    else:
+        results = [
+            bench_snapshot(history=100, number=500),
+            bench_snapshot(history=1000, number=500),
+            bench_extent(n_objects=300, ticks=120, number=30),
+            bench_query("AT", n_objects=200, ticks=200, number=20),
+            bench_query("NOW", n_objects=200, ticks=200, number=20),
+        ]
+
+    rows = [
+        (
+            r["workload"],
+            f"{r['cached_us']:.1f}",
+            f"{r['ablated_us']:.1f}",
+            f"{r['speedup']:.1f}x",
+        )
+        for r in results
+    ]
+    table = format_series(
+        "E11: hot-path caches, cached vs ablated (us/op)",
+        ("workload", "cached", "ablated", "speedup"),
+        rows,
+    )
+
+    if args.smoke:
+        print(table)
+        slow = [r for r in results if r["speedup"] < 1.0]
+        if slow:
+            print(f"SMOKE WARNING: cache slower than ablated on {slow}")
+        print("smoke ok")
+        return 0
+
+    emit("e11_hotpath", table)
+    payload = {
+        "experiment": "E11 hot-path caches",
+        "results": results,
+        "seed_reference": {
+            "snapshot history=1000": {
+                "seed_us": SEED_SNAPSHOT_16_1000_US,
+                "source": "seed E7 artifact (pre-PR _starts rebuild)",
+            }
+        },
+        "stats": perf.stats(),
+    }
+    (REPO_ROOT / "BENCH_hotpath.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print(f"wrote {REPO_ROOT / 'BENCH_hotpath.json'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,10 @@ Commands:
 * ``describe FILE.json [--class NAME | --object SERIAL]`` -- print a
   database summary, or one class/object in the paper's notation;
 * ``query FILE.json "select ..."`` -- run a query against a persisted
-  database.
+  database;
+* ``perf [FILE.json]`` -- exercise the hot-path caches (on a saved
+  database, or a synthetic workload when no file is given) and print
+  the hit/miss/invalidation counters.
 """
 
 from __future__ import annotations
@@ -107,6 +110,46 @@ def cmd_query(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    from repro import perf
+    from repro.types.grammar import ObjectType
+    from repro.types.subtyping import is_subtype
+
+    if args.file:
+        db = _load(args.file)
+    else:
+        from repro.database.database import TemporalDatabase
+
+        db = TemporalDatabase()
+        db.define_class("base", attributes=[("score", "temporal(integer)")])
+        db.define_class("derived", parents=["base"])
+        oids = [
+            db.create_object("derived", {"score": i}) for i in range(64)
+        ]
+        for step in range(40):
+            db.tick()
+            for oid in oids[:: max(step % 7, 1)]:
+                db.update_attribute(oid, "score", step)
+
+    perf.reset_stats()
+    classes = [cls.name for cls in db.classes()]
+    instants = range(0, db.now + 1, max(db.now // 20, 1))
+    for _round in range(3):  # repeat so steady-state hit rates show
+        for name in classes:
+            for t in instants:
+                db.anchor_extent(name, t)
+        for obj in db.objects():
+            if obj.alive_at(db.now, db.now):
+                db.snapshot_at(obj.oid)
+            for name in classes:
+                db.membership_times(name, obj.oid)
+        for sub in classes:
+            for sup in classes:
+                is_subtype(ObjectType(sub), ObjectType(sup), db.isa)
+    print(perf.format_stats())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -132,6 +175,11 @@ def main(argv: list[str] | None = None) -> int:
     query.add_argument("file")
     query.add_argument("query")
 
+    perf_cmd = sub.add_parser(
+        "perf", help="exercise the hot-path caches and print counters"
+    )
+    perf_cmd.add_argument("file", nargs="?", default=None)
+
     args = parser.parse_args(argv)
     handlers = {
         "tables": cmd_tables,
@@ -139,6 +187,7 @@ def main(argv: list[str] | None = None) -> int:
         "check": cmd_check,
         "describe": cmd_describe,
         "query": cmd_query,
+        "perf": cmd_perf,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,292 @@
+"""Invalidation-correct caches for the database hot paths.
+
+Every query-side operation of the engine funnels through a small set of
+per-call computations: the extent ``pi(c, t)`` (Invariant 5.1), an
+object's membership lifespan in a class, and the snapshot projection
+``snapshot(i, t)`` (Section 5.3).  :class:`DatabaseCaches` memoizes all
+three, plus the per-class :class:`IntervalStabbingIndex` that serves
+the query evaluator's AT/NOW anchor-extent computation.
+
+Invalidation model
+------------------
+Correctness rests on three generation counters plus the clock reading:
+
+* a **global generation**, bumped by schema evolution
+  (``define_class``/``drop_class``/``add_attribute``/
+  ``remove_attribute``) and by transaction rollback -- operations that
+  can rewrite arbitrary state without touching individual extents;
+* a **per-class generation**, bumped from the database's event emission
+  points for every operation that changes the class's extent (CREATE,
+  MIGRATE and DELETE bump the class and all its superclasses);
+* a **per-oid generation**, bumped for every event naming the oid
+  (UPDATE and CORRECT rewrite attribute histories; CREATE, MIGRATE and
+  DELETE change the value component and the lifespan).
+
+Each cache entry records the generations (and, where the result depends
+on it, the clock reading ``now``) current at computation time; a lookup
+hits only when all of them still match, so stale entries die passively
+-- no eager cache walks on mutation.  The stabbing indexes are the one
+exception: an index is *stale-marked* (dropped) eagerly when its
+class's generation bumps, as promised by the
+:mod:`repro.database.indexes` docstring.
+
+Every cache respects the global ablation switch
+(:func:`repro.perf.set_enabled`): with caching disabled, lookups miss
+and stores are skipped, so the engine recomputes every answer from
+first principles.  ``tests/test_hotpath_caches.py`` asserts the two
+modes agree under randomized mutate-then-read sequences.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro import perf
+from repro.database.events import Event, EventKind
+from repro.database.indexes import IntervalStabbingIndex, extent_index
+from repro.temporal.intervalsets import IntervalSet
+from repro.values.oid import OID
+from repro.values.records import RecordValue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.database.database import TemporalDatabase
+
+#: Entry cap per table; the table is cleared wholesale past it.
+CACHE_LIMIT = 8192
+
+#: Populations below this size answer extent stabs faster via the
+#: set-valued history bisect than via building an interval tree.
+INDEX_MIN_POPULATION = 32
+
+_PI = perf.counter("database.pi")
+_MEMBERSHIP = perf.counter("database.membership_times")
+_SNAPSHOT = perf.counter("database.snapshot")
+_INDEX = perf.counter("database.extent_index")
+
+
+class DatabaseCaches:
+    """The caching layer owned by one :class:`TemporalDatabase`."""
+
+    __slots__ = (
+        "_global_gen",
+        "_class_gen",
+        "_oid_gen",
+        "_pi",
+        "_membership",
+        "_snapshot",
+        "_indexes",
+    )
+
+    def __init__(self) -> None:
+        self._global_gen = 0
+        self._class_gen: dict[str, int] = {}
+        self._oid_gen: dict[OID, int] = {}
+        # (class, t) -> (global_gen, class_gen, extent)
+        self._pi: dict[
+            tuple[str, int], tuple[int, int, frozenset[OID]]
+        ] = {}
+        # (class, oid) -> (global_gen, class_gen, oid_gen, now, times)
+        self._membership: dict[
+            tuple[str, OID], tuple[int, int, int, int, IntervalSet]
+        ] = {}
+        # (oid, t) -> (global_gen, oid_gen, now, record)
+        self._snapshot: dict[
+            tuple[OID, int], tuple[int, int, int, RecordValue]
+        ] = {}
+        # class -> (global_gen, class_gen, built_at_now, index)
+        self._indexes: dict[
+            str, tuple[int, int, int, IntervalStabbingIndex]
+        ] = {}
+
+    # ------------------------------------------------------- generations
+
+    def class_generation(self, class_name: str) -> int:
+        return self._class_gen.get(class_name, 0)
+
+    def oid_generation(self, oid: OID) -> int:
+        return self._oid_gen.get(oid, 0)
+
+    def bump_class(self, class_name: str) -> None:
+        """The extent of *class_name* changed."""
+        self._class_gen[class_name] = (
+            self._class_gen.get(class_name, 0) + 1
+        )
+        if self._indexes.pop(class_name, None) is not None:
+            _INDEX.invalidate()
+
+    def bump_oid(self, oid: OID) -> None:
+        """The state (value/lifespan) of *oid* changed."""
+        self._oid_gen[oid] = self._oid_gen.get(oid, 0) + 1
+
+    def bump_all(self) -> None:
+        """Schema evolution / rollback: drop everything."""
+        self._global_gen += 1
+        dropped = (
+            len(self._pi)
+            + len(self._membership)
+            + len(self._snapshot)
+        )
+        self._pi.clear()
+        self._membership.clear()
+        self._snapshot.clear()
+        if self._indexes:
+            _INDEX.invalidate(len(self._indexes))
+            self._indexes.clear()
+        if dropped:
+            _PI.invalidate(dropped)
+
+    invalidate_all = bump_all
+
+    def on_event(self, db: "TemporalDatabase", event: Event) -> None:
+        """Translate one completed operation into generation bumps.
+
+        Called from the database's emission point, *before* external
+        observers run, so observer callbacks never see stale caches.
+        """
+        self.bump_oid(event.oid)
+        if event.kind in (
+            EventKind.CREATE, EventKind.MIGRATE, EventKind.DELETE
+        ):
+            touched = set(db.isa.superclasses(event.class_name))
+            if event.from_class:
+                touched |= db.isa.superclasses(event.from_class)
+            for class_name in touched:
+                self.bump_class(class_name)
+        # UPDATE / CORRECT rewrite one object's history: extents and
+        # membership intervals are untouched, the oid bump suffices.
+
+    # ------------------------------------------------------------ pi
+
+    def get_pi(self, class_name: str, t: int) -> frozenset[OID] | None:
+        if not perf.is_enabled:
+            return None
+        entry = self._pi.get((class_name, t))
+        if (
+            entry is not None
+            and entry[0] == self._global_gen
+            and entry[1] == self.class_generation(class_name)
+        ):
+            _PI.hit()
+            return entry[2]
+        _PI.miss()
+        return None
+
+    def put_pi(
+        self, class_name: str, t: int, extent: frozenset[OID]
+    ) -> None:
+        if not perf.is_enabled:
+            return
+        if len(self._pi) >= CACHE_LIMIT:
+            _PI.invalidate(len(self._pi))
+            self._pi.clear()
+        self._pi[(class_name, t)] = (
+            self._global_gen, self.class_generation(class_name), extent
+        )
+
+    # ----------------------------------------------------- membership
+
+    def get_membership(
+        self, class_name: str, oid: OID, now: int
+    ) -> IntervalSet | None:
+        if not perf.is_enabled:
+            return None
+        entry = self._membership.get((class_name, oid))
+        if (
+            entry is not None
+            and entry[0] == self._global_gen
+            and entry[1] == self.class_generation(class_name)
+            and entry[2] == self.oid_generation(oid)
+            and entry[3] == now
+        ):
+            _MEMBERSHIP.hit()
+            return entry[4]
+        _MEMBERSHIP.miss()
+        return None
+
+    def put_membership(
+        self, class_name: str, oid: OID, now: int, times: IntervalSet
+    ) -> None:
+        if not perf.is_enabled:
+            return
+        if len(self._membership) >= CACHE_LIMIT:
+            _MEMBERSHIP.invalidate(len(self._membership))
+            self._membership.clear()
+        self._membership[(class_name, oid)] = (
+            self._global_gen,
+            self.class_generation(class_name),
+            self.oid_generation(oid),
+            now,
+            times,
+        )
+
+    # ------------------------------------------------------- snapshot
+
+    def get_snapshot(
+        self, oid: OID, t: int, now: int
+    ) -> RecordValue | None:
+        if not perf.is_enabled:
+            return None
+        entry = self._snapshot.get((oid, t))
+        if (
+            entry is not None
+            and entry[0] == self._global_gen
+            and entry[1] == self.oid_generation(oid)
+            and entry[2] == now
+        ):
+            _SNAPSHOT.hit()
+            return entry[3]
+        _SNAPSHOT.miss()
+        return None
+
+    def put_snapshot(
+        self, oid: OID, t: int, now: int, record: RecordValue
+    ) -> None:
+        if not perf.is_enabled:
+            return
+        if len(self._snapshot) >= CACHE_LIMIT:
+            _SNAPSHOT.invalidate(len(self._snapshot))
+            self._snapshot.clear()
+        self._snapshot[(oid, t)] = (
+            self._global_gen, self.oid_generation(oid), now, record
+        )
+
+    # -------------------------------------------------- stabbing index
+
+    def stabbing_index(
+        self, db: "TemporalDatabase", class_name: str
+    ) -> IntervalStabbingIndex:
+        """The extent index for *class_name*, rebuilt when stale.
+
+        Stale = the class generation or global generation moved (the
+        membership intervals changed), or the clock advanced (the index
+        stores moving intervals resolved at build time).
+        """
+        key = (
+            self._global_gen,
+            self.class_generation(class_name),
+            db.now,
+        )
+        entry = self._indexes.get(class_name)
+        if entry is not None and entry[:3] == key:
+            _INDEX.hit()
+            return entry[3]
+        _INDEX.miss()
+        index = extent_index(db, class_name)
+        self._indexes[class_name] = (*key, index)
+        return index
+
+    # ---------------------------------------------------------- misc
+
+    def sizes(self) -> dict[str, int]:
+        """Current entry counts (diagnostics)."""
+        return {
+            "pi": len(self._pi),
+            "membership": len(self._membership),
+            "snapshot": len(self._snapshot),
+            "indexes": len(self._indexes),
+        }
+
+    def __repr__(self) -> str:
+        sizes = self.sizes()
+        body = ", ".join(f"{k}={v}" for k, v in sizes.items())
+        return f"DatabaseCaches({body}, global_gen={self._global_gen})"

@@ -37,6 +37,8 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, Mapping
 
+from repro import perf
+from repro.database.caches import INDEX_MIN_POPULATION, DatabaseCaches
 from repro.database.events import Event, EventKind
 from repro.errors import (
     DuplicateClassError,
@@ -83,6 +85,10 @@ class TemporalDatabase:
         self._objects: dict[OID, TemporalObject] = {}
         self._oids = OidGenerator()
         self._observers: list = []
+        #: Hot-path caches (extents, membership, snapshots, indexes);
+        #: invalidated from the event emission points and the schema
+        #: evolution operations.  See docs/performance.md.
+        self.caches = DatabaseCaches()
 
     # ---------------------------------------------------------------- events
 
@@ -95,6 +101,8 @@ class TemporalDatabase:
         self._observers.remove(callback)
 
     def _emit(self, event: Event) -> None:
+        # Caches first: observer callbacks must never read stale state.
+        self.caches.on_event(self, event)
         for callback in list(self._observers):
             callback(self, event)
 
@@ -196,16 +204,12 @@ class TemporalDatabase:
         self._classes[name] = cls
         metaclass = Metaclass(cls, tuple(c_methods))
         self._metaclasses[metaclass.name] = metaclass
+        self.caches.bump_all()
         return cls
 
     def _isa_rollback(self, name: str) -> None:
         # add_class is the only ISA mutation; undo it on definition failure.
-        self._isa._parents.pop(name, None)
-        self._isa._children.pop(name, None)
-        self._isa._ancestors.pop(name, None)
-        self._isa._component.pop(name, None)
-        for children in self._isa._children.values():
-            children.discard(name)
+        self._isa.retract_class(name)
 
     def _check_mentioned_classes(self, t: Type, defining: str) -> None:
         for class_name in t.mentioned_classes():
@@ -265,6 +269,7 @@ class TemporalDatabase:
                     obj.value[spec.name] = history
                 else:
                     obj.value[spec.name] = NULL
+        self.caches.bump_all()
 
     def remove_attribute(self, class_name: str, name: str) -> None:
         """Remove an attribute from a class (and its subclasses) at
@@ -302,6 +307,7 @@ class TemporalDatabase:
                     leaving.close(now - 1)
                     if not leaving.is_empty():
                         obj.retained[name] = leaving
+        self.caches.bump_all()
 
     def drop_class(self, name: str) -> None:
         """Drop a class: lifespan ends at ``now - 1``.
@@ -326,6 +332,7 @@ class TemporalDatabase:
                 "empty"
             )
         cls.close_lifespan(self.now)
+        self.caches.bump_all()
 
     def get_class(self, name: str) -> ClassSignature:
         """The class identified by *name* (SchemaView protocol)."""
@@ -949,9 +956,41 @@ class TemporalDatabase:
     # ------------------------------------------------ TypeContext protocol
 
     def pi(self, class_name: str, t: int) -> frozenset[OID]:
-        """``pi(c, t)``: the extent of the class at instant t."""
+        """``pi(c, t)``: the extent of the class at instant t (cached)."""
         cls = self.get_class(class_name)
-        return cls.history.members_at(t)
+        cached = self.caches.get_pi(class_name, t)
+        if cached is not None:
+            return cached
+        result = cls.history.members_at(t)
+        self.caches.put_pi(class_name, t, result)
+        return result
+
+    def anchor_extent(self, class_name: str, t: int) -> frozenset[OID]:
+        """The extent anchoring AT/NOW query evaluation.
+
+        Identical in value to :meth:`pi`; served from the pi cache when
+        warm, and on a miss -- for populations large enough to amortize
+        it -- from the per-class :class:`IntervalStabbingIndex`
+        (O(log n + k) per stab), which is stale-marked on mutation.
+        Instants beyond ``now`` fall back to the set-valued history
+        (the index resolves moving membership intervals at build time).
+        """
+        cached = self.caches.get_pi(class_name, t)
+        if cached is not None:
+            return cached
+        cls = self.get_class(class_name)
+        use_index = (
+            perf.is_enabled
+            and 0 <= t <= self.now
+            and len(cls.history.ever_members()) >= INDEX_MIN_POPULATION
+        )
+        if use_index:
+            index = self.caches.stabbing_index(self, class_name)
+            result = frozenset(index.stab(t))
+        else:
+            result = cls.history.members_at(t)
+        self.caches.put_pi(class_name, t, result)
+        return result
 
     def extent(self, class_name: str, t: int) -> frozenset[OID]:
         if class_name not in self._classes:
@@ -961,7 +1000,33 @@ class TemporalDatabase:
     def membership_times(self, class_name: str, oid: OID) -> IntervalSet:
         if class_name not in self._classes:
             return IntervalSet.empty()
-        return self._classes[class_name].history.member_times(oid, self.now)
+        cached = self.caches.get_membership(class_name, oid, self.now)
+        if cached is not None:
+            return cached
+        result = self._classes[class_name].history.member_times(
+            oid, self.now
+        )
+        self.caches.put_membership(class_name, oid, self.now, result)
+        return result
+
+    def snapshot_at(self, oid: OID, t: int | None = None) -> RecordValue:
+        """``snapshot(i, t)`` (Section 5.3) with result caching.
+
+        Defaults to the current instant.  The cached record is immutable
+        and invalidated by any event naming *oid* (update, correction,
+        migration, deletion), by schema evolution, and by clock
+        advancement.
+        """
+        from repro.objects.state import snapshot as take_snapshot
+
+        instant = self.now if t is None else t
+        obj = self.get_object(oid)
+        cached = self.caches.get_snapshot(oid, instant, self.now)
+        if cached is not None:
+            return cached
+        result = take_snapshot(obj, instant, self.now)
+        self.caches.put_snapshot(oid, instant, self.now, result)
+        return result
 
     def ever_member(self, class_name: str, oid: OID) -> bool:
         if class_name not in self._classes:

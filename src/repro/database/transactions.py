@@ -79,6 +79,11 @@ class Transaction:
         self._db._objects = self._backup["objects"]
         self._db._oids = self._backup["oids"]
         self._backup = None
+        # Entries cached inside the aborted batch describe discarded
+        # state; drop the lot (generations never rewind).
+        caches = getattr(self._db, "caches", None)
+        if caches is not None:
+            caches.invalidate_all()
 
     @property
     def active(self) -> bool:

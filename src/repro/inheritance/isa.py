@@ -39,6 +39,14 @@ class IsaHierarchy:
         self._children: dict[str, set[str]] = {}
         self._ancestors: dict[str, frozenset[str]] = {}  # incl. self
         self._component: dict[str, str] = {}  # class -> hierarchy id
+        self._generation = 0  # bumped on every DAG change (memo keys)
+
+    @property
+    def generation(self) -> int:
+        """A counter bumped on every DAG mutation.  Memo tables over the
+        ISA order (:mod:`repro.types.subtyping`) key their entries on it
+        so they self-invalidate when the hierarchy changes."""
+        return self._generation
 
     # -- construction ---------------------------------------------------------
 
@@ -67,6 +75,23 @@ class IsaHierarchy:
             ancestors |= self._ancestors[parent]
         self._ancestors[name] = frozenset(ancestors)
         self._component[name] = self._merge_components(name, parent_set)
+        self._generation += 1
+
+    def retract_class(self, name: str) -> None:
+        """Undo the most recent :meth:`add_class` of *name*.
+
+        Used by the database to roll back a failed class definition
+        (component merges performed by the addition are not undone; the
+        retracted class no longer relates any pair of classes, which is
+        all ``<=_ISA`` queries observe).
+        """
+        self._parents.pop(name, None)
+        self._children.pop(name, None)
+        self._ancestors.pop(name, None)
+        self._component.pop(name, None)
+        for children in self._children.values():
+            children.discard(name)
+        self._generation += 1
 
     def _merge_components(self, name: str, parents: frozenset[str]) -> str:
         if not parents:

@@ -1,0 +1,69 @@
+"""Hot-path cache switchboard and observability.
+
+The engine keeps several caches on its hot paths (docs/performance.md
+describes each one: key, invalidation trigger, ablation behaviour):
+
+* the :class:`~repro.temporal.temporalvalue.TemporalValue` start-key
+  cache (O(log n) temporal reads);
+* the database extent / membership / snapshot caches and the per-class
+  interval stabbing index (:mod:`repro.database.caches`);
+* the ISA-generation-aware subtyping and lub memo tables
+  (:mod:`repro.types.subtyping`).
+
+All of them are *semantically transparent*: with caching disabled the
+engine computes every answer from first principles and must agree with
+the cached run on every workload (tests/test_hotpath_caches.py checks
+exactly that under randomized mutate-then-read sequences).
+
+``is_enabled`` is the single ablation switch.  Hot paths read the
+module attribute directly (an attribute load, no call); benches and the
+equivalence suite flip it with :func:`set_enabled` or the
+:func:`disabled` context manager.  Mutation-side cache *maintenance* is
+unconditional -- caches stay coherent while disabled, only lookups
+bypass them -- so the flag can be toggled at any point without a flush.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.perf.counters import (
+    CacheCounter,
+    counter,
+    format_stats,
+    reset_stats,
+    stats,
+)
+
+__all__ = [
+    "CacheCounter",
+    "counter",
+    "disabled",
+    "format_stats",
+    "is_enabled",
+    "reset_stats",
+    "set_enabled",
+    "stats",
+]
+
+#: The global caching switch.  Hot paths read this attribute directly.
+is_enabled: bool = True
+
+
+def set_enabled(flag: bool) -> bool:
+    """Enable/disable all hot-path caches; returns the previous state."""
+    global is_enabled
+    previous = is_enabled
+    is_enabled = bool(flag)
+    return previous
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Run a block with every cache bypassed (the ablation baseline)."""
+    previous = set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

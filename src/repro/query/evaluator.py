@@ -67,9 +67,11 @@ def evaluate(db, query: Query) -> list[OID]:
     type_check(query, cls, db)
     now = db.now
     results: list[OID] = []
-    for oid in sorted(db.pi(query.class_name, _anchor_instant(query, now))):
-        membership = db.membership_times(query.class_name, oid)
-        if _matches(db, oid, query, membership, now):
+    # The anchor extent comes from the cached, index-backed path when
+    # the database provides one (plain TypeContexts fall back to pi).
+    extent_at = getattr(db, "anchor_extent", db.pi)
+    for oid in sorted(extent_at(query.class_name, _anchor_instant(query, now))):
+        if _matches(db, oid, query, now):
             results.append(oid)
     return results
 
@@ -82,9 +84,7 @@ def _anchor_instant(query: Query, now: int) -> int:
     return now
 
 
-def _matches(
-    db, oid: OID, query: Query, membership: IntervalSet, now: int
-) -> bool:
+def _matches(db, oid: OID, query: Query, now: int) -> bool:
     obj = db.get_object(oid)
     if query.predicate is None:
         return True
@@ -92,6 +92,8 @@ def _matches(
         at = now if query.scope is TemporalScope.NOW else query.at
         assert at is not None
         return _eval_at(db, obj, query.predicate, at, now) is True
+    # Only the quantified scopes range over the membership lifespan.
+    membership = db.membership_times(query.class_name, oid)
     holds = evaluate_when(db, obj, query.predicate, now)
     scoped = membership
     if query.scope in (TemporalScope.SOMETIME_IN, TemporalScope.ALWAYS_IN):

@@ -38,6 +38,7 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Any, Callable, Iterable, Iterator
 
+from repro import perf
 from repro.errors import (
     OverlappingHistoryError,
     UndefinedAtError,
@@ -47,11 +48,13 @@ from repro.temporal.instants import NOW, Now, validate_instant
 from repro.temporal.intervals import Interval
 from repro.temporal.intervalsets import IntervalSet
 
+_STARTS = perf.counter("temporalvalue.starts")
+
 
 class TemporalValue:
     """A partial function from TIME, stored as ``<interval, value>`` pairs."""
 
-    __slots__ = ("_pairs", "_coalesce")
+    __slots__ = ("_pairs", "_coalesce", "_starts_cache")
 
     def __init__(
         self,
@@ -60,6 +63,10 @@ class TemporalValue:
     ) -> None:
         self._coalesce = coalesce
         self._pairs: list[list[Any]] = []  # [start, end(int|Now), value]
+        # Cached [pair[0] for pair in _pairs]; None when not materialized.
+        # Mutations keep it in sync (or drop it) unconditionally, so the
+        # ablation switch only affects whether reads consult it.
+        self._starts_cache: list[int] | None = None
         for interval, value in pairs:
             self.put(interval, value)
 
@@ -88,7 +95,35 @@ class TemporalValue:
     # -- internal helpers -------------------------------------------------------
 
     def _starts(self) -> list[int]:
-        return [pair[0] for pair in self._pairs]
+        """The sorted start keys, maintained incrementally across
+        mutations so :meth:`_locate` costs one bisect, not a rebuild."""
+        if not perf.is_enabled:
+            return [pair[0] for pair in self._pairs]
+        cache = self._starts_cache
+        if cache is None:
+            cache = [pair[0] for pair in self._pairs]
+            self._starts_cache = cache
+            _STARTS.miss()
+        else:
+            _STARTS.hit()
+        return cache
+
+    def _starts_append(self, start: int) -> None:
+        if self._starts_cache is not None:
+            self._starts_cache.append(start)
+
+    def _starts_insert(self, idx: int, start: int) -> None:
+        if self._starts_cache is not None:
+            self._starts_cache.insert(idx, start)
+
+    def _starts_delete(self, idx: int) -> None:
+        if self._starts_cache is not None:
+            del self._starts_cache[idx]
+
+    def _starts_invalidate(self) -> None:
+        if self._starts_cache is not None:
+            self._starts_cache = None
+            _STARTS.invalidate()
 
     def _locate(self, t: int) -> int | None:
         """Index of the pair whose interval contains *t*, if any.
@@ -131,6 +166,7 @@ class TemporalValue:
 
     def get(self, t: int, default: Any = None) -> Any:
         """The value at *t*, or *default* when undefined."""
+        validate_instant(t)
         idx = self._locate(t)
         return default if idx is None else self._pairs[idx][2]
 
@@ -195,8 +231,12 @@ class TemporalValue:
 
     def is_constant(self) -> bool:
         """True iff all pairs carry the same value (immutable attribute)."""
-        values = [pair[2] for pair in self._pairs]
-        return all(v == values[0] for v in values[1:]) if values else True
+        pairs = iter(self._pairs)
+        first = next(pairs, None)
+        if first is None:
+            return True
+        head = first[2]
+        return all(pair[2] == head for pair in pairs)
 
     def when(
         self, predicate: Callable[[Any], bool], now: int | None = None
@@ -246,6 +286,7 @@ class TemporalValue:
                     f"{last_end}; use put(..., overwrite=True)"
                 )
         self._pairs.append([t, NOW, value])
+        self._starts_append(t)
         self._maybe_merge_backward(len(self._pairs) - 1)
 
     def close(self, t: int) -> None:
@@ -264,6 +305,7 @@ class TemporalValue:
         start = self._pairs[open_idx][0]
         if t < start:
             del self._pairs[open_idx]
+            self._starts_delete(open_idx)
         else:
             self._pairs[open_idx][1] = t
 
@@ -304,6 +346,7 @@ class TemporalValue:
                     "a temporal value admits a single open pair"
                 )
             self._pairs.append([start, NOW, value])
+            self._starts_append(start)
             self._maybe_merge_backward(len(self._pairs) - 1)
             return
 
@@ -316,6 +359,7 @@ class TemporalValue:
             self._carve(interval, now)
         idx = bisect_right(self._starts(), start)
         self._pairs.insert(idx, [start, end, value])
+        self._starts_insert(idx, start)
         self._maybe_merge_backward(idx + 1 if idx + 1 < len(self._pairs) else idx)
         self._maybe_merge_backward(idx)
 
@@ -429,6 +473,7 @@ class TemporalValue:
             if isinstance(p[1], Now) or p[0] <= p[1]
         ]
         self._pairs.sort(key=lambda p: p[0])
+        self._starts_invalidate()
 
     def _maybe_merge_backward(self, idx: int) -> None:
         """Coalesce pair *idx* into its predecessor when legal."""
@@ -441,6 +486,7 @@ class TemporalValue:
         if prev_end + 1 == curr[0] and prev[2] == curr[2]:
             prev[1] = curr[1]
             del self._pairs[idx]
+            self._starts_delete(idx)
 
     # -- comparison -----------------------------------------------------------------
 

@@ -35,8 +35,10 @@ by :class:`repro.inheritance.isa.IsaHierarchy` for real schemas and by
 
 from __future__ import annotations
 
-from typing import Iterable, Protocol, runtime_checkable
+import weakref
+from typing import Any, Iterable, Protocol, runtime_checkable
 
+from repro import perf
 from repro.errors import NoLubError
 from repro.types.grammar import (
     BottomType,
@@ -78,8 +80,88 @@ class EmptyIsaOrder:
 EMPTY_ISA = EmptyIsaOrder()
 
 
+# ---------------------------------------------------------------------------
+# Memoization.  Type terms are immutable and hashable, so the only thing
+# that can change the answer of ``is_subtype``/``lub`` for a fixed pair
+# of terms is the ISA order itself.  Orders that mutate expose a
+# ``generation`` counter (:class:`repro.inheritance.isa.IsaHierarchy`
+# bumps it on every DAG change); stateless orders (e.g.
+# :class:`EmptyIsaOrder`) have no counter and default to generation 0.
+# One memo per ISA order (weakly referenced), dropped wholesale when the
+# generation moves -- repeated structural comparisons during type_check,
+# refinement and consistency checks become O(1) amortized.
+# ---------------------------------------------------------------------------
+
+_MEMO_LIMIT = 4096  # per-table entry cap; full clear past it
+_MISS = object()
+
+_SUBTYPE_COUNTER = perf.counter("subtyping.is_subtype")
+_LUB_COUNTER = perf.counter("subtyping.lub")
+
+
+class _IsaMemo:
+    __slots__ = ("generation", "subtype", "lub")
+
+    def __init__(self, generation: int) -> None:
+        self.generation = generation
+        self.subtype: dict[tuple[Type, Type], bool] = {}
+        self.lub: dict[tuple[Type, Type], "Type | None"] = {}
+
+
+_MEMOS: "weakref.WeakKeyDictionary[Any, _IsaMemo]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _memo_for(isa: IsaOrder) -> _IsaMemo | None:
+    """The memo for *isa*, or None when memoization is off/unsupported."""
+    if not perf.is_enabled:
+        return None
+    generation = getattr(isa, "generation", 0)
+    if not isinstance(generation, int):
+        return None
+    try:
+        memo = _MEMOS.get(isa)
+        if memo is None:
+            memo = _IsaMemo(generation)
+            _MEMOS[isa] = memo
+    except TypeError:  # unhashable / non-weakref'able order
+        return None
+    if memo.generation != generation:
+        _SUBTYPE_COUNTER.invalidate(len(memo.subtype))
+        _LUB_COUNTER.invalidate(len(memo.lub))
+        memo.subtype.clear()
+        memo.lub.clear()
+        memo.generation = generation
+    return memo
+
+
 def is_subtype(t2: Type, t1: Type, isa: IsaOrder = EMPTY_ISA) -> bool:
-    """Decide ``t2 <=_T t1`` under the given ISA order (Def. 6.1)."""
+    """Decide ``t2 <=_T t1`` under the given ISA order (Def. 6.1).
+
+    Memoized per ISA order and generation; recursive structural
+    comparisons hit the memo at every level.
+    """
+    memo = _memo_for(isa)
+    if memo is None:
+        return _is_subtype(t2, t1, isa)
+    table = memo.subtype
+    key = (t2, t1)
+    cached = table.get(key, _MISS)
+    if cached is not _MISS:
+        _SUBTYPE_COUNTER.hit()
+        return cached  # type: ignore[return-value]
+    _SUBTYPE_COUNTER.miss()
+    result = _is_subtype(t2, t1, isa)
+    if len(table) >= _MEMO_LIMIT:
+        _SUBTYPE_COUNTER.invalidate(len(table))
+        table.clear()
+    table[key] = result
+    return result
+
+
+def _is_subtype(t2: Type, t1: Type, isa: IsaOrder) -> bool:
+    """The Definition 6.1 case analysis (uncached)."""
     if t1 == t2:
         return True
     if isinstance(t2, BottomType):
@@ -127,6 +209,26 @@ def try_lub(types: Iterable[Type], isa: IsaOrder = EMPTY_ISA) -> Type | None:
 
 
 def _lub2(a: Type, b: Type, isa: IsaOrder) -> Type | None:
+    """Binary lub, memoized like :func:`is_subtype`."""
+    memo = _memo_for(isa)
+    if memo is None:
+        return _lub2_fresh(a, b, isa)
+    table = memo.lub
+    key = (a, b)
+    cached = table.get(key, _MISS)
+    if cached is not _MISS:
+        _LUB_COUNTER.hit()
+        return cached  # type: ignore[return-value]
+    _LUB_COUNTER.miss()
+    result = _lub2_fresh(a, b, isa)
+    if len(table) >= _MEMO_LIMIT:
+        _LUB_COUNTER.invalidate(len(table))
+        table.clear()
+    table[key] = result
+    return result
+
+
+def _lub2_fresh(a: Type, b: Type, isa: IsaOrder) -> Type | None:
     if a == b:
         return a
     if isinstance(a, BottomType):

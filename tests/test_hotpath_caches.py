@@ -1,0 +1,289 @@
+"""Equivalence and invalidation tests for the hot-path caches (E11).
+
+The caching layer must be *transparent*: every cached read path --
+``pi``, ``anchor_extent``, ``snapshot_at``, ``membership_times``,
+``TemporalValue.at``, ``is_subtype`` -- must return exactly what a
+from-scratch recomputation returns, at every point of an arbitrary
+mutate-then-read sequence.  The property tests drive randomized
+operation sequences (tick, create, update, retroactive correction,
+migration, deletion, schema growth) and compare cached answers against
+``perf.disabled()`` recomputation *on the same database*; the
+deterministic tests pin the individual invalidation triggers.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import perf
+from repro.database.database import TemporalDatabase
+from repro.database.transactions import Transaction
+from repro.errors import InvalidInstantError, TChimeraError
+from repro.temporal.intervals import Interval
+from repro.temporal.temporalvalue import TemporalValue
+from repro.types.grammar import INTEGER, ObjectType, SetOf
+from repro.types.subtyping import is_subtype, try_lub
+
+from tests.strategies import temporal_values
+
+CLASSES = ("base", "left", "right", "grand")
+
+
+def _world() -> tuple[TemporalDatabase, list]:
+    db = TemporalDatabase()
+    db.define_class("base", attributes=[("score", "temporal(integer)")])
+    db.define_class("left", parents=["base"])
+    db.define_class("right", parents=["base"])
+    db.define_class("grand", parents=["left"])
+    oids = [
+        db.create_object(("base", "left", "right", "grand")[i % 4],
+                         {"score": i})
+        for i in range(6)
+    ]
+    return db, oids
+
+
+def _assert_reads_agree(db: TemporalDatabase, oids: list) -> None:
+    """Every cached read equals its from-scratch recomputation."""
+    instants = sorted({0, db.now // 2, db.now})
+    for name in CLASSES:
+        for t in instants:
+            cached_pi = db.pi(name, t)
+            cached_anchor = db.anchor_extent(name, t)
+            with perf.disabled():
+                fresh = db.pi(name, t)
+            assert cached_pi == fresh, (name, t)
+            assert cached_anchor == fresh, (name, t)
+    for oid in oids:
+        for name in CLASSES:
+            cached_m = db.membership_times(name, oid)
+            with perf.disabled():
+                fresh_m = db.membership_times(name, oid)
+            assert cached_m == fresh_m, (name, oid)
+        obj = db._objects.get(oid)
+        if obj is None or not obj.alive_at(db.now, db.now):
+            continue
+        cached_snap = db.snapshot_at(oid)
+        with perf.disabled():
+            fresh_snap = db.snapshot_at(oid)
+        assert cached_snap == fresh_snap, oid
+    for sub in CLASSES:
+        for sup in CLASSES:
+            t2, t1 = ObjectType(sub), ObjectType(sup)
+            cached_sub = is_subtype(t2, t1, db.isa)
+            cached_lub = try_lub([SetOf(t2), SetOf(t1)], db.isa)
+            with perf.disabled():
+                assert is_subtype(t2, t1, db.isa) == cached_sub
+                assert try_lub([SetOf(t2), SetOf(t1)], db.isa) == cached_lub
+
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["tick", "create", "update", "correct", "migrate",
+             "delete", "subclass"]
+        ),
+        st.integers(0, 9),
+        st.integers(0, 999),
+    ),
+    min_size=1,
+    max_size=14,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_ops)
+def test_cached_reads_equal_fresh_reads_under_mutation(ops):
+    """The core transparency property: cached == uncached at every
+    step of a random mutate-then-read sequence."""
+    db, oids = _world()
+    extra_classes = 0
+    for kind, pick, value in ops:
+        try:
+            if kind == "tick":
+                db.tick()
+            elif kind == "create":
+                oids.append(
+                    db.create_object(CLASSES[pick % 4], {"score": value})
+                )
+            elif kind == "update":
+                db.update_attribute(oids[pick % len(oids)], "score", value)
+            elif kind == "correct":
+                target = oids[pick % len(oids)]
+                start = value % (db.now + 1)
+                db.correct_attribute(
+                    target, "score", start, db.now, value
+                )
+            elif kind == "migrate":
+                db.migrate(oids[pick % len(oids)], CLASSES[value % 4])
+            elif kind == "delete":
+                db.delete_object(oids[pick % len(oids)], force=True)
+            elif kind == "subclass":
+                extra_classes += 1
+                db.define_class(
+                    f"extra{extra_classes}", parents=[CLASSES[pick % 4]]
+                )
+        except TChimeraError:
+            # Illegal op for the current state (dead object, identity
+            # migration, correction outside the lifespan, ...): the
+            # model rejecting it is fine; the caches must still agree.
+            pass
+        _assert_reads_agree(db, oids)
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=temporal_values(), t=st.integers(0, 220))
+def test_starts_cache_transparent_on_random_histories(value, t):
+    """``at``/``get``/``defined_at`` agree with the ablated path, and
+    the start-key cache (when warm) mirrors the pair list exactly."""
+    cached = (value.at(t) if value.defined_at(t) else None,
+              value.get(t, default="missing"))
+    with perf.disabled():
+        fresh = (value.at(t) if value.defined_at(t) else None,
+                 value.get(t, default="missing"))
+    assert cached == fresh
+    starts = value._starts_cache
+    assert starts is None or starts == [p[0] for p in value._pairs]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    value=temporal_values(),
+    edits=st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 220), st.integers(0, 99)),
+        max_size=6,
+    ),
+    t=st.integers(0, 220),
+)
+def test_starts_cache_survives_mutation(value, edits, t):
+    value.at(t) if value.defined_at(t) else None  # warm the cache
+    for op, instant, payload in edits:
+        try:
+            if op == 0:
+                value.assign(instant, payload)
+            elif op == 1:
+                value.close(instant)
+            else:
+                value.put(Interval(instant, instant + 3), payload)
+        except TChimeraError:
+            pass
+        starts = value._starts_cache
+        assert starts is None or starts == [p[0] for p in value._pairs]
+        cached = value.get(t, default="missing")
+        with perf.disabled():
+            assert value.get(t, default="missing") == cached
+
+
+# ---------------------------------------------------------------------------
+# Deterministic invalidation triggers, one per cache.
+# ---------------------------------------------------------------------------
+
+
+def test_pi_cache_sees_create_migrate_delete():
+    db, oids = _world()
+    assert len(db.pi("base", db.now)) == 6  # primes the cache
+    new = db.create_object("grand", {"score": 99})
+    assert new in db.pi("base", db.now)
+    assert new in db.pi("left", db.now)  # superclass bumped too
+    db.tick()
+    db.migrate(new, "right")
+    assert new in db.pi("right", db.now)
+    assert new not in db.pi("left", db.now)
+    db.delete_object(new, force=True)
+    assert new not in db.pi("base", db.now)
+
+
+def test_snapshot_cache_sees_update_and_correction():
+    db, oids = _world()
+    db.tick(5)
+    db.update_attribute(oids[0], "score", 10)
+    assert db.snapshot_at(oids[0])["score"] == 10
+    db.update_attribute(oids[0], "score", 20)
+    assert db.snapshot_at(oids[0])["score"] == 20
+    past = db.now - 2
+    assert db.snapshot_at(oids[0], past)["score"] == 0  # primes (oid, past)
+    db.correct_attribute(oids[0], "score", 0, past, 77)
+    assert db.snapshot_at(oids[0], past)["score"] == 77
+
+
+def test_membership_cache_sees_tick():
+    db, oids = _world()
+    before = db.membership_times("base", oids[0])
+    db.tick(3)
+    after = db.membership_times("base", oids[0])
+    assert after != before  # the moving Now end advanced with the clock
+    assert after.end() == db.now
+
+
+def test_subtype_memo_sees_isa_change():
+    db = TemporalDatabase()
+    db.define_class("a")
+    assert not is_subtype(ObjectType("b"), ObjectType("a"), db.isa)
+    db.define_class("b", parents=["a"])
+    assert is_subtype(ObjectType("b"), ObjectType("a"), db.isa)
+
+
+def test_rollback_drops_in_transaction_entries():
+    db, oids = _world()
+    with pytest.raises(RuntimeError):
+        with Transaction(db):
+            victim = db.create_object("base", {"score": 1})
+            assert victim in db.pi("base", db.now)  # cached mid-txn
+            raise RuntimeError("abort")
+    assert all(
+        oid.serial != victim.serial for oid in db.pi("base", db.now)
+    )
+    with perf.disabled():
+        assert db.pi("base", db.now) == db.pi("base", db.now)
+
+
+def test_ablation_flag_round_trips():
+    assert perf.is_enabled
+    previous = perf.set_enabled(False)
+    assert previous is True
+    assert not perf.is_enabled
+    perf.set_enabled(True)
+    with perf.disabled():
+        assert not perf.is_enabled
+    assert perf.is_enabled
+
+
+def test_counters_register_hits():
+    perf.reset_stats()
+    db, oids = _world()
+    for _ in range(3):
+        db.pi("base", db.now)
+        db.snapshot_at(oids[0])
+    stats = perf.stats()
+    assert stats["database.pi"]["hits"] >= 2
+    assert stats["database.snapshot"]["hits"] >= 2
+    assert "database.pi" in perf.format_stats()
+
+
+# ---------------------------------------------------------------------------
+# Satellite behaviours on TemporalValue itself.
+# ---------------------------------------------------------------------------
+
+
+def test_get_validates_instants_like_at():
+    value = TemporalValue()
+    value.put(Interval(0, 5), "x")
+    assert value.get(3) == "x"
+    assert value.get(9, default="d") == "d"
+    with pytest.raises(InvalidInstantError):
+        value.get(-1)
+    with pytest.raises(InvalidInstantError):
+        value.get("soon")  # type: ignore[arg-type]
+
+
+def test_is_constant_short_circuits():
+    empty = TemporalValue()
+    assert empty.is_constant()
+    value = TemporalValue()
+    value.put(Interval(0, 2), 7)
+    value.put(Interval(5, 8), 7)
+    assert value.is_constant()
+    value.put(Interval(10, 11), 8)
+    assert not value.is_constant()
