@@ -12,7 +12,13 @@ Commands:
   database;
 * ``perf [FILE.json]`` -- exercise the hot-path caches (on a saved
   database, or a synthetic workload when no file is given) and print
-  the hit/miss/invalidation counters.
+  the hit/miss/invalidation counters;
+* ``recover DIR [--json]`` -- rebuild a journaled database from its
+  durability directory (checkpoint + write-ahead journal) and print the
+  recovery report; exit 0 when a database was produced (even off a
+  salvaged corrupt tail), 1 on unrecoverable loss;
+* ``checkpoint DIR`` -- open a journaled database, write a fresh
+  atomic checkpoint, and truncate the journal.
 """
 
 from __future__ import annotations
@@ -150,6 +156,45 @@ def cmd_perf(args) -> int:
     return 0
 
 
+def cmd_recover(args) -> int:
+    import json
+
+    from repro.database.recovery import recover
+
+    db, report = recover(args.directory)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if db is None:
+        return 1
+    if args.verify:
+        from repro.database.integrity import check_database
+
+        integrity = check_database(db)
+        if not integrity.ok:
+            print("recovered database FAILS integrity:")
+            for violation in integrity.all_violations():
+                print(f"  {violation}")
+            return 1
+        print("recovered database passes the full integrity suite")
+    return 0
+
+
+def cmd_checkpoint(args) -> int:
+    from repro.database.recovery import open_database
+
+    db, report = open_database(args.directory)
+    if report.salvaged_tail or report.records_dropped_uncommitted:
+        print(report.render())
+    path = db.checkpoint()
+    print(
+        f"checkpoint written: {path} "
+        f"(now={db.now}, {len(db)} object(s))"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -180,6 +225,26 @@ def main(argv: list[str] | None = None) -> int:
     )
     perf_cmd.add_argument("file", nargs="?", default=None)
 
+    recover_cmd = sub.add_parser(
+        "recover",
+        help="rebuild a journaled database and print the recovery report",
+    )
+    recover_cmd.add_argument("directory")
+    recover_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    recover_cmd.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run the full integrity suite on the recovered database",
+    )
+
+    checkpoint_cmd = sub.add_parser(
+        "checkpoint",
+        help="write an atomic checkpoint and truncate the journal",
+    )
+    checkpoint_cmd.add_argument("directory")
+
     args = parser.parse_args(argv)
     handlers = {
         "tables": cmd_tables,
@@ -188,6 +253,8 @@ def main(argv: list[str] | None = None) -> int:
         "describe": cmd_describe,
         "query": cmd_query,
         "perf": cmd_perf,
+        "recover": cmd_recover,
+        "checkpoint": cmd_checkpoint,
     }
     return handlers[args.command](args)
 

@@ -10,7 +10,11 @@
 * :mod:`repro.database.transactions` -- atomic multi-operation batches
   with rollback;
 * :mod:`repro.database.persistence` -- JSON serialization of a whole
-  database.
+  database;
+* :mod:`repro.database.wal` -- crash-safe write-ahead journal
+  (CRC-framed logical records, atomic checkpoints);
+* :mod:`repro.database.recovery` -- checkpoint + journal-replay
+  recovery with graceful degradation on corrupt tails.
 """
 
 from repro.database.database import TemporalDatabase
@@ -26,8 +30,18 @@ from repro.database.integrity import (
 )
 from repro.database.transactions import Transaction
 from repro.database.persistence import database_from_json, database_to_json
+from repro.database.recovery import (
+    RecoveryReport,
+    open_database,
+    recover,
+)
+from repro.database.wal import Journal
 
 __all__ = [
+    "Journal",
+    "RecoveryReport",
+    "open_database",
+    "recover",
     "TemporalDatabase",
     "IntegrityReport",
     "check_database",

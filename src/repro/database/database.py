@@ -77,7 +77,7 @@ from repro.values.records import RecordValue
 class TemporalDatabase:
     """One T_Chimera database: clock + schema + objects."""
 
-    def __init__(self, start_time: int = 0) -> None:
+    def __init__(self, start_time: int = 0, journal=None) -> None:
         self.clock = Clock(start_time)
         self._isa = IsaHierarchy()
         self._classes: dict[str, ClassSignature] = {}
@@ -85,10 +85,58 @@ class TemporalDatabase:
         self._objects: dict[OID, TemporalObject] = {}
         self._oids = OidGenerator()
         self._observers: list = []
+        #: Subscriber failure policy: ``"raise"`` collects exceptions
+        #: from observer callbacks and re-raises after *all* observers
+        #: ran (a single failure re-raises as itself, several as one
+        #: :class:`SubscriberError`); ``"continue"`` logs and goes on.
+        self.on_subscriber_error: str = "raise"
         #: Hot-path caches (extents, membership, snapshots, indexes);
         #: invalidated from the event emission points and the schema
         #: evolution operations.  See docs/performance.md.
         self.caches = DatabaseCaches()
+        #: Optional write-ahead journal (docs/durability.md).  Every
+        #: committed operation appends a replayable record before the
+        #: caller regains control.
+        self._journal = None
+        if journal is not None:
+            self.attach_journal(journal)
+
+    # ------------------------------------------------------------- durability
+
+    @property
+    def journal(self):
+        """The attached write-ahead journal, or None."""
+        return self._journal
+
+    def attach_journal(self, journal, genesis: bool = True) -> None:
+        """Start journaling every subsequent operation to *journal*.
+
+        With *genesis* (the default for a fresh database) an empty
+        journal receives a ``genesis`` record carrying the clock start,
+        so recovery without any checkpoint can replay from scratch.
+        """
+        self._journal = journal
+        if genesis and journal.is_empty():
+            journal.append({"kind": "genesis", "start_time": self.now})
+
+    def checkpoint(self) -> str:
+        """Atomically snapshot this database and truncate its journal.
+
+        Returns the checkpoint file path.  Requires an attached
+        journal; see :meth:`repro.database.wal.Journal.checkpoint` for
+        the crash-safe write protocol.
+        """
+        from repro.errors import JournalError
+
+        if self._journal is None:
+            raise JournalError(
+                "checkpoint requires an attached journal"
+            )
+        return self._journal.checkpoint(self)
+
+    def _journal_op(self, record: dict) -> None:
+        if self._journal is not None:
+            self._journal.append(record)
 
     # ---------------------------------------------------------------- events
 
@@ -103,8 +151,36 @@ class TemporalDatabase:
     def _emit(self, event: Event) -> None:
         # Caches first: observer callbacks must never read stale state.
         self.caches.on_event(self, event)
+        # Journal second: the operation is already applied, and a
+        # raising observer must not un-durable it (after-the-fact
+        # enforcement wraps operations in a Transaction, whose rollback
+        # truncates the journal suffix).
+        if self._journal is not None:
+            from repro.database.wal import record_for_event
+
+            self._journal.append(record_for_event(event))
+        failures: list[tuple] = []
         for callback in list(self._observers):
-            callback(self, event)
+            try:
+                callback(self, event)
+            except Exception as exc:  # isolate: every observer runs
+                failures.append((callback, exc))
+        if not failures:
+            return
+        if self.on_subscriber_error == "continue":
+            import logging
+
+            for callback, exc in failures:
+                logging.getLogger("repro.events").error(
+                    "subscriber %r raised handling %r: %s",
+                    callback, event, exc,
+                )
+            return
+        if len(failures) == 1:
+            raise failures[0][1]
+        from repro.errors import SubscriberError
+
+        raise SubscriberError(event, failures)
 
     # ------------------------------------------------------------------ time
 
@@ -115,7 +191,9 @@ class TemporalDatabase:
 
     def tick(self, steps: int = 1) -> int:
         """Advance the clock."""
-        return self.clock.tick(steps)
+        result = self.clock.tick(steps)
+        self._journal_op({"kind": "tick", "steps": steps})
+        return result
 
     # ---------------------------------------------------------------- schema
 
@@ -205,6 +283,35 @@ class TemporalDatabase:
         metaclass = Metaclass(cls, tuple(c_methods))
         self._metaclasses[metaclass.name] = metaclass
         self.caches.bump_all()
+        if self._journal is not None:
+            from repro.database.persistence import encode_value
+            from repro.types.parser import format_type
+
+            self._journal.append({
+                "kind": "define_class",
+                "name": name,
+                "parents": parent_list,
+                "attributes": [
+                    [a.name, format_type(a.type), a.immutable]
+                    for a in own_attributes.values()
+                ],
+                "methods": [
+                    [
+                        m.name,
+                        [format_type(t) for t in m.inputs],
+                        format_type(m.output),
+                    ]
+                    for m in own_methods.values()
+                ],
+                "c_attributes": [
+                    [a.name, format_type(a.type), a.immutable]
+                    for a in own_c_attributes.values()
+                ],
+                "c_attr_values": {
+                    c_name: encode_value(value)
+                    for c_name, value in dict(c_attr_values or {}).items()
+                },
+            })
         return cls
 
     def _isa_rollback(self, name: str) -> None:
@@ -270,6 +377,16 @@ class TemporalDatabase:
                 else:
                     obj.value[spec.name] = NULL
         self.caches.bump_all()
+        if self._journal is not None:
+            from repro.types.parser import format_type
+
+            self._journal.append({
+                "kind": "add_attribute",
+                "class": class_name,
+                "attribute": [
+                    spec.name, format_type(spec.type), spec.immutable
+                ],
+            })
 
     def remove_attribute(self, class_name: str, name: str) -> None:
         """Remove an attribute from a class (and its subclasses) at
@@ -308,6 +425,11 @@ class TemporalDatabase:
                     if not leaving.is_empty():
                         obj.retained[name] = leaving
         self.caches.bump_all()
+        self._journal_op({
+            "kind": "remove_attribute",
+            "class": class_name,
+            "attribute": name,
+        })
 
     def drop_class(self, name: str) -> None:
         """Drop a class: lifespan ends at ``now - 1``.
@@ -333,6 +455,7 @@ class TemporalDatabase:
             )
         cls.close_lifespan(self.now)
         self.caches.bump_all()
+        self._journal_op({"kind": "drop_class", "class": name})
 
     def get_class(self, name: str) -> ClassSignature:
         """The class identified by *name* (SchemaView protocol)."""
@@ -392,7 +515,10 @@ class TemporalDatabase:
         self._objects[oid] = obj
         self._enter_extents(oid, class_name)
         self._emit(
-            Event(EventKind.CREATE, self.now, oid, class_name)
+            Event(
+                EventKind.CREATE, self.now, oid, class_name,
+                payload=dict(attributes or {}),
+            )
         )
         return oid
 
@@ -781,6 +907,7 @@ class TemporalDatabase:
             Event(
                 EventKind.MIGRATE, now, oid, new_class,
                 from_class=old_class,
+                payload=dict(attributes or {}),
             )
         )
 
@@ -833,7 +960,11 @@ class TemporalDatabase:
         for ancestor in self._isa.superclasses(current_class):
             self._classes[ancestor].history.remove_member(oid, now)
         self.get_class(current_class).history.remove_instance(oid, now)
-        self._emit(Event(EventKind.DELETE, now, oid, current_class))
+        self._emit(
+            Event(
+                EventKind.DELETE, now, oid, current_class, payload=force
+            )
+        )
 
     def _require_alive(self, oid: OID) -> TemporalObject:
         obj = self.get_object(oid)

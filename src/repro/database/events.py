@@ -43,6 +43,10 @@ class Event:
     from_class: str | None = None
     #: CORRECT only: the corrected valid-time window.
     window: tuple[int, int] | None = None
+    #: Replay arguments for the write-ahead journal: the caller-supplied
+    #: attribute mapping for CREATE/MIGRATE, the ``force`` flag for
+    #: DELETE.  None for operations whose other fields already suffice.
+    payload: Any = None
 
     def __repr__(self) -> str:
         extra = ""

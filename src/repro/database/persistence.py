@@ -153,14 +153,15 @@ def database_to_json(db) -> str:
     doc = {
         "format": _FORMAT,
         "now": db.now,
-        "next_oid": max(
-            (o.oid.serial for o in db.objects()), default=0
-        )
-        + 1,
+        # The generator's own counter, not max(live serials)+1: a
+        # deleted highest-oid object must never get its oid re-issued
+        # after a round trip (Def. 5.6, OID-UNIQUENESS).
+        "next_oid": db._oids.next_serial,
         "classes": [
             {
                 "name": cls.name,
                 "parents": sorted(db.isa.parents(cls.name)),
+                "created_at": cls.lifespan.start,
                 "lifespan": _encode_interval(cls.lifespan),
                 "attributes": [
                     {
@@ -195,6 +196,7 @@ def database_to_json(db) -> str:
                         "name": a.name,
                         "type": format_type(a.type),
                         "immutable": a.immutable,
+                        "declared_at": a.declared_at,
                     }
                     for a in cls.c_attributes.values()
                 ],
@@ -241,7 +243,20 @@ def database_from_json(text: str):
             f"{_FORMAT!r}"
         )
     db = TemporalDatabase(start_time=doc["now"])
-    db._oids = OidGenerator(doc.get("next_oid", 1))
+    # Older documents recorded max(live serials)+1 here; newer ones
+    # persist the generator counter itself, so a deleted top oid stays
+    # retired forever.
+    fallback_next = max(
+        (
+            obj["oid"]["serial"]
+            for obj in doc.get("objects", ())
+            if isinstance(obj.get("oid"), dict)
+        ),
+        default=0,
+    ) + 1
+    db._oids = OidGenerator(
+        max(doc.get("next_oid", 1), fallback_next)
+    )
 
     # Classes must be added superclasses-first.
     pending = {entry["name"]: entry for entry in doc["classes"]}
@@ -284,11 +299,14 @@ def database_from_json(text: str):
             ],
             c_attributes=[
                 Attribute(
-                    a["name"], parse_type(a["type"]), a.get("immutable", False)
+                    a["name"],
+                    parse_type(a["type"]),
+                    a.get("immutable", False),
+                    a.get("declared_at", 0),
                 )
                 for a in entry["c_attributes"]
             ],
-            created_at=0,
+            created_at=entry.get("created_at", 0),
         )
         cls.lifespan = _decode_interval(entry["lifespan"])
         for retired in entry.get("retired_attributes", ()):

@@ -51,6 +51,12 @@ class Transaction:
                 "oids": self._db._oids,
             }
         )
+        # Journal scope: records appended inside the batch become
+        # durable only at commit (the flush barrier); rollback
+        # truncates them off the journal.
+        journal = getattr(self._db, "journal", None)
+        if journal is not None:
+            journal.begin()
         return self
 
     def commit(self) -> None:
@@ -67,11 +73,17 @@ class Transaction:
                     "transaction aborted by integrity check: "
                     + "; ".join(problems[:5])
                 )
+        journal = getattr(self._db, "journal", None)
+        if journal is not None and journal.in_transaction:
+            journal.commit()
         self._backup = None
 
     def rollback(self) -> None:
         if self._backup is None:
             raise TransactionError("no transaction in progress")
+        journal = getattr(self._db, "journal", None)
+        if journal is not None and journal.in_transaction:
+            journal.abort()
         self._db.clock = self._backup["clock"]
         self._db._isa = self._backup["isa"]
         self._db._classes = self._backup["classes"]

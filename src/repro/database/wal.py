@@ -1,0 +1,407 @@
+"""The write-ahead journal: crash-safe durability for the engine.
+
+Every committed operation of a journaled :class:`TemporalDatabase` is
+serialized to an append-only journal file before the caller regains
+control.  The journal, together with periodic checkpoints (full
+:func:`~repro.database.persistence.database_to_json` snapshots), makes
+the database recoverable after a crash: load the last good checkpoint,
+replay the journal suffix (:mod:`repro.database.recovery`).
+
+Record framing
+--------------
+The file starts with the 8-byte magic ``TCWAL001``.  Each record is::
+
+    [4-byte LE payload length][4-byte LE CRC-32 of payload][payload]
+
+where the payload is a UTF-8 JSON object carrying a monotonically
+increasing ``lsn`` (log sequence number) plus the operation.  A record
+whose length prefix runs past the end of the file, or whose CRC does
+not match, marks the *end of the valid prefix*: everything before it
+replays, everything from it on is a torn/corrupt tail and is dropped
+by recovery (with counts in the :class:`RecoveryReport`).
+
+Record kinds
+------------
+* data operations, mirrored off the :class:`~repro.database.events.Event`
+  stream: ``create``, ``update``, ``migrate``, ``delete``, ``correct``;
+* schema operations: ``define_class``, ``add_attribute``,
+  ``remove_attribute``, ``drop_class``;
+* ``tick`` (clock advancement) and ``genesis`` (database creation);
+* transaction markers ``begin``/``commit``: records between a ``begin``
+  with no matching ``commit`` are an *uncommitted suffix* and are
+  dropped by recovery; :meth:`Journal.abort` physically truncates them.
+
+Durability contract
+-------------------
+Outside a transaction every append is flushed and fsynced before the
+operation returns (``sync="always"``); inside a transaction, records
+are written eagerly but the fsync barrier is :meth:`commit` -- commit
+*is* the flush barrier.  Checkpoints are atomic: write to a temp file,
+fsync, rename, fsync the directory, and only then truncate the
+journal; a crash anywhere in that sequence leaves either the old
+checkpoint plus the full journal or the new checkpoint plus a journal
+whose already-covered records recovery skips by LSN.
+
+Not journaled (documented limitations, mirroring persistence): method
+and c-method *bodies* (Python callables), and c-attribute mutations
+performed inside c-method bodies via ``set_c_attr``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro import perf
+from repro.database.events import Event, EventKind
+from repro.errors import JournalError
+from repro.faults.fs import RealFS
+
+MAGIC = b"TCWAL001"
+_HEADER_LEN = 8  # 4-byte length + 4-byte crc32
+CHECKPOINT_FORMAT = "t-chimera-checkpoint/1"
+
+_RECORDS = perf.metric("wal.records")
+_SYNCS = perf.metric("wal.syncs")
+_COMMITS = perf.metric("wal.commits")
+_ABORTS = perf.metric("wal.aborts")
+_CHECKPOINTS = perf.metric("wal.checkpoints")
+
+
+# -- framing -------------------------------------------------------------------
+
+
+def frame_record(payload: dict[str, Any]) -> bytes:
+    """Length-prefix and checksum one JSON payload."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return (
+        len(body).to_bytes(4, "little")
+        + zlib.crc32(body).to_bytes(4, "little")
+        + body
+    )
+
+
+@dataclass
+class TailStatus:
+    """What the frame scanner found at the end of the journal."""
+
+    #: byte offset of the first invalid/incomplete frame (== file size
+    #: when the journal is fully valid).
+    valid_end: int
+    #: bytes beyond the valid prefix (torn or corrupt).
+    dropped_bytes: int
+    #: why the scan stopped, or None when the whole file parsed.
+    error: str | None = None
+
+    @property
+    def clean(self) -> bool:
+        return self.dropped_bytes == 0 and self.error is None
+
+
+def scan_frames(data: bytes) -> tuple[list[dict[str, Any]], TailStatus]:
+    """Parse the longest valid prefix of a journal byte string.
+
+    Returns the decoded payloads and a :class:`TailStatus` describing
+    where (and why) parsing stopped.  Never raises on corrupt input --
+    graceful degradation is the whole point.
+    """
+    if not data.startswith(MAGIC):
+        return [], TailStatus(0, len(data), "bad or missing magic")
+    records: list[dict[str, Any]] = []
+    offset = len(MAGIC)
+    total = len(data)
+    while offset < total:
+        if offset + _HEADER_LEN > total:
+            return records, TailStatus(
+                offset, total - offset, "truncated record header"
+            )
+        length = int.from_bytes(data[offset:offset + 4], "little")
+        checksum = int.from_bytes(data[offset + 4:offset + 8], "little")
+        body_start = offset + _HEADER_LEN
+        body_end = body_start + length
+        if body_end > total:
+            return records, TailStatus(
+                offset, total - offset, "truncated record body"
+            )
+        body = data[body_start:body_end]
+        if zlib.crc32(body) != checksum:
+            return records, TailStatus(
+                offset, total - offset, "checksum mismatch"
+            )
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return records, TailStatus(
+                offset, total - offset, "undecodable record payload"
+            )
+        if not isinstance(payload, dict) or "lsn" not in payload:
+            return records, TailStatus(
+                offset, total - offset, "malformed record payload"
+            )
+        records.append(payload)
+        offset = body_end
+    return records, TailStatus(offset, 0)
+
+
+def drop_uncommitted(
+    records: list[dict[str, Any]],
+) -> tuple[list[dict[str, Any]], int]:
+    """Strip a trailing open transaction (``begin`` with no ``commit``).
+
+    Returns the committed records (markers removed) and the number of
+    data records dropped as uncommitted.
+    """
+    committed: list[dict[str, Any]] = []
+    staged: list[dict[str, Any]] | None = None
+    for record in records:
+        kind = record.get("kind")
+        if kind == "begin":
+            # A dangling earlier begin (no commit, then more autocommit
+            # records) cannot occur in a well-formed journal; be
+            # conservative and drop whatever was staged.
+            staged = []
+        elif kind == "commit":
+            if staged is not None:
+                committed.extend(staged)
+            staged = None
+        elif staged is not None:
+            staged.append(record)
+        else:
+            committed.append(record)
+    return committed, len(staged) if staged is not None else 0
+
+
+# -- the journal ---------------------------------------------------------------
+
+
+class Journal:
+    """An append-only, CRC-framed operation log on an injectable FS.
+
+    ``sync`` policy: ``"always"`` (default) fsyncs every autocommitted
+    record; ``"commit"`` fsyncs only at transaction commit and
+    checkpoint; ``"never"`` leaves syncing to the OS (benchmarks only).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        fs: Any = None,
+        sync: str = "always",
+    ) -> None:
+        if sync not in ("always", "commit", "never"):
+            raise JournalError(f"unknown sync policy {sync!r}")
+        self.path = str(path)
+        self.directory = os.path.dirname(self.path) or "."
+        self.fs = fs if fs is not None else RealFS()
+        self.sync = sync
+        self._next_lsn = 1
+        self._txn_offset: int | None = None
+        self._txn_lsn: int | None = None
+        if not self.fs.exists(self.path):
+            self.fs.write(self.path, MAGIC)
+            self._fsync()
+
+    # -- positioning ----------------------------------------------------------
+
+    @property
+    def next_lsn(self) -> int:
+        return self._next_lsn
+
+    @property
+    def last_lsn(self) -> int:
+        """The LSN of the most recently appended record."""
+        return self._next_lsn - 1
+
+    def set_next_lsn(self, lsn: int) -> None:
+        """Position the LSN counter (used after recovery/checkpoint load)."""
+        self._next_lsn = int(lsn)
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn_offset is not None
+
+    def is_empty(self) -> bool:
+        return self.fs.size(self.path) <= len(MAGIC)
+
+    # -- appending ------------------------------------------------------------
+
+    def append(self, payload: dict[str, Any]) -> int:
+        """Append one record; returns its LSN.
+
+        Outside a transaction the record is durable (fsynced) before
+        this returns under the ``"always"`` policy; inside one, the
+        fsync barrier is :meth:`commit`.
+        """
+        lsn = self._next_lsn
+        record = dict(payload)
+        record["lsn"] = lsn
+        self.fs.append(self.path, frame_record(record))
+        self._next_lsn = lsn + 1
+        _RECORDS.add()
+        if self._txn_offset is None and self.sync == "always":
+            self._fsync()
+        return lsn
+
+    def _fsync(self) -> None:
+        if self.sync == "never":
+            return
+        self.fs.fsync(self.path)
+        _SYNCS.add()
+
+    # -- transactions ----------------------------------------------------------
+
+    def begin(self) -> None:
+        """Open a transaction scope: subsequent records are not durable
+        until :meth:`commit`, and :meth:`abort` erases them."""
+        if self._txn_offset is not None:
+            raise JournalError("journal transaction already open")
+        self._txn_offset = self.fs.size(self.path)
+        self._txn_lsn = self._next_lsn
+        self.append({"kind": "begin"})
+
+    def commit(self) -> None:
+        """Write the commit marker and fsync -- the flush barrier."""
+        if self._txn_offset is None:
+            raise JournalError("no journal transaction to commit")
+        self.append({"kind": "commit"})
+        self._txn_offset = None
+        self._txn_lsn = None
+        self._fsync()
+        _COMMITS.add()
+
+    def abort(self) -> None:
+        """Physically truncate the uncommitted suffix."""
+        if self._txn_offset is None:
+            raise JournalError("no journal transaction to abort")
+        self.fs.truncate(self.path, self._txn_offset)
+        self._next_lsn = self._txn_lsn
+        self._txn_offset = None
+        self._txn_lsn = None
+        _ABORTS.add()
+
+    # -- reading ----------------------------------------------------------------
+
+    def read_records(self) -> tuple[list[dict[str, Any]], TailStatus]:
+        """Scan the journal file (longest valid prefix semantics)."""
+        return scan_frames(self.fs.read(self.path))
+
+    def truncate_tail(self, valid_end: int) -> None:
+        """Cut a corrupt tail off at *valid_end* (post-salvage repair)."""
+        self.fs.truncate(self.path, max(valid_end, len(MAGIC)))
+        self._fsync()
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def checkpoint(self, db: Any) -> str:
+        """Atomically snapshot *db* and truncate the journal.
+
+        Sequence: serialize, write ``checkpoint-<lsn>.json.tmp``,
+        fsync, rename into place, fsync the directory, delete older
+        checkpoints, truncate the journal.  A crash between any two
+        steps is recoverable: the old checkpoint is removed only after
+        the new one is durable, and journal records already covered by
+        the new checkpoint are skipped by LSN during replay.
+        """
+        from repro.database.persistence import database_to_json
+
+        if self._txn_offset is not None:
+            raise JournalError(
+                "cannot checkpoint inside an open transaction"
+            )
+        lsn = self.last_lsn
+        doc = {
+            "format": CHECKPOINT_FORMAT,
+            "lsn": lsn,
+            "database": json.loads(database_to_json(db)),
+        }
+        data = json.dumps(doc, sort_keys=True).encode("utf-8")
+        final = os.path.join(self.directory, checkpoint_name(lsn))
+        tmp = final + ".tmp"
+        self.fs.write(tmp, data)
+        self.fs.fsync(tmp)
+        self.fs.replace(tmp, final)
+        self.fs.fsync_dir(self.directory)
+        for name in list_checkpoints(self.fs, self.directory):
+            if checkpoint_lsn(name) < lsn:
+                self.fs.remove(os.path.join(self.directory, name))
+        self.fs.fsync_dir(self.directory)
+        self.fs.truncate(self.path, len(MAGIC))
+        self.fs.fsync(self.path)
+        _CHECKPOINTS.add()
+        return final
+
+
+# -- checkpoint naming ----------------------------------------------------------
+
+
+def checkpoint_name(lsn: int) -> str:
+    return f"checkpoint-{lsn:012d}.json"
+
+
+def checkpoint_lsn(name: str) -> int:
+    """The LSN encoded in a checkpoint file name (-1 when malformed)."""
+    if not (name.startswith("checkpoint-") and name.endswith(".json")):
+        return -1
+    try:
+        return int(name[len("checkpoint-"):-len(".json")])
+    except ValueError:
+        return -1
+
+
+def list_checkpoints(fs: Any, directory: str) -> list[str]:
+    """Checkpoint file names in *directory*, oldest first."""
+    try:
+        names = fs.listdir(directory)
+    except (FileNotFoundError, KeyError):
+        return []
+    return sorted(
+        (n for n in names if checkpoint_lsn(n) >= 0), key=checkpoint_lsn
+    )
+
+
+# -- event -> record encoding ----------------------------------------------------
+
+
+def record_for_event(event: Event) -> dict[str, Any]:
+    """The journal payload replaying one committed data operation."""
+    from repro.database.persistence import encode_value
+
+    record: dict[str, Any] = {
+        "kind": event.kind.value,
+        "at": event.at,
+        "oid": encode_value(event.oid),
+        "class": event.class_name,
+    }
+    if event.kind is EventKind.CREATE:
+        record["args"] = {
+            name: encode_value(value)
+            for name, value in (event.payload or {}).items()
+        }
+    elif event.kind is EventKind.UPDATE:
+        record["attribute"] = event.attribute
+        record["value"] = encode_value(event.new_value)
+    elif event.kind is EventKind.MIGRATE:
+        record["from"] = event.from_class
+        record["args"] = {
+            name: encode_value(value)
+            for name, value in (event.payload or {}).items()
+        }
+    elif event.kind is EventKind.CORRECT:
+        record["attribute"] = event.attribute
+        record["window"] = list(event.window)
+        record["value"] = encode_value(event.new_value)
+    elif event.kind is EventKind.DELETE:
+        record["force"] = bool(event.payload)
+    return record
+
+
+def iter_data_records(
+    records: list[dict[str, Any]],
+) -> Iterator[dict[str, Any]]:
+    """The records that mutate state (markers filtered out)."""
+    for record in records:
+        if record.get("kind") not in ("begin", "commit"):
+            yield record

@@ -169,6 +169,37 @@ class PersistenceError(DatabaseError):
     """The store could not be serialized or deserialized."""
 
 
+class JournalError(DatabaseError):
+    """The write-ahead journal was misused (nested transaction markers,
+    checkpoint during an open transaction, appends after a crash)."""
+
+
+class RecoveryError(DatabaseError):
+    """Crash recovery could not reconstruct a database (unrecoverable
+    checkpoint loss, or a journal record that fails to replay)."""
+
+
+class SubscriberError(DatabaseError):
+    """One or more event subscribers raised.  Raised *after* every
+    subscriber has been notified, so a failing observer can no longer
+    leave the remaining observers half-notified.
+
+    ``failures`` holds ``(callback, exception)`` pairs in notification
+    order.
+    """
+
+    def __init__(self, event, failures) -> None:
+        self.event = event
+        self.failures = list(failures)
+        names = ", ".join(
+            getattr(cb, "__qualname__", repr(cb)) for cb, _ in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} subscriber(s) raised while handling "
+            f"{event!r}: {names}"
+        )
+
+
 # ---------------------------------------------------------------------------
 # Query / constraints / triggers (future-work extensions, paper Section 7)
 # ---------------------------------------------------------------------------

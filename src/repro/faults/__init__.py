@@ -1,0 +1,43 @@
+"""Deterministic fault injection for the durability subsystem.
+
+* :mod:`repro.faults.fs` -- the filesystem protocol, the
+  :class:`RealFS` pass-through, and :class:`SimulatedFS`: an in-memory
+  filesystem with an explicit durability model and named crash points
+  driven by a seeded :class:`CrashPlan`;
+* :mod:`repro.faults.harness` -- the crash-recovery property harness:
+  randomized workloads, a crash at every named point, recovery, and
+  equivalence checks against the durable-prefix oracle.
+"""
+
+from repro.faults.fs import (
+    CRASH_POINTS,
+    CrashPlan,
+    FaultInjector,
+    RealFS,
+    SimulatedCrash,
+    SimulatedFS,
+    random_plan,
+)
+
+def __getattr__(name: str):
+    # The harness imports the database package (it drives real engine
+    # workloads), and the database's WAL imports :mod:`repro.faults.fs`
+    # -- importing the harness eagerly here would close that cycle.
+    if name in ("TrialResult", "run_trial", "apply_op"):
+        from repro.faults import harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "CRASH_POINTS",
+    "CrashPlan",
+    "FaultInjector",
+    "RealFS",
+    "SimulatedCrash",
+    "SimulatedFS",
+    "TrialResult",
+    "random_plan",
+    "run_trial",
+]

@@ -1,0 +1,322 @@
+"""Filesystem abstraction with deterministic fault injection.
+
+The durability subsystem (:mod:`repro.database.wal`,
+:mod:`repro.database.recovery`) never touches ``os``/``open`` directly;
+every byte goes through a filesystem object implementing the small
+protocol below.  Two implementations:
+
+* :class:`RealFS` -- the obvious pass-through to the operating system,
+  used in production and by the CLI;
+* :class:`SimulatedFS` -- an in-memory filesystem with an explicit
+  *durability* model, used by the crash-recovery property harness.
+
+Durability model of :class:`SimulatedFS`
+----------------------------------------
+Each file tracks its *visible* content (what reads return: the page
+cache) and a *synced length* (the prefix known to be on stable
+storage).  ``append``/``write`` extend only the visible content;
+``fsync`` advances the synced length to the current size.  When the
+simulated machine crashes (:meth:`SimulatedFS.crash_view`), every
+file's content collapses to its synced prefix plus a pseudo-random
+*prefix* of the unsynced suffix -- the kernel may have written any
+amount of the dirty data before dying, but writes hit the platter in
+order, so retention is always a prefix.  Torn records and lost tails
+fall out of this model naturally.
+
+Metadata operations (``replace``, ``truncate``, ``remove``) are modeled
+as immediately durable.  This is kinder than the worst real filesystem,
+but the write-ahead journal does not rely on the kindness: the crash
+points still interleave failures *around* these calls, and content
+durability (the dangerous part) is fully modeled.
+
+Crash points
+------------
+A :class:`FaultInjector` counts filesystem operations and fires a
+:class:`CrashPlan` at a chosen occurrence: crash ``before`` the
+operation, ``after`` it (data written but unsynced), ``torn`` (only a
+prefix of the payload reaches the page cache) or ``bitflip`` (the
+payload lands with one bit flipped).  After the injected failure the
+disk is *dead*: every further operation raises
+:class:`SimulatedCrash`, so post-crash cleanup code cannot mutate the
+state the recovery run will see.  The full crash-point catalogue is
+listed in ``docs/durability.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+
+
+class SimulatedCrash(BaseException):
+    """The simulated process died at an injected crash point.
+
+    Derives from ``BaseException`` so ordinary ``except Exception``
+    cleanup handlers in library code cannot swallow the death.
+    """
+
+
+#: Operations a :class:`CrashPlan` can target, with the modes each
+#: supports.  ``fsync.before`` is the classic *skipped fsync* fault:
+#: the data was written but the sync never completed.
+CRASH_POINTS: dict[str, tuple[str, ...]] = {
+    "append": ("before", "after", "torn", "bitflip"),
+    "write": ("before", "after", "torn", "bitflip"),
+    "fsync": ("before", "after"),
+    "replace": ("before", "after"),
+    "truncate": ("before", "after"),
+    "remove": ("before", "after"),
+}
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Crash at the *occurrence*-th ``op`` (1-based), in the given mode."""
+
+    op: str
+    mode: str
+    occurrence: int = 1
+
+    def __post_init__(self) -> None:
+        if self.op not in CRASH_POINTS:
+            raise ValueError(f"unknown crash point op {self.op!r}")
+        if self.mode not in CRASH_POINTS[self.op]:
+            raise ValueError(
+                f"crash point {self.op!r} does not support mode "
+                f"{self.mode!r}"
+            )
+
+    @property
+    def point(self) -> str:
+        """The crash point's name, e.g. ``append.torn``."""
+        return f"{self.op}.{self.mode}"
+
+
+def random_plan(rng: random.Random, max_occurrence: int = 60) -> CrashPlan:
+    """A pseudo-random crash plan drawn from the full catalogue."""
+    op = rng.choice(sorted(CRASH_POINTS))
+    mode = rng.choice(CRASH_POINTS[op])
+    return CrashPlan(op, mode, rng.randint(1, max_occurrence))
+
+
+class FaultInjector:
+    """Fires a :class:`CrashPlan` at the chosen operation occurrence."""
+
+    def __init__(self, plan: CrashPlan | None) -> None:
+        self.plan = plan
+        self.counts: dict[str, int] = {}
+        self.fired = False
+
+    def check(self, op: str) -> str | None:
+        """Count one occurrence of *op*; return the crash mode if the
+        plan fires here, else None."""
+        self.counts[op] = count = self.counts.get(op, 0) + 1
+        if self.plan is None or self.fired or op != self.plan.op:
+            return None
+        if count == self.plan.occurrence:
+            self.fired = True
+            return self.plan.mode
+        return None
+
+
+class _File:
+    __slots__ = ("visible", "synced")
+
+    def __init__(self, data: bytes = b"") -> None:
+        self.visible = bytearray(data)
+        self.synced = len(data)
+
+
+class SimulatedFS:
+    """In-memory filesystem with durability tracking and fault injection."""
+
+    def __init__(
+        self,
+        injector: FaultInjector | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self._files: dict[str, _File] = {}
+        self._injector = injector or FaultInjector(None)
+        self._rng = rng or random.Random(0)
+        self.dead = False
+
+    # -- fault plumbing ------------------------------------------------------
+
+    def _gate(self, op: str) -> str | None:
+        if self.dead:
+            raise SimulatedCrash(f"operation {op!r} on a dead disk")
+        return self._injector.check(op)
+
+    def _die(self) -> None:
+        self.dead = True
+        raise SimulatedCrash(self._injector.plan.point)
+
+    def _mangle(self, data: bytes, mode: str) -> bytes:
+        if mode == "torn":
+            return data[: self._rng.randint(0, max(len(data) - 1, 0))]
+        if mode == "bitflip" and data:
+            index = self._rng.randrange(len(data))
+            corrupted = bytearray(data)
+            corrupted[index] ^= 1 << self._rng.randrange(8)
+            return bytes(corrupted)
+        return data
+
+    # -- protocol ------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        return str(path) in self._files
+
+    def size(self, path: str) -> int:
+        return len(self._files[str(path)].visible)
+
+    def read(self, path: str) -> bytes:
+        try:
+            return bytes(self._files[str(path)].visible)
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    def listdir(self, directory: str) -> list[str]:
+        prefix = str(directory).rstrip("/") + "/"
+        return sorted(
+            name[len(prefix):]
+            for name in self._files
+            if name.startswith(prefix) and "/" not in name[len(prefix):]
+        )
+
+    def append(self, path: str, data: bytes) -> None:
+        mode = self._gate("append")
+        if mode == "before":
+            self._die()
+        file = self._files.setdefault(str(path), _File())
+        if mode in ("torn", "bitflip"):
+            file.visible.extend(self._mangle(data, mode))
+            self._die()
+        file.visible.extend(data)
+        if mode == "after":
+            self._die()
+
+    def write(self, path: str, data: bytes) -> None:
+        """Replace the whole file content (page cache only until fsync)."""
+        mode = self._gate("write")
+        if mode == "before":
+            self._die()
+        file = self._files.setdefault(str(path), _File())
+        if mode in ("torn", "bitflip"):
+            file.visible = bytearray(self._mangle(data, mode))
+            file.synced = min(file.synced, len(file.visible))
+            self._die()
+        file.visible = bytearray(data)
+        file.synced = min(file.synced, len(file.visible))
+        if mode == "after":
+            self._die()
+
+    def fsync(self, path: str) -> None:
+        mode = self._gate("fsync")
+        if mode == "before":
+            self._die()
+        file = self._files[str(path)]
+        file.synced = len(file.visible)
+        if mode == "after":
+            self._die()
+
+    def fsync_dir(self, directory: str) -> None:
+        # Directory metadata is modeled as immediately durable.
+        if self.dead:
+            raise SimulatedCrash("fsync_dir on a dead disk")
+
+    def replace(self, src: str, dst: str) -> None:
+        mode = self._gate("replace")
+        if mode == "before":
+            self._die()
+        self._files[str(dst)] = self._files.pop(str(src))
+        if mode == "after":
+            self._die()
+
+    def truncate(self, path: str, size: int) -> None:
+        mode = self._gate("truncate")
+        if mode == "before":
+            self._die()
+        file = self._files[str(path)]
+        del file.visible[size:]
+        # Truncation is a metadata operation: durable immediately; the
+        # retained prefix keeps its synced status.
+        file.synced = min(file.synced, size)
+        if mode == "after":
+            self._die()
+
+    def remove(self, path: str) -> None:
+        mode = self._gate("remove")
+        if mode == "before":
+            self._die()
+        self._files.pop(str(path), None)
+        if mode == "after":
+            self._die()
+
+    # -- crash ----------------------------------------------------------------
+
+    def crash_view(self, rng: random.Random | None = None) -> "SimulatedFS":
+        """The filesystem an observer would find after the crash.
+
+        Every file keeps its synced prefix plus a pseudo-random prefix
+        of the unsynced suffix (writes reach the platter in order).
+        The returned filesystem is healthy (no injector) and fully
+        synced -- it is the disk the recovery process boots from.
+        """
+        chooser = rng or self._rng
+        survivor = SimulatedFS()
+        for name, file in self._files.items():
+            pending = len(file.visible) - file.synced
+            keep = file.synced + (
+                chooser.randint(0, pending) if pending > 0 else 0
+            )
+            survivor._files[name] = _File(bytes(file.visible[:keep]))
+        return survivor
+
+
+class RealFS:
+    """Pass-through to the operating system (the production filesystem)."""
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def size(self, path: str) -> int:
+        return os.path.getsize(path)
+
+    def read(self, path: str) -> bytes:
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def listdir(self, directory: str) -> list[str]:
+        return sorted(os.listdir(directory))
+
+    def append(self, path: str, data: bytes) -> None:
+        with open(path, "ab") as handle:
+            handle.write(data)
+
+    def write(self, path: str, data: bytes) -> None:
+        with open(path, "wb") as handle:
+            handle.write(data)
+
+    def fsync(self, path: str) -> None:
+        with open(path, "rb+") as handle:
+            os.fsync(handle.fileno())
+
+    def fsync_dir(self, directory: str) -> None:
+        fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        finally:
+            os.close(fd)
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def truncate(self, path: str, size: int) -> None:
+        with open(path, "rb+") as handle:
+            handle.truncate(size)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)

@@ -1,0 +1,450 @@
+"""The crash-recovery property harness.
+
+One *trial* (:func:`run_trial`) is a full crash-recovery experiment,
+deterministic in its seed:
+
+1. draw a :class:`CrashPlan` (named crash point + occurrence) and build
+   a journaled :class:`TemporalDatabase` on a :class:`SimulatedFS`;
+2. run a randomized workload (creates, temporal/static updates,
+   migrations, deletions, retroactive corrections, schema evolution,
+   clock ticks, transactions -- some deliberately rolled back -- and
+   mid-run checkpoints), recording each committed operation together
+   with the LSN of its journal record;
+3. the injected fault kills the process model mid-operation; the
+   simulated disk collapses to its durable content
+   (:meth:`SimulatedFS.crash_view`);
+4. recover; the report must be ``ok`` (or the crash predates any
+   durable genesis/checkpoint, in which case there is provably nothing
+   to recover);
+5. rebuild the *durable-prefix oracle*: a plain database that applies
+   exactly the committed operations whose LSN the recovery replayed or
+   the checkpoint covered;
+6. assert the recovered database passes ``check_database`` and is
+   equivalent to the oracle -- structurally value-equal and
+   weak-value-equal (Definition 5.10) object by object.
+
+Every future PR that touches the engine can regress against this: any
+operation that mutates state without journaling it, or journals
+something replay cannot reproduce, breaks the equivalence.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.database.database import TemporalDatabase
+from repro.database.integrity import check_database
+from repro.database.recovery import (
+    JOURNAL_NAME,
+    RecoveryReport,
+    recover,
+)
+from repro.database.transactions import Transaction
+from repro.database.wal import Journal, scan_frames
+from repro.errors import TChimeraError
+from repro.faults.fs import (
+    CrashPlan,
+    FaultInjector,
+    SimulatedCrash,
+    SimulatedFS,
+    random_plan,
+)
+from repro.objects.equality import weak_value_equal
+from repro.schema.attribute import Attribute
+from repro.values.structure import values_equal
+
+DB_DIR = "/db"
+
+
+# -- logical operations ---------------------------------------------------------
+
+
+def apply_op(db: TemporalDatabase, op: tuple) -> Any:
+    """Apply one logical operation (shared by the primary and the oracle)."""
+    kind = op[0]
+    if kind == "tick":
+        return db.tick(op[1])
+    if kind == "define_class":
+        _, name, parents, attributes = op
+        return db.define_class(
+            name,
+            parents=parents,
+            attributes=[Attribute(*spec) for spec in attributes],
+        )
+    if kind == "add_attribute":
+        _, class_name, spec = op
+        return db.add_attribute(class_name, Attribute(*spec))
+    if kind == "remove_attribute":
+        _, class_name, attr_name = op
+        return db.remove_attribute(class_name, attr_name)
+    if kind == "drop_class":
+        return db.drop_class(op[1])
+    if kind == "create":
+        _, class_name, attributes = op
+        return db.create_object(class_name, attributes)
+    if kind == "update":
+        _, oid, attr_name, value = op
+        return db.update_attribute(oid, attr_name, value)
+    if kind == "migrate":
+        _, oid, class_name, attributes = op
+        return db.migrate(oid, class_name, attributes)
+    if kind == "delete":
+        return db.delete_object(op[1])
+    if kind == "correct":
+        _, oid, attr_name, start, end, value = op
+        return db.correct_attribute(oid, attr_name, start, end, value)
+    raise ValueError(f"unknown op {kind!r}")
+
+
+class _WorkloadState:
+    """Book-keeping the generator needs to emit mostly-valid operations."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.employees: list = []
+        self.managers: set = set()
+        self.extra_attrs: list[str] = []
+        self.attr_counter = 0
+
+
+def _schema_ops() -> list[tuple]:
+    return [
+        ("define_class", "person", [], [("name", "string")]),
+        (
+            "define_class",
+            "employee",
+            ["person"],
+            [
+                ("salary", "temporal(real)"),
+                ("dept", "string"),
+                ("mentor", "temporal(person)"),
+                ("metric", "temporal(integer)"),
+            ],
+        ),
+        (
+            "define_class",
+            "manager",
+            ["employee"],
+            [("officialcar", "string")],
+        ),
+        ("tick", 1),
+    ]
+
+
+def _next_op(state: _WorkloadState, db: TemporalDatabase) -> tuple:
+    """Draw the next operation given the primary's current state."""
+    rng = state.rng
+    live = [
+        oid
+        for oid in state.employees
+        if oid in db and db.get_object(oid).alive_at(db.now, db.now)
+    ]
+    roll = rng.random()
+    if roll < 0.12 or not live:
+        index = len(state.employees)
+        return (
+            "create",
+            "employee",
+            {
+                "name": f"emp{index}",
+                "salary": float(1000 + rng.randrange(2000)),
+                "dept": rng.choice("RSTU"),
+            },
+        )
+    if roll < 0.40:
+        oid = rng.choice(live)
+        if rng.random() < 0.3 and len(live) > 1:
+            other = rng.choice([o for o in live if o != oid])
+            return ("update", oid, "mentor", other)
+        return (
+            "update", oid, "salary", float(1000 + rng.randrange(3000))
+        )
+    if roll < 0.52:
+        oid = rng.choice(live)
+        name = rng.choice(["dept", *state.extra_attrs]) \
+            if state.extra_attrs and rng.random() < 0.4 else "dept"
+        return ("update", oid, name, f"v{rng.randrange(50)}")
+    if roll < 0.60:
+        return ("update", rng.choice(live), "metric", rng.randrange(100))
+    if roll < 0.68:
+        oid = rng.choice(live)
+        if oid in state.managers:
+            return ("migrate", oid, "employee", {})
+        return (
+            "migrate", oid, "manager",
+            {"officialcar": f"car{rng.randrange(9)}"},
+        )
+    if roll < 0.76:
+        oid = rng.choice(live)
+        obj = db.get_object(oid)
+        start = obj.lifespan.start
+        if db.now > start:
+            lo = rng.randint(start, db.now)
+            hi = rng.randint(lo, db.now)
+            return (
+                "correct", oid, "salary", lo, hi,
+                float(500 + rng.randrange(4000)),
+            )
+        return ("tick", 1)
+    if roll < 0.82 and len(live) > 2:
+        return ("delete", rng.choice(live))
+    if roll < 0.86:
+        state.attr_counter += 1
+        name = f"extra{state.attr_counter}"
+        return ("add_attribute", "employee", (name, "string"))
+    if roll < 0.90 and state.extra_attrs:
+        return (
+            "remove_attribute",
+            "employee",
+            state.rng.choice(state.extra_attrs),
+        )
+    return ("tick", rng.randint(1, 3))
+
+
+def _note_applied(state: _WorkloadState, op: tuple, result: Any) -> None:
+    kind = op[0]
+    if kind == "create":
+        state.employees.append(result)
+    elif kind == "migrate":
+        if op[2] == "manager":
+            state.managers.add(op[1])
+        else:
+            state.managers.discard(op[1])
+    elif kind == "delete":
+        state.managers.discard(op[1])
+    elif kind == "add_attribute":
+        state.extra_attrs.append(op[2][0])
+    elif kind == "remove_attribute":
+        state.extra_attrs.remove(op[2])
+
+
+# -- the trial -------------------------------------------------------------------
+
+
+@dataclass
+class TrialResult:
+    seed: int
+    plan: CrashPlan
+    crashed: bool
+    #: committed operations with their journal LSNs, in order.
+    ops: list[tuple[int, tuple]]
+    report: RecoveryReport | None
+    #: True when the crash predates any durable genesis/checkpoint, so
+    #: there is provably nothing to recover (report.ok is False then).
+    nothing_durable: bool = False
+    checkpoints: int = 0
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def run_trial(
+    seed: int,
+    n_ops: int = 45,
+    plan: CrashPlan | None = None,
+) -> TrialResult:
+    """One deterministic crash-recovery experiment (see module docs)."""
+    rng = random.Random(seed)
+    plan = plan or random_plan(rng)
+    fs = SimulatedFS(
+        injector=FaultInjector(plan), rng=random.Random(seed ^ 0x5EED)
+    )
+    applied: list[tuple[int, tuple]] = []
+    state = _WorkloadState(random.Random(seed * 31 + 7))
+    crashed = False
+    checkpoints = 0
+    # The op the crash interrupted, if any.  Its journal record may or
+    # may not be durable; ``acked`` (the last LSN whose operation
+    # returned to the client) lets the oracle decide after recovery.
+    inflight: tuple | None = None
+    acked = 0
+
+    try:
+        journal = Journal(f"{DB_DIR}/{JOURNAL_NAME}", fs=fs)
+        db = TemporalDatabase(journal=journal)
+        acked = journal.last_lsn  # the genesis record
+        pending = list(_schema_ops())
+        ops_done = 0
+        while ops_done < n_ops:
+            decide = state.rng.random()
+            if pending:
+                op = inflight = pending.pop(0)
+                result = apply_op(db, op)
+                applied.append((journal.last_lsn, op))
+                acked = journal.last_lsn
+                inflight = None
+                _note_applied(state, op, result)
+                ops_done += 1
+            elif decide < 0.08:
+                # A transaction batch; ~40% roll back on purpose.
+                txn = Transaction(db).begin()
+                staged: list[tuple[int, tuple]] = []
+                for _ in range(state.rng.randint(2, 4)):
+                    op = _next_op(state, db)
+                    try:
+                        result = apply_op(db, op)
+                    except TChimeraError:
+                        continue
+                    staged.append((journal.last_lsn, op))
+                    ops_done += 1
+                if state.rng.random() < 0.4:
+                    # Discarded on purpose; the journal suffix is
+                    # truncated, so `staged` must never reach `applied`.
+                    txn.rollback()
+                else:
+                    # Record before commit: if the crash hits inside
+                    # the commit fsync, the marker may or may not be
+                    # durable -- the LSN filter settles it either way.
+                    applied.extend(staged)
+                    for _lsn, op in staged:
+                        _note_applied(state, op, None)
+                    txn.commit()
+                    acked = journal.last_lsn
+            elif decide < 0.13 and applied:
+                db.checkpoint()
+                checkpoints += 1
+                acked = journal.last_lsn
+            else:
+                op = _next_op(state, db)
+                inflight = op
+                try:
+                    result = apply_op(db, op)
+                except TChimeraError:
+                    inflight = None
+                    continue
+                applied.append((journal.last_lsn, op))
+                acked = journal.last_lsn
+                inflight = None
+                _note_applied(state, op, result)
+                ops_done += 1
+    except SimulatedCrash:
+        crashed = True
+
+    durable = fs.crash_view()
+    recovered, report = recover(DB_DIR, fs=durable)
+    result = TrialResult(
+        seed=seed, plan=plan, crashed=crashed, ops=applied,
+        report=report, checkpoints=checkpoints,
+    )
+
+    if recovered is None:
+        # Acceptable only when genuinely nothing durable exists.
+        result.nothing_durable = _nothing_durable(durable)
+        if not result.nothing_durable:
+            result.problems.append(
+                "recovery failed with durable state present: "
+                + "; ".join(report.errors)
+            )
+        return result
+
+    oracle = TemporalDatabase()
+    boundary = report.last_lsn
+    ops = list(applied)
+    if inflight is not None and boundary > acked:
+        # The crash interrupted this op after its journal record became
+        # durable: recovery replays it even though the client never got
+        # an acknowledgement.  Both outcomes are legal; the boundary
+        # having advanced past the last acked LSN tells us which one
+        # happened in this trial.
+        ops.append((boundary, inflight))
+    for lsn, op in ops:
+        if lsn <= boundary:
+            try:
+                apply_op(oracle, op)
+            except TChimeraError as exc:
+                result.problems.append(
+                    f"oracle replay of {op!r} failed: {exc}"
+                )
+                return result
+
+    result.problems.extend(_compare(recovered, oracle))
+    integrity = check_database(recovered)
+    if not integrity.ok:
+        result.problems.extend(
+            f"integrity: {v}" for v in integrity.all_violations()[:5]
+        )
+    return result
+
+
+def _nothing_durable(fs: SimulatedFS) -> bool:
+    """True when the durable disk holds no checkpoint and no journal
+    records at all (crash predated the first durable byte)."""
+    import json
+
+    from repro.database.wal import list_checkpoints
+
+    for name in list_checkpoints(fs, DB_DIR):
+        try:
+            doc = json.loads(fs.read(f"{DB_DIR}/{name}").decode("utf-8"))
+            if "database" in doc:
+                return False
+        except Exception:
+            continue
+    journal_path = f"{DB_DIR}/{JOURNAL_NAME}"
+    if not fs.exists(journal_path):
+        return True
+    records, _tail = scan_frames(fs.read(journal_path))
+    return not records
+
+
+def _compare(recovered: TemporalDatabase, oracle: TemporalDatabase) -> list[str]:
+    """Structural + Def. 5.10 equivalence of two databases."""
+    problems: list[str] = []
+    if recovered.now != oracle.now:
+        problems.append(
+            f"clock differs: {recovered.now} != {oracle.now}"
+        )
+    if recovered._oids.next_serial != oracle._oids.next_serial:
+        problems.append(
+            f"oid counter differs: {recovered._oids.next_serial} != "
+            f"{oracle._oids.next_serial}"
+        )
+    if set(recovered.class_names()) != set(oracle.class_names()):
+        problems.append(
+            f"class sets differ: {sorted(recovered.class_names())} != "
+            f"{sorted(oracle.class_names())}"
+        )
+        return problems
+    now = oracle.now
+    for name in oracle.class_names():
+        r_cls, o_cls = recovered.get_class(name), oracle.get_class(name)
+        if r_cls.lifespan != o_cls.lifespan:
+            problems.append(f"class {name}: lifespan differs")
+        if r_cls.history.members_at(now) != o_cls.history.members_at(now):
+            problems.append(f"class {name}: extent at now differs")
+        if set(r_cls.attributes) != set(o_cls.attributes):
+            problems.append(f"class {name}: attribute sets differ")
+        if set(r_cls.retired_attributes) != set(o_cls.retired_attributes):
+            problems.append(f"class {name}: retired attributes differ")
+    r_oids = {obj.oid for obj in recovered.objects()}
+    o_oids = {obj.oid for obj in oracle.objects()}
+    if r_oids != o_oids:
+        problems.append(
+            f"object populations differ: {len(r_oids)} vs {len(o_oids)} "
+            f"(symmetric difference {sorted(r_oids ^ o_oids)[:4]})"
+        )
+        return problems
+    for obj in oracle.objects():
+        twin = recovered.get_object(obj.oid)
+        if not values_equal(twin.value_record(), obj.value_record()):
+            problems.append(f"{obj.oid!r}: value component differs")
+        if twin.class_history != obj.class_history:
+            problems.append(f"{obj.oid!r}: class history differs")
+        if twin.lifespan != obj.lifespan:
+            problems.append(f"{obj.oid!r}: lifespan differs")
+        if set(twin.retained) != set(obj.retained) or not all(
+            values_equal(twin.retained[k], obj.retained[k])
+            for k in obj.retained
+        ):
+            problems.append(f"{obj.oid!r}: retained histories differ")
+        if obj.alive_at(now, now) and not weak_value_equal(
+            twin, obj, now
+        ):
+            problems.append(
+                f"{obj.oid!r}: not weak-value-equal (Def. 5.10)"
+            )
+    return problems

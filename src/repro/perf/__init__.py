@@ -30,18 +30,22 @@ from typing import Iterator
 
 from repro.perf.counters import (
     CacheCounter,
+    Metric,
     counter,
     format_stats,
+    metric,
     reset_stats,
     stats,
 )
 
 __all__ = [
     "CacheCounter",
+    "Metric",
     "counter",
     "disabled",
     "format_stats",
     "is_enabled",
+    "metric",
     "reset_stats",
     "set_enabled",
     "stats",

@@ -67,7 +67,36 @@ class CacheCounter:
         )
 
 
+class Metric:
+    """A plain monotonic event tally (no hit/miss structure).
+
+    Used by non-cache subsystems that still want to show up in
+    :func:`stats`/:func:`format_stats` -- the write-ahead journal
+    counts records written, syncs, checkpoints, recoveries and
+    salvaged/dropped records here.
+    """
+
+    __slots__ = ("name", "count")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+
+    def add(self, n: int = 1) -> None:
+        self.count += n
+
+    def reset(self) -> None:
+        self.count = 0
+
+    def snapshot(self) -> dict[str, int | float]:
+        return {"count": self.count}
+
+    def __repr__(self) -> str:
+        return f"Metric({self.name!r}, count={self.count})"
+
+
 _REGISTRY: dict[str, CacheCounter] = {}
+_METRICS: dict[str, Metric] = {}
 
 
 def counter(name: str) -> CacheCounter:
@@ -79,16 +108,31 @@ def counter(name: str) -> CacheCounter:
     return existing
 
 
+def metric(name: str) -> Metric:
+    """The event metric registered under *name* (created on first use)."""
+    existing = _METRICS.get(name)
+    if existing is None:
+        existing = Metric(name)
+        _METRICS[name] = existing
+    return existing
+
+
 def stats() -> dict[str, dict[str, int | float]]:
-    """A snapshot of every registered counter, keyed by cache name."""
-    return {
+    """A snapshot of every registered counter and metric, keyed by name."""
+    result = {
         name: _REGISTRY[name].snapshot() for name in sorted(_REGISTRY)
     }
+    result.update(
+        (name, _METRICS[name].snapshot()) for name in sorted(_METRICS)
+    )
+    return result
 
 
 def reset_stats() -> None:
     """Zero every registered counter (the registry itself persists)."""
     for item in _REGISTRY.values():
+        item.reset()
+    for item in _METRICS.values():
         item.reset()
 
 
@@ -119,4 +163,9 @@ def format_stats() -> str:
             lines.append("  ".join("-" * width for width in widths))
     if not rows:
         lines.append("(no caches registered)")
+    if _METRICS:
+        lines.append("")
+        width = max(len(name) for name in _METRICS)
+        for name, item in sorted(_METRICS.items()):
+            lines.append(f"{name.ljust(width)}  {item.count}")
     return "\n".join(lines)

@@ -20,8 +20,6 @@ check reduces to a per-oid comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import count
-from typing import Iterator
 
 
 @dataclass(frozen=True, order=True)
@@ -46,16 +44,31 @@ class OID:
 
 
 class OidGenerator:
-    """Mints fresh oids with strictly increasing serials."""
+    """Mints fresh oids with strictly increasing serials.
 
-    __slots__ = ("_counter",)
+    The counter is plain state (not an opaque iterator) so that
+    persistence and the write-ahead journal can checkpoint and restore
+    it exactly: Definition 5.6 (OID-UNIQUENESS) spans the whole life of
+    the database, including its life across restarts, so the next
+    serial must survive a round trip even when the highest-serial
+    object has been deleted.
+    """
+
+    __slots__ = ("_next",)
 
     def __init__(self, start: int = 1) -> None:
-        self._counter: Iterator[int] = count(start)
+        self._next = int(start)
+
+    @property
+    def next_serial(self) -> int:
+        """The serial the next :meth:`fresh` call will issue."""
+        return self._next
 
     def fresh(self, hierarchy: str = "") -> OID:
         """Return a never-before-issued oid branded with *hierarchy*."""
-        return OID(next(self._counter), hierarchy)
+        serial = self._next
+        self._next += 1
+        return OID(serial, hierarchy)
 
     def fresh_many(self, n: int, hierarchy: str = "") -> list[OID]:
         """Return *n* fresh oids."""

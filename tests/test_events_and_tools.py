@@ -71,6 +71,77 @@ class TestEvents:
         assert "x: 1 -> 2" in repr(event)
 
 
+class TestSubscriberIsolation:
+    """A raising observer must not prevent the others from running."""
+
+    def make(self, db):
+        db.define_class("p", attributes=[("x", "integer")])
+        return db
+
+    def test_all_observers_run_despite_failure(self, empty_db):
+        db = self.make(empty_db)
+        seen = []
+        db.subscribe(lambda d, e: (_ for _ in ()).throw(RuntimeError("a")))
+        db.subscribe(lambda d, e: seen.append(e))
+        with pytest.raises(RuntimeError, match="a"):
+            db.create_object("p", {"x": 1})
+        assert len(seen) == 1  # the second observer still ran
+
+    def test_single_failure_reraised_as_itself(self, empty_db):
+        db = self.make(empty_db)
+
+        def bad(d, e):
+            raise ValueError("specific")
+
+        db.subscribe(bad)
+        with pytest.raises(ValueError, match="specific"):
+            db.create_object("p", {"x": 1})
+
+    def test_multiple_failures_aggregated(self, empty_db):
+        from repro.errors import SubscriberError
+
+        db = self.make(empty_db)
+
+        def bad1(d, e):
+            raise RuntimeError("one")
+
+        def bad2(d, e):
+            raise KeyError("two")
+
+        db.subscribe(bad1)
+        db.subscribe(bad2)
+        with pytest.raises(SubscriberError) as info:
+            db.create_object("p", {"x": 1})
+        failures = info.value.failures
+        assert [type(exc) for _cb, exc in failures] == [
+            RuntimeError, KeyError,
+        ]
+        assert info.value.event.kind is EventKind.CREATE
+
+    def test_continue_policy_logs_and_survives(self, empty_db, caplog):
+        db = self.make(empty_db)
+        db.on_subscriber_error = "continue"
+        seen = []
+        db.subscribe(lambda d, e: (_ for _ in ()).throw(RuntimeError("x")))
+        db.subscribe(lambda d, e: seen.append(e))
+        with caplog.at_level("ERROR", logger="repro.events"):
+            oid = db.create_object("p", {"x": 1})
+        assert oid in db
+        assert len(seen) == 1
+        assert any("subscriber" in r.message for r in caplog.records)
+
+    def test_operation_is_durable_despite_observer_failure(self, empty_db):
+        """The mutation happened; an observer exception must not make
+        the state vanish (after-the-fact enforcement belongs to
+        transactions, not to event dispatch)."""
+        db = self.make(empty_db)
+        db.subscribe(lambda d, e: (_ for _ in ()).throw(RuntimeError()))
+        with pytest.raises(RuntimeError):
+            db.create_object("p", {"x": 7})
+        (obj,) = db.objects()
+        assert obj.value["x"] == 7
+
+
 class TestCMethods:
     def make(self, empty_db):
         def recompute(db, cls):

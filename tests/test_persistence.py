@@ -142,6 +142,88 @@ class TestDatabaseRoundtrip:
             assert obj.lifespan == twin.lifespan
 
 
+class TestOidRetirement:
+    def test_deleted_top_oid_is_never_reissued(self, staff_db):
+        """Regression: the loader used to rebuild the oid counter as
+        max(live serials) + 1, so deleting the highest-oid object and
+        round-tripping re-issued its oid -- a Def. 5.6 violation
+        (oids must never be reused, even across deletions)."""
+        db, _names = staff_db
+        top = max(db.objects(), key=lambda o: o.oid.serial)
+        db.tick()
+        db.delete_object(top.oid, force=True)
+        clone = database_from_json(database_to_json(db))
+        clone.tick()
+        minted = clone.create_object("person", {"name": "After"})
+        assert minted.serial > top.oid.serial
+        assert minted != top.oid
+        assert check_database(clone).ok
+
+    def test_counter_round_trips_exactly(self, staff_db):
+        db, _ = staff_db
+        clone = database_from_json(database_to_json(db))
+        assert clone._oids.next_serial == db._oids.next_serial
+
+    def test_legacy_documents_still_load(self, staff_db):
+        """Documents written before ``next_oid`` existed fall back to
+        max(live serials) + 1 -- lossy, but loadable."""
+        db, _ = staff_db
+        doc = json.loads(database_to_json(db))
+        del doc["next_oid"]
+        clone = database_from_json(json.dumps(doc))
+        top = max(o.oid.serial for o in db.objects())
+        assert clone._oids.next_serial == top + 1
+
+
+class TestSchemaMetadataRoundtrip:
+    @staticmethod
+    def _evolved_db(seed):
+        db = build_database(
+            WorkloadSpec(n_objects=4, n_ticks=10, migration_rate=0.2,
+                         seed=seed)
+        )
+        db.tick()
+        db.add_attribute("employee", ("grade", "string"))
+        db.tick()
+        db.remove_attribute("employee", "grade")
+        db.define_class("ephemeral", attributes=[("x", "integer")])
+        db.tick()
+        db.drop_class("ephemeral")
+        return db
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_retired_attributes_and_lifespans_survive(self, seed):
+        db = self._evolved_db(seed)
+        clone = database_from_json(database_to_json(db))
+        assert check_database(clone).ok
+        employee = clone.get_class("employee")
+        original = db.get_class("employee")
+        assert set(employee.retired_attributes) == set(
+            original.retired_attributes
+        )
+        retired, retired_at = employee.retired_attributes["grade"][-1]
+        wanted, wanted_at = original.retired_attributes["grade"][-1]
+        assert retired_at == wanted_at
+        assert retired.declared_at == wanted.declared_at
+        dropped = clone.get_class("ephemeral")
+        assert dropped.lifespan == db.get_class("ephemeral").lifespan
+        assert not dropped.lifespan.is_moving
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_class_creation_instants_survive(self, seed):
+        db = self._evolved_db(seed)
+        clone = database_from_json(database_to_json(db))
+        for cls in db.classes():
+            twin = clone.get_class(cls.name)
+            # created_at is carried as the lifespan's start instant.
+            assert twin.lifespan.start == cls.lifespan.start
+            assert twin.lifespan == cls.lifespan
+            for name, attr in cls.attributes.items():
+                assert twin.attributes[name].declared_at == attr.declared_at
+
+
 class TestMethodBodies:
     def test_bodies_are_not_persisted(self, empty_db):
         """Method bodies are Python callables: the signature round-trips,

@@ -107,3 +107,68 @@ class TestVerifyingTransaction:
         assert db.get_object(names["dan"]).value["salary"].at(
             db.now
         ) == 1500.0
+
+
+class TestRollbackMemoConsistency:
+    """Regression: rollback restores a snapshot of the ISA DAG; memoized
+    ``is_subtype``/``lub`` answers computed against the in-transaction
+    DAG must not survive the rewind (the memo is keyed by ISA object
+    identity + generation, and rollback installs a fresh object)."""
+
+    def test_subtype_memo_not_stale_after_rollback(self, staff_db):
+        from repro.types.grammar import ObjectType
+        from repro.types.subtyping import is_subtype
+
+        db, _ = staff_db
+        assert not is_subtype(
+            ObjectType("person"), ObjectType("employee"), db.isa
+        )
+        txn = Transaction(db).begin()
+        db.tick()
+        db.define_class("intern", parents=["employee"])
+        # Warm the memo with answers only true inside the transaction.
+        assert is_subtype(
+            ObjectType("intern"), ObjectType("person"), db.isa
+        )
+        txn.rollback()
+        assert "intern" not in db.isa.classes()
+        assert not is_subtype(
+            ObjectType("intern"), ObjectType("person"), db.isa
+        )
+        # Pre-transaction relations still hold on the restored DAG.
+        assert is_subtype(
+            ObjectType("manager"), ObjectType("person"), db.isa
+        )
+
+    def test_lub_memo_not_stale_after_rollback(self, staff_db):
+        from repro.types.grammar import ObjectType
+        from repro.types.subtyping import try_lub
+
+        db, _ = staff_db
+        txn = Transaction(db).begin()
+        db.tick()
+        db.define_class("contractor", parents=["person"])
+        inside = try_lub(
+            [ObjectType("contractor"), ObjectType("employee")], db.isa
+        )
+        assert inside == ObjectType("person")
+        txn.rollback()
+        assert (
+            try_lub(
+                [ObjectType("contractor"), ObjectType("employee")],
+                db.isa,
+            )
+            is None
+        )
+
+    def test_extent_caches_not_stale_after_rollback(self, staff_db):
+        db, names = staff_db
+        before = db.pi("employee", db.now)
+        txn = Transaction(db).begin()
+        db.tick()
+        hired = db.create_object(
+            "employee", {"name": "Eve", "salary": 1.0, "dept": "S"}
+        )
+        assert hired in db.pi("employee", db.now)  # cache warmed
+        txn.rollback()
+        assert db.pi("employee", db.now) == before

@@ -1,0 +1,406 @@
+"""The write-ahead journal: framing, checkpointing, recovery."""
+
+import json
+
+import pytest
+
+from repro.database.database import TemporalDatabase
+from repro.database.integrity import check_database
+from repro.database.recovery import (
+    JOURNAL_NAME,
+    open_database,
+    recover,
+)
+from repro.database.transactions import Transaction
+from repro.database.wal import (
+    MAGIC,
+    Journal,
+    checkpoint_lsn,
+    checkpoint_name,
+    drop_uncommitted,
+    frame_record,
+    list_checkpoints,
+    scan_frames,
+)
+from repro.errors import JournalError, RecoveryError
+from repro.faults.fs import SimulatedFS
+
+
+def fresh(fs=None, directory="/db", sync="always"):
+    """A journaled database on a simulated disk."""
+    fs = fs or SimulatedFS()
+    journal = Journal(f"{directory}/{JOURNAL_NAME}", fs=fs, sync=sync)
+    return TemporalDatabase(journal=journal), fs
+
+
+def build_staff(db):
+    db.define_class("person", attributes=[("name", "string")])
+    db.define_class(
+        "employee",
+        parents=["person"],
+        attributes=[("salary", "temporal(real)"), ("dept", "string")],
+    )
+    db.tick()
+    ann = db.create_object(
+        "employee", {"name": "Ann", "salary": 1000.0, "dept": "R"}
+    )
+    db.tick()
+    db.update_attribute(ann, "salary", 1200.0)
+    return ann
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        payloads = [{"lsn": i, "kind": "tick", "steps": i} for i in (1, 2, 3)]
+        data = MAGIC + b"".join(frame_record(p) for p in payloads)
+        records, tail = scan_frames(data)
+        assert records == payloads
+        assert tail.clean
+        assert tail.valid_end == len(data)
+
+    def test_empty_journal(self):
+        records, tail = scan_frames(MAGIC)
+        assert records == [] and tail.clean
+
+    def test_bad_magic(self):
+        records, tail = scan_frames(b"garbage!" + frame_record({"lsn": 1}))
+        assert records == []
+        assert tail.error == "bad or missing magic"
+        assert tail.valid_end == 0
+
+    def test_torn_record_salvages_prefix(self):
+        good = frame_record({"lsn": 1, "kind": "tick"})
+        torn = frame_record({"lsn": 2, "kind": "tick"})[:-3]
+        records, tail = scan_frames(MAGIC + good + torn)
+        assert [r["lsn"] for r in records] == [1]
+        assert tail.error == "truncated record body"
+        assert tail.dropped_bytes == len(torn)
+        assert tail.valid_end == len(MAGIC) + len(good)
+
+    def test_bitflip_detected_by_crc(self):
+        good = frame_record({"lsn": 1, "kind": "tick"})
+        bad = bytearray(frame_record({"lsn": 2, "kind": "tick"}))
+        bad[10] ^= 0x40  # flip a payload bit; the CRC must catch it
+        records, tail = scan_frames(MAGIC + good + bytes(bad))
+        assert [r["lsn"] for r in records] == [1]
+        assert tail.error == "checksum mismatch"
+
+    def test_header_cut_short(self):
+        good = frame_record({"lsn": 1, "kind": "tick"})
+        records, tail = scan_frames(MAGIC + good + b"\x05\x00")
+        assert len(records) == 1
+        assert tail.error == "truncated record header"
+
+    def test_payload_without_lsn_rejected(self):
+        records, tail = scan_frames(MAGIC + frame_record({"kind": "tick"}))
+        assert records == []
+        assert tail.error == "malformed record payload"
+
+
+class TestDropUncommitted:
+    def test_trailing_open_transaction_dropped(self):
+        records = [
+            {"lsn": 1, "kind": "tick"},
+            {"lsn": 2, "kind": "begin"},
+            {"lsn": 3, "kind": "update"},
+            {"lsn": 4, "kind": "update"},
+        ]
+        committed, dropped = drop_uncommitted(records)
+        assert [r["lsn"] for r in committed] == [1]
+        assert dropped == 2
+
+    def test_committed_transaction_kept_markers_stripped(self):
+        records = [
+            {"lsn": 1, "kind": "begin"},
+            {"lsn": 2, "kind": "update"},
+            {"lsn": 3, "kind": "commit"},
+            {"lsn": 4, "kind": "tick"},
+        ]
+        committed, dropped = drop_uncommitted(records)
+        assert [r["lsn"] for r in committed] == [2, 4]
+        assert dropped == 0
+
+
+class TestJournal:
+    def test_append_assigns_monotonic_lsns(self):
+        fs = SimulatedFS()
+        journal = Journal("/db/journal.wal", fs=fs)
+        assert journal.append({"kind": "tick"}) == 1
+        assert journal.append({"kind": "tick"}) == 2
+        records, tail = journal.read_records()
+        assert [r["lsn"] for r in records] == [1, 2]
+        assert tail.clean
+
+    def test_always_policy_syncs_every_record(self):
+        fs = SimulatedFS()
+        journal = Journal("/db/journal.wal", fs=fs)
+        journal.append({"kind": "tick"})
+        file = fs._files["/db/journal.wal"]
+        assert file.synced == len(file.visible)
+
+    def test_never_policy_leaves_data_unsynced(self):
+        fs = SimulatedFS()
+        journal = Journal("/db/journal.wal", fs=fs, sync="never")
+        journal.append({"kind": "tick"})
+        file = fs._files["/db/journal.wal"]
+        assert file.synced < len(file.visible)
+
+    def test_unknown_sync_policy_rejected(self):
+        with pytest.raises(JournalError):
+            Journal("/db/journal.wal", fs=SimulatedFS(), sync="mostly")
+
+    def test_abort_truncates_and_rewinds_lsn(self):
+        fs = SimulatedFS()
+        journal = Journal("/db/journal.wal", fs=fs)
+        journal.append({"kind": "tick"})
+        size_before = fs.size("/db/journal.wal")
+        journal.begin()
+        journal.append({"kind": "update"})
+        journal.abort()
+        assert fs.size("/db/journal.wal") == size_before
+        assert journal.next_lsn == 2
+        # LSNs are reused for the next record -- no gap.
+        assert journal.append({"kind": "tick"}) == 2
+
+    def test_double_begin_rejected(self):
+        journal = Journal("/db/journal.wal", fs=SimulatedFS())
+        journal.begin()
+        with pytest.raises(JournalError):
+            journal.begin()
+
+    def test_commit_without_begin_rejected(self):
+        journal = Journal("/db/journal.wal", fs=SimulatedFS())
+        with pytest.raises(JournalError):
+            journal.commit()
+
+
+class TestJournaledDatabase:
+    def test_operations_are_recorded(self):
+        db, fs = fresh()
+        build_staff(db)
+        records, tail = db.journal.read_records()
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "genesis"
+        assert kinds.count("define_class") == 2
+        assert kinds.count("create") == 1
+        assert kinds.count("update") == 1
+        assert kinds.count("tick") == 2
+        assert tail.clean
+
+    def test_recover_replays_everything(self):
+        db, fs = fresh()
+        ann = build_staff(db)
+        recovered, report = recover("/db", fs=fs)
+        assert report.ok and not report.errors
+        assert recovered.now == db.now
+        assert len(recovered) == len(db)
+        twin = recovered.get_object(ann)
+        assert twin.value["salary"].at(recovered.now) == 1200.0
+        assert check_database(recovered).ok
+
+    def test_recover_replays_delete_and_correct(self):
+        db, fs = fresh()
+        ann = build_staff(db)
+        db.correct_attribute(ann, "salary", 1, 1, 999.0)
+        db.tick()
+        db.delete_object(ann)
+        recovered, report = recover("/db", fs=fs)
+        assert report.ok
+        twin = recovered.get_object(ann)
+        assert not twin.alive_at(recovered.now, recovered.now)
+        assert twin.value["salary"].at(1) == 999.0
+
+    def test_recover_replays_schema_evolution(self):
+        db, fs = fresh()
+        build_staff(db)
+        db.add_attribute("employee", ("grade", "string"))
+        db.remove_attribute("employee", "dept")
+        db.define_class("temp", attributes=[("x", "integer")])
+        db.tick()
+        db.drop_class("temp")
+        recovered, report = recover("/db", fs=fs)
+        assert report.ok
+        cls = recovered.get_class("employee")
+        assert "grade" in cls.attributes
+        assert "dept" not in cls.attributes
+        assert "dept" in cls.retired_attributes
+        # Dropped classes live on as historical classes; the drop closes
+        # the lifespan, and replay must agree on where.
+        assert (
+            recovered.get_class("temp").lifespan
+            == db.get_class("temp").lifespan
+        )
+        assert not recovered.get_class("temp").lifespan.is_moving
+
+    def test_rolled_back_transaction_leaves_no_trace(self):
+        db, fs = fresh()
+        ann = build_staff(db)
+        txn = Transaction(db).begin()
+        db.update_attribute(ann, "salary", 9999.0)
+        txn.rollback()
+        recovered, report = recover("/db", fs=fs)
+        assert report.ok
+        assert (
+            recovered.get_object(ann).value["salary"].at(recovered.now)
+            == 1200.0
+        )
+
+    def test_uncommitted_suffix_dropped_at_recovery(self):
+        db, fs = fresh()
+        ann = build_staff(db)
+        journal = db.journal
+        journal.begin()
+        db.update_attribute(ann, "salary", 9999.0)
+        # No commit: simulate a crash by recovering the raw disk as-is.
+        recovered, report = recover("/db", fs=fs)
+        assert report.ok
+        assert report.records_dropped_uncommitted == 1
+        assert (
+            recovered.get_object(ann).value["salary"].at(recovered.now)
+            == 1200.0
+        )
+
+    def test_corrupt_tail_salvaged(self):
+        db, fs = fresh()
+        build_staff(db)
+        path = f"/db/{JOURNAL_NAME}"
+        fs._files[path].visible.extend(b"\xde\xad\xbe\xef")
+        recovered, report = recover("/db", fs=fs)
+        assert report.ok
+        assert report.salvaged_tail
+        assert report.dropped_bytes == 4
+        assert recovered.now == db.now
+
+    def test_unrecoverable_without_genesis_or_checkpoint(self):
+        fs = SimulatedFS()
+        fs.write(f"/db/{JOURNAL_NAME}", b"not a journal at all")
+        recovered, report = recover("/db", fs=fs)
+        assert recovered is None
+        assert not report.ok
+        assert any("unrecoverable" in e for e in report.errors)
+
+
+class TestCheckpoint:
+    def test_checkpoint_truncates_journal_and_recovers(self):
+        db, fs = fresh()
+        ann = build_staff(db)
+        path = db.checkpoint()
+        assert list_checkpoints(fs, "/db") == [path.rsplit("/", 1)[1]]
+        assert db.journal.is_empty()
+        db.tick()
+        db.update_attribute(ann, "salary", 1500.0)
+        recovered, report = recover("/db", fs=fs)
+        assert report.ok
+        assert report.checkpoint is not None
+        assert report.records_applied == 2  # tick + update after the ckpt
+        assert (
+            recovered.get_object(ann).value["salary"].at(recovered.now)
+            == 1500.0
+        )
+        assert check_database(recovered).ok
+
+    def test_records_covered_by_checkpoint_are_skipped(self):
+        db, fs = fresh()
+        build_staff(db)
+        checkpoint_file = db.checkpoint()
+        # Simulate the crash window between checkpoint rename and journal
+        # truncation: restore the pre-truncation journal content.
+        doc = json.loads(fs.read(checkpoint_file).decode("utf-8"))
+        db.tick()
+        recovered, report = recover("/db", fs=fs)
+        assert report.ok
+        assert report.checkpoint_lsn == doc["lsn"]
+        assert recovered.now == db.now
+
+    def test_corrupt_newest_checkpoint_falls_back(self):
+        db, fs = fresh()
+        ann = build_staff(db)
+        db.checkpoint()
+        db.tick()
+        db.update_attribute(ann, "salary", 1500.0)
+        newest = db.checkpoint()
+        # Corrupt the newest snapshot; the older one must have been kept
+        # only if the newest was durable -- it was, so recreate an older
+        # one by hand to exercise the fallback.
+        older = "/db/" + checkpoint_name(1)
+        fs.write(older, fs.read(newest))
+        fs.write(newest, b"{broken json")
+        recovered, report = recover("/db", fs=fs)
+        assert report.ok
+        assert newest.rsplit("/", 1)[1] in report.corrupt_checkpoints
+        assert report.checkpoint == older
+        assert check_database(recovered).ok
+
+    def test_checkpoint_requires_journal(self):
+        db = TemporalDatabase()
+        with pytest.raises(JournalError):
+            db.checkpoint()
+
+    def test_checkpoint_inside_transaction_rejected(self):
+        db, fs = fresh()
+        build_staff(db)
+        txn = Transaction(db).begin()
+        with pytest.raises(JournalError):
+            db.checkpoint()
+        txn.rollback()
+
+    def test_checkpoint_name_roundtrip(self):
+        assert checkpoint_lsn(checkpoint_name(42)) == 42
+        assert checkpoint_lsn("nonsense.json") == -1
+        assert checkpoint_lsn("checkpoint-x.json") == -1
+
+
+class TestOpenDatabase:
+    def test_fresh_then_reopen(self, tmp_path):
+        directory = tmp_path / "db"
+        db, report = open_database(directory)
+        build_staff(db)
+        db2, report2 = open_database(directory)
+        assert report2.ok
+        assert db2.now == db.now
+        assert len(db2) == len(db)
+        # The reopened database keeps journaling.
+        db2.tick()
+        db3, _ = open_database(directory)
+        assert db3.now == db.now + 1
+
+    def test_reopen_repairs_corrupt_tail(self, tmp_path):
+        directory = tmp_path / "db"
+        db, _ = open_database(directory)
+        build_staff(db)
+        journal_file = directory / JOURNAL_NAME
+        with open(journal_file, "ab") as handle:
+            handle.write(b"\x01\x02\x03")
+        db2, report = open_database(directory)
+        assert report.salvaged_tail
+        db2.tick()  # appends must not collide with the garbage tail
+        db3, report3 = open_database(directory)
+        assert not report3.salvaged_tail
+        assert db3.now == db.now + 1
+
+    def test_open_unrecoverable_raises(self, tmp_path):
+        directory = tmp_path / "db"
+        directory.mkdir()
+        (directory / JOURNAL_NAME).write_bytes(b"garbage")
+        with pytest.raises(RecoveryError):
+            open_database(directory)
+
+    def test_lsns_continue_after_reopen(self, tmp_path):
+        directory = tmp_path / "db"
+        db, _ = open_database(directory)
+        db.tick()
+        last = db.journal.last_lsn
+        db2, report = open_database(directory)
+        assert db2.journal.next_lsn == last + 1
+
+    def test_oid_counter_survives_recovery(self, tmp_path):
+        directory = tmp_path / "db"
+        db, _ = open_database(directory)
+        ann = build_staff(db)
+        db.tick()
+        db.delete_object(ann)
+        db2, _ = open_database(directory)
+        fresh_oid = db2.create_object(
+            "employee", {"name": "Bob", "salary": 1.0, "dept": "S"}
+        )
+        assert fresh_oid.serial > ann.serial
