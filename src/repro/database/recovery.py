@@ -74,6 +74,14 @@ class RecoveryReport:
     records_applied: int = 0
     #: data records dropped as an uncommitted transaction suffix.
     records_dropped_uncommitted: int = 0
+    #: the valid prefix ended inside an open transaction (a dangling
+    #: ``begin``) -- true even when the transaction held zero data
+    #: records, in which case records_dropped_uncommitted is 0.
+    uncommitted_txn: bool = False
+    #: a committed record failed to replay mid-stream; the database
+    #: reflects only the prefix before it.  :func:`open_database`
+    #: refuses to resume journaling in this state.
+    replay_divergence: bool = False
     #: bytes beyond the journal's longest valid prefix (corrupt tail).
     dropped_bytes: int = 0
     #: byte offset where the valid journal prefix ends.
@@ -105,6 +113,8 @@ class RecoveryReport:
             "records_applied": self.records_applied,
             "records_dropped_uncommitted":
                 self.records_dropped_uncommitted,
+            "uncommitted_txn": self.uncommitted_txn,
+            "replay_divergence": self.replay_divergence,
             "dropped_bytes": self.dropped_bytes,
             "valid_end": self.valid_end,
             "tail_error": self.tail_error,
@@ -134,6 +144,11 @@ class RecoveryReport:
             lines.append(
                 "  corrupt ckpts     "
                 + ", ".join(self.corrupt_checkpoints)
+            )
+        if self.replay_divergence:
+            lines.append(
+                "  replay DIVERGED   database reflects only the "
+                f"prefix through lsn {self.last_lsn}"
             )
         if self.ok:
             lines.append(
@@ -235,7 +250,13 @@ def apply_record(db: Any, record: dict[str, Any]) -> Any:
                 },
             )
         elif kind == "delete":
-            db.delete_object(decode_value(record["oid"]), force=True)
+            # Replay with the recorded flag: the original delete
+            # succeeded with it, so replay must too, and any semantics
+            # attached to non-forced deletes stay faithful.
+            db.delete_object(
+                decode_value(record["oid"]),
+                force=bool(record.get("force", False)),
+            )
         elif kind == "correct":
             start, end = record["window"]
             db.correct_attribute(
@@ -312,8 +333,9 @@ def recover(
     report.tail_error = tail.error
 
     # 3. Trailing uncommitted transaction.
-    committed, dropped = drop_uncommitted(records)
+    committed, dropped, open_txn = drop_uncommitted(records)
     report.records_dropped_uncommitted = dropped
+    report.uncommitted_txn = open_txn
 
     # 4. Replay records beyond the checkpoint.
     for record in committed:
@@ -335,7 +357,10 @@ def recover(
                 return None, report
             # A mid-stream replay failure is state divergence we cannot
             # hide: stop at the last good record (longest valid prefix
-            # semantics at the logical level too).
+            # semantics at the logical level too) and flag it so
+            # open_database refuses to resume appends against a journal
+            # that no longer matches the recovered state.
+            report.replay_divergence = True
             report.errors.append(str(exc))
             break
         report.records_applied += 1
@@ -369,9 +394,12 @@ def open_database(
 
     On an empty directory: creates a fresh database whose journal
     starts with a genesis record.  Otherwise: recovers, truncates any
-    corrupt journal tail so appends resume from the valid prefix, and
-    re-attaches the journal.  Raises :class:`RecoveryError` when
-    recovery is impossible.
+    corrupt journal tail and any dangling open transaction so appends
+    resume from the last committed record, and re-attaches the
+    journal.  Raises :class:`RecoveryError` when recovery is
+    impossible, or when replay diverged mid-stream (the journal no
+    longer matches any recoverable state; it is left untouched for
+    inspection via :func:`recover`).
     """
     from repro.database.database import TemporalDatabase
 
@@ -398,14 +426,33 @@ def open_database(
         raise RecoveryError(
             "cannot open database: " + "; ".join(report.errors)
         )
+    if report.replay_divergence:
+        # The recovered database stops at the record before the one
+        # that failed to replay, but that record and everything after
+        # it are still physically in the journal.  Resuming appends
+        # here would mint duplicate LSNs and make the *next* recovery
+        # deterministically re-diverge, silently discarding all newer
+        # committed work.  Refuse; the journal is left untouched for
+        # forensics and read-only :func:`recover` still works.
+        raise RecoveryError(
+            "cannot re-attach journal: replay diverged from the "
+            "on-disk log ("
+            + "; ".join(report.errors)
+            + ")"
+        )
     journal = Journal(journal_path, fs=fs, sync=sync)
-    if report.salvaged_tail:
+    if report.uncommitted_txn:
+        # The valid prefix ends inside an open transaction.  Truncate
+        # to the end of the last *committed* record -- this also cuts
+        # any corrupt tail, since _committed_end only walks the valid
+        # prefix.  Keyed on the dangling ``begin`` itself, not on the
+        # dropped-record count: a bare ``begin`` with zero data records
+        # must still be cut, or the next fsynced autocommit appends
+        # land inside a transaction that recovery will drop (or, worse,
+        # a later ``commit`` marker resurrects the dead records).
+        journal.truncate_tail(_committed_end(fs, journal_path))
+    elif report.salvaged_tail:
         journal.truncate_tail(report.valid_end)
-    elif report.records_dropped_uncommitted:
-        # The uncommitted suffix survives in the file; physically drop
-        # it so the next append does not resurrect it.
-        committed_end = _committed_end(fs, journal_path)
-        journal.truncate_tail(committed_end)
     journal.set_next_lsn(report.last_lsn + 1)
     db.attach_journal(journal, genesis=False)
     return db, report

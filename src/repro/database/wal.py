@@ -148,11 +148,15 @@ def scan_frames(data: bytes) -> tuple[list[dict[str, Any]], TailStatus]:
 
 def drop_uncommitted(
     records: list[dict[str, Any]],
-) -> tuple[list[dict[str, Any]], int]:
+) -> tuple[list[dict[str, Any]], int, bool]:
     """Strip a trailing open transaction (``begin`` with no ``commit``).
 
-    Returns the committed records (markers removed) and the number of
-    data records dropped as uncommitted.
+    Returns the committed records (markers removed), the number of data
+    records dropped as uncommitted, and whether the stream ended inside
+    an open transaction at all.  The boolean matters independently of
+    the count: a bare dangling ``begin`` drops zero data records but
+    still leaves an open-transaction marker in the file that callers
+    must physically truncate before appending.
     """
     committed: list[dict[str, Any]] = []
     staged: list[dict[str, Any]] | None = None
@@ -171,7 +175,9 @@ def drop_uncommitted(
             staged.append(record)
         else:
             committed.append(record)
-    return committed, len(staged) if staged is not None else 0
+    if staged is None:
+        return committed, 0, False
+    return committed, len(staged), True
 
 
 # -- the journal ---------------------------------------------------------------
@@ -203,6 +209,16 @@ class Journal:
         if not self.fs.exists(self.path):
             self.fs.write(self.path, MAGIC)
             self._fsync()
+        else:
+            # Resume the LSN sequence past the existing valid prefix so
+            # a bare ``Journal(path)`` on a pre-existing file never
+            # mints duplicate LSNs (duplicates would collide with the
+            # ``lsn <= checkpoint_lsn`` skip filter during recovery).
+            records, _tail = scan_frames(self.fs.read(self.path))
+            if records:
+                self._next_lsn = (
+                    max(int(r["lsn"]) for r in records) + 1
+                )
 
     # -- positioning ----------------------------------------------------------
 

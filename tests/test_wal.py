@@ -105,9 +105,10 @@ class TestDropUncommitted:
             {"lsn": 3, "kind": "update"},
             {"lsn": 4, "kind": "update"},
         ]
-        committed, dropped = drop_uncommitted(records)
+        committed, dropped, open_txn = drop_uncommitted(records)
         assert [r["lsn"] for r in committed] == [1]
         assert dropped == 2
+        assert open_txn
 
     def test_committed_transaction_kept_markers_stripped(self):
         records = [
@@ -116,12 +117,42 @@ class TestDropUncommitted:
             {"lsn": 3, "kind": "commit"},
             {"lsn": 4, "kind": "tick"},
         ]
-        committed, dropped = drop_uncommitted(records)
+        committed, dropped, open_txn = drop_uncommitted(records)
         assert [r["lsn"] for r in committed] == [2, 4]
         assert dropped == 0
+        assert not open_txn
+
+    def test_bare_dangling_begin_flagged_despite_zero_drops(self):
+        records = [
+            {"lsn": 1, "kind": "tick"},
+            {"lsn": 2, "kind": "begin"},
+        ]
+        committed, dropped, open_txn = drop_uncommitted(records)
+        assert [r["lsn"] for r in committed] == [1]
+        assert dropped == 0
+        assert open_txn
 
 
 class TestJournal:
+    def test_existing_journal_resumes_lsn_sequence(self):
+        fs = SimulatedFS()
+        first = Journal("/db/journal.wal", fs=fs)
+        first.append({"kind": "tick"})
+        first.append({"kind": "tick"})
+        # A bare Journal() on a pre-existing file must not restart at
+        # lsn 1 and mint duplicates.
+        second = Journal("/db/journal.wal", fs=fs)
+        assert second.next_lsn == 3
+        assert second.append({"kind": "tick"}) == 3
+
+    def test_existing_journal_with_corrupt_tail_resumes_from_prefix(self):
+        fs = SimulatedFS()
+        first = Journal("/db/journal.wal", fs=fs)
+        first.append({"kind": "tick"})
+        fs._files["/db/journal.wal"].visible.extend(b"\xde\xad")
+        second = Journal("/db/journal.wal", fs=fs)
+        assert second.next_lsn == 2
+
     def test_append_assigns_monotonic_lsns(self):
         fs = SimulatedFS()
         journal = Journal("/db/journal.wal", fs=fs)
@@ -271,6 +302,50 @@ class TestJournaledDatabase:
         assert report.dropped_bytes == 4
         assert recovered.now == db.now
 
+    def test_delete_replay_uses_recorded_force_flag(self, monkeypatch):
+        from repro.database import database as database_module
+
+        db, fs = fresh()
+        ann = build_staff(db)
+        db.tick()
+        db.delete_object(ann)  # non-forced
+        records, _ = db.journal.read_records()
+        delete_record = next(r for r in records if r["kind"] == "delete")
+        assert delete_record["force"] is False
+
+        seen = {}
+        original = database_module.TemporalDatabase.delete_object
+
+        def spy(self, oid, force=False):
+            seen["force"] = force
+            return original(self, oid, force=force)
+
+        monkeypatch.setattr(
+            database_module.TemporalDatabase, "delete_object", spy
+        )
+        recovered, report = recover("/db", fs=fs)
+        assert report.ok and not report.errors
+        assert seen["force"] is False
+
+    def test_midstream_replay_failure_flags_divergence(self):
+        fs = SimulatedFS()
+        frames = [
+            {"lsn": 1, "kind": "genesis", "start_time": 0},
+            {"lsn": 2, "kind": "tick", "steps": 1},
+            {"lsn": 3, "kind": "drop_class", "class": "nope"},
+            {"lsn": 4, "kind": "tick", "steps": 1},
+        ]
+        fs.write(
+            f"/db/{JOURNAL_NAME}",
+            MAGIC + b"".join(frame_record(f) for f in frames),
+        )
+        db, report = recover("/db", fs=fs)
+        assert report.ok  # a database was still produced (the prefix)
+        assert report.replay_divergence
+        assert report.last_lsn == 2
+        assert db.now == 1
+        assert report.errors
+
     def test_unrecoverable_without_genesis_or_checkpoint(self):
         fs = SimulatedFS()
         fs.write(f"/db/{JOURNAL_NAME}", b"not a journal at all")
@@ -377,6 +452,66 @@ class TestOpenDatabase:
         db3, report3 = open_database(directory)
         assert not report3.salvaged_tail
         assert db3.now == db.now + 1
+
+    def test_reopen_cuts_bare_dangling_begin(self, tmp_path):
+        # Crash right after the begin marker: the dangling transaction
+        # holds zero data records, so dropped-count-based repair would
+        # leave the begin in the file and every subsequent autocommit
+        # append would land inside a dead transaction.
+        directory = tmp_path / "db"
+        db, _ = open_database(directory)
+        build_staff(db)
+        before = db.now
+        db.journal.begin()
+        db2, report = open_database(directory)
+        assert report.uncommitted_txn
+        assert report.records_dropped_uncommitted == 0
+        db2.tick()  # acknowledged durable write
+        db3, report3 = open_database(directory)
+        assert not report3.uncommitted_txn
+        assert db3.now == before + 1  # the tick survived the reopen
+
+    def test_reopen_cuts_uncommitted_txn_under_corrupt_tail(self, tmp_path):
+        # Torn write mid-transaction: a corrupt tail AND an uncommitted
+        # transaction coexist.  Truncating only at valid_end would keep
+        # the begin + uncommitted records in the file.
+        directory = tmp_path / "db"
+        db, _ = open_database(directory)
+        ann = build_staff(db)
+        before = db.now
+        db.journal.begin()
+        db.update_attribute(ann, "salary", 9999.0)
+        with open(directory / JOURNAL_NAME, "ab") as handle:
+            handle.write(b"\xde\xad")
+        db2, report = open_database(directory)
+        assert report.salvaged_tail
+        assert report.uncommitted_txn
+        assert report.records_dropped_uncommitted == 1
+        assert db2.get_object(ann).value["salary"].at(db2.now) == 1200.0
+        db2.tick()
+        db3, report3 = open_database(directory)
+        assert not report3.uncommitted_txn
+        assert db3.now == before + 1
+        assert db3.get_object(ann).value["salary"].at(db3.now) == 1200.0
+
+    def test_open_refuses_reattach_after_replay_divergence(self, tmp_path):
+        directory = tmp_path / "db"
+        directory.mkdir()
+        frames = [
+            {"lsn": 1, "kind": "genesis", "start_time": 0},
+            {"lsn": 2, "kind": "tick", "steps": 1},
+            {"lsn": 3, "kind": "drop_class", "class": "nope"},
+            {"lsn": 4, "kind": "tick", "steps": 1},
+        ]
+        (directory / JOURNAL_NAME).write_bytes(
+            MAGIC + b"".join(frame_record(f) for f in frames)
+        )
+        with pytest.raises(RecoveryError, match="diverged"):
+            open_database(directory)
+        # The journal is left untouched for forensics.
+        data = (directory / JOURNAL_NAME).read_bytes()
+        records, tail = scan_frames(data)
+        assert [r["lsn"] for r in records] == [1, 2, 3, 4]
 
     def test_open_unrecoverable_raises(self, tmp_path):
         directory = tmp_path / "db"
