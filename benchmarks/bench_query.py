@@ -14,7 +14,31 @@ characterizes the implementations so the extension carries its weight:
 Expected shape: NOW/AT flat in history length; SOMETIME/ALWAYS linear
 in pairs (segments), not in instants; trigger dispatch adds a small
 constant per update.
+
+Run directly for the planner selectivity sweep (PR 3)::
+
+    python benchmarks/bench_query.py           # full sweep + artifacts
+    python benchmarks/bench_query.py --smoke   # quick CI sanity run
+    python benchmarks/bench_query.py --ci      # full sweep, exit 1 if
+                                               # the planner loses at 1%
+
+The full sweep times equality queries of 0.1% / 1% / 10% / 100%
+selectivity over n=1000 objects with history 200, planner on vs.
+ablated (``REPRO_NO_PLANNER`` path), and writes
+``benchmarks/results/query_planner.txt`` plus the machine-readable
+``BENCH_query.json`` at the repo root.
 """
+
+import argparse
+import json
+import sys
+import timeit
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (REPO_ROOT, REPO_ROOT / "src"):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
 
 import pytest
 
@@ -116,6 +140,178 @@ def test_trigger_dispatch_overhead(benchmark):
         db.update_attribute(oid, "salary", 1000.0 + counter[0])
 
     benchmark(one_update)
+
+
+# ---------------------------------------------------------------------
+# PR 3: planner selectivity sweep (plain functions -- run via main()).
+
+
+def _timeit_us(fn, number: int) -> float:
+    """Best-of-3 mean, in microseconds per call."""
+    best = min(timeit.timeit(fn, number=number) for _ in range(3))
+    return best / number * 1e6
+
+
+def _build_sweep_db(n_objects: int, ticks: int):
+    """A population with equality buckets of controlled selectivity.
+
+    ``b1000 = v`` matches 1/1000 of the objects, ``b100`` 1/100,
+    ``b10`` 1/10 and ``ball`` all of them; ``noise`` carries the deep
+    history the scan path has to wade through.
+    """
+    from repro.database.database import TemporalDatabase
+
+    db = TemporalDatabase()
+    db.define_class(
+        "g",
+        attributes=[
+            ("b1000", "temporal(integer)"),
+            ("b100", "temporal(integer)"),
+            ("b10", "temporal(integer)"),
+            ("ball", "temporal(integer)"),
+            ("noise", "temporal(integer)"),
+        ],
+    )
+    oids = [
+        db.create_object(
+            "g",
+            {
+                "b1000": i,
+                "b100": i % 100,
+                "b10": i % 10,
+                "ball": 1,
+                "noise": 0,
+            },
+        )
+        for i in range(n_objects)
+    ]
+    stride = max(n_objects // 20, 1)
+    for step in range(ticks):
+        db.tick()
+        for oid in oids[(step % 20):: 20 if n_objects >= 20 else 1][
+            :stride
+        ]:
+            db.update_attribute(oid, "noise", step)
+    return db
+
+
+SWEEP = (
+    ("0.1%", "b1000"),
+    ("1%", "b100"),
+    ("10%", "b10"),
+    ("100%", "ball"),
+)
+
+
+def run_selectivity_sweep(
+    n_objects: int, ticks: int, number: int
+) -> list[dict]:
+    from repro.query import evaluate, planner, select, attr
+
+    db = _build_sweep_db(n_objects, ticks)
+    results = []
+    for label, bucket in SWEEP:
+        query = select("g").where(attr(bucket) == 1).now().build()
+        run = lambda: evaluate(db, query)  # noqa: E731
+        matched = len(run())  # warm extent + index caches both paths
+        planned = _timeit_us(run, number)
+        with planner.disabled():
+            run()
+            ablated = _timeit_us(run, max(number // 5, 3))
+        results.append(
+            {
+                "selectivity": label,
+                "attribute": bucket,
+                "rows": matched,
+                "n_objects": n_objects,
+                "history": ticks,
+                "planner_us": round(planned, 2),
+                "ablated_us": round(ablated, 2),
+                "speedup": round(ablated / planned, 1),
+            }
+        )
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro import perf
+
+    parser = argparse.ArgumentParser(
+        description="planner selectivity sweep"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload, no artifacts (CI sanity check)",
+    )
+    parser.add_argument(
+        "--ci",
+        action="store_true",
+        help="full sweep; exit 1 if the planner path is slower than "
+        "the ablated scan on the 1%%-selective workload",
+    )
+    args = parser.parse_args(argv)
+
+    perf.reset_stats()
+    if args.smoke:
+        results = run_selectivity_sweep(
+            n_objects=100, ticks=30, number=5
+        )
+    else:
+        results = run_selectivity_sweep(
+            n_objects=1000, ticks=200, number=10
+        )
+
+    rows = [
+        (
+            r["selectivity"],
+            str(r["rows"]),
+            f"{r['planner_us']:.1f}",
+            f"{r['ablated_us']:.1f}",
+            f"{r['speedup']:.1f}x",
+        )
+        for r in results
+    ]
+    table = format_series(
+        "Query planner: equality selectivity sweep, planner vs "
+        f"ablated scan (us/op, n={results[0]['n_objects']}, "
+        f"history={results[0]['history']})",
+        ("selectivity", "rows", "planner", "ablated", "speedup"),
+        rows,
+    )
+    print(table)
+
+    if args.smoke:
+        print("smoke ok")
+        return 0
+
+    emit("query_planner", table)
+    payload = {
+        "experiment": "query planner selectivity sweep",
+        "results": results,
+        "gate": {
+            "workload": "1% selectivity equality NOW",
+            "requirement": "planner at least as fast as ablated scan",
+        },
+        "stats": perf.stats(),
+    }
+    (REPO_ROOT / "BENCH_query.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print(f"wrote {REPO_ROOT / 'BENCH_query.json'}")
+
+    one_percent = next(r for r in results if r["selectivity"] == "1%")
+    if args.ci and one_percent["speedup"] < 1.0:
+        print(
+            "CI GATE FAILED: planner slower than ablated scan on the "
+            f"1%-selective workload ({one_percent})"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
 
 
 def test_e10_summary(benchmark, results_dir):

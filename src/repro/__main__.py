@@ -10,6 +10,10 @@ Commands:
   database summary, or one class/object in the paper's notation;
 * ``query FILE.json "select ..."`` -- run a query against a persisted
   database;
+* ``explain FILE.json "select ..."`` -- show the planner's chosen
+  access path (index probes, residual conjuncts, cost estimates) and
+  the estimated vs. actual cardinalities; ``--no-exec`` plans without
+  running;
 * ``perf [FILE.json]`` -- exercise the hot-path caches (on a saved
   database, or a synthetic workload when no file is given) and print
   the hit/miss/invalidation counters;
@@ -113,6 +117,22 @@ def cmd_query(args) -> int:
     for oid in hits:
         print(oid)
     print(f"-- {len(hits)} result(s) at now={db.now}")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from repro.query import explain, parse_query
+
+    db = _load(args.file)
+    plan = explain(
+        db, parse_query(args.query), execute_query=not args.no_exec
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(plan.render())
     return 0
 
 
@@ -220,6 +240,20 @@ def main(argv: list[str] | None = None) -> int:
     query.add_argument("file")
     query.add_argument("query")
 
+    explain_cmd = sub.add_parser(
+        "explain", help="show the planner's access path for a query"
+    )
+    explain_cmd.add_argument("file")
+    explain_cmd.add_argument("query")
+    explain_cmd.add_argument(
+        "--no-exec",
+        action="store_true",
+        help="plan only; skip execution (no actual cardinalities)",
+    )
+    explain_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable plan"
+    )
+
     perf_cmd = sub.add_parser(
         "perf", help="exercise the hot-path caches and print counters"
     )
@@ -252,6 +286,7 @@ def main(argv: list[str] | None = None) -> int:
         "check": cmd_check,
         "describe": cmd_describe,
         "query": cmd_query,
+        "explain": cmd_explain,
         "perf": cmd_perf,
         "recover": cmd_recover,
         "checkpoint": cmd_checkpoint,

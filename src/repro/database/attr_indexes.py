@@ -1,0 +1,496 @@
+"""Secondary temporal attribute indexes: value -> oid posting lists.
+
+The stabbing indexes of :mod:`repro.database.indexes` answer *extent*
+questions ("who is a member of c at t").  This module answers the
+complementary *predicate* question the query planner pushes down:
+"which oids held value v (or a value in a range, or a collection
+containing v) under attribute a, and at which instants".
+
+One :class:`AttributeIndex` covers one attribute *name* across the
+whole object population (attribute reads in the query evaluator depend
+only on the object, never on the queried class; candidacy is restricted
+to the class extent separately, by intersection).  Per oid it mirrors
+exactly the evaluator's ``_read_attribute`` semantics:
+
+* a live :class:`TemporalValue` slot contributes its recorded pairs
+  (open pairs stay open -- a probe resolves them against the clock, so
+  ticks never stale the index);
+* a missing slot falls back to the retained (closed) history;
+* a static slot contributes only at the probe-time ``now`` (static
+  attributes are unknown at past instants);
+* null values are never indexed (every indexable atom is
+  null-rejecting).
+
+Postings are keyed so that key equality coincides with
+:func:`~repro.values.structure.values_equal` on the keyable carriers
+(int/float unify, bool stays apart, strings and oids by value).  A
+value outside those carriers marks the index ``value_ok = False`` (the
+planner then leaves equality/range atoms to the residual evaluator);
+collection members are tracked the same way under ``element_ok`` for
+``In``/``Contains`` probes.
+
+Maintenance follows the :mod:`repro.database.caches` discipline:
+mutation-side maintenance is unconditional (the registry re-derives the
+touched oid's postings from the event stream), lookups honour the
+global ablation switch, and wholesale invalidation (schema evolution,
+transaction rollback, recovery) simply drops the indexes -- they are
+rebuilt lazily on the next probe.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+from repro import perf
+from repro.database.events import Event, EventKind
+from repro.temporal.instants import Now
+from repro.temporal.intervals import Interval
+from repro.temporal.intervalsets import IntervalSet
+from repro.temporal.temporalvalue import TemporalValue
+from repro.values.null import is_null
+from repro.values.oid import OID
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.database.database import TemporalDatabase
+
+#: Built indexes per registry; cleared wholesale past the cap.
+REGISTRY_LIMIT = 32
+
+#: Memoized probe results per index; cleared on any maintenance.
+PROBE_MEMO_LIMIT = 1024
+
+_INDEX = perf.counter("database.attr_index")
+_PROBE_MEMO = perf.counter("planner.probe_memo")
+
+#: A posting span: ``(start, end)`` with ``end is None`` for an open
+#: (now-ended) pair -- open pairs contain every instant from their
+#: start onwards, mirroring ``TemporalValue._locate``.
+Span = tuple[int, "int | None"]
+
+
+def value_key(value: Any) -> tuple | None:
+    """A hashable key whose equality coincides with ``values_equal``
+    on the keyable carriers; ``None`` for everything else."""
+    if isinstance(value, bool):
+        return ("b", value)
+    if isinstance(value, (int, float)):
+        return ("n", value)  # 1 and 1.0 hash and compare equal
+    if isinstance(value, str):
+        return ("s", value)
+    if isinstance(value, OID):
+        return ("o", value)
+    return None
+
+
+def _span_contains(span: Span, t: int) -> bool:
+    start, end = span
+    if t < start:
+        return False
+    return end is None or t <= end
+
+
+def _spans_to_set(spans: Iterable[Span], now: int) -> IntervalSet:
+    # Open spans become moving intervals; IntervalSet resolves them
+    # against *now* (an open span starting past now resolves empty).
+    return IntervalSet(
+        (
+            Interval.from_now(start)
+            if end is None
+            else Interval(start, end)
+            for start, end in spans
+        ),
+        now=now,
+    )
+
+
+class AttributeIndex:
+    """Posting lists for one attribute name across the population."""
+
+    __slots__ = (
+        "name",
+        "value_ok",
+        "element_ok",
+        "_by_value",
+        "_by_element",
+        "_static_value",
+        "_static_element",
+        "_contrib",
+        "_memo",
+        "revision",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value_ok = True
+        self.element_ok = True
+        # key -> (representative value, oid -> spans)
+        self._by_value: dict[tuple, tuple[Any, dict[OID, list[Span]]]] = {}
+        self._by_element: dict[tuple, tuple[Any, dict[OID, list[Span]]]] = {}
+        # key -> (representative value, oids) -- contributes at probe-now
+        self._static_value: dict[tuple, tuple[Any, set[OID]]] = {}
+        self._static_element: dict[tuple, tuple[Any, set[OID]]] = {}
+        # oid -> keys it appears under, one set per table above
+        self._contrib: dict[OID, tuple[set, set, set, set]] = {}
+        self._memo: dict[tuple, Any] = {}
+        self.revision = 0
+
+    # ----------------------------------------------------------- build
+
+    def cover(self, obj) -> None:
+        """Add (or refresh) the postings contributed by *obj*."""
+        oid = obj.oid
+        if oid in self._contrib:
+            self.forget(oid)
+        keys: tuple[set, set, set, set] = (set(), set(), set(), set())
+        slot = obj.value.get(self.name, _MISSING)
+        if slot is _MISSING:
+            history = obj.retained.get(self.name)
+            if history is not None:
+                self._cover_temporal(oid, history, keys)
+        elif isinstance(slot, TemporalValue):
+            self._cover_temporal(oid, slot, keys)
+        elif not is_null(slot):
+            self._cover_static(oid, slot, keys)
+        if any(keys):
+            self._contrib[oid] = keys
+
+    def _cover_temporal(
+        self, oid: OID, history: TemporalValue, keys
+    ) -> None:
+        for interval, value in history.pairs():
+            if is_null(value):
+                continue
+            end = interval.end
+            span: Span = (
+                interval.start, None if isinstance(end, Now) else end
+            )
+            key = value_key(value)
+            if key is None:
+                self.value_ok = False
+            else:
+                _, postings = self._by_value.setdefault(
+                    key, (value, {})
+                )
+                postings.setdefault(oid, []).append(span)
+                keys[0].add(key)
+            if isinstance(value, (set, frozenset, list, tuple)):
+                for member in value:
+                    if is_null(member):
+                        continue
+                    member_key = value_key(member)
+                    if member_key is None:
+                        self.element_ok = False
+                        continue
+                    _, postings = self._by_element.setdefault(
+                        member_key, (member, {})
+                    )
+                    postings.setdefault(oid, []).append(span)
+                    keys[1].add(member_key)
+
+    def _cover_static(self, oid: OID, value: Any, keys) -> None:
+        key = value_key(value)
+        if key is None:
+            self.value_ok = False
+        else:
+            _, oids = self._static_value.setdefault(key, (value, set()))
+            oids.add(oid)
+            keys[2].add(key)
+        if isinstance(value, (set, frozenset, list, tuple)):
+            for member in value:
+                if is_null(member):
+                    continue
+                member_key = value_key(member)
+                if member_key is None:
+                    self.element_ok = False
+                    continue
+                _, oids = self._static_element.setdefault(
+                    member_key, (member, set())
+                )
+                oids.add(oid)
+                keys[3].add(member_key)
+
+    def forget(self, oid: OID) -> None:
+        """Drop every posting contributed by *oid*."""
+        keys = self._contrib.pop(oid, None)
+        if keys is None:
+            return
+        for table, contributed in (
+            (self._by_value, keys[0]),
+            (self._by_element, keys[1]),
+        ):
+            for key in contributed:
+                entry = table.get(key)
+                if entry is None:
+                    continue
+                entry[1].pop(oid, None)
+                if not entry[1]:
+                    del table[key]
+        for table, contributed in (
+            (self._static_value, keys[2]),
+            (self._static_element, keys[3]),
+        ):
+            for key in contributed:
+                entry = table.get(key)
+                if entry is None:
+                    continue
+                entry[1].discard(oid)
+                if not entry[1]:
+                    del table[key]
+
+    def rederive(self, oid: OID, db: "TemporalDatabase") -> None:
+        """Recompute *oid*'s contribution from its current state."""
+        self.revision += 1
+        self._memo.clear()
+        obj = db._objects.get(oid)
+        if obj is None:
+            self.forget(oid)
+        else:
+            self.cover(obj)
+
+    # ---------------------------------------------------------- probes
+
+    def supports(self, spec: tuple) -> bool:
+        """Can this index answer *spec* exactly?"""
+        kind = spec[0]
+        if kind == "cmp":
+            return self.value_ok
+        if kind == "member":
+            return self.element_ok
+        if kind == "val-in":
+            return self.value_ok
+        return False
+
+    def _entries(
+        self, spec: tuple
+    ) -> Iterator[tuple[dict[OID, list[Span]] | None, set[OID] | None]]:
+        """The ``(temporal postings, static oids)`` pairs matching
+        *spec* -- one pair per matched key."""
+        from repro.query.evaluator import _compare
+        from repro.query.ast import CompareOp
+
+        kind = spec[0]
+        if kind == "cmp":
+            op, const = spec[1], spec[2]
+            if op is CompareOp.EQ:
+                key = value_key(const)
+                entry = self._by_value.get(key) if key else None
+                static = self._static_value.get(key) if key else None
+                yield (
+                    entry[1] if entry else None,
+                    static[1] if static else None,
+                )
+                return
+            for key, (representative, postings) in self._by_value.items():
+                if _compare(op, representative, const):
+                    yield postings, None
+            for key, (representative, oids) in self._static_value.items():
+                if _compare(op, representative, const):
+                    yield None, oids
+            return
+        if kind == "member":
+            key = value_key(spec[1])
+            entry = self._by_element.get(key) if key else None
+            static = self._static_element.get(key) if key else None
+            yield (
+                entry[1] if entry else None,
+                static[1] if static else None,
+            )
+            return
+        if kind == "val-in":
+            seen: set[tuple] = set()
+            for member in spec[1]:
+                key = value_key(member)
+                if key is None or key in seen:
+                    continue
+                seen.add(key)
+                entry = self._by_value.get(key)
+                static = self._static_value.get(key)
+                yield (
+                    entry[1] if entry else None,
+                    static[1] if static else None,
+                )
+            return
+        raise ValueError(f"unknown probe spec {spec!r}")
+
+    def estimate(self, spec: tuple) -> int:
+        """Estimated matching oids (posting-list sizes, pre-probe)."""
+        total = 0
+        for postings, static in self._entries(spec):
+            if postings:
+                total += len(postings)
+            if static:
+                total += len(static)
+        return total
+
+    def matching_at(self, spec: tuple, t: int, now: int) -> set[OID]:
+        """The oids whose atom holds at instant *t* (exact)."""
+        memo_key = self._memo_key("at", spec, t, now)
+        if memo_key is not None:
+            cached = self._memo.get(memo_key)
+            if cached is not None:
+                _PROBE_MEMO.hit()
+                return cached
+            _PROBE_MEMO.miss()
+        hits: set[OID] = set()
+        for postings, static in self._entries(spec):
+            if postings:
+                for oid, spans in postings.items():
+                    if oid in hits:
+                        continue
+                    if any(_span_contains(span, t) for span in spans):
+                        hits.add(oid)
+            if static and t == now:
+                hits |= static
+        self._memo_store(memo_key, hits)
+        return hits
+
+    def matching_when(
+        self, spec: tuple, now: int
+    ) -> dict[OID, IntervalSet]:
+        """Per oid, the instants (up to *now*) at which the atom holds."""
+        memo_key = self._memo_key("when", spec, None, now)
+        if memo_key is not None:
+            cached = self._memo.get(memo_key)
+            if cached is not None:
+                _PROBE_MEMO.hit()
+                return cached
+            _PROBE_MEMO.miss()
+        spans_of: dict[OID, list[Span]] = {}
+        for postings, static in self._entries(spec):
+            if postings:
+                for oid, spans in postings.items():
+                    spans_of.setdefault(oid, []).extend(spans)
+            if static:
+                for oid in static:
+                    spans_of.setdefault(oid, []).append((now, now))
+        result = {
+            oid: _spans_to_set(spans, now)
+            for oid, spans in spans_of.items()
+        }
+        self._memo_store(memo_key, result)
+        return result
+
+    def _memo_key(
+        self, mode: str, spec: tuple, t: int | None, now: int
+    ) -> tuple | None:
+        kind = spec[0]
+        if kind == "cmp":
+            probe = ("cmp", spec[1], value_key(spec[2]))
+            if probe[2] is None:
+                return None
+        elif kind == "member":
+            probe = ("member", value_key(spec[1]))
+            if probe[1] is None:
+                return None
+        else:
+            keys = []
+            for member in spec[1]:
+                key = value_key(member)
+                if key is not None:
+                    keys.append(key)
+            probe = ("val-in", frozenset(keys))
+        return (mode, probe, t, now, self.revision)
+
+    def _memo_store(self, memo_key: tuple | None, result) -> None:
+        if memo_key is None:
+            return
+        if len(self._memo) >= PROBE_MEMO_LIMIT:
+            self._memo.clear()
+        self._memo[memo_key] = result
+
+    # ------------------------------------------------------ diagnostics
+
+    def sizes(self) -> dict[str, int]:
+        return {
+            "values": len(self._by_value),
+            "elements": len(self._by_element),
+            "static": len(self._static_value),
+            "oids": len(self._contrib),
+        }
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in self.sizes().items())
+        return f"AttributeIndex({self.name!r}, {body})"
+
+
+_MISSING = object()
+
+
+class AttributeIndexRegistry:
+    """The per-database collection of built attribute indexes.
+
+    Owned by :class:`~repro.database.caches.DatabaseCaches`; built
+    lazily on the first planner probe of an attribute, maintained
+    incrementally from the event stream, dropped wholesale on schema
+    evolution / rollback (and therefore rebuilt lazily after recovery).
+    """
+
+    __slots__ = ("_indexes",)
+
+    def __init__(self) -> None:
+        self._indexes: dict[str, AttributeIndex] = {}
+
+    def get(
+        self, db: "TemporalDatabase", name: str
+    ) -> AttributeIndex | None:
+        """The index for attribute *name*, built on demand.
+
+        Returns ``None`` with caching ablated -- the planner then
+        leaves every atom to the residual evaluator.
+        """
+        if not perf.is_enabled:
+            return None
+        index = self._indexes.get(name)
+        if index is not None:
+            _INDEX.hit()
+            return index
+        _INDEX.miss()
+        if len(self._indexes) >= REGISTRY_LIMIT:
+            _INDEX.invalidate(len(self._indexes))
+            self._indexes.clear()
+        index = AttributeIndex(name)
+        for obj in db.objects():
+            index.cover(obj)
+        self._indexes[name] = index
+        return index
+
+    def peek(self, name: str) -> AttributeIndex | None:
+        """The built index for *name*, if any (no build)."""
+        return self._indexes.get(name)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._indexes))
+
+    def on_event(self, db: "TemporalDatabase", event: Event) -> None:
+        """Incremental maintenance off the event stream.
+
+        UPDATE/CORRECT touch one attribute of one oid; the structural
+        events (CREATE, MIGRATE, DELETE) may rewrite several slots
+        (migration closes/resumes histories), so every built index
+        re-derives the oid.  Maintenance is unconditional -- like every
+        cache here, indexes stay coherent while ablated.
+        """
+        if not self._indexes:
+            return
+        if event.kind in (EventKind.UPDATE, EventKind.CORRECT):
+            index = self._indexes.get(event.attribute or "")
+            if index is not None:
+                index.rederive(event.oid, db)
+            return
+        for index in self._indexes.values():
+            index.rederive(event.oid, db)
+
+    def invalidate_all(self) -> None:
+        """Schema evolution / rollback: drop everything, rebuild lazily."""
+        if self._indexes:
+            _INDEX.invalidate(len(self._indexes))
+            self._indexes.clear()
+
+    def sizes(self) -> dict[str, dict[str, int]]:
+        return {
+            name: index.sizes()
+            for name, index in sorted(self._indexes.items())
+        }
+
+    def __repr__(self) -> str:
+        return f"AttributeIndexRegistry({self.names()})"

@@ -42,6 +42,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro import perf
+from repro.database.attr_indexes import AttributeIndexRegistry
 from repro.database.events import Event, EventKind
 from repro.database.indexes import IntervalStabbingIndex, extent_index
 from repro.temporal.intervalsets import IntervalSet
@@ -75,6 +76,7 @@ class DatabaseCaches:
         "_membership",
         "_snapshot",
         "_indexes",
+        "attr_indexes",
     )
 
     def __init__(self) -> None:
@@ -97,6 +99,8 @@ class DatabaseCaches:
         self._indexes: dict[
             str, tuple[int, int, int, IntervalStabbingIndex]
         ] = {}
+        # Secondary attribute indexes for the query planner.
+        self.attr_indexes = AttributeIndexRegistry()
 
     # ------------------------------------------------------- generations
 
@@ -132,6 +136,7 @@ class DatabaseCaches:
         if self._indexes:
             _INDEX.invalidate(len(self._indexes))
             self._indexes.clear()
+        self.attr_indexes.invalidate_all()
         if dropped:
             _PI.invalidate(dropped)
 
@@ -154,6 +159,7 @@ class DatabaseCaches:
                 self.bump_class(class_name)
         # UPDATE / CORRECT rewrite one object's history: extents and
         # membership intervals are untouched, the oid bump suffices.
+        self.attr_indexes.on_event(db, event)
 
     # ------------------------------------------------------------ pi
 
@@ -284,6 +290,7 @@ class DatabaseCaches:
             "membership": len(self._membership),
             "snapshot": len(self._snapshot),
             "indexes": len(self._indexes),
+            "attr_indexes": len(self.attr_indexes.names()),
         }
 
     def __repr__(self) -> str:

@@ -33,12 +33,18 @@ Instant sampling: the invariants quantify over all of TIME, but every
 quantity involved (extents, lifespans, class histories) is piecewise
 constant, changing only at recorded boundaries; the checkers collect
 those boundaries and check one representative per segment.
+
+Single-pass walking: every per-object checker accepts the object
+population as an optional *objects* sequence; :func:`check_database`
+materializes the store once and shares that one walk across all
+checkers (and across the per-class instant sampling), instead of
+re-iterating the store per check.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.objects.consistency import consistency_violations
 from repro.objects.object import TemporalObject
@@ -103,7 +109,9 @@ def c_lifespan_of(db, oid: OID, class_name: str) -> IntervalSet:
     return result
 
 
-def _sample_instants(db) -> list[int]:
+def _sample_instants(
+    db, objects: Sequence[TemporalObject] | None = None
+) -> list[int]:
     """One representative instant per segment of piecewise-constant
     database history (all boundary instants of every extent, lifespan
     and class history, capped at now)."""
@@ -115,7 +123,7 @@ def _sample_instants(db) -> list[int]:
             points.add(interval.start)
             if isinstance(interval.end, int):
                 points.update((interval.end, min(interval.end + 1, now)))
-    for obj in db.objects():
+    for obj in db.objects() if objects is None else objects:
         points.add(obj.lifespan.start)
         for interval, _v in obj.class_history.resolved_pairs(now):
             points.add(interval.start)
@@ -124,7 +132,9 @@ def _sample_instants(db) -> list[int]:
     return sorted(p for p in points if 0 <= p <= now)
 
 
-def check_invariant_5_1(db) -> list[str]:
+def check_invariant_5_1(
+    db, objects: Sequence[TemporalObject] | None = None
+) -> list[str]:
     """Invariant 5.1: extents vs. lifespans and class histories."""
     problems: list[str] = []
     now = db.now
@@ -159,7 +169,7 @@ def check_invariant_5_1(db) -> list[str]:
                     f"says {from_history}"
                 )
     # 5.1.2 (=>): class-history pairs appear in proper-ext.
-    for obj in db.objects():
+    for obj in db.objects() if objects is None else objects:
         for interval, class_name in obj.class_history.pairs():
             if not db.known_class(class_name):
                 problems.append(
@@ -180,11 +190,13 @@ def check_invariant_5_1(db) -> list[str]:
     return problems
 
 
-def check_invariant_5_2(db) -> list[str]:
+def check_invariant_5_2(
+    db, objects: Sequence[TemporalObject] | None = None
+) -> list[str]:
     """Invariant 5.2: lifespans vs. per-class membership lifespans."""
     problems: list[str] = []
     now = db.now
-    for obj in db.objects():
+    for obj in db.objects() if objects is None else objects:
         life = _lifespan_set(db, obj)
         union = IntervalSet.empty()
         for class_name in db.class_names():
@@ -284,15 +296,21 @@ def check_oid_uniqueness(objects: Iterable[TemporalObject]) -> list[str]:
     return problems
 
 
-def check_referential_integrity(db, t: int | None = None) -> list[str]:
+def check_referential_integrity(
+    db,
+    t: int | None = None,
+    objects: Sequence[TemporalObject] | None = None,
+) -> list[str]:
     """Definition 5.6 condition 2 at instant *t* (default: now),
     strengthened per Section 5.2: if o refers to o' at t, then t lies
     in the lifespan of both."""
     problems: list[str] = []
     now = db.now
     at = now if t is None else t
-    known = {obj.oid for obj in db.objects()}
-    for obj in db.objects():
+    if objects is None:
+        objects = list(db.objects())
+    known = {obj.oid for obj in objects}
+    for obj in objects:
         if not obj.alive_at(at, now):
             continue
         for ref in referenced_oids(obj, at, now):
@@ -309,12 +327,17 @@ def check_referential_integrity(db, t: int | None = None) -> list[str]:
     return problems
 
 
-def check_extent_index_agreement(db) -> list[str]:
+def check_extent_index_agreement(
+    db, objects: Sequence[TemporalObject] | None = None
+) -> list[str]:
     """The redundant extent representations agree: the set-valued
     ``ext`` history and the per-oid interval index (see ClassHistory)."""
     problems: list[str] = []
+    # The sample instants are class-independent: collect them once,
+    # not once per class.
+    samples = _sample_instants(db, objects)
     for cls in db.classes():
-        for t in _sample_instants(db):
+        for t in samples:
             via_sets = cls.history.members_at(t)
             via_index = cls.history.members_at_via_scan(t)
             if via_sets != via_index:
@@ -325,26 +348,37 @@ def check_extent_index_agreement(db) -> list[str]:
     return problems
 
 
-def check_object_consistency(db) -> list[str]:
+def check_object_consistency(
+    db, objects: Sequence[TemporalObject] | None = None
+) -> list[str]:
     """Definition 5.5 for every object of the database."""
     problems: list[str] = []
-    for obj in db.objects():
+    for obj in db.objects() if objects is None else objects:
         for problem in consistency_violations(obj, db, db, db.now):
             problems.append(f"{obj.oid!r}: {problem}")
     return problems
 
 
 def check_database(db, include_index_check: bool = True) -> IntegrityReport:
-    """Run every checker and aggregate the violations."""
+    """Run every checker and aggregate the violations.
+
+    The object population is materialized once and shared by every
+    per-object checker -- one walk of the store, not one per check.
+    """
+    objects = list(db.objects())
     report = IntegrityReport(
-        invariant_5_1=check_invariant_5_1(db),
-        invariant_5_2=check_invariant_5_2(db),
+        invariant_5_1=check_invariant_5_1(db, objects),
+        invariant_5_2=check_invariant_5_2(db, objects),
         extent_inclusion=check_extent_inclusion(db),
         hierarchy_disjointness=check_hierarchy_disjointness(db),
-        oid_uniqueness=check_oid_uniqueness(db.objects()),
-        referential_integrity=check_referential_integrity(db),
-        object_consistency=check_object_consistency(db),
+        oid_uniqueness=check_oid_uniqueness(objects),
+        referential_integrity=check_referential_integrity(
+            db, objects=objects
+        ),
+        object_consistency=check_object_consistency(db, objects),
     )
     if include_index_check:
-        report.extent_index_agreement = check_extent_index_agreement(db)
+        report.extent_index_agreement = check_extent_index_agreement(
+            db, objects
+        )
     return report

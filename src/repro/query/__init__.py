@@ -24,6 +24,9 @@ Structure:
   membership lifespan; evaluation is segment-wise (piecewise-constant
   histories), never per-instant;
 * :mod:`repro.query.parser` -- the concrete syntax above;
+* :mod:`repro.query.planner` -- cost-based access-path selection over
+  the secondary attribute indexes, with an EXPLAIN surface
+  (:func:`explain`) and an ablation switch (``REPRO_NO_PLANNER``);
 * a fluent builder: ``select("project").where(attr("name") ==
   const("IDEA")).at(50)``.
 """
@@ -48,6 +51,7 @@ from repro.query.ast import (
 from repro.query.builder import select, when
 from repro.query.evaluator import evaluate, evaluate_when
 from repro.query.parser import parse_query
+from repro.query.planner import Plan, ProbeReport, explain, plan
 from repro.query.typing import type_check
 
 __all__ = [
@@ -70,6 +74,10 @@ __all__ = [
     "when",
     "evaluate",
     "evaluate_when",
+    "explain",
     "parse_query",
+    "plan",
+    "Plan",
+    "ProbeReport",
     "type_check",
 ]

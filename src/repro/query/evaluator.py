@@ -65,6 +65,19 @@ def evaluate(db, query: Query) -> list[OID]:
     """Run *query* against *db*; returns matching oids, sorted."""
     cls = db.get_class(query.class_name)
     type_check(query, cls, db)
+    if query.predicate is not None:
+        # The planner pushes indexable atoms down to posting-list
+        # probes and leaves the rest to the scan path below; with the
+        # planner ablated (REPRO_NO_PLANNER) it chooses "scan" and
+        # delegates straight back to _scan_evaluate.
+        from repro.query import planner
+
+        return planner.execute(db, query)[0]
+    return _scan_evaluate(db, query)
+
+
+def _scan_evaluate(db, query: Query) -> list[OID]:
+    """The brute-force path: test every oid of the anchor extent."""
     now = db.now
     results: list[OID] = []
     # The anchor extent comes from the cached, index-backed path when
@@ -135,10 +148,39 @@ def evaluate_when(
                     assert isinstance(pair_end, int)
                     if pair_end + 1 <= horizon.end:  # type: ignore[operator]
                         extra.add(pair_end + 1)
-    for segment in _segments(obj, horizon, now, extra):
+    for segment in _segments(
+        obj, horizon, now, extra, _mentioned_attributes(predicate)
+    ):
         if _eval_at(db, obj, predicate, segment.start, now) is True:
             result = result | IntervalSet([segment])
     return result
+
+
+def _mentioned_attributes(expr: Expr) -> set[str]:
+    """The attribute names of *this* object whose histories the
+    predicate reads at the evaluation instant.
+
+    ``Attr`` reads its name; a ``Path`` reads its first step here (the
+    later steps read *other* objects, whose change points enter the
+    segments through the ``extra`` cuts of :func:`evaluate_when`).
+    ``HistoryOf`` reads the whole history -- constant in t, so it needs
+    no cut points.
+    """
+    names: set[str] = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Attr):
+            names.add(node.name)
+            continue
+        if isinstance(node, Path):
+            names.add(node.steps[0])
+            continue
+        for field in ("left", "right", "operand", "item", "collection"):
+            child = getattr(node, field, None)
+            if isinstance(child, Expr):
+                stack.append(child)
+    return names
 
 
 def _segments(
@@ -146,15 +188,21 @@ def _segments(
     horizon: Interval,
     now: int,
     extra: set[int] | None = None,
+    names: set[str] | None = None,
 ) -> Iterator[Interval]:
     """Maximal intervals of *horizon* on which every temporal attribute
     of *obj* is constant (and ``now`` is isolated, because static
     attributes flip from unknown to known there).  *extra* adds cut
-    points (used when the predicate dereferences other objects)."""
+    points (used when the predicate dereferences other objects);
+    *names*, when given, prunes the cuts to the attributes the
+    predicate actually mentions (histories it never reads cannot change
+    its value)."""
     boundaries: set[int] = {horizon.start}
     if extra:
         boundaries |= extra
-    for _name, value in obj.temporal_items():
+    for name, value in obj.temporal_items():
+        if names is not None and name not in names:
+            continue
         for interval, _carried in value.resolved_pairs(now):
             boundaries.add(interval.start)
             end = interval.end

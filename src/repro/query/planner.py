@@ -1,0 +1,526 @@
+"""Cost-based query planning over the secondary attribute indexes.
+
+The brute-force evaluator (:mod:`repro.query.evaluator`) scans the full
+anchor extent and evaluates the predicate object by object -- O(|extent|
+x history) regardless of selectivity.  The planner recovers the access
+paths the temporal-relational literature assumes: it normalizes the
+predicate into conjuncts, pushes the *indexable atoms* down to posting
+list probes against :mod:`repro.database.attr_indexes`, intersects the
+probe results with the anchor extent, and leaves only the *residual*
+conjuncts for the per-object evaluator.
+
+Indexable atoms (all null-rejecting, all with one side a constant the
+index can key -- int/float, bool, str, oid):
+
+* ``Attr(a) <op> Const(c)`` for every op except ``<>`` (inequality
+  matches the unindexable carriers too, so it stays residual);
+* ``Const(c) in Attr(a)`` / ``Contains(Attr(a), Const(c))`` -- element
+  probes against collection-valued histories;
+* ``Attr(a) in Const(coll)`` / ``Contains(Const(coll), Attr(a))`` when
+  every member of the collection is keyable -- a disjunction of
+  equality probes.  (A null member must stay residual: ``NULL in
+  {NULL}`` is *true* under ``values_equal``, and the index never
+  stores nulls.)
+
+Soundness does not depend on every stored value being keyable: a
+keyable constant can never compare equal (``values_equal``) or ordered
+(``TypeError`` -> false) against an unkeyable stored value, so postings
+restricted to keyable values are exact for these atoms.
+
+Execution is scope-aware.  ``NOW``/``AT`` intersect instant-stab sets;
+the quantified scopes intersect per-oid :class:`IntervalSet` hold-sets,
+which prunes an object *before* its membership lifespan or residual
+segments are ever computed.  Results are provably identical to the
+scan path (``tests/test_query_oracle.py`` holds the two equal on
+randomized stores and queries).
+
+Ablation: set ``REPRO_NO_PLANNER=1`` in the environment (read at
+import), or call :func:`set_enabled` / use :func:`disabled`.  The
+planner also stands down when the database carries no cache layer or
+when :mod:`repro.perf` caching is globally disabled (the index registry
+refuses lookups then).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro import perf
+from repro.query.ast import (
+    And,
+    Attr,
+    Compare,
+    CompareOp,
+    Const,
+    Contains,
+    Expr,
+    In,
+    Not,
+    Query,
+    TemporalScope,
+)
+from repro.temporal.intervalsets import IntervalSet
+from repro.values.null import is_null
+from repro.values.oid import OID
+
+_PROBES = perf.metric("planner.index_probes")
+_FALLBACK = perf.metric("planner.fallback_scans")
+_PRUNED = perf.metric("planner.rows_pruned")
+
+#: Relative cost of one per-object predicate evaluation vs. touching
+#: one posting-list entry.  Evaluation walks segments and allocates;
+#: a posting entry is a set operation.
+EVAL_COST = 4.0
+
+#: An index probe must promise at least this pruning factor over the
+#: extent to be worth running (unselective probes cost their posting
+#: walk and prune nothing).
+MIN_SELECTIVITY = 0.5
+
+#: The planner switch.  ``REPRO_NO_PLANNER=1`` ablates at import.
+is_enabled: bool = os.environ.get("REPRO_NO_PLANNER", "") not in (
+    "1", "true", "yes",
+)
+
+
+def set_enabled(flag: bool) -> bool:
+    """Enable/disable the planner; returns the previous state."""
+    global is_enabled
+    previous = is_enabled
+    is_enabled = bool(flag)
+    return previous
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Run a block on the brute-force scan path (ablation baseline)."""
+    previous = set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+# --------------------------------------------------------------- plans
+
+
+@dataclass
+class ProbeReport:
+    """One index probe of a plan (the EXPLAIN row)."""
+
+    attribute: str
+    atom: str
+    estimated: int
+    index_entries: int
+
+    def render(self) -> str:
+        return (
+            f"index probe  {self.atom}  "
+            f"(est. {self.estimated} oid(s), "
+            f"{self.index_entries} key(s) indexed)"
+        )
+
+
+@dataclass
+class Plan:
+    """The chosen access path for one query, with cost estimates.
+
+    ``actual_candidates``/``actual_results`` stay ``None`` until the
+    plan is executed (:func:`run` fills them in).
+    """
+
+    class_name: str
+    scope: str
+    access_path: str  # "index" | "scan"
+    reason: str
+    extent_size: int
+    probes: tuple[ProbeReport, ...] = ()
+    residual: tuple[str, ...] = ()
+    est_candidates: int = 0
+    est_cost_index: float | None = None
+    est_cost_scan: float = 0.0
+    actual_candidates: int | None = None
+    actual_results: int | None = None
+    # Execution payload: (AttributeIndex, spec) per probe, plus the
+    # residual conjunct expressions.  Not part of the EXPLAIN text.
+    _atoms: list = field(default_factory=list, repr=False)
+    _residual_exprs: list = field(default_factory=list, repr=False)
+
+    def render(self) -> str:
+        lines = [
+            f"query    select {self.class_name} [{self.scope}]",
+            f"path     {self.access_path.upper()}  ({self.reason})",
+            f"extent   {self.extent_size} oid(s)",
+        ]
+        for probe in self.probes:
+            lines.append(f"         {probe.render()}")
+        if self.residual:
+            lines.append(
+                f"residual {len(self.residual)} conjunct(s): "
+                + "; ".join(self.residual)
+            )
+        if self.est_cost_index is not None:
+            lines.append(
+                f"cost     index={self.est_cost_index:.0f} "
+                f"scan={self.est_cost_scan:.0f} "
+                f"(est. {self.est_candidates} candidate(s))"
+            )
+        else:
+            lines.append(f"cost     scan={self.est_cost_scan:.0f}")
+        if self.actual_candidates is not None:
+            lines.append(
+                f"actual   {self.actual_candidates} candidate(s) "
+                f"after probes, {self.actual_results} result(s)"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "class": self.class_name,
+            "scope": self.scope,
+            "access_path": self.access_path,
+            "reason": self.reason,
+            "extent_size": self.extent_size,
+            "probes": [
+                {
+                    "attribute": p.attribute,
+                    "atom": p.atom,
+                    "estimated": p.estimated,
+                }
+                for p in self.probes
+            ],
+            "residual": list(self.residual),
+            "est_candidates": self.est_candidates,
+            "actual_candidates": self.actual_candidates,
+            "actual_results": self.actual_results,
+        }
+
+
+# ------------------------------------------------- predicate analysis
+
+
+def _flatten(expr: Expr, out: list[Expr]) -> None:
+    """Split *expr* into conjuncts; double negations stripped."""
+    if isinstance(expr, And):
+        _flatten(expr.left, out)
+        _flatten(expr.right, out)
+        return
+    if isinstance(expr, Not) and isinstance(expr.operand, Not):
+        _flatten(expr.operand.operand, out)
+        return
+    out.append(expr)
+
+
+def conjuncts(predicate: Expr) -> list[Expr]:
+    out: list[Expr] = []
+    _flatten(predicate, out)
+    return out
+
+
+def _keyable(value: Any) -> bool:
+    from repro.database.attr_indexes import value_key
+
+    return not is_null(value) and value_key(value) is not None
+
+
+def atom_spec(conjunct: Expr) -> tuple[str, tuple] | None:
+    """``(attribute name, probe spec)`` when *conjunct* is indexable."""
+    if isinstance(conjunct, Compare):
+        op, left, right = conjunct.op, conjunct.left, conjunct.right
+        if isinstance(left, Const) and isinstance(right, Attr):
+            left, right = right, left
+            op = _FLIP.get(op, op)
+        if (
+            isinstance(left, Attr)
+            and isinstance(right, Const)
+            and op is not CompareOp.NE
+            and _keyable(right.value)
+        ):
+            return left.name, ("cmp", op, right.value)
+        return None
+    if isinstance(conjunct, (In, Contains)):
+        item, collection = conjunct.item, conjunct.collection
+        if isinstance(collection, Attr) and isinstance(item, Const):
+            if _keyable(item.value):
+                return collection.name, ("member", item.value)
+            return None
+        if isinstance(item, Attr) and isinstance(collection, Const):
+            members = collection.value
+            if not isinstance(members, (set, frozenset, list, tuple)):
+                return None
+            if all(_keyable(member) for member in members):
+                return item.name, ("val-in", tuple(members))
+        return None
+    return None
+
+
+_FLIP = {
+    CompareOp.LT: CompareOp.GT,
+    CompareOp.LE: CompareOp.GE,
+    CompareOp.GT: CompareOp.LT,
+    CompareOp.GE: CompareOp.LE,
+}
+
+
+def _describe(expr: Expr) -> str:
+    """A compact one-line rendering of *expr* for EXPLAIN output."""
+    from repro.query.ast import (
+        HistoryOf,
+        Or,
+        Path,
+        SizeOf,
+    )
+
+    if isinstance(expr, Attr):
+        return expr.name
+    if isinstance(expr, Const):
+        return repr(expr.value)
+    if isinstance(expr, Path):
+        return ".".join(expr.steps)
+    if isinstance(expr, HistoryOf):
+        return f"history({expr.name})"
+    if isinstance(expr, Compare):
+        return (
+            f"{_describe(expr.left)} {expr.op.value} "
+            f"{_describe(expr.right)}"
+        )
+    if isinstance(expr, And):
+        return f"({_describe(expr.left)} and {_describe(expr.right)})"
+    if isinstance(expr, Or):
+        return f"({_describe(expr.left)} or {_describe(expr.right)})"
+    if isinstance(expr, Not):
+        return f"not {_describe(expr.operand)}"
+    if isinstance(expr, In):
+        return f"{_describe(expr.item)} in {_describe(expr.collection)}"
+    if isinstance(expr, Contains):
+        return (
+            f"{_describe(expr.collection)} contains "
+            f"{_describe(expr.item)}"
+        )
+    if isinstance(expr, SizeOf):
+        return f"size({_describe(expr.operand)})"
+    return type(expr).__name__
+
+
+# ------------------------------------------------------------ planning
+
+
+def plan(db, query: Query) -> Plan:
+    """Choose the access path for *query* (no execution)."""
+    now = db.now
+    anchor = query.at if query.scope is TemporalScope.AT else now
+    extent_at = getattr(db, "anchor_extent", db.pi)
+    extent = extent_at(query.class_name, anchor)
+    n = len(extent)
+    scope = query.scope.value
+    if query.at is not None:
+        scope += f" {query.at}"
+    elif query.interval is not None:
+        scope += f" [{query.interval[0]},{query.interval[1]}]"
+
+    atoms = conjuncts(query.predicate) if query.predicate else []
+    cost_scan = n * (len(atoms) * EVAL_COST + 1.0)
+    base = Plan(
+        class_name=query.class_name,
+        scope=scope,
+        access_path="scan",
+        reason="",
+        extent_size=n,
+        residual=tuple(_describe(a) for a in atoms),
+        est_candidates=n,
+        est_cost_scan=cost_scan,
+    )
+    base._residual_exprs = list(atoms)
+    if not is_enabled:
+        base.reason = "planner disabled"
+        return base
+    if not atoms:
+        base.reason = "no predicate"
+        return base
+    registry = getattr(getattr(db, "caches", None), "attr_indexes", None)
+    if registry is None:
+        base.reason = "database has no index layer"
+        return base
+
+    probes: list[tuple[Expr, Any, tuple, int]] = []
+    residual: list[Expr] = []
+    for conjunct in atoms:
+        spec = atom_spec(conjunct)
+        index = (
+            registry.get(db, spec[0]) if spec is not None else None
+        )
+        if spec is None or index is None or not index.supports(spec[1]):
+            residual.append(conjunct)
+            continue
+        probes.append((conjunct, index, spec[1], index.estimate(spec[1])))
+    if not probes:
+        base.reason = (
+            "caching ablated"
+            if not perf.is_enabled
+            else "no indexable atoms"
+        )
+        return base
+
+    # Keep only probes selective enough to pay for their posting walk.
+    # Sorted by estimate, the qualifying probes are a prefix; Exprs
+    # overload ``==`` (builder sugar), so slice -- never membership-test.
+    probes.sort(key=lambda p: p[3])
+    selected = [p for p in probes if p[3] <= n * MIN_SELECTIVITY]
+    residual.extend(p[0] for p in probes[len(selected):])
+    if not selected:
+        base.reason = "no probe selective enough"
+        base.residual = tuple(_describe(a) for a in atoms)
+        base._residual_exprs = list(atoms)
+        return base
+
+    est_min = selected[0][3]
+    cost_index = (
+        sum(p[3] for p in selected)
+        + est_min * (len(residual) * EVAL_COST + 1.0)
+    )
+    if cost_index >= cost_scan:
+        base.reason = "scan estimated cheaper"
+        base.est_cost_index = cost_index
+        return base
+
+    result = Plan(
+        class_name=query.class_name,
+        scope=scope,
+        access_path="index",
+        reason=f"{len(selected)} probe(s) estimated cheaper than scan",
+        extent_size=n,
+        probes=tuple(
+            ProbeReport(
+                attribute=atom_spec(p[0])[0],  # type: ignore[index]
+                atom=_describe(p[0]),
+                estimated=p[3],
+                index_entries=p[1].sizes()["values"]
+                + p[1].sizes()["elements"],
+            )
+            for p in selected
+        ),
+        residual=tuple(_describe(a) for a in residual),
+        est_candidates=est_min,
+        est_cost_index=cost_index,
+        est_cost_scan=cost_scan,
+    )
+    result._atoms = [(p[1], p[2]) for p in selected]
+    result._residual_exprs = residual
+    return result
+
+
+# ----------------------------------------------------------- execution
+
+
+def run(db, query: Query, chosen: Plan) -> list[OID]:
+    """Execute *query* along *chosen*, filling in the actuals."""
+    from repro.query import evaluator
+
+    if chosen.access_path != "index":
+        _FALLBACK.add()
+        results = evaluator._scan_evaluate(db, query)
+        chosen.actual_candidates = chosen.extent_size
+        chosen.actual_results = len(results)
+        return results
+
+    now = db.now
+    anchor = query.at if query.scope is TemporalScope.AT else now
+    extent_at = getattr(db, "anchor_extent", db.pi)
+    candidates = set(extent_at(query.class_name, anchor))
+    before = len(candidates)
+
+    point_scope = query.scope in (TemporalScope.NOW, TemporalScope.AT)
+    holds_maps: list[dict[OID, IntervalSet]] = []
+    for index, spec in chosen._atoms:
+        _PROBES.add()
+        if point_scope:
+            candidates &= index.matching_at(spec, anchor, now)
+        else:
+            holds = index.matching_when(spec, now)
+            holds_maps.append(holds)
+            candidates &= holds.keys()
+        if not candidates:
+            break
+    _PRUNED.add(before - len(candidates))
+    chosen.actual_candidates = len(candidates)
+
+    residual = chosen._residual_exprs
+    results: list[OID] = []
+    if point_scope:
+        for oid in sorted(candidates):
+            obj = db.get_object(oid)
+            if all(
+                evaluator._eval_at(db, obj, conjunct, anchor, now)
+                is True
+                for conjunct in residual
+            ):
+                results.append(oid)
+        chosen.actual_results = len(results)
+        return results
+
+    sometime = query.scope in (
+        TemporalScope.SOMETIME, TemporalScope.SOMETIME_IN,
+    )
+    for oid in sorted(candidates):
+        membership = db.membership_times(query.class_name, oid)
+        scoped = membership
+        if query.scope in (
+            TemporalScope.SOMETIME_IN, TemporalScope.ALWAYS_IN,
+        ):
+            assert query.interval is not None
+            scoped = membership & IntervalSet.span(*query.interval)
+            if scoped.is_empty:
+                continue
+        atom_holds: IntervalSet | None = None
+        for holds_map in holds_maps:
+            holds = holds_map[oid]
+            atom_holds = (
+                holds if atom_holds is None else atom_holds & holds
+            )
+        if atom_holds is not None:
+            # Prune on the index hold-sets before touching segments.
+            if sometime and (atom_holds & scoped).is_empty:
+                continue
+            if not sometime and not scoped.issubset(atom_holds):
+                continue
+        holds = atom_holds if atom_holds is not None else None
+        if residual:
+            obj = db.get_object(oid)
+            resid_holds = evaluator.evaluate_when(
+                db, obj, _reconjoin(residual), now
+            )
+            holds = (
+                resid_holds if holds is None else holds & resid_holds
+            )
+        assert holds is not None
+        if sometime:
+            if not (holds & scoped).is_empty:
+                results.append(oid)
+        elif scoped.issubset(holds):
+            results.append(oid)
+    chosen.actual_results = len(results)
+    return results
+
+
+def _reconjoin(exprs: list[Expr]) -> Expr:
+    result = exprs[0]
+    for expr in exprs[1:]:
+        result = And(result, expr)
+    return result
+
+
+def execute(db, query: Query) -> tuple[list[OID], Plan]:
+    """Plan and run *query*; the tuple is ``(results, filled plan)``."""
+    chosen = plan(db, query)
+    return run(db, query, chosen), chosen
+
+
+def explain(db, query: Query, *, execute_query: bool = True) -> Plan:
+    """The EXPLAIN surface: the plan, with actuals when executed."""
+    chosen = plan(db, query)
+    if execute_query:
+        run(db, query, chosen)
+    return chosen

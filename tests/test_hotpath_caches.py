@@ -239,6 +239,27 @@ def test_rollback_drops_in_transaction_entries():
         assert db.pi("base", db.now) == db.pi("base", db.now)
 
 
+def test_rollback_drops_attribute_index_postings():
+    """Same staleness discipline for the planner's secondary indexes:
+    postings covering in-transaction state die with the rollback."""
+    from repro.query import evaluate, select, attr, const
+
+    db, oids = _world()
+    query = select("base").where(attr("score") == const(99)).now().build()
+    assert evaluate(db, query) == []  # builds the "score" index
+    assert "score" in db.caches.attr_indexes.names()
+    with pytest.raises(RuntimeError):
+        with Transaction(db):
+            db.tick()
+            db.update_attribute(oids[0], "score", 99)
+            assert evaluate(db, query) == [oids[0]]  # indexed mid-txn
+            raise RuntimeError("abort")
+    assert db.caches.attr_indexes.names() == ()  # dropped wholesale
+    assert evaluate(db, query) == []
+    with perf.disabled():
+        assert evaluate(db, query) == []
+
+
 def test_ablation_flag_round_trips():
     assert perf.is_enabled
     previous = perf.set_enabled(False)

@@ -1,0 +1,399 @@
+"""The cost-based query planner and the secondary attribute indexes.
+
+Covers: access-path selection (index vs. scan, cost crossover), probe
+exactness against the scan path for every atom shape and temporal
+scope, incremental index maintenance off the event stream, wholesale
+invalidation on transaction rollback (the PR 2 staleness discipline,
+extended to the new layer), ablation switches (``REPRO_NO_PLANNER``
+and the global cache switch), the EXPLAIN surface (plan rendering,
+estimated vs. actual cardinalities, perf metrics), and the CLI
+subcommand.
+"""
+
+import json
+
+import pytest
+
+from repro import perf
+from repro.__main__ import main
+from repro.database.attr_indexes import AttributeIndex, value_key
+from repro.database.database import TemporalDatabase
+from repro.database.persistence import database_to_json
+from repro.database.transactions import Transaction
+from repro.query import attr, const, evaluate, select
+from repro.query import planner
+from repro.query.ast import (
+    And,
+    Attr,
+    Compare,
+    CompareOp,
+    Const,
+    Contains,
+    In,
+    Not,
+    Or,
+)
+
+
+def _store(n: int = 30, ticks: int = 10) -> tuple[TemporalDatabase, list]:
+    db = TemporalDatabase()
+    db.define_class(
+        "item",
+        attributes=[
+            ("hot", "temporal(integer)"),
+            ("label", "temporal(string)"),
+            ("cold", "integer"),
+            ("tags", "temporal(set-of(integer))"),
+        ],
+    )
+    oids = [
+        db.create_object(
+            "item",
+            {
+                "hot": i % 10,
+                "label": f"name-{i % 5}",
+                "cold": i,
+                "tags": {i % 3, 7},
+            },
+        )
+        for i in range(n)
+    ]
+    for step in range(ticks):
+        db.tick()
+        for j, oid in enumerate(oids):
+            if (step + j) % 4 == 0:
+                db.update_attribute(oid, "hot", (step * 3 + j) % 10)
+    return db, oids
+
+
+def _agree(db, query) -> list:
+    fast = evaluate(db, query)
+    with planner.disabled():
+        brute = evaluate(db, query)
+    assert fast == brute
+    return fast
+
+
+# ------------------------------------------------------- access paths
+
+
+def test_equality_probe_chooses_index_path():
+    db, _ = _store()
+    query = select("item").where(attr("hot") == const(3)).now().build()
+    plan = planner.plan(db, query)
+    assert plan.access_path == "index"
+    assert plan.probes and plan.probes[0].attribute == "hot"
+    assert not plan.residual
+    _agree(db, query)
+
+
+def test_unselective_probe_falls_back_to_scan():
+    db = TemporalDatabase()
+    db.define_class("u", attributes=[("k", "temporal(integer)")])
+    for _ in range(20):
+        db.create_object("u", {"k": 1})  # every object matches
+    query = select("u").where(attr("k") == const(1)).now().build()
+    plan = planner.plan(db, query)
+    assert plan.access_path == "scan"
+    assert plan.reason == "no probe selective enough"
+    _agree(db, query)
+
+
+def test_residual_conjunct_rides_on_index_candidates():
+    db, _ = _store()
+    predicate = And(
+        Compare(CompareOp.EQ, Attr("hot"), Const(3)),
+        Or(  # not indexable: stays residual
+            Compare(CompareOp.GT, Attr("cold"), Const(5)),
+            Compare(CompareOp.LT, Attr("cold"), Const(2)),
+        ),
+    )
+    query = select("item").where(predicate).now().build()
+    plan = planner.plan(db, query)
+    assert plan.access_path == "index"
+    assert len(plan.residual) == 1
+    _agree(db, query)
+
+
+def test_inequality_and_disjunction_stay_residual():
+    db, _ = _store()
+    for predicate in (
+        Compare(CompareOp.NE, Attr("hot"), Const(3)),
+        Or(
+            Compare(CompareOp.EQ, Attr("hot"), Const(3)),
+            Compare(CompareOp.EQ, Attr("hot"), Const(4)),
+        ),
+    ):
+        query = select("item").where(predicate).now().build()
+        plan = planner.plan(db, query)
+        assert plan.access_path == "scan"
+        _agree(db, query)
+
+
+def test_double_negation_is_normalized():
+    db, _ = _store()
+    predicate = Not(Not(Compare(CompareOp.EQ, Attr("hot"), Const(3))))
+    query = select("item").where(predicate).now().build()
+    plan = planner.plan(db, query)
+    assert plan.access_path == "index"
+    _agree(db, query)
+
+
+def test_flipped_comparison_probes_the_attribute():
+    # Const <= Attr normalizes to Attr >= Const.
+    spec = planner.atom_spec(Compare(CompareOp.LE, Const(8), Attr("hot")))
+    assert spec == ("hot", ("cmp", CompareOp.GE, 8))
+    db, _ = _store()
+    predicate = Compare(CompareOp.EQ, Const("name-2"), Attr("label"))
+    query = select("item").where(predicate).now().build()
+    plan = planner.plan(db, query)
+    assert plan.access_path == "index"
+    assert plan.probes[0].attribute == "label"
+    _agree(db, query)
+
+
+def test_null_member_collection_stays_residual():
+    from repro.values.null import NULL
+
+    db, _ = _store()
+    predicate = In(Attr("hot"), Const((3, NULL)))
+    query = select("item").where(predicate).now().build()
+    plan = planner.plan(db, query)
+    assert plan.access_path == "scan"  # NULL in {NULL} is true; no index
+    _agree(db, query)
+
+
+# --------------------------------------------- atom shapes and scopes
+
+
+@pytest.mark.parametrize(
+    "build_scope",
+    ["now", "sometime", "always"],
+)
+def test_probe_shapes_agree_with_scan(build_scope):
+    db, _ = _store()
+    predicates = [
+        attr("hot") == const(3),
+        attr("hot") >= const(7),
+        attr("label") == const("name-2"),
+        attr("hot").is_in(const((1, 2))),
+        Contains(Attr("tags"), Const(2)),
+        In(Const(7), Attr("tags")),
+    ]
+    for predicate in predicates:
+        builder = select("item").where(predicate)
+        query = getattr(builder, build_scope)().build()
+        _agree(db, query)
+
+
+def test_at_and_interval_scopes_agree_with_scan():
+    db, _ = _store()
+    predicate = attr("hot") == const(3)
+    for t in (0, db.now // 2, db.now):
+        _agree(db, select("item").where(predicate).at(t).build())
+    _agree(
+        db,
+        select("item").where(predicate)
+        .sometime_in(2, db.now - 1).build(),
+    )
+    _agree(
+        db,
+        select("item").where(predicate)
+        .always_in(2, db.now - 1).build(),
+    )
+
+
+def test_static_attribute_probe_only_sees_now():
+    db, _ = _store()
+    query = select("item").where(attr("cold") == const(4)).at(0).build()
+    assert _agree(db, query) == []  # static attrs unknown in the past
+    now_query = (
+        select("item").where(attr("cold") == const(4)).now().build()
+    )
+    assert len(_agree(db, now_query)) == 1
+
+
+# ------------------------------------------------- index maintenance
+
+
+def test_index_updates_incrementally_off_the_event_stream():
+    db, oids = _store(n=12, ticks=4)
+    query = select("item").where(attr("hot") == const(42)).now().build()
+    assert _agree(db, query) == []  # builds the index
+    assert "hot" in db.caches.attr_indexes.names()
+    db.tick()
+    db.update_attribute(oids[0], "hot", 42)
+    assert _agree(db, query) == [oids[0]]
+    db.tick()
+    db.update_attribute(oids[0], "hot", 0)
+    assert _agree(db, query) == []
+
+
+def test_index_survives_migration_and_delete():
+    db, oids = _store(n=12, ticks=4)
+    db.define_class("special", parents=["item"])
+    query = select("item").where(attr("hot") == const(3)).sometime
+    query = query().build()
+    before = _agree(db, query)
+    db.tick()
+    db.migrate(oids[0], "special")
+    db.tick()
+    victim = before[-1] if before else oids[3]
+    if db.get_object(victim).lifespan.is_moving:
+        db.delete_object(victim)
+    _agree(db, query)
+
+
+def test_index_rebuilds_after_schema_evolution():
+    db, oids = _store(n=10, ticks=3)
+    query = select("item").where(attr("hot") == const(3)).now().build()
+    _agree(db, query)
+    assert "hot" in db.caches.attr_indexes.names()
+    db.define_class("other")  # schema evolution: bump_all
+    assert db.caches.attr_indexes.names() == ()
+    _agree(db, query)  # lazily rebuilt
+
+
+def test_rollback_invalidates_attribute_indexes():
+    """The PR 2 rollback-staleness suite, extended to the new layer:
+    postings written inside an aborted transaction must not survive."""
+    db, oids = _store(n=12, ticks=4)
+    query = select("item").where(attr("hot") == const(42)).now().build()
+    assert _agree(db, query) == []
+    with pytest.raises(RuntimeError):
+        with Transaction(db):
+            db.tick()
+            db.update_attribute(oids[0], "hot", 42)
+            assert evaluate(db, query) == [oids[0]]  # indexed mid-txn
+            raise RuntimeError("abort")
+    # The registry was dropped wholesale; the lazily rebuilt index must
+    # describe the rolled-back state.
+    assert db.caches.attr_indexes.names() == ()
+    assert _agree(db, query) == []
+
+
+def test_planner_memo_not_stale_after_mutation():
+    db, oids = _store(n=12, ticks=4)
+    query = select("item").where(attr("hot") == const(5)).now().build()
+    first = _agree(db, query)
+    second = _agree(db, query)  # memoized probe
+    assert first == second
+    db.tick()
+    db.update_attribute(oids[0], "hot", 5)
+    assert oids[0] in _agree(db, query)
+
+
+# ------------------------------------------------------------ ablation
+
+
+def test_planner_ablation_switch():
+    db, _ = _store(n=8, ticks=2)
+    query = select("item").where(attr("hot") == const(3)).now().build()
+    assert planner.is_enabled
+    with planner.disabled():
+        assert not planner.is_enabled
+        plan = planner.plan(db, query)
+        assert plan.access_path == "scan"
+        assert plan.reason == "planner disabled"
+    assert planner.is_enabled
+    previous = planner.set_enabled(False)
+    assert previous is True
+    planner.set_enabled(True)
+
+
+def test_cache_ablation_disables_index_probes():
+    db, _ = _store(n=8, ticks=2)
+    query = select("item").where(attr("hot") == const(3)).now().build()
+    with perf.disabled():
+        plan = planner.plan(db, query)
+        assert plan.access_path == "scan"
+        assert plan.reason == "caching ablated"
+        brute = evaluate(db, query)
+    assert evaluate(db, query) == brute
+
+
+# ------------------------------------------------------------- EXPLAIN
+
+
+def test_explain_reports_estimates_and_actuals():
+    db, _ = _store()
+    query = select("item").where(attr("hot") == const(3)).now().build()
+    plan = planner.explain(db, query)
+    assert plan.actual_results == len(evaluate(db, query))
+    assert plan.actual_candidates is not None
+    assert plan.est_candidates >= plan.actual_candidates
+    text = plan.render()
+    assert "INDEX" in text and "hot = 3" in text
+    payload = plan.to_dict()
+    assert payload["access_path"] == "index"
+    assert payload["probes"][0]["attribute"] == "hot"
+
+
+def test_explain_without_execution_leaves_actuals_unset():
+    db, _ = _store(n=8, ticks=2)
+    query = select("item").where(attr("hot") == const(3)).now().build()
+    plan = planner.explain(db, query, execute_query=False)
+    assert plan.actual_results is None
+    assert "actual" not in plan.render()
+
+
+def test_planner_metrics_move():
+    db, _ = _store()
+    perf.reset_stats()
+    query = select("item").where(attr("hot") == const(3)).now().build()
+    evaluate(db, query)
+    stats = perf.stats()
+    assert stats["planner.index_probes"]["count"] >= 1
+    assert stats["planner.rows_pruned"]["count"] >= 1
+    with planner.disabled():
+        evaluate(db, query)
+    assert perf.stats()["planner.fallback_scans"]["count"] >= 1
+
+
+def test_explain_cli_subcommand(tmp_path, capsys):
+    db, _ = _store(n=10, ticks=3)
+    path = tmp_path / "db.json"
+    path.write_text(database_to_json(db))
+    assert main(
+        ["explain", str(path), "select item where hot = 3"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "path" in out and "extent" in out
+    assert main(
+        ["explain", str(path), "select item where hot = 3", "--json",
+         "--no-exec"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["class"] == "item"
+    assert payload["actual_results"] is None
+
+
+# ------------------------------------------------------------ keying
+
+
+def test_value_keys_follow_values_equal():
+    assert value_key(1) == value_key(1.0)  # 1 == 1.0
+    assert value_key(True) != value_key(1)  # bool is not a number
+    assert value_key("a") == value_key("a")
+    assert value_key({1, 2}) is None  # collections are unkeyable
+    assert value_key(None) is None
+
+
+def test_index_exactness_with_mixed_carriers():
+    """Unkeyable stored values cannot match a keyable constant, so the
+    index stays exact even when value_ok is lost."""
+    db = TemporalDatabase()
+    db.define_class("m", attributes=[("v", "temporal(integer)")])
+    a = db.create_object("m", {"v": 3})
+    db.tick()
+    b = db.create_object("m", {"v": 5})
+    index = AttributeIndex("v")
+    for obj in db.objects():
+        index.cover(obj)
+    spec = ("cmp", CompareOp.EQ, 3)
+    assert index.matching_at(spec, db.now, db.now) == {a}
+    spec = ("cmp", CompareOp.GE, 4)
+    assert index.matching_at(spec, db.now, db.now) == {b}
+    # The when-probe resolves open pairs against the clock.
+    holds = index.matching_when(("cmp", CompareOp.EQ, 3), db.now)
+    assert a in holds and holds[a].contains(0)

@@ -4,6 +4,15 @@ The evaluator is segment-wise (it never loops over instants); the
 oracle here *does* loop over every instant, re-deriving each atom from
 first principles.  Hypothesis drives both over randomized databases
 and predicates; they must always agree -- for every temporal scope.
+
+Since the planner landed, ``evaluate`` routes through cost-based
+access-path selection, so the oracle tests double as planner
+equivalence tests whenever the plan chooses an index path.  The
+predicate pool includes the indexable atom shapes (equality, ranges,
+``In`` over a constant collection, ``Contains`` over a set-valued
+temporal attribute) next to the residual-only ones, and
+``test_planner_matches_scan`` additionally pins planner-on == planner-
+off on every generated query.
 """
 
 import random
@@ -12,12 +21,15 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.database.database import TemporalDatabase
+from repro.query import planner
 from repro.query.ast import (
     And,
     Attr,
     Compare,
     CompareOp,
     Const,
+    Contains,
+    In,
     Not,
     Or,
     Query,
@@ -26,6 +38,7 @@ from repro.query.ast import (
 from repro.query.evaluator import evaluate
 from repro.temporal.temporalvalue import TemporalValue
 from repro.values.null import is_null
+from repro.values.structure import values_equal
 
 
 def build_db(seed: int) -> TemporalDatabase:
@@ -36,12 +49,18 @@ def build_db(seed: int) -> TemporalDatabase:
         attributes=[
             ("hot", "temporal(integer)"),
             ("cold", "integer"),
+            ("tags", "temporal(set-of(integer))"),
         ],
     )
+
+    def _tags():
+        return {rng.randrange(5) for _ in range(rng.randint(0, 3))}
+
     for _ in range(4):
         db.create_object(
             "item",
-            {"hot": rng.randrange(4), "cold": rng.randrange(4)},
+            {"hot": rng.randrange(4), "cold": rng.randrange(4),
+             "tags": _tags()},
         )
     for _ in range(12):
         db.tick(rng.randint(1, 3))
@@ -54,9 +73,12 @@ def build_db(seed: int) -> TemporalDatabase:
                 db.update_attribute(
                     obj.oid, "cold", rng.randrange(4)
                 )
+            if rng.random() < 0.3:
+                db.update_attribute(obj.oid, "tags", _tags())
         if rng.random() < 0.15:
             db.create_object("item", {"hot": rng.randrange(4),
-                                      "cold": rng.randrange(4)})
+                                      "cold": rng.randrange(4),
+                                      "tags": _tags()})
         if rng.random() < 0.1:
             candidates = list(db.live_objects())
             if len(candidates) > 2:
@@ -73,14 +95,23 @@ OPS = st.sampled_from(list(CompareOp))
 
 @st.composite
 def predicates(draw, depth: int = 0):
-    kind = draw(st.integers(0, 5 if depth < 2 else 2))
+    kind = draw(st.integers(0, 7 if depth < 2 else 4))
     if kind <= 2:
         return Compare(
             draw(OPS), Attr(draw(ATOMS)), Const(draw(st.integers(0, 4)))
         )
     if kind == 3:
-        return Not(draw(predicates(depth=depth + 1)))
+        # attr in {constant collection} -- an indexable val-in atom.
+        members = draw(
+            st.lists(st.integers(0, 4), min_size=0, max_size=3)
+        )
+        return In(Attr(draw(ATOMS)), Const(tuple(members)))
     if kind == 4:
+        # set-valued attr contains constant -- an element probe.
+        return Contains(Attr("tags"), Const(draw(st.integers(0, 5))))
+    if kind == 5:
+        return Not(draw(predicates(depth=depth + 1)))
+    if kind == 6:
         return And(
             draw(predicates(depth=depth + 1)),
             draw(predicates(depth=depth + 1)),
@@ -91,14 +122,18 @@ def predicates(draw, depth: int = 0):
     )
 
 
+def _oracle_read(db, obj, name: str, t: int):
+    """The value of one attribute at one instant; None = undefined."""
+    value = obj.value.get(name)
+    if isinstance(value, TemporalValue):
+        return value.get(t, None) if value.defined_at(t) else None
+    return value if t == db.now else None
+
+
 def oracle_eval_at(db, obj, predicate, t: int) -> bool:
     """Definition-style evaluation of one atom at one instant."""
     if isinstance(predicate, Compare):
-        value = obj.value.get(predicate.left.name)
-        if isinstance(value, TemporalValue):
-            operand = value.get(t, None) if value.defined_at(t) else None
-        else:
-            operand = value if t == db.now else None
+        operand = _oracle_read(db, obj, predicate.left.name, t)
         literal = predicate.right.value
         if operand is None or is_null(operand):
             return False
@@ -111,6 +146,24 @@ def oracle_eval_at(db, obj, predicate, t: int) -> bool:
             CompareOp.GE: operand >= literal,
         }
         return table[predicate.op]
+    if isinstance(predicate, In):
+        operand = _oracle_read(db, obj, predicate.item.name, t)
+        if operand is None:
+            return False
+        return any(
+            values_equal(operand, member)
+            for member in predicate.collection.value
+        )
+    if isinstance(predicate, Contains):
+        operand = _oracle_read(db, obj, predicate.collection.name, t)
+        if operand is None or is_null(operand):
+            return False
+        if not isinstance(operand, (set, frozenset, list, tuple)):
+            return False
+        return any(
+            values_equal(predicate.item.value, member)
+            for member in operand
+        )
     if isinstance(predicate, Not):
         return not oracle_eval_at(db, obj, predicate.operand, t)
     if isinstance(predicate, And):
@@ -171,6 +224,27 @@ def test_evaluator_matches_oracle(seed, predicate, data):
         interval = (lo, hi)
     query = Query("item", predicate, scope, at, interval)
     assert evaluate(db, query) == oracle(db, query)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10**6), predicates(), st.data())
+def test_planner_matches_scan(seed, predicate, data):
+    """Planner-on and planner-off (brute scan) agree on every query,
+    for every temporal scope -- the index path must be invisible."""
+    db = build_db(seed % 50)
+    scope = data.draw(st.sampled_from(list(TemporalScope)))
+    at = None
+    interval = None
+    if scope is TemporalScope.AT:
+        at = data.draw(st.integers(0, db.now))
+    if scope in (TemporalScope.SOMETIME_IN, TemporalScope.ALWAYS_IN):
+        lo = data.draw(st.integers(0, db.now))
+        hi = data.draw(st.integers(lo, db.now))
+        interval = (lo, hi)
+    query = Query("item", predicate, scope, at, interval)
+    with planner.disabled():
+        brute = evaluate(db, query)
+    assert evaluate(db, query) == brute
 
 
 @settings(max_examples=15, deadline=None)
