@@ -10,9 +10,11 @@ each with caching enabled and with caching ablated via
 * repeated ``pi(c, t)`` / anchor-extent stabs across a sweep of
   instants over a churning population (exercises the extent cache and
   the interval-stabbing index);
-* AT- and NOW-scoped query evaluation over objects with deep
-  per-attribute histories (exercises the start-key cache under the
-  evaluator's per-candidate reads).
+* AT-, NOW- and SOMETIME-scoped query evaluation over objects with
+  deep per-attribute histories (exercises the start-key cache under
+  the evaluator's per-candidate reads; the quantified SOMETIME scope
+  additionally drives the ``database.membership_times`` cache, which
+  NOW/AT never touch).
 
 Ablated runs recompute every answer from first principles but still
 run the *current* algorithms; the seed reference column in the JSON
@@ -146,6 +148,12 @@ def bench_query(
     query = select("thing").where(attr("score") > 400)
     if scope == "AT":
         query = query.at(db.now // 2)
+    elif scope == "SOMETIME":
+        # Quantified scope: ranges over each candidate's membership
+        # lifespan, the only read path through the membership_times
+        # cache -- without this workload that cache shows 0/0 in the
+        # artifact.
+        query = query.sometime()
     run = lambda: query.run(db)  # noqa: E731
     run()
     cached = _timeit_us(run, number)
@@ -174,6 +182,7 @@ def main(argv: list[str] | None = None) -> int:
             bench_snapshot(history=100, number=50),
             bench_extent(n_objects=64, ticks=40, number=10),
             bench_query("AT", n_objects=40, ticks=40, number=5),
+            bench_query("SOMETIME", n_objects=24, ticks=24, number=3),
         ]
     else:
         results = [
@@ -182,6 +191,7 @@ def main(argv: list[str] | None = None) -> int:
             bench_extent(n_objects=300, ticks=120, number=30),
             bench_query("AT", n_objects=200, ticks=200, number=20),
             bench_query("NOW", n_objects=200, ticks=200, number=20),
+            bench_query("SOMETIME", n_objects=100, ticks=100, number=5),
         ]
 
     rows = [

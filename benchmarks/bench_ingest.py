@@ -1,0 +1,238 @@
+"""E13 -- bulk ingestion: group commit + deferred maintenance.
+
+Builds the same workload -- n objects created, then five full-rate
+update ticks (n=1000 gives exactly 5000 updates) -- into journaled
+databases on a real filesystem twice:
+
+* **per-op**: the batch fast path ablated (the ``REPRO_NO_BATCH``
+  configuration -- ``db.batch()`` degrades to a no-op, every record
+  framed, appended and fsynced individually, caches maintained
+  eagerly);
+* **batched**: each op wave inside ``db.batch()`` -- one group-commit
+  write+fsync barrier per wave, cache/attribute-index maintenance
+  coalesced at batch close.
+
+The two databases are then verified equivalent: identical oid sets,
+strict value equality (Definition 5.8, which implies the Definition
+5.10 weak equality) per object, and a clean ``check_database``.  A
+speedup that breaks equivalence is not a speedup.
+
+A second table ablates the journal sync policy for per-op ingest
+(``always`` / ``commit`` / ``never``) -- the numbers behind the
+"choosing a sync policy for ingest" note in docs/durability.md.
+
+Run directly (not under pytest -- the ``bench_`` prefix keeps it out
+of collection)::
+
+    python benchmarks/bench_ingest.py           # full run + artifacts
+    python benchmarks/bench_ingest.py --smoke   # quick sanity run
+    python benchmarks/bench_ingest.py --ci      # reduced size, exit 1
+                                                # unless batched >= 2x
+
+The full run writes ``benchmarks/results/e13_ingest.txt`` and the
+machine-readable ``BENCH_ingest.json`` at the repo root (target:
+batched >= 5x per-op at n=1000 objects / 5000 updates).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (REPO_ROOT, REPO_ROOT / "src"):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from repro import perf  # noqa: E402
+from repro.database import batch as batch_module  # noqa: E402
+from repro.database.integrity import check_database  # noqa: E402
+from repro.database.recovery import open_database  # noqa: E402
+from repro.objects.equality import (  # noqa: E402
+    equal_by_value,
+    weak_value_equal,
+)
+from repro.workloads import WorkloadSpec, build_database  # noqa: E402
+
+from benchmarks.conftest import emit, format_series  # noqa: E402
+
+
+def _spec(n_objects: int, seed: int = 17) -> WorkloadSpec:
+    """n_objects creates + exactly 5 * n_objects temporal updates."""
+    return WorkloadSpec(
+        n_objects=n_objects,
+        n_ticks=5,
+        update_rate=1.0,
+        static_update_rate=0.0,
+        migration_rate=0.0,
+        create_rate=0.0,
+        delete_rate=0.0,
+        n_projects=0,
+        seed=seed,
+    )
+
+
+def _build(directory: str, spec: WorkloadSpec, bulk: bool, sync: str):
+    """Time one journaled build; returns (db, seconds)."""
+    db, _report = open_database(directory, sync=sync)
+    start = time.perf_counter()
+    build_database(spec, db=db, bulk=bulk)
+    return db, time.perf_counter() - start
+
+
+def _verify_equivalent(per_op, batched) -> list[str]:
+    """Equivalence problems between the two builds (empty = good)."""
+    problems = []
+    if per_op.now != batched.now:
+        problems.append(f"clock diverged: {per_op.now} vs {batched.now}")
+    oids = {obj.oid for obj in per_op.objects()}
+    if oids != {obj.oid for obj in batched.objects()}:
+        problems.append("oid sets diverged")
+        return problems
+    now = per_op.now
+    for oid in sorted(oids):
+        first, second = per_op.get_object(oid), batched.get_object(oid)
+        if not equal_by_value(first, second):
+            problems.append(f"{oid!r} not value-equal (Def 5.8)")
+        elif first.alive_at(now, now) and not weak_value_equal(
+            first, second, now
+        ):
+            problems.append(f"{oid!r} not weak-value-equal (Def 5.10)")
+    report = check_database(batched)
+    if not report.ok:
+        problems.append(f"batched db fails integrity: {report.problems}")
+    return problems
+
+
+def bench_ingest(n_objects: int) -> dict:
+    """Per-op vs batched ingest of the same op stream."""
+    spec = _spec(n_objects)
+    with tempfile.TemporaryDirectory() as tmp:
+        with batch_module.disabled():  # the REPRO_NO_BATCH path
+            per_op_db, per_op_s = _build(
+                f"{tmp}/per_op", spec, bulk=True, sync="always"
+            )
+        perf.reset_stats()
+        batched_db, batched_s = _build(
+            f"{tmp}/batched", spec, bulk=True, sync="always"
+        )
+        stats = perf.stats()
+        problems = _verify_equivalent(per_op_db, batched_db)
+    if problems:
+        raise SystemExit(
+            "EQUIVALENCE FAILURE: " + "; ".join(problems[:5])
+        )
+    updates = 5 * n_objects
+    return {
+        "workload": f"ingest n={n_objects} updates={updates}",
+        "per_op_s": round(per_op_s, 3),
+        "batched_s": round(batched_s, 3),
+        "speedup": round(per_op_s / batched_s, 1),
+        "batch_stats": {
+            name: value
+            for name, value in stats.items()
+            if name.startswith("batch.")
+        },
+    }
+
+
+def bench_sync_policies(n_objects: int) -> list[dict]:
+    """Per-op ingest under each journal sync policy."""
+    rows = []
+    spec = _spec(n_objects)
+    for sync in ("always", "commit", "never"):
+        with tempfile.TemporaryDirectory() as tmp:
+            with batch_module.disabled():
+                _db, seconds = _build(
+                    f"{tmp}/db", spec, bulk=False, sync=sync
+                )
+        rows.append(
+            {
+                "workload": f"per-op sync={sync} n={n_objects}",
+                "seconds": round(seconds, 3),
+            }
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload, no artifacts (sanity check)",
+    )
+    parser.add_argument(
+        "--ci",
+        action="store_true",
+        help="reduced workload; exit 1 unless batched >= 2x per-op",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_objects = 40
+    elif args.ci:
+        n_objects = 1000
+    else:
+        n_objects = 1000
+
+    result = bench_ingest(n_objects)
+    rows = [
+        (
+            result["workload"],
+            f"{result['per_op_s']:.3f}",
+            f"{result['batched_s']:.3f}",
+            f"{result['speedup']:.1f}x",
+        )
+    ]
+    sync_rows = [] if args.smoke else bench_sync_policies(n_objects // 5)
+    table = format_series(
+        "E13: bulk ingestion, per-op vs batched (seconds, verified "
+        "weak-value-equal)",
+        ("workload", "per-op", "batched", "speedup"),
+        rows,
+    )
+    if sync_rows:
+        table += "\n\n" + format_series(
+            "per-op ingest by journal sync policy (seconds)",
+            ("workload", "seconds"),
+            [(r["workload"], f"{r['seconds']:.3f}") for r in sync_rows],
+        )
+
+    if args.smoke:
+        print(table)
+        print("smoke ok (equivalence verified)")
+        return 0
+
+    payload = {
+        "experiment": "E13 bulk ingestion",
+        "results": [result],
+        "sync_policies": sync_rows,
+        "target": "batched >= 5x per-op at n=1000 objects / 5000 updates",
+    }
+    (REPO_ROOT / "BENCH_ingest.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    if args.ci:
+        print(table)
+        if result["speedup"] < 2.0:
+            print(
+                f"CI GATE FAILURE: batched ingest only "
+                f"{result['speedup']}x per-op (need >= 2x)"
+            )
+            return 1
+        print(f"ci gate ok: {result['speedup']}x >= 2x")
+        return 0
+
+    emit("e13_ingest", table)
+    print(f"wrote {REPO_ROOT / 'BENCH_ingest.json'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -158,6 +158,25 @@ def cmd_perf(args) -> int:
                 db.update_attribute(oid, "score", step)
 
     perf.reset_stats()
+    # One bulk batch so the batch.* metrics (group commit + deferred
+    # maintenance) report alongside the cache counters.
+    from repro.errors import TChimeraError
+    from repro.temporal.temporalvalue import TemporalValue
+
+    db.tick()
+    with db.batch():
+        for obj in list(db.live_objects()):
+            for name, value in obj.value.items():
+                if not isinstance(value, TemporalValue):
+                    continue
+                current = value.get(db.now, None)
+                if current is None:
+                    continue
+                try:
+                    db.update_attribute(obj.oid, name, current)
+                except TChimeraError:
+                    continue  # e.g. write-once attribute; skip
+                break
     classes = [cls.name for cls in db.classes()]
     instants = range(0, db.now + 1, max(db.now // 20, 1))
     for _round in range(3):  # repeat so steady-state hit rates show

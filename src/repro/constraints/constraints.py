@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.errors import ConstraintError
+from repro.errors import ConstraintError, UnknownObjectError
 from repro.database.events import Event, EventKind
 from repro.objects.object import TemporalObject
 from repro.temporal.intervalsets import IntervalSet
@@ -350,10 +350,22 @@ class ConstraintSet:
         wrap operations in a Transaction for atomic rejection)."""
 
         def observer(database, event: Event) -> None:
-            if event.kind is EventKind.DELETE:
-                return
-            obj = database.get_object(event.oid)
-            problems = self.check_object(database, obj)
+            # A BATCH event coalesces many operations; check each
+            # distinct surviving object once against the post-batch
+            # state (enforcement is after-the-fact either way).
+            seen = set()
+            problems = []
+            for contained in event.events:
+                if contained.kind is EventKind.DELETE:
+                    continue
+                if contained.oid in seen:
+                    continue
+                seen.add(contained.oid)
+                try:
+                    obj = database.get_object(contained.oid)
+                except UnknownObjectError:
+                    continue  # deleted later in the same batch
+                problems.extend(self.check_object(database, obj))
             if problems:
                 raise ConstraintError("; ".join(problems))
 

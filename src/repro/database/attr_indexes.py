@@ -59,6 +59,13 @@ REGISTRY_LIMIT = 32
 #: Memoized probe results per index; cleared on any maintenance.
 PROBE_MEMO_LIMIT = 1024
 
+#: Rebuild heuristic for batched maintenance: once a batch has touched
+#: at least this fraction of the live population, dropping the indexes
+#: for lazy rebuild beats rederiving the touched oids one by one (the
+#: delta would redo most of a full build, and a rebuild only ever pays
+#: for attributes that are probed again).
+REBUILD_FRACTION = 0.5
+
 _INDEX = perf.counter("database.attr_index")
 _PROBE_MEMO = perf.counter("planner.probe_memo")
 
@@ -425,20 +432,25 @@ class AttributeIndexRegistry:
     evolution / rollback (and therefore rebuilt lazily after recovery).
     """
 
-    __slots__ = ("_indexes",)
+    __slots__ = ("_indexes", "suspended")
 
     def __init__(self) -> None:
         self._indexes: dict[str, AttributeIndex] = {}
+        #: Set by :meth:`DatabaseCaches.suspend` during a bulk batch:
+        #: incremental maintenance is deferred, so a built index may
+        #: not describe the current state -- refuse to serve it.
+        self.suspended = False
 
     def get(
         self, db: "TemporalDatabase", name: str
     ) -> AttributeIndex | None:
         """The index for attribute *name*, built on demand.
 
-        Returns ``None`` with caching ablated -- the planner then
-        leaves every atom to the residual evaluator.
+        Returns ``None`` with caching ablated (the planner then leaves
+        every atom to the residual evaluator) and during a bulk batch
+        (maintenance is deferred, so built indexes may be stale).
         """
-        if not perf.is_enabled:
+        if not perf.is_enabled or self.suspended:
             return None
         index = self._indexes.get(name)
         if index is not None:
@@ -479,6 +491,42 @@ class AttributeIndexRegistry:
             return
         for index in self._indexes.values():
             index.rederive(event.oid, db)
+
+    def apply_delta(
+        self,
+        db: "TemporalDatabase",
+        touched: "dict[OID, set[str] | None]",
+    ) -> bool:
+        """Coalesced maintenance after a bulk batch.
+
+        *touched* maps each oid mutated during the batch to the set of
+        attribute names its UPDATE/CORRECT events named, or ``None``
+        when a structural event (CREATE/MIGRATE/DELETE) requires the
+        oid rederived in every built index.  Each ``(index, oid)`` pair
+        is rederived once, however many events named it.
+
+        Returns True when the size heuristic chose the wholesale drop
+        (lazy rebuild) instead: past ``REBUILD_FRACTION`` of the live
+        population the delta would redo most of a full build eagerly,
+        while a drop defers the cost to the next probe of each
+        attribute -- and skips unprobed attributes entirely.
+        """
+        if not self._indexes or not touched:
+            return False
+        population = len(db._objects)
+        if population and len(touched) >= REBUILD_FRACTION * population:
+            self.invalidate_all()
+            return True
+        for oid, attrs in touched.items():
+            if attrs is None:
+                for index in self._indexes.values():
+                    index.rederive(oid, db)
+            else:
+                for name in attrs:
+                    index = self._indexes.get(name)
+                    if index is not None:
+                        index.rederive(oid, db)
+        return False
 
     def invalidate_all(self) -> None:
         """Schema evolution / rollback: drop everything, rebuild lazily."""

@@ -1,0 +1,178 @@
+"""The bulk-ingestion fast path: ``db.batch()`` / ``db.bulk_load()``.
+
+Per-operation ingest pays three per-event costs: one journal frame +
+fsync (``sync="always"``), one round of cache/attribute-index
+maintenance, and one observer notification.  A :class:`BulkBatch`
+amortizes all three across the whole run:
+
+* **group commit** -- journal records are framed into an in-memory
+  buffer (:meth:`~repro.database.wal.Journal.begin_batch`) and hit the
+  disk as *one* append + *one* fsync barrier at batch close.  The run
+  is bracketed by ``begin``/``commit`` markers, so a crash anywhere
+  before (or during) the flush recovers to the pre-batch state: the
+  torn run is exactly a trailing open transaction and recovery drops
+  it wholesale -- never a prefix (Def. 5.6 referential integrity holds
+  on whatever recovery rebuilds);
+* **deferred maintenance** -- :meth:`DatabaseCaches.suspend` bypasses
+  the hot-path caches and the planner's attribute indexes for the
+  duration (mid-batch reads recompute from first principles, so they
+  are always coherent), and at close a single coalesced delta -- or a
+  lazy rebuild, past the :data:`~repro.database.attr_indexes
+  .REBUILD_FRACTION` heuristic -- reconciles: one generation bump per
+  touched class/oid, one posting rederive per (index, oid), however
+  many events named them;
+* **coalesced emission** -- observers are not called per operation;
+  a single :attr:`EventKind.BATCH` event carrying the ordered event
+  tuple is delivered at close (``event.events`` unpacks it), so
+  triggers and constraints see every operation exactly once, in order.
+
+Interaction with transactions: a batch may run *inside* a
+:class:`~repro.database.transactions.Transaction` (the batch then
+writes no markers of its own and defers its durability barrier to the
+transaction commit; a rollback truncates the whole batch with the rest
+of the suffix), but a transaction must not begin inside a batch --
+:class:`~repro.errors.BatchError`.  Nested batches are rejected the
+same way.
+
+An exception escaping the batch body does *not* roll back the applied
+prefix (wrap the batch in a Transaction for atomicity): the operations
+that completed are flushed and stay durable, keeping the in-memory
+state and the journal in agreement; only the coalesced observer
+notification is skipped.
+
+Ablation: ``REPRO_NO_BATCH=1`` (env, read at import) or
+:func:`set_enabled` / :func:`disabled` turn ``db.batch()`` into a
+passthrough -- every operation journals, maintains and notifies
+individually, which is the baseline `benchmarks/bench_ingest.py`
+measures against.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+from repro import perf
+from repro.database.events import Event, EventKind
+from repro.errors import BatchError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.database.database import TemporalDatabase
+
+#: Module-level ablation switch (mirrors ``query.planner.is_enabled``).
+is_enabled: bool = os.environ.get("REPRO_NO_BATCH", "").lower() not in (
+    "1",
+    "true",
+    "yes",
+)
+
+_OPS = perf.metric("batch.ops")
+_FSYNCS = perf.metric("batch.fsyncs")
+_COALESCED = perf.metric("batch.coalesced_events")
+_COMMITS = perf.metric("batch.commits")
+_REBUILDS = perf.metric("batch.rebuilds")
+
+
+def set_enabled(enabled: bool) -> bool:
+    """Toggle the batch fast path; returns the previous value."""
+    global is_enabled
+    previous = is_enabled
+    is_enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Scoped ablation: ``with batch.disabled(): ...``"""
+    previous = set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+class BulkBatch:
+    """One active bulk batch; returned by ``db.batch()``.
+
+    Not reentrant and not reusable: one ``with`` block per instance.
+    With the fast path ablated the context manager is a passthrough
+    and every operation takes the per-op path.
+    """
+
+    __slots__ = ("_db", "_active", "_rolled_back", "events")
+
+    def __init__(self, db: "TemporalDatabase") -> None:
+        self._db = db
+        self._active = False
+        self._rolled_back = False
+        #: The per-operation events deferred during the batch, in order.
+        self.events: list[Event] = []
+
+    # -- recording (called from the database's emission point) -----------
+
+    def record(self, event: Event) -> None:
+        self.events.append(event)
+        _OPS.add()
+
+    def mark_rolled_back(self) -> None:
+        """A transaction rollback erased the batched state from under
+        us (called by ``Transaction.rollback``): the deferred events
+        describe operations that no longer happened, so close by
+        dropping everything instead of reconciling."""
+        self._rolled_back = True
+
+    # -- context management ----------------------------------------------
+
+    def __enter__(self) -> "BulkBatch":
+        if not is_enabled:
+            return self  # passthrough: per-op path stays in effect
+        if self._db._batch is not None:
+            raise BatchError("a batch is already open on this database")
+        journal = self._db._journal
+        if journal is not None:
+            journal.begin_batch()
+        self._db._batch = self
+        self._db.caches.suspend()
+        self._active = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self._active:
+            return False
+        self._active = False
+        self._db._batch = None
+        journal = self._db._journal
+        if self._rolled_back:
+            # journal.abort() already discarded the buffered records
+            # and truncated the suffix; the in-memory state was
+            # restored from the backup, so the deferred events are
+            # void -- resume by dropping everything.
+            self._db.caches.resume(self._db, None)
+            return False
+        # Reconcile caches first (observers -- and any error handling
+        # above us -- must never read through stale entries), then
+        # flush the journal, then notify: the per-operation order.
+        if self._db.caches.resume(self._db, self.events):
+            _REBUILDS.add()
+        if journal is not None and journal.in_batch:
+            flushed = journal.commit_batch()
+            if (
+                flushed
+                and not journal.in_transaction
+                and journal.sync != "never"
+            ):
+                _FSYNCS.add()
+        _COMMITS.add()
+        if exc_type is None and self.events:
+            _COALESCED.add(len(self.events))
+            self._db._notify(
+                Event(
+                    kind=EventKind.BATCH,
+                    at=self._db.now,
+                    oid=None,  # type: ignore[arg-type] -- spans many objects
+                    class_name="",
+                    payload=tuple(self.events),
+                )
+            )
+        return False

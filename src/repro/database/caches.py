@@ -35,6 +35,17 @@ Every cache respects the global ablation switch
 and stores are skipped, so the engine recomputes every answer from
 first principles.  ``tests/test_hotpath_caches.py`` asserts the two
 modes agree under randomized mutate-then-read sequences.
+
+Bulk batches
+------------
+During a ``db.batch()`` the per-event maintenance above is suspended
+(:meth:`DatabaseCaches.suspend`): mutations do not bump generations,
+so lookups and stores are bypassed wholesale -- a mid-batch read must
+never be served from a pre-batch entry whose generations still match.
+At batch exit :meth:`DatabaseCaches.resume` reconciles in one pass:
+one generation bump per touched class and oid, and one coalesced
+delta (or a wholesale drop, per the rebuild heuristic) for the
+attribute indexes, instead of one maintenance round per event.
 """
 
 from __future__ import annotations
@@ -77,9 +88,11 @@ class DatabaseCaches:
         "_snapshot",
         "_indexes",
         "attr_indexes",
+        "suspended",
     )
 
     def __init__(self) -> None:
+        self.suspended = False
         self._global_gen = 0
         self._class_gen: dict[str, int] = {}
         self._oid_gen: dict[OID, int] = {}
@@ -161,10 +174,65 @@ class DatabaseCaches:
         # membership intervals are untouched, the oid bump suffices.
         self.attr_indexes.on_event(db, event)
 
+    # ------------------------------------------------ batch suspension
+
+    def suspend(self) -> None:
+        """Enter batch mode: bypass every table, defer maintenance.
+
+        While suspended, lookups return ``None`` without consulting (or
+        counting) the tables and stores are dropped -- mutations are not
+        bumping generations, so a pre-batch entry could otherwise
+        validate against state it no longer describes.  The caller owns
+        the deferred event list and must hand it to :meth:`resume`.
+        """
+        self.suspended = True
+        self.attr_indexes.suspended = True
+
+    def resume(
+        self, db: "TemporalDatabase", events: "list[Event] | None"
+    ) -> bool:
+        """Exit batch mode and reconcile with the batched mutations.
+
+        *events* is the ordered event list deferred during the batch;
+        ``None`` means the batch was abandoned (rollback mid-batch) and
+        everything drops.  Returns True when the attribute-index layer
+        chose the wholesale drop (lazy rebuild) over the per-oid delta.
+
+        The delta is coalesced: an oid updated 500 times in the batch
+        costs one generation bump and one posting rederive, not 500.
+        """
+        self.suspended = False
+        self.attr_indexes.suspended = False
+        if events is None:
+            self.bump_all()
+            return True
+        # oid -> set of touched attribute names, or None once a
+        # structural event (CREATE/MIGRATE/DELETE) requires rederiving
+        # the oid in every built index.
+        touched_oids: dict[OID, set[str] | None] = {}
+        touched_classes: set[str] = set()
+        for event in events:
+            if event.kind in (EventKind.UPDATE, EventKind.CORRECT):
+                attrs = touched_oids.setdefault(event.oid, set())
+                if attrs is not None and event.attribute:
+                    attrs.add(event.attribute)
+            else:
+                touched_oids[event.oid] = None
+                touched_classes |= db.isa.superclasses(event.class_name)
+                if event.from_class:
+                    touched_classes |= db.isa.superclasses(
+                        event.from_class
+                    )
+        for class_name in touched_classes:
+            self.bump_class(class_name)
+        for oid in touched_oids:
+            self.bump_oid(oid)
+        return self.attr_indexes.apply_delta(db, touched_oids)
+
     # ------------------------------------------------------------ pi
 
     def get_pi(self, class_name: str, t: int) -> frozenset[OID] | None:
-        if not perf.is_enabled:
+        if not perf.is_enabled or self.suspended:
             return None
         entry = self._pi.get((class_name, t))
         if (
@@ -180,7 +248,7 @@ class DatabaseCaches:
     def put_pi(
         self, class_name: str, t: int, extent: frozenset[OID]
     ) -> None:
-        if not perf.is_enabled:
+        if not perf.is_enabled or self.suspended:
             return
         if len(self._pi) >= CACHE_LIMIT:
             _PI.invalidate(len(self._pi))
@@ -194,7 +262,7 @@ class DatabaseCaches:
     def get_membership(
         self, class_name: str, oid: OID, now: int
     ) -> IntervalSet | None:
-        if not perf.is_enabled:
+        if not perf.is_enabled or self.suspended:
             return None
         entry = self._membership.get((class_name, oid))
         if (
@@ -212,7 +280,7 @@ class DatabaseCaches:
     def put_membership(
         self, class_name: str, oid: OID, now: int, times: IntervalSet
     ) -> None:
-        if not perf.is_enabled:
+        if not perf.is_enabled or self.suspended:
             return
         if len(self._membership) >= CACHE_LIMIT:
             _MEMBERSHIP.invalidate(len(self._membership))
@@ -230,7 +298,7 @@ class DatabaseCaches:
     def get_snapshot(
         self, oid: OID, t: int, now: int
     ) -> RecordValue | None:
-        if not perf.is_enabled:
+        if not perf.is_enabled or self.suspended:
             return None
         entry = self._snapshot.get((oid, t))
         if (
@@ -247,7 +315,7 @@ class DatabaseCaches:
     def put_snapshot(
         self, oid: OID, t: int, now: int, record: RecordValue
     ) -> None:
-        if not perf.is_enabled:
+        if not perf.is_enabled or self.suspended:
             return
         if len(self._snapshot) >= CACHE_LIMIT:
             _SNAPSHOT.invalidate(len(self._snapshot))

@@ -98,6 +98,10 @@ class TemporalDatabase:
         #: committed operation appends a replayable record before the
         #: caller regains control.
         self._journal = None
+        #: The active :class:`~repro.database.batch.BulkBatch`, or None.
+        #: While set, cache maintenance and observer notification are
+        #: deferred and journal records land in the group-commit buffer.
+        self._batch = None
         if journal is not None:
             self.attach_journal(journal)
 
@@ -149,6 +153,16 @@ class TemporalDatabase:
         self._observers.remove(callback)
 
     def _emit(self, event: Event) -> None:
+        if self._batch is not None:
+            # Bulk batch: journal into the group-commit buffer, defer
+            # cache maintenance and observer notification to the
+            # coalesced reconciliation at batch close.
+            if self._journal is not None:
+                from repro.database.wal import record_for_event
+
+                self._journal.append(record_for_event(event))
+            self._batch.record(event)
+            return
         # Caches first: observer callbacks must never read stale state.
         self.caches.on_event(self, event)
         # Journal second: the operation is already applied, and a
@@ -159,6 +173,10 @@ class TemporalDatabase:
             from repro.database.wal import record_for_event
 
             self._journal.append(record_for_event(event))
+        self._notify(event)
+
+    def _notify(self, event: Event) -> None:
+        """Run the observer callbacks with failure isolation."""
         failures: list[tuple] = []
         for callback in list(self._observers):
             try:
@@ -181,6 +199,33 @@ class TemporalDatabase:
         from repro.errors import SubscriberError
 
         raise SubscriberError(event, failures)
+
+    # --------------------------------------------------------------- batches
+
+    @property
+    def in_batch(self) -> bool:
+        """Whether a bulk batch is currently open."""
+        return self._batch is not None
+
+    def batch(self):
+        """A bulk-ingestion batch: ``with db.batch(): ...``.
+
+        Inside the block, operations journal into a group-commit
+        buffer (one write + one fsync barrier at close instead of one
+        per operation), cache and attribute-index maintenance is
+        suspended and applied as one coalesced delta at close, and
+        observers receive a single :attr:`EventKind.BATCH` event
+        carrying the ordered operation list.  See
+        :mod:`repro.database.batch` (and docs/performance.md, "Bulk
+        ingestion") for semantics, crash behaviour and the
+        ``REPRO_NO_BATCH`` ablation.
+        """
+        from repro.database.batch import BulkBatch
+
+        return BulkBatch(self)
+
+    #: Alias: the ETL-flavoured name for the same context manager.
+    bulk_load = batch
 
     # ------------------------------------------------------------------ time
 
@@ -1112,6 +1157,9 @@ class TemporalDatabase:
         cls = self.get_class(class_name)
         use_index = (
             perf.is_enabled
+            # During a bulk batch the index is unmaintained and its
+            # generation key is frozen -- a stale index would *hit*.
+            and not self.caches.suspended
             and 0 <= t <= self.now
             and len(cls.history.ever_members()) >= INDEX_MIN_POPULATION
         )

@@ -23,6 +23,10 @@ class EventKind(str, Enum):
     MIGRATE = "migrate"
     DELETE = "delete"
     CORRECT = "correct"  # retroactive correction of a temporal attribute
+    #: A completed ``db.batch()``: one coalesced notification whose
+    #: ``payload`` is the ordered tuple of the per-operation events.
+    #: ``oid``/``class_name`` are unset (a batch spans many objects).
+    BATCH = "batch"
 
 
 @dataclass(frozen=True)
@@ -48,8 +52,17 @@ class Event:
     #: DELETE.  None for operations whose other fields already suffice.
     payload: Any = None
 
+    @property
+    def events(self) -> tuple["Event", ...]:
+        """BATCH only: the coalesced per-operation events, in order."""
+        if self.kind is EventKind.BATCH:
+            return tuple(self.payload or ())
+        return (self,)
+
     def __repr__(self) -> str:
         extra = ""
+        if self.kind is EventKind.BATCH:
+            return f"Event(batch of {len(self.payload or ())}@{self.at})"
         if self.kind is EventKind.UPDATE:
             extra = f", {self.attribute}: {self.old_value!r} -> {self.new_value!r}"
         if self.kind is EventKind.MIGRATE:

@@ -23,11 +23,20 @@ from __future__ import annotations
 import copy
 from typing import Any
 
-from repro.errors import IntegrityError, TransactionError
+from repro.errors import BatchError, IntegrityError, TransactionError
 
 
 class Transaction:
-    """All-or-nothing application of a batch of database operations."""
+    """All-or-nothing application of a batch of database operations.
+
+    A bulk batch (``db.batch()``) may be opened *inside* a transaction
+    -- its group-commit flush then defers the durability barrier to the
+    transaction commit, and a rollback truncates the whole batch with
+    the rest of the journal suffix.  The converse nesting (a
+    transaction begun inside an open batch) is rejected: the backup
+    would capture mid-batch state that the batch's deferred
+    reconciliation no longer describes.
+    """
 
     def __init__(self, db: Any, verify: bool = False) -> None:
         """*verify* runs :func:`~repro.database.integrity.check_database`
@@ -39,6 +48,11 @@ class Transaction:
     def begin(self) -> "Transaction":
         if self._backup is not None:
             raise TransactionError("transaction already begun")
+        if getattr(self._db, "in_batch", False):
+            raise BatchError(
+                "cannot begin a transaction inside an open batch; "
+                "open the batch inside the transaction instead"
+            )
         # One deepcopy call so shared references (metaclass -> class)
         # stay shared inside the backup.
         self._backup = copy.deepcopy(
@@ -62,6 +76,10 @@ class Transaction:
     def commit(self) -> None:
         if self._backup is None:
             raise TransactionError("no transaction in progress")
+        if getattr(self._db, "in_batch", False):
+            raise TransactionError(
+                "cannot commit while a batch is still open"
+            )
         if self._verify:
             from repro.database.integrity import check_database
 
@@ -83,7 +101,15 @@ class Transaction:
             raise TransactionError("no transaction in progress")
         journal = getattr(self._db, "journal", None)
         if journal is not None and journal.in_transaction:
+            # abort() also discards a still-open batch buffer: those
+            # records never reached the disk.
             journal.abort()
+        batch = getattr(self._db, "_batch", None)
+        if batch is not None:
+            # The batched operations are erased with the backup swap
+            # below; tell the batch to close by dropping its deferred
+            # events instead of reconciling them.
+            batch.mark_rolled_back()
         self._db.clock = self._backup["clock"]
         self._db._isa = self._backup["isa"]
         self._db._classes = self._backup["classes"]

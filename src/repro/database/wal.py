@@ -30,13 +30,23 @@ Record kinds
 * transaction markers ``begin``/``commit``: records between a ``begin``
   with no matching ``commit`` are an *uncommitted suffix* and are
   dropped by recovery; :meth:`Journal.abort` physically truncates them.
+  Batches (:meth:`Journal.begin_batch`) reuse the same markers, tagged
+  ``"batch": true``, so a torn group-commit write is exactly a trailing
+  open transaction to recovery: the whole batch drops, never a prefix.
 
 Durability contract
 -------------------
 Outside a transaction every append is flushed and fsynced before the
 operation returns (``sync="always"``); inside a transaction, records
 are written eagerly but the fsync barrier is :meth:`commit` -- commit
-*is* the flush barrier.  Checkpoints are atomic: write to a temp file,
+*is* the flush barrier.  During a batch (group commit) records are
+framed into an in-memory buffer and hit the disk as one append + one
+fsync at :meth:`commit_batch` -- nothing of the batch is durable, or
+even visible to the OS, before that barrier; :meth:`abort_batch` is a
+pure buffer discard.  A batch opened inside a transaction writes no
+markers of its own (recovery treats a second ``begin`` as a dangling
+earlier transaction) and defers its barrier to the enclosing
+:meth:`commit`.  Checkpoints are atomic: write to a temp file,
 fsync, rename, fsync the directory, and only then truncate the
 journal; a crash anywhere in that sequence leaves either the old
 checkpoint plus the full journal or the new checkpoint plus a journal
@@ -203,9 +213,17 @@ class Journal:
         self.directory = os.path.dirname(self.path) or "."
         self.fs = fs if fs is not None else RealFS()
         self.sync = sync
+        # Policy checks hoisted out of the per-record hot loop: append
+        # runs once per operation during ingest.
+        self._sync_on_append = sync == "always"
+        self._sync_enabled = sync != "never"
         self._next_lsn = 1
         self._txn_offset: int | None = None
         self._txn_lsn: int | None = None
+        self._batch_buffer: bytearray | None = None
+        self._batch_lsn: int | None = None
+        self._batch_marked = False
+        self._batch_records = 0
         if not self.fs.exists(self.path):
             self.fs.write(self.path, MAGIC)
             self._fsync()
@@ -239,6 +257,10 @@ class Journal:
     def in_transaction(self) -> bool:
         return self._txn_offset is not None
 
+    @property
+    def in_batch(self) -> bool:
+        return self._batch_buffer is not None
+
     def is_empty(self) -> bool:
         return self.fs.size(self.path) <= len(MAGIC)
 
@@ -249,20 +271,27 @@ class Journal:
 
         Outside a transaction the record is durable (fsynced) before
         this returns under the ``"always"`` policy; inside one, the
-        fsync barrier is :meth:`commit`.
+        fsync barrier is :meth:`commit`.  While a batch is open the
+        record only lands in the group-commit buffer.
         """
         lsn = self._next_lsn
         record = dict(payload)
         record["lsn"] = lsn
-        self.fs.append(self.path, frame_record(record))
+        data = frame_record(record)
+        buffer = self._batch_buffer
+        if buffer is not None:
+            buffer += data
+            self._batch_records += 1
+        else:
+            self.fs.append(self.path, data)
+            if self._txn_offset is None and self._sync_on_append:
+                self._fsync()
         self._next_lsn = lsn + 1
         _RECORDS.add()
-        if self._txn_offset is None and self.sync == "always":
-            self._fsync()
         return lsn
 
     def _fsync(self) -> None:
-        if self.sync == "never":
+        if not self._sync_enabled:
             return
         self.fs.fsync(self.path)
         _SYNCS.add()
@@ -274,6 +303,13 @@ class Journal:
         until :meth:`commit`, and :meth:`abort` erases them."""
         if self._txn_offset is not None:
             raise JournalError("journal transaction already open")
+        if self._batch_buffer is not None:
+            # The begin marker would land in the batch buffer and the
+            # transaction offset would ignore the buffered run; the
+            # legal nesting is transaction-around-batch, not inside.
+            raise JournalError(
+                "cannot open a transaction inside a journal batch"
+            )
         self._txn_offset = self.fs.size(self.path)
         self._txn_lsn = self._next_lsn
         self.append({"kind": "begin"})
@@ -282,6 +318,10 @@ class Journal:
         """Write the commit marker and fsync -- the flush barrier."""
         if self._txn_offset is None:
             raise JournalError("no journal transaction to commit")
+        if self._batch_buffer is not None:
+            raise JournalError(
+                "cannot commit a transaction while a journal batch is open"
+            )
         self.append({"kind": "commit"})
         self._txn_offset = None
         self._txn_lsn = None
@@ -292,11 +332,79 @@ class Journal:
         """Physically truncate the uncommitted suffix."""
         if self._txn_offset is None:
             raise JournalError("no journal transaction to abort")
+        if self._batch_buffer is not None:
+            # Rolling back through a still-open batch: the buffered
+            # records never reached the disk, so dropping the buffer
+            # and truncating to the transaction offset erases the
+            # whole batch along with the rest of the suffix.
+            self._discard_batch()
         self.fs.truncate(self.path, self._txn_offset)
         self._next_lsn = self._txn_lsn
         self._txn_offset = None
         self._txn_lsn = None
         _ABORTS.add()
+
+    # -- batches (group commit) ------------------------------------------------
+
+    def begin_batch(self) -> None:
+        """Start buffering appends for one group-commit flush.
+
+        Outside a transaction the batch is bracketed with
+        ``begin``/``commit`` markers (tagged ``"batch": true``) so that
+        a crash during the flush leaves, at worst, a trailing open
+        transaction that recovery drops wholesale -- never a partial
+        batch.  Inside a transaction no markers are written (recovery
+        treats a second ``begin`` as a dangling earlier transaction and
+        drops staged records); the enclosing commit/abort is the
+        durability boundary.
+        """
+        if self._batch_buffer is not None:
+            raise JournalError("journal batch already open")
+        self._batch_lsn = self._next_lsn
+        self._batch_buffer = bytearray()
+        self._batch_marked = self._txn_offset is None
+        if self._batch_marked:
+            self.append({"kind": "begin", "batch": True})
+        self._batch_records = 0
+
+    def commit_batch(self) -> int:
+        """Flush the buffered run: one append, one fsync barrier.
+
+        Returns the number of data records flushed.  An empty batch is
+        discarded without touching the disk (the LSN range is reused).
+        Inside a transaction the flush is a plain append -- the fsync
+        barrier stays the enclosing :meth:`commit`.
+        """
+        if self._batch_buffer is None:
+            raise JournalError("no journal batch to commit")
+        count = self._batch_records
+        if count == 0:
+            self._discard_batch()
+            return 0
+        if self._batch_marked:
+            self.append({"kind": "commit", "batch": True})
+        buffer = self._batch_buffer
+        self._batch_buffer = None
+        self._batch_lsn = None
+        self._batch_records = 0
+        self.fs.append(self.path, bytes(buffer))
+        if self._txn_offset is None:
+            self._fsync()
+            _COMMITS.add()
+        return count
+
+    def abort_batch(self) -> None:
+        """Discard the buffered batch -- nothing reached the disk."""
+        if self._batch_buffer is None:
+            raise JournalError("no journal batch to abort")
+        self._discard_batch()
+        _ABORTS.add()
+
+    def _discard_batch(self) -> None:
+        self._next_lsn = self._batch_lsn
+        self._batch_buffer = None
+        self._batch_lsn = None
+        self._batch_records = 0
 
     # -- reading ----------------------------------------------------------------
 
@@ -327,6 +435,8 @@ class Journal:
             raise JournalError(
                 "cannot checkpoint inside an open transaction"
             )
+        if self._batch_buffer is not None:
+            raise JournalError("cannot checkpoint inside an open batch")
         lsn = self.last_lsn
         doc = {
             "format": CHECKPOINT_FORMAT,

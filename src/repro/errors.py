@@ -174,6 +174,11 @@ class JournalError(DatabaseError):
     checkpoint during an open transaction, appends after a crash)."""
 
 
+class BatchError(DatabaseError):
+    """A bulk batch (``db.batch()``) was misused: nested batches, or a
+    transaction opened inside an active batch."""
+
+
 class RecoveryError(DatabaseError):
     """Crash recovery could not reconstruct a database (unrecoverable
     checkpoint loss, or a journal record that fails to replay)."""

@@ -7,9 +7,10 @@ deterministic in its seed:
    a journaled :class:`TemporalDatabase` on a :class:`SimulatedFS`;
 2. run a randomized workload (creates, temporal/static updates,
    migrations, deletions, retroactive corrections, schema evolution,
-   clock ticks, transactions -- some deliberately rolled back -- and
-   mid-run checkpoints), recording each committed operation together
-   with the LSN of its journal record;
+   clock ticks, transactions -- some deliberately rolled back --
+   bulk batches (``db.batch()`` group-commit runs), and mid-run
+   checkpoints), recording each committed operation together with the
+   LSN of its journal record;
 3. the injected fault kills the process model mid-operation; the
    simulated disk collapses to its durable content
    (:meth:`SimulatedFS.crash_view`);
@@ -21,7 +22,11 @@ deterministic in its seed:
    the checkpoint covered;
 6. assert the recovered database passes ``check_database`` and is
    equivalent to the oracle -- structurally value-equal and
-   weak-value-equal (Definition 5.10) object by object.
+   weak-value-equal (Definition 5.10) object by object -- and that no
+   bulk batch survived *partially*: the replay boundary never falls
+   strictly inside a batch's LSN range (a torn group-commit write must
+   drop the whole batch, never a prefix; Def. 5.6 referential
+   integrity then holds on whatever recovery rebuilds).
 
 Every future PR that touches the engine can regress against this: any
 operation that mutates state without journaling it, or journals
@@ -235,6 +240,10 @@ class TrialResult:
     #: there is provably nothing to recover (report.ok is False then).
     nothing_durable: bool = False
     checkpoints: int = 0
+    #: (first, last) data-record LSN of every bulk batch the workload
+    #: ran (including one interrupted by the crash): recovery must land
+    #: the replay boundary outside each range, never inside.
+    batches: list[tuple[int, int]] = field(default_factory=list)
     problems: list[str] = field(default_factory=list)
 
     @property
@@ -257,6 +266,7 @@ def run_trial(
     state = _WorkloadState(random.Random(seed * 31 + 7))
     crashed = False
     checkpoints = 0
+    batches: list[tuple[int, int]] = []
     # The op the crash interrupted, if any.  Its journal record may or
     # may not be durable; ``acked`` (the last LSN whose operation
     # returned to the client) lets the oracle decide after recovery.
@@ -308,6 +318,30 @@ def run_trial(
                 db.checkpoint()
                 checkpoints += 1
                 acked = journal.last_lsn
+            elif decide < 0.22:
+                # A bulk batch: records buffer in memory and hit the
+                # disk as one group-commit flush at close, so the
+                # injected fault can only fire at the barrier -- the
+                # all-or-nothing shape the batches list asserts.
+                staged = []
+                with db.batch():
+                    for _ in range(state.rng.randint(2, 5)):
+                        op = _next_op(state, db)
+                        try:
+                            result = apply_op(db, op)
+                        except TChimeraError:
+                            continue
+                        staged.append((journal.last_lsn, op))
+                        _note_applied(state, op, result)
+                        ops_done += 1
+                    if staged:
+                        batches.append((staged[0][0], staged[-1][0]))
+                    # Record before close: if the crash hits inside
+                    # the flush, the whole batch may or may not be
+                    # durable -- the LSN filter settles it, and the
+                    # range recorded above pins all-or-nothing.
+                    applied.extend(staged)
+                acked = journal.last_lsn
             else:
                 op = _next_op(state, db)
                 inflight = op
@@ -328,7 +362,7 @@ def run_trial(
     recovered, report = recover(DB_DIR, fs=durable)
     result = TrialResult(
         seed=seed, plan=plan, crashed=crashed, ops=applied,
-        report=report, checkpoints=checkpoints,
+        report=report, checkpoints=checkpoints, batches=batches,
     )
 
     if recovered is None:
@@ -343,6 +377,13 @@ def run_trial(
 
     oracle = TemporalDatabase()
     boundary = report.last_lsn
+    for first, last in batches:
+        if first <= boundary < last:
+            result.problems.append(
+                f"partial batch visible after recovery: replay "
+                f"boundary {boundary} falls inside LSN range "
+                f"[{first}, {last}]"
+            )
     ops = list(applied)
     if inflight is not None and boundary > acked:
         # The crash interrupted this op after its journal record became

@@ -12,6 +12,14 @@ Counters are process-global and cheap (three integer adds); they count
 even while caching is disabled via :func:`repro.perf.set_enabled`, in
 which case every lookup is a bypass and the counters simply stop
 moving.
+
+Event-style :class:`Metric` tallies live alongside the cache counters:
+the journal's ``wal.*`` series, the planner's ``planner.*`` series,
+and the bulk-ingestion ``batch.*`` series (``batch.ops`` operations
+recorded inside batches, ``batch.fsyncs`` group-commit barriers,
+``batch.coalesced_events`` notifications folded into BATCH events,
+``batch.commits`` / ``batch.rebuilds`` batch closes and whole-index
+rebuild decisions).  ``python -m repro perf`` prints both families.
 """
 
 from __future__ import annotations

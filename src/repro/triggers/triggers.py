@@ -157,6 +157,13 @@ class TriggerManager:
     # -- runtime -------------------------------------------------------------------
 
     def _on_event(self, db, event: Event) -> None:
+        if event.kind is EventKind.BATCH:
+            # A bulk batch delivers one coalesced notification; fire
+            # the cascade per contained operation, in operation order,
+            # so trigger semantics match the per-op path.
+            for contained in event.events:
+                self._on_event(db, contained)
+            return
         to_fire = [t for t in self._triggers if t.should_fire(db, event)]
         if not to_fire:
             return

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import contextlib
 import random
 from dataclasses import dataclass
 from typing import Any
@@ -116,43 +117,60 @@ def standard_schema(
     )
 
 
-def build_database(spec: WorkloadSpec) -> TemporalDatabase:
+def build_database(
+    spec: WorkloadSpec,
+    db: TemporalDatabase | None = None,
+    bulk: bool = False,
+) -> TemporalDatabase:
     """Grow a database by replaying *spec* against the clock.
 
     Returns the populated database; deterministic in ``spec.seed``.
     All operations go through the public engine API, so the result
     satisfies every invariant by construction (the property tests
     re-verify that with the checkers).
+
+    Pass *db* to grow an existing (e.g. journal-backed) database
+    instead of a fresh in-memory one.  With ``bulk=True`` the initial
+    population and each tick's mutation wave run inside ``db.batch()``
+    -- the bulk-ingestion fast path -- producing a weak-value-equal
+    database (Definition 5.10) from the identical operation stream;
+    ``bench_ingest`` and the query-oracle equivalence property both
+    build on that guarantee.
     """
     rng = random.Random(spec.seed)
-    db = TemporalDatabase()
+    if db is None:
+        db = TemporalDatabase()
     standard_schema(
         db, spec.temporal_attributes, spec.static_attributes
     )
     db.tick()
 
+    def wave():
+        return db.batch() if bulk else contextlib.nullcontext()
+
     employees: list[OID] = []
     managers: set[OID] = set()
-    for index in range(spec.n_objects):
-        oid = db.create_object(
-            "employee",
-            {
-                "name": f"emp{index}",
-                "salary": float(1000 + rng.randrange(2000)),
-                "dept": rng.choice("RSTU"),
-            },
-        )
-        employees.append(oid)
-    projects: list[OID] = []
-    for index in range(spec.n_projects):
-        lead = rng.choice(employees) if employees else None
-        attributes = {"name": f"proj{index}", "objective": "run"}
-        if lead is not None:
-            attributes["lead"] = lead
-            attributes["participants"] = frozenset(
-                rng.sample(employees, min(3, len(employees)))
+    with wave():
+        for index in range(spec.n_objects):
+            oid = db.create_object(
+                "employee",
+                {
+                    "name": f"emp{index}",
+                    "salary": float(1000 + rng.randrange(2000)),
+                    "dept": rng.choice("RSTU"),
+                },
             )
-        projects.append(db.create_object("project", attributes))
+            employees.append(oid)
+        projects: list[OID] = []
+        for index in range(spec.n_projects):
+            lead = rng.choice(employees) if employees else None
+            attributes = {"name": f"proj{index}", "objective": "run"}
+            if lead is not None:
+                attributes["lead"] = lead
+                attributes["participants"] = frozenset(
+                    rng.sample(employees, min(3, len(employees)))
+                )
+            projects.append(db.create_object("project", attributes))
 
     for _ in range(spec.n_ticks):
         db.tick()
@@ -163,68 +181,76 @@ def build_database(spec: WorkloadSpec) -> TemporalDatabase:
         ]
         if not live:
             break
-        for oid in live:
-            if rng.random() < spec.update_rate:
-                self_class = db.get_object(oid).current_class(db.now)
-                choice = rng.random()
-                if choice < spec.reference_fraction and len(live) > 1:
-                    other = rng.choice([o for o in live if o != oid])
-                    db.update_attribute(oid, "mentor", other)
-                elif spec.temporal_attributes and choice < 0.7:
-                    index = rng.randrange(spec.temporal_attributes)
-                    db.update_attribute(
-                        oid, f"metric{index}", rng.randrange(100)
-                    )
+        with wave():
+            for oid in live:
+                if rng.random() < spec.update_rate:
+                    self_class = db.get_object(oid).current_class(db.now)
+                    choice = rng.random()
+                    if choice < spec.reference_fraction and len(live) > 1:
+                        # Identity filter: *oid* is drawn from *live*
+                        # itself, and OID.__eq__ on 1000-object pools
+                        # dominates the build otherwise.
+                        other = rng.choice(
+                            [o for o in live if o is not oid]
+                        )
+                        db.update_attribute(oid, "mentor", other)
+                    elif spec.temporal_attributes and choice < 0.7:
+                        index = rng.randrange(spec.temporal_attributes)
+                        db.update_attribute(
+                            oid, f"metric{index}", rng.randrange(100)
+                        )
+                    else:
+                        db.update_attribute(
+                            oid,
+                            "salary",
+                            float(1000 + rng.randrange(3000)),
+                        )
+                if rng.random() < spec.static_update_rate:
+                    if spec.static_attributes:
+                        index = rng.randrange(spec.static_attributes)
+                        db.update_attribute(
+                            oid, f"note{index}", f"n{rng.randrange(50)}"
+                        )
+                    else:
+                        db.update_attribute(
+                            oid, "dept", rng.choice("RSTU")
+                        )
+            if rng.random() < spec.migration_rate and live:
+                candidate = rng.choice(live)
+                if candidate in managers:
+                    db.migrate(candidate, "employee")
+                    managers.discard(candidate)
                 else:
-                    db.update_attribute(
-                        oid,
-                        "salary",
-                        float(1000 + rng.randrange(3000)),
+                    db.migrate(
+                        candidate,
+                        "manager",
+                        {"officialcar": f"car{rng.randrange(10)}"},
                     )
-            if rng.random() < spec.static_update_rate:
-                if spec.static_attributes:
-                    index = rng.randrange(spec.static_attributes)
-                    db.update_attribute(
-                        oid, f"note{index}", f"n{rng.randrange(50)}"
-                    )
-                else:
-                    db.update_attribute(oid, "dept", rng.choice("RSTU"))
-        if rng.random() < spec.migration_rate and live:
-            candidate = rng.choice(live)
-            if candidate in managers:
-                db.migrate(candidate, "employee")
-                managers.discard(candidate)
-            else:
-                db.migrate(
-                    candidate,
-                    "manager",
-                    {"officialcar": f"car{rng.randrange(10)}"},
+                    managers.add(candidate)
+            if rng.random() < spec.create_rate:
+                oid = db.create_object(
+                    "employee",
+                    {
+                        "name": f"emp{len(employees)}",
+                        "salary": float(1000 + rng.randrange(2000)),
+                        "dept": rng.choice("RSTU"),
+                    },
                 )
-                managers.add(candidate)
-        if rng.random() < spec.create_rate:
-            oid = db.create_object(
-                "employee",
-                {
-                    "name": f"emp{len(employees)}",
-                    "salary": float(1000 + rng.randrange(2000)),
-                    "dept": rng.choice("RSTU"),
-                },
-            )
-            employees.append(oid)
-        if projects and rng.random() < spec.project_update_rate and live:
-            project = rng.choice(projects)
-            db.update_attribute(
-                project,
-                "participants",
-                frozenset(rng.sample(live, min(3, len(live)))),
-            )
-            db.update_attribute(project, "lead", rng.choice(live))
-        if rng.random() < spec.delete_rate and len(live) > 2:
-            victim = rng.choice(live)
-            try:
-                db.delete_object(victim)
-                managers.discard(victim)
-            except Exception:
-                pass  # currently referenced; skip
+                employees.append(oid)
+            if projects and rng.random() < spec.project_update_rate and live:
+                project = rng.choice(projects)
+                db.update_attribute(
+                    project,
+                    "participants",
+                    frozenset(rng.sample(live, min(3, len(live)))),
+                )
+                db.update_attribute(project, "lead", rng.choice(live))
+            if rng.random() < spec.delete_rate and len(live) > 2:
+                victim = rng.choice(live)
+                try:
+                    db.delete_object(victim)
+                    managers.discard(victim)
+                except Exception:
+                    pass  # currently referenced; skip
     db.tick()
     return db

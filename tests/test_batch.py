@@ -1,0 +1,430 @@
+"""Semantics of the bulk-ingestion fast path (``db.batch()``).
+
+Covers the three legs of the batch contract -- journal group commit,
+deferred cache/attribute-index maintenance, coalesced event emission --
+plus the transaction interplay, the ablation switch, and the crash
+shape (torn flush drops the whole batch).  Recovery equivalence under
+random crash schedules lives in tests/test_crash_recovery.py; the
+per-op-vs-batched build equivalence property in tests/test_query_oracle.py.
+"""
+
+import os
+
+import pytest
+
+from repro import perf
+from repro.database import TemporalDatabase, open_database
+from repro.database import batch as batch_module
+from repro.database.events import EventKind
+from repro.database.integrity import check_database
+from repro.database.transactions import Transaction
+from repro.database.wal import Journal, scan_frames
+from repro.errors import BatchError, JournalError, TransactionError
+from repro.faults.fs import SimulatedFS
+from repro.triggers.triggers import (
+    EventSpec,
+    Trigger,
+    TriggerManager,
+)
+
+
+def _seed_db(db):
+    db.define_class(
+        "person",
+        attributes=[("name", "string"), ("age", "temporal(integer)")],
+    )
+    db.tick()
+
+
+def _counting_fs():
+    fs = SimulatedFS()
+    counts = {"append": 0, "fsync": 0}
+    original_append, original_fsync = fs.append, fs.fsync
+
+    def append(path, data):
+        counts["append"] += 1
+        return original_append(path, data)
+
+    def fsync(path):
+        counts["fsync"] += 1
+        return original_fsync(path)
+
+    fs.append, fs.fsync = append, fsync
+    return fs, counts
+
+
+class TestGroupCommit:
+    def test_one_append_one_fsync_per_batch(self):
+        fs, counts = _counting_fs()
+        journal = Journal("/db/journal.wal", fs=fs)
+        db = TemporalDatabase(journal=journal)
+        _seed_db(db)
+        before = dict(counts)
+        with db.batch():
+            oids = [
+                db.create_object("person", {"name": f"p{i}", "age": i})
+                for i in range(20)
+            ]
+            for oid in oids:
+                db.update_attribute(oid, "age", 99)
+        assert counts["append"] - before["append"] == 1
+        assert counts["fsync"] - before["fsync"] == 1
+
+    def test_per_op_path_appends_and_fsyncs_each_record(self):
+        fs, counts = _counting_fs()
+        journal = Journal("/db/journal.wal", fs=fs)
+        db = TemporalDatabase(journal=journal)
+        _seed_db(db)
+        before = dict(counts)
+        for i in range(5):
+            db.create_object("person", {"name": f"p{i}", "age": i})
+        assert counts["append"] - before["append"] == 5
+        assert counts["fsync"] - before["fsync"] == 5
+
+    def test_batch_is_bracketed_by_tagged_markers(self):
+        fs = SimulatedFS()
+        journal = Journal("/db/journal.wal", fs=fs)
+        db = TemporalDatabase(journal=journal)
+        _seed_db(db)
+        with db.batch():
+            db.create_object("person", {"name": "a", "age": 1})
+            db.create_object("person", {"name": "b", "age": 2})
+        records, tail = scan_frames(fs.read("/db/journal.wal"))
+        assert tail.clean
+        kinds = [r["kind"] for r in records]
+        begin_at = kinds.index("begin")
+        assert records[begin_at]["batch"] is True
+        assert kinds[begin_at:] == ["begin", "create", "create", "commit"]
+        assert records[-1]["batch"] is True
+        # LSNs stay consecutive through the buffered run.
+        lsns = [r["lsn"] for r in records]
+        assert lsns == list(range(lsns[0], lsns[0] + len(lsns)))
+
+    def test_empty_batch_writes_nothing_and_reuses_lsns(self):
+        fs = SimulatedFS()
+        journal = Journal("/db/journal.wal", fs=fs)
+        db = TemporalDatabase(journal=journal)
+        _seed_db(db)
+        size = fs.size("/db/journal.wal")
+        next_lsn = journal.next_lsn
+        with db.batch():
+            pass
+        assert fs.size("/db/journal.wal") == size
+        assert journal.next_lsn == next_lsn
+
+    def test_torn_flush_drops_whole_batch_never_a_prefix(self, tmp_path):
+        directory = str(tmp_path / "db")
+        db, _ = open_database(directory)
+        _seed_db(db)
+        kept = db.create_object("person", {"name": "kept", "age": 1})
+        with db.batch():
+            db.create_object("person", {"name": "torn1", "age": 2})
+            db.create_object("person", {"name": "torn2", "age": 3})
+        journal_path = os.path.join(directory, "journal.wal")
+        with open(journal_path, "rb+") as handle:
+            handle.truncate(os.path.getsize(journal_path) - 7)
+        recovered, report = open_database(directory)
+        assert report.uncommitted_txn
+        names = sorted(
+            str(recovered.snapshot_at(obj.oid)["name"])
+            for obj in recovered.objects()
+        )
+        assert names == ["kept"]
+        assert check_database(recovered).ok
+        assert kept in recovered
+
+    def test_journal_batch_rejects_nested_transaction_markers(self):
+        journal = Journal("/db/journal.wal", fs=SimulatedFS())
+        journal.begin_batch()
+        with pytest.raises(JournalError):
+            journal.begin()
+        with pytest.raises(JournalError):
+            journal.checkpoint(TemporalDatabase())
+        journal.abort_batch()
+        assert not journal.in_batch
+
+
+class TestCoalescedEvents:
+    def test_single_batch_event_with_ordered_payload(self):
+        db = TemporalDatabase()
+        _seed_db(db)
+        events = []
+        db.subscribe(lambda _db, event: events.append(event))
+        with db.batch():
+            oid = db.create_object("person", {"name": "a", "age": 1})
+            db.update_attribute(oid, "age", 2)
+            db.update_attribute(oid, "age", 3)
+        assert len(events) == 1
+        event = events[0]
+        assert event.kind is EventKind.BATCH
+        kinds = [e.kind for e in event.events]
+        assert kinds == [
+            EventKind.CREATE, EventKind.UPDATE, EventKind.UPDATE
+        ]
+        assert [e.new_value for e in event.events[1:]] == [2, 3]
+
+    def test_non_batch_event_unpacks_to_itself(self):
+        db = TemporalDatabase()
+        _seed_db(db)
+        events = []
+        db.subscribe(lambda _db, event: events.append(event))
+        db.create_object("person", {"name": "a", "age": 1})
+        assert len(events) == 1
+        assert events[0].events == (events[0],)
+
+    def test_exception_mid_batch_keeps_prefix_skips_notification(self):
+        db = TemporalDatabase()
+        _seed_db(db)
+        events = []
+        db.subscribe(lambda _db, event: events.append(event))
+        with pytest.raises(RuntimeError):
+            with db.batch():
+                db.create_object("person", {"name": "a", "age": 1})
+                raise RuntimeError("boom")
+        # The applied prefix stays (no transaction, no rollback)...
+        assert len(list(db.objects())) == 1
+        # ...but the coalesced notification is skipped.
+        assert events == []
+        assert not db.in_batch
+
+    def test_triggers_fire_per_contained_op_in_order(self):
+        db = TemporalDatabase()
+        _seed_db(db)
+        manager = TriggerManager(db)
+        log = []
+        manager.register(
+            Trigger(
+                name="on-create",
+                event=EventSpec(EventKind.CREATE, "person"),
+                action=lambda _db, e: log.append(("create", e.oid)),
+            )
+        )
+        manager.register(
+            Trigger(
+                name="on-age",
+                event=EventSpec(EventKind.UPDATE, "person", "age"),
+                action=lambda _db, e: log.append(("age", e.new_value)),
+            )
+        )
+        with db.batch():
+            oid = db.create_object("person", {"name": "a", "age": 1})
+            db.update_attribute(oid, "age", 7)
+        assert log == [("create", oid), ("age", 7)]
+
+
+class TestDeferredMaintenance:
+    def test_mid_batch_reads_are_coherent(self):
+        db = TemporalDatabase()
+        _seed_db(db)
+        with db.batch():
+            oid = db.create_object("person", {"name": "a", "age": 1})
+            # Extents, membership and snapshots must see the new
+            # object immediately, not a stale pre-batch cache entry.
+            assert oid in db.pi("person", db.now)
+            assert oid in db.anchor_extent("person", db.now)
+            assert not db.membership_times("person", oid).is_empty
+            db.update_attribute(oid, "age", 5)
+            assert db.snapshot_at(oid)["age"] == 5
+        assert db.snapshot_at(oid)["age"] == 5
+
+    def test_reads_warmed_before_batch_are_invalidated_at_close(self):
+        db = TemporalDatabase()
+        _seed_db(db)
+        oid = db.create_object("person", {"name": "a", "age": 1})
+        assert db.snapshot_at(oid)["age"] == 1  # warm the caches
+        extent = db.pi("person", db.now)
+        with db.batch():
+            db.update_attribute(oid, "age", 2)
+            other = db.create_object("person", {"name": "b", "age": 3})
+        assert db.snapshot_at(oid)["age"] == 2
+        assert other in db.pi("person", db.now)
+        assert extent == frozenset({oid})  # the old answer was a copy
+
+    def test_attr_index_delta_keeps_planner_exact(self):
+        from repro.query import attr, select
+
+        db = TemporalDatabase()
+        _seed_db(db)
+        oids = [
+            db.create_object("person", {"name": f"p{i}", "age": i})
+            for i in range(40)
+        ]
+        # Build the index, then mutate a few objects in a batch (below
+        # the rebuild fraction): the coalesced delta must rederive them.
+        query = select("person").where(attr("age") == 99)
+        assert query.run(db) == []
+        registry = db.caches.attr_indexes
+        assert registry.peek("age") is not None
+        with db.batch():
+            for oid in oids[:5]:
+                db.update_attribute(oid, "age", 99)
+        assert registry.peek("age") is not None  # delta, not rebuild
+        assert set(query.run(db)) == set(oids[:5])
+
+    def test_rebuild_heuristic_drops_indexes_on_big_batches(self):
+        from repro.query import attr, select
+
+        db = TemporalDatabase()
+        _seed_db(db)
+        oids = [
+            db.create_object("person", {"name": f"p{i}", "age": i})
+            for i in range(40)
+        ]
+        query = select("person").where(attr("age") == 99)
+        assert query.run(db) == []
+        registry = db.caches.attr_indexes
+        assert registry.peek("age") is not None
+        with db.batch():
+            for oid in oids:  # the whole population: past the fraction
+                db.update_attribute(oid, "age", 99)
+        assert registry.peek("age") is None  # dropped for lazy rebuild
+        assert set(query.run(db)) == set(oids)
+
+    def test_suspension_flag_round_trips(self):
+        db = TemporalDatabase()
+        _seed_db(db)
+        assert not db.caches.suspended
+        with db.batch():
+            assert db.caches.suspended
+            assert db.caches.attr_indexes.suspended
+        assert not db.caches.suspended
+        assert not db.caches.attr_indexes.suspended
+
+
+class TestTransactionInterplay:
+    def test_rollback_truncates_whole_batch(self, tmp_path):
+        directory = str(tmp_path / "db")
+        db, _ = open_database(directory)
+        _seed_db(db)
+        db.create_object("person", {"name": "kept", "age": 1})
+        size_before = os.path.getsize(
+            os.path.join(directory, "journal.wal")
+        )
+        try:
+            with Transaction(db):
+                with db.batch():
+                    db.create_object("person", {"name": "gone", "age": 2})
+                raise RuntimeError("abort")
+        except RuntimeError:
+            pass
+        assert len(list(db.objects())) == 1
+        assert os.path.getsize(
+            os.path.join(directory, "journal.wal")
+        ) == size_before
+        recovered, _ = open_database(directory)
+        assert len(list(recovered.objects())) == 1
+
+    def test_rollback_mid_batch_discards_buffer(self, tmp_path):
+        directory = str(tmp_path / "db")
+        db, _ = open_database(directory)
+        _seed_db(db)
+        try:
+            with Transaction(db):
+                with db.batch():
+                    db.create_object("person", {"name": "gone", "age": 2})
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert len(list(db.objects())) == 0
+        assert not db.in_batch
+        recovered, _ = open_database(directory)
+        assert len(list(recovered.objects())) == 0
+
+    def test_commit_defers_barrier_to_transaction(self):
+        fs, counts = _counting_fs()
+        journal = Journal("/db/journal.wal", fs=fs)
+        db = TemporalDatabase(journal=journal)
+        _seed_db(db)
+        before = dict(counts)
+        with Transaction(db):
+            with db.batch():
+                db.create_object("person", {"name": "a", "age": 1})
+                db.create_object("person", {"name": "b", "age": 2})
+        # begin marker + batch flush + commit marker appended; exactly
+        # one fsync -- the transaction commit barrier.
+        assert counts["fsync"] - before["fsync"] == 1
+        records, _tail = scan_frames(fs.read("/db/journal.wal"))
+        kinds = [r["kind"] for r in records]
+        # The batch wrote no markers of its own inside the transaction.
+        assert kinds.count("begin") == 1 and kinds.count("commit") == 1
+
+    def test_transaction_inside_batch_is_rejected(self):
+        db = TemporalDatabase()
+        _seed_db(db)
+        with db.batch():
+            with pytest.raises(BatchError):
+                Transaction(db).begin()
+
+    def test_nested_batch_is_rejected(self):
+        db = TemporalDatabase()
+        _seed_db(db)
+        with db.batch():
+            with pytest.raises(BatchError):
+                db.batch().__enter__()
+
+    def test_commit_with_open_batch_is_rejected(self):
+        db = TemporalDatabase()
+        _seed_db(db)
+        txn = Transaction(db).begin()
+        batch = db.batch()
+        batch.__enter__()
+        with pytest.raises(TransactionError):
+            txn.commit()
+        batch.__exit__(None, None, None)
+        txn.commit()
+
+
+class TestAblation:
+    def test_disabled_batch_takes_per_op_path(self):
+        fs, counts = _counting_fs()
+        journal = Journal("/db/journal.wal", fs=fs)
+        db = TemporalDatabase(journal=journal)
+        _seed_db(db)
+        events = []
+        db.subscribe(lambda _db, event: events.append(event))
+        before = dict(counts)
+        with batch_module.disabled():
+            with db.batch():
+                db.create_object("person", {"name": "a", "age": 1})
+                db.create_object("person", {"name": "b", "age": 2})
+        assert counts["fsync"] - before["fsync"] == 2  # one per op
+        assert [e.kind for e in events] == [
+            EventKind.CREATE, EventKind.CREATE
+        ]
+
+    def test_set_enabled_round_trips(self):
+        assert batch_module.is_enabled
+        previous = batch_module.set_enabled(False)
+        assert previous is True
+        assert not batch_module.is_enabled
+        batch_module.set_enabled(True)
+        with batch_module.disabled():
+            assert not batch_module.is_enabled
+        assert batch_module.is_enabled
+
+
+class TestCounters:
+    def test_batch_metrics_register(self):
+        perf.reset_stats()
+        db = TemporalDatabase()
+        _seed_db(db)
+        with db.batch():
+            oid = db.create_object("person", {"name": "a", "age": 1})
+            db.update_attribute(oid, "age", 2)
+        stats = perf.stats()
+        assert stats["batch.ops"]["count"] == 2
+        assert stats["batch.coalesced_events"]["count"] == 2
+        assert stats["batch.commits"]["count"] == 1
+        # No journal attached: no group-commit fsync happened.
+        assert stats["batch.fsyncs"]["count"] == 0
+        assert "batch.ops" in perf.format_stats()
+
+    def test_fsync_metric_counts_group_commits(self):
+        perf.reset_stats()
+        journal = Journal("/db/journal.wal", fs=SimulatedFS())
+        db = TemporalDatabase(journal=journal)
+        _seed_db(db)
+        for _ in range(3):
+            with db.batch():
+                db.create_object("person", {"name": "x", "age": 1})
+        assert perf.stats()["batch.fsyncs"]["count"] == 3

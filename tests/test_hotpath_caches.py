@@ -283,6 +283,22 @@ def test_counters_register_hits():
     assert "database.pi" in perf.format_stats()
 
 
+def test_membership_cache_registers_hits():
+    # membership_times is only reached by quantified-scope reads and
+    # constraint checks, never NOW/AT queries -- guard against the
+    # cache silently going dark (it once reported 0/0 in the E11
+    # artifact because no workload exercised it).
+    perf.reset_stats()
+    db, oids = _world()
+    for _ in range(3):
+        for oid in oids:
+            db.membership_times("base", oid)
+    stats = perf.stats()["database.membership_times"]
+    assert stats["misses"] == len(oids)
+    assert stats["hits"] == 2 * len(oids)
+    assert stats["hit_rate"] > 0.5
+
+
 # ---------------------------------------------------------------------------
 # Satellite behaviours on TemporalValue itself.
 # ---------------------------------------------------------------------------
