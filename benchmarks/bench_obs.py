@@ -1,0 +1,321 @@
+"""E14 -- observability overhead: enabled vs disabled vs uninstrumented.
+
+Measures what the tracing layer (PR 5) costs on the bench_hotpath
+workloads, in three configurations per workload:
+
+* **baseline** -- an *uninstrumented clone* of the traced code path
+  (the method bodies below replicate ``snapshot_at`` /
+  ``anchor_extent`` / the planner chain exactly, minus the
+  ``obs.is_enabled`` guard), i.e. what the code cost before the
+  instrumentation existed;
+* **disabled** -- the real code with ``obs.set_enabled(False)``: the
+  per-call cost is one module-attribute load and a branch.  This is
+  the number the CI gate holds under 5%;
+* **enabled** -- tracing on: span allocation, ``perf_counter_ns``
+  pairs, histogram record, sink dispatch on roots.
+
+The cache-miss paths are measured under ``perf.disabled()`` (cache
+ablation) because that is where the guards live -- a warm cache hit
+never reaches the instrumentation and costs exactly 0 either way.
+
+Configurations are interleaved round-robin and the best (min) time per
+configuration is kept, so a background-load blip cannot bias one side
+of the comparison.
+
+Run directly (not under pytest)::
+
+    python benchmarks/bench_obs.py          # full run + artifacts
+    python benchmarks/bench_obs.py --ci     # smaller run, gate <5%
+
+Both modes write ``BENCH_obs.json`` at the repo root; the full run
+also writes ``benchmarks/results/e14_obs.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import timeit
+import types
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (REPO_ROOT, REPO_ROOT / "src"):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from repro import obs, perf  # noqa: E402
+from repro.database.database import INDEX_MIN_POPULATION  # noqa: E402
+from repro.query import attr, evaluator, planner, select  # noqa: E402
+
+from benchmarks.bench_hotpath import (  # noqa: E402
+    _build_extent_db,
+    _build_query_db,
+    _build_snapshot_db,
+)
+from benchmarks.conftest import emit, format_series  # noqa: E402
+
+GATE_PCT = 5.0
+
+# ---------------------------------------------------------------------------
+# Uninstrumented clones.  These replicate the traced bodies in
+# src/repro/database/database.py minus the obs guard -- keep in sync.
+
+
+def _plain_snapshot_at(self, oid, t=None):
+    from repro.objects.state import snapshot as take_snapshot
+
+    instant = self.now if t is None else t
+    obj = self.get_object(oid)
+    cached = self.caches.get_snapshot(oid, instant, self.now)
+    if cached is not None:
+        return cached
+    result = take_snapshot(obj, instant, self.now)
+    self.caches.put_snapshot(oid, instant, self.now, result)
+    return result
+
+
+def _plain_anchor_extent(self, class_name, t):
+    cached = self.caches.get_pi(class_name, t)
+    if cached is not None:
+        return cached
+    cls = self.get_class(class_name)
+    use_index = (
+        perf.is_enabled
+        and not self.caches.suspended
+        and 0 <= t <= self.now
+        and len(cls.history.ever_members()) >= INDEX_MIN_POPULATION
+    )
+    result = self._compute_anchor_extent(cls, class_name, t, use_index)
+    self.caches.put_pi(class_name, t, result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+
+
+def _interleaved_us(configs, number: int, rounds: int = 5) -> dict:
+    """Best (min) µs/call per named config, measured round-robin.
+
+    *configs* is ``[(name, setup, op, teardown), ...]``; setup/teardown
+    run outside the timed region.
+    """
+    best = {name: float("inf") for name, *_ in configs}
+    for _ in range(rounds):
+        for name, setup, op, teardown in configs:
+            setup()
+            try:
+                elapsed = timeit.timeit(op, number=number)
+            finally:
+                teardown()
+            best[name] = min(best[name], elapsed)
+    return {name: t / number * 1e6 for name, t in best.items()}
+
+
+def _result(workload: str, times: dict) -> dict:
+    baseline = times["baseline"]
+    return {
+        "workload": workload,
+        "baseline_us": round(baseline, 3),
+        "disabled_us": round(times["disabled"], 3),
+        "enabled_us": round(times["enabled"], 3),
+        "disabled_overhead_pct": round(
+            (times["disabled"] - baseline) / baseline * 100, 2
+        ),
+        "enabled_overhead_pct": round(
+            (times["enabled"] - baseline) / baseline * 100, 2
+        ),
+    }
+
+
+def bench_snapshot_miss(history: int, number: int) -> dict:
+    """The db.snapshot guard, forced onto the miss path every call."""
+    db, oid = _build_snapshot_db(16, history)
+    plain = types.MethodType(_plain_snapshot_at, db)
+    real = db.snapshot_at
+    state = {}
+
+    def setup_common():
+        state["perf"] = perf.set_enabled(False)  # every call recomputes
+
+    def teardown_common():
+        perf.set_enabled(state["perf"])
+        obs.set_enabled(state.get("obs", True))
+
+    def with_obs(flag):
+        def setup():
+            setup_common()
+            state["obs"] = obs.set_enabled(flag)
+
+        return setup
+
+    times = _interleaved_us(
+        [
+            ("baseline", setup_common, lambda: plain(oid), teardown_common),
+            ("disabled", with_obs(False), lambda: real(oid), teardown_common),
+            ("enabled", with_obs(True), lambda: real(oid), teardown_common),
+        ],
+        number,
+    )
+    return _result(f"snapshot miss path (history={history})", times)
+
+
+def bench_extent_miss(n_objects: int, ticks: int, number: int) -> dict:
+    """The db.extent guard, forced onto the miss path every stab."""
+    db = _build_extent_db(n_objects, ticks)
+    instants = list(range(0, db.now + 1, max(db.now // 50, 1)))
+    plain = types.MethodType(_plain_anchor_extent, db)
+    real = db.anchor_extent
+    state = {}
+
+    def sweep_plain():
+        for t in instants:
+            plain("thing", t)
+
+    def sweep_real():
+        for t in instants:
+            real("thing", t)
+
+    def setup_common():
+        state["perf"] = perf.set_enabled(False)
+
+    def teardown_common():
+        perf.set_enabled(state["perf"])
+        obs.set_enabled(state.get("obs", True))
+
+    def with_obs(flag):
+        def setup():
+            setup_common()
+            state["obs"] = obs.set_enabled(flag)
+
+        return setup
+
+    times = _interleaved_us(
+        [
+            ("baseline", setup_common, sweep_plain, teardown_common),
+            ("disabled", with_obs(False), sweep_real, teardown_common),
+            ("enabled", with_obs(True), sweep_real, teardown_common),
+        ],
+        number,
+    )
+    times = {k: t / len(instants) for k, t in times.items()}  # per stab
+    return _result(f"extent miss stab (n={n_objects})", times)
+
+
+def bench_query(n_objects: int, ticks: int, number: int) -> dict:
+    """The query.evaluate/planner.plan/planner.execute guards.
+
+    Caches stay enabled (the planner path is traced on every call, not
+    just misses); the baseline swaps in the unwrapped ``_plan`` /
+    ``_run`` / ``_evaluate`` internals.
+    """
+    db = _build_query_db(n_objects, ticks)
+    query = select("thing").where(attr("score") > 400).build()
+    state = {}
+
+    def run_real():
+        evaluator.evaluate(db, query)
+
+    def run_plain():
+        evaluator._evaluate(db, query)
+
+    def setup_baseline():
+        state["plan"], state["run"] = planner.plan, planner.run
+        planner.plan, planner.run = planner._plan, planner._run
+
+    def teardown_baseline():
+        planner.plan, planner.run = state["plan"], state["run"]
+
+    def with_obs(flag):
+        def setup():
+            state["obs"] = obs.set_enabled(flag)
+
+        return setup
+
+    def teardown_obs():
+        obs.set_enabled(state["obs"])
+
+    run_real()  # warm caches/indexes once for every configuration
+    times = _interleaved_us(
+        [
+            ("baseline", setup_baseline, run_plain, teardown_baseline),
+            ("disabled", with_obs(False), run_real, teardown_obs),
+            ("enabled", with_obs(True), run_real, teardown_obs),
+        ],
+        number,
+    )
+    return _result(f"query NOW (n={n_objects}, warm)", times)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--ci",
+        action="store_true",
+        help="smaller workloads; exit 1 if disabled-mode overhead "
+        f">= {GATE_PCT}%% on any workload",
+    )
+    args = parser.parse_args(argv)
+
+    perf.reset_stats()
+    obs.reset()
+    if args.ci:
+        results = [
+            bench_snapshot_miss(history=100, number=400),
+            bench_extent_miss(n_objects=64, ticks=40, number=30),
+            bench_query(n_objects=60, ticks=40, number=40),
+        ]
+    else:
+        results = [
+            bench_snapshot_miss(history=100, number=1000),
+            bench_snapshot_miss(history=1000, number=300),
+            bench_extent_miss(n_objects=300, ticks=120, number=40),
+            bench_query(n_objects=200, ticks=100, number=60),
+        ]
+
+    rows = [
+        (
+            r["workload"],
+            f"{r['baseline_us']:.2f}",
+            f"{r['disabled_us']:.2f}",
+            f"{r['enabled_us']:.2f}",
+            f"{r['disabled_overhead_pct']:+.1f}%",
+            f"{r['enabled_overhead_pct']:+.1f}%",
+        )
+        for r in results
+    ]
+    table = format_series(
+        "E14: observability overhead (us/op; overhead vs uninstrumented)",
+        ("workload", "baseline", "disabled", "enabled", "off-ovh", "on-ovh"),
+        rows,
+    )
+    print(table)
+
+    worst = max(r["disabled_overhead_pct"] for r in results)
+    payload = {
+        "experiment": "E14 observability overhead",
+        "gate_pct": GATE_PCT,
+        "worst_disabled_overhead_pct": worst,
+        "gate_ok": worst < GATE_PCT,
+        "results": results,
+        "histograms": obs.histogram_stats(),
+    }
+    (REPO_ROOT / "BENCH_obs.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print(f"wrote {REPO_ROOT / 'BENCH_obs.json'}")
+    if not args.ci:
+        emit("e14_obs", table)
+    if args.ci and worst >= GATE_PCT:
+        print(
+            f"GATE FAILED: disabled-mode overhead {worst:.1f}% "
+            f">= {GATE_PCT}%"
+        )
+        return 1
+    print(f"gate ok: worst disabled-mode overhead {worst:+.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

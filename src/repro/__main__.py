@@ -17,6 +17,13 @@ Commands:
 * ``perf [FILE.json]`` -- exercise the hot-path caches (on a saved
   database, or a synthetic workload when no file is given) and print
   the hit/miss/invalidation counters;
+* ``stats [FILE.json] [--json | --prom]`` -- run the seeded workload
+  (or exercise a saved database) with tracing on and print the merged
+  perf counters + span latency histograms + slow-op log as a human
+  table, JSON, or Prometheus text exposition format;
+* ``trace [--top N] [--json] <command> [args...]`` -- run any other
+  subcommand with tracing forced on and print the N slowest span
+  trees (``repro trace query db.json "select ..."``);
 * ``recover DIR [--json]`` -- rebuild a journaled database from its
   durability directory (checkpoint + write-ahead journal) and print the
   recovery report; exit 0 when a database was produced (even off a
@@ -136,34 +143,43 @@ def cmd_explain(args) -> int:
     return 0
 
 
-def cmd_perf(args) -> int:
-    from repro import perf
-    from repro.types.grammar import ObjectType
-    from repro.types.subtyping import is_subtype
+def _synthetic_database(directory: str | None = None):
+    """The seeded synthetic workload database behind ``perf``/``stats``.
 
-    if args.file:
-        db = _load(args.file)
+    With *directory*, the database is journaled there (so the WAL and
+    checkpoint boundaries get exercised too); without, it is a plain
+    in-memory build.
+    """
+    if directory is not None:
+        from repro.database.recovery import open_database
+
+        db, _report = open_database(directory)
     else:
         from repro.database.database import TemporalDatabase
 
         db = TemporalDatabase()
-        db.define_class("base", attributes=[("score", "temporal(integer)")])
-        db.define_class("derived", parents=["base"])
-        oids = [
-            db.create_object("derived", {"score": i}) for i in range(64)
-        ]
-        for step in range(40):
-            db.tick()
-            for oid in oids[:: max(step % 7, 1)]:
-                db.update_attribute(oid, "score", step)
+    db.define_class("base", attributes=[("score", "temporal(integer)")])
+    db.define_class("derived", parents=["base"])
+    oids = [db.create_object("derived", {"score": i}) for i in range(64)]
+    for step in range(40):
+        db.tick()
+        for oid in oids[:: max(step % 7, 1)]:
+            db.update_attribute(oid, "score", step)
+    return db
 
-    perf.reset_stats()
-    # One bulk batch so the batch.* metrics (group commit + deferred
-    # maintenance) report alongside the cache counters.
+
+def _exercise(db) -> None:
+    """Touch every hot read path: batch, extents, snapshots,
+    membership, subtyping, and -- when the schema has a queryable
+    temporal attribute -- the planner/evaluator."""
     from repro.errors import TChimeraError
     from repro.temporal.temporalvalue import TemporalValue
+    from repro.types.grammar import ObjectType
+    from repro.types.subtyping import is_subtype
 
     db.tick()
+    # One bulk batch so the batch.* metrics (group commit + deferred
+    # maintenance) report alongside the cache counters.
     with db.batch():
         for obj in list(db.live_objects()):
             for name, value in obj.value.items():
@@ -191,8 +207,124 @@ def cmd_perf(args) -> int:
         for sub in classes:
             for sup in classes:
                 is_subtype(ObjectType(sub), ObjectType(sup), db.isa)
+    # One database-wide constraint check (each class's first temporal
+    # attribute must be meaningful over the membership span) so
+    # constraint.check reports alongside the other span kinds.
+    from repro.constraints.constraints import AlwaysMeaningful, ConstraintSet
+
+    constraint_set = ConstraintSet()
+    for name in classes:
+        for oid in db.anchor_extent(name, db.now):
+            obj = db.get_object(oid)
+            attr_name = next(
+                (
+                    attr
+                    for attr, value in obj.value.items()
+                    if isinstance(value, TemporalValue)
+                ),
+                None,
+            )
+            if attr_name is not None:
+                constraint_set.add(AlwaysMeaningful(name, attr_name))
+            break
+    constraint_set.check(db)
+
+
+def _exercise_queries(db) -> None:
+    """Run a few planner-routed queries over the synthetic schema."""
+    from repro.query import evaluate, parse_query
+
+    for text in (
+        "select derived where score > 20",
+        "select base where score > 30 sometime",
+        "select derived where score >= 0 always",
+    ):
+        evaluate(db, parse_query(text))
+
+
+def cmd_perf(args) -> int:
+    from repro import perf
+
+    if args.file:
+        db = _load(args.file)
+    else:
+        db = _synthetic_database()
+    perf.reset_stats()
+    _exercise(db)
     print(perf.format_stats())
     return 0
+
+
+def cmd_stats(args) -> int:
+    import json
+    import tempfile
+
+    from repro import obs, perf
+
+    perf.reset_stats()
+    obs.reset()
+    if args.slow_us is not None:
+        obs.set_slow_threshold_us(args.slow_us)
+    if args.file:
+        db = _load(args.file)
+        _exercise(db)
+    else:
+        # Seeded workload in a journaled temp directory: exercises
+        # every instrumented boundary (WAL append/fsync/checkpoint,
+        # batch flush, extents/snapshots, planner, recovery replay).
+        from repro.database.recovery import recover
+
+        with tempfile.TemporaryDirectory() as directory:
+            db = _synthetic_database(directory)
+            _exercise(db)
+            _exercise_queries(db)
+            recover(directory)  # read-only: replays the whole journal
+            db.checkpoint()
+    if args.json:
+        print(json.dumps(obs.stats_dict(), indent=2, sort_keys=True))
+    elif args.prom:
+        print(obs.prom_text(), end="")
+    else:
+        print(obs.format_stats())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    import json
+
+    from repro import obs
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        print(
+            "usage: repro trace [--top N] [--json] <command> [args...]",
+            file=sys.stderr,
+        )
+        return 2
+    if rest[0] == "trace":
+        print("refusing to trace 'trace'", file=sys.stderr)
+        return 2
+    inner = build_parser().parse_args(rest)
+    collector = obs.TopK(args.top)
+    previous = obs.set_enabled(True)
+    obs.add_sink(collector.offer)
+    try:
+        code = _HANDLERS[inner.command](inner)
+    finally:
+        obs.remove_sink(collector.offer)
+        obs.set_enabled(previous)
+    trees = collector.slowest()
+    if args.json:
+        print(json.dumps(trees, indent=2, sort_keys=True))
+        return code
+    print()
+    print(f"-- {len(trees)} slowest span tree(s) of `repro {' '.join(rest)}`:")
+    for tree in trees:
+        print(obs.render_span_tree(tree))
+        print()
+    return code
 
 
 def cmd_recover(args) -> int:
@@ -234,7 +366,9 @@ def cmd_checkpoint(args) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI parser (exposed so tools/check_docs_drift.py can
+    enumerate the real subcommand registry)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="T_Chimera: the EDBT 1996 temporal OO data model, "
@@ -278,6 +412,47 @@ def main(argv: list[str] | None = None) -> int:
     )
     perf_cmd.add_argument("file", nargs="?", default=None)
 
+    stats_cmd = sub.add_parser(
+        "stats",
+        help="run the seeded workload with tracing on and print "
+        "counters + span latency histograms + slow ops",
+    )
+    stats_cmd.add_argument("file", nargs="?", default=None)
+    output = stats_cmd.add_mutually_exclusive_group()
+    output.add_argument(
+        "--json", action="store_true", help="machine-readable snapshot"
+    )
+    output.add_argument(
+        "--prom",
+        action="store_true",
+        help="Prometheus text exposition format",
+    )
+    stats_cmd.add_argument(
+        "--slow-us",
+        type=int,
+        default=None,
+        help="slow-op capture threshold in microseconds "
+        "(default: REPRO_SLOW_US or 10000)",
+    )
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="run another subcommand with tracing forced on and print "
+        "the N slowest span trees",
+    )
+    trace_cmd.add_argument(
+        "--top", type=int, default=5, help="how many trees to keep"
+    )
+    trace_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable trees"
+    )
+    trace_cmd.add_argument(
+        "rest",
+        nargs=argparse.REMAINDER,
+        metavar="command",
+        help="any other repro subcommand with its arguments",
+    )
+
     recover_cmd = sub.add_parser(
         "recover",
         help="rebuild a journaled database and print the recovery report",
@@ -298,19 +473,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     checkpoint_cmd.add_argument("directory")
 
-    args = parser.parse_args(argv)
-    handlers = {
-        "tables": cmd_tables,
-        "demo": cmd_demo,
-        "check": cmd_check,
-        "describe": cmd_describe,
-        "query": cmd_query,
-        "explain": cmd_explain,
-        "perf": cmd_perf,
-        "recover": cmd_recover,
-        "checkpoint": cmd_checkpoint,
-    }
-    return handlers[args.command](args)
+    return parser
+
+
+_HANDLERS = {
+    "tables": cmd_tables,
+    "demo": cmd_demo,
+    "check": cmd_check,
+    "describe": cmd_describe,
+    "query": cmd_query,
+    "explain": cmd_explain,
+    "perf": cmd_perf,
+    "stats": cmd_stats,
+    "trace": cmd_trace,
+    "recover": cmd_recover,
+    "checkpoint": cmd_checkpoint,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
 
 
 if __name__ == "__main__":

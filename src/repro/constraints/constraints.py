@@ -12,6 +12,7 @@ from typing import Any, Callable
 
 from repro.errors import ConstraintError, UnknownObjectError
 from repro.database.events import Event, EventKind
+from repro.obs import spans as obs
 from repro.objects.object import TemporalObject
 from repro.temporal.intervalsets import IntervalSet
 from repro.temporal.temporalvalue import TemporalValue
@@ -337,10 +338,15 @@ class ConstraintSet:
 
     def check(self, db) -> list[str]:
         """All violations across the whole database."""
-        problems = []
-        for obj in db.objects():
-            problems.extend(self.check_object(db, obj))
-        return problems
+        with obs.span(
+            "constraint.check",
+            constraints=len(self._constraints),
+            scope="database",
+        ):
+            problems = []
+            for obj in db.objects():
+                problems.extend(self.check_object(db, obj))
+            return problems
 
     # -- continuous enforcement -------------------------------------------------
 
@@ -353,21 +359,24 @@ class ConstraintSet:
             # A BATCH event coalesces many operations; check each
             # distinct surviving object once against the post-batch
             # state (enforcement is after-the-fact either way).
-            seen = set()
-            problems = []
-            for contained in event.events:
-                if contained.kind is EventKind.DELETE:
-                    continue
-                if contained.oid in seen:
-                    continue
-                seen.add(contained.oid)
-                try:
-                    obj = database.get_object(contained.oid)
-                except UnknownObjectError:
-                    continue  # deleted later in the same batch
-                problems.extend(self.check_object(database, obj))
-            if problems:
-                raise ConstraintError("; ".join(problems))
+            with obs.span(
+                "constraint.check", event=event.kind.name, scope="event"
+            ):
+                seen = set()
+                problems = []
+                for contained in event.events:
+                    if contained.kind is EventKind.DELETE:
+                        continue
+                    if contained.oid in seen:
+                        continue
+                    seen.add(contained.oid)
+                    try:
+                        obj = database.get_object(contained.oid)
+                    except UnknownObjectError:
+                        continue  # deleted later in the same batch
+                    problems.extend(self.check_object(database, obj))
+                if problems:
+                    raise ConstraintError("; ".join(problems))
 
         self._enforcing.append((db, observer))
         db.subscribe(observer)

@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 from repro import perf
 from repro.database.events import Event, EventKind
+from repro.obs import spans as obs_spans
 from repro.temporal.instants import Now
 from repro.temporal.intervals import Interval
 from repro.temporal.intervalsets import IntervalSet
@@ -461,8 +462,11 @@ class AttributeIndexRegistry:
             _INDEX.invalidate(len(self._indexes))
             self._indexes.clear()
         index = AttributeIndex(name)
-        for obj in db.objects():
-            index.cover(obj)
+        # obs_spans.Span is the tracing span; this module's own Span
+        # (a value hold-interval) is unrelated.
+        with obs_spans.span("cache.rebuild", index="attribute", attr=name):
+            for obj in db.objects():
+                index.cover(obj)
         self._indexes[name] = index
         return index
 

@@ -56,6 +56,7 @@ from typing import TYPE_CHECKING, Iterator
 from repro import perf
 from repro.database.events import Event, EventKind
 from repro.errors import BatchError
+from repro.obs import spans as obs
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.database.database import TemporalDatabase
@@ -153,26 +154,27 @@ class BulkBatch:
         # Reconcile caches first (observers -- and any error handling
         # above us -- must never read through stale entries), then
         # flush the journal, then notify: the per-operation order.
-        if self._db.caches.resume(self._db, self.events):
-            _REBUILDS.add()
-        if journal is not None and journal.in_batch:
-            flushed = journal.commit_batch()
-            if (
-                flushed
-                and not journal.in_transaction
-                and journal.sync != "never"
-            ):
-                _FSYNCS.add()
-        _COMMITS.add()
-        if exc_type is None and self.events:
-            _COALESCED.add(len(self.events))
-            self._db._notify(
-                Event(
-                    kind=EventKind.BATCH,
-                    at=self._db.now,
-                    oid=None,  # type: ignore[arg-type] -- spans many objects
-                    class_name="",
-                    payload=tuple(self.events),
+        with obs.span("batch.flush", ops=len(self.events)):
+            if self._db.caches.resume(self._db, self.events):
+                _REBUILDS.add()
+            if journal is not None and journal.in_batch:
+                flushed = journal.commit_batch()
+                if (
+                    flushed
+                    and not journal.in_transaction
+                    and journal.sync != "never"
+                ):
+                    _FSYNCS.add()
+            _COMMITS.add()
+            if exc_type is None and self.events:
+                _COALESCED.add(len(self.events))
+                self._db._notify(
+                    Event(
+                        kind=EventKind.BATCH,
+                        at=self._db.now,
+                        oid=None,  # type: ignore[arg-type] -- many objects
+                        class_name="",
+                        payload=tuple(self.events),
+                    )
                 )
-            )
         return False

@@ -54,6 +54,7 @@ from typing import TYPE_CHECKING
 
 from repro import perf
 from repro.database.attr_indexes import AttributeIndexRegistry
+from repro.obs import spans as obs
 from repro.database.events import Event, EventKind
 from repro.database.indexes import IntervalStabbingIndex, extent_index
 from repro.temporal.intervalsets import IntervalSet
@@ -345,7 +346,8 @@ class DatabaseCaches:
             _INDEX.hit()
             return entry[3]
         _INDEX.miss()
-        index = extent_index(db, class_name)
+        with obs.span("cache.rebuild", index="stabbing", cls=class_name):
+            index = extent_index(db, class_name)
         self._indexes[class_name] = (*key, index)
         return index
 

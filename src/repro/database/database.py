@@ -39,6 +39,7 @@ from typing import Any, Iterable, Iterator, Mapping
 
 from repro import perf
 from repro.database.caches import INDEX_MIN_POPULATION, DatabaseCaches
+from repro.obs import spans as obs
 from repro.database.events import Event, EventKind
 from repro.errors import (
     DuplicateClassError,
@@ -1163,13 +1164,28 @@ class TemporalDatabase:
             and 0 <= t <= self.now
             and len(cls.history.ever_members()) >= INDEX_MIN_POPULATION
         )
-        if use_index:
-            index = self.caches.stabbing_index(self, class_name)
-            result = frozenset(index.stab(t))
+        # Only the cache-miss compute is traced: warm reads stay
+        # guard-free, so tracing costs the steady state nothing.
+        if obs.is_enabled:
+            with obs.span(
+                "db.extent",
+                cls=class_name,
+                t=t,
+                path="index" if use_index else "history",
+            ):
+                result = self._compute_anchor_extent(cls, class_name, t, use_index)
         else:
-            result = cls.history.members_at(t)
+            result = self._compute_anchor_extent(cls, class_name, t, use_index)
         self.caches.put_pi(class_name, t, result)
         return result
+
+    def _compute_anchor_extent(
+        self, cls, class_name: str, t: int, use_index: bool
+    ) -> frozenset[OID]:
+        if use_index:
+            index = self.caches.stabbing_index(self, class_name)
+            return frozenset(index.stab(t))
+        return cls.history.members_at(t)
 
     def extent(self, class_name: str, t: int) -> frozenset[OID]:
         if class_name not in self._classes:
@@ -1203,7 +1219,11 @@ class TemporalDatabase:
         cached = self.caches.get_snapshot(oid, instant, self.now)
         if cached is not None:
             return cached
-        result = take_snapshot(obj, instant, self.now)
+        if obs.is_enabled:
+            with obs.span("db.snapshot", oid=oid.serial, t=instant):
+                result = take_snapshot(obj, instant, self.now)
+        else:
+            result = take_snapshot(obj, instant, self.now)
         self.caches.put_snapshot(oid, instant, self.now, result)
         return result
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro import perf
+from repro.obs import spans as obs
 from repro.database.wal import (
     CHECKPOINT_FORMAT,
     Journal,
@@ -338,33 +339,36 @@ def recover(
     report.uncommitted_txn = open_txn
 
     # 4. Replay records beyond the checkpoint.
-    for record in committed:
-        kind = record.get("kind")
-        if kind in ("begin", "commit"):
-            continue
-        if record["lsn"] <= report.checkpoint_lsn:
-            report.records_skipped += 1
-            continue
-        try:
-            db = apply_record(db, record)
-        except RecoveryError as exc:
-            if db is None:
-                report.ok = False
+    with obs.span("recovery.replay", records=len(committed)) as replay_sp:
+        for record in committed:
+            kind = record.get("kind")
+            if kind in ("begin", "commit"):
+                continue
+            if record["lsn"] <= report.checkpoint_lsn:
+                report.records_skipped += 1
+                continue
+            try:
+                db = apply_record(db, record)
+            except RecoveryError as exc:
+                if db is None:
+                    report.ok = False
+                    report.errors.append(str(exc))
+                    _DROPPED.add(
+                        report.records_scanned - report.records_applied
+                    )
+                    return None, report
+                # A mid-stream replay failure is state divergence we
+                # cannot hide: stop at the last good record (longest
+                # valid prefix semantics at the logical level too) and
+                # flag it so open_database refuses to resume appends
+                # against a journal that no longer matches the
+                # recovered state.
+                report.replay_divergence = True
                 report.errors.append(str(exc))
-                _DROPPED.add(
-                    report.records_scanned - report.records_applied
-                )
-                return None, report
-            # A mid-stream replay failure is state divergence we cannot
-            # hide: stop at the last good record (longest valid prefix
-            # semantics at the logical level too) and flag it so
-            # open_database refuses to resume appends against a journal
-            # that no longer matches the recovered state.
-            report.replay_divergence = True
-            report.errors.append(str(exc))
-            break
-        report.records_applied += 1
-        report.last_lsn = record["lsn"]
+                break
+            report.records_applied += 1
+            report.last_lsn = record["lsn"]
+        replay_sp.annotate(applied=report.records_applied)
 
     if db is None:
         # No checkpoint and no genesis record: nothing to rebuild from.

@@ -69,6 +69,7 @@ from repro import perf
 from repro.database.events import Event, EventKind
 from repro.errors import JournalError
 from repro.faults.fs import RealFS
+from repro.obs import spans as obs
 
 MAGIC = b"TCWAL001"
 _HEADER_LEN = 8  # 4-byte length + 4-byte crc32
@@ -282,6 +283,15 @@ class Journal:
         if buffer is not None:
             buffer += data
             self._batch_records += 1
+        elif obs.is_enabled:
+            # Only the actual write is traced -- a batch-buffered append
+            # is a memory copy and stays span-free.
+            with obs.span(
+                "wal.append", record=record.get("kind"), bytes=len(data)
+            ):
+                self.fs.append(self.path, data)
+                if self._txn_offset is None and self._sync_on_append:
+                    self._fsync()
         else:
             self.fs.append(self.path, data)
             if self._txn_offset is None and self._sync_on_append:
@@ -293,7 +303,11 @@ class Journal:
     def _fsync(self) -> None:
         if not self._sync_enabled:
             return
-        self.fs.fsync(self.path)
+        if obs.is_enabled:
+            with obs.span("wal.fsync"):
+                self.fs.fsync(self.path)
+        else:
+            self.fs.fsync(self.path)
         _SYNCS.add()
 
     # -- transactions ----------------------------------------------------------
@@ -387,10 +401,11 @@ class Journal:
         self._batch_buffer = None
         self._batch_lsn = None
         self._batch_records = 0
-        self.fs.append(self.path, bytes(buffer))
-        if self._txn_offset is None:
-            self._fsync()
-            _COMMITS.add()
+        with obs.span("wal.append", record="batch", records=count):
+            self.fs.append(self.path, bytes(buffer))
+            if self._txn_offset is None:
+                self._fsync()
+                _COMMITS.add()
         return count
 
     def abort_batch(self) -> None:
@@ -429,8 +444,6 @@ class Journal:
         the new one is durable, and journal records already covered by
         the new checkpoint are skipped by LSN during replay.
         """
-        from repro.database.persistence import database_to_json
-
         if self._txn_offset is not None:
             raise JournalError(
                 "cannot checkpoint inside an open transaction"
@@ -438,6 +451,12 @@ class Journal:
         if self._batch_buffer is not None:
             raise JournalError("cannot checkpoint inside an open batch")
         lsn = self.last_lsn
+        with obs.span("wal.checkpoint", lsn=lsn):
+            return self._write_checkpoint(db, lsn)
+
+    def _write_checkpoint(self, db: Any, lsn: int) -> str:
+        from repro.database.persistence import database_to_json
+
         doc = {
             "format": CHECKPOINT_FORMAT,
             "lsn": lsn,

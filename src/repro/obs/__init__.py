@@ -1,0 +1,108 @@
+"""Low-overhead observability: spans, latency histograms, slow-op log.
+
+The ``repro.perf`` counters say *how often* the engine's caches and
+subsystems fired; this package says *where the time went*.  Four
+pieces, documented in docs/observability.md:
+
+* **spans** (:mod:`repro.obs.spans`) — ``with obs.span("db.snapshot"):``
+  context-var tracing at the twelve hot boundaries (:data:`KINDS`),
+  nesting into per-operation span trees;
+* **histograms** (:mod:`repro.obs.histograms`) — power-of-two µs
+  latency buckets per span kind, with p50/p95/p99 derivation;
+* **slow-op log** (:mod:`repro.obs.slowlog`) — a ring buffer of the
+  full span trees of operations over ``REPRO_SLOW_US`` µs;
+* **export** (:mod:`repro.obs.export`) — the merged perf+obs snapshot
+  as dict / table / Prometheus text, behind ``python -m repro stats``
+  and ``repro trace``.
+
+Ablation mirrors the planner/batch pattern: ``REPRO_NO_OBS`` disables
+tracing at import; :func:`set_enabled` / :func:`disabled` /
+:func:`enabled` flip it at runtime; hot call sites guard on the bare
+``obs.is_enabled`` attribute so the disabled path allocates nothing
+(asserted via the ``obs.spans`` metric in tests/test_obs.py, measured
+in benchmarks/bench_obs.py).
+"""
+
+from __future__ import annotations
+
+from repro.obs.spans import (
+    KINDS,
+    Span,
+    add_sink,
+    current_span,
+    disabled,
+    enabled,
+    remove_sink,
+    set_enabled,
+    span,
+)
+from repro.obs import spans as _spans
+from repro.obs.histograms import (
+    Histogram,
+    histogram,
+    histogram_stats,
+    reset_histograms,
+)
+from repro.obs.slowlog import (
+    TopK,
+    clear_slow_ops,
+    set_capacity,
+    set_slow_threshold_us,
+    slow_ops,
+    slow_ops_json,
+)
+from repro.obs.export import (
+    format_stats,
+    prom_text,
+    render_span_tree,
+    stats_dict,
+)
+
+__all__ = [
+    "KINDS",
+    "Histogram",
+    "Span",
+    "TopK",
+    "add_sink",
+    "clear_slow_ops",
+    "current_span",
+    "disabled",
+    "enabled",
+    "format_stats",
+    "histogram",
+    "histogram_stats",
+    "is_enabled",
+    "prom_text",
+    "remove_sink",
+    "render_span_tree",
+    "reset",
+    "reset_histograms",
+    "set_capacity",
+    "set_enabled",
+    "set_slow_threshold_us",
+    "slow_ops",
+    "slow_ops_json",
+    "span",
+    "stats_dict",
+]
+
+# Pre-register a histogram per instrumented boundary so every export
+# lists all twelve kinds, recorded-into or not.
+for _kind in KINDS:
+    histogram(_kind)
+del _kind
+
+
+def __getattr__(name: str):
+    # ``is_enabled`` lives in repro.obs.spans (hot paths read it there
+    # via the facade); forward it so ``obs.is_enabled`` always reflects
+    # the live switch instead of a stale import-time copy.
+    if name == "is_enabled":
+        return _spans.is_enabled
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+
+
+def reset() -> None:
+    """Zero histograms and drop captured slow ops (registries persist)."""
+    reset_histograms()
+    clear_slow_ops()

@@ -1,0 +1,172 @@
+"""Export: merged perf+obs snapshots as dict, table, or Prometheus text.
+
+Three views over the same registries (``repro.perf.counters`` for
+cache counters and event metrics, ``repro.obs.histograms`` for span
+latency, ``repro.obs.slowlog`` for captured trees):
+
+* :func:`stats_dict` — one JSON-friendly dict (``repro stats --json``);
+* :func:`format_stats` — the human table (``repro stats``);
+* :func:`prom_text` — Prometheus text exposition format, suitable for
+  a textfile-collector drop or an HTTP scrape handler
+  (``repro stats --prom``).
+
+Prometheus mapping: cache counters become
+``repro_cache_{hits,misses,invalidations}_total{cache="..."}``, event
+metrics become ``repro_events_total{metric="..."}``, and each span-kind
+histogram becomes the classic cumulative-bucket family
+``repro_span_duration_us_bucket{kind="...",le="..."}`` with ``_sum`` /
+``_count``, whose ``le`` bounds are this repo's power-of-two µs bucket
+edges.
+"""
+
+from __future__ import annotations
+
+from repro.perf import counters as perf_counters
+
+from repro.obs import histograms, slowlog, spans
+
+
+def stats_dict(include_slow: bool = True) -> dict:
+    """Everything the registries know, as one JSON-friendly dict."""
+    data: dict = {
+        "obs_enabled": spans.is_enabled,
+        "counters": perf_counters.stats(),
+        "histograms": histograms.histogram_stats(),
+        "slow_threshold_us": slowlog.threshold_us,
+    }
+    if include_slow:
+        data["slow_ops"] = slowlog.slow_ops()
+    return data
+
+
+def _histogram_table() -> str:
+    header = ("span kind", "count", "mean", "p50", "p95", "p99", "max")
+    rows = []
+    for kind, snap in sorted(histograms.histogram_stats().items()):
+        rows.append(
+            (
+                kind,
+                str(snap["count"]),
+                f"{snap['mean_us']:.1f}",
+                str(snap["p50_us"]),
+                str(snap["p95_us"]),
+                str(snap["p99_us"]),
+                str(snap["max_us"]),
+            )
+        )
+    grid = [header, *rows]
+    widths = [max(len(row[i]) for row in grid) for i in range(len(header))]
+    lines = []
+    for index, row in enumerate(grid):
+        lines.append(
+            "  ".join(
+                cell.ljust(width) if i == 0 else cell.rjust(width)
+                for i, (cell, width) in enumerate(zip(row, widths))
+            )
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    if not rows:
+        lines.append("(no spans recorded)")
+    return "\n".join(lines)
+
+
+def format_stats() -> str:
+    """The perf counter table plus the span-latency table (µs)."""
+    captured = len(slowlog.slow_ops())
+    total_slow = perf_counters.metric("obs.slow_ops").count
+    parts = [
+        perf_counters.format_stats(),
+        "",
+        "span latency (us):",
+        _histogram_table(),
+        "",
+        f"slow ops (>= {slowlog.threshold_us} us): "
+        f"{total_slow} captured, {captured} in ring"
+        + ("" if spans.is_enabled else "  [tracing disabled]"),
+    ]
+    return "\n".join(parts)
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def prom_text() -> str:
+    """All counters and histograms in Prometheus text exposition format."""
+    counter_snaps: list[tuple[str, dict]] = []
+    metric_snaps: list[tuple[str, dict]] = []
+    for name, snap in sorted(perf_counters.stats().items()):
+        if "hits" in snap:
+            counter_snaps.append((name, snap))
+        else:
+            metric_snaps.append((name, snap))
+
+    lines: list[str] = []
+    for field in ("hits", "misses", "invalidations"):
+        family = f"repro_cache_{field}_total"
+        lines.append(f"# HELP {family} Cache {field} by cache name.")
+        lines.append(f"# TYPE {family} counter")
+        for name, snap in counter_snaps:
+            lines.append(
+                f'{family}{{cache="{_escape(name)}"}} {snap[field]}'
+            )
+
+    lines.append(
+        "# HELP repro_events_total Monotonic event tallies by metric name."
+    )
+    lines.append("# TYPE repro_events_total counter")
+    for name, snap in metric_snaps:
+        lines.append(
+            f'repro_events_total{{metric="{_escape(name)}"}} {snap["count"]}'
+        )
+
+    lines.append(
+        "# HELP repro_span_duration_us Span wall time by span kind "
+        "(microseconds)."
+    )
+    lines.append("# TYPE repro_span_duration_us histogram")
+    for kind in sorted(histograms._HISTOGRAMS):
+        hist = histograms._HISTOGRAMS[kind]
+        label = _escape(kind)
+        cumulative = 0
+        for index, count in enumerate(hist.counts):
+            cumulative += count
+            if count:
+                upper = histograms.bucket_upper_us(index)
+                lines.append(
+                    f'repro_span_duration_us_bucket'
+                    f'{{kind="{label}",le="{upper}"}} {cumulative}'
+                )
+        lines.append(
+            f'repro_span_duration_us_bucket{{kind="{label}",le="+Inf"}} '
+            f"{hist.count}"
+        )
+        lines.append(
+            f'repro_span_duration_us_sum{{kind="{label}"}} {hist.total_us}'
+        )
+        lines.append(
+            f'repro_span_duration_us_count{{kind="{label}"}} {hist.count}'
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_span_tree(tree: dict, indent: int = 0) -> str:
+    """One captured span tree as an indented text block."""
+    labels = tree.get("labels") or {}
+    bits = " ".join(f"{key}={value}" for key, value in labels.items())
+    error = tree.get("error")
+    suffix = (f"  !{error}" if error else "") + (f"  [{bits}]" if bits else "")
+    line = (
+        f"{'  ' * indent}{tree['kind']:<18} "
+        f"{tree['duration_us']:>8} us{suffix}"
+    )
+    lines = [line]
+    for child in tree.get("children", ()):
+        lines.append(render_span_tree(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Fixed-bucket latency histograms, one per span kind.
+
+Buckets are powers of two in microseconds: bucket 0 holds sub-µs
+observations, bucket *i* (i ≥ 1) holds durations in ``[2^(i-1), 2^i)``
+µs, and the last bucket absorbs everything from ~9 minutes up.  The
+bucket index of a duration is just ``us.bit_length()`` — one integer
+instruction, no search — which is what lets :class:`repro.obs.Span`
+record into a histogram on every exit without showing up in profiles.
+
+Quantiles are derived by a cumulative walk and reported as the upper
+bound of the bucket containing the requested rank, i.e. p99 answers
+"99% of operations finished within *at most* this many µs" with
+power-of-two resolution.  That is the same contract Prometheus
+histogram_quantile gives for the exported buckets, so the local and
+scraped numbers agree.
+"""
+
+from __future__ import annotations
+
+N_BUCKETS = 30  # last upper bound: 2^29 - 1 µs ≈ 537 s
+
+
+def bucket_upper_us(index: int) -> int:
+    """Inclusive upper bound (µs) of bucket *index*."""
+    return 0 if index == 0 else (1 << index) - 1
+
+
+class Histogram:
+    """Latency distribution for one span kind, in microseconds."""
+
+    __slots__ = ("name", "counts", "count", "total_us", "max_us")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counts = [0] * N_BUCKETS
+        self.count = 0
+        self.total_us = 0
+        self.max_us = 0
+
+    def record(self, us: int) -> None:
+        index = us.bit_length()
+        if index >= N_BUCKETS:
+            index = N_BUCKETS - 1
+        self.counts[index] += 1
+        self.count += 1
+        self.total_us += us
+        if us > self.max_us:
+            self.max_us = us
+
+    @property
+    def mean_us(self) -> float:
+        return self.total_us / self.count if self.count else 0.0
+
+    def quantile_us(self, q: float) -> int:
+        """Upper bound of the bucket holding the q-quantile (0 < q ≤ 1)."""
+        if not self.count:
+            return 0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket in enumerate(self.counts):
+            cumulative += bucket
+            if bucket and cumulative >= target:
+                return bucket_upper_us(index)
+        return bucket_upper_us(N_BUCKETS - 1)
+
+    def reset(self) -> None:
+        self.counts = [0] * N_BUCKETS
+        self.count = 0
+        self.total_us = 0
+        self.max_us = 0
+
+    def snapshot(self) -> dict:
+        """JSON-friendly summary: count, mean, quantiles, sparse buckets."""
+        return {
+            "count": self.count,
+            "total_us": self.total_us,
+            "mean_us": round(self.mean_us, 2),
+            "p50_us": self.quantile_us(0.50),
+            "p95_us": self.quantile_us(0.95),
+            "p99_us": self.quantile_us(0.99),
+            "max_us": self.max_us,
+            "buckets": [
+                [bucket_upper_us(index), count]
+                for index, count in enumerate(self.counts)
+                if count
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name!r}, count={self.count}, "
+            f"p50={self.quantile_us(0.5)}us, p99={self.quantile_us(0.99)}us)"
+        )
+
+
+_HISTOGRAMS: dict[str, Histogram] = {}
+
+
+def histogram(name: str) -> Histogram:
+    """The histogram registered under *name* (created on first use)."""
+    existing = _HISTOGRAMS.get(name)
+    if existing is None:
+        existing = Histogram(name)
+        _HISTOGRAMS[name] = existing
+    return existing
+
+
+def histogram_stats() -> dict[str, dict]:
+    """A snapshot of every registered histogram, keyed by span kind."""
+    return {name: _HISTOGRAMS[name].snapshot() for name in sorted(_HISTOGRAMS)}
+
+
+def reset_histograms() -> None:
+    """Zero every registered histogram (the registry itself persists)."""
+    for item in _HISTOGRAMS.values():
+        item.reset()

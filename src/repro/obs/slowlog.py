@@ -1,0 +1,107 @@
+"""The slow-op log: a ring buffer of the span trees of slow operations.
+
+Every *root* span whose duration reaches the threshold
+(``REPRO_SLOW_US`` µs, default 10000 = 10 ms) is materialized to nested
+dicts and appended to a bounded :class:`collections.deque` — a crashed
+or hung workload leaves behind the full trees of its slowest recent
+operations, dumpable as JSON via ``python -m repro stats --json`` (the
+``slow_ops`` key) or :func:`slow_ops_json`.
+
+Captures tick the ``obs.slow_ops`` metric so the *number* of slow
+operations survives even after the ring has rotated them out.
+
+:class:`TopK` is the companion collector for ``repro trace``: instead
+of a threshold it keeps the N slowest root spans of a session,
+regardless of how fast they were.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+from collections import deque
+
+from repro.perf.counters import metric
+
+from repro.obs import spans
+from repro.obs.spans import Span
+
+DEFAULT_SLOW_US = 10_000
+DEFAULT_CAPACITY = 64
+
+
+def _env_threshold_us() -> int:
+    raw = os.environ.get("REPRO_SLOW_US", "").strip()
+    try:
+        return int(raw)
+    except ValueError:
+        return DEFAULT_SLOW_US
+
+
+#: Root spans at least this slow (µs) are captured.  ``REPRO_SLOW_US``
+#: sets it at import; :func:`set_slow_threshold_us` at runtime.
+threshold_us: int = _env_threshold_us()
+
+_SLOW_OPS = metric("obs.slow_ops")
+_ring: deque = deque(maxlen=DEFAULT_CAPACITY)
+
+
+def set_slow_threshold_us(us: int) -> int:
+    """Set the capture threshold; returns the previous value."""
+    global threshold_us
+    previous = threshold_us
+    threshold_us = int(us)
+    return previous
+
+
+def set_capacity(n: int) -> None:
+    """Resize the ring, keeping the most recent entries."""
+    global _ring
+    _ring = deque(_ring, maxlen=max(int(n), 1))
+
+
+def offer(root: Span) -> None:
+    """Sink: capture *root*'s tree if it cleared the threshold."""
+    if root.duration_us >= threshold_us:
+        _SLOW_OPS.add()
+        _ring.append(root.to_dict())
+
+
+def slow_ops() -> list[dict]:
+    """The captured span trees, oldest first."""
+    return list(_ring)
+
+
+def clear_slow_ops() -> None:
+    _ring.clear()
+
+
+def slow_ops_json(indent: int | None = 2) -> str:
+    return json.dumps(slow_ops(), indent=indent, sort_keys=True)
+
+
+class TopK:
+    """Keep the N slowest root spans of a session (``repro trace``)."""
+
+    def __init__(self, n: int) -> None:
+        self.n = max(int(n), 1)
+        self._heap: list = []
+        self._seq = 0  # tie-break so dicts are never compared
+
+    def offer(self, root: Span) -> None:
+        item = (root.duration_us, self._seq, root.to_dict())
+        self._seq += 1
+        if len(self._heap) < self.n:
+            heapq.heappush(self._heap, item)
+        elif item[0] > self._heap[0][0]:
+            heapq.heapreplace(self._heap, item)
+
+    def slowest(self) -> list[dict]:
+        """The captured trees, slowest first."""
+        ordered = sorted(self._heap, key=lambda item: (-item[0], item[1]))
+        return [tree for _us, _seq, tree in ordered]
+
+
+# The slow-op ring is a permanent root-span sink.
+spans.add_sink(offer)

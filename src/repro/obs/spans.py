@@ -1,0 +1,225 @@
+"""Tracing spans: a context-var span stack over the engine's hot paths.
+
+A :class:`Span` measures one bracketed region of engine work — a
+snapshot reconstruction, an extent computation, a WAL fsync — with
+``time.perf_counter_ns``.  Spans opened while another span is active
+become its children (the current span is tracked in a
+:class:`contextvars.ContextVar`, so nesting is correct across
+transactions, batches, and generator suspension), which turns every
+top-level operation into a *span tree*: ``query.evaluate`` over
+``planner.plan`` / ``planner.execute`` over ``db.extent`` over
+``cache.rebuild``.
+
+On exit a span records its duration into the per-kind histogram
+(:mod:`repro.obs.histograms`); a *root* span (no parent) is also handed
+to the registered sinks — the slow-op ring (:mod:`repro.obs.slowlog`)
+and any trace-session collectors.
+
+``is_enabled`` is the ablation switch, mirroring
+``repro.query.planner`` / ``repro.database.batch``: the ``REPRO_NO_OBS``
+environment variable disables tracing at import, and
+:func:`set_enabled` / :func:`disabled` flip it at runtime.  The hottest
+call sites (snapshot, extent, query, WAL append) guard with a bare
+``if obs.is_enabled:`` attribute read so the disabled path allocates
+*nothing* — not even the no-op span — which is what keeps the measured
+disabled-mode overhead within noise of uninstrumented code
+(``benchmarks/bench_obs.py``).  Every real span start ticks the
+``obs.spans`` metric, so "the disabled path created zero spans" is an
+assertable fact, not a hope.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+from repro.perf.counters import metric
+
+from repro.obs.histograms import histogram
+
+#: The twelve instrumented boundaries.  ``docs/observability.md``
+#: documents each one; ``tools/check_docs_drift.py`` validates doc
+#: references against this tuple.
+KINDS = (
+    "db.snapshot",
+    "db.extent",
+    "query.evaluate",
+    "planner.plan",
+    "planner.execute",
+    "wal.append",
+    "wal.fsync",
+    "wal.checkpoint",
+    "recovery.replay",
+    "batch.flush",
+    "cache.rebuild",
+    "constraint.check",
+)
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+#: The global tracing switch.  Hot paths read this attribute directly.
+is_enabled: bool = (
+    os.environ.get("REPRO_NO_OBS", "").strip().lower() not in _TRUTHY
+)
+
+_SPAN_STARTS = metric("obs.spans")
+
+_current: ContextVar["Span | None"] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+#: Root-span completion callbacks: ``sink(span)`` is called when a span
+#: with no parent closes.  The slow-op ring registers itself here; the
+#: ``repro trace`` CLI adds a per-session top-K collector.
+_SINKS: list = []
+
+
+def set_enabled(flag: bool) -> bool:
+    """Enable/disable tracing; returns the previous state."""
+    global is_enabled
+    previous = is_enabled
+    is_enabled = bool(flag)
+    return previous
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Run a block with tracing off (the ablation baseline)."""
+    previous = set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+@contextmanager
+def enabled() -> Iterator[None]:
+    """Run a block with tracing forced on (e.g. under ``REPRO_NO_OBS``)."""
+    previous = set_enabled(True)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+class Span:
+    """One timed region; a node in the current operation's span tree."""
+
+    __slots__ = (
+        "kind",
+        "labels",
+        "parent",
+        "children",
+        "start_ns",
+        "duration_us",
+        "error",
+        "_token",
+    )
+
+    def __init__(
+        self, kind: str, labels: dict, parent: "Span | None"
+    ) -> None:
+        self.kind = kind
+        self.labels = labels
+        self.parent = parent
+        self.children: list[Span] = []
+        self.start_ns = 0
+        self.duration_us = 0
+        self.error: str | None = None
+        self._token = None
+
+    def annotate(self, **labels) -> "Span":
+        """Attach labels discovered mid-span (e.g. result cardinality)."""
+        self.labels.update(labels)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._token = _current.set(self)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end_ns = time.perf_counter_ns()
+        self.duration_us = (end_ns - self.start_ns) // 1000
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        _current.reset(self._token)
+        histogram(self.kind).record(self.duration_us)
+        if self.parent is None:
+            for sink in _SINKS:
+                sink(self)
+        return False
+
+    def to_dict(self) -> dict:
+        """The span subtree as JSON-friendly nested dicts."""
+        data: dict = {"kind": self.kind, "duration_us": self.duration_us}
+        if self.labels:
+            data["labels"] = dict(self.labels)
+        if self.error is not None:
+            data["error"] = self.error
+        if self.children:
+            data["children"] = [child.to_dict() for child in self.children]
+        return data
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.kind!r}, {self.duration_us}us, "
+            f"children={len(self.children)})"
+        )
+
+
+class _NoopSpan:
+    """Returned by :func:`span` while tracing is disabled."""
+
+    __slots__ = ()
+
+    def annotate(self, **labels) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+def span(kind: str, **labels):
+    """Open a span of *kind* (use as ``with obs.span("db.snapshot"):``).
+
+    The span becomes a child of the current span, if any.  Returns a
+    shared no-op object while tracing is disabled; the hottest call
+    sites additionally guard the call itself behind
+    ``if obs.is_enabled:`` so the disabled path does no work at all.
+    """
+    if not is_enabled:
+        return _NOOP
+    parent = _current.get()
+    new = Span(kind, labels, parent)
+    if parent is not None:
+        parent.children.append(new)
+    _SPAN_STARTS.add()
+    return new
+
+
+def current_span() -> Span | None:
+    """The innermost open span in this context, or ``None``."""
+    return _current.get()
+
+
+def add_sink(sink) -> None:
+    """Register a root-span completion callback."""
+    _SINKS.append(sink)
+
+
+def remove_sink(sink) -> None:
+    """Unregister a callback added with :func:`add_sink`."""
+    try:
+        _SINKS.remove(sink)
+    except ValueError:
+        pass

@@ -33,6 +33,7 @@ from typing import Any, Iterator
 
 from repro.errors import QueryError
 from repro.objects.object import TemporalObject
+from repro.obs import spans as obs
 from repro.query.ast import (
     And,
     Attr,
@@ -63,6 +64,19 @@ _UNDEF = object()  # the "no value here" marker (null-rejecting atoms)
 
 def evaluate(db, query: Query) -> list[OID]:
     """Run *query* against *db*; returns matching oids, sorted."""
+    if obs.is_enabled:
+        with obs.span(
+            "query.evaluate",
+            cls=query.class_name,
+            scope=query.scope.value,
+        ) as sp:
+            results = _evaluate(db, query)
+            sp.annotate(results=len(results))
+            return results
+    return _evaluate(db, query)
+
+
+def _evaluate(db, query: Query) -> list[OID]:
     cls = db.get_class(query.class_name)
     type_check(query, cls, db)
     if query.predicate is not None:

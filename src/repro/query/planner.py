@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro import perf
+from repro.obs import spans as obs
 from repro.query.ast import (
     And,
     Attr,
@@ -310,6 +311,15 @@ def _describe(expr: Expr) -> str:
 
 def plan(db, query: Query) -> Plan:
     """Choose the access path for *query* (no execution)."""
+    if obs.is_enabled:
+        with obs.span("planner.plan", cls=query.class_name) as sp:
+            chosen = _plan(db, query)
+            sp.annotate(path=chosen.access_path)
+            return chosen
+    return _plan(db, query)
+
+
+def _plan(db, query: Query) -> Plan:
     now = db.now
     anchor = query.at if query.scope is TemporalScope.AT else now
     extent_at = getattr(db, "anchor_extent", db.pi)
@@ -417,6 +427,19 @@ def plan(db, query: Query) -> Plan:
 
 def run(db, query: Query, chosen: Plan) -> list[OID]:
     """Execute *query* along *chosen*, filling in the actuals."""
+    if obs.is_enabled:
+        with obs.span(
+            "planner.execute",
+            cls=query.class_name,
+            path=chosen.access_path,
+        ) as sp:
+            results = _run(db, query, chosen)
+            sp.annotate(results=len(results))
+            return results
+    return _run(db, query, chosen)
+
+
+def _run(db, query: Query, chosen: Plan) -> list[OID]:
     from repro.query import evaluator
 
     if chosen.access_path != "index":

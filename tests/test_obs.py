@@ -1,0 +1,592 @@
+"""The observability layer: spans, histograms, slow-op log, export, CLI.
+
+Covers the span-nesting edge cases the instrumentation must survive --
+rollback of a journaled transaction, reads inside a suspended-cache
+bulk batch, recovery replay -- plus the disabled path (zero spans
+allocated, asserted via the ``obs.spans`` metric), the histogram
+bucket/percentile math, the slow-op ring, both export formats, the
+``stats``/``trace`` CLI subcommands, and the docs-drift lint
+(including its negative case: an orphaned metric name must fail).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import obs, perf
+from repro.database.database import TemporalDatabase
+from repro.database.recovery import open_database, recover
+from repro.database.transactions import Transaction
+from repro.obs.histograms import N_BUCKETS, Histogram, bucket_upper_us
+from repro.obs.spans import Span
+from repro.query import evaluate, parse_query
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Tracing on, default threshold, empty registries; restore after."""
+    previous_enabled = obs.set_enabled(True)
+    previous_threshold = obs.set_slow_threshold_us(10_000)
+    obs.reset()
+    yield
+    obs.reset()
+    obs.set_slow_threshold_us(previous_threshold)
+    obs.set_enabled(previous_enabled)
+
+
+def build_db(directory=None):
+    """A small two-class population with temporal history."""
+    if directory is not None:
+        db, _report = open_database(directory)
+    else:
+        db = TemporalDatabase()
+    db.define_class("base", attributes=[("score", "temporal(integer)")])
+    db.define_class("derived", parents=["base"])
+    oids = [db.create_object("derived", {"score": i}) for i in range(40)]
+    for step in range(10):
+        db.tick()
+        for oid in oids[:: max(step % 5, 1)]:
+            db.update_attribute(oid, "score", step)
+    return db, oids
+
+
+class TestHistogram:
+    def test_power_of_two_buckets(self):
+        h = Histogram("t")
+        h.record(0)
+        h.record(1)
+        h.record(3)
+        h.record(100)
+        assert h.count == 4
+        assert h.total_us == 104
+        assert h.max_us == 100
+        # 0 -> bucket 0, 1 -> le 1, 3 -> le 3, 100 -> le 127
+        assert h.counts[0] == 1
+        assert h.counts[1] == 1
+        assert h.counts[2] == 1
+        assert h.counts[(100).bit_length()] == 1
+
+    def test_quantiles_are_bucket_upper_bounds(self):
+        h = Histogram("t")
+        for us in range(1, 101):
+            h.record(us)
+        assert h.quantile_us(0.50) == 63
+        assert h.quantile_us(0.95) == 127
+        assert h.quantile_us(0.99) == 127
+        assert h.quantile_us(0.50) <= h.quantile_us(0.95)
+
+    def test_single_bucket_exact(self):
+        h = Histogram("t")
+        for _ in range(10):
+            h.record(3)
+        assert h.quantile_us(0.5) == 3
+        assert h.quantile_us(0.99) == 3
+        assert h.mean_us == 3.0
+
+    def test_overflow_clamps_to_last_bucket(self):
+        h = Histogram("t")
+        h.record(2**40)  # ~12 days, far past the last edge
+        assert h.counts[N_BUCKETS - 1] == 1
+        assert h.quantile_us(0.5) == bucket_upper_us(N_BUCKETS - 1)
+
+    def test_empty_histogram(self):
+        h = Histogram("t")
+        assert h.quantile_us(0.99) == 0
+        assert h.mean_us == 0.0
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["buckets"] == []
+
+    def test_reset(self):
+        h = Histogram("t")
+        h.record(5)
+        h.reset()
+        assert h.count == 0
+        assert h.total_us == 0
+        assert h.max_us == 0
+
+
+class TestSpanNesting:
+    def test_parent_links_and_tree(self):
+        with obs.span("query.evaluate", cls="c") as root:
+            assert obs.current_span() is root
+            with obs.span("planner.plan") as child:
+                assert child.parent is root
+                with obs.span("db.extent") as grandchild:
+                    assert grandchild.parent is child
+        assert obs.current_span() is None
+        tree = root.to_dict()
+        assert tree["kind"] == "query.evaluate"
+        assert tree["labels"] == {"cls": "c"}
+        assert tree["children"][0]["kind"] == "planner.plan"
+        assert tree["children"][0]["children"][0]["kind"] == "db.extent"
+
+    def test_exit_records_into_histogram(self):
+        before = obs.histogram("db.snapshot").count
+        with obs.span("db.snapshot"):
+            pass
+        assert obs.histogram("db.snapshot").count == before + 1
+
+    def test_exception_marks_error_and_unwinds(self):
+        with pytest.raises(ValueError):
+            with obs.span("batch.flush") as sp:
+                with obs.span("wal.append"):
+                    raise ValueError("boom")
+        assert sp.error == "ValueError"
+        assert sp.children[0].error == "ValueError"
+        assert obs.current_span() is None
+
+    def test_annotate_merges_labels(self):
+        with obs.span("db.extent", cls="c") as sp:
+            sp.annotate(path="index", rows=3)
+        assert sp.labels == {"cls": "c", "path": "index", "rows": 3}
+
+    def test_sibling_spans(self):
+        with obs.span("query.evaluate") as root:
+            with obs.span("planner.plan"):
+                pass
+            with obs.span("planner.execute"):
+                pass
+        assert [c.kind for c in root.children] == [
+            "planner.plan",
+            "planner.execute",
+        ]
+
+
+class TestEngineSpans:
+    def test_query_produces_nested_tree(self):
+        obs.set_slow_threshold_us(0)
+        db, _oids = build_db()
+        evaluate(db, parse_query("select derived where score > 3"))
+        trees = obs.slow_ops()
+        roots = [t for t in trees if t["kind"] == "query.evaluate"]
+        assert roots, f"no query.evaluate root in {trees}"
+        kinds = {child["kind"] for child in roots[-1]["children"]}
+        assert "planner.plan" in kinds
+        assert "planner.execute" in kinds
+
+    def test_snapshot_span_only_on_cache_miss(self):
+        db, oids = build_db()
+        db.snapshot_at(oids[0])  # cold: computes, records a span
+        count = obs.histogram("db.snapshot").count
+        db.snapshot_at(oids[0])  # warm: served from cache, no span
+        assert obs.histogram("db.snapshot").count == count
+
+    def test_extent_span_only_on_cache_miss(self):
+        db, _oids = build_db()
+        db.anchor_extent("derived", 3)
+        count = obs.histogram("db.extent").count
+        db.anchor_extent("derived", 3)
+        assert obs.histogram("db.extent").count == count
+
+
+class TestRollbackSpans:
+    def test_spans_survive_transaction_rollback(self, tmp_path):
+        obs.set_slow_threshold_us(0)
+        db, oids = build_db(str(tmp_path))
+        appends = obs.histogram("wal.append").count
+        with pytest.raises(RuntimeError):
+            with Transaction(db):
+                db.update_attribute(oids[0], "score", 99)
+                with obs.span("constraint.check", scope="test"):
+                    raise RuntimeError("force rollback")
+        # The span stack unwound cleanly and the truncated transaction's
+        # writes were still measured.
+        assert obs.current_span() is None
+        assert obs.histogram("wal.append").count > appends
+        captured = [
+            t for t in obs.slow_ops() if t["kind"] == "constraint.check"
+        ]
+        assert captured and captured[-1]["error"] == "RuntimeError"
+        # The engine still works (and traces) after the rollback.
+        db.tick()
+        db.update_attribute(oids[0], "score", 7)
+
+    def test_rolled_back_batch_leaves_no_open_span(self, tmp_path):
+        db, oids = build_db(str(tmp_path))
+        with pytest.raises(RuntimeError):
+            with Transaction(db):
+                with db.batch():
+                    db.update_attribute(oids[0], "score", 50)
+                    raise RuntimeError("abort mid-batch")
+        assert obs.current_span() is None
+
+
+class TestBatchSpans:
+    def test_mid_batch_reads_trace_the_bypass_path(self, tmp_path):
+        db, oids = build_db(str(tmp_path))
+        db.snapshot_at(oids[0])
+        before = obs.histogram("db.snapshot").count
+        with db.batch():
+            db.update_attribute(oids[0], "score", 42)
+            # Caches are suspended: every read recomputes, so every
+            # read is measured.
+            db.snapshot_at(oids[0])
+            db.snapshot_at(oids[0])
+        assert obs.histogram("db.snapshot").count >= before + 2
+
+    def test_batch_flush_tree_contains_group_commit(self, tmp_path):
+        obs.set_slow_threshold_us(0)
+        db, oids = build_db(str(tmp_path))
+        obs.clear_slow_ops()
+        with db.batch():
+            for oid in oids[:5]:
+                db.update_attribute(oid, "score", 77)
+        flushes = [t for t in obs.slow_ops() if t["kind"] == "batch.flush"]
+        assert flushes
+        tree = flushes[-1]
+        assert tree["labels"]["ops"] == 5
+        appended = [
+            c for c in tree.get("children", ())
+            if c["kind"] == "wal.append"
+        ]
+        assert appended and appended[-1]["labels"]["record"] == "batch"
+
+
+class TestRecoverySpans:
+    def test_replay_is_spanned(self, tmp_path):
+        obs.set_slow_threshold_us(0)
+        build_db(str(tmp_path))
+        obs.clear_slow_ops()
+        before = obs.histogram("recovery.replay").count
+        db, report = recover(str(tmp_path))
+        assert report.ok and db is not None
+        assert obs.histogram("recovery.replay").count == before + 1
+        trees = [
+            t for t in obs.slow_ops() if t["kind"] == "recovery.replay"
+        ]
+        assert trees
+        assert trees[-1]["labels"]["applied"] == report.records_applied
+        assert trees[-1]["labels"]["applied"] > 0
+
+
+class TestDisabledPath:
+    def test_disabled_creates_zero_spans(self, tmp_path):
+        db, oids = build_db(str(tmp_path))
+        obs.set_enabled(False)
+        spans_before = perf.counters.metric("obs.spans").count
+        hists_before = {
+            kind: obs.histogram(kind).count for kind in obs.KINDS
+        }
+        with perf.disabled():  # cache ablation forces every miss path
+            db.snapshot_at(oids[0])
+            db.anchor_extent("derived", 3)
+            evaluate(db, parse_query("select derived where score > 3"))
+        db.tick()
+        db.update_attribute(oids[0], "score", 9)  # journaled append
+        assert perf.counters.metric("obs.spans").count == spans_before
+        assert {
+            kind: obs.histogram(kind).count for kind in obs.KINDS
+        } == hists_before
+        assert obs.current_span() is None
+
+    def test_disabled_results_identical(self):
+        db, _oids = build_db()
+        query = parse_query("select derived where score > 3")
+        enabled_results = evaluate(db, query)
+        with obs.disabled():
+            assert evaluate(db, query) == enabled_results
+
+    def test_repro_no_obs_env(self):
+        code = (
+            "from repro import obs\n"
+            "assert not obs.is_enabled\n"
+            "with obs.span('db.snapshot'):\n"
+            "    pass\n"
+            "assert obs.histogram('db.snapshot').count == 0\n"
+            "print('ok')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "REPRO_NO_OBS": "1"},
+            timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "ok"
+
+    def test_noop_span_is_shared_and_inert(self):
+        obs.set_enabled(False)
+        first = obs.span("db.snapshot", oid=1)
+        second = obs.span("wal.fsync")
+        assert first is second  # the singleton no-op
+        with first as sp:
+            sp.annotate(anything=1)
+        assert obs.current_span() is None
+
+
+class TestSlowLog:
+    def test_threshold_filters(self):
+        obs.set_slow_threshold_us(10**9)
+        with obs.span("db.snapshot"):
+            pass
+        assert obs.slow_ops() == []
+        obs.set_slow_threshold_us(0)
+        with obs.span("db.snapshot"):
+            pass
+        assert len(obs.slow_ops()) == 1
+
+    def test_only_roots_are_captured(self):
+        obs.set_slow_threshold_us(0)
+        with obs.span("query.evaluate"):
+            with obs.span("planner.plan"):
+                pass
+        kinds = [t["kind"] for t in obs.slow_ops()]
+        assert kinds == ["query.evaluate"]
+
+    def test_ring_is_bounded_but_metric_counts_all(self):
+        obs.set_slow_threshold_us(0)
+        obs.set_capacity(4)
+        try:
+            before = perf.counters.metric("obs.slow_ops").count
+            for _ in range(10):
+                with obs.span("db.extent"):
+                    pass
+            assert len(obs.slow_ops()) == 4
+            assert perf.counters.metric("obs.slow_ops").count == before + 10
+        finally:
+            obs.set_capacity(64)
+
+    def test_json_dump_round_trips(self):
+        obs.set_slow_threshold_us(0)
+        with obs.span("wal.checkpoint", lsn=12):
+            pass
+        loaded = json.loads(obs.slow_ops_json())
+        assert loaded[-1]["kind"] == "wal.checkpoint"
+        assert loaded[-1]["labels"]["lsn"] == 12
+
+
+class TestTopK:
+    def test_keeps_n_slowest(self):
+        collector = obs.TopK(3)
+        for us in (5, 90, 10, 70, 30, 80):
+            sp = Span("db.snapshot", {"us": us}, None)
+            sp.duration_us = us
+            collector.offer(sp)
+        slowest = collector.slowest()
+        assert [t["labels"]["us"] for t in slowest] == [90, 80, 70]
+
+
+class TestExport:
+    def test_stats_dict_shape(self):
+        db, _oids = build_db()
+        evaluate(db, parse_query("select derived where score > 3"))
+        data = obs.stats_dict()
+        assert set(data) == {
+            "obs_enabled",
+            "counters",
+            "histograms",
+            "slow_threshold_us",
+            "slow_ops",
+        }
+        assert set(obs.KINDS) <= set(data["histograms"])
+        assert "database.snapshot" in data["counters"]
+        assert "obs.spans" in data["counters"]
+        json.dumps(data)  # must be serializable as-is
+
+    def test_prom_text_histogram_contract(self):
+        db, _oids = build_db()
+        evaluate(db, parse_query("select derived where score > 3"))
+        text = obs.prom_text()
+        assert "# TYPE repro_span_duration_us histogram" in text
+        assert "# TYPE repro_cache_hits_total counter" in text
+        assert 'repro_events_total{metric="obs.spans"}' in text
+        # Cumulative buckets: nondecreasing, +Inf equals _count.
+        kind = "query.evaluate"
+        bucket_re = (
+            f'repro_span_duration_us_bucket{{kind="{kind}",le="'
+        )
+        values = []
+        inf = count = None
+        for line in text.splitlines():
+            if line.startswith(bucket_re):
+                le, value = line[len(bucket_re):].split('"} ')
+                if le == "+Inf":
+                    inf = int(value)
+                else:
+                    values.append(int(value))
+            elif line.startswith(
+                f'repro_span_duration_us_count{{kind="{kind}"}}'
+            ):
+                count = int(line.rsplit(" ", 1)[1])
+        assert values == sorted(values)
+        assert inf == count
+        assert count >= 1
+
+    def test_format_stats_mentions_all_kinds(self):
+        text = obs.format_stats()
+        for kind in obs.KINDS:
+            assert kind in text
+
+    def test_render_span_tree_indents_children(self):
+        with obs.span("query.evaluate") as root:
+            with obs.span("planner.plan"):
+                pass
+        rendered = obs.render_span_tree(root.to_dict())
+        lines = rendered.splitlines()
+        assert lines[0].startswith("query.evaluate")
+        assert lines[1].startswith("  planner.plan")
+
+
+def run_cli(*args: str, env_extra=None):
+    env = {**os.environ, **(env_extra or {})}
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+
+
+@pytest.fixture(scope="module")
+def saved_db(tmp_path_factory):
+    from repro.database.persistence import database_to_json
+
+    db, _oids = build_db()
+    path = tmp_path_factory.mktemp("obs_cli") / "db.json"
+    path.write_text(database_to_json(db))
+    return path
+
+
+class TestStatsCLI:
+    def test_stats_table(self):
+        proc = run_cli("stats")
+        assert proc.returncode == 0, proc.stderr
+        assert "span latency" in proc.stdout
+        assert "wal.append" in proc.stdout
+        assert "slow ops" in proc.stdout
+
+    def test_stats_json_emits_all_counters_and_histograms(self):
+        proc = run_cli("stats", "--json")
+        assert proc.returncode == 0, proc.stderr
+        data = json.loads(proc.stdout)
+        assert set(obs.KINDS) <= set(data["histograms"])
+        # The seeded workload touches every boundary.
+        for kind in (
+            "db.snapshot",
+            "db.extent",
+            "query.evaluate",
+            "planner.plan",
+            "planner.execute",
+            "wal.append",
+            "wal.fsync",
+            "wal.checkpoint",
+            "recovery.replay",
+            "batch.flush",
+            "cache.rebuild",
+        ):
+            assert data["histograms"][kind]["count"] > 0, kind
+        assert data["counters"]["wal.records"]["count"] > 0
+
+    def test_stats_prom(self):
+        proc = run_cli("stats", "--prom")
+        assert proc.returncode == 0, proc.stderr
+        assert "# TYPE repro_span_duration_us histogram" in proc.stdout
+        assert 'le="+Inf"' in proc.stdout
+
+    def test_stats_on_saved_file(self, saved_db):
+        proc = run_cli("stats", str(saved_db), "--json")
+        assert proc.returncode == 0, proc.stderr
+        data = json.loads(proc.stdout)
+        assert data["histograms"]["db.snapshot"]["count"] > 0
+
+
+class TestTraceCLI:
+    def test_trace_query_prints_nested_tree(self, saved_db):
+        proc = run_cli(
+            "trace",
+            "--top",
+            "2",
+            "query",
+            str(saved_db),
+            "select derived where score > 3",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "slowest span tree" in proc.stdout
+        assert "query.evaluate" in proc.stdout
+        # Children are indented under the root.
+        assert "\n  planner." in proc.stdout
+
+    def test_trace_overrides_repro_no_obs(self, saved_db):
+        proc = run_cli(
+            "trace",
+            "query",
+            str(saved_db),
+            "select derived where score > 3",
+            env_extra={"REPRO_NO_OBS": "1"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "query.evaluate" in proc.stdout
+
+    def test_trace_json(self, saved_db):
+        proc = run_cli(
+            "trace",
+            "--json",
+            "query",
+            str(saved_db),
+            "select derived where score > 3",
+        )
+        assert proc.returncode == 0, proc.stderr
+        payload = proc.stdout[proc.stdout.index("["):]
+        trees = json.loads(payload)
+        assert any(t["kind"] == "query.evaluate" for t in trees)
+
+    def test_trace_requires_a_command(self):
+        proc = run_cli("trace")
+        assert proc.returncode == 2
+
+    def test_trace_refuses_trace(self):
+        proc = run_cli("trace", "trace", "perf")
+        assert proc.returncode == 2
+
+
+class TestDocsDrift:
+    LINT = REPO_ROOT / "tools" / "check_docs_drift.py"
+
+    def test_current_docs_pass(self):
+        proc = subprocess.run(
+            [sys.executable, str(self.LINT)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_orphaned_metric_fails(self, tmp_path):
+        bad = tmp_path / "orphan.md"
+        bad.write_text(
+            "The `obs.made_up_metric` metric, the `REPRO_NO_SUCH_FLAG` "
+            "variable, and `repro frobnicate` do not exist.\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, str(self.LINT), str(bad)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 1
+        assert "obs.made_up_metric" in proc.stdout
+        assert "REPRO_NO_SUCH_FLAG" in proc.stdout
+        assert "frobnicate" in proc.stdout
+
+    def test_real_names_pass(self, tmp_path):
+        good = tmp_path / "good.md"
+        good.write_text(
+            "`wal.syncs`, `db.snapshot`, `obs.spans`, `REPRO_NO_OBS`, "
+            "and `repro stats` all exist.\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, str(self.LINT), str(good)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout
