@@ -31,6 +31,7 @@ ablated (``REPRO_NO_PLANNER`` path), and writes
 
 import argparse
 import json
+import statistics
 import sys
 import timeit
 from pathlib import Path
@@ -146,13 +147,27 @@ def test_trigger_dispatch_overhead(benchmark):
 # PR 3: planner selectivity sweep (plain functions -- run via main()).
 
 
-def _timeit_us(fn, number: int) -> float:
-    """Best-of-3 mean, in microseconds per call."""
-    best = min(timeit.timeit(fn, number=number) for _ in range(3))
-    return best / number * 1e6
+def _timeit_us(
+    fn, number: int, repeats: int = 5
+) -> tuple[float, float]:
+    """``(min, stdev)`` over *repeats* samples, in us per call.
+
+    The minimum is the best estimate of the work itself; the standard
+    deviation across the samples is the noise floor -- a speedup claim
+    is only trustworthy when the effect dwarfs the stdev, which is why
+    both numbers land in the tables and the JSON artifacts.
+    """
+    times = [
+        timeit.timeit(fn, number=number) / number * 1e6
+        for _ in range(repeats)
+    ]
+    spread = statistics.stdev(times) if len(times) > 1 else 0.0
+    return min(times), spread
 
 
-def _build_sweep_db(n_objects: int, ticks: int):
+def _build_sweep_db(
+    n_objects: int, ticks: int, n_partitions: int | None = None
+):
     """A population with equality buckets of controlled selectivity.
 
     ``b1000 = v`` matches 1/1000 of the objects, ``b100`` 1/100,
@@ -161,7 +176,7 @@ def _build_sweep_db(n_objects: int, ticks: int):
     """
     from repro.database.database import TemporalDatabase
 
-    db = TemporalDatabase()
+    db = TemporalDatabase(n_partitions=n_partitions)
     db.define_class(
         "g",
         attributes=[
@@ -206,30 +221,39 @@ SWEEP = (
 def run_selectivity_sweep(
     n_objects: int, ticks: int, number: int
 ) -> list[dict]:
+    from repro.database import parallel
     from repro.query import evaluate, planner, select, attr
 
     db = _build_sweep_db(n_objects, ticks)
     results = []
-    for label, bucket in SWEEP:
-        query = select("g").where(attr(bucket) == 1).now().build()
-        run = lambda: evaluate(db, query)  # noqa: E731
-        matched = len(run())  # warm extent + index caches both paths
-        planned = _timeit_us(run, number)
-        with planner.disabled():
-            run()
-            ablated = _timeit_us(run, max(number // 5, 3))
-        results.append(
-            {
-                "selectivity": label,
-                "attribute": bucket,
-                "rows": matched,
-                "n_objects": n_objects,
-                "history": ticks,
-                "planner_us": round(planned, 2),
-                "ablated_us": round(ablated, 2),
-                "speedup": round(ablated / planned, 1),
-            }
-        )
+    # This sweep isolates the *planner*: scatter-gather stays off so
+    # the ablated-scan baseline means the same thing on every machine
+    # (bench_parallel.py owns the parallel speedup numbers).
+    with parallel.disabled():
+        for label, bucket in SWEEP:
+            query = select("g").where(attr(bucket) == 1).now().build()
+            run = lambda: evaluate(db, query)  # noqa: E731
+            matched = len(run())  # warm extent + index caches both paths
+            planned, planned_std = _timeit_us(run, number)
+            with planner.disabled():
+                run()
+                ablated, ablated_std = _timeit_us(
+                    run, max(number // 5, 3)
+                )
+            results.append(
+                {
+                    "selectivity": label,
+                    "attribute": bucket,
+                    "rows": matched,
+                    "n_objects": n_objects,
+                    "history": ticks,
+                    "planner_us": round(planned, 2),
+                    "planner_std_us": round(planned_std, 2),
+                    "ablated_us": round(ablated, 2),
+                    "ablated_std_us": round(ablated_std, 2),
+                    "speedup": round(ablated / planned, 1),
+                }
+            )
     return results
 
 
@@ -267,16 +291,22 @@ def main(argv: list[str] | None = None) -> int:
             r["selectivity"],
             str(r["rows"]),
             f"{r['planner_us']:.1f}",
+            f"{r['planner_std_us']:.1f}",
             f"{r['ablated_us']:.1f}",
+            f"{r['ablated_std_us']:.1f}",
             f"{r['speedup']:.1f}x",
         )
         for r in results
     ]
     table = format_series(
         "Query planner: equality selectivity sweep, planner vs "
-        f"ablated scan (us/op, n={results[0]['n_objects']}, "
+        f"ablated scan (min us/op of 5 runs, +-stdev, "
+        f"n={results[0]['n_objects']}, "
         f"history={results[0]['history']})",
-        ("selectivity", "rows", "planner", "ablated", "speedup"),
+        (
+            "selectivity", "rows", "planner", "+-", "ablated", "+-",
+            "speedup",
+        ),
         rows,
     )
     print(table)

@@ -75,10 +75,18 @@ def cmd_demo(_args) -> int:
 
 
 def cmd_check(args) -> int:
+    from repro.database import parallel
     from repro.database.integrity import check_database
 
     db = _load(args.file)
-    report = check_database(db)
+    try:
+        if args.serial:
+            with parallel.disabled():
+                report = check_database(db)
+        else:
+            report = check_database(db)
+    finally:
+        parallel.shutdown(db)
     if report.ok:
         print(
             f"OK: {len(db)} objects, {len(tuple(db.classes()))} classes, "
@@ -381,6 +389,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser("check", help="integrity-check a saved database")
     check.add_argument("file")
+    check.add_argument(
+        "--serial",
+        action="store_true",
+        help="skip the worker-pool fan-out (same checks, one process)",
+    )
 
     describe = sub.add_parser(
         "describe", help="describe a saved database / class / object"

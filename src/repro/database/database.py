@@ -75,10 +75,55 @@ from repro.values.oid import OID, OidGenerator
 from repro.values.records import RecordValue
 
 
+class Partitioning:
+    """Hash-partitioning of the object population by oid serial.
+
+    The layer is *pure*: it owns no bucket state, only the routing
+    function ``oid.serial mod n_partitions``, so it can never go stale
+    when the population changes behind its back (transaction rollback
+    reassigns ``_objects`` wholesale; persistence restores insert
+    directly).  :meth:`split` materializes the buckets for whatever oid
+    set the caller is about to fan out -- an O(n) hash pass that is
+    noise next to the per-object work it parallelizes.  Partitions are
+    deliberately shard-shaped: the same routing function serves the
+    scatter-gather executor today (:mod:`repro.database.parallel`) and
+    cross-process shards later (ROADMAP item 3).
+    """
+
+    __slots__ = ("n_partitions",)
+
+    def __init__(self, n_partitions: int | None = None) -> None:
+        if n_partitions is None:
+            from repro.database.parallel import default_partitions
+
+            n_partitions = default_partitions()
+        if n_partitions < 1:
+            raise ValueError("n_partitions must be >= 1")
+        self.n_partitions = int(n_partitions)
+
+    def partition_of(self, oid: OID) -> int:
+        """The partition index owning *oid* (stable for its lifetime)."""
+        return oid.serial % self.n_partitions
+
+    def split(self, oids: Iterable[OID]) -> list[list[OID]]:
+        """Bucket *oids* by partition; index ``p`` holds partition p."""
+        buckets: list[list[OID]] = [
+            [] for _ in range(self.n_partitions)
+        ]
+        for oid in oids:
+            buckets[oid.serial % self.n_partitions].append(oid)
+        return buckets
+
+
 class TemporalDatabase:
     """One T_Chimera database: clock + schema + objects."""
 
-    def __init__(self, start_time: int = 0, journal=None) -> None:
+    def __init__(
+        self,
+        start_time: int = 0,
+        journal=None,
+        n_partitions: int | None = None,
+    ) -> None:
         self.clock = Clock(start_time)
         self._isa = IsaHierarchy()
         self._classes: dict[str, ClassSignature] = {}
@@ -103,6 +148,17 @@ class TemporalDatabase:
         #: While set, cache maintenance and observer notification are
         #: deferred and journal records land in the group-commit buffer.
         self._batch = None
+        #: Oid-hash partitioning of the population (default: one
+        #: partition per core); routing for the scatter-gather
+        #: executor in :mod:`repro.database.parallel`.
+        self.partitioning = Partitioning(n_partitions)
+        #: Monotone operation counter, part of :meth:`_state_version`;
+        #: lets the parallel worker pool detect that its forked
+        #: snapshot went stale.
+        self._op_count = 0
+        #: The persistent scatter-gather worker pool, lazily forked by
+        #: ``parallel.pool_for`` on the first eligible scan.
+        self._parallel_pool = None
         if journal is not None:
             self.attach_journal(journal)
 
@@ -154,6 +210,7 @@ class TemporalDatabase:
         self._observers.remove(callback)
 
     def _emit(self, event: Event) -> None:
+        self._op_count += 1
         if self._batch is not None:
             # Bulk batch: journal into the group-commit buffer, defer
             # cache maintenance and observer notification to the
@@ -240,6 +297,18 @@ class TemporalDatabase:
         result = self.clock.tick(steps)
         self._journal_op({"kind": "tick", "steps": steps})
         return result
+
+    def _state_version(self) -> tuple[int, int, int]:
+        """A cheap fingerprint of the database state.
+
+        ``(now, cache generation, operation count)`` changes on every
+        clock advance, schema evolution (generation bump), committed
+        operation, and transaction rollback (``invalidate_all`` bumps
+        the generation).  The scatter-gather pool pins its forked
+        snapshot to this tuple; a mismatch forces a respawn rather
+        than a stale read.
+        """
+        return (self.now, self.caches._global_gen, self._op_count)
 
     # ---------------------------------------------------------------- schema
 

@@ -136,6 +136,22 @@ def check_invariant_5_1(
     db, objects: Sequence[TemporalObject] | None = None
 ) -> list[str]:
     """Invariant 5.1: extents vs. lifespans and class histories."""
+    problems = _check_5_1_classes(db)
+    problems.extend(
+        _check_5_1_objects(
+            db, list(db.objects()) if objects is None else objects
+        )
+    )
+    return problems
+
+
+def _check_5_1_classes(db) -> list[str]:
+    """The class-level half of Invariant 5.1 (5.1.1 and 5.1.2 <=).
+
+    Quantifies over class histories, not the object population, so the
+    scatter-gather fan-out must run it exactly once in the parent --
+    repeating it per oid slice would duplicate every violation.
+    """
     problems: list[str] = []
     now = db.now
     for cls in db.classes():
@@ -168,8 +184,18 @@ def check_invariant_5_1(
                     f"during {instance_times}, but its class history "
                     f"says {from_history}"
                 )
-    # 5.1.2 (=>): class-history pairs appear in proper-ext.
-    for obj in db.objects() if objects is None else objects:
+    return problems
+
+
+def _check_5_1_objects(
+    db, objects: Sequence[TemporalObject]
+) -> list[str]:
+    """The per-object half of Invariant 5.1 (5.1.2 =>): class-history
+    pairs appear in proper-ext.  Safe to run over any slice of the
+    population (each object is checked independently)."""
+    problems: list[str] = []
+    now = db.now
+    for obj in objects:
         for interval, class_name in obj.class_history.pairs():
             if not db.known_class(class_name):
                 problems.append(
@@ -300,16 +326,23 @@ def check_referential_integrity(
     db,
     t: int | None = None,
     objects: Sequence[TemporalObject] | None = None,
+    known: set[OID] | None = None,
 ) -> list[str]:
     """Definition 5.6 condition 2 at instant *t* (default: now),
     strengthened per Section 5.2: if o refers to o' at t, then t lies
-    in the lifespan of both."""
+    in the lifespan of both.
+
+    *known* is the reference universe, defaulting to the oids of
+    *objects*.  A caller checking a population *slice* (the parallel
+    fan-out) must pass the full universe explicitly -- otherwise every
+    cross-slice reference would be a false violation."""
     problems: list[str] = []
     now = db.now
     at = now if t is None else t
     if objects is None:
         objects = list(db.objects())
-    known = {obj.oid for obj in objects}
+    if known is None:
+        known = {obj.oid for obj in objects}
     for obj in objects:
         if not obj.alive_at(at, now):
             continue
@@ -328,14 +361,21 @@ def check_referential_integrity(
 
 
 def check_extent_index_agreement(
-    db, objects: Sequence[TemporalObject] | None = None
+    db,
+    objects: Sequence[TemporalObject] | None = None,
+    samples: Sequence[int] | None = None,
 ) -> list[str]:
     """The redundant extent representations agree: the set-valued
-    ``ext`` history and the per-oid interval index (see ClassHistory)."""
+    ``ext`` history and the per-oid interval index (see ClassHistory).
+
+    *samples* lets a caller that already collected the boundary
+    instants (one walk of the full population) pass them in; without
+    it the checker re-walks *objects* itself."""
     problems: list[str] = []
     # The sample instants are class-independent: collect them once,
-    # not once per class.
-    samples = _sample_instants(db, objects)
+    # not once per class (nor once per partition-sized slice).
+    if samples is None:
+        samples = _sample_instants(db, objects)
     for cls in db.classes():
         for t in samples:
             via_sets = cls.history.members_at(t)
@@ -359,26 +399,71 @@ def check_object_consistency(
     return problems
 
 
-def check_database(db, include_index_check: bool = True) -> IntegrityReport:
+#: IntegrityReport fields filled by the per-object checkers -- the
+#: half of a full check that the scatter-gather fan-out distributes.
+_PER_OBJECT_FIELDS = (
+    "invariant_5_1",
+    "invariant_5_2",
+    "referential_integrity",
+    "object_consistency",
+)
+
+
+def check_database(
+    db,
+    include_index_check: bool = True,
+    use_parallel: bool | None = None,
+) -> IntegrityReport:
     """Run every checker and aggregate the violations.
 
     The object population is materialized once and shared by every
-    per-object checker -- one walk of the store, not one per check.
+    per-object checker -- one walk of the store, not one per check;
+    the boundary-instant sample for the extent-index cross-check is
+    hoisted out of the checker for the same reason.
+
+    The per-object checkers (:data:`_PER_OBJECT_FIELDS`) fan out over
+    the database's oid-hash partitions through
+    :mod:`repro.database.parallel` when *use_parallel* is true (or
+    None = automatic: pool usable and the population large enough);
+    class-level checkers always run once, in this process.  Pool
+    failure falls back to the serial walk; the merged report is
+    violation-equivalent either way.
     """
     objects = list(db.objects())
     report = IntegrityReport(
-        invariant_5_1=check_invariant_5_1(db, objects),
-        invariant_5_2=check_invariant_5_2(db, objects),
         extent_inclusion=check_extent_inclusion(db),
         hierarchy_disjointness=check_hierarchy_disjointness(db),
         oid_uniqueness=check_oid_uniqueness(objects),
-        referential_integrity=check_referential_integrity(
-            db, objects=objects
-        ),
-        object_consistency=check_object_consistency(db, objects),
     )
     if include_index_check:
         report.extent_index_agreement = check_extent_index_agreement(
+            db, objects, samples=_sample_instants(db, objects)
+        )
+    report.invariant_5_1 = _check_5_1_classes(db)
+
+    slices = None
+    if use_parallel or use_parallel is None:
+        from repro.database import parallel
+
+        if use_parallel or parallel.usable(db):
+            slices = parallel.integrity_scatter(
+                db, [obj.oid for obj in objects]
+            )
+    if slices is None:
+        report.invariant_5_1.extend(_check_5_1_objects(db, objects))
+        report.invariant_5_2 = check_invariant_5_2(db, objects)
+        report.referential_integrity = check_referential_integrity(
+            db, objects=objects
+        )
+        report.object_consistency = check_object_consistency(
             db, objects
         )
+        return report
+    for part in slices:
+        report.invariant_5_1.extend(part["invariant_5_1"])
+        report.invariant_5_2.extend(part["invariant_5_2"])
+        report.referential_integrity.extend(
+            part["referential_integrity"]
+        )
+        report.object_consistency.extend(part["object_consistency"])
     return report

@@ -1,0 +1,514 @@
+"""Parallel scatter-gather execution over hash-partitioned extents.
+
+Low-selectivity work -- a 100%-selectivity extent sweep, a quantified
+``ALWAYS``/``SOMETIME`` scope (the paper's Def 6 temporal quantifiers),
+a full integrity check -- is embarrassingly per-tuple: every object of
+the extent is evaluated independently and the results are merged.  This
+module fans that work out across a pool of ``multiprocessing`` workers:
+
+* **fork-once workers.**  The pool forks its workers *once* (the
+  ``fork`` start method; the child inherits the whole database as a
+  copy-on-write snapshot) and pins the snapshot to the database's
+  *state version* -- ``(now, global generation, operation count)`` --
+  at fork time.  Every scatter validates the pin first: a query
+  against a mutated database respawns the pool instead of reading a
+  stale snapshot, and an unmutated database reuses the same workers
+  for every query (``parallel.spawns`` counts forks; the E15 CI gate
+  holds it at exactly one per benchmark run).
+* **per-partition task framing.**  The caller's oid set is split by
+  the database's :class:`~repro.database.database.Partitioning` layer
+  (oid-serial hash, ``n_partitions`` auto-sized to cores), one task
+  frame per non-empty partition.  A frame carries the partition
+  *index*, not the oid slice -- the worker re-derives the identical
+  slice from its pinned snapshot, and scan matches travel back as
+  bare serials, keeping pickling off the critical path.  Workers
+  return ``(task id, partition, ok, value, busy_us)`` frames; stale
+  frames from an earlier, failed scatter are discarded by task id.
+* **ordered merge.**  Each worker walks its slice in oid order and the
+  gather concatenates slices in partition order, so the merged result
+  is deterministic and -- after the final sort -- byte-identical to
+  the serial path's output.
+* **graceful serial fallback.**  Any pool failure (fork unavailable,
+  a worker died, a task raised, the gather timed out) marks the pool
+  broken, ticks ``parallel.fallbacks``, and the caller re-runs the
+  work serially.  Parallelism is a pure optimization: it can never
+  change a result, only the wall-clock.
+
+Batches: during ``db.batch()`` cache maintenance is suspended and the
+in-memory state runs ahead of the coalesced reconciliation
+(:mod:`repro.database.batch`), so scatter is refused outright --
+``usable()`` is false while ``caches.suspended`` -- and the per-op
+serial path keeps the coalesced-delta discipline intact.
+
+Ablation: ``REPRO_NO_PARALLEL=1`` in the environment (read at import),
+or :func:`set_enabled` / :func:`disabled` -- the same switch shape as
+``query.planner`` / ``database.batch`` / ``repro.obs``.
+
+Observability: the parent wraps the two halves of a scatter-gather in
+``parallel.scatter`` / ``parallel.gather`` spans; worker-reported busy
+times land in the ``parallel.partition`` histogram.  Utilization is
+derivable from the ``parallel.busy_us`` / ``parallel.wall_us`` metrics
+(busy / (wall x degree)).
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
+
+from repro import perf
+from repro.obs import spans as obs
+from repro.obs.histograms import histogram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.database.database import TemporalDatabase
+
+#: Module-level ablation switch (mirrors ``query.planner.is_enabled``).
+is_enabled: bool = os.environ.get(
+    "REPRO_NO_PARALLEL", ""
+).strip().lower() not in ("1", "true", "yes", "on")
+
+_QUERIES = perf.metric("parallel.queries")
+_TASKS = perf.metric("parallel.tasks")
+_SPAWNS = perf.metric("parallel.spawns")
+_FALLBACKS = perf.metric("parallel.fallbacks")
+_BUSY_US = perf.metric("parallel.busy_us")
+_WALL_US = perf.metric("parallel.wall_us")
+
+#: Extents below this size never scatter: the fork/IPC overhead cannot
+#: amortize over so little per-tuple work.
+MIN_PARALLEL_ITEMS = 64
+
+#: Fixed scatter cost in planner cost units (one unit = one posting
+#: touch; see ``query.planner.EVAL_COST``): task framing, pickling and
+#: the gather round trip.
+SCATTER_OVERHEAD = 1500.0
+
+#: Extra per-object weight of a quantified (SOMETIME/ALWAYS) scope in
+#: the parallel-degree decision: the scan path walks every history
+#: segment of the object instead of evaluating one instant.
+QUANTIFIED_FACTOR = 8.0
+
+#: Per-shipped-oid cost (pickle + queue transfer), in cost units.
+SHIP_COST = 0.25
+
+#: How long the gather waits for worker frames before declaring the
+#: pool wedged (liveness is checked on every poll miss, so a *dead*
+#: pool fails fast -- this bound only matters for a livelocked one).
+GATHER_TIMEOUT_S = 120.0
+
+
+def set_enabled(flag: bool) -> bool:
+    """Enable/disable scatter-gather; returns the previous state."""
+    global is_enabled
+    previous = is_enabled
+    is_enabled = bool(flag)
+    return previous
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Run a block on the serial path (the ablation baseline)."""
+    previous = set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+def default_partitions() -> int:
+    """The default partition count: one per core."""
+    return max(os.cpu_count() or 1, 1)
+
+
+class PoolError(RuntimeError):
+    """A scatter could not complete on the worker pool."""
+
+
+# ------------------------------------------------------- task handlers
+#
+# A handler runs *inside a worker* against the forked database
+# snapshot.  It must be pure read-only and return a picklable value.
+#
+# Framing discipline: tasks carry the *partition index*, not the oid
+# slice -- the worker derives its slice from the snapshot it already
+# holds (same version as the parent's, so the derivation is
+# bit-identical), and scan results travel back as bare oid serials.
+# Shipping 6k OID dataclasses through a queue costs ~10ms of pickling;
+# 6k ints cost ~0.2ms, and at 100% selectivity that difference is the
+# speedup gate.
+
+
+def _partition_oids(db: "TemporalDatabase", oids, index: int) -> list:
+    part = db.partitioning
+    return sorted(oid for oid in oids if part.partition_of(oid) == index)
+
+
+def _handle_scan(db: "TemporalDatabase", payload: tuple) -> list[int]:
+    query, index = payload
+    from repro.query.ast import TemporalScope
+    from repro.query.evaluator import partition_matches
+
+    now = db.now
+    anchor = query.at if query.scope is TemporalScope.AT else now
+    extent = db.anchor_extent(query.class_name, anchor)
+    bucket = _partition_oids(db, extent, index)
+    return [
+        oid.serial for oid in partition_matches(db, query, bucket, now)
+    ]
+
+
+def _handle_integrity(db: "TemporalDatabase", payload: tuple) -> dict:
+    (index,) = payload
+    from repro.database import integrity
+
+    oids = _partition_oids(db, db._objects, index)
+    objects = [db.get_object(oid) for oid in oids]
+    known = set(db._objects)
+    return {
+        "invariant_5_1": integrity._check_5_1_objects(db, objects),
+        "invariant_5_2": integrity.check_invariant_5_2(db, objects),
+        "referential_integrity": integrity.check_referential_integrity(
+            db, objects=objects, known=known
+        ),
+        "object_consistency": integrity.check_object_consistency(
+            db, objects
+        ),
+    }
+
+
+_HANDLERS = {
+    "scan": _handle_scan,
+    "integrity": _handle_integrity,
+}
+
+
+def _worker_main(db: "TemporalDatabase", tasks, results) -> None:
+    # The fork inherited the parent's contextvars and switches; tracing
+    # inside the worker would only grow orphaned span trees in the
+    # child's copy, so turn it off for the worker's lifetime.
+    obs.set_enabled(False)
+    while True:
+        task = tasks.get()
+        if task is None:
+            return
+        task_id, index, kind, payload = task
+        start_ns = time.perf_counter_ns()
+        try:
+            value = _HANDLERS[kind](db, payload)
+            ok = True
+        except Exception as exc:  # ship the failure to the parent
+            value = f"{type(exc).__name__}: {exc}"
+            ok = False
+        busy_us = (time.perf_counter_ns() - start_ns) // 1000
+        results.put((task_id, index, ok, value, busy_us))
+
+
+# -------------------------------------------------------- worker pool
+
+
+class WorkerPool:
+    """A fork-once pool of workers sharing one database snapshot.
+
+    The pool records the database's state version at fork time; callers
+    (:func:`pool_for`) compare it before every scatter and respawn on
+    mismatch, so workers only ever answer for the exact
+    generation/``now`` they hold.
+    """
+
+    __slots__ = (
+        "n_workers",
+        "version",
+        "broken",
+        "_tasks",
+        "_results",
+        "_workers",
+        "_seq",
+    )
+
+    def __init__(self, db: "TemporalDatabase", n_workers: int) -> None:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        self.n_workers = n_workers
+        self.version = db._state_version()
+        self.broken = False
+        self._seq = 0
+        self._tasks = ctx.Queue()
+        self._results = ctx.Queue()
+        self._workers = [
+            ctx.Process(
+                target=_worker_main,
+                args=(db, self._tasks, self._results),
+                daemon=True,
+                name=f"repro-parallel-{index}",
+            )
+            for index in range(n_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+        _SPAWNS.add()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def alive(self) -> bool:
+        return not self.broken and all(
+            worker.is_alive() for worker in self._workers
+        )
+
+    def close(self) -> None:
+        """Terminate the workers and release the queues."""
+        self.broken = True
+        for worker in self._workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in self._workers:
+            worker.join(timeout=0.5)
+        for q in (self._tasks, self._results):
+            try:
+                q.close()
+                q.join_thread()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        try:
+            if not self.broken:
+                self.close()
+        except Exception:
+            pass
+
+    # -- scatter-gather ------------------------------------------------
+
+    def run(
+        self,
+        kind: str,
+        payloads: Sequence[tuple],
+        timeout: float = GATHER_TIMEOUT_S,
+    ) -> list[Any]:
+        """Scatter *payloads* (one task each) and gather in order.
+
+        Returns the per-payload results, index-aligned.  Raises
+        :class:`PoolError` on any worker failure; the pool is marked
+        broken then and the next :func:`pool_for` respawns it.
+        """
+        if not self.alive():
+            self.broken = True
+            raise PoolError("worker pool is not alive")
+        task_id = self._seq
+        self._seq += 1
+        started_ns = time.perf_counter_ns()
+        if obs.is_enabled:
+            with obs.span(
+                "parallel.scatter", tasks=len(payloads), task_kind=kind
+            ):
+                self._scatter(task_id, kind, payloads)
+        else:
+            self._scatter(task_id, kind, payloads)
+        try:
+            if obs.is_enabled:
+                with obs.span(
+                    "parallel.gather", tasks=len(payloads), task_kind=kind
+                ):
+                    results = self._gather(
+                        task_id, len(payloads), timeout
+                    )
+            else:
+                results = self._gather(task_id, len(payloads), timeout)
+        except PoolError:
+            self.broken = True
+            raise
+        wall_us = (time.perf_counter_ns() - started_ns) // 1000
+        _WALL_US.add(wall_us)
+        _QUERIES.add()
+        return results
+
+    def _scatter(
+        self, task_id: int, kind: str, payloads: Sequence[tuple]
+    ) -> None:
+        for index, payload in enumerate(payloads):
+            self._tasks.put((task_id, index, kind, payload))
+            _TASKS.add()
+
+    def _gather(
+        self, task_id: int, n_tasks: int, timeout: float
+    ) -> list[Any]:
+        results: list[Any] = [None] * n_tasks
+        pending = n_tasks
+        deadline = time.monotonic() + timeout
+        while pending:
+            try:
+                frame = self._results.get(timeout=0.05)
+            except queue_mod.Empty:
+                if not self.alive():
+                    raise PoolError("a worker died mid-scatter")
+                if time.monotonic() > deadline:
+                    raise PoolError(
+                        f"gather timed out after {timeout:.0f}s"
+                    )
+                continue
+            frame_task, index, ok, value, busy_us = frame
+            if frame_task != task_id:
+                continue  # stale frame from an abandoned scatter
+            if not ok:
+                raise PoolError(f"worker task failed: {value}")
+            _BUSY_US.add(busy_us)
+            if obs.is_enabled:
+                histogram("parallel.partition").record(busy_us)
+            results[index] = value
+            pending -= 1
+        return results
+
+
+# ------------------------------------------------------ orchestration
+
+
+def usable(db: "TemporalDatabase") -> bool:
+    """Whether scatter-gather may run against *db* right now.
+
+    False while ablated, while a bulk batch has cache maintenance
+    suspended (the snapshot discipline of :mod:`repro.database.batch`
+    owns correctness then), with a single partition, or on a platform
+    without ``fork``.
+    """
+    if not is_enabled:
+        return False
+    caches = getattr(db, "caches", None)
+    if caches is None or caches.suspended or db.in_batch:
+        return False
+    if db.partitioning.n_partitions < 2:
+        return False
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def plan_degree(
+    db: "TemporalDatabase",
+    extent_size: int,
+    cost_serial: float,
+    quantified: bool = False,
+) -> tuple[int, float | None]:
+    """The parallelism degree for a scan, with its estimated cost.
+
+    The cost model is ``cost_serial / degree + scatter overhead``
+    (fixed framing/IPC cost plus a per-shipped-oid term); quantified
+    scopes weight the serial cost by :data:`QUANTIFIED_FACTOR` because
+    their per-object evaluation walks every history segment.  Returns
+    ``(1, None)`` when the scatter cannot pay for itself (small extent,
+    single partition, ablated, mid-batch).
+    """
+    if extent_size < MIN_PARALLEL_ITEMS or not usable(db):
+        return 1, None
+    degree = db.partitioning.n_partitions
+    weighted = cost_serial * (QUANTIFIED_FACTOR if quantified else 1.0)
+    cost_parallel = (
+        weighted / degree + SCATTER_OVERHEAD + extent_size * SHIP_COST
+    )
+    if cost_parallel >= weighted:
+        return 1, cost_parallel
+    return degree, cost_parallel
+
+
+def pool_for(db: "TemporalDatabase") -> WorkerPool | None:
+    """The database's worker pool, (re)spawned as needed.
+
+    Reuses the existing pool when it is alive and its snapshot version
+    still matches the database; respawns on staleness or breakage.
+    Returns ``None`` when a pool cannot be spawned at all.
+    """
+    if not usable(db):
+        return None
+    pool: WorkerPool | None = getattr(db, "_parallel_pool", None)
+    version = db._state_version()
+    if pool is not None and pool.alive() and pool.version == version:
+        return pool
+    if pool is not None:
+        pool.close()
+        db._parallel_pool = None
+    try:
+        pool = WorkerPool(db, db.partitioning.n_partitions)
+    except Exception:
+        _FALLBACKS.add()
+        return None
+    db._parallel_pool = pool
+    return pool
+
+
+def shutdown(db: "TemporalDatabase") -> None:
+    """Tear down the database's worker pool, if any."""
+    pool = getattr(db, "_parallel_pool", None)
+    if pool is not None:
+        pool.close()
+        db._parallel_pool = None
+
+
+def scan_query(db: "TemporalDatabase", query, plan) -> list | None:
+    """Run *query*'s scan through the pool; ``None`` = caller goes serial.
+
+    The anchor extent is computed (and cached) in the parent only to
+    decide which partitions are populated; each task ships just the
+    query and a partition index, the worker derives the identical
+    slice from its snapshot, and matched oids come back as serials.
+    The serial-sorted merge equals the serial scan's output exactly
+    (oid order is serial order -- serials are globally unique).
+    """
+    from repro.query.ast import TemporalScope
+
+    pool = pool_for(db)
+    if pool is None:
+        _FALLBACKS.add()
+        return None
+    now = db.now
+    anchor = query.at if query.scope is TemporalScope.AT else now
+    extent = db.anchor_extent(query.class_name, anchor)
+    buckets = db.partitioning.split(extent)
+    payloads = [
+        (query, index)
+        for index, bucket in enumerate(buckets)
+        if bucket
+    ]
+    if not payloads:
+        return []
+    try:
+        slices = pool.run("scan", payloads)
+    except PoolError:
+        _FALLBACKS.add()
+        return None
+    by_serial = {oid.serial: oid for oid in extent}
+    return [
+        by_serial[serial]
+        for serial in sorted(
+            serial for part in slices for serial in part
+        )
+    ]
+
+
+def integrity_scatter(
+    db: "TemporalDatabase", oids: Sequence
+) -> list[dict] | None:
+    """Fan the per-object integrity checkers out over oid slices.
+
+    Returns the per-partition violation dicts in partition order, or
+    ``None`` when the caller must run the serial path.
+    """
+    if len(oids) < MIN_PARALLEL_ITEMS:
+        return None
+    pool = pool_for(db)
+    if pool is None:
+        _FALLBACKS.add()
+        return None
+    buckets = db.partitioning.split(oids)
+    payloads = [
+        (index,) for index, bucket in enumerate(buckets) if bucket
+    ]
+    if not payloads:
+        return []
+    try:
+        return pool.run("integrity", payloads)
+    except PoolError:
+        _FALLBACKS.add()
+        return None

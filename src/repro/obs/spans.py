@@ -40,7 +40,7 @@ from repro.perf.counters import metric
 
 from repro.obs.histograms import histogram
 
-#: The twelve instrumented boundaries.  ``docs/observability.md``
+#: The fifteen instrumented boundaries.  ``docs/observability.md``
 #: documents each one; ``tools/check_docs_drift.py`` validates doc
 #: references against this tuple.
 KINDS = (
@@ -56,6 +56,9 @@ KINDS = (
     "batch.flush",
     "cache.rebuild",
     "constraint.check",
+    "parallel.scatter",
+    "parallel.partition",
+    "parallel.gather",
 )
 
 _TRUTHY = ("1", "true", "yes", "on")

@@ -103,6 +103,18 @@ def _scan_evaluate(db, query: Query) -> list[OID]:
     return results
 
 
+def partition_matches(db, query: Query, oids, now: int) -> list[OID]:
+    """Evaluate *query* over one partition's oid slice, in oid order.
+
+    The per-partition kernel of the scatter-gather executor
+    (:mod:`repro.database.parallel`): a worker holds a forked snapshot
+    of *db* and runs exactly the per-oid test of the serial scan over
+    its slice, so concatenating the slices in any order and sorting
+    reproduces :func:`_scan_evaluate`'s output bit for bit.
+    """
+    return [oid for oid in oids if _matches(db, oid, query, now)]
+
+
 def _anchor_instant(query: Query, now: int) -> int:
     """The instant whose extent the query ranges over."""
     if query.scope is TemporalScope.AT:

@@ -34,6 +34,15 @@ segments are ever computed.  Results are provably identical to the
 scan path (``tests/test_query_oracle.py`` holds the two equal on
 randomized stores and queries).
 
+Scan-path plans additionally carry a *parallelism degree*: when the
+scatter-gather executor (:mod:`repro.database.parallel`) is usable and
+``cost_scan / degree + scatter_overhead`` beats the serial scan --
+quantified scopes weight the serial side, since their per-object
+evaluation walks whole histories -- execution fans the extent out over
+the oid-hash partitions and merges in order.  ``EXPLAIN`` renders the
+chosen degree; ``REPRO_NO_PARALLEL`` ablates it independently of the
+planner switch, and pool failure degrades to the identical serial scan.
+
 Ablation: set ``REPRO_NO_PLANNER=1`` in the environment (read at
 import), or call :func:`set_enabled` / use :func:`disabled`.  The
 planner also stands down when the database carries no cache layer or
@@ -49,6 +58,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro import perf
+from repro.database import parallel
 from repro.obs import spans as obs
 from repro.query.ast import (
     And,
@@ -143,6 +153,11 @@ class Plan:
     est_candidates: int = 0
     est_cost_index: float | None = None
     est_cost_scan: float = 0.0
+    #: Parallelism degree for the scan path: 1 = serial, >1 = scatter
+    #: the extent over that many partitions (index paths stay serial
+    #: -- they already touch only the matching postings).
+    degree: int = 1
+    est_cost_parallel: float | None = None
     actual_candidates: int | None = None
     actual_results: int | None = None
     # Execution payload: (AttributeIndex, spec) per probe, plus the
@@ -171,6 +186,13 @@ class Plan:
             )
         else:
             lines.append(f"cost     scan={self.est_cost_scan:.0f}")
+        if self.degree > 1:
+            assert self.est_cost_parallel is not None
+            lines.append(
+                f"parallel degree={self.degree}  "
+                f"(scatter-gather, est. cost "
+                f"{self.est_cost_parallel:.0f})"
+            )
         if self.actual_candidates is not None:
             lines.append(
                 f"actual   {self.actual_candidates} candidate(s) "
@@ -195,6 +217,7 @@ class Plan:
             ],
             "residual": list(self.residual),
             "est_candidates": self.est_candidates,
+            "degree": self.degree,
             "actual_candidates": self.actual_candidates,
             "actual_results": self.actual_results,
         }
@@ -309,6 +332,29 @@ def _describe(expr: Expr) -> str:
 # ------------------------------------------------------------ planning
 
 
+def _finalize_scan(db, chosen: Plan, query: Query) -> Plan:
+    """Decide the parallelism degree for a scan-path plan.
+
+    The cost model is ``cost_scan / degree + scatter_overhead`` (see
+    :func:`repro.database.parallel.plan_degree`); quantified scopes
+    weight the serial side because their per-object evaluation walks
+    whole histories, which is exactly where scatter pays best.  A plan
+    without residual work (no predicate) stays serial -- shipping oids
+    to workers that test nothing can only lose.
+    """
+    if chosen.access_path != "scan" or not chosen._residual_exprs:
+        return chosen
+    quantified = query.scope not in (
+        TemporalScope.NOW, TemporalScope.AT,
+    )
+    degree, cost_parallel = parallel.plan_degree(
+        db, chosen.extent_size, chosen.est_cost_scan, quantified
+    )
+    chosen.degree = degree
+    chosen.est_cost_parallel = cost_parallel if degree > 1 else None
+    return chosen
+
+
 def plan(db, query: Query) -> Plan:
     """Choose the access path for *query* (no execution)."""
     if obs.is_enabled:
@@ -346,14 +392,14 @@ def _plan(db, query: Query) -> Plan:
     base._residual_exprs = list(atoms)
     if not is_enabled:
         base.reason = "planner disabled"
-        return base
+        return _finalize_scan(db, base, query)
     if not atoms:
         base.reason = "no predicate"
         return base
     registry = getattr(getattr(db, "caches", None), "attr_indexes", None)
     if registry is None:
         base.reason = "database has no index layer"
-        return base
+        return _finalize_scan(db, base, query)
 
     probes: list[tuple[Expr, Any, tuple, int]] = []
     residual: list[Expr] = []
@@ -372,7 +418,7 @@ def _plan(db, query: Query) -> Plan:
             if not perf.is_enabled
             else "no indexable atoms"
         )
-        return base
+        return _finalize_scan(db, base, query)
 
     # Keep only probes selective enough to pay for their posting walk.
     # Sorted by estimate, the qualifying probes are a prefix; Exprs
@@ -384,7 +430,7 @@ def _plan(db, query: Query) -> Plan:
         base.reason = "no probe selective enough"
         base.residual = tuple(_describe(a) for a in atoms)
         base._residual_exprs = list(atoms)
-        return base
+        return _finalize_scan(db, base, query)
 
     est_min = selected[0][3]
     cost_index = (
@@ -394,7 +440,7 @@ def _plan(db, query: Query) -> Plan:
     if cost_index >= cost_scan:
         base.reason = "scan estimated cheaper"
         base.est_cost_index = cost_index
-        return base
+        return _finalize_scan(db, base, query)
 
     result = Plan(
         class_name=query.class_name,
@@ -444,7 +490,16 @@ def _run(db, query: Query, chosen: Plan) -> list[OID]:
 
     if chosen.access_path != "index":
         _FALLBACK.add()
-        results = evaluator._scan_evaluate(db, query)
+        results = None
+        if chosen.degree > 1:
+            results = parallel.scan_query(db, query, chosen)
+            if results is None:
+                # Pool unavailable or failed mid-scatter: the plan
+                # degrades to the serial scan it is equivalent to.
+                chosen.degree = 1
+                chosen.est_cost_parallel = None
+        if results is None:
+            results = evaluator._scan_evaluate(db, query)
         chosen.actual_candidates = chosen.extent_size
         chosen.actual_results = len(results)
         return results

@@ -42,12 +42,14 @@ from repro.values.null import is_null
 from repro.values.structure import values_equal
 
 
-def build_db(seed: int, bulk: bool = False) -> TemporalDatabase:
+def build_db(
+    seed: int, bulk: bool = False, n_partitions: int | None = None
+) -> TemporalDatabase:
     """Randomized database; with ``bulk=True`` every op wave runs
     inside ``db.batch()`` from the identical RNG-driven op stream, so
     the two builds must be weak-value-equal (Definition 5.10)."""
     rng = random.Random(seed)
-    db = TemporalDatabase()
+    db = TemporalDatabase(n_partitions=n_partitions)
     db.define_class(
         "item",
         attributes=[
@@ -296,6 +298,50 @@ def test_bulk_build_is_weak_value_equal(seed, predicate):
         )
         query = Query("item", predicate, scope, at, interval)
         assert evaluate(per_op, query) == evaluate(batched, query), scope
+
+
+@pytest.mark.parallel
+@pytest.mark.parametrize("n_partitions", [1, 4, 7])
+@pytest.mark.parametrize("seed", [0, 11, 29])
+def test_parallel_matches_serial_and_oracle(
+    seed, n_partitions, monkeypatch
+):
+    """Scatter-gather is invisible: for every temporal scope and a
+    fixed predicate pool, the parallel scan equals both the serial
+    scan and the per-instant oracle -- at one partition (degenerate),
+    the core-shaped four, and a prime that leaves buckets empty."""
+    from repro.database import parallel
+
+    # Shrink the cost thresholds so the tiny oracle workloads scatter.
+    monkeypatch.setattr(parallel, "MIN_PARALLEL_ITEMS", 1)
+    monkeypatch.setattr(parallel, "SCATTER_OVERHEAD", 0.0)
+    monkeypatch.setattr(parallel, "SHIP_COST", 0.0)
+
+    db = build_db(seed, n_partitions=n_partitions)
+    pool = [
+        Compare(CompareOp.GE, Attr("hot"), Const(1)),
+        Not(Compare(CompareOp.EQ, Attr("cold"), Const(2))),
+        Or(
+            Compare(CompareOp.LT, Attr("hot"), Const(2)),
+            Contains(Attr("tags"), Const(3)),
+        ),
+    ]
+    try:
+        for scope in TemporalScope:
+            at = db.now // 2 if scope is TemporalScope.AT else None
+            interval = (
+                (db.now // 4, db.now // 2)
+                if scope
+                in (TemporalScope.SOMETIME_IN, TemporalScope.ALWAYS_IN)
+                else None
+            )
+            for predicate in pool:
+                query = Query("item", predicate, scope, at, interval)
+                with parallel.disabled():
+                    serial = evaluate(db, query)
+                assert evaluate(db, query) == serial == oracle(db, query)
+    finally:
+        parallel.shutdown(db)
 
 
 @settings(max_examples=15, deadline=None)
