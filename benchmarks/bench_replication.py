@@ -1,0 +1,269 @@
+"""E16 -- WAL shipping: replication lag, catch-up, replay throughput.
+
+Three measured series over a journaled primary on a real filesystem
+and in-process :class:`~repro.replication.Replica` instances fed by
+:class:`~repro.replication.LogShipper`:
+
+* **lag vs write rate** -- the primary writes one round of N ops
+  between shipper polls; replication lag (LSNs behind) observed just
+  before the poll, and the time one ``sync`` takes to drain it;
+* **catch-up time vs backlog** -- a *fresh* replica attaches to a
+  primary that already holds a backlog of M committed frames (with a
+  mid-stream checkpoint, so catch-up exercises the checkpoint fetch +
+  tail-replay path), and we time how long ``sync`` takes to reach the
+  head;
+* **replay throughput vs primary write throughput** -- the same op
+  stream timed on the primary (write + per-op fsync) and on the
+  replica (apply + per-unit fsync).  A replica that cannot replay at
+  least half as fast as the primary writes can never converge under
+  sustained load, so the CI gate fails below 0.5x.
+
+Every series ends with the replica verified at zero lag and the same
+clock as the primary -- a fast replica that diverges is not a replica.
+
+Run directly (not under pytest -- the ``bench_`` prefix keeps it out
+of collection)::
+
+    python benchmarks/bench_replication.py           # full run + artifacts
+    python benchmarks/bench_replication.py --smoke   # quick sanity run
+    python benchmarks/bench_replication.py --ci      # reduced sizes, exit 1
+                                                     # unless replay >= 0.5x
+
+The full run writes ``benchmarks/results/e16_replication.txt`` and the
+machine-readable ``BENCH_replication.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (REPO_ROOT, REPO_ROOT / "src"):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from repro.database.recovery import open_database  # noqa: E402
+from repro.replication import LogShipper, Replica  # noqa: E402
+
+from benchmarks.conftest import emit, format_series  # noqa: E402
+
+
+def _primary(directory: str):
+    """A journaled primary with the bench schema (sync=always)."""
+    db, _report = open_database(directory, sync="always")
+    db.define_class(
+        "person",
+        attributes=[("name", "string"), ("salary", "temporal(real)")],
+    )
+    return db
+
+
+def _write_ops(db, n_ops: int, seed: int) -> None:
+    """n_ops journaled records: creates, temporal updates, ticks."""
+    rng = random.Random(seed)
+    oids = [obj.oid for obj in db.objects()]
+    for index in range(n_ops):
+        roll = rng.random()
+        if not oids or roll < 0.25:
+            oids.append(
+                db.create_object(
+                    "person",
+                    {"name": f"p{index}", "salary": float(index)},
+                )
+            )
+        elif roll < 0.35:
+            db.tick()
+        else:
+            db.update_attribute(rng.choice(oids), "salary", index * 1.0)
+
+
+def _assert_converged(db, shipper, replica) -> None:
+    if shipper.lag(replica) != 0 or replica.applied_tick != db.now:
+        raise SystemExit(
+            f"CONVERGENCE FAILURE: replica {replica.name!r} at "
+            f"lsn={replica.applied_lsn} tick={replica.applied_tick}, "
+            f"primary at lsn={shipper.committed_lsn()} tick={db.now}"
+        )
+
+
+def bench_lag_vs_write_rate(rates: tuple[int, ...]) -> list[dict]:
+    """One write round per rate; lag right before the poll, drain time."""
+    rows = []
+    for rate in rates:
+        with tempfile.TemporaryDirectory() as tmp:
+            db = _primary(f"{tmp}/primary")
+            shipper = LogShipper(f"{tmp}/primary")
+            replica = shipper.attach(
+                Replica("lag", directory=f"{tmp}/replica")
+            )
+            shipper.sync(replica)  # ship the schema; start at zero lag
+            start = time.perf_counter()
+            _write_ops(db, rate, seed=rate)
+            write_s = time.perf_counter() - start
+            lag = shipper.lag(replica)
+            start = time.perf_counter()
+            shipper.sync(replica)
+            sync_s = time.perf_counter() - start
+            _assert_converged(db, shipper, replica)
+        rows.append(
+            {
+                "write_rate": rate,
+                "write_s": round(write_s, 3),
+                "lag_before_sync": lag,
+                "sync_s": round(sync_s, 3),
+            }
+        )
+    return rows
+
+
+def bench_catchup_vs_backlog(backlogs: tuple[int, ...]) -> list[dict]:
+    """A fresh replica against an existing backlog (checkpoint + tail)."""
+    rows = []
+    for backlog in backlogs:
+        with tempfile.TemporaryDirectory() as tmp:
+            db = _primary(f"{tmp}/primary")
+            _write_ops(db, backlog // 2, seed=backlog)
+            db.checkpoint()  # catch-up must fetch this, then tail-replay
+            _write_ops(db, backlog - backlog // 2, seed=backlog + 1)
+            shipper = LogShipper(f"{tmp}/primary")
+            replica = shipper.attach(
+                Replica("catchup", directory=f"{tmp}/replica")
+            )
+            start = time.perf_counter()
+            shipper.sync(replica)
+            catchup_s = time.perf_counter() - start
+            _assert_converged(db, shipper, replica)
+        rows.append(
+            {
+                "backlog_frames": backlog,
+                "catchup_s": round(catchup_s, 3),
+                "frames_per_s": round(backlog / catchup_s),
+            }
+        )
+    return rows
+
+
+def bench_replay_throughput(n_ops: int) -> dict:
+    """Primary write throughput vs replica replay throughput."""
+    with tempfile.TemporaryDirectory() as tmp:
+        db = _primary(f"{tmp}/primary")
+        start = time.perf_counter()
+        _write_ops(db, n_ops, seed=7)
+        write_s = time.perf_counter() - start
+        shipper = LogShipper(f"{tmp}/primary")
+        replica = shipper.attach(
+            Replica("replay", directory=f"{tmp}/replica")
+        )
+        start = time.perf_counter()
+        applied = shipper.sync(replica)
+        replay_s = time.perf_counter() - start
+        _assert_converged(db, shipper, replica)
+    write_tput = n_ops / write_s
+    replay_tput = applied / replay_s
+    return {
+        "workload": f"replay n={n_ops} ops",
+        "write_ops_per_s": round(write_tput),
+        "replay_frames_per_s": round(replay_tput),
+        "ratio": round(replay_tput / write_tput, 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload, no artifacts (sanity check)",
+    )
+    parser.add_argument(
+        "--ci",
+        action="store_true",
+        help="reduced sizes; exit 1 unless replay >= 0.5x write rate",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        rates, backlogs, n_ops = (5, 20), (30,), 50
+    elif args.ci:
+        rates, backlogs, n_ops = (50, 200), (200, 800), 800
+    else:
+        rates, backlogs, n_ops = (50, 200, 800), (250, 1000, 3000), 1500
+
+    lag_rows = bench_lag_vs_write_rate(rates)
+    catchup_rows = bench_catchup_vs_backlog(backlogs)
+    throughput = bench_replay_throughput(n_ops)
+
+    table = format_series(
+        "E16: replication lag vs write rate (one round between polls)",
+        ("write rate", "write s", "lag (LSNs)", "sync s"),
+        [
+            (
+                r["write_rate"],
+                f"{r['write_s']:.3f}",
+                r["lag_before_sync"],
+                f"{r['sync_s']:.3f}",
+            )
+            for r in lag_rows
+        ],
+    )
+    table += "\n\n" + format_series(
+        "catch-up time vs backlog (fresh replica, checkpoint + tail)",
+        ("backlog", "catch-up s", "frames/s"),
+        [
+            (r["backlog_frames"], f"{r['catchup_s']:.3f}", r["frames_per_s"])
+            for r in catchup_rows
+        ],
+    )
+    table += "\n\n" + format_series(
+        "replay throughput vs primary write throughput",
+        ("workload", "write ops/s", "replay frames/s", "ratio"),
+        [
+            (
+                throughput["workload"],
+                throughput["write_ops_per_s"],
+                throughput["replay_frames_per_s"],
+                f"{throughput['ratio']:.2f}x",
+            )
+        ],
+    )
+
+    if args.smoke:
+        print(table)
+        print("smoke ok (all replicas converged)")
+        return 0
+
+    payload = {
+        "experiment": "E16 WAL shipping",
+        "lag_vs_write_rate": lag_rows,
+        "catchup_vs_backlog": catchup_rows,
+        "replay_throughput": throughput,
+        "target": "replay throughput >= 0.5x primary write throughput",
+    }
+    (REPO_ROOT / "BENCH_replication.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    if args.ci:
+        print(table)
+        if throughput["ratio"] < 0.5:
+            print(
+                f"CI GATE FAILURE: replay only {throughput['ratio']}x "
+                f"primary write throughput (need >= 0.5x)"
+            )
+            return 1
+        print(f"ci gate ok: {throughput['ratio']}x >= 0.5x")
+        return 0
+
+    emit("e16_replication", table)
+    print(f"wrote {REPO_ROOT / 'BENCH_replication.json'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

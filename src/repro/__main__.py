@@ -29,7 +29,15 @@ Commands:
   recovery report; exit 0 when a database was produced (even off a
   salvaged corrupt tail), 1 on unrecoverable loss;
 * ``checkpoint DIR`` -- open a journaled database, write a fresh
-  atomic checkpoint, and truncate the journal.
+  atomic checkpoint, and truncate the journal;
+* ``replicate DIR REPLICA...`` -- ship the primary directory's
+  committed journal tail into one or more replica directories (each a
+  self-contained durability directory: bootstrap checkpoint + archived
+  frames) and print per-replica applied LSN and lag;
+* ``restore DIR (--lsn N | --tick T) [-o FILE.json]`` -- point-in-time
+  recovery: rebuild the database as of a journal position or a clock
+  tick, optionally writing the restored state as a persistence JSON
+  file usable with ``check``/``describe``/``query``.
 """
 
 from __future__ import annotations
@@ -374,6 +382,63 @@ def cmd_checkpoint(args) -> int:
     return 0
 
 
+def cmd_replicate(args) -> int:
+    from repro.errors import ReplicationError
+    from repro.replication import LogShipper, Replica
+
+    shipper = LogShipper(args.directory)
+    for index, directory in enumerate(args.replica):
+        shipper.attach(Replica(f"replica{index}", directory=directory))
+    try:
+        applied = shipper.sync_all()
+    except ReplicationError as exc:
+        print(f"replication failed: {exc}", file=sys.stderr)
+        return 1
+    head = shipper.committed_lsn()
+    print(f"primary {args.directory}: committed head lsn {head}")
+    for replica in shipper.replicas:
+        print(
+            f"  {replica.directory}: applied lsn {replica.applied_lsn} "
+            f"(lag {shipper.lag(replica)}), "
+            f"{applied[replica.name]} frame(s) shipped this run, "
+            f"now={replica.applied_tick}"
+        )
+    return 0
+
+
+def cmd_restore(args) -> int:
+    import json
+
+    from repro.database.persistence import database_to_json
+    from repro.errors import ReplicationError
+    from repro.replication import restore_to
+
+    try:
+        db, report = restore_to(
+            args.directory, lsn=args.lsn, tick=args.tick
+        )
+    except ReplicationError as exc:
+        print(f"restore failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        target = (
+            f"lsn {args.lsn}" if args.lsn is not None
+            else f"tick {args.tick}"
+        )
+        print(
+            f"restored {args.directory} to {target}: now={db.now}, "
+            f"{len(db)} object(s), "
+            f"{len(tuple(db.classes()))} class(es), "
+            f"last lsn {report.last_lsn}"
+        )
+    if args.output:
+        Path(args.output).write_text(database_to_json(db))
+        print(f"restored state written to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI parser (exposed so tools/check_docs_drift.py can
     enumerate the real subcommand registry)."""
@@ -486,6 +551,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     checkpoint_cmd.add_argument("directory")
 
+    replicate_cmd = sub.add_parser(
+        "replicate",
+        help="ship the committed journal tail into replica directories",
+    )
+    replicate_cmd.add_argument("directory", help="primary durability dir")
+    replicate_cmd.add_argument(
+        "replica", nargs="+", help="replica durability directories"
+    )
+
+    restore_cmd = sub.add_parser(
+        "restore",
+        help="point-in-time recovery to an LSN or a clock tick",
+    )
+    restore_cmd.add_argument("directory")
+    target = restore_cmd.add_mutually_exclusive_group(required=True)
+    target.add_argument(
+        "--lsn", type=int, default=None, help="journal position target"
+    )
+    target.add_argument(
+        "--tick", type=int, default=None, help="database clock target"
+    )
+    restore_cmd.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the restored state as a persistence JSON file",
+    )
+    restore_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+
     return parser
 
 
@@ -501,6 +597,8 @@ _HANDLERS = {
     "trace": cmd_trace,
     "recover": cmd_recover,
     "checkpoint": cmd_checkpoint,
+    "replicate": cmd_replicate,
+    "restore": cmd_restore,
 }
 
 

@@ -38,6 +38,7 @@ from repro.database.wal import (
     TailStatus,
     checkpoint_lsn,
     drop_uncommitted,
+    iter_frames,
     list_checkpoints,
     scan_frames,
 )
@@ -287,6 +288,8 @@ def apply_record(db: Any, record: dict[str, Any]) -> Any:
 def recover(
     directory: str | os.PathLike[str],
     fs: Any = None,
+    stop_lsn: int | None = None,
+    stop_tick: int | None = None,
 ) -> tuple[Any, RecoveryReport]:
     """Rebuild the database persisted under *directory*.
 
@@ -294,6 +297,15 @@ def recover(
     (use :func:`open_database` to also repair the tail and resume
     journaling).  Returns ``(db, report)``; ``db`` is None iff
     ``report.ok`` is False.
+
+    *stop_lsn* / *stop_tick* turn the replay into a point-in-time
+    restore (:func:`repro.replication.restore_to` is the public entry
+    point): replay halts before the first record past the target --
+    records with ``lsn > stop_lsn``, or the ``tick`` that would advance
+    the clock beyond *stop_tick* -- and checkpoints already past the
+    target are skipped (not treated as corrupt) in favour of an older
+    surviving one.  A target that predates every retained checkpoint
+    and the journal's genesis is unrecoverable (``report.ok`` False).
     """
     from repro.database.persistence import database_from_json
 
@@ -302,16 +314,24 @@ def recover(
     report = RecoveryReport(directory=directory)
     _RECOVERIES.add()
 
-    # 1. Newest valid checkpoint (fall back through corrupt ones).
+    # 1. Newest valid checkpoint (fall back through corrupt ones, and
+    #    past ones newer than the restore target).
     db = None
     for name in reversed(list_checkpoints(fs, directory)):
         path = os.path.join(directory, name)
+        if stop_lsn is not None and checkpoint_lsn(name) > stop_lsn:
+            continue  # checkpoint is beyond the restore target
         try:
             doc = json.loads(fs.read(path).decode("utf-8"))
             if doc.get("format") != CHECKPOINT_FORMAT:
                 raise RecoveryError(
                     f"unsupported checkpoint format {doc.get('format')!r}"
                 )
+            if (
+                stop_tick is not None
+                and int(doc["database"].get("now", 0)) > stop_tick
+            ):
+                continue  # checkpointed clock is beyond the target
             db = database_from_json(json.dumps(doc["database"]))
             report.checkpoint = path
             report.checkpoint_lsn = int(doc["lsn"])
@@ -338,7 +358,8 @@ def recover(
     report.records_dropped_uncommitted = dropped
     report.uncommitted_txn = open_txn
 
-    # 4. Replay records beyond the checkpoint.
+    # 4. Replay records beyond the checkpoint (up to the restore
+    #    target, when one was given).
     with obs.span("recovery.replay", records=len(committed)) as replay_sp:
         for record in committed:
             kind = record.get("kind")
@@ -347,6 +368,15 @@ def recover(
             if record["lsn"] <= report.checkpoint_lsn:
                 report.records_skipped += 1
                 continue
+            if stop_lsn is not None and record["lsn"] > stop_lsn:
+                break
+            if (
+                stop_tick is not None
+                and kind == "tick"
+                and db is not None
+                and db.now + record.get("steps", 1) > stop_tick
+            ):
+                break
             try:
                 db = apply_record(db, record)
             except RecoveryError as exc:
@@ -371,11 +401,25 @@ def recover(
         replay_sp.annotate(applied=report.records_applied)
 
     if db is None:
-        # No checkpoint and no genesis record: nothing to rebuild from.
+        # No checkpoint and no genesis record: nothing to rebuild from
+        # (or the restore target predates every retained record).
         report.ok = False
         report.errors.append(
             "unrecoverable: no valid checkpoint and the journal has no "
             "genesis record"
+            + (
+                " at or before the restore target"
+                if stop_lsn is not None or stop_tick is not None
+                else ""
+            )
+        )
+        return None, report
+    if stop_tick is not None and db.now > stop_tick:
+        # Even the oldest surviving state is past the requested tick.
+        report.ok = False
+        report.errors.append(
+            f"unrecoverable: oldest retained state is at tick "
+            f"{db.now}, past the restore target {stop_tick}"
         )
         return None, report
 
@@ -464,23 +508,16 @@ def open_database(
 
 def _committed_end(fs: Any, journal_path: str) -> int:
     """Byte offset right after the last committed record."""
-    data = fs.read(journal_path)
-    records, tail = scan_frames(data)
-    # Walk frames again tracking offsets; cheap relative to recovery.
-    from repro.database.wal import MAGIC, _HEADER_LEN
+    from repro.database.wal import MAGIC
 
-    offset = len(MAGIC)
-    end = offset
-    open_txn_start: int | None = None
-    for record in records:
-        length = int.from_bytes(data[offset:offset + 4], "little")
-        next_offset = offset + _HEADER_LEN + length
-        kind = record.get("kind")
-        if kind == "begin" and open_txn_start is None:
-            open_txn_start = offset
+    end = len(MAGIC)
+    in_open_txn = False
+    for frame in iter_frames(journal_path, fs=fs):
+        kind = frame.kind
+        if kind == "begin" and not in_open_txn:
+            in_open_txn = True
         elif kind == "commit":
-            open_txn_start = None
-        if open_txn_start is None:
-            end = next_offset
-        offset = next_offset
+            in_open_txn = False
+        if not in_open_txn:
+            end = frame.end
     return end

@@ -112,21 +112,46 @@ class TailStatus:
         return self.dropped_bytes == 0 and self.error is None
 
 
-def scan_frames(data: bytes) -> tuple[list[dict[str, Any]], TailStatus]:
-    """Parse the longest valid prefix of a journal byte string.
+@dataclass(frozen=True)
+class Frame:
+    """One decoded journal frame, with its physical position.
 
-    Returns the decoded payloads and a :class:`TailStatus` describing
-    where (and why) parsing stopped.  Never raises on corrupt input --
+    ``raw`` carries the frame exactly as it sits on disk (header +
+    payload), so a log shipper can forward frames verbatim and the
+    CRC travels with them end-to-end.
+    """
+
+    lsn: int
+    #: byte offset of the frame header within the stream.
+    offset: int
+    #: byte offset just past the frame body.
+    end: int
+    record: dict[str, Any]
+    raw: bytes
+
+    @property
+    def kind(self) -> str | None:
+        return self.record.get("kind")
+
+    @property
+    def is_marker(self) -> bool:
+        return self.record.get("kind") in ("begin", "commit")
+
+
+def iter_frame_bytes(data: bytes, offset: int = 0):
+    """Yield :class:`Frame` objects from a raw frame run.
+
+    The run starts at *offset* and carries no magic header (shipped
+    deliveries, journal suffixes).  Parsing stops at the first torn or
+    corrupt frame; the generator's ``StopIteration`` value is the
+    :class:`TailStatus` (consumed by :func:`scan_frames`; plain ``for``
+    loops just see the valid prefix).  Never raises on corrupt input --
     graceful degradation is the whole point.
     """
-    if not data.startswith(MAGIC):
-        return [], TailStatus(0, len(data), "bad or missing magic")
-    records: list[dict[str, Any]] = []
-    offset = len(MAGIC)
     total = len(data)
     while offset < total:
         if offset + _HEADER_LEN > total:
-            return records, TailStatus(
+            return TailStatus(
                 offset, total - offset, "truncated record header"
             )
         length = int.from_bytes(data[offset:offset + 4], "little")
@@ -134,27 +159,81 @@ def scan_frames(data: bytes) -> tuple[list[dict[str, Any]], TailStatus]:
         body_start = offset + _HEADER_LEN
         body_end = body_start + length
         if body_end > total:
-            return records, TailStatus(
+            return TailStatus(
                 offset, total - offset, "truncated record body"
             )
         body = data[body_start:body_end]
         if zlib.crc32(body) != checksum:
-            return records, TailStatus(
+            return TailStatus(
                 offset, total - offset, "checksum mismatch"
             )
         try:
             payload = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
-            return records, TailStatus(
+            return TailStatus(
                 offset, total - offset, "undecodable record payload"
             )
         if not isinstance(payload, dict) or "lsn" not in payload:
-            return records, TailStatus(
+            return TailStatus(
                 offset, total - offset, "malformed record payload"
             )
-        records.append(payload)
+        yield Frame(
+            lsn=int(payload["lsn"]),
+            offset=offset,
+            end=body_end,
+            record=payload,
+            raw=bytes(data[offset:body_end]),
+        )
         offset = body_end
-    return records, TailStatus(offset, 0)
+    return TailStatus(offset, 0)
+
+
+def _frames_of(data: bytes):
+    """Frame generator over a full journal byte string (magic-checked)."""
+    if not data.startswith(MAGIC):
+        return TailStatus(0, len(data), "bad or missing magic")
+    return (yield from iter_frame_bytes(data, len(MAGIC)))
+
+
+def iter_frames(
+    path: str | os.PathLike[str],
+    fs: Any = None,
+    start_lsn: int = 0,
+) -> Iterator[Frame]:
+    """Yield the journal's valid-prefix frames, in LSN order.
+
+    The public frame reader shared by recovery, the LSN-resume scan in
+    :meth:`Journal.__init__`, and the replication log shipper
+    (:mod:`repro.replication`).  Frames with ``lsn < start_lsn`` are
+    skipped; a torn or corrupt tail silently ends the iteration
+    (callers that need the :class:`TailStatus` use :func:`scan_frames`).
+    """
+    fs = fs if fs is not None else RealFS()
+    gen = _frames_of(fs.read(str(path)))
+    while True:
+        try:
+            frame = next(gen)
+        except StopIteration:
+            return
+        if frame.lsn >= start_lsn:
+            yield frame
+
+
+def scan_frames(data: bytes) -> tuple[list[dict[str, Any]], TailStatus]:
+    """Parse the longest valid prefix of a journal byte string.
+
+    Returns the decoded payloads and a :class:`TailStatus` describing
+    where (and why) parsing stopped.  Built on the same frame generator
+    as :func:`iter_frames`.
+    """
+    records: list[dict[str, Any]] = []
+    gen = _frames_of(data)
+    while True:
+        try:
+            frame = next(gen)
+        except StopIteration as stop:
+            return records, stop.value
+        records.append(frame.record)
 
 
 def drop_uncommitted(
@@ -233,11 +312,9 @@ class Journal:
             # a bare ``Journal(path)`` on a pre-existing file never
             # mints duplicate LSNs (duplicates would collide with the
             # ``lsn <= checkpoint_lsn`` skip filter during recovery).
-            records, _tail = scan_frames(self.fs.read(self.path))
-            if records:
-                self._next_lsn = (
-                    max(int(r["lsn"]) for r in records) + 1
-                )
+            for frame in iter_frames(self.path, fs=self.fs):
+                if frame.lsn >= self._next_lsn:
+                    self._next_lsn = frame.lsn + 1
 
     # -- positioning ----------------------------------------------------------
 

@@ -184,6 +184,16 @@ class RecoveryError(DatabaseError):
     checkpoint loss, or a journal record that fails to replay)."""
 
 
+class ReplicationError(DatabaseError):
+    """The WAL-shipping subsystem could not make progress (exhausted
+    delivery retries, a restore target outside the retained history,
+    or a replica that cannot be brought back)."""
+
+
+class ReplicaWriteError(ReplicationError):
+    """A write operation was attempted on a read-only replica."""
+
+
 class SubscriberError(DatabaseError):
     """One or more event subscribers raised.  Raised *after* every
     subscriber has been notified, so a failing observer can no longer

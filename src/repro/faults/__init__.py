@@ -4,9 +4,14 @@
   :class:`RealFS` pass-through, and :class:`SimulatedFS`: an in-memory
   filesystem with an explicit durability model and named crash points
   driven by a seeded :class:`CrashPlan`;
+* :mod:`repro.faults.replica` -- the replication fault catalogue:
+  frames torn, bit-flipped or dropped in transit, replicas killed
+  mid-apply or mid-checkpoint-fetch (:class:`ReplicaCrashPlan`);
 * :mod:`repro.faults.harness` -- the crash-recovery property harness:
   randomized workloads, a crash at every named point, recovery, and
-  equivalence checks against the durable-prefix oracle.
+  equivalence checks against the durable-prefix oracle; plus the
+  replication variant (:func:`run_replica_trial`) asserting replica
+  convergence and restore round-trips under injected faults.
 """
 
 from repro.faults.fs import (
@@ -18,12 +23,23 @@ from repro.faults.fs import (
     SimulatedFS,
     random_plan,
 )
+from repro.faults.replica import (
+    REPLICA_CRASH_POINTS,
+    ReplicaCrashPlan,
+    random_replica_plan,
+)
 
 def __getattr__(name: str):
     # The harness imports the database package (it drives real engine
     # workloads), and the database's WAL imports :mod:`repro.faults.fs`
     # -- importing the harness eagerly here would close that cycle.
-    if name in ("TrialResult", "run_trial", "apply_op"):
+    if name in (
+        "TrialResult",
+        "run_trial",
+        "apply_op",
+        "ReplicaTrialResult",
+        "run_replica_trial",
+    ):
         from repro.faults import harness
 
         return getattr(harness, name)
@@ -34,10 +50,15 @@ __all__ = [
     "CRASH_POINTS",
     "CrashPlan",
     "FaultInjector",
+    "REPLICA_CRASH_POINTS",
     "RealFS",
+    "ReplicaCrashPlan",
+    "ReplicaTrialResult",
     "SimulatedCrash",
     "SimulatedFS",
     "TrialResult",
     "random_plan",
+    "random_replica_plan",
+    "run_replica_trial",
     "run_trial",
 ]

@@ -411,6 +411,245 @@ def run_trial(
     return result
 
 
+# -- replication trials -----------------------------------------------------------
+
+
+@dataclass
+class ReplicaTrialResult:
+    """Outcome of one replication fault-injection experiment."""
+
+    seed: int
+    plan: Any
+    #: the plan's injector actually fired during the trial.
+    fired: bool
+    #: committed LSN the primary reached (and both replicas must reach).
+    head_lsn: int
+    checkpoints: int = 0
+    #: restore_to round-trips performed against the replica archives.
+    restores_checked: int = 0
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def run_replica_trial(
+    seed: int,
+    n_ops: int = 40,
+    plan: Any = None,
+) -> ReplicaTrialResult:
+    """One deterministic replication experiment (seeded end to end).
+
+    A journaled primary on a healthy :class:`SimulatedFS` runs the same
+    randomized workload as :func:`run_trial` (transactions -- some
+    rolled back -- bulk batches, checkpoints, schema evolution) while a
+    :class:`~repro.replication.LogShipper` feeds two replicas: one
+    carrying a :class:`~repro.faults.replica.ReplicaCrashPlan` (frames
+    torn/bit-flipped/dropped in transit, or the replica killed
+    mid-apply / mid-fetch) and one fault-free control.  The faulty
+    replica attaches late about half the time, exercising the
+    checkpoint-fetch catch-up path.
+
+    Afterwards the shipper drains and the trial asserts:
+
+    * both replicas converged to the primary -- same committed LSN and
+      :func:`_compare`-equivalent state (structural + Definition 5.10
+      weak value equality, the same oracle the crash trials use);
+    * writes on a replica raise :class:`ReplicaWriteError`;
+    * up to two ``restore_to(lsn=...)`` round-trips against the faulty
+      replica's archive reproduce snapshots taken during the run, and a
+      ``restore_to(tick=...)`` lands at or before the snapshot clock.
+    """
+    from repro.database.persistence import (
+        database_from_json,
+        database_to_json,
+    )
+    from repro.errors import ReplicationError, ReplicaWriteError
+    from repro.faults.replica import random_replica_plan
+    from repro.replication import LogShipper, Replica, restore_to
+
+    rng = random.Random(seed)
+    plan = plan or random_replica_plan(rng)
+    fs = SimulatedFS(rng=random.Random(seed ^ 0x5EED))
+    shipper = LogShipper(DB_DIR, fs=fs, backoff=lambda attempt: None)
+    injector = FaultInjector(plan)
+    faulty = Replica(
+        "faulty",
+        fs=SimulatedFS(),
+        injector=injector,
+        rng=random.Random(seed ^ 0xFA11),
+    )
+    control = Replica(
+        "control", fs=SimulatedFS(), rng=random.Random(seed ^ 0xC0DE)
+    )
+    shipper.attach(control)
+    attach_after = rng.randint(0, n_ops // 2) if rng.random() < 0.5 else 0
+    if attach_after == 0:
+        shipper.attach(faulty)
+
+    state = _WorkloadState(random.Random(seed * 31 + 7))
+    checkpoints = 0
+    #: (lsn, tick, snapshot json) taken at quiescent points.
+    snapshots: list[tuple[int, int, str]] = []
+    result = ReplicaTrialResult(
+        seed=seed, plan=plan, fired=False, head_lsn=0
+    )
+
+    journal = Journal(f"{DB_DIR}/{JOURNAL_NAME}", fs=fs)
+    db = TemporalDatabase(journal=journal)
+    pending = list(_schema_ops())
+    ops_done = 0
+    try:
+        while ops_done < n_ops:
+            if ops_done >= attach_after and faulty not in shipper.replicas:
+                shipper.attach(faulty)
+            decide = state.rng.random()
+            if pending:
+                op = pending.pop(0)
+                result_value = apply_op(db, op)
+                _note_applied(state, op, result_value)
+                ops_done += 1
+            elif decide < 0.08:
+                txn = Transaction(db).begin()
+                staged: list[tuple] = []
+                for _ in range(state.rng.randint(2, 4)):
+                    op = _next_op(state, db)
+                    try:
+                        apply_op(db, op)
+                    except TChimeraError:
+                        continue
+                    staged.append(op)
+                    ops_done += 1
+                if state.rng.random() < 0.4:
+                    # Rolled back: the journal suffix is physically
+                    # truncated, so nothing of it may ever reach a
+                    # replica (the shipper withholds open transactions).
+                    txn.rollback()
+                else:
+                    txn.commit()
+                    for op in staged:
+                        _note_applied(state, op, None)
+            elif decide < 0.13 and ops_done:
+                db.checkpoint()
+                checkpoints += 1
+            elif decide < 0.22:
+                with db.batch():
+                    for _ in range(state.rng.randint(2, 5)):
+                        op = _next_op(state, db)
+                        try:
+                            result_value = apply_op(db, op)
+                        except TChimeraError:
+                            continue
+                        _note_applied(state, op, result_value)
+                        ops_done += 1
+            else:
+                op = _next_op(state, db)
+                try:
+                    result_value = apply_op(db, op)
+                except TChimeraError:
+                    continue
+                _note_applied(state, op, result_value)
+                ops_done += 1
+            if state.rng.random() < 0.35:
+                shipper.sync_all()
+                if state.rng.random() < 0.2 and not journal.is_empty():
+                    snapshots.append(
+                        (journal.last_lsn, db.now, database_to_json(db))
+                    )
+    except ReplicationError as exc:
+        result.problems.append(f"shipper gave up mid-run: {exc}")
+        result.fired = injector.fired
+        return result
+
+    # Note: the transaction branch replays through the same journal the
+    # shipper tails, so a rollback truncates frames the shipper may
+    # have cached -- committed_frames() only caches past committed
+    # boundaries, which rollback never truncates below.
+
+    try:
+        shipper.sync_all()
+    except ReplicationError as exc:
+        result.problems.append(f"final drain failed: {exc}")
+        result.fired = injector.fired
+        return result
+
+    result.fired = injector.fired
+    result.head_lsn = shipper.committed_lsn()
+    result.checkpoints = checkpoints
+
+    for replica in (control, faulty):
+        if replica not in shipper.replicas:
+            continue
+        if replica.applied_lsn != result.head_lsn:
+            result.problems.append(
+                f"replica {replica.name}: applied lsn "
+                f"{replica.applied_lsn} != committed head "
+                f"{result.head_lsn}"
+            )
+            continue
+        if replica._db is None:
+            result.problems.append(
+                f"replica {replica.name}: no database after drain"
+            )
+            continue
+        result.problems.extend(
+            f"replica {replica.name}: {p}"
+            for p in _compare(replica._db, db)
+        )
+        try:
+            replica.db.tick(1)
+            result.problems.append(
+                f"replica {replica.name}: write did not raise"
+            )
+        except ReplicaWriteError:
+            pass
+
+    # restore_to round-trips against the faulty replica's archive.
+    for lsn, tick, snapshot in snapshots[-2:]:
+        if faulty not in shipper.replicas or faulty._db is None:
+            break
+        expected = database_from_json(snapshot)
+        try:
+            restored, _report = restore_to(
+                faulty.directory, lsn=lsn, fs=faulty.fs
+            )
+        except ReplicationError:
+            # Legal only when the target predates the replica's
+            # retained history (a later checkpoint install truncated
+            # the archive past it).
+            from repro.database.wal import (
+                checkpoint_lsn as _ckpt_lsn,
+                list_checkpoints as _list_ckpts,
+            )
+
+            names = _list_ckpts(faulty.fs, faulty.directory)
+            floor = _ckpt_lsn(names[0]) if names else 0
+            if lsn >= floor:
+                result.problems.append(
+                    f"restore_to(lsn={lsn}) failed inside the retained "
+                    f"history (checkpoint floor {floor})"
+                )
+            continue
+        result.restores_checked += 1
+        result.problems.extend(
+            f"restore lsn={lsn}: {p}"
+            for p in _compare(restored, expected)
+        )
+        try:
+            tick_restored, _ = restore_to(
+                faulty.directory, tick=tick, fs=faulty.fs
+            )
+            if tick_restored.now > tick:
+                result.problems.append(
+                    f"restore tick={tick}: landed at {tick_restored.now}"
+                )
+        except ReplicationError:
+            pass  # same retention caveat as above
+
+    return result
+
+
 def _nothing_durable(fs: SimulatedFS) -> bool:
     """True when the durable disk holds no checkpoint and no journal
     records at all (crash predated the first durable byte)."""

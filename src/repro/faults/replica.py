@@ -1,0 +1,70 @@
+"""Replica-side fault catalogue for the WAL-shipping subsystem.
+
+The filesystem crash points in :mod:`repro.faults.fs` model a dying
+*disk*; replication adds three new places for a deterministic failure
+to land, modeled here:
+
+* ``ship`` -- a frame is corrupted *in transit* between the primary's
+  journal and a replica: ``torn`` (the delivery is cut mid-frame),
+  ``bitflip`` (one bit of the framed bytes flips; the CRC catches it),
+  or ``drop`` (the frame silently vanishes, leaving an LSN gap);
+* ``apply`` -- the replica process is ``kill``-ed mid-replay, after it
+  archived a delivery but before (or while) applying it; its in-memory
+  database is gone and its local disk collapses to the durable view;
+* ``fetch`` -- the replica is ``kill``-ed in the middle of a
+  checkpoint fetch/install, leaving at worst a temp file that the next
+  bootstrap ignores.
+
+A :class:`ReplicaCrashPlan` names one such point and the occurrence at
+which it fires; the generic :class:`~repro.faults.fs.FaultInjector`
+counts occurrences for these plans exactly as it does for filesystem
+plans.  Every catalogued fault must be *survivable without operator
+action*: the shipper's catch-up protocol re-ships, re-fetches or
+restarts the replica, and the property harness
+(:func:`repro.faults.harness.run_replica_trial`) asserts convergence
+to Definition 5.10 weak value equality with the primary afterwards.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: Replication fault points, with the modes each supports.
+REPLICA_CRASH_POINTS: dict[str, tuple[str, ...]] = {
+    "ship": ("torn", "bitflip", "drop"),
+    "apply": ("kill",),
+    "fetch": ("kill",),
+}
+
+
+@dataclass(frozen=True)
+class ReplicaCrashPlan:
+    """Fire at the *occurrence*-th ``op`` (1-based), in the given mode."""
+
+    op: str
+    mode: str
+    occurrence: int = 1
+
+    def __post_init__(self) -> None:
+        if self.op not in REPLICA_CRASH_POINTS:
+            raise ValueError(f"unknown replica crash point op {self.op!r}")
+        if self.mode not in REPLICA_CRASH_POINTS[self.op]:
+            raise ValueError(
+                f"replica crash point {self.op!r} does not support mode "
+                f"{self.mode!r}"
+            )
+
+    @property
+    def point(self) -> str:
+        """The crash point's name, e.g. ``ship.bitflip``."""
+        return f"{self.op}.{self.mode}"
+
+
+def random_replica_plan(
+    rng: random.Random, max_occurrence: int = 40
+) -> ReplicaCrashPlan:
+    """A pseudo-random replica crash plan from the full catalogue."""
+    op = rng.choice(sorted(REPLICA_CRASH_POINTS))
+    mode = rng.choice(REPLICA_CRASH_POINTS[op])
+    return ReplicaCrashPlan(op, mode, rng.randint(1, max_occurrence))

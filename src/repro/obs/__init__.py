@@ -5,7 +5,7 @@ subsystems fired; this package says *where the time went*.  Four
 pieces, documented in docs/observability.md:
 
 * **spans** (:mod:`repro.obs.spans`) — ``with obs.span("db.snapshot"):``
-  context-var tracing at the fifteen hot boundaries (:data:`KINDS`),
+  context-var tracing at the eighteen hot boundaries (:data:`KINDS`),
   nesting into per-operation span trees;
 * **histograms** (:mod:`repro.obs.histograms`) — power-of-two µs
   latency buckets per span kind, with p50/p95/p99 derivation;
@@ -87,7 +87,7 @@ __all__ = [
 ]
 
 # Pre-register a histogram per instrumented boundary so every export
-# lists all fifteen kinds, recorded-into or not.
+# lists all eighteen kinds, recorded-into or not.
 for _kind in KINDS:
     histogram(_kind)
 del _kind

@@ -40,7 +40,7 @@ from repro.perf.counters import metric
 
 from repro.obs.histograms import histogram
 
-#: The fifteen instrumented boundaries.  ``docs/observability.md``
+#: The eighteen instrumented boundaries.  ``docs/observability.md``
 #: documents each one; ``tools/check_docs_drift.py`` validates doc
 #: references against this tuple.
 KINDS = (
@@ -59,6 +59,9 @@ KINDS = (
     "parallel.scatter",
     "parallel.partition",
     "parallel.gather",
+    "replication.ship",
+    "replication.apply",
+    "replication.catchup",
 )
 
 _TRUTHY = ("1", "true", "yes", "on")

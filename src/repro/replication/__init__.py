@@ -1,0 +1,41 @@
+"""WAL shipping: crash-tolerant read replicas + point-in-time recovery.
+
+The replication layer turns the single-node durability stack (journal +
+checkpoints, :mod:`repro.database.wal` / :mod:`repro.database.recovery`)
+into a primary/replica system without adding a second log format:
+
+* :class:`LogShipper` tails the primary's journal through the same
+  filesystem seam the primary writes through and ships **committed
+  frames verbatim** (header + CRC + payload) to attached replicas,
+  with checkpoint-fetch catch-up and bounded retries on corrupt or
+  short deliveries;
+* :class:`Replica` archives shipped frames into a durability directory
+  of its own, applies them in transaction-atomic units through the
+  stock replay path, serves read-only queries at its applied LSN, and
+  restarts from its own archive after a crash;
+* :func:`restore_to` is point-in-time recovery over any durability
+  directory -- primary or replica -- by LSN (journal position) or by
+  tick (the paper's temporal axis);
+* :class:`Channel` is the in-process transport seam where the
+  ``ship.*`` faults of :mod:`repro.faults.replica` land.
+
+Observability: ``wal.shipped_frames``, ``replication.lag_lsn``,
+``replication.catchups``, ``replication.frame_errors``,
+``replication.records_applied`` and ``replication.restarts`` metrics,
+plus ``replication.ship`` / ``replication.apply`` /
+``replication.catchup`` spans -- all exported through ``repro stats``.
+"""
+
+from repro.replication.pitr import restore_to
+from repro.replication.replica import ReadOnlyDatabase, Replica
+from repro.replication.shipper import DEFAULT_RETRIES, LogShipper
+from repro.replication.transport import Channel
+
+__all__ = [
+    "Channel",
+    "DEFAULT_RETRIES",
+    "LogShipper",
+    "ReadOnlyDatabase",
+    "Replica",
+    "restore_to",
+]

@@ -1,0 +1,381 @@
+"""A crash-tolerant, read-only replica fed by shipped WAL frames.
+
+A replica owns a normal durability directory of its own -- an *archive*
+journal (``journal.wal``) of every shipped frame plus the checkpoint it
+last bootstrapped from -- deliberately in the exact on-disk format the
+primary uses.  That buys two properties for free:
+
+* **restartability** -- after a crash, the stock recovery path
+  (:func:`repro.database.recovery.recover`) rebuilds the replica from
+  its own directory, no replication-specific recovery code;
+* **deep point-in-time restore** -- the archive is never truncated by
+  the *primary's* checkpoints, so :func:`repro.replication.restore_to`
+  against a replica directory reaches further back than the primary's
+  own retention window.
+
+Frames are archived *before* they are applied (the replica's own little
+WAL rule), and a delivery is applied in transaction-atomic *units*: a
+standalone autocommit frame, or a whole ``begin``..``commit`` group.  A
+delivery that tears mid-unit leaves the open suffix unapplied and
+unarchived; the shipper re-ships it from the replica's applied LSN.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from typing import Any, Iterator
+
+from repro import perf
+from repro.obs import spans as obs
+from repro.database.recovery import (
+    JOURNAL_NAME,
+    _committed_end,
+    apply_record,
+    recover,
+)
+from repro.database.wal import (
+    CHECKPOINT_FORMAT,
+    MAGIC,
+    Frame,
+    checkpoint_name,
+    checkpoint_lsn,
+    iter_frame_bytes,
+    list_checkpoints,
+)
+from repro.errors import ReplicaWriteError, ReplicationError
+from repro.faults.fs import FaultInjector, SimulatedCrash, SimulatedFS, RealFS
+from repro.replication.transport import Channel
+
+_APPLIED = perf.metric("replication.records_applied")
+_RESTARTS = perf.metric("replication.restarts")
+
+#: TemporalDatabase methods a read-only replica must refuse.
+_MUTATORS = frozenset(
+    {
+        "attach_journal",
+        "checkpoint",
+        "tick",
+        "batch",
+        "define_class",
+        "add_attribute",
+        "remove_attribute",
+        "drop_class",
+        "create_object",
+        "update_attribute",
+        "correct_attribute",
+        "migrate",
+        "delete_object",
+        "call_c_method",
+        "subscribe",
+        "unsubscribe",
+    }
+)
+
+
+class ReadOnlyDatabase:
+    """A write-blocking proxy over a replica's database.
+
+    Attribute access passes through to the underlying
+    :class:`~repro.database.database.TemporalDatabase` except for the
+    mutating surface, which raises :class:`ReplicaWriteError` -- writes
+    belong on the primary, and a replica that accepted one would
+    silently diverge from the shipped log.
+    """
+
+    __slots__ = ("_db",)
+
+    def __init__(self, db: Any) -> None:
+        object.__setattr__(self, "_db", db)
+
+    def __getattr__(self, name: str) -> Any:
+        if name in _MUTATORS:
+            raise ReplicaWriteError(
+                f"{name}() is a write operation; replicas are read-only "
+                "(apply it on the primary and let the shipper replicate it)"
+            )
+        return getattr(object.__getattribute__(self, "_db"), name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise ReplicaWriteError("replicas are read-only")
+
+    def __len__(self) -> int:
+        return len(object.__getattribute__(self, "_db"))
+
+    def __contains__(self, oid: Any) -> bool:
+        return oid in object.__getattribute__(self, "_db")
+
+    def __repr__(self) -> str:
+        return f"ReadOnlyDatabase({object.__getattribute__(self, '_db')!r})"
+
+
+class Replica:
+    """One read replica: an applied database plus its archive directory.
+
+    The replica is passive -- :class:`~repro.replication.LogShipper`
+    drives it by calling :meth:`install_checkpoint` (catch-up
+    bootstrap), :meth:`deliver` (tail replay) and :meth:`restart`
+    (crash recovery).  Readers use :attr:`db` and :meth:`query`.
+
+    ``injector`` carries an optional
+    :class:`~repro.faults.replica.ReplicaCrashPlan`; ``ship.*`` faults
+    land in the transit :class:`~repro.replication.transport.Channel`,
+    ``apply.kill``/``fetch.kill`` kill this replica mid-operation
+    (database gone; a :class:`~repro.faults.fs.SimulatedFS` directory
+    collapses to its durable view on restart).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        directory: str | os.PathLike[str] | None = None,
+        fs: Any = None,
+        injector: FaultInjector | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.name = name
+        self.directory = str(directory or f"/replica/{name}")
+        self.fs = fs if fs is not None else RealFS()
+        self.injector = injector or FaultInjector(None)
+        self.rng = rng or random.Random(0)
+        self.channel = Channel(injector=self.injector, rng=self.rng)
+        self.dead = False
+        self.applied_lsn = 0
+        self._db: Any = None
+        if isinstance(self.fs, RealFS):
+            os.makedirs(self.directory, exist_ok=True)
+        self._journal_path = os.path.join(self.directory, JOURNAL_NAME)
+        if self.fs.exists(self._journal_path) or list_checkpoints(
+            self.fs, self.directory
+        ):
+            self._recover_local()
+        else:
+            self._init_archive()
+
+    # -- read surface ----------------------------------------------------------
+
+    @property
+    def db(self) -> ReadOnlyDatabase:
+        """The replica's database at :attr:`applied_lsn`, read-only."""
+        self._require_alive()
+        if self._db is None:
+            raise ReplicationError(
+                f"replica {self.name!r} has not bootstrapped yet"
+            )
+        return ReadOnlyDatabase(self._db)
+
+    @property
+    def applied_tick(self) -> int | None:
+        """The replica clock (None before bootstrap)."""
+        return self._db.now if self._db is not None else None
+
+    def query(self, text: str) -> Any:
+        """Evaluate one query string against the applied state."""
+        from repro.query import evaluate, parse_query
+
+        self._require_alive()
+        if self._db is None:
+            raise ReplicationError(
+                f"replica {self.name!r} has not bootstrapped yet"
+            )
+        return evaluate(self._db, parse_query(text))
+
+    # -- shipping protocol -----------------------------------------------------
+
+    def deliver(self, frames: list[Frame]) -> int:
+        """Receive one delivery; returns the number of frames applied.
+
+        The delivery crosses the transit channel (where ``ship.*``
+        faults corrupt it), is re-validated frame by frame, checked for
+        LSN contiguity from ``applied_lsn + 1``, split into
+        transaction-atomic units, archived and applied.  Corruption is
+        never fatal here: the valid applied prefix is reported back and
+        the shipper re-ships the rest.
+        """
+        self._require_alive()
+        data = self.channel.transit(frames)
+        good: list[Frame] = []
+        expected = self.applied_lsn + 1
+        for frame in _safe_frames(data):
+            if frame.lsn != expected:
+                break  # gap (dropped frame) or stale overlap
+            good.append(frame)
+            expected += 1
+        units = _split_units(good)
+        applied = 0
+        with obs.span(
+            "replication.apply", replica=self.name, frames=len(good)
+        ):
+            for unit in units:
+                self._apply_unit(unit)
+                applied += len(unit)
+        return applied
+
+    def _apply_unit(self, unit: list[Frame]) -> None:
+        # Archive first, apply second: a kill mid-apply loses only the
+        # in-memory database, and restart recovers the full unit from
+        # the archive (it is committed data -- the primary only ships
+        # committed frames).
+        self.fs.append(
+            self._journal_path, b"".join(frame.raw for frame in unit)
+        )
+        self.fs.fsync(self._journal_path)
+        for frame in unit:
+            if frame.is_marker:
+                self.applied_lsn = frame.lsn
+                continue
+            if self.injector.check("apply") == "kill":
+                self._die(f"apply.kill at lsn {frame.lsn}")
+            self._db = apply_record(self._db, frame.record)
+            self.applied_lsn = frame.lsn
+            _APPLIED.add()
+
+    def install_checkpoint(self, data: bytes) -> int:
+        """Bootstrap (or fast-forward) from a primary checkpoint.
+
+        Mirrors the primary's atomic checkpoint protocol: temp file,
+        fsync, rename, fsync the directory, drop older checkpoints,
+        reset the archive to empty.  Returns the checkpoint's LSN,
+        which becomes :attr:`applied_lsn`.
+        """
+        self._require_alive()
+        try:
+            doc = json.loads(data.decode("utf-8"))
+            if doc.get("format") != CHECKPOINT_FORMAT:
+                raise ValueError(
+                    f"unsupported checkpoint format {doc.get('format')!r}"
+                )
+            lsn = int(doc["lsn"])
+        except (ValueError, KeyError, UnicodeDecodeError) as exc:
+            raise ReplicationError(
+                f"replica {self.name!r}: unusable checkpoint: {exc}"
+            ) from exc
+        from repro.database.persistence import database_from_json
+
+        final = os.path.join(self.directory, checkpoint_name(lsn))
+        tmp = final + ".tmp"
+        self.fs.write(tmp, data)
+        if self.injector.check("fetch") == "kill":
+            # At worst a temp file survives; its name never parses as a
+            # checkpoint, so the next bootstrap ignores it.
+            self._die("fetch.kill during checkpoint install")
+        self.fs.fsync(tmp)
+        self.fs.replace(tmp, final)
+        self.fs.fsync_dir(self.directory)
+        for name in list_checkpoints(self.fs, self.directory):
+            if checkpoint_lsn(name) < lsn:
+                self.fs.remove(os.path.join(self.directory, name))
+        self.fs.fsync_dir(self.directory)
+        self._init_archive()
+        self._db = database_from_json(json.dumps(doc["database"]))
+        self.applied_lsn = lsn
+        return lsn
+
+    # -- crash / restart -------------------------------------------------------
+
+    def restart(self) -> None:
+        """Bring a dead (or live) replica back from its own directory.
+
+        After a simulated kill the directory collapses to its durable
+        view (:meth:`~repro.faults.fs.SimulatedFS.crash_view`), then
+        the stock recovery path rebuilds the database.  A replica whose
+        directory holds nothing usable resets to empty and re-enters
+        the shipper's checkpoint-fetch catch-up on the next sync.
+        """
+        _RESTARTS.add()
+        if self.dead and isinstance(self.fs, SimulatedFS):
+            self.fs = self.fs.crash_view(self.rng)
+        self.dead = False
+        self._db = None
+        self.applied_lsn = 0
+        if not self.fs.exists(self._journal_path) and not list_checkpoints(
+            self.fs, self.directory
+        ):
+            self._init_archive()
+            return
+        self._recover_local()
+
+    def _recover_local(self) -> None:
+        db, report = recover(self.directory, fs=self.fs)
+        if db is None:
+            # Nothing usable (e.g. a fetch crash tore the very first
+            # bootstrap): reset and let the shipper re-bootstrap.
+            self._reset_local()
+            return
+        self._db = db
+        self.applied_lsn = report.last_lsn
+        # Repair the archive tail so future appends extend the valid
+        # committed prefix: a torn last unit (crash_view kept a partial
+        # unsynced suffix) or a unit cut inside a begin..commit group
+        # must be physically dropped, exactly as open_database does for
+        # the primary's journal.
+        if report.uncommitted_txn:
+            self.fs.truncate(
+                self._journal_path,
+                _committed_end(self.fs, self._journal_path),
+            )
+            self.fs.fsync(self._journal_path)
+        elif report.salvaged_tail:
+            self.fs.truncate(self._journal_path, report.valid_end)
+            self.fs.fsync(self._journal_path)
+        if not self.fs.exists(self._journal_path):
+            self._init_archive()
+
+    def _reset_local(self) -> None:
+        for name in list_checkpoints(self.fs, self.directory):
+            self.fs.remove(os.path.join(self.directory, name))
+        self._init_archive()
+        self._db = None
+        self.applied_lsn = 0
+
+    def _init_archive(self) -> None:
+        self.fs.write(self._journal_path, MAGIC)
+        self.fs.fsync(self._journal_path)
+
+    def _die(self, reason: str) -> None:
+        self.dead = True
+        self._db = None
+        raise SimulatedCrash(f"replica {self.name!r}: {reason}")
+
+    def _require_alive(self) -> None:
+        if self.dead:
+            raise ReplicationError(
+                f"replica {self.name!r} is dead (restart() it first)"
+            )
+
+    def __repr__(self) -> str:
+        state = "dead" if self.dead else f"lsn={self.applied_lsn}"
+        return f"Replica({self.name!r}, {state})"
+
+
+def _safe_frames(data: bytes) -> Iterator[Frame]:
+    """Valid-prefix frames of a delivery (corruption ends iteration)."""
+    gen = iter_frame_bytes(data)
+    while True:
+        try:
+            yield next(gen)
+        except StopIteration:
+            return
+
+
+def _split_units(frames: list[Frame]) -> list[list[Frame]]:
+    """Group a contiguous frame run into transaction-atomic units.
+
+    A unit is one autocommit frame or a whole ``begin``..``commit``
+    group.  A trailing open group (the delivery tore mid-transaction)
+    is withheld -- the shipper re-ships it whole.
+    """
+    units: list[list[Frame]] = []
+    current: list[Frame] = []
+    in_txn = False
+    for frame in frames:
+        current.append(frame)
+        if frame.kind == "begin":
+            in_txn = True
+        elif frame.kind == "commit":
+            in_txn = False
+        if not in_txn:
+            units.append(current)
+            current = []
+    return units

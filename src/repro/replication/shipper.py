@@ -1,0 +1,275 @@
+"""The log shipper: tails the primary's journal, feeds the replicas.
+
+Shipping policy -- **committed frames only**.  The primary's journal is
+not append-only at the tail: :meth:`Journal.abort` physically truncates
+an open transaction (and reuses its LSNs), and a checkpoint truncates
+the whole journal.  Shipping an uncommitted frame could therefore ship
+an LSN that later names a *different* record.  The shipper withholds a
+trailing open transaction until its ``commit`` marker lands; everything
+it ships is immutable history.
+
+Catch-up protocol, per replica and per :meth:`LogShipper.sync`:
+
+1. a dead replica is restarted (it recovers from its own archive);
+2. a replica behind the journal's retention floor -- the primary
+   checkpointed and truncated past it -- or a blank replica is
+   bootstrapped from the newest primary checkpoint
+   (:meth:`Replica.install_checkpoint`);
+3. the committed tail from ``applied_lsn + 1`` is shipped in one
+   delivery.
+
+A delivery that applies short (torn/bit-flipped/dropped frame in
+transit, or a replica killed mid-apply) is retried from the replica's
+applied LSN, up to ``REPRO_SHIP_RETRIES`` times with an injectable
+backoff; exhaustion raises :class:`ReplicationError` rather than
+looping forever against a link that eats every frame.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from typing import Any, Callable
+
+from repro import perf
+from repro.obs import spans as obs
+from repro.database.recovery import JOURNAL_NAME
+from repro.database.wal import (
+    MAGIC,
+    Frame,
+    checkpoint_lsn,
+    iter_frame_bytes,
+    list_checkpoints,
+)
+from repro.errors import ReplicationError
+from repro.faults.fs import RealFS, SimulatedCrash
+from repro.replication.replica import Replica
+
+_SHIPPED = perf.metric("wal.shipped_frames")
+_LAG = perf.metric("replication.lag_lsn")
+_CATCHUPS = perf.metric("replication.catchups")
+_FRAME_ERRORS = perf.metric("replication.frame_errors")
+
+#: Delivery retries per sync before giving up (overridable per shipper).
+DEFAULT_RETRIES = 4
+
+
+def _default_backoff(attempt: int) -> None:
+    # Tiny and linear: in-process links recover on the next poll, and
+    # fault-injection trials must not stall the test suite.
+    time.sleep(0.001 * attempt)
+
+
+class LogShipper:
+    """Ships the committed journal tail of one primary to N replicas.
+
+    The shipper polls (``sync``/``sync_all``) rather than subscribing:
+    it reads the journal file through the same ``fs`` seam the primary
+    writes through, so it works identically against a live process, a
+    crashed one, or a :class:`~repro.faults.fs.SimulatedFS`.  Parsed
+    committed frames are cached incrementally -- each poll re-parses
+    only the bytes past the last committed boundary, and a shrunken
+    file (checkpoint truncation) resets the cache.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        fs: Any = None,
+        retries: int | None = None,
+        backoff: Callable[[int], None] | None = None,
+    ) -> None:
+        self.directory = str(directory)
+        self.fs = fs if fs is not None else RealFS()
+        self.journal_path = os.path.join(self.directory, JOURNAL_NAME)
+        if retries is None:
+            retries = int(
+                os.environ.get("REPRO_SHIP_RETRIES", DEFAULT_RETRIES)
+            )
+        self.retries = retries
+        self.backoff = backoff or _default_backoff
+        self.replicas: list[Replica] = []
+        # Incremental scan state: committed frames currently in the
+        # journal file, the byte offset of the last committed boundary
+        # (always outside any transaction, so a resumed parse starts
+        # clean), and a running CRC of the bytes up to that boundary.
+        # The CRC is the truncation detector: a checkpoint truncates
+        # the journal, and if it regrows past the old boundary before
+        # the next poll, size alone cannot tell -- but the prefix bytes
+        # can.
+        self._committed: list[Frame] = []
+        self._scan_end = len(MAGIC)
+        self._scan_crc = zlib.crc32(MAGIC)
+
+    def attach(self, replica: Replica) -> Replica:
+        """Register a replica; it is synced on the next ``sync_all``."""
+        self.replicas.append(replica)
+        return replica
+
+    # -- journal tailing -------------------------------------------------------
+
+    def committed_frames(self) -> list[Frame]:
+        """The journal's committed frames, oldest first (cached scan)."""
+        try:
+            data = self.fs.read(self.journal_path)
+        except (FileNotFoundError, KeyError):
+            data = b""
+        if (
+            len(data) < self._scan_end
+            or not data.startswith(MAGIC)
+            or zlib.crc32(data[: self._scan_end]) != self._scan_crc
+        ):
+            # The journal no longer carries our committed prefix: a
+            # checkpoint truncated it (possibly regrowing past the old
+            # boundary between polls, which is why size alone is not
+            # trusted).  Drop the cache; replicas behind the new
+            # retention floor catch up via checkpoint fetch.
+            self._committed = []
+            self._scan_end = len(MAGIC)
+            self._scan_crc = zlib.crc32(MAGIC)
+            if not data.startswith(MAGIC):
+                return list(self._committed)
+        staged: list[Frame] | None = None
+        boundary = self._scan_end
+        for frame in _valid_frames(data, self._scan_end):
+            kind = frame.kind
+            if kind == "begin":
+                staged = [frame]
+            elif kind == "commit":
+                if staged is not None:
+                    staged.append(frame)
+                    self._committed.extend(staged)
+                    staged = None
+                else:
+                    self._committed.append(frame)
+                boundary = frame.end
+            elif staged is not None:
+                staged.append(frame)
+            else:
+                self._committed.append(frame)
+                boundary = frame.end
+        if boundary > self._scan_end:
+            self._scan_crc = zlib.crc32(
+                data[self._scan_end : boundary], self._scan_crc
+            )
+            self._scan_end = boundary
+        return list(self._committed)
+
+    def newest_checkpoint(self) -> tuple[bytes, int] | None:
+        """Raw bytes + LSN of the primary's newest checkpoint, if any."""
+        names = list_checkpoints(self.fs, self.directory)
+        if not names:
+            return None
+        name = names[-1]
+        return (
+            self.fs.read(os.path.join(self.directory, name)),
+            checkpoint_lsn(name),
+        )
+
+    def committed_lsn(self) -> int:
+        """The LSN of the newest committed, shippable record."""
+        frames = self.committed_frames()
+        if frames:
+            return frames[-1].lsn
+        newest = self.newest_checkpoint()
+        return newest[1] if newest else 0
+
+    def lag(self, replica: Replica) -> int:
+        """How many LSNs *replica* trails the committed head."""
+        return max(0, self.committed_lsn() - replica.applied_lsn)
+
+    # -- shipping --------------------------------------------------------------
+
+    def sync(self, replica: Replica) -> int:
+        """Drive one replica to the committed head; returns frames applied.
+
+        Restarts it if dead, bootstraps it from a checkpoint when blank
+        or beyond the retention floor, then ships the committed tail,
+        retrying short deliveries up to ``retries`` times.
+        """
+        with obs.span("replication.ship", replica=replica.name) as sp:
+            shipped = self._sync(replica)
+            sp.annotate(frames=shipped)
+        self._update_lag()
+        return shipped
+
+    def _sync(self, replica: Replica) -> int:
+        shipped = 0
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.backoff(attempt)
+            try:
+                if replica.dead:
+                    replica.restart()
+                frames = self.committed_frames()
+                floor = frames[0].lsn if frames else None
+                need = replica.applied_lsn + 1
+                if floor is None or floor > need:
+                    # The journal does not reach back to the replica's
+                    # position -- it is blank, or the primary has
+                    # checkpoint-truncated past it.  Bootstrap from the
+                    # newest checkpoint (a no-op when that checkpoint
+                    # is not ahead of the replica).
+                    self._fetch(replica)
+                    need = replica.applied_lsn + 1
+                pending = [f for f in frames if f.lsn >= need]
+                if not pending:
+                    return shipped
+                applied = replica.deliver(pending)
+                shipped += applied
+                _SHIPPED.add(applied)
+                if replica.applied_lsn >= pending[-1].lsn:
+                    return shipped
+                # Short delivery: a frame was torn, bit-flipped or
+                # dropped in transit.  Count it and re-ship the rest.
+                _FRAME_ERRORS.add()
+            except SimulatedCrash:
+                # The replica died mid-apply or mid-fetch; the next
+                # attempt restarts it from its own archive.
+                continue
+        raise ReplicationError(
+            f"replica {replica.name!r} failed to reach lsn "
+            f"{self.committed_lsn()} after {self.retries} retries "
+            f"(stuck at {replica.applied_lsn})"
+        )
+
+    def sync_all(self) -> dict[str, int]:
+        """Sync every attached replica; name -> frames applied."""
+        return {
+            replica.name: self.sync(replica) for replica in self.replicas
+        }
+
+    def _fetch(self, replica: Replica) -> None:
+        """Checkpoint-bootstrap one replica, if a newer checkpoint exists."""
+        newest = self.newest_checkpoint()
+        if newest is None:
+            return  # genesis ships as ordinary frames
+        data, lsn = newest
+        if lsn <= replica.applied_lsn:
+            return
+        with obs.span(
+            "replication.catchup", replica=replica.name, lsn=lsn
+        ):
+            _CATCHUPS.add()
+            replica.install_checkpoint(data)
+
+    def _update_lag(self) -> None:
+        head = self.committed_lsn()
+        _LAG.count = max(
+            (
+                max(0, head - replica.applied_lsn)
+                for replica in self.replicas
+            ),
+            default=0,
+        )
+
+
+def _valid_frames(data: bytes, offset: int):
+    """Valid-prefix frames of *data* starting at *offset*."""
+    gen = iter_frame_bytes(data, offset)
+    while True:
+        try:
+            yield next(gen)
+        except StopIteration:
+            return

@@ -1,0 +1,72 @@
+"""The in-transit seam between the primary's journal and a replica.
+
+Shipped frames travel as the exact bytes the primary wrote -- length
+prefix, CRC-32 and payload (:class:`repro.database.wal.Frame.raw`) --
+so end-to-end integrity costs nothing extra: whatever mangles a frame
+between the two processes (a torn pipe write, a flipped bit on the
+wire, a silently dropped packet) is caught by the same frame scanner
+that guards the on-disk journal.
+
+:class:`Channel` is the in-process transport: it concatenates frame
+bytes for one delivery and gives deterministic fault injection a place
+to land (the ``ship.*`` points of
+:data:`repro.faults.replica.REPLICA_CRASH_POINTS`).  A file- or
+socket-backed transport substitutes here without touching the shipper
+or the replica: both sides speak "a byte run of whole frames".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.database.wal import Frame
+from repro.faults.fs import FaultInjector
+
+
+class Channel:
+    """One primary->replica link, with injectable transit faults.
+
+    ``transit`` serializes a delivery.  When the injector fires a
+    ``ship`` fault at the Nth frame ever carried by this link:
+
+    * ``torn``    -- the delivery is cut mid-frame (everything from the
+      torn frame on is lost);
+    * ``bitflip`` -- one bit of the frame flips; the CRC catches it at
+      the replica and parsing stops there;
+    * ``drop``    -- the frame silently vanishes, leaving an LSN gap
+      that the replica's contiguity check refuses to apply past.
+
+    All three manifest to the shipper as a *short delivery* (the
+    replica applied less than was sent), which triggers a bounded
+    re-ship from the replica's applied LSN.
+    """
+
+    def __init__(
+        self,
+        injector: FaultInjector | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.injector = injector or FaultInjector(None)
+        self.rng = rng or random.Random(0)
+
+    def transit(self, frames: Iterable[Frame]) -> bytes:
+        delivery = bytearray()
+        for frame in frames:
+            mode = self.injector.check("ship")
+            raw = frame.raw
+            if mode == "torn":
+                delivery += raw[
+                    : self.rng.randint(0, max(len(raw) - 1, 0))
+                ]
+                break
+            if mode == "bitflip":
+                corrupted = bytearray(raw)
+                index = self.rng.randrange(len(corrupted))
+                corrupted[index] ^= 1 << self.rng.randrange(8)
+                delivery += corrupted
+                continue
+            if mode == "drop":
+                continue
+            delivery += raw
+        return bytes(delivery)

@@ -140,3 +140,108 @@ class TestBitemporalQueries:
             bdb.as_of(0),
             parse_query("select employee where salary < 1000.0"),
         ) == []
+
+
+class TestJournalInterplay:
+    """The transaction-time axis against the WAL.
+
+    When the ``current`` database of a bitemporal store is journaled,
+    each commit captures a state the journal can also reproduce: the
+    recorded-time order (transaction times) must match LSN order, and
+    after a crash, point-in-time recovery at a commit's LSN must
+    rebuild exactly the state that commit froze -- even though the
+    crash may have destroyed the tail of the log.
+    """
+
+    DB_DIR = "/db"
+
+    def _run(self, seed):
+        """Grow a journaled bitemporal store until the seeded crash
+        plan fires (or the workload ends); return the store, the
+        simulated disk, and one ``(tt, lsn, valid_time)`` mark per
+        commit that completed before the crash."""
+        import random
+
+        from repro.database.wal import Journal
+        from repro.faults import (
+            FaultInjector,
+            SimulatedCrash,
+            SimulatedFS,
+            random_plan,
+        )
+
+        rng = random.Random(seed)
+        plan = random_plan(rng, max_occurrence=25)
+        fs = SimulatedFS(injector=FaultInjector(plan), rng=rng)
+        bdb = BitemporalDatabase()
+        marks = []
+        try:
+            journal = Journal(f"{self.DB_DIR}/journal.wal", fs=fs)
+            db = bdb.current
+            db.attach_journal(journal)
+            db.define_class(
+                "employee",
+                attributes=[
+                    ("name", "string"), ("salary", "temporal(real)"),
+                ],
+            )
+            oids = []
+            for step in range(12):
+                if not oids or rng.random() < 0.35:
+                    oids.append(db.create_object(
+                        "employee",
+                        {"name": f"e{step}", "salary": float(step)},
+                    ))
+                else:
+                    db.update_attribute(
+                        rng.choice(oids), "salary", step * 10.0
+                    )
+                db.tick(rng.randint(1, 3))
+                tt = bdb.commit(f"step {step}")
+                marks.append((tt, journal.last_lsn, db.now))
+        except SimulatedCrash:
+            pass
+        return bdb, fs, marks
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_recorded_time_order_matches_lsn_order(self, seed):
+        _bdb, _fs, marks = self._run(seed)
+        tts = [tt for tt, _lsn, _vt in marks]
+        lsns = [lsn for _tt, lsn, _vt in marks]
+        vts = [vt for _tt, _lsn, vt in marks]
+        # Transaction times are assigned in LSN order, strictly.
+        assert tts == sorted(tts) and len(set(tts)) == len(tts)
+        assert lsns == sorted(lsns) and len(set(lsns)) == len(lsns)
+        # Valid time never runs backwards along the recorded axis.
+        assert vts == sorted(vts)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_pitr_rebuilds_each_commit_after_crash(self, seed):
+        from repro.database.recovery import recover
+        from repro.errors import ReplicationError
+        from repro.faults.harness import _compare
+        from repro.replication import restore_to
+
+        bdb, fs, marks = self._run(seed)
+        if not marks:
+            pytest.skip("crash fired before the first commit")
+        disk = fs.crash_view()
+        _db, report = recover(self.DB_DIR, fs=disk)
+        durable = [m for m in marks if m[1] <= report.last_lsn]
+        # Every commit whose LSN survived the crash must round-trip:
+        # restoring the journal to that LSN yields the committed state.
+        assert durable, "recovery lost every committed mark"
+        for tt, lsn, valid_time in durable:
+            try:
+                restored, _ = restore_to(self.DB_DIR, lsn=lsn, fs=disk)
+            except ReplicationError:
+                pytest.fail(f"tt={tt} lsn={lsn} not restorable")
+            frozen = bdb.as_of(tt)
+            assert restored.now == frozen.now == valid_time
+            assert _compare(restored, frozen) == []
+
+    def test_crash_free_round_trip_is_exact(self):
+        bdb, fs, marks = self._run(seed=99)
+        if not (fs._injector.fired is False and len(marks) == 12):
+            pytest.skip("seed 99 crashed; covered by the seeded matrix")
+        assert [tt for tt, _l, _v in marks] == list(range(12))

@@ -136,6 +136,35 @@ class TestRecover:
         assert report["ok"] is True
         assert report["objects"] == 2
 
+    def test_json_report_is_the_full_recovery_report(self, journal_dir):
+        # Regression: --json must emit every RecoveryReport field --
+        # monitoring keys off uncommitted_txn / replay_divergence, so
+        # a slimmed-down emission would silently break alerting.
+        import json
+
+        from repro.database.recovery import RecoveryReport
+
+        result = run_cli("recover", str(journal_dir), "--json")
+        report = json.loads(result.stdout)
+        expected = set(RecoveryReport(directory="x").to_dict())
+        assert set(report) == expected
+        assert report["uncommitted_txn"] is False
+        assert report["replay_divergence"] is False
+
+    def test_json_report_flags_uncommitted_txn(self, journal_dir):
+        import json
+
+        from repro.database.wal import frame_record
+
+        journal = journal_dir / "journal.wal"
+        next_lsn = 6  # past the fixture's five records
+        with journal.open("ab") as handle:
+            handle.write(frame_record({"lsn": next_lsn, "kind": "begin"}))
+        result = run_cli("recover", str(journal_dir), "--json")
+        assert result.returncode == 0
+        report = json.loads(result.stdout)
+        assert report["uncommitted_txn"] is True
+
     def test_checkpoint_subcommand(self, journal_dir):
         result = run_cli("checkpoint", str(journal_dir))
         assert result.returncode == 0
@@ -145,6 +174,65 @@ class TestRecover:
         result = run_cli("recover", str(journal_dir), "--verify")
         assert result.returncode == 0
         assert "2 object(s)" in result.stdout
+
+
+class TestReplicateRestore:
+    @pytest.fixture()
+    def primary_dir(self, tmp_path):
+        from repro.database.recovery import open_database
+
+        directory = tmp_path / "primary"
+        db, _ = open_database(directory)
+        db.define_class(
+            "person",
+            attributes=[("name", "string"), ("salary", "temporal(real)")],
+        )
+        oid = db.create_object("person", {"name": "ann", "salary": 1.0})
+        db.tick(2)
+        db.update_attribute(oid, "salary", 5.0)
+        return directory
+
+    def test_replicate_ships_to_directories(self, primary_dir, tmp_path):
+        r1 = tmp_path / "replica1"
+        r2 = tmp_path / "replica2"
+        result = run_cli("replicate", str(primary_dir), str(r1), str(r2))
+        assert result.returncode == 0
+        assert "lag 0" in result.stdout
+        assert (r1 / "journal.wal").exists()
+        assert (r2 / "journal.wal").exists()
+        # Re-running ships nothing new and stays at zero lag.
+        again = run_cli("replicate", str(primary_dir), str(r1))
+        assert again.returncode == 0
+        assert "0 frame(s) shipped this run" in again.stdout
+
+    def test_restore_by_tick_and_lsn(self, primary_dir, tmp_path):
+        replica = tmp_path / "replica"
+        run_cli("replicate", str(primary_dir), str(replica))
+        result = run_cli("restore", str(replica), "--tick", "0")
+        assert result.returncode == 0
+        assert "now=0" in result.stdout
+        out = tmp_path / "restored.json"
+        result = run_cli(
+            "restore", str(replica), "--lsn", "99", "-o", str(out)
+        )
+        assert result.returncode == 0
+        assert out.exists()
+        check = run_cli("check", str(out), "--serial")
+        assert check.returncode == 0
+
+    def test_restore_requires_exactly_one_target(self, primary_dir):
+        result = run_cli("restore", str(primary_dir))
+        assert result.returncode == 2  # argparse usage error
+        result = run_cli(
+            "restore", str(primary_dir), "--lsn", "1", "--tick", "1"
+        )
+        assert result.returncode == 2
+
+    def test_restore_outside_history_fails(self, primary_dir):
+        run_cli("checkpoint", str(primary_dir))
+        result = run_cli("restore", str(primary_dir), "--tick", "0")
+        assert result.returncode == 1
+        assert "restore failed" in result.stderr
 
 
 class TestQuery:

@@ -425,6 +425,46 @@ class TestExport:
         for kind in obs.KINDS:
             assert kind in text
 
+    def test_replication_metrics_in_prom_export(self):
+        from repro.database.wal import Journal
+        from repro.faults.fs import SimulatedFS
+        from repro.replication import LogShipper, Replica
+
+        fs = SimulatedFS()
+        journal = Journal("/db/journal.wal", fs=fs)
+        db = TemporalDatabase(journal=journal)
+        db.define_class("c", attributes=[("x", "integer")])
+        db.create_object("c", {"x": 1})
+        shipper = LogShipper("/db", fs=fs, backoff=lambda attempt: None)
+        replica = shipper.attach(Replica("r1", fs=SimulatedFS()))
+        shipper.sync_all()
+        assert shipper.lag(replica) == 0
+        text = obs.prom_text()
+        for metric in (
+            "wal.shipped_frames",
+            "replication.lag_lsn",
+            "replication.catchups",
+            "replication.frame_errors",
+            "replication.records_applied",
+            "replication.restarts",
+        ):
+            assert f'repro_events_total{{metric="{metric}"}}' in text
+        counters = obs.stats_dict()["counters"]
+        assert counters["wal.shipped_frames"]["count"] > 0
+        assert counters["replication.lag_lsn"]["count"] == 0
+
+    def test_replication_span_kinds_registered(self):
+        for kind in (
+            "replication.ship",
+            "replication.apply",
+            "replication.catchup",
+        ):
+            assert kind in obs.KINDS
+            assert (
+                f'repro_span_duration_us_count{{kind="{kind}"}}'
+                in obs.prom_text()
+            )
+
     def test_render_span_tree_indents_children(self):
         with obs.span("query.evaluate") as root:
             with obs.span("planner.plan"):

@@ -14,11 +14,13 @@ from repro.database.recovery import (
 from repro.database.transactions import Transaction
 from repro.database.wal import (
     MAGIC,
+    Frame,
     Journal,
     checkpoint_lsn,
     checkpoint_name,
     drop_uncommitted,
     frame_record,
+    iter_frames,
     list_checkpoints,
     scan_frames,
 )
@@ -95,6 +97,67 @@ class TestFraming:
         records, tail = scan_frames(MAGIC + frame_record({"kind": "tick"}))
         assert records == []
         assert tail.error == "malformed record payload"
+
+
+class TestIterFrames:
+    """The public frame reader shared by recovery, the LSN-resume scan,
+    and the replication log shipper."""
+
+    def _journal(self, fs, payloads):
+        data = MAGIC + b"".join(frame_record(p) for p in payloads)
+        fs.write("/db/journal.wal", data)
+        return "/db/journal.wal"
+
+    def test_frames_carry_position_and_raw_bytes(self):
+        fs = SimulatedFS()
+        payloads = [{"lsn": i, "kind": "tick", "steps": i} for i in (1, 2)]
+        path = self._journal(fs, payloads)
+        frames = list(iter_frames(path, fs=fs))
+        assert [f.lsn for f in frames] == [1, 2]
+        assert [f.record for f in frames] == payloads
+        assert frames[0].offset == len(MAGIC)
+        assert frames[0].end == frames[1].offset
+        # raw is the frame verbatim: header + payload, CRC included.
+        data = fs.read(path)
+        for frame in frames:
+            assert data[frame.offset:frame.end] == frame.raw
+            assert frame_record(frame.record) == frame.raw
+
+    def test_start_lsn_skips_earlier_frames(self):
+        fs = SimulatedFS()
+        path = self._journal(
+            fs, [{"lsn": i, "kind": "tick"} for i in range(1, 6)]
+        )
+        assert [
+            f.lsn for f in iter_frames(path, fs=fs, start_lsn=3)
+        ] == [3, 4, 5]
+
+    def test_corrupt_tail_ends_iteration_silently(self):
+        fs = SimulatedFS()
+        good = frame_record({"lsn": 1, "kind": "tick"})
+        torn = frame_record({"lsn": 2, "kind": "tick"})[:-3]
+        fs.write("/db/journal.wal", MAGIC + good + torn)
+        assert [
+            f.lsn for f in iter_frames("/db/journal.wal", fs=fs)
+        ] == [1]
+
+    def test_marker_and_kind_properties(self):
+        begin = Frame(1, 8, 9, {"lsn": 1, "kind": "begin"}, b"")
+        data = Frame(2, 9, 10, {"lsn": 2, "kind": "update"}, b"")
+        assert begin.is_marker and begin.kind == "begin"
+        assert not data.is_marker and data.kind == "update"
+
+    def test_agrees_with_scan_frames(self):
+        fs = SimulatedFS()
+        payloads = [
+            {"lsn": 1, "kind": "begin"},
+            {"lsn": 2, "kind": "tick"},
+            {"lsn": 3, "kind": "commit"},
+        ]
+        path = self._journal(fs, payloads)
+        records, tail = scan_frames(fs.read(path))
+        assert [f.record for f in iter_frames(path, fs=fs)] == records
+        assert tail.clean
 
 
 class TestDropUncommitted:

@@ -53,6 +53,8 @@ def _known_names() -> tuple[set, set, set]:
     import repro.database.recovery  # noqa: F401
     import repro.database.wal  # noqa: F401
     import repro.query.planner  # noqa: F401
+    import repro.replication.replica  # noqa: F401
+    import repro.replication.shipper  # noqa: F401
     import repro.temporal.temporalvalue  # noqa: F401
     import repro.types.subtyping  # noqa: F401
     from repro import obs, perf
