@@ -1,0 +1,325 @@
+"""E17 -- paged storage: larger-than-RAM histories under a byte budget.
+
+The cold-segment tier (:mod:`repro.database.segments`) spills each long
+temporal history's cold prefix into on-disk segment pages at checkpoint
+time, keeping only a hot tail resident; reads past the tail fault pages
+back in through the byte-budgeted LRU cache
+(:mod:`repro.database.pagecache`).  This bench measures the deal that
+tier offers:
+
+* **hot reads stay hot** -- per-object ``snapshot_at(now)`` latency on
+  the paged database vs an all-resident build of the identical state;
+  the CI gate fails when the paged p99 exceeds **1.2x** the resident
+  baseline (snapshots at ``now`` read only the in-memory tail, so the
+  tier must be invisible there);
+* **the budget binds** -- the page-cache budget is set to one tenth of
+  the spilled bytes (so cold history is ~10x larger than the cache,
+  capped by ``REPRO_PAGE_CACHE_BYTES``), and resident cache bytes must
+  stay under it through a random cold-read storm;
+* **cold reads stay correct** -- random ``AT``-style point reads deep
+  in the cold region are checked value-for-value against the
+  all-resident oracle; the artifact records the page-cache hit rate
+  those faults produced.
+
+Run directly (not under pytest -- the ``bench_`` prefix keeps it out
+of collection)::
+
+    python benchmarks/bench_storage.py           # full run + artifacts
+    python benchmarks/bench_storage.py --smoke   # quick sanity run
+    python benchmarks/bench_storage.py --ci      # reduced sizes, exit 1
+                                                 # on any gate failure
+
+The full run writes ``benchmarks/results/e17_paged_storage.txt`` and
+the machine-readable ``BENCH_storage.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (REPO_ROOT, REPO_ROOT / "src"):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from repro.database import pagecache, segments  # noqa: E402
+from repro.database.recovery import open_database, recover  # noqa: E402
+
+from benchmarks.conftest import emit, format_series  # noqa: E402
+
+#: The budget never drops below one page's worth of bytes.
+BUDGET_FLOOR = 4096
+
+
+def build_workload(directory: str, n_objects: int, n_waves: int):
+    """A journaled population of long temporal histories.
+
+    Each wave ticks the clock and rewrites every object's temporal
+    attribute inside one ``db.batch()`` (group commit), so the journal
+    grows fast and every history ends up ``n_waves`` pairs long.
+    """
+    db, _report = open_database(directory, sync="always")
+    db.define_class(
+        "reading",
+        attributes=[
+            ("sensor", "string"),
+            ("value", "temporal(integer)"),
+        ],
+    )
+    rng = random.Random(7)
+    with db.batch():
+        oids = [
+            db.create_object(
+                "reading", {"sensor": f"s{i}", "value": 0}
+            )
+            for i in range(n_objects)
+        ]
+    for _wave in range(1, n_waves):
+        db.tick(1)
+        with db.batch():
+            for oid in oids:
+                db.update_attribute(oid, "value", rng.randrange(10**6))
+    return db, oids
+
+
+def time_snapshots(db, oids, n_samples: int, seed: int) -> list[float]:
+    """Per-op wall times of ``snapshot_at(now)`` over random objects."""
+    rng = random.Random(seed)
+    now = db.now
+    for oid in oids[: min(20, len(oids))]:  # warm-up
+        db.snapshot_at(oid, now)
+    times = []
+    for _ in range(n_samples):
+        oid = rng.choice(oids)
+        start = time.perf_counter()
+        db.snapshot_at(oid, now)
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def cold_read_storm(
+    paged, resident, oids, n_reads: int, seed: int
+) -> int:
+    """Random deep-history point reads; returns the mismatch count."""
+    rng = random.Random(seed)
+    now = paged.now
+    mismatches = 0
+    for _ in range(n_reads):
+        oid = rng.choice(oids)
+        t = rng.randrange(0, max(1, now - 1))
+        got = paged.get_object(oid).value["value"].get(t)
+        want = resident.get_object(oid).value["value"].get(t)
+        if got != want:
+            mismatches += 1
+    return mismatches
+
+
+def _percentile(times: list[float], q: float) -> float:
+    return statistics.quantiles(times, n=100)[int(q) - 1]
+
+
+def run_experiment(n_objects: int, n_waves: int, n_samples: int) -> dict:
+    with tempfile.TemporaryDirectory() as directory:
+        db, oids = build_workload(directory, n_objects, n_waves)
+        # All-resident baseline: an inline checkpoint (tier ablated)
+        # recovered into a plain in-memory database.
+        with segments.disabled():
+            db.checkpoint()
+            resident, report = recover(directory)
+        assert report.ok, report.errors
+        # Paged build: re-checkpoint with the tier on (spills cold
+        # history), recover cold, squeeze the cache to spilled/10.
+        db.checkpoint()
+        seg_files = [
+            name
+            for name in segments.list_segments(
+                db._journal.fs, directory
+            )
+            if name.endswith(".seg")
+        ]
+        spilled_bytes = sum(
+            os.path.getsize(os.path.join(directory, name))
+            for name in seg_files
+        )
+        paged, report = recover(directory)
+        assert report.ok, report.errors
+        assert paged.segment_values > 0, "workload never spilled"
+        budget = min(
+            pagecache.PAGE_CACHE.budget,
+            max(BUDGET_FLOOR, spilled_bytes // 10),
+        )
+        pagecache.clear()
+        pagecache.set_budget(budget)
+
+        resident_times = time_snapshots(resident, oids, n_samples, 11)
+        paged_times = time_snapshots(paged, oids, n_samples, 11)
+        mismatches = cold_read_storm(
+            paged, resident, oids, n_reads=n_samples, seed=13
+        )
+        cache = pagecache.stats()
+        pagecache.set_budget(pagecache.DEFAULT_BUDGET)
+
+        base_p99 = _percentile(resident_times, 99)
+        paged_p99 = _percentile(paged_times, 99)
+        ratio = paged_p99 / base_p99
+        return {
+            "n_objects": n_objects,
+            "history_pairs": n_waves,
+            "segmented_values": paged.segment_values,
+            "spilled_bytes": spilled_bytes,
+            "budget_bytes": budget,
+            "history_to_budget_ratio": round(spilled_bytes / budget, 2),
+            "resident_snapshot_p50_us": round(
+                _percentile(resident_times, 50) * 1e6, 1
+            ),
+            "resident_snapshot_p99_us": round(base_p99 * 1e6, 1),
+            "paged_snapshot_p50_us": round(
+                _percentile(paged_times, 50) * 1e6, 1
+            ),
+            "paged_snapshot_p99_us": round(paged_p99 * 1e6, 1),
+            "p99_ratio": round(ratio, 3),
+            "cold_read_mismatches": mismatches,
+            "cache_resident_bytes": cache["resident_bytes"],
+            "cache_pages": cache["pages"],
+            "cache_hit_rate": cache["hit_rate"],
+            "cache_evictions": cache["evictions"],
+        }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload, no artifacts (sanity check)",
+    )
+    parser.add_argument(
+        "--ci",
+        action="store_true",
+        help="reduced sizes; exit 1 on any gate failure",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        shapes, n_samples = [(10, 60)], 100
+    elif args.ci:
+        shapes, n_samples = [(80, 150)], 400
+    else:
+        shapes, n_samples = [(80, 150), (200, 300)], 600
+
+    rows = [
+        run_experiment(n_objects, n_waves, n_samples)
+        for n_objects, n_waves in shapes
+    ]
+
+    table = format_series(
+        "E17: snapshot-at-now latency, paged vs all-resident",
+        (
+            "objects",
+            "pairs",
+            "spilled B",
+            "budget B",
+            "hist/budget",
+            "base p99 us",
+            "paged p99 us",
+            "ratio",
+        ),
+        [
+            (
+                r["n_objects"],
+                r["history_pairs"],
+                r["spilled_bytes"],
+                r["budget_bytes"],
+                f"{r['history_to_budget_ratio']}x",
+                r["resident_snapshot_p99_us"],
+                r["paged_snapshot_p99_us"],
+                f"{r['p99_ratio']}x",
+            )
+            for r in rows
+        ],
+    )
+    table += "\n\n" + format_series(
+        "cold-read storm (random AT reads vs resident oracle)",
+        (
+            "objects",
+            "mismatches",
+            "cache B",
+            "pages",
+            "hit rate",
+            "evictions",
+        ),
+        [
+            (
+                r["n_objects"],
+                r["cold_read_mismatches"],
+                r["cache_resident_bytes"],
+                r["cache_pages"],
+                f"{r['cache_hit_rate']:.2%}",
+                r["cache_evictions"],
+            )
+            for r in rows
+        ],
+    )
+
+    if args.smoke:
+        print(table)
+        print("smoke ok" if all(
+            r["cold_read_mismatches"] == 0 for r in rows
+        ) else "smoke FAILED")
+        return 0 if all(
+            r["cold_read_mismatches"] == 0 for r in rows
+        ) else 1
+
+    payload = {
+        "experiment": "E17 paged storage",
+        "results": rows,
+        "target": (
+            "paged snapshot-at-now p99 <= 1.2x all-resident; cache "
+            "resident bytes <= budget; zero cold-read mismatches"
+        ),
+    }
+    (REPO_ROOT / "BENCH_storage.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    emit("e17_paged_storage", table)
+    print(f"wrote {REPO_ROOT / 'BENCH_storage.json'}")
+
+    if args.ci:
+        failures = []
+        for r in rows:
+            # Both p99s sit in the tens of microseconds; the 60us
+            # absolute guard keeps the ratio gate from tripping on
+            # scheduler noise between two near-identical fast paths.
+            if r["p99_ratio"] > 1.2 and r["paged_snapshot_p99_us"] > 60:
+                failures.append(
+                    f"paged p99 {r['p99_ratio']}x resident (> 1.2x) "
+                    f"at {r['n_objects']} objects"
+                )
+            if r["cache_resident_bytes"] > r["budget_bytes"]:
+                failures.append(
+                    f"cache {r['cache_resident_bytes']} B over budget "
+                    f"{r['budget_bytes']} B"
+                )
+            if r["cold_read_mismatches"]:
+                failures.append(
+                    f"{r['cold_read_mismatches']} cold reads diverged "
+                    "from the resident oracle"
+                )
+        if failures:
+            for failure in failures:
+                print(f"CI GATE FAILURE: {failure}")
+            return 1
+        print("CI gates passed (p99 <= 1.2x, budget held, reads correct)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -301,7 +301,17 @@ def cmd_stats(args) -> int:
     elif args.prom:
         print(obs.prom_text(), end="")
     else:
+        from repro.database import pagecache
+
+        cache = pagecache.stats()
         print(obs.format_stats())
+        print(
+            f"page cache: {cache['pages']} page(s), "
+            f"{cache['resident_bytes']}/{cache['budget_bytes']} bytes, "
+            f"hit rate {cache['hit_rate']:.2%} "
+            f"({cache['hits']} hits, {cache['misses']} misses, "
+            f"{cache['evictions']} evictions)"
+        )
     return 0
 
 
@@ -378,6 +388,35 @@ def cmd_checkpoint(args) -> int:
     print(
         f"checkpoint written: {path} "
         f"(now={db.now}, {len(db)} object(s))"
+    )
+    return 0
+
+
+def cmd_compact(args) -> int:
+    from repro import perf
+    from repro.database import segments
+    from repro.database.recovery import open_database
+
+    if not segments.is_enabled:
+        print(
+            "cold-segment tier is disabled (REPRO_NO_SEGMENTS); "
+            "nothing to compact",
+            file=sys.stderr,
+        )
+        return 1
+    db, report = open_database(args.directory)
+    if report.salvaged_tail or report.records_dropped_uncommitted:
+        print(report.render())
+    before = db.segment_values
+    path = db.checkpoint()
+    spilled_bytes = perf.metric("segment.spilled_bytes").count
+    print(
+        f"checkpoint written: {path} "
+        f"(now={db.now}, {len(db)} object(s))"
+    )
+    print(
+        f"cold tier: {db.segment_values} segmented value(s) "
+        f"(was {before}), {spilled_bytes} byte(s) spilled this run"
     )
     return 0
 
@@ -551,6 +590,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     checkpoint_cmd.add_argument("directory")
 
+    compact_cmd = sub.add_parser(
+        "compact",
+        help="re-spill cold history into one fresh segment generation",
+    )
+    compact_cmd.add_argument("directory")
+
     replicate_cmd = sub.add_parser(
         "replicate",
         help="ship the committed journal tail into replica directories",
@@ -597,6 +642,7 @@ _HANDLERS = {
     "trace": cmd_trace,
     "recover": cmd_recover,
     "checkpoint": cmd_checkpoint,
+    "compact": cmd_compact,
     "replicate": cmd_replicate,
     "restore": cmd_restore,
 }

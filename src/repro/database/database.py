@@ -159,6 +159,10 @@ class TemporalDatabase:
         #: The persistent scatter-gather worker pool, lazily forked by
         #: ``parallel.pool_for`` on the first eligible scan.
         self._parallel_pool = None
+        #: How many live histories are segment-backed (cold prefix on
+        #: disk); maintained by checkpoint spills and recovery, read by
+        #: the planner's cold-read penalty.
+        self.segment_values = 0
         if journal is not None:
             self.attach_journal(journal)
 

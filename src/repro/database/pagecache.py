@@ -1,0 +1,158 @@
+"""Byte-budgeted LRU cache for cold segment pages.
+
+Cold history lives in immutable segment files (:mod:`repro.database.
+segments`); queries that reach past the hot in-memory tail fault the
+covering page in through this cache.  The cache is budgeted in *bytes
+of encoded page payload* -- the quantity the disk actually charged us
+for -- not in page counts, so one budget number (the
+``REPRO_PAGE_CACHE_BYTES`` environment variable, default 64 MiB)
+bounds resident cold history regardless of how histories were chunked
+into pages.
+
+Eviction is strict LRU with one deliberate exception: the page being
+returned right now is never evicted, even when it alone exceeds the
+budget.  A budget smaller than every page therefore degrades to
+"exactly one page resident" -- the configuration the oracle property
+test uses to force maximal faulting -- rather than thrashing to zero.
+
+Instrumentation: the ``pagecache.pages`` cache counter (hits, misses,
+evictions-as-invalidations), the ``pagecache.resident_bytes`` gauge,
+and the ``segment.loaded_bytes`` / ``segment.evicted_bytes`` tallies.
+Evictions run under a ``segment.evict`` obs span; page loads are
+spanned by the caller (:class:`~repro.database.segments.SegmentReader`)
+because only it knows the segment file and page identity.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro import perf
+from repro.obs import spans as obs
+
+#: Default page-cache budget when ``REPRO_PAGE_CACHE_BYTES`` is unset.
+DEFAULT_BUDGET = 64 * 1024 * 1024
+
+_PAGES = perf.counter("pagecache.pages")
+_RESIDENT = perf.metric("pagecache.resident_bytes")
+_LOADED = perf.metric("segment.loaded_bytes")
+_EVICTED = perf.metric("segment.evicted_bytes")
+
+
+def _env_budget() -> int:
+    raw = os.environ.get("REPRO_PAGE_CACHE_BYTES", "").strip()
+    if not raw:
+        return DEFAULT_BUDGET
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return DEFAULT_BUDGET
+
+
+class PageCache:
+    """LRU over decoded pages, budgeted by encoded payload bytes."""
+
+    def __init__(self, budget: int | None = None) -> None:
+        self.budget = budget if budget is not None else _env_budget()
+        # key -> (nbytes, payload); insertion order == recency order.
+        self._entries: OrderedDict[Any, tuple[int, Any]] = OrderedDict()
+        self.resident_bytes = 0
+
+    def get(
+        self, key: Any, loader: Callable[[], tuple[int, Any]]
+    ) -> Any:
+        """The cached payload for *key*, faulting it in via *loader*.
+
+        *loader* returns ``(nbytes, payload)`` where *nbytes* is the
+        encoded on-disk size charged against the budget.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            _PAGES.hit()
+            return entry[1]
+        _PAGES.miss()
+        nbytes, payload = loader()
+        self._entries[key] = (nbytes, payload)
+        self.resident_bytes += nbytes
+        _LOADED.add(nbytes)
+        self._shrink()
+        _RESIDENT.count = self.resident_bytes
+        return payload
+
+    def _shrink(self) -> None:
+        """Evict least-recently-used pages until within budget.
+
+        The newest entry (the one being returned) always survives, so
+        a sub-page budget pins exactly one page.
+        """
+        if self.resident_bytes <= self.budget or len(self._entries) <= 1:
+            return
+        if obs.is_enabled:
+            with obs.span("segment.evict") as sp:
+                evicted = self._evict_over_budget()
+                sp.annotate(pages=evicted)
+        else:
+            self._evict_over_budget()
+
+    def _evict_over_budget(self) -> int:
+        evicted = 0
+        while (
+            self.resident_bytes > self.budget and len(self._entries) > 1
+        ):
+            _key, (nbytes, _payload) = self._entries.popitem(last=False)
+            self.resident_bytes -= nbytes
+            _EVICTED.add(nbytes)
+            _PAGES.invalidate()
+            evicted += 1
+        return evicted
+
+    def set_budget(self, budget: int) -> None:
+        """Change the budget and evict down to it immediately."""
+        self.budget = max(1, int(budget))
+        self._shrink()
+        _RESIDENT.count = self.resident_bytes
+
+    def clear(self) -> None:
+        """Drop every cached page (tests and ``perf.reset_stats``)."""
+        self._entries.clear()
+        self.resident_bytes = 0
+        _RESIDENT.count = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        """A JSON-friendly snapshot for ``repro stats`` / Prometheus."""
+        snap = _PAGES.snapshot()
+        return {
+            "budget_bytes": self.budget,
+            "resident_bytes": self.resident_bytes,
+            "pages": len(self._entries),
+            "hits": snap["hits"],
+            "misses": snap["misses"],
+            "evictions": snap["invalidations"],
+            "hit_rate": snap["hit_rate"],
+        }
+
+
+#: The process-wide page cache.  Segment readers share it so the byte
+#: budget bounds *total* resident cold history, not per-file residency.
+PAGE_CACHE = PageCache()
+
+
+def set_budget(budget: int) -> None:
+    """Set the global page-cache budget (bytes)."""
+    PAGE_CACHE.set_budget(budget)
+
+
+def clear() -> None:
+    """Drop all cached pages from the global cache."""
+    PAGE_CACHE.clear()
+
+
+def stats() -> dict:
+    """Stats snapshot of the global cache."""
+    return PAGE_CACHE.stats()

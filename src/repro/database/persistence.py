@@ -77,8 +77,15 @@ def encode_value(value: Any) -> Any:
     raise PersistenceError(f"cannot encode value {value!r}")
 
 
-def decode_value(data: Any) -> Any:
-    """Inverse of :func:`encode_value`."""
+def decode_value(data: Any, segments=None) -> Any:
+    """Inverse of :func:`encode_value`.
+
+    *segments* is a :class:`repro.database.segments.SegmentStore` used
+    to resolve ``"cold"`` references in segment-backed temporal values
+    (checkpoint documents written with a spill writer).  Without one,
+    a cold reference is an error -- the caller is reading a checkpoint
+    without its segment artifacts.
+    """
     if isinstance(data, (bool, int, float, str)) or data is None:
         return data
     if not isinstance(data, dict) or "$kind" not in data:
@@ -89,18 +96,42 @@ def decode_value(data: Any) -> Any:
     if kind == "oid":
         return OID(data["serial"], data.get("hierarchy", ""))
     if kind == "set":
-        return frozenset(decode_value(v) for v in data["items"])
+        return frozenset(decode_value(v, segments) for v in data["items"])
     if kind == "list":
-        return tuple(decode_value(v) for v in data["items"])
+        return tuple(decode_value(v, segments) for v in data["items"])
     if kind == "record":
         return RecordValue(
-            {k: decode_value(v) for k, v in data["fields"].items()}
+            {k: decode_value(v, segments) for k, v in data["fields"].items()}
         )
     if kind == "temporal":
+        cold = data.get("cold")
+        if cold:
+            if segments is None:
+                raise PersistenceError(
+                    "segment-backed temporal value but no segment store "
+                    f"(cold ref {cold.get('segment')!r})"
+                )
+            from repro.database.segments import SegmentedTemporalValue
+
+            reader = segments.reader(cold["segment"])
+            hot = [
+                [
+                    pair["start"],
+                    NOW if pair["end"] == "now" else pair["end"],
+                    decode_value(pair["value"], segments),
+                ]
+                for pair in data["pairs"]
+            ]
+            return SegmentedTemporalValue(
+                hot, reader.runs_for(cold["key"]), reader
+            )
         result = TemporalValue()
         for pair in data["pairs"]:
             end = NOW if pair["end"] == "now" else pair["end"]
-            result.put(Interval(pair["start"], end), decode_value(pair["value"]))
+            result.put(
+                Interval(pair["start"], end),
+                decode_value(pair["value"], segments),
+            )
         return result
     raise PersistenceError(f"unknown value kind {kind!r}")
 
@@ -148,8 +179,26 @@ def _decode_track(data: Any) -> _MembershipTrack:
 # -- database encoding --------------------------------------------------------------
 
 
-def database_to_json(db) -> str:
-    """Serialize *db* to a JSON string."""
+def _encode_attr(obj, kind: str, name: str, value: Any, segments) -> Any:
+    """Encode one object attribute, spilling cold history if a segment
+    writer is active and the value qualifies."""
+    if segments is not None and isinstance(value, TemporalValue):
+        spec = segments.spill(obj, kind, name, value)
+        if spec is not None:
+            return spec
+    return encode_value(value)
+
+
+def database_to_json(db, segments=None) -> str:
+    """Serialize *db* to a JSON string.
+
+    With *segments* (a :class:`repro.database.segments.SegmentWriter`),
+    long temporal attribute histories spill their cold prefix into the
+    writer and the document records only the hot tail plus a cold
+    reference.  Without one (plain dumps, ``repro restore -o``), every
+    history -- including currently segment-backed ones -- is inlined in
+    full.
+    """
     doc = {
         "format": _FORMAT,
         "now": db.now,
@@ -214,10 +263,11 @@ def database_to_json(db) -> str:
                 "oid": encode_value(obj.oid),
                 "lifespan": _encode_interval(obj.lifespan),
                 "value": {
-                    name: encode_value(v) for name, v in obj.value.items()
+                    name: _encode_attr(obj, "v", name, v, segments)
+                    for name, v in obj.value.items()
                 },
                 "retained": {
-                    name: encode_value(v)
+                    name: _encode_attr(obj, "r", name, v, segments)
                     for name, v in obj.retained.items()
                 },
                 "class_history": encode_value(obj.class_history),
@@ -228,8 +278,12 @@ def database_to_json(db) -> str:
     return json.dumps(doc, indent=2, sort_keys=True)
 
 
-def database_from_json(text: str):
-    """Rebuild a database from :func:`database_to_json` output."""
+def database_from_json(text: str, segments=None):
+    """Rebuild a database from :func:`database_to_json` output.
+
+    *segments* (a :class:`repro.database.segments.SegmentStore`) lets
+    cold references in the document resolve to segment-backed values.
+    """
     from repro.database.database import TemporalDatabase
     from repro.values.oid import OidGenerator
 
@@ -341,10 +395,12 @@ def database_from_json(text: str):
         obj.oid = oid
         obj.lifespan = lifespan
         obj.value = {
-            name: decode_value(v) for name, v in entry["value"].items()
+            name: decode_value(v, segments)
+            for name, v in entry["value"].items()
         }
         obj.retained = {
-            name: decode_value(v) for name, v in entry["retained"].items()
+            name: decode_value(v, segments)
+            for name, v in entry["retained"].items()
         }
         obj.class_history = class_history
         db._objects[oid] = obj

@@ -332,7 +332,25 @@ def recover(
                 and int(doc["database"].get("now", 0)) > stop_tick
             ):
                 continue  # checkpointed clock is beyond the target
-            db = database_from_json(json.dumps(doc["database"]))
+            store = None
+            seg_name = doc.get("segments")
+            if seg_name is not None:
+                # The checkpoint references a cold-segment artifact:
+                # verify it end to end (magic, footer, every page CRC)
+                # before trusting the checkpoint.  A missing or corrupt
+                # segment demotes this checkpoint to corrupt and the
+                # loop falls back to an older generation.
+                from repro.database import segments as seg
+
+                store = seg.SegmentStore(fs, directory)
+                store.verify(seg_name)
+            db = database_from_json(
+                json.dumps(doc["database"]), segments=store
+            )
+            if seg_name is not None:
+                from repro.database import segments as seg
+
+                db.segment_values = seg.count_segment_values(db)
             report.checkpoint = path
             report.checkpoint_lsn = int(doc["lsn"])
             report.last_lsn = report.checkpoint_lsn

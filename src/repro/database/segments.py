@@ -1,0 +1,816 @@
+"""Cold-segment storage: the paged on-disk tier for temporal history.
+
+The paper's model makes every temporal attribute a total function over
+time, so histories only ever grow -- but almost all of that history is
+cold: queries overwhelmingly read at or near ``now``.  This module
+splits each sufficiently long history into a **hot in-memory tail**
+(the last few pairs plus the open pair, served exactly as before) and
+**immutable cold segments** spilled to disk at checkpoint time, loaded
+back lazily page by page through the byte-budgeted LRU cache in
+:mod:`repro.database.pagecache`.
+
+Segment file format (``segments-<lsn>.seg``)
+--------------------------------------------
+One file per checkpoint generation, written atomically
+(write-tmp + fsync + rename) *before* the checkpoint document that
+references it::
+
+    TCSEG001                     8-byte magic
+    <page frame> * N             length+CRC32-framed JSON pair pages
+    <footer frame>               framed JSON index (see below)
+    <footer offset>              8-byte LE offset of the footer frame
+
+Each page frame reuses the WAL framing idiom -- 4-byte LE body length,
+4-byte LE CRC-32 of the body, then the body: a JSON list of
+``[start, end, encoded-value]`` triples (cold pairs are always closed,
+the open pair never spills).  The footer maps each attribute key to its
+ordered page runs ``[start, end, offset, length, count]`` so a point
+lookup seeks straight to the covering page without touching the rest
+of the file.
+
+Compaction: every checkpoint generation re-spills the *entire* cold
+history (old cold pages stream back through the cache) into one fresh
+segment file, and the previous generation's files are deleted only
+after the new checkpoint is durable.  Crash-safety therefore needs no
+new recovery machinery -- at every instant the newest durable
+checkpoint's segment file is fully durable, and recovery verifies the
+segment (magic, footer, every page CRC) before accepting the
+checkpoint, falling back to the previous generation otherwise.
+
+``REPRO_NO_SEGMENTS`` ablates the tier (house pattern: ``is_enabled``
+/ ``set_enabled`` / ``disabled()``); checkpoints then inline every
+history exactly as before this tier existed.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import json
+import os
+import struct
+import zlib
+from bisect import bisect_right
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, NamedTuple
+
+from repro import perf
+from repro.database.pagecache import PAGE_CACHE
+from repro.errors import SegmentError, UndefinedAtError
+from repro.obs import spans as obs
+from repro.temporal.instants import NOW, Now, validate_instant
+from repro.temporal.intervals import Interval
+from repro.temporal.intervalsets import IntervalSet
+from repro.temporal.temporalvalue import (
+    TemporalValue,
+    _hashable,
+)
+
+SEGMENT_MAGIC = b"TCSEG001"
+SEGMENT_FORMAT = "t-chimera-segment/1"
+_HEADER_LEN = 8  # 4-byte LE length + 4-byte LE CRC-32, as in the WAL
+_TRAILER_LEN = 8  # 8-byte LE footer offset
+
+#: A history spills only once it holds at least this many pairs
+#: (``REPRO_SEGMENT_MIN_PAIRS``); short histories stay fully resident.
+SPILL_MIN_PAIRS = int(os.environ.get("REPRO_SEGMENT_MIN_PAIRS", "32"))
+#: The newest pairs kept hot (``REPRO_SEGMENT_HOT_TAIL``); the open
+#: pair, when present, is among them, so assign/close never fault.
+HOT_TAIL_PAIRS = int(os.environ.get("REPRO_SEGMENT_HOT_TAIL", "8"))
+#: Cold pairs per page frame (``REPRO_SEGMENT_PAGE_PAIRS``).
+PAGE_PAIRS = int(os.environ.get("REPRO_SEGMENT_PAGE_PAIRS", "128"))
+
+is_enabled: bool = os.environ.get("REPRO_NO_SEGMENTS", "").lower() not in (
+    "1",
+    "true",
+    "yes",
+)
+
+_SPILLED_BYTES = perf.metric("segment.spilled_bytes")
+_SPILLED_VALUES = perf.metric("segment.spilled_values")
+_HYDRATIONS = perf.metric("segment.hydrations")
+
+#: Distinguishes page-cache keys across store instances, so a fresh
+#: store (new recovery, new trial, a replica) never hits pages cached
+#: from an unrelated filesystem that happened to reuse a path string.
+_STORE_IDS = itertools.count(1)
+
+
+def set_enabled(enabled: bool) -> bool:
+    """Toggle the cold-segment tier; returns the previous value."""
+    global is_enabled
+    previous = is_enabled
+    is_enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Scoped ablation: ``with segments.disabled(): ...``"""
+    previous = set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+# -- framing --------------------------------------------------------------------
+
+
+def _frame(body: bytes) -> bytes:
+    """Length + CRC-32 framing, byte-compatible with the WAL idiom."""
+    return struct.pack("<II", len(body), zlib.crc32(body)) + body
+
+
+def _unframe(raw: bytes, context: str) -> bytes:
+    """Validate and strip one frame that must span *raw* exactly."""
+    if len(raw) < _HEADER_LEN:
+        raise SegmentError(f"{context}: truncated frame header")
+    length, crc = struct.unpack_from("<II", raw)
+    body = raw[_HEADER_LEN : _HEADER_LEN + length]
+    if len(body) != length or _HEADER_LEN + length != len(raw):
+        raise SegmentError(f"{context}: frame length mismatch")
+    if zlib.crc32(body) != crc:
+        raise SegmentError(f"{context}: frame CRC mismatch")
+    return body
+
+
+def _read_at(fs, path: str, offset: int, length: int) -> bytes:
+    """Positional read, falling back to a full read for plain fs objects."""
+    reader = getattr(fs, "read_at", None)
+    if reader is not None:
+        return reader(path, offset, length)
+    return fs.read(path)[offset : offset + length]
+
+
+# -- file naming ----------------------------------------------------------------
+
+
+def segment_name(lsn: int) -> str:
+    """The segment file for checkpoint generation *lsn*."""
+    return f"segments-{lsn:012d}.seg"
+
+
+def list_segments(fs, directory: str) -> list[str]:
+    """Segment files (and leftover temporaries) in *directory*, sorted."""
+    try:
+        names = fs.listdir(directory)
+    except (FileNotFoundError, KeyError):
+        return []
+    return sorted(
+        name
+        for name in names
+        if name.startswith("segments-")
+        and (name.endswith(".seg") or name.endswith(".seg.tmp"))
+    )
+
+
+class PageRun(NamedTuple):
+    """One page's footer entry: the instants it covers and where it is."""
+
+    start: int
+    end: int
+    offset: int
+    length: int
+    count: int
+
+
+# -- reading --------------------------------------------------------------------
+
+
+class SegmentStore:
+    """Factory/cache of :class:`SegmentReader` bound to one directory.
+
+    Stores are deliberately shared, never copied: the transaction
+    deepcopy and the parallel fork both see the same immutable files.
+    """
+
+    def __init__(self, fs=None, directory: str = ".") -> None:
+        if fs is None:
+            from repro.faults.fs import RealFS
+
+            fs = RealFS()
+        self.fs = fs
+        self.directory = str(directory)
+        self.store_id = next(_STORE_IDS)
+        self._readers: dict[str, SegmentReader] = {}
+
+    def path(self, name: str) -> str:
+        return f"{self.directory}/{name}"
+
+    def reader(self, name: str) -> "SegmentReader":
+        reader = self._readers.get(name)
+        if reader is None:
+            reader = self._readers[name] = SegmentReader(self, name)
+        return reader
+
+    def verify(self, name: str) -> None:
+        """Full integrity walk: magic, trailer, footer, every page CRC.
+
+        Raises :class:`SegmentError` on any corruption.  Recovery calls
+        this before accepting a checkpoint that references the segment.
+        """
+        path = self.path(name)
+        if not self.fs.exists(path):
+            raise SegmentError(f"missing segment file {name}")
+        data = self.fs.read(path)
+        entries = _parse_footer(data, name)
+        for key, runs in entries.items():
+            for run in runs:
+                if run.offset + run.length > len(data):
+                    raise SegmentError(
+                        f"{name}: page for {key!r} overruns the file"
+                    )
+                body = _unframe(
+                    data[run.offset : run.offset + run.length],
+                    f"{name} page@{run.offset}",
+                )
+                if len(json.loads(body)) != run.count:
+                    raise SegmentError(
+                        f"{name}: page@{run.offset} pair count mismatch"
+                    )
+
+    def __deepcopy__(self, memo) -> "SegmentStore":
+        return self
+
+
+def _parse_footer(data: bytes, name: str) -> dict[str, tuple[PageRun, ...]]:
+    """The footer index of a whole segment file image."""
+    if data[: len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
+        raise SegmentError(f"{name}: bad segment magic")
+    floor = len(SEGMENT_MAGIC) + _HEADER_LEN + _TRAILER_LEN
+    if len(data) < floor:
+        raise SegmentError(f"{name}: segment file too short")
+    (footer_offset,) = struct.unpack("<Q", data[-_TRAILER_LEN:])
+    if not (
+        len(SEGMENT_MAGIC)
+        <= footer_offset
+        <= len(data) - _TRAILER_LEN - _HEADER_LEN
+    ):
+        raise SegmentError(f"{name}: footer offset out of range")
+    body = _unframe(
+        data[footer_offset:-_TRAILER_LEN], f"{name} footer"
+    )
+    doc = json.loads(body)
+    if doc.get("format") != SEGMENT_FORMAT:
+        raise SegmentError(
+            f"{name}: unsupported segment format {doc.get('format')!r}"
+        )
+    return {
+        key: tuple(PageRun(*run) for run in runs)
+        for key, runs in doc["entries"].items()
+    }
+
+
+class SegmentReader:
+    """Lazy reads of one segment file: footer once, pages on demand."""
+
+    def __init__(self, store: SegmentStore, name: str) -> None:
+        self.store = store
+        self.name = name
+        self.path = store.path(name)
+        self._entries: dict[str, tuple[PageRun, ...]] | None = None
+
+    def _footer(self) -> dict[str, tuple[PageRun, ...]]:
+        if self._entries is None:
+            fs = self.store.fs
+            size = fs.size(self.path)
+            floor = len(SEGMENT_MAGIC) + _HEADER_LEN + _TRAILER_LEN
+            if size < floor:
+                raise SegmentError(f"{self.name}: segment file too short")
+            magic = _read_at(fs, self.path, 0, len(SEGMENT_MAGIC))
+            if magic != SEGMENT_MAGIC:
+                raise SegmentError(f"{self.name}: bad segment magic")
+            (footer_offset,) = struct.unpack(
+                "<Q", _read_at(fs, self.path, size - _TRAILER_LEN, _TRAILER_LEN)
+            )
+            if not (
+                len(SEGMENT_MAGIC)
+                <= footer_offset
+                <= size - _TRAILER_LEN - _HEADER_LEN
+            ):
+                raise SegmentError(f"{self.name}: footer offset out of range")
+            body = _unframe(
+                _read_at(
+                    fs,
+                    self.path,
+                    footer_offset,
+                    size - _TRAILER_LEN - footer_offset,
+                ),
+                f"{self.name} footer",
+            )
+            doc = json.loads(body)
+            if doc.get("format") != SEGMENT_FORMAT:
+                raise SegmentError(
+                    f"{self.name}: unsupported segment format "
+                    f"{doc.get('format')!r}"
+                )
+            self._entries = {
+                key: tuple(PageRun(*run) for run in runs)
+                for key, runs in doc["entries"].items()
+            }
+        return self._entries
+
+    def runs_for(self, key: str) -> tuple[PageRun, ...]:
+        runs = self._footer().get(key)
+        if runs is None:
+            raise SegmentError(
+                f"{self.name}: no cold history for key {key!r}"
+            )
+        return runs
+
+    def load(self, run: PageRun) -> tuple[list[int], list[list[Any]]]:
+        """The decoded page for *run* as ``(starts, pairs)``.
+
+        Served through the global page cache; a miss reads exactly the
+        page's byte range and charges its encoded size to the budget.
+        """
+        return PAGE_CACHE.get(
+            (self.store.store_id, self.name, run.offset),
+            lambda: self._load_page(run),
+        )
+
+    def _load_page(
+        self, run: PageRun
+    ) -> tuple[int, tuple[list[int], list[list[Any]]]]:
+        if obs.is_enabled:
+            with obs.span("segment.load", file=self.name) as sp:
+                page = self._read_page(run)
+                sp.annotate(offset=run.offset, pairs=run.count)
+                return page
+        return self._read_page(run)
+
+    def _read_page(
+        self, run: PageRun
+    ) -> tuple[int, tuple[list[int], list[list[Any]]]]:
+        from repro.database.persistence import decode_value
+
+        raw = _read_at(self.store.fs, self.path, run.offset, run.length)
+        body = _unframe(raw, f"{self.name} page@{run.offset}")
+        pairs = [
+            [start, end, decode_value(value)]
+            for start, end, value in json.loads(body)
+        ]
+        starts = [pair[0] for pair in pairs]
+        return run.length, (starts, pairs)
+
+    def __deepcopy__(self, memo) -> "SegmentReader":
+        return self
+
+
+# -- writing (checkpoint-time spill) --------------------------------------------
+
+
+class SegmentWriter:
+    """Accumulates one checkpoint generation's cold pages.
+
+    ``database_to_json(db, segments=writer)`` calls :meth:`spill` per
+    temporal attribute; :meth:`finalize` writes the segment file
+    atomically (the caller does this *before* writing the checkpoint
+    document); :meth:`apply_swaps` replaces the spilled in-memory
+    histories with segment-backed values once the checkpoint is
+    durable.
+    """
+
+    def __init__(self, fs, directory: str, lsn: int) -> None:
+        self.fs = fs
+        self.directory = str(directory)
+        self.name = segment_name(lsn)
+        self._chunks: list[bytes] = [SEGMENT_MAGIC]
+        self._offset = len(SEGMENT_MAGIC)
+        self._entries: dict[str, list[list[int]]] = {}
+        # (container dict, attr name, hot (Interval, value) pairs,
+        #  attr key, coalesce flag) per spilled value.
+        self._swaps: list[tuple[dict, str, tuple, str, bool]] = []
+        self.spilled_values = 0
+
+    def spill(self, obj, kind: str, name: str, value: TemporalValue):
+        """Spill *value* if eligible; returns its encoded checkpoint
+        form (hot pairs + cold reference) or ``None`` to inline."""
+        from repro.database.persistence import encode_value
+
+        pairs = value.pairs()
+        resegment = isinstance(value, SegmentedTemporalValue) and bool(
+            value._runs
+        )
+        if not resegment and len(pairs) < max(
+            SPILL_MIN_PAIRS, HOT_TAIL_PAIRS + 1
+        ):
+            return None
+        split = len(pairs) - max(1, HOT_TAIL_PAIRS)
+        if split < 1:
+            return None
+        cold, hot = pairs[:split], pairs[split:]
+        if isinstance(cold[-1][0].end, Now):
+            return None  # the open pair must stay hot
+        key = f"{obj.oid.serial}:{obj.oid.hierarchy}:{kind}:{name}"
+        runs: list[list[int]] = []
+        for i in range(0, len(cold), max(1, PAGE_PAIRS)):
+            chunk = cold[i : i + max(1, PAGE_PAIRS)]
+            body = json.dumps(
+                [
+                    [interval.start, interval.end, encode_value(carried)]
+                    for interval, carried in chunk
+                ],
+                sort_keys=True,
+            ).encode("utf-8")
+            frame = _frame(body)
+            runs.append(
+                [
+                    chunk[0][0].start,
+                    chunk[-1][0].end,
+                    self._offset,
+                    len(frame),
+                    len(chunk),
+                ]
+            )
+            self._chunks.append(frame)
+            self._offset += len(frame)
+        self._entries[key] = runs
+        container = obj.value if kind == "v" else obj.retained
+        self._swaps.append((container, name, hot, key, value._coalesce))
+        self.spilled_values += 1
+        return {
+            "$kind": "temporal",
+            "pairs": [
+                {
+                    "start": interval.start,
+                    "end": "now"
+                    if isinstance(interval.end, Now)
+                    else interval.end,
+                    "value": encode_value(carried),
+                }
+                for interval, carried in hot
+            ],
+            "cold": {
+                "segment": self.name,
+                "key": key,
+                "count": len(cold),
+            },
+        }
+
+    def finalize(self) -> str | None:
+        """Write the segment file atomically; returns its name, or
+        ``None`` when nothing spilled (no file is written)."""
+        if not self._entries:
+            return None
+        footer = json.dumps(
+            {"format": SEGMENT_FORMAT, "entries": self._entries},
+            sort_keys=True,
+        ).encode("utf-8")
+        data = (
+            b"".join(self._chunks)
+            + _frame(footer)
+            + struct.pack("<Q", self._offset)
+        )
+        if obs.is_enabled:
+            with obs.span("segment.spill", file=self.name) as sp:
+                self._write(data)
+                sp.annotate(values=self.spilled_values, bytes=len(data))
+        else:
+            self._write(data)
+        _SPILLED_BYTES.add(len(data))
+        _SPILLED_VALUES.add(self.spilled_values)
+        return self.name
+
+    def _write(self, data: bytes) -> None:
+        path = f"{self.directory}/{self.name}"
+        tmp = path + ".tmp"
+        self.fs.write(tmp, data)
+        self.fs.fsync(tmp)
+        self.fs.replace(tmp, path)
+        self.fs.fsync_dir(self.directory)
+
+    def apply_swaps(self, db) -> int:
+        """Swap spilled in-memory histories for segment-backed values.
+
+        Called only after the checkpoint referencing this segment is
+        durable.  Returns the number of values swapped.
+        """
+        if not self._swaps:
+            db.segment_values = count_segment_values(db)
+            return 0
+        store = SegmentStore(self.fs, self.directory)
+        reader = store.reader(self.name)
+        for container, name, hot, key, coalesce in self._swaps:
+            container[name] = SegmentedTemporalValue(
+                [
+                    [interval.start, interval.end, carried]
+                    for interval, carried in hot
+                ],
+                reader.runs_for(key),
+                reader,
+                coalesce=coalesce,
+            )
+        db.segment_values = count_segment_values(db)
+        return len(self._swaps)
+
+
+def count_segment_values(db) -> int:
+    """How many live histories are currently segment-backed."""
+    total = 0
+    for obj in db._objects.values():
+        for value in obj.value.values():
+            if isinstance(value, SegmentedTemporalValue) and value._runs:
+                total += 1
+        for value in obj.retained.values():
+            if isinstance(value, SegmentedTemporalValue) and value._runs:
+                total += 1
+    return total
+
+
+# -- the segment-backed temporal value ------------------------------------------
+
+#: Direct access to the base class's ``_pairs`` slot, bypassing the
+#: hydrating property the subclass shadows it with.
+_PAIRS_SLOT = TemporalValue.__dict__["_pairs"]
+
+
+class SegmentedTemporalValue(TemporalValue):
+    """A :class:`TemporalValue` whose cold prefix lives in a segment.
+
+    The base slot holds only the **hot tail**; ``_runs`` index the cold
+    pages and ``_reader`` faults them in through the page cache.  The
+    hot-path methods (``at``/``get``/``assign``/``close``/``locate``)
+    operate on the tail via :meth:`_tail`; full-history reads stream
+    cold pages without materializing; anything else falls back to
+    transparent **hydration** -- the shadowed ``_pairs`` property
+    splices the cold pairs back into memory, after which the value
+    behaves exactly like a plain one.
+    """
+
+    __slots__ = ("_runs", "_run_starts", "_reader")
+
+    def __init__(
+        self,
+        hot_pairs: list[list[Any]],
+        runs: tuple[PageRun, ...],
+        reader: SegmentReader,
+        coalesce: bool = True,
+    ) -> None:
+        self._runs = tuple(runs)
+        self._run_starts = [run.start for run in self._runs]
+        self._reader = reader
+        _PAIRS_SLOT.__set__(self, [list(pair) for pair in hot_pairs])
+        self._coalesce = coalesce
+        self._starts_cache = None
+
+    # -- hydration fallback ------------------------------------------------
+
+    @property
+    def _pairs(self) -> list[list[Any]]:
+        if self._runs:
+            self._hydrate()
+        return _PAIRS_SLOT.__get__(self)
+
+    @_pairs.setter
+    def _pairs(self, value: list[list[Any]]) -> None:
+        _PAIRS_SLOT.__set__(self, value)
+
+    def _tail(self) -> list[list[Any]]:
+        return _PAIRS_SLOT.__get__(self)
+
+    def _hydrate(self) -> None:
+        """Splice the cold pairs back into memory (correctness fallback
+        for operations with no streaming override, e.g. ``put``)."""
+        cold = [list(pair) for pair in self._iter_cold()]
+        _PAIRS_SLOT.__set__(self, cold + _PAIRS_SLOT.__get__(self))
+        self._runs = ()
+        self._run_starts = []
+        self._reader = None
+        self._starts_invalidate()
+        _HYDRATIONS.add(1)
+
+    def _iter_cold(self) -> Iterator[list[Any]]:
+        """Cold ``[start, end, value]`` triples in time order.
+
+        Yields the page cache's own lists -- callers must copy before
+        mutating.
+        """
+        for run in self._runs:
+            _starts, pairs = self._reader.load(run)
+            yield from pairs
+
+    def _all_pairs(self) -> Iterator[list[Any]]:
+        yield from self._iter_cold()
+        yield from self._tail()
+
+    # -- point reads -------------------------------------------------------
+
+    def _cold_lookup(self, t: int, default: Any) -> Any:
+        idx = bisect_right(self._run_starts, t) - 1
+        if idx < 0:
+            return default
+        run = self._runs[idx]
+        if t > run.end:
+            return default
+        starts, pairs = self._reader.load(run)
+        j = bisect_right(starts, t) - 1
+        if j < 0:
+            return default
+        start, end, value = pairs[j]
+        return value if start <= t <= end else default
+
+    def defined_at(self, t: int) -> bool:
+        validate_instant(t)
+        if self._runs and t <= self._runs[-1].end:
+            return self._cold_lookup(t, _MISS) is not _MISS
+        return self._locate(t) is not None
+
+    def at(self, t: int) -> Any:
+        validate_instant(t)
+        if self._runs and t <= self._runs[-1].end:
+            value = self._cold_lookup(t, _MISS)
+            if value is _MISS:
+                raise UndefinedAtError(
+                    f"temporal value undefined at instant {t}"
+                )
+            return value
+        idx = self._locate(t)
+        if idx is None:
+            raise UndefinedAtError(
+                f"temporal value undefined at instant {t}"
+            )
+        return self._tail()[idx][2]
+
+    def get(self, t: int, default: Any = None) -> Any:
+        validate_instant(t)
+        if self._runs and t <= self._runs[-1].end:
+            value = self._cold_lookup(t, _MISS)
+            return default if value is _MISS else value
+        idx = self._locate(t)
+        return default if idx is None else self._tail()[idx][2]
+
+    # -- full-history reads (streaming, no hydration) ----------------------
+
+    def pairs(self) -> tuple[tuple[Interval, Any], ...]:
+        return tuple(
+            (Interval(start, end), value)
+            for start, end, value in self._all_pairs()
+        )
+
+    def resolved_pairs(self, now: int) -> tuple[tuple[Interval, Any], ...]:
+        result = []
+        for start, end, value in self._all_pairs():
+            interval = Interval(start, end).resolve(now)
+            if not interval.is_empty:
+                result.append((interval, value))
+        return tuple(result)
+
+    def domain(self, now: int | None = None) -> IntervalSet:
+        return IntervalSet(
+            (Interval(start, end) for start, end, _ in self._all_pairs()),
+            now=now,
+        )
+
+    def values(self) -> Iterator[Any]:
+        return iter(pair[2] for pair in self._all_pairs())
+
+    def when(
+        self, predicate: Callable[[Any], bool], now: int | None = None
+    ) -> IntervalSet:
+        hits = [
+            Interval(start, end)
+            for start, end, value in self._all_pairs()
+            if predicate(value)
+        ]
+        return IntervalSet(hits, now=now)
+
+    def is_empty(self) -> bool:
+        return not self._runs and not self._tail()
+
+    def first_instant(self) -> int:
+        if self._runs:
+            return self._runs[0].start
+        return super().first_instant()
+
+    def last_instant(self, now: int | None = None) -> int:
+        if self._tail():
+            return super().last_instant(now)
+        if self._runs:
+            return self._runs[-1].end
+        return super().last_instant(now)  # raises UndefinedAtError
+
+    def is_constant(self) -> bool:
+        values = self.values()
+        head = next(values, _MISS)
+        if head is _MISS:
+            return True
+        return all(value == head for value in values)
+
+    def __len__(self) -> int:
+        return sum(run.count for run in self._runs) + len(self._tail())
+
+    def copy(self) -> TemporalValue:
+        if not self._runs:
+            return super().copy()
+        clone = SegmentedTemporalValue(
+            [list(pair) for pair in self._tail()],
+            self._runs,
+            self._reader,
+            coalesce=self._coalesce,
+        )
+        return clone
+
+    def restrict(
+        self, allowed: IntervalSet, now: int | None = None
+    ) -> TemporalValue:
+        result = TemporalValue(coalesce=self._coalesce)
+        for start, end, value in self._all_pairs():
+            interval = Interval(start, end).resolve(now)
+            if interval.is_empty:
+                continue
+            piece_set = IntervalSet([interval]) & allowed
+            for piece in piece_set.intervals:
+                result.put(piece, value)
+        return result
+
+    def map(self, fn: Callable[[Any], Any]) -> TemporalValue:
+        result = TemporalValue(coalesce=self._coalesce)
+        for start, end, value in self._all_pairs():
+            result._pairs.append([start, end, fn(value)])
+        return result
+
+    def coalesced(self) -> TemporalValue:
+        result = TemporalValue(coalesce=True)
+        for start, end, value in self._all_pairs():
+            result._pairs.append([start, end, value])
+            result._maybe_merge_backward(len(result._pairs) - 1)
+        return result
+
+    # -- mutation ----------------------------------------------------------
+
+    def assign(self, t: int, value: Any) -> None:
+        if self._runs and not self._tail():
+            # Only the cold prefix remains; the base overlap check needs
+            # the recorded end, so rematerialize first.
+            self._hydrate()
+        super().assign(t, value)
+
+    def put(
+        self,
+        interval: Interval,
+        value: Any,
+        overwrite: bool = False,
+        now: int | None = None,
+    ) -> None:
+        # Retroactive insertion rewrites arbitrary history: hydrate.
+        if self._runs:
+            self._hydrate()
+        super().put(interval, value, overwrite=overwrite, now=now)
+
+    # -- comparison --------------------------------------------------------
+
+    def _materialized(self) -> list[list[Any]]:
+        return [[start, end, value] for start, end, value in self._all_pairs()]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TemporalValue):
+            return NotImplemented
+        mine = (
+            self.coalesced()._pairs
+            if not self._coalesce
+            else self._materialized()
+        )
+        if isinstance(other, SegmentedTemporalValue):
+            theirs = (
+                other.coalesced()._pairs
+                if not other._coalesce
+                else other._materialized()
+            )
+        else:
+            theirs = (
+                other.coalesced()._pairs
+                if not other._coalesce
+                else other._pairs
+            )
+        return mine == theirs
+
+    def __hash__(self) -> int:
+        source = (
+            self._materialized()
+            if self._coalesce
+            else self.coalesced()._pairs
+        )
+        return hash(
+            tuple(
+                (start, end if not isinstance(end, Now) else NOW, _hashable(v))
+                for start, end, v in source
+            )
+        )
+
+    def __deepcopy__(self, memo) -> "SegmentedTemporalValue":
+        clone = self.__class__.__new__(self.__class__)
+        memo[id(self)] = clone
+        clone._runs = self._runs
+        clone._run_starts = self._run_starts
+        clone._reader = self._reader  # readers are shared, never copied
+        _PAIRS_SLOT.__set__(
+            clone, copy.deepcopy(_PAIRS_SLOT.__get__(self), memo)
+        )
+        clone._coalesce = self._coalesce
+        clone._starts_cache = None
+        return clone
+
+
+_MISS = object()

@@ -532,13 +532,28 @@ class Journal:
             return self._write_checkpoint(db, lsn)
 
     def _write_checkpoint(self, db: Any, lsn: int) -> str:
+        from repro.database import segments as seg
         from repro.database.persistence import database_to_json
 
+        # Spill cold history first: the segment file must be durable
+        # before any checkpoint document that references it exists.
+        # Every already-segmented value is re-spilled (compacted) into
+        # this generation's file, so after the new checkpoint lands no
+        # live value references an older segment file and the old
+        # generation can be deleted.
+        writer = (
+            seg.SegmentWriter(self.fs, self.directory, lsn)
+            if seg.is_enabled and db is not None
+            else None
+        )
         doc = {
             "format": CHECKPOINT_FORMAT,
             "lsn": lsn,
-            "database": json.loads(database_to_json(db)),
+            "database": json.loads(database_to_json(db, segments=writer)),
         }
+        seg_name = writer.finalize() if writer is not None else None
+        if seg_name is not None:
+            doc["segments"] = seg_name
         data = json.dumps(doc, sort_keys=True).encode("utf-8")
         final = os.path.join(self.directory, checkpoint_name(lsn))
         tmp = final + ".tmp"
@@ -549,9 +564,17 @@ class Journal:
         for name in list_checkpoints(self.fs, self.directory):
             if checkpoint_lsn(name) < lsn:
                 self.fs.remove(os.path.join(self.directory, name))
+        if writer is not None:
+            # Older generations and stray temporaries are unreferenced
+            # now that the new checkpoint is durable.
+            for name in seg.list_segments(self.fs, self.directory):
+                if name != seg_name:
+                    self.fs.remove(os.path.join(self.directory, name))
         self.fs.fsync_dir(self.directory)
         self.fs.truncate(self.path, len(MAGIC))
         self.fs.fsync(self.path)
+        if writer is not None:
+            writer.apply_swaps(db)
         _CHECKPOINTS.add()
         return final
 

@@ -169,6 +169,11 @@ class PersistenceError(DatabaseError):
     """The store could not be serialized or deserialized."""
 
 
+class SegmentError(PersistenceError):
+    """A cold-segment file is missing, truncated, or corrupt (bad
+    magic, CRC mismatch, dangling footer entry)."""
+
+
 class JournalError(DatabaseError):
     """The write-ahead journal was misused (nested transaction markers,
     checkpoint during an open transaction, appends after a crash)."""

@@ -22,6 +22,7 @@ from repro.faults.fs import (
     SimulatedCrash,
     SimulatedFS,
     random_plan,
+    segment_plans,
 )
 from repro.faults.replica import (
     REPLICA_CRASH_POINTS,
@@ -61,4 +62,5 @@ __all__ = [
     "random_replica_plan",
     "run_replica_trial",
     "run_trial",
+    "segment_plans",
 ]

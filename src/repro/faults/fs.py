@@ -72,11 +72,18 @@ CRASH_POINTS: dict[str, tuple[str, ...]] = {
 
 @dataclass(frozen=True)
 class CrashPlan:
-    """Crash at the *occurrence*-th ``op`` (1-based), in the given mode."""
+    """Crash at the *occurrence*-th ``op`` (1-based), in the given mode.
+
+    With *path_part* set, only operations whose target path contains
+    that substring count toward the occurrence -- e.g.
+    ``CrashPlan("write", "torn", 1, path_part=".seg")`` tears the
+    first cold-segment spill while leaving journal writes untouched.
+    """
 
     op: str
     mode: str
     occurrence: int = 1
+    path_part: str | None = None
 
     def __post_init__(self) -> None:
         if self.op not in CRASH_POINTS:
@@ -90,6 +97,8 @@ class CrashPlan:
     @property
     def point(self) -> str:
         """The crash point's name, e.g. ``append.torn``."""
+        if self.path_part:
+            return f"{self.op}.{self.mode}@{self.path_part}"
         return f"{self.op}.{self.mode}"
 
 
@@ -100,6 +109,33 @@ def random_plan(rng: random.Random, max_occurrence: int = 60) -> CrashPlan:
     return CrashPlan(op, mode, rng.randint(1, max_occurrence))
 
 
+def segment_plans(max_occurrence: int = 3) -> tuple[CrashPlan, ...]:
+    """Crash plans aimed at the cold-segment spill protocol.
+
+    Covers every dangerous shape around a checkpoint's segment file:
+    torn and bit-flipped page writes, the skipped fsync, a death on
+    either side of the rename, the window between a durable spill and
+    the journal truncate, and the old-generation cleanup.
+    """
+    shapes = [
+        ("write", "torn", ".seg"),       # torn spill
+        ("write", "bitflip", ".seg"),    # bit-flipped page
+        ("write", "before", ".seg"),
+        ("write", "after", ".seg"),      # written, never synced
+        ("fsync", "before", ".seg"),     # skipped fsync
+        ("replace", "before", ".seg"),
+        ("replace", "after", ".seg"),
+        ("remove", "before", ".seg"),    # old-generation cleanup
+        # Spill durable, checkpoint durable, journal not yet truncated.
+        ("truncate", "before", None),
+    ]
+    return tuple(
+        CrashPlan(op, mode, occurrence, path_part=part)
+        for op, mode, part in shapes
+        for occurrence in range(1, max_occurrence + 1)
+    )
+
+
 class FaultInjector:
     """Fires a :class:`CrashPlan` at the chosen operation occurrence."""
 
@@ -108,12 +144,20 @@ class FaultInjector:
         self.counts: dict[str, int] = {}
         self.fired = False
 
-    def check(self, op: str) -> str | None:
+    def check(self, op: str, path: str | None = None) -> str | None:
         """Count one occurrence of *op*; return the crash mode if the
-        plan fires here, else None."""
+        plan fires here, else None.  Path-targeted plans count only
+        the operations whose *path* matches.  (The replica-side plans
+        have no ``path_part`` field and always count untargeted.)"""
         self.counts[op] = count = self.counts.get(op, 0) + 1
         if self.plan is None or self.fired or op != self.plan.op:
             return None
+        part = getattr(self.plan, "path_part", None)
+        if part:
+            if path is None or part not in str(path):
+                return None
+            key = f"{op}@{part}"
+            self.counts[key] = count = self.counts.get(key, 0) + 1
         if count == self.plan.occurrence:
             self.fired = True
             return self.plan.mode
@@ -143,10 +187,10 @@ class SimulatedFS:
 
     # -- fault plumbing ------------------------------------------------------
 
-    def _gate(self, op: str) -> str | None:
+    def _gate(self, op: str, path: str | None = None) -> str | None:
         if self.dead:
             raise SimulatedCrash(f"operation {op!r} on a dead disk")
-        return self._injector.check(op)
+        return self._injector.check(op, path)
 
     def _die(self) -> None:
         self.dead = True
@@ -184,8 +228,15 @@ class SimulatedFS:
             if name.startswith(prefix) and "/" not in name[len(prefix):]
         )
 
+    def read_at(self, path: str, offset: int, length: int) -> bytes:
+        try:
+            file = self._files[str(path)]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+        return bytes(file.visible[offset : offset + length])
+
     def append(self, path: str, data: bytes) -> None:
-        mode = self._gate("append")
+        mode = self._gate("append", path)
         if mode == "before":
             self._die()
         file = self._files.setdefault(str(path), _File())
@@ -198,7 +249,7 @@ class SimulatedFS:
 
     def write(self, path: str, data: bytes) -> None:
         """Replace the whole file content (page cache only until fsync)."""
-        mode = self._gate("write")
+        mode = self._gate("write", path)
         if mode == "before":
             self._die()
         file = self._files.setdefault(str(path), _File())
@@ -212,7 +263,7 @@ class SimulatedFS:
             self._die()
 
     def fsync(self, path: str) -> None:
-        mode = self._gate("fsync")
+        mode = self._gate("fsync", path)
         if mode == "before":
             self._die()
         file = self._files[str(path)]
@@ -226,7 +277,7 @@ class SimulatedFS:
             raise SimulatedCrash("fsync_dir on a dead disk")
 
     def replace(self, src: str, dst: str) -> None:
-        mode = self._gate("replace")
+        mode = self._gate("replace", dst)
         if mode == "before":
             self._die()
         self._files[str(dst)] = self._files.pop(str(src))
@@ -234,7 +285,7 @@ class SimulatedFS:
             self._die()
 
     def truncate(self, path: str, size: int) -> None:
-        mode = self._gate("truncate")
+        mode = self._gate("truncate", path)
         if mode == "before":
             self._die()
         file = self._files[str(path)]
@@ -246,7 +297,7 @@ class SimulatedFS:
             self._die()
 
     def remove(self, path: str) -> None:
-        mode = self._gate("remove")
+        mode = self._gate("remove", path)
         if mode == "before":
             self._die()
         self._files.pop(str(path), None)
@@ -286,6 +337,11 @@ class RealFS:
     def read(self, path: str) -> bytes:
         with open(path, "rb") as handle:
             return handle.read()
+
+    def read_at(self, path: str, offset: int, length: int) -> bytes:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            return handle.read(length)
 
     def listdir(self, directory: str) -> list[str]:
         return sorted(os.listdir(directory))

@@ -126,6 +126,23 @@ def prom_text() -> str:
             f'repro_events_total{{metric="{_escape(name)}"}} {snap["count"]}'
         )
 
+    # Paged-storage gauges: current page-cache occupancy and hit rate.
+    # Imported here, not at module top -- the database package imports
+    # obs for spans, and a top-level import would close that cycle.
+    from repro.database import pagecache
+
+    cache = pagecache.stats()
+    for field, help_text in (
+        ("resident_bytes", "Bytes of cold segment pages held in memory."),
+        ("budget_bytes", "Configured page-cache byte budget."),
+        ("pages", "Cold segment pages currently resident."),
+        ("hit_rate", "Lifetime page-cache hit rate (0..1)."),
+    ):
+        family = f"repro_page_cache_{field}"
+        lines.append(f"# HELP {family} {help_text}")
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {cache[field]}")
+
     lines.append(
         "# HELP repro_span_duration_us Span wall time by span kind "
         "(microseconds)."

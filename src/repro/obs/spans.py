@@ -40,7 +40,7 @@ from repro.perf.counters import metric
 
 from repro.obs.histograms import histogram
 
-#: The eighteen instrumented boundaries.  ``docs/observability.md``
+#: The twenty-one instrumented boundaries.  ``docs/observability.md``
 #: documents each one; ``tools/check_docs_drift.py`` validates doc
 #: references against this tuple.
 KINDS = (
@@ -62,6 +62,9 @@ KINDS = (
     "replication.ship",
     "replication.apply",
     "replication.catchup",
+    "segment.spill",
+    "segment.load",
+    "segment.evict",
 )
 
 _TRUTHY = ("1", "true", "yes", "on")

@@ -86,6 +86,25 @@ _PRUNED = perf.metric("planner.rows_pruned")
 #: a posting entry is a set operation.
 EVAL_COST = 4.0
 
+#: Extra per-evaluation cost when the predicate may fault a cold page
+#: from the on-disk segment tier (:mod:`repro.database.segments`).  A
+#: page fault is a read syscall plus CRC verification plus JSON decode
+#: -- orders of magnitude above an in-memory comparison -- so scans
+#: over spilled histories are penalized in proportion to how much of
+#: the database is cold, steering the planner toward index probes
+#: (which touch far fewer objects) on paged databases.
+COLD_READ_PENALTY = 12.0
+
+
+def _cold_penalty(db) -> float:
+    """Per-evaluation surcharge scaled by the cold fraction of *db*."""
+    cold = getattr(db, "segment_values", 0)
+    if not cold:
+        return 0.0
+    objects = getattr(db, "_objects", None)
+    fraction = min(1.0, cold / max(1, len(objects) if objects else 1))
+    return COLD_READ_PENALTY * fraction
+
 #: An index probe must promise at least this pruning factor over the
 #: extent to be worth running (unselective probes cost their posting
 #: walk and prune nothing).
@@ -378,7 +397,8 @@ def _plan(db, query: Query) -> Plan:
         scope += f" [{query.interval[0]},{query.interval[1]}]"
 
     atoms = conjuncts(query.predicate) if query.predicate else []
-    cost_scan = n * (len(atoms) * EVAL_COST + 1.0)
+    eval_cost = EVAL_COST + _cold_penalty(db)
+    cost_scan = n * (len(atoms) * eval_cost + 1.0)
     base = Plan(
         class_name=query.class_name,
         scope=scope,
@@ -435,7 +455,7 @@ def _plan(db, query: Query) -> Plan:
     est_min = selected[0][3]
     cost_index = (
         sum(p[3] for p in selected)
-        + est_min * (len(residual) * EVAL_COST + 1.0)
+        + est_min * (len(residual) * eval_cost + 1.0)
     )
     if cost_index >= cost_scan:
         base.reason = "scan estimated cheaper"

@@ -231,13 +231,17 @@ class Replica:
             self.applied_lsn = frame.lsn
             _APPLIED.add()
 
-    def install_checkpoint(self, data: bytes) -> int:
+    def install_checkpoint(
+        self, data: bytes, segments: dict[str, bytes] | None = None
+    ) -> int:
         """Bootstrap (or fast-forward) from a primary checkpoint.
 
-        Mirrors the primary's atomic checkpoint protocol: temp file,
-        fsync, rename, fsync the directory, drop older checkpoints,
-        reset the archive to empty.  Returns the checkpoint's LSN,
-        which becomes :attr:`applied_lsn`.
+        Mirrors the primary's atomic checkpoint protocol: segment files
+        first (a checkpoint must never become newest while its cold
+        segments are missing), then temp file, fsync, rename, fsync
+        the directory, drop older checkpoints, reset the archive to
+        empty.  Returns the checkpoint's LSN, which becomes
+        :attr:`applied_lsn`.
         """
         self._require_alive()
         try:
@@ -251,14 +255,30 @@ class Replica:
             raise ReplicationError(
                 f"replica {self.name!r}: unusable checkpoint: {exc}"
             ) from exc
+        from repro.database import segments as seg
         from repro.database.persistence import database_from_json
 
+        seg_name = doc.get("segments")
+        if seg_name and not (segments and seg_name in segments):
+            raise ReplicationError(
+                f"replica {self.name!r}: checkpoint references segment "
+                f"{seg_name!r} but the fetch shipped no bytes for it"
+            )
+        if seg_name:
+            seg_final = os.path.join(self.directory, seg_name)
+            seg_tmp = seg_final + ".tmp"
+            self.fs.write(seg_tmp, segments[seg_name])
+            self.fs.fsync(seg_tmp)
+            self.fs.replace(seg_tmp, seg_final)
+            self.fs.fsync_dir(self.directory)
         final = os.path.join(self.directory, checkpoint_name(lsn))
         tmp = final + ".tmp"
         self.fs.write(tmp, data)
         if self.injector.check("fetch") == "kill":
             # At worst a temp file survives; its name never parses as a
-            # checkpoint, so the next bootstrap ignores it.
+            # checkpoint, so the next bootstrap ignores it.  (A shipped
+            # segment file may also survive, but recovery only trusts
+            # segments a durable checkpoint references.)
             self._die("fetch.kill during checkpoint install")
         self.fs.fsync(tmp)
         self.fs.replace(tmp, final)
@@ -266,9 +286,16 @@ class Replica:
         for name in list_checkpoints(self.fs, self.directory):
             if checkpoint_lsn(name) < lsn:
                 self.fs.remove(os.path.join(self.directory, name))
+        for name in seg.list_segments(self.fs, self.directory):
+            if name != seg_name:
+                self.fs.remove(os.path.join(self.directory, name))
         self.fs.fsync_dir(self.directory)
         self._init_archive()
-        self._db = database_from_json(json.dumps(doc["database"]))
+        store = seg.SegmentStore(self.fs, self.directory)
+        self._db = database_from_json(
+            json.dumps(doc["database"]), segments=store
+        )
+        self._db.segment_values = seg.count_segment_values(self._db)
         self.applied_lsn = lsn
         return lsn
 
@@ -323,7 +350,11 @@ class Replica:
             self._init_archive()
 
     def _reset_local(self) -> None:
+        from repro.database import segments as seg
+
         for name in list_checkpoints(self.fs, self.directory):
+            self.fs.remove(os.path.join(self.directory, name))
+        for name in seg.list_segments(self.fs, self.directory):
             self.fs.remove(os.path.join(self.directory, name))
         self._init_archive()
         self._db = None

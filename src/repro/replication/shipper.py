@@ -27,6 +27,7 @@ looping forever against a link that eats every frame.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 import zlib
@@ -248,11 +249,35 @@ class LogShipper:
         data, lsn = newest
         if lsn <= replica.applied_lsn:
             return
+        segments = self._segment_payload(data)
         with obs.span(
-            "replication.catchup", replica=replica.name, lsn=lsn
+            "replication.catchup",
+            replica=replica.name,
+            lsn=lsn,
+            segments=len(segments),
         ):
             _CATCHUPS.add()
-            replica.install_checkpoint(data)
+            replica.install_checkpoint(data, segments=segments)
+
+    def _segment_payload(self, data: bytes) -> dict[str, bytes]:
+        """Cold-segment files a checkpoint references, name -> raw bytes.
+
+        Segment files are checkpoint artifacts: a checkpoint whose
+        temporal values carry ``cold`` references is unusable without
+        them, so a catch-up fetch ships them alongside the checkpoint
+        document itself.
+        """
+        try:
+            name = json.loads(data.decode("utf-8")).get("segments")
+        except (ValueError, UnicodeDecodeError):
+            return {}
+        if not name:
+            return {}
+        try:
+            raw = self.fs.read(os.path.join(self.directory, name))
+        except FileNotFoundError:
+            return {}
+        return {name: raw}
 
     def _update_lag(self) -> None:
         head = self.committed_lsn()

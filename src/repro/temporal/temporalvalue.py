@@ -94,14 +94,26 @@ class TemporalValue:
 
     # -- internal helpers -------------------------------------------------------
 
+    def _tail(self) -> list[list[Any]]:
+        """The mutable hot suffix of the pair list.
+
+        For a plain value this is the whole list.  The segment-backed
+        subclass (:class:`repro.database.segments.SegmentedTemporalValue`)
+        overrides it to expose only the resident tail, so the hot-path
+        methods routed through here (``_locate``/``at``/``get``/
+        ``assign``/``close``) never fault cold pages in.
+        """
+        return self._pairs
+
     def _starts(self) -> list[int]:
-        """The sorted start keys, maintained incrementally across
-        mutations so :meth:`_locate` costs one bisect, not a rebuild."""
+        """The sorted start keys of the hot tail, maintained
+        incrementally across mutations so :meth:`_locate` costs one
+        bisect, not a rebuild."""
         if not perf.is_enabled:
-            return [pair[0] for pair in self._pairs]
+            return [pair[0] for pair in self._tail()]
         cache = self._starts_cache
         if cache is None:
-            cache = [pair[0] for pair in self._pairs]
+            cache = [pair[0] for pair in self._tail()]
             self._starts_cache = cache
             _STARTS.miss()
         else:
@@ -135,15 +147,16 @@ class TemporalValue:
         idx = bisect_right(self._starts(), t) - 1
         if idx < 0:
             return None
-        start, end, _value = self._pairs[idx]
+        start, end, _value = self._tail()[idx]
         if isinstance(end, Now):
             return idx if t >= start else None
         return idx if start <= t <= end else None
 
     def _open_index(self) -> int | None:
         """Index of the moving pair, if present (always the last pair)."""
-        if self._pairs and isinstance(self._pairs[-1][1], Now):
-            return len(self._pairs) - 1
+        pairs = self._tail()
+        if pairs and isinstance(pairs[-1][1], Now):
+            return len(pairs) - 1
         return None
 
     # -- queries ---------------------------------------------------------------
@@ -162,13 +175,13 @@ class TemporalValue:
         idx = self._locate(t)
         if idx is None:
             raise UndefinedAtError(f"temporal value undefined at instant {t}")
-        return self._pairs[idx][2]
+        return self._tail()[idx][2]
 
     def get(self, t: int, default: Any = None) -> Any:
         """The value at *t*, or *default* when undefined."""
         validate_instant(t)
         idx = self._locate(t)
-        return default if idx is None else self._pairs[idx][2]
+        return default if idx is None else self._tail()[idx][2]
 
     def __call__(self, t: int) -> Any:
         return self.at(t)
@@ -217,11 +230,12 @@ class TemporalValue:
 
     def last_instant(self, now: int | None = None) -> int:
         """The latest instant of the domain (resolving an open pair)."""
-        if not self._pairs:
+        pairs = self._tail()
+        if not pairs:
             raise UndefinedAtError("temporal value is nowhere defined")
-        end = self._pairs[-1][1]
+        end = pairs[-1][1]
         if isinstance(end, Now):
-            interval = Interval(self._pairs[-1][0], end).resolve(now)
+            interval = Interval(pairs[-1][0], end).resolve(now)
             return interval.end  # type: ignore[return-value]
         return end
 
@@ -262,32 +276,33 @@ class TemporalValue:
         corrections must use :meth:`put` with ``overwrite=True``.
         """
         validate_instant(t)
+        pairs = self._tail()
         open_idx = self._open_index()
         if open_idx is not None:
-            start = self._pairs[open_idx][0]
+            start = pairs[open_idx][0]
             if t < start:
                 raise OverlappingHistoryError(
                     f"assign at {t} predates the open pair starting at "
                     f"{start}; use put(..., overwrite=True) for "
                     "retroactive corrections"
                 )
-            if self._coalesce and self._pairs[open_idx][2] == value:
+            if self._coalesce and pairs[open_idx][2] == value:
                 return
             if t == start:
-                self._pairs[open_idx][2] = value
+                pairs[open_idx][2] = value
                 self._maybe_merge_backward(open_idx)
                 return
-            self._pairs[open_idx][1] = t - 1
-        elif self._pairs:
-            last_end = self._pairs[-1][1]
+            pairs[open_idx][1] = t - 1
+        elif pairs:
+            last_end = pairs[-1][1]
             if t <= last_end:
                 raise OverlappingHistoryError(
                     f"assign at {t} overlaps recorded history ending at "
                     f"{last_end}; use put(..., overwrite=True)"
                 )
-        self._pairs.append([t, NOW, value])
+        pairs.append([t, NOW, value])
         self._starts_append(t)
-        self._maybe_merge_backward(len(self._pairs) - 1)
+        self._maybe_merge_backward(len(pairs) - 1)
 
     def close(self, t: int) -> None:
         """Close the open pair so the function is undefined after *t*.
@@ -299,15 +314,16 @@ class TemporalValue:
         """
         if t != -1:
             validate_instant(t)
+        pairs = self._tail()
         open_idx = self._open_index()
         if open_idx is None:
             return
-        start = self._pairs[open_idx][0]
+        start = pairs[open_idx][0]
         if t < start:
-            del self._pairs[open_idx]
+            del pairs[open_idx]
             self._starts_delete(open_idx)
         else:
-            self._pairs[open_idx][1] = t
+            pairs[open_idx][1] = t
 
     def put(
         self,
@@ -476,16 +492,22 @@ class TemporalValue:
         self._starts_invalidate()
 
     def _maybe_merge_backward(self, idx: int) -> None:
-        """Coalesce pair *idx* into its predecessor when legal."""
-        if not self._coalesce or idx <= 0 or idx >= len(self._pairs):
+        """Coalesce tail pair *idx* into its predecessor when legal.
+
+        Indices are relative to :meth:`_tail`; ``idx <= 0`` never
+        merges, so a segment-backed value cannot coalesce its first
+        hot pair into cold (immutable) history.
+        """
+        pairs = self._tail()
+        if not self._coalesce or idx <= 0 or idx >= len(pairs):
             return
-        prev, curr = self._pairs[idx - 1], self._pairs[idx]
+        prev, curr = pairs[idx - 1], pairs[idx]
         prev_end = prev[1]
         if isinstance(prev_end, Now):
             return
         if prev_end + 1 == curr[0] and prev[2] == curr[2]:
             prev[1] = curr[1]
-            del self._pairs[idx]
+            del pairs[idx]
             self._starts_delete(idx)
 
     # -- comparison -----------------------------------------------------------------

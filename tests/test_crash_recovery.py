@@ -11,7 +11,9 @@ import os
 
 import pytest
 
-from repro.faults import CRASH_POINTS, CrashPlan, run_trial
+from repro.database import segments
+from repro.database.pagecache import PAGE_CACHE
+from repro.faults import CRASH_POINTS, CrashPlan, run_trial, segment_plans
 
 TRIALS = int(os.environ.get("FAULT_TRIALS", "40"))
 
@@ -92,6 +94,54 @@ class TestBatchedWorkloads:
         # The grid must actually hit the interesting shape: a crash in
         # a trial whose workload ran at least one batch.
         assert crashed_after_batches >= 5
+
+
+class TestSegmentCrashes:
+    """Crashes aimed at the cold-segment spill protocol.
+
+    With the spill thresholds lowered, mid-run checkpoints in the
+    randomized workload spill real cold pages; the path-targeted plans
+    then tear, bit-flip, or kill around the ``.seg`` writes, the
+    rename, the old-generation cleanup, and the window between a
+    durable spill and the journal truncate.  Recovery must still hand
+    back the durable-prefix oracle (Definition 5.10 equivalence).
+    """
+
+    @pytest.fixture(autouse=True)
+    def aggressive_spill(self, monkeypatch):
+        monkeypatch.setattr(segments, "SPILL_MIN_PAIRS", 3)
+        monkeypatch.setattr(segments, "HOT_TAIL_PAIRS", 1)
+        monkeypatch.setattr(segments, "PAGE_PAIRS", 2)
+        PAGE_CACHE.clear()
+        yield
+        PAGE_CACHE.clear()
+
+    #: seeds x plans: at the default 40 trials this is 8 x 27 = 216
+    #: experiments; CI's FAULT_TRIALS=200 widens it to 40 x 27.
+    SEEDS = range(max(8, TRIALS // 5))
+
+    @pytest.mark.parametrize(
+        "plan",
+        segment_plans(),
+        ids=lambda plan: f"{plan.point}@{plan.occurrence}",
+    )
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_each_segment_crash_point_is_survivable(self, seed, plan):
+        result = run_trial(seed, plan=plan)
+        assert result.ok, _explain(result)
+
+    def test_matrix_exercises_spills_and_fires(self):
+        # The matrix is only meaningful if checkpoints actually spill
+        # and the targeted plans actually kill trials mid-spill.
+        crashed = with_checkpoints = 0
+        for seed in range(8):
+            for plan in segment_plans(max_occurrence=1):
+                result = run_trial(seed, plan=plan)
+                assert result.ok, _explain(result)
+                crashed += result.crashed
+                with_checkpoints += bool(result.checkpoints)
+        assert crashed >= 10
+        assert with_checkpoints >= 12
 
 
 class TestDeterminism:

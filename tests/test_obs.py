@@ -465,6 +465,56 @@ class TestExport:
                 in obs.prom_text()
             )
 
+    def test_page_cache_gauges_in_prom_export(self):
+        from repro.database import pagecache, segments
+        from repro.database.wal import Journal
+        from repro.faults.fs import SimulatedFS
+
+        saved = (segments.SPILL_MIN_PAIRS, segments.HOT_TAIL_PAIRS)
+        segments.SPILL_MIN_PAIRS, segments.HOT_TAIL_PAIRS = 3, 1
+        pagecache.PAGE_CACHE.clear()
+        try:
+            journal = Journal("/db/journal.wal", fs=SimulatedFS())
+            db = TemporalDatabase(journal=journal)
+            db.define_class("c", attributes=[("x", "temporal(integer)")])
+            oid = db.create_object("c", {"x": 0})
+            for i in range(1, 12):
+                db.tick()
+                db.update_attribute(oid, "x", i)
+            db.checkpoint()
+            db.get_object(oid).value["x"].at(0)  # fault one cold page
+            text = obs.prom_text()
+            for family in (
+                "repro_page_cache_resident_bytes",
+                "repro_page_cache_budget_bytes",
+                "repro_page_cache_pages",
+                "repro_page_cache_hit_rate",
+            ):
+                assert f"# TYPE {family} gauge" in text
+            stats = pagecache.stats()
+            assert stats["pages"] >= 1
+            assert (
+                f"repro_page_cache_resident_bytes "
+                f"{stats['resident_bytes']}" in text
+            )
+            for metric in (
+                "segment.spilled_bytes",
+                "segment.spilled_values",
+                "segment.loaded_bytes",
+            ):
+                assert f'repro_events_total{{metric="{metric}"}}' in text
+        finally:
+            segments.SPILL_MIN_PAIRS, segments.HOT_TAIL_PAIRS = saved
+            pagecache.PAGE_CACHE.clear()
+
+    def test_segment_span_kinds_registered(self):
+        for kind in ("segment.spill", "segment.load", "segment.evict"):
+            assert kind in obs.KINDS
+            assert (
+                f'repro_span_duration_us_count{{kind="{kind}"}}'
+                in obs.prom_text()
+            )
+
     def test_render_span_tree_indents_children(self):
         with obs.span("query.evaluate") as root:
             with obs.span("planner.plan"):
@@ -503,6 +553,8 @@ class TestStatsCLI:
         assert "span latency" in proc.stdout
         assert "wal.append" in proc.stdout
         assert "slow ops" in proc.stdout
+        assert "page cache:" in proc.stdout
+        assert "hit rate" in proc.stdout
 
     def test_stats_json_emits_all_counters_and_histograms(self):
         proc = run_cli("stats", "--json")

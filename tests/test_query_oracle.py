@@ -344,6 +344,58 @@ def test_parallel_matches_serial_and_oracle(
         parallel.shutdown(db)
 
 
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10**6), predicates())
+def test_segmented_build_matches_resident(seed, predicate):
+    """The cold-segment tier is invisible to the evaluator: after a
+    checkpoint spills history to disk, every query -- under all five
+    temporal scopes, with the page cache squeezed to a single resident
+    page so nearly every cold read faults -- returns exactly what the
+    all-resident build of the same op stream returns."""
+    from repro.database import pagecache, segments
+    from repro.database.recovery import JOURNAL_NAME
+    from repro.database.wal import Journal
+    from repro.faults.fs import SimulatedFS
+
+    resident = build_db(seed % 30)
+    paged = build_db(seed % 30)
+    paged.attach_journal(
+        Journal(f"/db/{JOURNAL_NAME}", fs=SimulatedFS(), sync="always")
+    )
+    saved = (
+        segments.SPILL_MIN_PAIRS,
+        segments.HOT_TAIL_PAIRS,
+        segments.PAGE_PAIRS,
+    )
+    segments.SPILL_MIN_PAIRS = 3
+    segments.HOT_TAIL_PAIRS = 1
+    segments.PAGE_PAIRS = 2
+    pagecache.PAGE_CACHE.clear()
+    pagecache.set_budget(1)  # sub-page budget: exactly one page stays
+    try:
+        paged.checkpoint()
+        assert paged.segment_values > 0
+        for scope in TemporalScope:
+            at = resident.now // 2 if scope is TemporalScope.AT else None
+            interval = (
+                (resident.now // 4, resident.now // 2)
+                if scope
+                in (TemporalScope.SOMETIME_IN, TemporalScope.ALWAYS_IN)
+                else None
+            )
+            query = Query("item", predicate, scope, at, interval)
+            assert evaluate(paged, query) == evaluate(resident, query), scope
+        assert pagecache.stats()["pages"] <= 1
+    finally:
+        (
+            segments.SPILL_MIN_PAIRS,
+            segments.HOT_TAIL_PAIRS,
+            segments.PAGE_PAIRS,
+        ) = saved
+        pagecache.PAGE_CACHE.clear()
+        pagecache.set_budget(pagecache.DEFAULT_BUDGET)
+
+
 @settings(max_examples=15, deadline=None)
 @given(st.integers(0, 20), predicates())
 def test_when_matches_oracle(seed, predicate):

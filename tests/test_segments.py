@@ -1,0 +1,387 @@
+"""The cold-segment tier: spill, paged reads, compaction, page cache.
+
+Every test drives the real checkpoint path (``db.checkpoint()``) on a
+:class:`SimulatedFS` with the spill thresholds lowered, then checks the
+segment-backed values against a plain in-memory oracle built from the
+identical workload with the tier ablated.
+"""
+
+import copy
+import json
+import struct
+
+import pytest
+
+from repro.database import pagecache, segments
+from repro.database.database import TemporalDatabase
+from repro.database.pagecache import PAGE_CACHE
+from repro.database.recovery import JOURNAL_NAME, recover
+from repro.database.segments import (
+    SEGMENT_MAGIC,
+    SegmentedTemporalValue,
+    SegmentStore,
+    _frame,
+    _unframe,
+    segment_name,
+)
+from repro.database.transactions import Transaction
+from repro.database.wal import Journal
+from repro.errors import SegmentError
+from repro.faults.fs import SimulatedFS
+from repro.temporal.temporalvalue import TemporalValue
+
+DB_DIR = "/db"
+
+
+@pytest.fixture(autouse=True)
+def small_pages(monkeypatch):
+    """Low thresholds so short test workloads spill, plus a clean cache."""
+    monkeypatch.setattr(segments, "SPILL_MIN_PAIRS", 4)
+    monkeypatch.setattr(segments, "HOT_TAIL_PAIRS", 2)
+    monkeypatch.setattr(segments, "PAGE_PAIRS", 3)
+    PAGE_CACHE.clear()
+    PAGE_CACHE.set_budget(pagecache.DEFAULT_BUDGET)
+    yield
+    PAGE_CACHE.clear()
+    PAGE_CACHE.set_budget(pagecache.DEFAULT_BUDGET)
+
+
+def fresh(fs=None, directory=DB_DIR):
+    fs = fs or SimulatedFS()
+    journal = Journal(f"{directory}/{JOURNAL_NAME}", fs=fs, sync="always")
+    return TemporalDatabase(journal=journal), fs
+
+
+def build(db, updates=20):
+    db.define_class(
+        "person",
+        attributes=[("name", "string"), ("salary", "temporal(int)")],
+    )
+    oid = db.create_object("person", {"name": "Ann", "salary": 0})
+    for i in range(1, updates):
+        db.tick(1)
+        db.update_attribute(oid, "salary", i)
+    return oid
+
+
+def seg_files(fs, directory=DB_DIR):
+    return [n for n in segments.list_segments(fs, directory) if n.endswith(".seg")]
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        body = b'{"k": [1, 2, 3]}'
+        assert _unframe(_frame(body), "t") == body
+
+    def test_rejects_corruption(self):
+        framed = bytearray(_frame(b"payload"))
+        framed[-2] ^= 0x40
+        with pytest.raises(SegmentError, match="CRC"):
+            _unframe(bytes(framed), "t")
+
+    def test_rejects_truncation_and_trailing_garbage(self):
+        framed = _frame(b"payload")
+        with pytest.raises(SegmentError):
+            _unframe(framed[:-3], "t")
+        with pytest.raises(SegmentError):
+            _unframe(framed + b"xx", "t")
+        with pytest.raises(SegmentError, match="header"):
+            _unframe(b"\x01", "t")
+
+
+class TestSpill:
+    def test_checkpoint_spills_and_reads_match_oracle(self):
+        db, fs = fresh()
+        oid = build(db)
+        with segments.disabled():
+            odb, _ = fresh()
+            ooid = build(odb)
+        oracle = odb._objects[ooid].value["salary"]
+        db.checkpoint()
+        value = db._objects[oid].value["salary"]
+        assert isinstance(value, SegmentedTemporalValue)
+        assert value._runs and len(value._runs) >= 2  # multiple pages
+        assert db.segment_values == 1
+        assert value == oracle and oracle == value
+        assert value.pairs() == oracle.pairs()
+        assert list(value.values()) == list(oracle.values())
+        assert len(value) == len(oracle)
+        for t in range(0, oracle.last_instant(db.now) + 1):
+            assert value.get(t, None) == oracle.get(t, None), t
+            assert value.defined_at(t) == oracle.defined_at(t), t
+
+    def test_short_history_stays_resident(self, monkeypatch):
+        monkeypatch.setattr(segments, "SPILL_MIN_PAIRS", 64)
+        db, fs = fresh()
+        oid = build(db, updates=5)
+        db.checkpoint()
+        value = db._objects[oid].value["salary"]
+        assert not isinstance(value, SegmentedTemporalValue)
+        assert not seg_files(fs)
+        assert db.segment_values == 0
+
+    def test_open_pair_and_writes_stay_hot(self):
+        db, fs = fresh()
+        oid = build(db)
+        db.checkpoint()
+        value = db._objects[oid].value["salary"]
+        runs_before = value._runs
+        misses_before = PAGE_CACHE.stats()["misses"]
+        db.tick(1)
+        db.update_attribute(oid, "salary", 777)
+        value = db._objects[oid].value["salary"]
+        assert value.at(db.now) == 777
+        # Updating the open tail never faults a cold page in.
+        assert value._runs == runs_before
+        assert PAGE_CACHE.stats()["misses"] == misses_before
+
+    def test_static_attributes_never_spill(self):
+        db, fs = fresh()
+        oid = build(db)
+        db.checkpoint()
+        name = db._objects[oid].value["name"]
+        assert not isinstance(name, SegmentedTemporalValue)
+
+
+class TestCompaction:
+    def test_each_generation_replaces_the_previous(self):
+        db, fs = fresh()
+        oid = build(db)
+        db.checkpoint()
+        first = seg_files(fs)
+        assert len(first) == 1
+        for i in range(20, 40):
+            db.tick(1)
+            db.update_attribute(oid, "salary", i)
+        db.checkpoint()
+        second = seg_files(fs)
+        assert len(second) == 1 and second != first
+        with segments.disabled():
+            odb, _ = fresh()
+            ooid = build(odb, updates=40)
+        oracle = odb._objects[ooid].value["salary"]
+        assert db._objects[oid].value["salary"] == oracle
+
+    def test_checkpoint_without_spills_leaves_no_file(self):
+        db, fs = fresh()
+        db.define_class("person", attributes=[("name", "string")])
+        db.create_object("person", {"name": "Ann"})
+        db.checkpoint()
+        assert not seg_files(fs)
+
+
+class TestRecovery:
+    def test_recovery_restores_segment_backed_values(self):
+        db, fs = fresh()
+        oid = build(db)
+        db.checkpoint()
+        recovered, report = recover(DB_DIR, fs=fs)
+        assert report.ok
+        value = recovered._objects[oid].value["salary"]
+        assert isinstance(value, SegmentedTemporalValue)
+        assert value == db._objects[oid].value["salary"]
+        assert recovered.segment_values == 1
+
+    def test_corrupt_segment_demotes_checkpoint(self):
+        db, fs = fresh()
+        oid = build(db)
+        db.checkpoint()
+        name = seg_files(fs)[0]
+        raw = bytearray(fs.read(f"{DB_DIR}/{name}"))
+        raw[len(SEGMENT_MAGIC) + 12] ^= 0x10  # inside the first page body
+        fs.write(f"{DB_DIR}/{name}", bytes(raw))
+        fs.fsync(f"{DB_DIR}/{name}")
+        recovered, report = recover(DB_DIR, fs=fs)
+        assert report.corrupt_checkpoints
+
+    def test_corrupt_segment_falls_back_to_older_generation(self):
+        db, fs = fresh()
+        oid = build(db)
+        db.checkpoint()
+        # Preserve generation A before the next checkpoint deletes it.
+        gen_a = {
+            n: fs.read(f"{DB_DIR}/{n}")
+            for n in fs.listdir(DB_DIR)
+            if n.startswith(("checkpoint-", "segments-"))
+        }
+        with segments.disabled():
+            odb, _ = fresh()
+            ooid = build(odb)
+        oracle_a = odb._objects[ooid].value["salary"]
+        for i in range(20, 40):
+            db.tick(1)
+            db.update_attribute(oid, "salary", i)
+        db.checkpoint()
+        # Resurrect generation A, corrupt generation B's segment.
+        for n, data in gen_a.items():
+            fs.write(f"{DB_DIR}/{n}", data)
+            fs.fsync(f"{DB_DIR}/{n}")
+        name_b = segment_name(
+            max(
+                int(n[len("segments-"):-len(".seg")])
+                for n in seg_files(fs)
+            )
+        )
+        raw = bytearray(fs.read(f"{DB_DIR}/{name_b}"))
+        raw[-4] ^= 0x01  # corrupt the footer-offset trailer
+        fs.write(f"{DB_DIR}/{name_b}", bytes(raw))
+        fs.fsync(f"{DB_DIR}/{name_b}")
+        recovered, report = recover(DB_DIR, fs=fs)
+        assert report.corrupt_checkpoints
+        assert recovered is not None
+        assert recovered._objects[oid].value["salary"] == oracle_a
+
+    def test_verify_walks_every_page(self):
+        db, fs = fresh()
+        oid = build(db)
+        db.checkpoint()
+        name = seg_files(fs)[0]
+        store = SegmentStore(fs, DB_DIR)
+        store.verify(name)  # healthy file passes
+        raw = bytearray(fs.read(f"{DB_DIR}/{name}"))
+        raw[len(SEGMENT_MAGIC) + 20] ^= 0x02
+        fs.write(f"{DB_DIR}/{name}", bytes(raw))
+        with pytest.raises(SegmentError):
+            SegmentStore(fs, DB_DIR).verify(name)
+
+    def test_verify_rejects_bad_magic_and_missing_file(self):
+        fs = SimulatedFS()
+        store = SegmentStore(fs, DB_DIR)
+        with pytest.raises(SegmentError, match="missing"):
+            store.verify(segment_name(1))
+        fs.write(f"{DB_DIR}/{segment_name(1)}", b"NOTMAGIC" + b"\0" * 32)
+        with pytest.raises(SegmentError, match="magic"):
+            SegmentStore(fs, DB_DIR).verify(segment_name(1))
+
+
+class TestAblation:
+    def test_disabled_tier_inlines_everything(self):
+        with segments.disabled():
+            db, fs = fresh()
+            oid = build(db)
+            db.checkpoint()
+            assert not seg_files(fs)
+            value = db._objects[oid].value["salary"]
+            assert not isinstance(value, SegmentedTemporalValue)
+            recovered, report = recover(DB_DIR, fs=fs)
+            assert report.ok
+            assert recovered._objects[oid].value["salary"] == value
+
+    def test_set_enabled_returns_previous(self):
+        previous = segments.set_enabled(False)
+        try:
+            assert previous is True
+            assert segments.is_enabled is False
+        finally:
+            segments.set_enabled(previous)
+
+
+class TestPageCache:
+    def test_sub_page_budget_pins_exactly_one_page(self):
+        db, fs = fresh(directory=DB_DIR)
+        oid = build(db, updates=30)
+        db.checkpoint()
+        pagecache.set_budget(1)
+        value = db._objects[oid].value["salary"]
+        assert len(value._runs) >= 3
+        assert value.pairs()  # streams every cold page
+        stats = pagecache.stats()
+        assert stats["pages"] == 1
+        assert stats["evictions"] >= len(value._runs) - 1
+        assert stats["resident_bytes"] > 1  # the pinned page survives
+
+    def test_repeat_reads_hit_the_cache(self):
+        db, fs = fresh()
+        oid = build(db)
+        db.checkpoint()
+        value = db._objects[oid].value["salary"]
+        value.at(0)
+        before = pagecache.stats()
+        value.at(0)
+        value.at(1)
+        after = pagecache.stats()
+        assert after["hits"] > before["hits"]
+        assert after["misses"] == before["misses"]
+
+    def test_budget_bounds_resident_bytes(self):
+        db, fs = fresh()
+        oid = build(db, updates=60)
+        db.checkpoint()
+        value = db._objects[oid].value["salary"]
+        page_bytes = max(run.length for run in value._runs)
+        pagecache.set_budget(page_bytes * 2)
+        assert value.pairs()
+        assert pagecache.stats()["resident_bytes"] <= page_bytes * 2
+
+
+class TestHydration:
+    def test_retroactive_correction_hydrates(self):
+        db, fs = fresh()
+        oid = build(db)
+        db.checkpoint()
+        db.correct_attribute(oid, "salary", 0, 0, 999)
+        value = db._objects[oid].value["salary"]
+        assert not value._runs  # hydrated back to a plain pair list
+        assert value.at(0) == 999
+
+    def test_hydration_preserves_history(self):
+        db, fs = fresh()
+        oid = build(db)
+        with segments.disabled():
+            odb, _ = fresh()
+            ooid = build(odb)
+        oracle = odb._objects[ooid].value["salary"]
+        db.checkpoint()
+        value = db._objects[oid].value["salary"]
+        before = value.pairs()
+        _ = value._pairs  # force the hydration fallback directly
+        assert not value._runs
+        assert value.pairs() == before
+        assert value == oracle
+
+    def test_next_checkpoint_respills_hydrated_value(self):
+        db, fs = fresh()
+        oid = build(db)
+        db.checkpoint()
+        db.correct_attribute(oid, "salary", 0, 0, 999)
+        db.checkpoint()
+        value = db._objects[oid].value["salary"]
+        assert isinstance(value, SegmentedTemporalValue) and value._runs
+        assert value.at(0) == 999
+
+
+class TestTransactions:
+    def test_rollback_leaves_segmented_value_intact(self):
+        db, fs = fresh()
+        oid = build(db)
+        db.checkpoint()
+        before = db._objects[oid].value["salary"].pairs()
+        txn = Transaction(db).begin()
+        db.tick(1)
+        db.update_attribute(oid, "salary", 424242)
+        txn.rollback()
+        value = db._objects[oid].value["salary"]
+        assert value.pairs() == before
+
+    def test_deepcopy_shares_cold_state(self):
+        db, fs = fresh()
+        oid = build(db)
+        db.checkpoint()
+        value = db._objects[oid].value["salary"]
+        clone = copy.deepcopy(value)
+        assert clone == value
+        assert clone._reader is value._reader
+        assert clone._runs is value._runs
+        assert clone._tail() is not value._tail()
+
+
+class TestPlannerPenalty:
+    def test_cold_penalty_scales_with_cold_fraction(self):
+        from repro.query.planner import COLD_READ_PENALTY, _cold_penalty
+
+        db, fs = fresh()
+        oid = build(db)
+        assert _cold_penalty(db) == 0.0
+        db.checkpoint()
+        penalty = _cold_penalty(db)
+        assert 0.0 < penalty <= COLD_READ_PENALTY

@@ -49,8 +49,10 @@ def _known_names() -> tuple[set, set, set]:
     import repro.constraints.constraints  # noqa: F401
     import repro.database.batch  # noqa: F401
     import repro.database.database  # noqa: F401
+    import repro.database.pagecache  # noqa: F401
     import repro.database.parallel  # noqa: F401
     import repro.database.recovery  # noqa: F401
+    import repro.database.segments  # noqa: F401
     import repro.database.wal  # noqa: F401
     import repro.query.planner  # noqa: F401
     import repro.replication.replica  # noqa: F401
