@@ -1,0 +1,371 @@
+"""E18 -- concurrent serving: MVCC snapshot reads vs lock-serialized.
+
+The serving layer's claim: readers never block writers (and vice
+versa), so read throughput scales with sessions while a writer churns,
+and writer pressure does not blow up read tail latency.  The ablation
+(``REPRO_NO_MVCC=1`` / ``--no-mvcc``) serializes every read on the
+global writer lock -- the classic readers-block-writers baseline.
+
+Four phases over real sockets against a ``repro serve`` subprocess:
+
+1. **single session, idle writer** -- one client, read-only: the
+   per-request floor and the p99 baseline the tail gate compares to;
+2. **N sessions, 90/10 read/write mix, MVCC on** -- aggregate read
+   QPS + p50/p95/p99 read latency under writer churn;
+3. **N sessions, read-only, MVCC on** -- scaling without writes;
+4. **N sessions, 90/10 mix, MVCC ablated** -- the same offered load
+   with reads lock-serialized.
+
+Run directly::
+
+    python benchmarks/bench_server.py            # full run + artifacts
+    python benchmarks/bench_server.py --smoke    # tiny correctness run
+    python benchmarks/bench_server.py --ci       # full run + CI gates
+    python benchmarks/bench_server.py --sessions 4
+
+Artifacts: ``benchmarks/results/server.txt`` and ``BENCH_server.json``
+at the repo root.  The JSON records ``cores`` because the scaling
+gates are physically meaningful only with >= 4 cores (the CI job
+provides them); on fewer cores an honest run reports what it saw and
+only the correctness gates apply.
+
+CI gates (``--ci``, 4 sessions, >= 4 cores):
+
+* mixed-workload read QPS >= 3x the ablation's read QPS;
+* mixed-workload read p99 <= 1.5x the idle-writer single-session p99;
+* every phase's queries return correct cardinalities (always).
+"""
+
+import argparse
+import json
+import os
+import random
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (REPO_ROOT, REPO_ROOT / "src"):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from benchmarks.conftest import emit, format_series
+
+N_OBJECTS = 1200
+SALARY_SPAN = 2000
+
+
+def _spawn_server(directory: str, no_mvcc: bool):
+    """A ``repro serve`` subprocess on *directory* (sync=never: E18
+    measures concurrency, not fsync latency)."""
+    import subprocess
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    env.pop("REPRO_SERVER_CRASH_BEFORE_WRITES", None)
+    env.pop("REPRO_SERVER_CRASH_AFTER_WRITES", None)
+    if no_mvcc:
+        env["REPRO_NO_MVCC"] = "1"
+    else:
+        env.pop("REPRO_NO_MVCC", None)
+    argv = [
+        sys.executable, "-m", "repro", "serve", directory,
+        "--port", "0", "--sync", "never",
+    ]
+    if no_mvcc:
+        argv.append("--no-mvcc")
+    proc = subprocess.Popen(
+        argv, env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL, text=True,
+    )
+    while True:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"server died at startup (exit {proc.poll()})"
+            )
+        if line.startswith("listening on "):
+            host, port = line.split()[-1].rsplit(":", 1)
+            return proc, host, int(port)
+
+
+def _connect(host: str, port: int):
+    from repro.server.client import ServerClient
+
+    return ServerClient.connect(host, port, timeout=120.0)
+
+
+def _seed(client, n_objects: int) -> list:
+    client.execute(("define_class", "person", [], [("name", "string")]))
+    client.execute((
+        "define_class", "employee", ["person"],
+        [("salary", "temporal(real)"), ("dept", "string")],
+    ))
+    rng = random.Random(18)
+    oids = []
+    for index in range(n_objects):
+        oids.append(client.execute((
+            "create", "employee",
+            {
+                "name": f"e{index}",
+                "salary": float(rng.randrange(SALARY_SPAN)),
+                "dept": rng.choice(("eng", "ops", "sales")),
+            },
+        )))
+    client.execute(("tick", 1))
+    return oids
+
+
+def _percentiles(samples_us: list[float]) -> dict:
+    ordered = sorted(samples_us)
+
+    def at(q: float) -> float:
+        if not ordered:
+            return 0.0
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    return {
+        "p50_us": round(at(0.50), 1),
+        "p95_us": round(at(0.95), 1),
+        "p99_us": round(at(0.99), 1),
+        "mean_us": round(statistics.fmean(ordered), 1) if ordered else 0.0,
+    }
+
+
+def _session_worker(
+    host, port, oids, n_requests, write_ratio, seed, out, expected_floor
+):
+    """One client session: a write_ratio mix of queries and updates."""
+    rng = random.Random(seed)
+    client = _connect(host, port)
+    reads_us: list[float] = []
+    writes = errors = 0
+    try:
+        for _ in range(n_requests):
+            if rng.random() < write_ratio:
+                oid = rng.choice(oids)
+                client.execute((
+                    "update", oid, "salary",
+                    float(rng.randrange(SALARY_SPAN)),
+                ))
+                writes += 1
+            else:
+                threshold = rng.randrange(SALARY_SPAN)
+                begun = time.perf_counter()
+                rows = client.query_raw(
+                    f"select employee where salary > {threshold}"
+                )
+                reads_us.append((time.perf_counter() - begun) * 1e6)
+                # Loose correctness floor: higher thresholds can only
+                # shrink the result, never exceed the population.
+                if not 0 <= rows["count"] <= expected_floor:
+                    errors += 1
+    finally:
+        client.close()
+    out.append({"reads_us": reads_us, "writes": writes, "errors": errors})
+
+
+def run_phase(
+    host, port, oids, *, sessions, n_requests, write_ratio, label
+) -> dict:
+    results: list[dict] = []
+    threads = [
+        threading.Thread(
+            target=_session_worker,
+            args=(
+                host, port, oids, n_requests, write_ratio,
+                1000 + index, results, len(oids),
+            ),
+        )
+        for index in range(sessions)
+    ]
+    begun = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - begun
+    reads = [value for r in results for value in r["reads_us"]]
+    writes = sum(r["writes"] for r in results)
+    errors = sum(r["errors"] for r in results)
+    return {
+        "phase": label,
+        "sessions": sessions,
+        "requests_per_session": n_requests,
+        "write_ratio": write_ratio,
+        "elapsed_s": round(elapsed, 3),
+        "reads": len(reads),
+        "writes": writes,
+        "errors": errors,
+        "read_qps": round(len(reads) / elapsed, 1) if elapsed else 0.0,
+        "write_qps": round(writes / elapsed, 1) if elapsed else 0.0,
+        **_percentiles(reads),
+    }
+
+
+def run_bench(sessions: int, n_requests: int, n_objects: int) -> list[dict]:
+    phases = []
+    for no_mvcc in (False, True):
+        with tempfile.TemporaryDirectory() as directory:
+            proc, host, port = _spawn_server(directory, no_mvcc)
+            try:
+                seeder = _connect(host, port)
+                oids = _seed(seeder, n_objects)
+                seeder.close()
+                if not no_mvcc:
+                    phases.append(run_phase(
+                        host, port, oids, sessions=1,
+                        n_requests=n_requests, write_ratio=0.0,
+                        label="1 session, idle writer",
+                    ))
+                    phases.append(run_phase(
+                        host, port, oids, sessions=sessions,
+                        n_requests=n_requests, write_ratio=0.0,
+                        label=f"{sessions} sessions, read-only",
+                    ))
+                    phases.append(run_phase(
+                        host, port, oids, sessions=sessions,
+                        n_requests=n_requests, write_ratio=0.1,
+                        label=f"{sessions} sessions, 90/10 mix",
+                    ))
+                else:
+                    phases.append(run_phase(
+                        host, port, oids, sessions=sessions,
+                        n_requests=n_requests, write_ratio=0.1,
+                        label=f"{sessions} sessions, 90/10, no MVCC",
+                    ))
+            finally:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=15)
+                except Exception:
+                    proc.kill()
+                    proc.wait(timeout=15)
+    return phases
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="concurrent serving benchmark (E18)"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny workload, no artifacts (CI sanity check)",
+    )
+    parser.add_argument(
+        "--ci", action="store_true",
+        help="full run; exit 1 when a gate fails (scaling gates "
+        "require >= 4 cores)",
+    )
+    parser.add_argument(
+        "--sessions", type=int, default=4,
+        help="concurrent client sessions (default 4, the CI shape)",
+    )
+    args = parser.parse_args(argv)
+
+    cores = os.cpu_count() or 1
+    if args.smoke:
+        args.sessions = 2
+        phases = run_bench(
+            sessions=2, n_requests=20, n_objects=120
+        )
+    else:
+        phases = run_bench(
+            sessions=args.sessions, n_requests=250, n_objects=N_OBJECTS
+        )
+
+    rows = [
+        (
+            p["phase"], str(p["reads"]), str(p["writes"]),
+            f"{p['read_qps']:.0f}", f"{p['p50_us']:.0f}",
+            f"{p['p95_us']:.0f}", f"{p['p99_us']:.0f}",
+            str(p["errors"]),
+        )
+        for p in phases
+    ]
+    table = format_series(
+        f"E18: serving layer, 90/10 read/write over sockets "
+        f"(sessions={args.sessions}, objects="
+        f"{120 if args.smoke else N_OBJECTS}, cores={cores})",
+        (
+            "phase", "reads", "writes", "read qps", "p50us",
+            "p95us", "p99us", "errs",
+        ),
+        rows,
+    )
+    print(table)
+
+    failures = []
+    if any(p["errors"] for p in phases):
+        failures.append("a phase returned out-of-range cardinalities")
+
+    if args.smoke:
+        if failures:
+            print(f"SMOKE FAILED: {failures[0]}")
+            return 1
+        print("smoke ok")
+        return 0
+
+    emit("server", table)
+    by_label = {p["phase"]: p for p in phases}
+    mixed = by_label[f"{args.sessions} sessions, 90/10 mix"]
+    ablated = by_label[f"{args.sessions} sessions, 90/10, no MVCC"]
+    idle = by_label["1 session, idle writer"]
+    payload = {
+        "experiment": "E18 concurrent serving: MVCC vs lock-serialized",
+        "sessions": args.sessions,
+        "cores": cores,
+        "phases": phases,
+        "mvcc_over_ablation_read_qps": round(
+            mixed["read_qps"] / ablated["read_qps"], 2
+        ) if ablated["read_qps"] else None,
+        "tail_inflation_p99": round(
+            mixed["p99_us"] / idle["p99_us"], 2
+        ) if idle["p99_us"] else None,
+        "gates": {
+            "read_scaling": ">= 3x ablation read QPS at 4 sessions "
+            "(requires >= 4 cores; informative below that)",
+            "tail_latency": "mixed p99 <= 1.5x idle-writer p99 "
+            "(requires >= 4 cores)",
+            "correctness": "cardinalities in range on every phase",
+        },
+    }
+    (REPO_ROOT / "BENCH_server.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print(f"wrote {REPO_ROOT / 'BENCH_server.json'}")
+
+    if not args.ci:
+        return 0
+
+    if cores >= 4:
+        if mixed["read_qps"] < ablated["read_qps"] * 3:
+            failures.append(
+                f"read scaling: {mixed['read_qps']} qps < 3x ablation "
+                f"{ablated['read_qps']} qps"
+            )
+        if idle["p99_us"] and mixed["p99_us"] > idle["p99_us"] * 1.5:
+            failures.append(
+                f"tail latency: mixed p99 {mixed['p99_us']}us > 1.5x "
+                f"idle-writer p99 {idle['p99_us']}us"
+            )
+    else:
+        print(
+            f"NOTE: {cores} core(s) -- scaling gates skipped "
+            "(physically unattainable); correctness gates applied."
+        )
+    if failures:
+        for failure in failures:
+            print(f"CI GATE FAILED: {failure}")
+        return 1
+    print("CI gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,7 +37,13 @@ Commands:
 * ``restore DIR (--lsn N | --tick T) [-o FILE.json]`` -- point-in-time
   recovery: rebuild the database as of a journal position or a clock
   tick, optionally writing the restored state as a persistence JSON
-  file usable with ``check``/``describe``/``query``.
+  file usable with ``check``/``describe``/``query``;
+* ``serve DIR [--host H] [--port P] [--max-sessions N]
+  [--queue-depth N] [--read-workers N] [--no-mvcc]`` -- serve the
+  journaled database over the newline-JSON socket protocol with MVCC
+  snapshot reads and cross-session group commit (docs/server.md);
+  prints ``listening on HOST:PORT`` once bound and drains gracefully
+  on SIGINT/SIGTERM.
 """
 
 from __future__ import annotations
@@ -478,6 +484,56 @@ def cmd_restore(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.database.recovery import open_database
+    from repro.server import TemporalServer
+
+    db, report = open_database(args.directory, sync=args.sync)
+    if report.records_applied:
+        print(
+            f"recovered {report.records_applied} journal record(s)",
+            file=sys.stderr,
+        )
+
+    async def _run() -> int:
+        server = TemporalServer(
+            db,
+            host=args.host,
+            port=args.port,
+            max_sessions=args.max_sessions,
+            queue_depth=args.queue_depth,
+            read_workers=args.read_workers,
+            use_mvcc=not args.no_mvcc,
+            drain_timeout=args.drain_timeout,
+        )
+        host, port = await server.start()
+        # The machine-readable line harnesses wait for (port 0 means
+        # "pick one"; this is how they learn which).
+        print(f"listening on {host}:{port}", flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                signal.signal(signum, lambda *_: stop.set())
+        serving = loop.create_task(server.serve_forever())
+        await stop.wait()
+        print("draining...", flush=True)
+        await server.stop()
+        serving.cancel()
+        try:
+            await serving
+        except asyncio.CancelledError:
+            pass
+        return 0
+
+    return asyncio.run(_run())
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI parser (exposed so tools/check_docs_drift.py can
     enumerate the real subcommand registry)."""
@@ -627,6 +683,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable report"
     )
 
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="serve a journaled database over the newline-JSON protocol",
+    )
+    serve_cmd.add_argument("directory", help="durability directory")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port"
+    )
+    serve_cmd.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        help="admission control: concurrent session cap",
+    )
+    serve_cmd.add_argument(
+        "--queue-depth",
+        type=int,
+        default=32,
+        help="per-session pipelined-request queue bound",
+    )
+    serve_cmd.add_argument(
+        "--read-workers",
+        type=int,
+        default=None,
+        help="forked snapshot query workers (default: cores-1, max 4)",
+    )
+    serve_cmd.add_argument(
+        "--no-mvcc",
+        action="store_true",
+        help="ablation: serialize reads on the writer lock",
+    )
+    serve_cmd.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help="graceful-shutdown budget in seconds",
+    )
+    serve_cmd.add_argument(
+        "--sync",
+        default="always",
+        choices=("always", "never"),
+        help="journal fsync policy",
+    )
+
     return parser
 
 
@@ -645,6 +746,7 @@ _HANDLERS = {
     "compact": cmd_compact,
     "replicate": cmd_replicate,
     "restore": cmd_restore,
+    "serve": cmd_serve,
 }
 
 

@@ -39,6 +39,7 @@ from typing import Any, Iterable, Iterator, Mapping
 
 from repro import perf
 from repro.database.caches import INDEX_MIN_POPULATION, DatabaseCaches
+from repro.database.mvcc import MVCCManager
 from repro.obs import spans as obs
 from repro.database.events import Event, EventKind
 from repro.errors import (
@@ -163,6 +164,16 @@ class TemporalDatabase:
         #: disk); maintained by checkpoint spills and recovery, read by
         #: the planner's cold-read penalty.
         self.segment_values = 0
+        #: MVCC read snapshots (docs/server.md): open
+        #: :class:`~repro.database.mvcc.ReadView` registry plus the
+        #: copy-on-write overlays the mutators feed via the
+        #: ``before_*`` hooks below.  Hooks are no-ops while no view
+        #: is open, so the single-client fast path pays one attribute
+        #: read per mutation.
+        self.mvcc = MVCCManager(self)
+        #: True while a :class:`~repro.database.transactions
+        #: .Transaction` is open (view acquisition is refused then).
+        self._txn_active = False
         if journal is not None:
             self.attach_journal(journal)
 
@@ -483,6 +494,11 @@ class TemporalDatabase:
                     f"{spec.name!r}"
                 )
         self._check_mentioned_classes(spec.type, class_name)
+        if self.mvcc.active:
+            for member in family:
+                self.mvcc.before_class_change(member.name)
+                for oid in member.history.instances_at(self.now):
+                    self.mvcc.before_object_change(oid)
         for member in family:
             member.declare_attribute(spec)
             for oid in member.history.instances_at(self.now):
@@ -534,6 +550,11 @@ class TemporalDatabase:
             for sub in self._isa.subclasses(class_name)
             if name in self._classes[sub].attributes
         ]
+        if self.mvcc.active:
+            for member in family:
+                self.mvcc.before_class_change(member.name)
+                for oid in member.history.instances_at(now):
+                    self.mvcc.before_object_change(oid)
         for member in family:
             member.retire_attribute(name, now)
             for oid in member.history.instances_at(now):
@@ -572,6 +593,8 @@ class TemporalDatabase:
                 f"cannot drop {name!r}: its extent at {self.now} is not "
                 "empty"
             )
+        if self.mvcc.active:
+            self.mvcc.before_class_change(name)
         cls.close_lifespan(self.now)
         self.caches.bump_all()
         self._journal_op({"kind": "drop_class", "class": name})
@@ -631,6 +654,10 @@ class TemporalDatabase:
         oid = self._oids.fresh(self._isa.hierarchy_of(class_name))
         obj = TemporalObject(oid, self.now, class_name, value)
         self._check_references(obj)
+        if self.mvcc.active:
+            # Open views must not see the newcomer in the extents; the
+            # object itself is filtered by its oid serial watermark.
+            self.mvcc.before_extent_change(class_name)
         self._objects[oid] = obj
         self._enter_extents(oid, class_name)
         self._emit(
@@ -721,6 +748,8 @@ class TemporalDatabase:
     def update_attribute(self, oid: OID, name: str, value: Any) -> None:
         """Set attribute *name* of *oid* to *value* at the current time."""
         obj = self._require_alive(oid)
+        if self.mvcc.active:
+            self.mvcc.before_object_change(oid)
         cls = self.get_class(obj.current_class(self.now))
         attribute = cls.attribute(name)
         if isinstance(attribute.type, TemporalType):
@@ -818,6 +847,8 @@ class TemporalDatabase:
         pre-correction belief queryable.
         """
         obj = self.get_object(oid)
+        if self.mvcc.active:
+            self.mvcc.before_object_change(oid)
         now = self.now
         if end < start:
             raise InvalidIntervalError(
@@ -966,6 +997,11 @@ class TemporalDatabase:
         old_attrs = old_cls.attributes
         new_attrs = new_cls.attributes
 
+        if self.mvcc.active:
+            self.mvcc.before_object_change(oid)
+            self.mvcc.before_extent_change(old_class)
+            self.mvcc.before_extent_change(new_class)
+
         # 1. Attributes leaving the object.
         for attr_name in list(obj.value):
             if attr_name in new_attrs:
@@ -1071,6 +1107,9 @@ class TemporalDatabase:
                         "override)"
                     )
         current_class = obj.current_class(now)
+        if self.mvcc.active:
+            self.mvcc.before_object_change(oid)
+            self.mvcc.before_extent_change(current_class)
         obj.end_lifespan(now)
         for name, value in obj.value.items():
             if isinstance(value, TemporalValue):

@@ -1,0 +1,523 @@
+"""MVCC read snapshots: queries that never block writers.
+
+A :class:`ReadView` pins the database state at acquisition time -- the
+same ``(now, cache generation, op count)`` version vector the caches
+and the scatter-gather pool already validate against
+(:meth:`TemporalDatabase._state_version`) -- and stays consistent while
+writers proceed.  The mechanism is writer-side copy-on-write: the
+mutation entry points call :meth:`MVCCManager.before_object_change` /
+:meth:`before_class_change` *before* touching a structure, and when any
+open view still needs the pre-image, the manager deep-copies it into a
+versioned overlay.  Readers therefore pay nothing; writers pay one
+deep copy per (object|class, open-view generation) -- zero when no view
+is open, which keeps the single-client fast path untouched.
+
+Version arithmetic.  Every view gets a fresh ticket from a monotone
+clock.  An overlay entry ``(valid_through, copy)`` means: *copy* is the
+state seen by every view whose ticket lies in ``(previous entry's
+valid_through, valid_through]``.  Reads walk the (short, ascending)
+entry list for the first ``valid_through >= ticket`` and fall through
+to the live structure when none covers it -- exactly the "versions
+newer than my snapshot are invisible" rule of classic MVCC.  Objects
+and classes born after acquisition are filtered by the oid serial
+watermark and the pinned class-name set; ``now`` is pinned by value, so
+clock ticks need no overlay at all.
+
+Consistency.  A view is acquired between operations on the (single)
+writer thread or event loop, so it can never observe a torn operation;
+acquisition is refused mid-batch (deferred cache maintenance means the
+live structures run ahead of the generations) and inside an open
+:class:`~repro.database.transactions.Transaction` (a rollback would
+rewind state under a mid-transaction view).  Views acquired *before* a
+transaction stay correct through a rollback: the overlays captured
+during the transaction equal the pre-transaction state the rollback
+restores (Def. 5.10 weak value equality).
+
+Queries under a fresh view (no write since acquisition) run on the live
+database with the full planner/index/cache stack; once a writer has
+advanced, the view routes evaluation through a :class:`_ViewDatabase`
+proxy that reads the overlays and reports ``caches = None`` -- the
+planner's documented signal to choose the index-free scan path, which
+needs nothing but the ``TypeContext`` surface the proxy implements.
+
+Ablation: ``REPRO_NO_MVCC=1`` (env, read at import) or
+:func:`set_enabled` / :func:`disabled` make acquisition raise
+:class:`MVCCError` and turn the write-side hooks into no-ops -- the
+serving layer then falls back to readers-block-writers execution,
+which is the baseline ``benchmarks/bench_server.py`` measures against.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro import perf
+from repro.errors import DatabaseError, UnknownClassError, UnknownObjectError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.database.database import TemporalDatabase
+    from repro.objects.object import TemporalObject
+    from repro.query.ast import Query
+    from repro.schema.class_def import ClassSignature
+    from repro.temporal.intervalsets import IntervalSet
+    from repro.values.oid import OID
+
+#: Module-level ablation switch (mirrors ``repro.database.batch``).
+is_enabled: bool = os.environ.get("REPRO_NO_MVCC", "").lower() not in (
+    "1",
+    "true",
+    "yes",
+)
+
+_VIEWS = perf.metric("mvcc.views")
+_COPIES = perf.metric("mvcc.copies")
+_OVERLAY_READS = perf.metric("mvcc.overlay_reads")
+
+#: Open views across every database in the process (gauge; exported as
+#: ``repro_server_active_views``).
+_ACTIVE_VIEWS = 0
+
+
+def active_views() -> int:
+    """How many read views are currently open, process-wide."""
+    return _ACTIVE_VIEWS
+
+
+def set_enabled(enabled: bool) -> bool:
+    """Toggle MVCC snapshots; returns the previous value."""
+    global is_enabled
+    previous = is_enabled
+    is_enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Scoped ablation: ``with mvcc.disabled(): ...``"""
+    previous = set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+class MVCCError(DatabaseError):
+    """A read view was acquired or used illegally (mid-batch, inside an
+    open transaction, after close, or with MVCC ablated)."""
+
+
+class MVCCManager:
+    """Per-database registry of open views and copy-on-write overlays.
+
+    Owned by :class:`TemporalDatabase` (``db.mvcc``); the mutation
+    entry points call the ``before_*`` hooks, the serving layer calls
+    :meth:`acquire`.  All methods assume the single-writer discipline
+    the engine already has (one thread / one event loop mutates).
+    """
+
+    __slots__ = (
+        "_db",
+        "_clock",
+        "_views",
+        "_max_ticket",
+        "_object_versions",
+        "_class_versions",
+    )
+
+    def __init__(self, db: "TemporalDatabase") -> None:
+        self._db = db
+        self._clock = 0
+        #: Open tickets, ascending insertion order (dict as ordered set).
+        self._views: dict[int, "ReadView"] = {}
+        self._max_ticket = 0
+        self._object_versions: dict["OID", list[tuple[int, Any]]] = {}
+        self._class_versions: dict[str, list[tuple[int, Any]]] = {}
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether any view is open (hooks are no-ops otherwise)."""
+        return bool(self._views)
+
+    @property
+    def open_views(self) -> int:
+        return len(self._views)
+
+    def acquire(self) -> "ReadView":
+        """Open a consistent read view over the current state."""
+        if not is_enabled:
+            raise MVCCError("MVCC snapshots are ablated (REPRO_NO_MVCC)")
+        db = self._db
+        if db.in_batch:
+            raise MVCCError(
+                "cannot acquire a read view inside an open batch: "
+                "deferred maintenance leaves generations behind the data"
+            )
+        journal = db.journal
+        if (journal is not None and journal.in_transaction) or getattr(
+            db, "_txn_active", False
+        ):
+            raise MVCCError(
+                "cannot acquire a read view inside an open transaction: "
+                "a rollback would rewind state under the view"
+            )
+        self._clock += 1
+        ticket = self._clock
+        view = ReadView(self, ticket)
+        self._views[ticket] = view
+        self._max_ticket = ticket
+        global _ACTIVE_VIEWS
+        _ACTIVE_VIEWS += 1
+        _VIEWS.add()
+        return view
+
+    def _release(self, ticket: int) -> None:
+        if self._views.pop(ticket, None) is None:
+            return
+        global _ACTIVE_VIEWS
+        _ACTIVE_VIEWS -= 1
+        if not self._views:
+            # No reader can ever need an overlay entry again.
+            self._object_versions.clear()
+            self._class_versions.clear()
+            self._max_ticket = 0
+            return
+        self._max_ticket = max(self._views)
+        oldest = min(self._views)
+        self._prune(self._object_versions, oldest)
+        self._prune(self._class_versions, oldest)
+
+    @staticmethod
+    def _prune(store: dict, oldest: int) -> None:
+        """Drop overlay entries no open ticket can reach.
+
+        Entries are ascending in ``valid_through`` and a read takes the
+        *first* entry ``>= ticket``, so everything strictly below the
+        oldest open ticket is dead weight.
+        """
+        dead = []
+        for key, entries in store.items():
+            keep = [e for e in entries if e[0] >= oldest]
+            if keep:
+                if len(keep) != len(entries):
+                    store[key] = keep
+            else:
+                dead.append(key)
+        for key in dead:
+            del store[key]
+
+    # -- writer-side hooks ------------------------------------------------
+
+    def before_object_change(self, oid: "OID") -> None:
+        """Capture *oid*'s pre-image if an open view still needs it."""
+        if not self._views:
+            return
+        store = self._object_versions.setdefault(oid, [])
+        if store and store[-1][0] >= self._max_ticket:
+            return  # the newest open view is already covered
+        live = self._db._objects.get(oid)
+        if live is None:
+            return
+        store.append((self._max_ticket, _copy.deepcopy(live)))
+        _COPIES.add()
+
+    def before_class_change(self, name: str) -> None:
+        """Capture class *name*'s pre-image (signature + extent
+        history) if an open view still needs it."""
+        if not self._views:
+            return
+        store = self._class_versions.setdefault(name, [])
+        if store and store[-1][0] >= self._max_ticket:
+            return
+        live = self._db._classes.get(name)
+        if live is None:
+            return
+        store.append((self._max_ticket, _copy.deepcopy(live)))
+        _COPIES.add()
+
+    def before_extent_change(self, class_name: str) -> None:
+        """Capture the pre-image of every class whose extent the
+        operation will touch: *class_name* and all its superclasses."""
+        if not self._views:
+            return
+        for ancestor in self._db._isa.superclasses(class_name):
+            self.before_class_change(ancestor)
+
+    # -- reads ------------------------------------------------------------
+
+    def object_at(self, oid: "OID", ticket: int) -> "TemporalObject | None":
+        entries = self._object_versions.get(oid)
+        if entries:
+            for valid_through, snapshot in entries:
+                if valid_through >= ticket:
+                    _OVERLAY_READS.add()
+                    return snapshot
+        return self._db._objects.get(oid)
+
+    def class_at(self, name: str, ticket: int) -> "ClassSignature | None":
+        entries = self._class_versions.get(name)
+        if entries:
+            for valid_through, snapshot in entries:
+                if valid_through >= ticket:
+                    _OVERLAY_READS.add()
+                    return snapshot
+        return self._db._classes.get(name)
+
+    def stats(self) -> dict:
+        """Overlay occupancy (for ``repro stats`` / debugging)."""
+        return {
+            "open_views": len(self._views),
+            "object_overlays": sum(
+                len(v) for v in self._object_versions.values()
+            ),
+            "class_overlays": sum(
+                len(v) for v in self._class_versions.values()
+            ),
+        }
+
+
+class ReadView:
+    """One pinned, consistent view of the database.
+
+    Use as a context manager (or call :meth:`close`)::
+
+        with db.mvcc.acquire() as view:
+            oids = view.execute("select employee where salary > 2000")
+
+    ``version`` is the pinned ``(now, generation, op count)`` vector;
+    ``ticket`` the MVCC ordering key.  :meth:`execute` runs on the live
+    database (full planner/caches) while nothing has changed, and
+    through the overlay proxy once a writer has advanced.
+    """
+
+    __slots__ = (
+        "_mgr",
+        "ticket",
+        "now",
+        "version",
+        "_next_serial",
+        "_class_names",
+        "_proxy",
+        "closed",
+    )
+
+    def __init__(self, mgr: MVCCManager, ticket: int) -> None:
+        db = mgr._db
+        self._mgr = mgr
+        self.ticket = ticket
+        #: The pinned clock reading; every read under the view anchors
+        #: its temporal scopes here, whatever the live clock does.
+        self.now = db.now
+        #: The pinned ``(now, generation, op count)`` state vector.
+        self.version = db._state_version()
+        self._next_serial = db._oids.next_serial
+        self._class_names = frozenset(db._classes)
+        self._proxy: "_ViewDatabase | None" = None
+        self.closed = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._mgr._release(self.ticket)
+
+    def __enter__(self) -> "ReadView":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    @property
+    def stale(self) -> bool:
+        """Whether a writer has advanced since acquisition."""
+        return self._mgr._db._state_version() != self.version
+
+    @property
+    def db(self) -> Any:
+        """The database-like object reads under this view must use."""
+        if self.closed:
+            raise MVCCError("read view is closed")
+        if not self.stale:
+            return self._mgr._db
+        if self._proxy is None:
+            self._proxy = _ViewDatabase(self)
+        return self._proxy
+
+    # -- reads ------------------------------------------------------------
+
+    def execute(self, query: "Query | str") -> list["OID"]:
+        """Evaluate *query* (text or AST) at this view's version."""
+        from repro.query.evaluator import evaluate
+        from repro.query.parser import parse_query
+
+        if isinstance(query, str):
+            query = parse_query(query)
+        return evaluate(self.db, query)
+
+    def get_object(self, oid: "OID") -> "TemporalObject":
+        db = self.db
+        return db.get_object(oid)
+
+    def snapshot_at(self, oid: "OID", t: int | None = None):
+        return self.db.snapshot_at(oid, self.now if t is None else t)
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else (
+            "overlay" if self.stale else "live"
+        )
+        return (
+            f"ReadView(ticket={self.ticket}, now={self.now}, {state})"
+        )
+
+
+class _ViewDatabase:
+    """The overlay-reading stand-in for :class:`TemporalDatabase`.
+
+    Implements the :class:`~repro.types.context.TypeContext` protocol
+    plus the evaluator surface (``get_class`` / ``get_object`` /
+    ``objects`` / ``anchor_extent`` / ``membership_times`` / ...),
+    resolving every structure through the manager's overlays at the
+    view's ticket.  ``caches = None`` tells the planner to take the
+    scan path and the scatter-gather layer to stand down -- both treat
+    a cache-less database as "no index layer" by contract.
+    """
+
+    #: No index/cache layer: the planner's documented scan signal.
+    caches = None
+
+    __slots__ = ("_view", "_mgr", "_live")
+
+    def __init__(self, view: ReadView) -> None:
+        self._view = view
+        self._mgr = view._mgr
+        self._live = view._mgr._db
+
+    # -- time -------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self._view.now
+
+    @property
+    def current_time(self) -> int | None:
+        return self._view.now
+
+    # -- schema -----------------------------------------------------------
+
+    @property
+    def isa(self):
+        # The ISA DAG only grows (class definition adds fresh names;
+        # drops close lifespans without retracting edges), so the live
+        # hierarchy restricted to the pinned class-name set is exact.
+        return self._live._isa
+
+    def get_class(self, name: str) -> "ClassSignature":
+        if name not in self._view._class_names:
+            raise UnknownClassError(f"class {name!r} is not defined")
+        cls = self._mgr.class_at(name, self._view.ticket)
+        if cls is None:  # pragma: no cover -- classes are never removed
+            raise UnknownClassError(f"class {name!r} is not defined")
+        return cls
+
+    def known_class(self, name: str) -> bool:
+        return name in self._view._class_names
+
+    def class_names(self) -> tuple[str, ...]:
+        return tuple(self._view._class_names)
+
+    def classes(self) -> Iterator["ClassSignature"]:
+        for name in self._view._class_names:
+            yield self.get_class(name)
+
+    # -- objects ----------------------------------------------------------
+
+    def _lookup(self, oid: "OID") -> "TemporalObject | None":
+        if oid.serial >= self._view._next_serial:
+            return None  # born after the view
+        return self._mgr.object_at(oid, self._view.ticket)
+
+    def get_object(self, oid: "OID") -> "TemporalObject":
+        obj = self._lookup(oid)
+        if obj is None:
+            raise UnknownObjectError(f"no object with oid {oid!r}")
+        return obj
+
+    def objects(self) -> Iterator["TemporalObject"]:
+        watermark = self._view._next_serial
+        ticket = self._view.ticket
+        for oid in list(self._live._objects):
+            if oid.serial >= watermark:
+                continue
+            obj = self._mgr.object_at(oid, ticket)
+            if obj is not None:
+                yield obj
+
+    def __contains__(self, oid: object) -> bool:
+        try:
+            return self._lookup(oid) is not None  # type: ignore[arg-type]
+        except AttributeError:
+            return False
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.objects())
+
+    # -- extents / TypeContext --------------------------------------------
+
+    def pi(self, class_name: str, t: int) -> frozenset["OID"]:
+        cls = self.get_class(class_name)
+        return cls.history.members_at(t)
+
+    #: The evaluator anchors scans here; identical to pi for a view.
+    anchor_extent = pi
+
+    def extent(self, class_name: str, t: int) -> frozenset["OID"]:
+        if class_name not in self._view._class_names:
+            return frozenset()
+        return self.pi(class_name, t)
+
+    def membership_times(
+        self, class_name: str, oid: "OID"
+    ) -> "IntervalSet":
+        from repro.temporal.intervalsets import IntervalSet
+
+        if class_name not in self._view._class_names:
+            return IntervalSet.empty()
+        cls = self.get_class(class_name)
+        return cls.history.member_times(oid, self._view.now)
+
+    def ever_member(self, class_name: str, oid: "OID") -> bool:
+        if class_name not in self._view._class_names:
+            return False
+        return oid in self.get_class(class_name).history.ever_members()
+
+    def member_throughout(
+        self, class_name: str, oid: "OID", times: "IntervalSet"
+    ) -> bool:
+        return times.issubset(self.membership_times(class_name, oid))
+
+    def classes_of(self, oid: "OID") -> tuple[str, ...]:
+        obj = self._lookup(oid)
+        if obj is None:
+            return ()
+        current = obj.most_specific_class(self._view.now)
+        if current is not None:
+            return tuple(self.isa.superclasses(current))
+        names: set[str] = set()
+        for _interval, class_name in obj.class_history.pairs():
+            names.update(self.isa.superclasses(class_name))
+        return tuple(names)
+
+    def snapshot_at(self, oid: "OID", t: int | None = None):
+        from repro.objects.state import snapshot as take_snapshot
+
+        instant = self._view.now if t is None else t
+        return take_snapshot(self.get_object(oid), instant, self._view.now)
+
+    def __repr__(self) -> str:
+        return f"_ViewDatabase({self._view!r})"

@@ -71,6 +71,10 @@ class Transaction:
         journal = getattr(self._db, "journal", None)
         if journal is not None:
             journal.begin()
+        # MVCC read views must not open while we can still roll back
+        # (the overlays cannot describe a state rewind mid-view).
+        if hasattr(self._db, "_txn_active"):
+            self._db._txn_active = True
         return self
 
     def commit(self) -> None:
@@ -94,6 +98,8 @@ class Transaction:
         journal = getattr(self._db, "journal", None)
         if journal is not None and journal.in_transaction:
             journal.commit()
+        if hasattr(self._db, "_txn_active"):
+            self._db._txn_active = False
         self._backup = None
 
     def rollback(self) -> None:
@@ -110,6 +116,8 @@ class Transaction:
             # below; tell the batch to close by dropping its deferred
             # events instead of reconciling them.
             batch.mark_rolled_back()
+        if hasattr(self._db, "_txn_active"):
+            self._db._txn_active = False
         self._db.clock = self._backup["clock"]
         self._db._isa = self._backup["isa"]
         self._db._classes = self._backup["classes"]

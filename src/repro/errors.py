@@ -199,6 +199,23 @@ class ReplicaWriteError(ReplicationError):
     """A write operation was attempted on a read-only replica."""
 
 
+class ServerError(DatabaseError):
+    """The serving layer refused or failed a request (admission control,
+    draining, a malformed session command, or a dead server process).
+
+    ``kind`` names the originating exception class when the error was
+    relayed over the wire; ``retry`` is true exactly when the request
+    was refused rather than failed, so a client may safely resend it.
+    """
+
+    def __init__(
+        self, message: str, kind: str = "ServerError", retry: bool = False
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.retry = retry
+
+
 class SubscriberError(DatabaseError):
     """One or more event subscribers raised.  Raised *after* every
     subscriber has been notified, so a failing observer can no longer

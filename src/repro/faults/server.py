@@ -1,0 +1,288 @@
+"""Server crash trials: kill the process between commit and ack.
+
+The serving layer's durability contract is *acked implies durable*:
+a client that received an ``ok`` response for a write must find that
+write after the server restarts, while a write whose acknowledgement
+never arrived may land either way -- present (the crash hit between
+the group-commit barrier and the socket write) or absent (the crash
+hit before the barrier) -- but never torn.
+
+:func:`run_server_trial` drives one deterministic experiment:
+
+1. start a real ``repro serve`` subprocess on a fresh durability
+   directory, with one of the crash knobs armed:
+   ``REPRO_SERVER_CRASH_BEFORE_WRITES=k`` (die before applying the
+   k-th write) or ``REPRO_SERVER_CRASH_AFTER_WRITES=k`` (die after
+   the k-th write's durability barrier, before its ack);
+2. run the shared fault-harness workload
+   (:func:`repro.faults.harness._next_op`) over the wire, mirroring
+   every *acknowledged* op into a local oracle database;
+3. when the connection dies, assert the process exited through the
+   armed crash point, recover the directory read-only, and compare it
+   (Def. 5.10 equivalence, the harness's ``_compare``) against the
+   acked oracle -- optionally extended by the one in-flight op;
+4. restart the server on the same directory and verify a reconnecting
+   client gets clean service: ping, a query, and -- when the in-flight
+   op turned out lost -- a successful retry that converges the server
+   onto the extended oracle.
+
+``tests/test_server_faults.py`` sweeps seeds; CI runs the matrix at
+``SERVER_FAULT_TRIALS=200``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.database.database import TemporalDatabase
+from repro.database.recovery import recover
+from repro.errors import ServerError, TChimeraError
+from repro.faults.harness import (
+    _compare,
+    _next_op,
+    _note_applied,
+    _schema_ops,
+    _WorkloadState,
+    apply_op,
+)
+from repro.server.client import ServerClient
+
+#: Exit codes the armed crash points use (see server.py); anything
+#: else means the process died some other way and the trial fails.
+CRASH_BEFORE_EXIT = 42
+CRASH_AFTER_EXIT = 43
+
+
+@dataclass
+class ServerTrialResult:
+    """Outcome of one server crash trial."""
+
+    seed: int
+    crash_kind: str = ""
+    crash_at: int = 0
+    #: ops acknowledged over the wire before the crash.
+    acked_ops: int = 0
+    #: the op whose ack never arrived, if any.
+    inflight: tuple | None = None
+    #: True/False once recovery settled which way the in-flight op
+    #: landed; None when there was no in-flight op.
+    inflight_present: bool | None = None
+    #: the in-flight op was retried on the restarted server.
+    retried: bool = False
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def _spawn(directory: str, extra_env: dict | None = None):
+    """Start ``repro serve`` on *directory*; returns (proc, host, port)."""
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_SERVER_CRASH_BEFORE_WRITES", None)
+    env.pop("REPRO_SERVER_CRASH_AFTER_WRITES", None)
+    if extra_env:
+        env.update(extra_env)
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            directory,
+            "--port",
+            "0",
+            "--read-workers",
+            "1",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            if proc.poll() is not None:
+                raise ServerError(
+                    f"server died at startup (exit {proc.returncode})"
+                )
+            continue
+        if line.startswith("listening on "):
+            host, port = line.split()[-1].rsplit(":", 1)
+            return proc, host, int(port)
+    proc.kill()
+    raise ServerError("server never printed its endpoint")
+
+
+def _connect(host: str, port: int, timeout: float = 10.0) -> ServerClient:
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return ServerClient.connect(host, port, timeout=30.0)
+        except OSError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.05)
+
+
+def _build_oracle(ops: list[tuple]) -> TemporalDatabase:
+    """Replay *ops* into a fresh in-memory database."""
+    db = TemporalDatabase()
+    for op in ops:
+        try:
+            apply_op(db, op)
+        except TChimeraError:
+            # The server refused it too (same state, same engine).
+            pass
+    return db
+
+
+def run_server_trial(seed: int, n_ops: int = 24) -> ServerTrialResult:
+    """One deterministic crash-between-commit-and-ack experiment."""
+    rng = random.Random(seed)
+    # Leave slack below n_ops: a few workload ops may be engine-refused
+    # and refusals don't advance the server's applied-write counter.
+    crash_at = rng.randint(5, max(6, n_ops - 6))
+    crash_kind = rng.choice(("before", "after"))
+    knob = (
+        "REPRO_SERVER_CRASH_BEFORE_WRITES"
+        if crash_kind == "before"
+        else "REPRO_SERVER_CRASH_AFTER_WRITES"
+    )
+    result = ServerTrialResult(
+        seed=seed, crash_kind=crash_kind, crash_at=crash_at
+    )
+
+    with tempfile.TemporaryDirectory() as directory:
+        proc, host, port = _spawn(directory, {knob: str(crash_at)})
+        client = _connect(host, port)
+
+        # The mirror does double duty: workload generator state and
+        # acked-ops oracle (its serials track the server's exactly, so
+        # generated ops reference oids both sides agree on).
+        state = _WorkloadState(random.Random(seed * 31 + 7))
+        acked: list[tuple] = []
+        inflight: tuple | None = None
+        pending = list(_schema_ops())
+        mirror = _build_oracle([])
+        try:
+            for _ in range(n_ops):
+                op = pending.pop(0) if pending else _next_op(state, mirror)
+                inflight = op
+                try:
+                    client.execute(op)
+                except ServerError as exc:
+                    if exc.kind == "ConnectionError":
+                        break  # the armed crash fired
+                    # The engine refused the op; the oracle replay
+                    # will refuse it identically.  Not in flight.
+                    inflight = None
+                    acked.append(op)
+                    continue
+                inflight = None
+                acked.append(op)
+                try:
+                    op_result = apply_op(mirror, op)
+                except TChimeraError:
+                    op_result = None
+                _note_applied(state, op, op_result)
+                if state.rng.random() < 0.2:
+                    try:
+                        client.query("select employee where salary > 1500")
+                    except ServerError as exc:
+                        if exc.kind == "ConnectionError":
+                            inflight = None
+                            break
+                        # e.g. the class is not defined yet: the read
+                        # failed, the write path is unaffected.
+            else:
+                result.problems.append(
+                    f"crash point {crash_kind}:{crash_at} never fired "
+                    f"in {n_ops} ops"
+                )
+        finally:
+            client.close_socket()
+
+        exit_code = proc.wait(timeout=30)
+        expected = (
+            CRASH_BEFORE_EXIT if crash_kind == "before" else CRASH_AFTER_EXIT
+        )
+        if not result.problems and exit_code != expected:
+            result.problems.append(
+                f"server exited {exit_code}, expected {expected}"
+            )
+        result.acked_ops = len(acked)
+        result.inflight = inflight
+
+        # -- recovery oracle ------------------------------------------
+        recovered, report = recover(directory)
+        if not report.ok or recovered is None:
+            result.problems.append("recovery failed outright")
+            return result
+        oracle_acked = _build_oracle(acked)
+        base_problems = _compare(recovered, oracle_acked)
+        if inflight is None:
+            result.problems.extend(base_problems)
+        elif not base_problems:
+            result.inflight_present = False
+        else:
+            oracle_plus = _build_oracle(acked + [inflight])
+            plus_problems = _compare(recovered, oracle_plus)
+            if plus_problems:
+                result.problems.append(
+                    "recovered state matches neither oracle: "
+                    + "; ".join((base_problems + plus_problems)[:4])
+                )
+            else:
+                result.inflight_present = True
+
+        # -- clean retry on a restarted server ------------------------
+        proc2, host2, port2 = _spawn(directory)
+        try:
+            client2 = _connect(host2, port2)
+            try:
+                if not client2.ping():
+                    result.problems.append("restarted server failed ping")
+                client2.query("select person")
+                if inflight is not None and result.inflight_present is False:
+                    try:
+                        client2.execute(inflight)
+                        result.retried = True
+                    except ServerError as exc:
+                        if exc.kind == "ConnectionError":
+                            result.problems.append(
+                                "retry killed the restarted server"
+                            )
+                        else:
+                            # The engine may legitimately refuse the
+                            # retry only if the oracle refuses it too.
+                            try:
+                                apply_op(_build_oracle(acked), inflight)
+                            except TChimeraError:
+                                result.retried = True
+                            else:
+                                result.problems.append(
+                                    f"clean retry refused: {exc}"
+                                )
+            finally:
+                client2.close()
+        finally:
+            proc2.terminate()
+            try:
+                proc2.wait(timeout=15)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc2.kill()
+                proc2.wait(timeout=15)
+
+    return result

@@ -28,11 +28,16 @@ from repro.obs import histograms, slowlog, spans
 
 def stats_dict(include_slow: bool = True) -> dict:
     """Everything the registries know, as one JSON-friendly dict."""
+    # Late import: the server package imports obs for request/session
+    # spans; a top-level import would close that cycle.
+    from repro.server import server as server_mod
+
     data: dict = {
         "obs_enabled": spans.is_enabled,
         "counters": perf_counters.stats(),
         "histograms": histograms.histogram_stats(),
         "slow_threshold_us": slowlog.threshold_us,
+        "server": server_mod.stats(),
     }
     if include_slow:
         data["slow_ops"] = slowlog.slow_ops()
@@ -142,6 +147,25 @@ def prom_text() -> str:
         lines.append(f"# HELP {family} {help_text}")
         lines.append(f"# TYPE {family} gauge")
         lines.append(f"{family} {cache[field]}")
+
+    # Serving-layer gauges: live session/view occupancy and refusals.
+    from repro.server import server as server_mod
+
+    serving = server_mod.stats()
+    for field, help_text in (
+        ("sessions_active", "Client sessions currently connected."),
+        ("sessions_total", "Client sessions accepted since start."),
+        ("active_views", "MVCC read views currently open."),
+        (
+            "admission_rejections",
+            "Requests refused by admission control or draining.",
+        ),
+        ("inflight_reads", "Reads currently executing or dispatched."),
+    ):
+        family = f"repro_server_{field}"
+        lines.append(f"# HELP {family} {help_text}")
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {serving[field]}")
 
     lines.append(
         "# HELP repro_span_duration_us Span wall time by span kind "

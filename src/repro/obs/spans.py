@@ -40,7 +40,7 @@ from repro.perf.counters import metric
 
 from repro.obs.histograms import histogram
 
-#: The twenty-one instrumented boundaries.  ``docs/observability.md``
+#: The twenty-three instrumented boundaries.  ``docs/observability.md``
 #: documents each one; ``tools/check_docs_drift.py`` validates doc
 #: references against this tuple.
 KINDS = (
@@ -65,6 +65,8 @@ KINDS = (
     "segment.spill",
     "segment.load",
     "segment.evict",
+    "server.request",
+    "server.session",
 )
 
 _TRUTHY = ("1", "true", "yes", "on")

@@ -1,0 +1,137 @@
+"""A blocking socket client for the serving layer.
+
+Synchronous on purpose: the fault harness, the benchmark workers, and
+the property tests all drive the server from plain threads or
+subprocesses, where a one-socket-one-thread blocking client is the
+simplest correct thing.  Each request writes one JSON line and reads
+one JSON line back (the server answers a session's requests in order).
+
+::
+
+    client = ServerClient.connect(host, port)
+    oids = client.query("select employee where salary > 2000")
+    client.execute(("update", oids[0], "salary", 2800.0))
+    client.close()
+
+Server-side failures surface as :class:`~repro.errors.ServerError`
+with ``kind`` naming the engine exception class and ``retry`` set when
+the request was refused (admission control / draining) rather than
+failed.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.errors import ServerError
+from repro.server import protocol
+
+
+class ServerClient:
+    """One blocking protocol session over a TCP socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._file = sock.makefile("rb")
+        self._next_id = 0
+
+    @classmethod
+    def connect(
+        cls, host: str, port: int, timeout: float = 30.0
+    ) -> "ServerClient":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.settimeout(timeout)
+        return cls(sock)
+
+    # -- request plumbing -------------------------------------------------
+
+    def request(self, message: dict) -> Any:
+        """Send one raw protocol message; return the ``result`` field.
+
+        Raises :class:`ServerError` on an ``ok: false`` response or a
+        closed connection.
+        """
+        self._next_id += 1
+        message = dict(message, id=self._next_id)
+        try:
+            self._sock.sendall(protocol.dump_line(message))
+            raw = self._file.readline()
+        except (ConnectionError, OSError) as exc:
+            raise ServerError(
+                f"connection lost: {exc}", kind="ConnectionError"
+            ) from exc
+        if not raw:
+            raise ServerError(
+                "connection closed by server", kind="ConnectionError"
+            )
+        response = protocol.parse_line(raw)
+        if not response.get("ok"):
+            raise ServerError(
+                response.get("error", "unknown server error"),
+                kind=response.get("kind", "ServerError"),
+                retry=bool(response.get("retry")),
+            )
+        return response.get("result")
+
+    # -- commands ---------------------------------------------------------
+
+    def ping(self) -> bool:
+        return self.request({"cmd": "ping"}) == "pong"
+
+    def query(self, text: str) -> list:
+        """Evaluate a SELECT; returns the matching oids (decoded)."""
+        result = self.request({"cmd": "query", "q": text})
+        return [protocol.decode_result(o) for o in result["oids"]]
+
+    def query_raw(self, text: str) -> dict:
+        """Evaluate a SELECT; returns the raw result envelope
+        (``oids`` still wire-encoded, plus ``count`` and ``now``)."""
+        return self.request({"cmd": "query", "q": text})
+
+    def execute(self, op: tuple) -> Any:
+        """Apply one logical write operation (see
+        :func:`repro.faults.harness.apply_op` for the vocabulary)."""
+        result = self.request(
+            {"cmd": "exec", "op": protocol.encode_op(op)}
+        )
+        return protocol.decode_result(result)
+
+    def begin(self) -> None:
+        self.request({"cmd": "begin"})
+
+    def commit(self) -> None:
+        self.request({"cmd": "commit"})
+
+    def rollback(self) -> None:
+        self.request({"cmd": "rollback"})
+
+    def stats(self) -> dict:
+        return self.request({"cmd": "stats"})
+
+    def close(self) -> None:
+        try:
+            self.request({"cmd": "close"})
+        except ServerError:
+            pass
+        finally:
+            self.close_socket()
+
+    def close_socket(self) -> None:
+        """Drop the connection without the protocol goodbye (used by
+        the fault harness to model an abrupt client death)."""
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

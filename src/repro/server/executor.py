@@ -1,0 +1,218 @@
+"""Snapshot read executor: forked worker processes serving queries.
+
+CPython's GIL means in-process threads cannot evaluate two queries at
+once, so concurrent read throughput needs processes.  The executor
+forks a small pool of workers -- the child inherits the whole database
+as an operating-system copy-on-write snapshot, the same trick
+:mod:`repro.database.parallel` uses for scatter-gather -- and pins the
+fork to the database's ``(now, generation, op count)`` state version.
+A query dispatched to a version-matched executor therefore computes
+against exactly the acquirer's :class:`~repro.database.mvcc.ReadView`
+state, off the event loop, on another core, with the full
+planner/index/cache stack warm in the child.
+
+Differences from the scatter-gather pool (which splits *one* query
+across partitions): this pool runs *many whole queries* concurrently,
+so result frames must route back to per-request futures.  A dedicated
+dispatcher thread drains the result queue and resolves futures on the
+event loop via ``call_soon_threadsafe`` -- the asyncio-safe analogue
+of the pool's task-id frame discipline.
+
+When a writer advances the state version the executor is *retired*:
+new forks serve new requests while in-flight results on the old pool
+drain, after which its workers are released.  Group commit keeps the
+respawn rate at one per commit batch, not one per write.
+
+Workers are strictly read-only: the child drops the journal reference,
+disables scatter-gather (its inherited pool handles belong to the
+parent) and tracing, and ships results as encoded values so the parent
+never touches child object graphs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing
+import threading
+from typing import TYPE_CHECKING, Any
+
+from repro import perf
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.database.database import TemporalDatabase
+
+_FORKS = perf.metric("server.executor_forks")
+_EXEC_QUERIES = perf.metric("server.executor_queries")
+
+_ids = itertools.count(1)
+
+
+def fork_available() -> bool:
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover
+        return False
+
+
+def _worker_main(db: "TemporalDatabase", tasks, results) -> None:
+    """Worker loop: evaluate whole queries against the forked snapshot."""
+    from repro.database import parallel
+    from repro.database.persistence import encode_value
+    from repro.obs import spans as obs
+    from repro.query.evaluator import evaluate
+    from repro.query.parser import parse_query
+
+    obs.set_enabled(False)
+    # The inherited scatter-gather pool handles belong to the parent
+    # process; using them from here would steal the parent's frames.
+    parallel.set_enabled(False)
+    db._parallel_pool = None
+    # Read-only discipline: a worker must never append to the journal.
+    db._journal = None
+    while True:
+        task = tasks.get()
+        if task is None:
+            return
+        task_id, text = task
+        try:
+            oids = evaluate(db, parse_query(text))
+            results.put(
+                (task_id, True, [encode_value(oid) for oid in oids])
+            )
+        except Exception as exc:
+            results.put(
+                (task_id, False, (type(exc).__name__, str(exc)))
+            )
+
+
+class SnapshotExecutor:
+    """One forked, version-pinned pool of query evaluators."""
+
+    def __init__(self, db: "TemporalDatabase", workers: int) -> None:
+        if workers < 1:
+            raise ValueError("executor needs at least one worker")
+        ctx = multiprocessing.get_context("fork")
+        #: The state vector the forked snapshots hold.
+        self.version = db._state_version()
+        self._tasks = ctx.Queue()
+        self._results = ctx.Queue()
+        self._pending: dict[int, tuple[asyncio.Future, Any]] = {}
+        self._lock = threading.Lock()
+        self._retired = False
+        self._closed = False
+        self._procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(db, self._tasks, self._results),
+                daemon=True,
+                name=f"repro-server-reader-{index}",
+            )
+            for index in range(workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+        _FORKS.add(workers)
+        self._dispatcher = threading.Thread(
+            target=self._drain, daemon=True,
+            name="repro-server-dispatch",
+        )
+        self._dispatcher.start()
+
+    # -- parent side ------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return not self._closed and all(p.is_alive() for p in self._procs)
+
+    @property
+    def inflight(self) -> int:
+        return len(self._pending)
+
+    async def run(self, query_text: str) -> list:
+        """Evaluate *query_text* on a worker; returns encoded oids."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        task_id = next(_ids)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("executor is closed")
+            self._pending[task_id] = (future, loop)
+        self._tasks.put((task_id, query_text))
+        _EXEC_QUERIES.add()
+        return await future
+
+    def retire(self) -> None:
+        """Stop accepting work; release workers once in-flight drains."""
+        with self._lock:
+            if self._retired or self._closed:
+                return
+            self._retired = True
+            idle = not self._pending
+        if idle:
+            self.close()
+
+    def close(self) -> None:
+        """Release the workers and fail whatever is still pending."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for _ in self._procs:
+            try:
+                self._tasks.put_nowait(None)
+            except Exception:  # pragma: no cover -- queue torn down
+                break
+        try:
+            self._results.put_nowait(None)  # unblock the dispatcher
+        except Exception:  # pragma: no cover
+            pass
+        for future, loop in pending:
+            loop.call_soon_threadsafe(
+                _fail, future, RuntimeError("executor closed")
+            )
+
+    # -- dispatcher thread ------------------------------------------------
+
+    def _drain(self) -> None:
+        while True:
+            frame = self._results.get()
+            if frame is None:
+                return
+            task_id, ok, payload = frame
+            with self._lock:
+                entry = self._pending.pop(task_id, None)
+                drained = self._retired and not self._pending
+            if entry is not None:
+                future, loop = entry
+                if ok:
+                    loop.call_soon_threadsafe(_resolve, future, payload)
+                else:
+                    kind, text = payload
+                    loop.call_soon_threadsafe(
+                        _fail, future, QueryWorkerError(kind, text)
+                    )
+            if drained:
+                self.close()
+                return
+
+
+class QueryWorkerError(Exception):
+    """A query raised inside a snapshot worker."""
+
+    def __init__(self, kind: str, text: str) -> None:
+        super().__init__(f"{kind}: {text}")
+        self.kind = kind
+        self.text = text
+
+
+def _resolve(future: asyncio.Future, payload: Any) -> None:
+    if not future.done():
+        future.set_result(payload)
+
+
+def _fail(future: asyncio.Future, exc: Exception) -> None:
+    if not future.done():
+        future.set_exception(exc)

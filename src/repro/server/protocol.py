@@ -1,0 +1,167 @@
+"""The wire protocol: newline-delimited JSON over a byte stream.
+
+One request per line, one response per line, UTF-8.  Requests carry a
+client-chosen ``id`` echoed back on the response, a ``cmd``, and
+command-specific fields::
+
+    {"id": 1, "cmd": "query", "q": "select employee where salary > 2000"}
+    {"id": 1, "ok": true, "result": {"oids": [...], "count": 2, "now": 7}}
+
+Commands
+--------
+``query``     evaluate a SELECT (``q``) under a per-request read view;
+``exec``      apply one logical write operation (``op``, see below);
+``begin`` / ``commit`` / ``rollback``
+              session transaction control (holds the global writer
+              lock while open -- see docs/server.md);
+``ping``      liveness probe;
+``stats``     the server's gauge/counter snapshot;
+``close``     orderly goodbye (the server acks, then closes).
+
+Errors come back as ``{"id": ..., "ok": false, "error": "...",
+"kind": "<ExceptionClass>", "retry": <bool>}``; ``retry`` is true
+exactly when the request was *refused* (admission control, draining)
+rather than *failed*, so a client may safely resend it.
+
+Write operations (``exec``) reuse the logical-operation vocabulary of
+the fault harness (:func:`repro.faults.harness.apply_op`) -- the same
+tuples the crash trials replay -- with every model value passed through
+:func:`repro.database.persistence.encode_value` /
+:func:`~repro.database.persistence.decode_value`, so oids, nulls, sets
+and records survive the JSON trip::
+
+    ["create", "employee", {"name": "ann", "salary": 2500.0}]
+    ["update", {"$kind": "oid", ...}, "salary", 2800.0]
+    ["tick", 1]
+
+This module is dependency-light on purpose: both the asyncio server
+and the blocking client import it, and the fault harness drives a
+subprocess server through it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.database.persistence import decode_value, encode_value
+from repro.errors import DatabaseError
+
+#: Requests larger than this are refused (one line must fit in memory
+#: comfortably; a legitimate request is a query string or one op).
+MAX_LINE_BYTES = 1 << 20
+
+#: Op kinds whose oid-positions/value-positions need decoding, mapped
+#: to ``(oid indexes, value indexes)`` within the argument list.
+_OP_KINDS = {
+    "tick": ((), ()),
+    "define_class": ((), ()),
+    "add_attribute": ((), ()),
+    "remove_attribute": ((), ()),
+    "drop_class": ((), ()),
+    "create": ((), (1,)),          # payload mapping at index 1
+    "update": ((0,), (2,)),
+    "migrate": ((0,), (2,)),       # payload mapping at index 2
+    "delete": ((0,), ()),
+    "correct": ((0,), (4,)),
+}
+
+
+class ProtocolError(DatabaseError):
+    """A malformed frame, unknown command, or oversized request."""
+
+
+def dump_line(message: dict) -> bytes:
+    """Serialize one protocol message as a wire line."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def parse_line(raw: bytes) -> dict:
+    """Parse one wire line; raise :class:`ProtocolError` when invalid."""
+    if len(raw) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"request exceeds {MAX_LINE_BYTES} bytes"
+        )
+    try:
+        message = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed request line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("request must be a JSON object")
+    return message
+
+
+def encode_op(op: tuple) -> list:
+    """One logical operation tuple as its JSON wire form."""
+    kind = op[0]
+    if kind not in _OP_KINDS:
+        raise ProtocolError(f"unknown op kind {kind!r}")
+    oid_at, value_at = _OP_KINDS[kind]
+    encoded: list[Any] = [kind]
+    for index, arg in enumerate(op[1:]):
+        if index in oid_at:
+            encoded.append(encode_value(arg))
+        elif index in value_at:
+            if isinstance(arg, dict):
+                encoded.append(
+                    {name: encode_value(v) for name, v in arg.items()}
+                )
+            else:
+                encoded.append(encode_value(arg))
+        else:
+            encoded.append(arg)
+    return encoded
+
+
+def decode_op(payload: Any) -> tuple:
+    """The inverse of :func:`encode_op`: wire form back to an op tuple
+    ready for :func:`repro.faults.harness.apply_op`."""
+    if not isinstance(payload, list) or not payload:
+        raise ProtocolError("op must be a non-empty JSON array")
+    kind = payload[0]
+    if kind not in _OP_KINDS:
+        raise ProtocolError(f"unknown op kind {kind!r}")
+    oid_at, value_at = _OP_KINDS[kind]
+    decoded: list[Any] = [kind]
+    for index, arg in enumerate(payload[1:]):
+        if index in oid_at:
+            decoded.append(decode_value(arg))
+        elif index in value_at:
+            if isinstance(arg, dict) and "$kind" not in arg:
+                decoded.append(
+                    {name: decode_value(v) for name, v in arg.items()}
+                )
+            else:
+                decoded.append(decode_value(arg))
+        elif isinstance(arg, list):
+            # define_class parents/attribute spec lists arrive as JSON
+            # arrays; apply_op wants the original (nested) sequences.
+            decoded.append([
+                tuple(item) if isinstance(item, list) else item
+                for item in arg
+            ])
+        else:
+            decoded.append(arg)
+    if kind == "add_attribute" and isinstance(decoded[2], list):
+        decoded[2] = tuple(decoded[2])
+    return tuple(decoded)
+
+
+def encode_result(value: Any) -> Any:
+    """Encode one op result (oid, instant, None, ...) for the wire.
+
+    Results outside the value domain (e.g. ``define_class`` returns the
+    new :class:`~repro.schema.signature.ClassSignature`) travel as
+    their textual rendering -- the client wants the acknowledgement,
+    not the schema object.
+    """
+    if value is None:
+        return None
+    try:
+        return encode_value(value)
+    except Exception:
+        return str(value)
+
+
+def decode_result(value: Any) -> Any:
+    return decode_value(value) if value is not None else None

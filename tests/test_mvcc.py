@@ -1,0 +1,243 @@
+"""MVCC snapshot isolation: every read view equals a serial oracle.
+
+The property: a :class:`~repro.database.mvcc.ReadView` acquired at
+state S answers every query exactly as a database frozen at S would
+(Def. 5.10 equivalence), no matter how many writers advance the live
+database while the view is open.
+
+The concurrency harness runs N asyncio writer tasks (the shared
+fault-harness workload) against M reader tasks; each reader freezes a
+deep-copied oracle in the same event-loop step it acquires its view,
+then interleaves its queries with the writers and compares result
+sets.  ``MVCC_TRIALS`` widens the seed sweep (CI runs 200).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import copy
+import os
+import random
+
+import pytest
+
+from repro.database import mvcc
+from repro.database.database import TemporalDatabase
+from repro.database.transactions import Transaction
+from repro.errors import TChimeraError, UnknownClassError
+from repro.faults.harness import (
+    _next_op,
+    _note_applied,
+    _schema_ops,
+    _WorkloadState,
+    apply_op,
+)
+from repro.query.evaluator import evaluate
+from repro.query.parser import parse_query
+
+TRIALS = int(os.environ.get("MVCC_TRIALS", "6"))
+
+QUERIES = (
+    "select person",
+    "select employee",
+    "select employee where salary > 1500",
+    "select employee where dept = 'eng'",
+    "select manager",
+)
+
+
+def _freeze_oracle(db: TemporalDatabase) -> TemporalDatabase:
+    """A fresh database frozen at *db*'s current state (the
+    Transaction.begin snapshot pattern: one deepcopy call keeps
+    shared references shared)."""
+    frozen = copy.deepcopy(
+        {
+            "clock": db.clock,
+            "isa": db._isa,
+            "classes": db._classes,
+            "metaclasses": db._metaclasses,
+            "objects": db._objects,
+            "oids": db._oids,
+        }
+    )
+    oracle = TemporalDatabase()
+    oracle.clock = frozen["clock"]
+    oracle._isa = frozen["isa"]
+    oracle._classes = frozen["classes"]
+    oracle._metaclasses = frozen["metaclasses"]
+    oracle._objects = frozen["objects"]
+    oracle._oids = frozen["oids"]
+    return oracle
+
+
+def _result_set(db, query_text):
+    try:
+        return set(evaluate(db, parse_query(query_text)))
+    except UnknownClassError:
+        return "unknown-class"
+
+
+async def _run_trial(seed: int, n_writers: int = 2, n_readers: int = 3,
+                     writer_ops: int = 30) -> None:
+    db = TemporalDatabase()
+    for op in _schema_ops():
+        apply_op(db, op)
+    state = _WorkloadState(random.Random(seed * 31 + 7))
+    rng = random.Random(seed)
+    writers_done = 0
+
+    async def writer() -> None:
+        nonlocal writers_done
+        for _ in range(writer_ops):
+            op = _next_op(state, db)
+            try:
+                result = apply_op(db, op)
+            except TChimeraError:
+                continue
+            _note_applied(state, op, result)
+            await asyncio.sleep(0)
+        writers_done += 1
+
+    async def reader(index: int) -> None:
+        reader_rng = random.Random(seed * 1009 + index)
+        while writers_done < n_writers:
+            view = db.mvcc.acquire()
+            # Same event-loop step as the acquisition: the oracle and
+            # the view pin the identical state.
+            oracle = _freeze_oracle(db)
+            try:
+                queries = list(QUERIES)
+                reader_rng.shuffle(queries)
+                for query_text in queries:
+                    expected = _result_set(oracle, query_text)
+                    # Let writers advance while the view stays open.
+                    await asyncio.sleep(0)
+                    if expected == "unknown-class":
+                        continue
+                    got = set(view.execute(query_text))
+                    assert got == expected, (
+                        f"seed {seed} reader {index}: {query_text!r} "
+                        f"diverged from the frozen oracle "
+                        f"(got {len(got)}, want {len(expected)})"
+                    )
+            finally:
+                view.close()
+            await asyncio.sleep(0)
+
+    tasks = [writer() for _ in range(n_writers)]
+    tasks += [reader(i) for i in range(n_readers)]
+    await asyncio.gather(*tasks)
+    assert db.mvcc.stats()["open_views"] == 0
+    # With every view closed the overlays must have been collected.
+    assert db.mvcc.stats()["object_overlays"] == 0
+    assert db.mvcc.stats()["class_overlays"] == 0
+
+
+@pytest.mark.parametrize("seed", range(TRIALS))
+def test_readers_equal_serial_oracle(seed):
+    asyncio.run(_run_trial(seed))
+
+
+class TestViewSemantics:
+    def _db(self):
+        db = TemporalDatabase()
+        db.define_class("person", attributes=[("name", "string")])
+        db.define_class(
+            "employee",
+            parents=["person"],
+            attributes=[("salary", "temporal(real)")],
+        )
+        oids = [
+            db.create_object(
+                "employee", {"name": f"e{i}", "salary": 1000.0 + i}
+            )
+            for i in range(6)
+        ]
+        return db, oids
+
+    def test_view_pins_updates(self):
+        db, oids = self._db()
+        with db.mvcc.acquire() as view:
+            before = set(view.execute("select employee where salary > 1002"))
+            db.update_attribute(oids[0], "salary", 5000.0)
+            assert set(
+                view.execute("select employee where salary > 1002")
+            ) == before
+        live = set(
+            evaluate(db, parse_query("select employee where salary > 1002"))
+        )
+        assert oids[0] in live
+
+    def test_view_pins_births_and_deaths(self):
+        db, oids = self._db()
+        db.tick()  # objects cannot be deleted in their creation tick
+        view = db.mvcc.acquire()
+        db.create_object("employee", {"name": "late", "salary": 9000.0})
+        db.delete_object(oids[1])
+        try:
+            assert len(view.execute("select employee")) == 6
+        finally:
+            view.close()
+        assert len(evaluate(db, parse_query("select employee"))) == 6
+
+    def test_view_pins_clock(self):
+        db, _oids = self._db()
+        view = db.mvcc.acquire()
+        db.tick(3)
+        try:
+            assert view.db.now == 0
+            assert db.now == 3
+        finally:
+            view.close()
+
+    def test_view_hides_new_classes(self):
+        db, _oids = self._db()
+        view = db.mvcc.acquire()
+        db.define_class("robot", attributes=[("model", "string")])
+        try:
+            with pytest.raises(UnknownClassError):
+                view.execute("select robot")
+        finally:
+            view.close()
+
+    def test_acquire_refused_inside_transaction(self):
+        db, _oids = self._db()
+        txn = Transaction(db).begin()
+        try:
+            with pytest.raises(mvcc.MVCCError):
+                db.mvcc.acquire()
+        finally:
+            txn.rollback()
+        db.mvcc.acquire().close()  # fine again afterwards
+
+    def test_acquire_refused_inside_batch(self):
+        db, _oids = self._db()
+        with db.batch():
+            with pytest.raises(mvcc.MVCCError):
+                db.mvcc.acquire()
+
+    def test_view_survives_rollback(self):
+        db, oids = self._db()
+        view = db.mvcc.acquire()
+        baseline = set(view.execute("select employee where salary > 1002"))
+        with pytest.raises(RuntimeError):
+            with Transaction(db):
+                db.update_attribute(oids[0], "salary", 9999.0)
+                raise RuntimeError("abort")
+        assert set(
+            view.execute("select employee where salary > 1002")
+        ) == baseline
+        view.close()
+
+    def test_ablation_refuses_views(self):
+        db, _oids = self._db()
+        with mvcc.disabled():
+            with pytest.raises(mvcc.MVCCError):
+                db.mvcc.acquire()
+
+    def test_closed_view_refuses_queries(self):
+        db, _oids = self._db()
+        view = db.mvcc.acquire()
+        view.close()
+        with pytest.raises(mvcc.MVCCError):
+            view.execute("select employee")

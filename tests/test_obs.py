@@ -385,10 +385,19 @@ class TestExport:
             "histograms",
             "slow_threshold_us",
             "slow_ops",
+            "server",
         }
         assert set(obs.KINDS) <= set(data["histograms"])
         assert "database.snapshot" in data["counters"]
         assert "obs.spans" in data["counters"]
+        for key in (
+            "sessions_active",
+            "sessions_total",
+            "active_views",
+            "admission_rejections",
+            "inflight_reads",
+        ):
+            assert key in data["server"]
         json.dumps(data)  # must be serializable as-is
 
     def test_prom_text_histogram_contract(self):
@@ -509,6 +518,33 @@ class TestExport:
 
     def test_segment_span_kinds_registered(self):
         for kind in ("segment.spill", "segment.load", "segment.evict"):
+            assert kind in obs.KINDS
+            assert (
+                f'repro_span_duration_us_count{{kind="{kind}"}}'
+                in obs.prom_text()
+            )
+
+    def test_server_gauges_in_prom_export(self):
+        from repro.server import server as server_mod
+
+        text = obs.prom_text()
+        for family in (
+            "repro_server_sessions_active",
+            "repro_server_sessions_total",
+            "repro_server_active_views",
+            "repro_server_admission_rejections",
+            "repro_server_inflight_reads",
+        ):
+            assert f"# TYPE {family} gauge" in text
+        serving = server_mod.stats()
+        assert (
+            f"repro_server_sessions_total "
+            f"{serving['sessions_total']}" in text
+        )
+        assert serving["sessions_active"] == 0  # no live server here
+
+    def test_server_span_kinds_registered(self):
+        for kind in ("server.request", "server.session"):
             assert kind in obs.KINDS
             assert (
                 f'repro_span_duration_us_count{{kind="{kind}"}}'

@@ -49,6 +49,7 @@ def _known_names() -> tuple[set, set, set]:
     import repro.constraints.constraints  # noqa: F401
     import repro.database.batch  # noqa: F401
     import repro.database.database  # noqa: F401
+    import repro.database.mvcc  # noqa: F401
     import repro.database.pagecache  # noqa: F401
     import repro.database.parallel  # noqa: F401
     import repro.database.recovery  # noqa: F401
@@ -57,6 +58,8 @@ def _known_names() -> tuple[set, set, set]:
     import repro.query.planner  # noqa: F401
     import repro.replication.replica  # noqa: F401
     import repro.replication.shipper  # noqa: F401
+    import repro.server.executor  # noqa: F401
+    import repro.server.server  # noqa: F401
     import repro.temporal.temporalvalue  # noqa: F401
     import repro.types.subtyping  # noqa: F401
     from repro import obs, perf
