@@ -1,0 +1,288 @@
+"""E19 -- bitemporal reads: AS OF transaction-time cost vs plain reads.
+
+The transaction-time claim: pinning a query at the *current* commit
+LSN is free (the head fast path returns the live database after a
+validation check), so audit-grade queries cost nothing until they
+actually reach into history -- and historical reconstructions are
+(a) linear in the pinned LSN, matching the planner's
+``RECONSTRUCT_COST`` surcharge, and (b) amortized by the LRU memo
+(``REPRO_ASOF_CACHE``) when an audit session revisits the same
+transaction time.
+
+Four phases over the embedded API (no sockets -- E19 measures the
+read path, not the serving layer), on a journal-backed database grown
+by the audit workload:
+
+1. **plain reads at head** -- the baseline: ``select employee where
+   salary > X`` with no ``as of`` clause;
+2. **AS OF-at-head reads** -- the same queries pinned at the head
+   LSN: measures the fast-path validation overhead (the 1.1x gate);
+3. **cold historical reads** -- distinct LSNs at increasing depth,
+   memo cleared before each: the reconstruction cost curve;
+4. **warm historical reads** -- one past LSN revisited: the memo
+   hit path.
+
+Every AS OF result in phases 2-4 is checked value-equal against the
+``restore_to(lsn)`` oracle (Definition 5.10 on the believed extent).
+
+Run directly::
+
+    python benchmarks/bench_bitemporal.py            # full + artifacts
+    python benchmarks/bench_bitemporal.py --smoke    # tiny sanity run
+    python benchmarks/bench_bitemporal.py --ci       # full + CI gates
+
+Artifacts: ``benchmarks/results/bitemporal.txt`` and
+``BENCH_bitemporal.json`` at the repo root.
+
+CI gates (``--ci``):
+
+* AS OF-at-head median latency <= 1.1x plain-read median latency;
+* warm (memoized) historical reads <= 0.5x cold reconstruction;
+* every AS OF result matches the ``restore_to`` oracle (always).
+"""
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (REPO_ROOT, REPO_ROOT / "src"):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from benchmarks.conftest import emit, format_series
+
+SALARY_SPAN = 3000
+
+
+def _build(n_objects: int, n_ticks: int):
+    from repro.database.recovery import open_database
+    from repro.workloads import WorkloadSpec, audit_workload
+
+    directory = tempfile.mkdtemp(prefix="bench_bitemporal_")
+    db, _ = open_database(directory)
+    spec = WorkloadSpec(n_objects=n_objects, n_ticks=n_ticks, seed=19)
+    marks = audit_workload(db, spec)
+    return directory, db, marks
+
+
+def _oracle_check(directory, db, query_text: str, lsn: int) -> bool:
+    """One AS OF read vs the restore_to(lsn) oracle (value equality
+    on the returned extent, Definition 5.10)."""
+    from repro.query.evaluator import evaluate
+    from repro.query.parser import parse_query
+    from repro.replication.pitr import restore_to
+
+    got = evaluate(db, parse_query(f"{query_text} as of {lsn}"))
+    restored, _ = restore_to(directory, lsn=lsn)
+    want = evaluate(restored, parse_query(query_text))
+    return sorted(map(str, got)) == sorted(map(str, want))
+
+
+def run_bench(n_objects: int, n_ticks: int, n_reads: int) -> dict:
+    from repro.bitemporal import asof as asof_mod
+    from repro.query.evaluator import evaluate
+    from repro.query.parser import parse_query
+
+    directory, db, marks = _build(n_objects, n_ticks)
+    head = db.journal.last_lsn
+    rng = random.Random(191)
+    thresholds = [rng.randrange(SALARY_SPAN) for _ in range(n_reads)]
+    plain = [
+        f"select employee where salary > {value}" for value in thresholds
+    ]
+    pinned = [f"{text} as of {head}" for text in plain]
+
+    def read(text):
+        return evaluate(db, parse_query(text))
+
+    # Warm the parser/planner path once so phase 1 isn't charged for
+    # it, then interleave the two phases read-by-read so clock drift,
+    # cache warming and allocator noise land on both sides equally.
+    read(plain[0])
+    read(pinned[0])
+    plain_us, pinned_us = [], []
+    for plain_text, pinned_text in zip(plain, pinned):
+        for text, samples in (
+            (plain_text, plain_us), (pinned_text, pinned_us)
+        ):
+            begun = time.perf_counter()
+            read(text)
+            samples.append((time.perf_counter() - begun) * 1e6)
+
+    def summarize(samples_us):
+        ordered = sorted(samples_us)
+        return {
+            "reads": len(ordered),
+            "mean_us": round(statistics.fmean(ordered), 1),
+            "p50_us": round(ordered[len(ordered) // 2], 1),
+            "max_us": round(ordered[-1], 1),
+        }
+
+    phases = []
+    phase_plain = {"phase": "plain reads at head", **summarize(plain_us)}
+    phases.append(phase_plain)
+    phase_head = {
+        "phase": f"as of {head} (head pin)", **summarize(pinned_us)
+    }
+    phases.append(phase_head)
+
+    # Cold reconstructions at increasing depth (memo cleared each time).
+    depth_rows = []
+    past = [m for m in marks if m.lsn < head]
+    picks = past[:: max(1, len(past) // 4)][:4] or past[:1]
+    for mark in picks:
+        asof_mod.clear_cache()
+        begun = time.perf_counter()
+        believed = asof_mod.as_of(db, mark.lsn)
+        cold_us = (time.perf_counter() - begun) * 1e6
+        begun = time.perf_counter()
+        asof_mod.as_of(db, mark.lsn)
+        warm_us = (time.perf_counter() - begun) * 1e6
+        depth_rows.append({
+            "lsn": mark.lsn,
+            "believed_now": believed.now,
+            "cold_us": round(cold_us, 1),
+            "warm_us": round(warm_us, 1),
+        })
+    cold_mean = statistics.fmean(r["cold_us"] for r in depth_rows)
+    warm_mean = statistics.fmean(r["warm_us"] for r in depth_rows)
+    phases.append({
+        "phase": "cold reconstruction",
+        "reads": len(depth_rows),
+        "mean_us": round(cold_mean, 1),
+        "p50_us": round(sorted(
+            r["cold_us"] for r in depth_rows
+        )[len(depth_rows) // 2], 1),
+        "max_us": round(max(r["cold_us"] for r in depth_rows), 1),
+    })
+    phases.append({
+        "phase": "warm (memoized)",
+        "reads": len(depth_rows),
+        "mean_us": round(warm_mean, 1),
+        "p50_us": round(sorted(
+            r["warm_us"] for r in depth_rows
+        )[len(depth_rows) // 2], 1),
+        "max_us": round(max(r["warm_us"] for r in depth_rows), 1),
+    })
+
+    # Correctness: a seeded audit mix, each query vs the oracle.
+    from repro.workloads import audit_queries
+
+    mismatches = 0
+    for query in audit_queries(marks, n_queries=8, seed=192):
+        text, _, lsn = query.rpartition(" as of ")
+        if not _oracle_check(directory, db, text, int(lsn)):
+            mismatches += 1
+
+    return {
+        "head_lsn": head,
+        "marks": len(marks),
+        "phases": phases,
+        "depth_series": depth_rows,
+        "asof_overhead_at_head": round(
+            phase_head["p50_us"] / phase_plain["p50_us"], 3
+        ) if phase_plain["p50_us"] else None,
+        "warm_over_cold": round(warm_mean / cold_mean, 3)
+        if cold_mean else None,
+        "oracle_mismatches": mismatches,
+        "stats": asof_mod.stats(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="bitemporal AS OF read benchmark (E19)"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny workload, no artifacts (CI sanity check)",
+    )
+    parser.add_argument(
+        "--ci", action="store_true",
+        help="full run; exit 1 when a gate fails",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        result = run_bench(n_objects=15, n_ticks=10, n_reads=40)
+    else:
+        result = run_bench(n_objects=60, n_ticks=60, n_reads=400)
+
+    rows = [
+        (
+            p["phase"], str(p["reads"]), f"{p['mean_us']:.1f}",
+            f"{p['p50_us']:.1f}", f"{p['max_us']:.1f}",
+        )
+        for p in result["phases"]
+    ]
+    table = format_series(
+        f"E19: AS OF transaction-time reads vs plain reads "
+        f"(head lsn {result['head_lsn']}, {result['marks']} commit marks)",
+        ("phase", "reads", "mean us", "p50 us", "max us"),
+        rows,
+    )
+    print(table)
+    print(
+        f"as-of-at-head overhead: {result['asof_overhead_at_head']}x; "
+        f"warm/cold: {result['warm_over_cold']}x; "
+        f"oracle mismatches: {result['oracle_mismatches']}"
+    )
+
+    failures = []
+    if result["oracle_mismatches"]:
+        failures.append(
+            f"{result['oracle_mismatches']} AS OF read(s) disagreed "
+            "with the restore_to oracle"
+        )
+
+    if args.smoke:
+        if failures:
+            print(f"SMOKE FAILED: {failures[0]}")
+            return 1
+        print("smoke ok")
+        return 0
+
+    emit("bitemporal", table)
+    payload = {
+        "experiment": "E19 bitemporal reads: AS OF cost vs plain reads",
+        **result,
+        "gates": {
+            "head_overhead": "AS OF-at-head p50 <= 1.1x plain-read p50",
+            "memo": "warm (memoized) mean <= 0.5x cold reconstruction",
+            "correctness": "every AS OF read matches restore_to(lsn)",
+        },
+    }
+    (REPO_ROOT / "BENCH_bitemporal.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print(f"wrote {REPO_ROOT / 'BENCH_bitemporal.json'}")
+
+    if not args.ci:
+        return 0
+
+    overhead = result["asof_overhead_at_head"]
+    if overhead is not None and overhead > 1.1:
+        failures.append(
+            f"head overhead: AS OF-at-head {overhead}x plain > 1.1x"
+        )
+    warm_over_cold = result["warm_over_cold"]
+    if warm_over_cold is not None and warm_over_cold > 0.5:
+        failures.append(
+            f"memo: warm reads {warm_over_cold}x cold > 0.5x"
+        )
+    if failures:
+        for failure in failures:
+            print(f"CI GATE FAILED: {failure}")
+        return 1
+    print("CI gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

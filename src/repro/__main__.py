@@ -38,6 +38,12 @@ Commands:
   recovery: rebuild the database as of a journal position or a clock
   tick, optionally writing the restored state as a persistence JSON
   file usable with ``check``/``describe``/``query``;
+* ``asof DIR --lsn N [--query "select ..."] [-o FILE.json] [--json]``
+  -- transaction-time read: open the journaled database and answer
+  from the state believed at commit LSN N (``docs/bitemporal.md``);
+  with ``--query``, run any valid-time query against that believed
+  state (bitemporal audit: "what did we believe at N about vt?"),
+  otherwise print a summary of the believed state;
 * ``serve DIR [--host H] [--port P] [--max-sessions N]
   [--queue-depth N] [--read-workers N] [--no-mvcc]`` -- serve the
   journaled database over the newline-JSON socket protocol with MVCC
@@ -300,6 +306,17 @@ def cmd_stats(args) -> int:
             db = _synthetic_database(directory)
             _exercise(db)
             _exercise_queries(db)
+            # One at-head and one historical transaction-time read so
+            # the bitemporal gauges and the bitemporal.reconstruct
+            # span report alongside the rest.
+            from repro.query import evaluate, parse_query
+
+            head = db.journal.last_lsn
+            for lsn in (head, max(1, head // 2)):
+                evaluate(
+                    db,
+                    parse_query(f"select base where score > 20 as of {lsn}"),
+                )
             recover(directory)  # read-only: replays the whole journal
             db.checkpoint()
     if args.json:
@@ -481,6 +498,58 @@ def cmd_restore(args) -> int:
     if args.output:
         Path(args.output).write_text(database_to_json(db))
         print(f"restored state written to {args.output}")
+    return 0
+
+
+def cmd_asof(args) -> int:
+    import json
+
+    from repro.bitemporal import asof as asof_mod
+    from repro.database.persistence import database_to_json
+    from repro.database.recovery import open_database
+    from repro.errors import BitemporalError
+
+    db, _report = open_database(args.directory)
+    head = db.journal.last_lsn
+    try:
+        believed = asof_mod.as_of(db, args.lsn)
+    except BitemporalError as exc:
+        print(f"asof failed: {exc}", file=sys.stderr)
+        return 1
+    if args.query:
+        from dataclasses import replace
+
+        from repro.query import evaluate, parse_query
+
+        # The believed state is already pinned; strip any in-text pin.
+        query = replace(parse_query(args.query), as_of=None)
+        hits = evaluate(believed, query)
+        for oid in hits:
+            print(oid)
+        print(
+            f"-- {len(hits)} result(s) as of lsn {args.lsn} "
+            f"(believed now={believed.now}, head lsn {head})"
+        )
+    elif args.json:
+        print(json.dumps({
+            "directory": args.directory,
+            "lsn": args.lsn,
+            "head_lsn": head,
+            "at_head": believed is db,
+            "now": believed.now,
+            "objects": len(believed),
+            "classes": len(tuple(believed.classes())),
+        }, indent=2, sort_keys=True))
+    else:
+        where = "the live head" if believed is db else "a reconstruction"
+        print(
+            f"{args.directory} as of lsn {args.lsn} ({where}; head "
+            f"lsn {head}): now={believed.now}, {len(believed)} "
+            f"object(s), {len(tuple(believed.classes()))} class(es)"
+        )
+    if args.output:
+        Path(args.output).write_text(database_to_json(believed))
+        print(f"believed state written to {args.output}")
     return 0
 
 
@@ -683,6 +752,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable report"
     )
 
+    asof_cmd = sub.add_parser(
+        "asof",
+        help="read the state believed at a past transaction time "
+        "(commit LSN)",
+    )
+    asof_cmd.add_argument("directory", help="durability directory")
+    asof_cmd.add_argument(
+        "--lsn",
+        type=int,
+        required=True,
+        help="transaction time: the commit LSN to read as of",
+    )
+    asof_cmd.add_argument(
+        "--query",
+        default=None,
+        help="valid-time query to run against the believed state",
+    )
+    asof_cmd.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the believed state as a persistence JSON file",
+    )
+    asof_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable summary"
+    )
+
     serve_cmd = sub.add_parser(
         "serve",
         help="serve a journaled database over the newline-JSON protocol",
@@ -746,6 +842,7 @@ _HANDLERS = {
     "compact": cmd_compact,
     "replicate": cmd_replicate,
     "restore": cmd_restore,
+    "asof": cmd_asof,
     "serve": cmd_serve,
 }
 

@@ -4,25 +4,43 @@ The paper models *valid time* only ("the time a fact was true in
 reality") and notes that the model "can be easily extended to
 different notions of time", *transaction time* ("the time the fact was
 stored in the database") being the other dimension of interest.  This
-package supplies that extension.
+package supplies that extension, in two tiers:
 
-:class:`BitemporalDatabase` wraps a valid-time
-:class:`~repro.database.database.TemporalDatabase` with a
-transaction-time commit log: every :meth:`~BitemporalDatabase.commit`
-captures the complete database state (via the persistence codec) under
-the next transaction instant.  ``as_of(tt)`` rehydrates the database
-exactly as it was stored at transaction time tt, and bitemporal
-queries compose the two dimensions: *"what did we believe at
-transaction time tt about the world at valid time vt?"* --
-``as_of(tt)`` followed by any valid-time query ``at vt``.
+* :mod:`repro.bitemporal.asof` -- the core realization.  Transaction
+  time is the WAL's commit-LSN order, recorded for free off the event
+  stream every journaled mutation already feeds; :func:`as_of` rebuilds
+  the state believed at any committed LSN through the stock recovery
+  path (so ``AS OF n`` equals ``restore_to(lsn=n)`` by construction),
+  and every query surface takes an ``as of <lsn>`` qualifier orthogonal
+  to the five valid-time scopes.  See ``docs/bitemporal.md``.
+* :class:`BitemporalDatabase` (:mod:`repro.bitemporal.store`) -- the
+  original label-addressed commit log over full serialized states
+  (copy-on-commit): the simple, obviously correct realization, kept as
+  the model-demonstration tier and as an independent oracle.
 
-Transaction time is append-only and never reinterpreted, so the commit
-log is immutable by construction; the implementation stores full
-serialized states (copy-on-commit), which is the simple, obviously
-correct realization -- adequate at model-demonstration scale and
-measured in the test suite.
+Bitemporal queries compose the two dimensions: *"what did we believe
+at transaction time tt about the world at valid time vt?"* --
+``as_of(db, tt)`` followed by any valid-time query ``at vt``
+(:func:`believed_extent` packages the canonical form).  Transaction
+time is append-only and never reinterpreted: a committed journal
+prefix never changes, which is what makes historical states immutable
+and memoizable.
 """
 
+from repro.bitemporal.asof import (
+    as_of,
+    believed_extent,
+    clear_cache,
+    stats,
+    transaction_now,
+)
 from repro.bitemporal.store import BitemporalDatabase
 
-__all__ = ["BitemporalDatabase"]
+__all__ = [
+    "BitemporalDatabase",
+    "as_of",
+    "believed_extent",
+    "clear_cache",
+    "stats",
+    "transaction_now",
+]

@@ -1,0 +1,207 @@
+"""``AS OF``: transaction-time reads off the WAL's total order.
+
+Valid time says when a fact *held*; transaction time says when the
+database *recorded* it.  The engine already totally orders the second
+dimension: every committed mutation is journaled as one WAL frame
+stamped with its commit LSN (:mod:`repro.database.wal`), so "the state
+believed as of transaction time ``n``" is exactly "the state the
+committed journal prefix ``lsn <= n`` rebuilds".  This module promotes
+that observation into the query surface: :func:`as_of` returns the
+database as it was believed at a past LSN, and every valid-time
+construct (``evaluate``, snapshots, extent sweeps, all five quantified
+scopes) runs against it unchanged -- the two dimensions compose instead
+of interacting.
+
+Correctness by construction: :func:`as_of` reconstructs through the
+same :func:`repro.database.recovery.recover` call (same ``stop_lsn``
+halting rule, same checkpoint selection) that
+:func:`repro.replication.pitr.restore_to` wraps, so an ``AS OF n`` read
+on the primary equals a point-in-time restore to ``n`` -- the property
+harness in ``tests/test_query_oracle.py`` holds the two value-equal
+(Def. 5.10) across seeded histories.
+
+Cost model.  At the head (``lsn == journal.last_lsn``) the believed
+state *is* the live state, so :func:`as_of` returns the live database
+and the read keeps the full planner/index/cache stack -- that is the
+E19 gate (``AS OF``-at-head <= 1.1x plain reads,
+``benchmarks/bench_bitemporal.py``).  A historical LSN replays the
+journal from the newest usable checkpoint; the reconstruction is
+wrapped in a ``bitemporal.reconstruct`` span and the result -- an
+immutable, journal-less :class:`~repro.database.database.TemporalDatabase`
+-- is memoized in a small LRU keyed by ``(journal, lsn)`` -- the
+journal *object*, not its path, so two databases that happen to share
+a directory name (distinct simulated disks in tests) never alias
+(transaction time is append-only, so a committed prefix never changes
+and the memo never needs invalidation; aborts only discard frames that
+were never committed).  ``REPRO_ASOF_CACHE`` sets the capacity
+(default 8, ``0`` disables memoization).
+
+Refusals (:class:`~repro.errors.BitemporalError`): a database without a
+journal has no transaction-time order; a future LSN names a commit that
+has not happened; and mid-transaction / mid-batch reads are refused
+because the frames on disk are not yet committed -- their transaction
+time is not assigned until the commit marker lands (the same rule MVCC
+applies to view acquisition).
+
+History bound: :meth:`~repro.database.wal.Journal.checkpoint` truncates
+the journal, so transaction times older than the oldest retained
+checkpoint become unreachable -- :func:`as_of` then raises with the
+recovery report's explanation, exactly as ``restore_to`` does.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro import perf
+from repro.errors import BitemporalError
+from repro.obs import spans as obs
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.database.database import TemporalDatabase
+
+_READS = perf.metric("bitemporal.asof_reads")
+_HEAD_HITS = perf.metric("bitemporal.head_hits")
+_CACHE_HITS = perf.metric("bitemporal.cache_hits")
+_RECONSTRUCTIONS = perf.metric("bitemporal.reconstructions")
+
+
+def _env_capacity() -> int:
+    raw = os.environ.get("REPRO_ASOF_CACHE", "").strip()
+    try:
+        return max(0, int(raw)) if raw else 8
+    except ValueError:
+        return 8
+
+
+#: Reconstructed historical states kept per process (LRU).  Settable at
+#: import through ``REPRO_ASOF_CACHE``; ``0`` disables memoization.
+cache_capacity: int = _env_capacity()
+
+_CACHE: "OrderedDict[tuple[object, int], TemporalDatabase]" = OrderedDict()
+
+
+def clear_cache() -> None:
+    """Drop every memoized reconstruction (tests, memory pressure)."""
+    _CACHE.clear()
+
+
+def transaction_now(db) -> int:
+    """The current transaction time of *db*: its last committed LSN."""
+    journal = getattr(db, "journal", None)
+    if journal is None:
+        raise BitemporalError(
+            "database has no journal: transaction time is the WAL "
+            "order, so an unjournaled database has none"
+        )
+    return journal.last_lsn
+
+
+def _check(db, journal, lsn: int) -> None:
+    if isinstance(lsn, bool) or not isinstance(lsn, int):
+        raise BitemporalError(
+            f"AS OF needs an integer transaction time (LSN), "
+            f"got {lsn!r}"
+        )
+    if journal.in_transaction or getattr(db, "_txn_active", False):
+        raise BitemporalError(
+            "cannot read AS OF inside an open transaction: its frames "
+            "have no committed transaction time yet"
+        )
+    if journal.in_batch or getattr(db, "in_batch", False):
+        raise BitemporalError(
+            "cannot read AS OF inside an open batch: buffered frames "
+            "have no committed transaction time yet"
+        )
+    if lsn < 1:
+        raise BitemporalError(
+            f"transaction time starts at LSN 1, got {lsn}"
+        )
+    if lsn > journal.last_lsn:
+        raise BitemporalError(
+            f"AS OF {lsn} is in the future: the last committed "
+            f"transaction time is {journal.last_lsn}"
+        )
+
+
+def as_of(db, lsn: int) -> "TemporalDatabase":
+    """The database as believed at transaction time *lsn*.
+
+    Returns the live database when *lsn* is the current head (the
+    believed state and the actual state coincide there), otherwise a
+    detached read-only reconstruction -- value-equal (Def. 5.10) to
+    ``restore_to(directory, lsn=lsn)`` by construction.
+    """
+    journal = getattr(db, "journal", None)
+    if journal is None:
+        raise BitemporalError(
+            "AS OF needs a journal-backed database: transaction time "
+            "is the WAL order"
+        )
+    _check(db, journal, lsn)
+    _READS.add()
+    if lsn == journal.last_lsn:
+        _HEAD_HITS.add()
+        return db
+
+    # Keyed by the journal object (identity), not its path: a path can
+    # be reused by a different database (separate simulated disks); a
+    # live journal object names exactly one transaction-time order.
+    key = (journal, lsn)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        _CACHE.move_to_end(key)
+        _CACHE_HITS.add()
+        return cached
+
+    if obs.is_enabled:
+        with obs.span("bitemporal.reconstruct", lsn=lsn) as sp:
+            restored = _reconstruct(journal, lsn)
+            sp.annotate(objects=len(restored))
+    else:
+        restored = _reconstruct(journal, lsn)
+    if cache_capacity > 0:
+        _CACHE[key] = restored
+        while len(_CACHE) > cache_capacity:
+            _CACHE.popitem(last=False)
+    return restored
+
+
+def _reconstruct(journal, lsn: int) -> "TemporalDatabase":
+    """Replay the committed prefix ``<= lsn`` into a fresh database."""
+    from repro.database.recovery import recover
+
+    restored, report = recover(
+        journal.directory, fs=journal.fs, stop_lsn=lsn
+    )
+    if restored is None:
+        detail = "; ".join(report.errors) or "unrecoverable"
+        raise BitemporalError(
+            f"cannot reconstruct transaction time {lsn}: {detail}"
+        )
+    _RECONSTRUCTIONS.add()
+    return restored
+
+
+def believed_extent(
+    db, lsn: int, class_name: str, valid_time: int
+) -> frozenset:
+    """``pi(c, vt)`` as believed at transaction time *lsn* -- the
+    canonical bitemporal question ("what did we believe at commit
+    *lsn* about the state at *vt*?")."""
+    return as_of(db, lsn).extent(class_name, valid_time)
+
+
+def stats() -> dict:
+    """Process-wide AS OF gauges (``repro stats``; exported as
+    ``repro_bitemporal_*`` Prometheus gauges)."""
+    return {
+        "asof_reads": _READS.count,
+        "head_hits": _HEAD_HITS.count,
+        "cache_hits": _CACHE_HITS.count,
+        "reconstructions": _RECONSTRUCTIONS.count,
+        "cache_entries": len(_CACHE),
+        "cache_capacity": cache_capacity,
+    }

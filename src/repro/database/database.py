@@ -214,6 +214,31 @@ class TemporalDatabase:
         if self._journal is not None:
             self._journal.append(record)
 
+    # ------------------------------------------------------ transaction time
+
+    @property
+    def transaction_now(self) -> int | None:
+        """The current transaction time: the last committed journal
+        LSN, or None when no journal is attached (an unjournaled
+        database has no transaction-time order)."""
+        if self._journal is None:
+            return None
+        return self._journal.last_lsn
+
+    def as_of(self, lsn: int):
+        """The database as believed at transaction time *lsn*.
+
+        The full bitemporal read surface: the returned database (the
+        live one at the head, a detached reconstruction otherwise)
+        answers every valid-time question -- ``pi`` / ``extent``
+        sweeps, ``snapshot_at``, ``membership_times``, queries in all
+        five scopes -- about the state as it was recorded then.  See
+        :mod:`repro.bitemporal.asof`.
+        """
+        from repro.bitemporal import asof as asof_mod
+
+        return asof_mod.as_of(self, lsn)
+
     # ---------------------------------------------------------------- events
 
     def subscribe(self, callback) -> None:

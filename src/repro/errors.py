@@ -189,6 +189,13 @@ class RecoveryError(DatabaseError):
     checkpoint loss, or a journal record that fails to replay)."""
 
 
+class BitemporalError(DatabaseError):
+    """A transaction-time (``AS OF``) read was refused or impossible:
+    no journal to order transaction time, a future LSN, a read inside
+    an open transaction or batch (uncommitted frames have no assigned
+    transaction time), or a target older than the retained history."""
+
+
 class ReplicationError(DatabaseError):
     """The WAL-shipping subsystem could not make progress (exhausted
     delivery retries, a restore target outside the retained history,

@@ -30,6 +30,7 @@ def stats_dict(include_slow: bool = True) -> dict:
     """Everything the registries know, as one JSON-friendly dict."""
     # Late import: the server package imports obs for request/session
     # spans; a top-level import would close that cycle.
+    from repro.bitemporal import asof as asof_mod
     from repro.server import server as server_mod
 
     data: dict = {
@@ -38,6 +39,7 @@ def stats_dict(include_slow: bool = True) -> dict:
         "histograms": histograms.histogram_stats(),
         "slow_threshold_us": slowlog.threshold_us,
         "server": server_mod.stats(),
+        "bitemporal": asof_mod.stats(),
     }
     if include_slow:
         data["slow_ops"] = slowlog.slow_ops()
@@ -166,6 +168,22 @@ def prom_text() -> str:
         lines.append(f"# HELP {family} {help_text}")
         lines.append(f"# TYPE {family} gauge")
         lines.append(f"{family} {serving[field]}")
+
+    # Transaction-time (AS OF) gauges: read mix and memo occupancy.
+    from repro.bitemporal import asof as asof_mod
+
+    bitemporal = asof_mod.stats()
+    for field, help_text in (
+        ("asof_reads", "AS OF transaction-time reads served."),
+        ("head_hits", "AS OF reads answered from the live head state."),
+        ("reconstructions", "Historical states rebuilt by journal replay."),
+        ("cache_hits", "AS OF reads answered from the reconstruction memo."),
+        ("cache_entries", "Reconstructed states currently memoized."),
+    ):
+        family = f"repro_bitemporal_{field}"
+        lines.append(f"# HELP {family} {help_text}")
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {bitemporal[field]}")
 
     lines.append(
         "# HELP repro_span_duration_us Span wall time by span kind "

@@ -40,7 +40,7 @@ from repro.perf.counters import metric
 
 from repro.obs.histograms import histogram
 
-#: The twenty-three instrumented boundaries.  ``docs/observability.md``
+#: The twenty-four instrumented boundaries.  ``docs/observability.md``
 #: documents each one; ``tools/check_docs_drift.py`` validates doc
 #: references against this tuple.
 KINDS = (
@@ -67,6 +67,7 @@ KINDS = (
     "segment.evict",
     "server.request",
     "server.session",
+    "bitemporal.reconstruct",
 )
 
 _TRUTHY = ("1", "true", "yes", "on")

@@ -185,13 +185,21 @@ class TemporalScope(str, Enum):
 
 @dataclass(frozen=True)
 class Query:
-    """``select <class> [where <pred>] [<scope>]``."""
+    """``select <class> [where <pred>] [<scope>] [as of <lsn>]``.
+
+    ``as_of`` pins the *transaction-time* dimension: the query runs
+    against the state believed at that commit LSN
+    (:mod:`repro.bitemporal.asof`), while the scope/at/interval fields
+    keep quantifying over *valid* time -- the two dimensions are
+    orthogonal.  ``None`` means the current head (the ordinary read).
+    """
 
     class_name: str
     predicate: Expr | None = None
     scope: TemporalScope = TemporalScope.NOW
     at: int | None = None
     interval: tuple[int, int] | None = None
+    as_of: int | None = None
 
 
 def attr(name: str) -> Attr:

@@ -63,12 +63,24 @@ _UNDEF = object()  # the "no value here" marker (null-rejecting atoms)
 
 
 def evaluate(db, query: Query) -> list[OID]:
-    """Run *query* against *db*; returns matching oids, sorted."""
+    """Run *query* against *db*; returns matching oids, sorted.
+
+    A query carrying an ``as_of`` transaction time first resolves the
+    believed-at state (:func:`repro.bitemporal.asof.as_of`) -- the live
+    database at the head, a reconstructed historical state otherwise --
+    and then evaluates against it exactly as any valid-time query
+    would: the two time dimensions compose, they do not interact.
+    """
+    if query.as_of is not None:
+        from repro.bitemporal import asof as asof_mod
+
+        db = asof_mod.as_of(db, query.as_of)
     if obs.is_enabled:
         with obs.span(
             "query.evaluate",
             cls=query.class_name,
             scope=query.scope.value,
+            **({"as_of": query.as_of} if query.as_of is not None else {}),
         ) as sp:
             results = _evaluate(db, query)
             sp.annotate(results=len(results))

@@ -3,6 +3,7 @@
 Grammar (case-insensitive keywords)::
 
     query     ::=  'select' IDENT [ 'where' pred ] [ scope ]
+                   [ 'as' 'of' INT ]
     scope     ::=  'at' INT
                 |  'sometime' [ 'in' interval ]
                 |  'always'   [ 'in' interval ]
@@ -27,6 +28,11 @@ Examples::
     select project where name = 'IDEA' at 50
     select employee where salary >= 2000.0 sometime
     select manager where size(dependents) > 2 always in [10, 40]
+    select employee where salary > 2000 at 5 as of 17
+
+``as of INT`` pins the *transaction-time* dimension (the commit LSN
+whose believed state the query reads); the scope clause keeps
+quantifying over valid time.
 """
 
 from __future__ import annotations
@@ -70,6 +76,7 @@ _TOKEN_RE = re.compile(
 _KEYWORDS = {
     "select", "where", "at", "sometime", "always", "in", "and", "or",
     "not", "contains", "size", "history", "true", "false", "null", "oid",
+    "as", "of",
 }
 
 
@@ -147,12 +154,25 @@ class _Parser:
             self._next()
             predicate = self._pred()
         scope, at, interval = self._scope()
+        as_of = self._as_of()
         kind, value = self._next()
         if kind != "end":
             raise QuerySyntaxError(
                 f"trailing input {value!r} in {self._text!r}"
             )
-        return Query(class_name, predicate, scope, at, interval)
+        return Query(class_name, predicate, scope, at, interval, as_of)
+
+    def _as_of(self) -> int | None:
+        if self._peek() != ("keyword", "as"):
+            return None
+        self._next()
+        self._expect_keyword("of")
+        kind, lsn = self._next()
+        if kind != "number" or not isinstance(lsn, int):
+            raise QuerySyntaxError(
+                "'as of' needs an integer transaction time (LSN)"
+            )
+        return lsn
 
     def _scope(self) -> tuple[TemporalScope, int | None, tuple[int, int] | None]:
         kind, value = self._peek()

@@ -110,6 +110,16 @@ def _cold_penalty(db) -> float:
 #: walk and prune nothing).
 MIN_SELECTIVITY = 0.5
 
+#: Estimated cost per journal LSN of reconstructing a historical
+#: ``AS OF`` state (checkpoint load + record replay, amortized).  An
+#: at-head ``AS OF`` costs nothing -- the believed state is the live
+#: state -- which is why E19 gates it at <= 1.1x plain reads; a
+#: historical pin pays one reconstruction (memoized thereafter in
+#: :mod:`repro.bitemporal.asof`).  Charged as a plan-level surcharge,
+#: not into the index-vs-scan choice: both access paths read the same
+#: reconstructed state.
+RECONSTRUCT_COST = 6.0
+
 #: The planner switch.  ``REPRO_NO_PLANNER=1`` ablates at import.
 is_enabled: bool = os.environ.get("REPRO_NO_PLANNER", "") not in (
     "1", "true", "yes",
@@ -172,6 +182,12 @@ class Plan:
     est_candidates: int = 0
     est_cost_index: float | None = None
     est_cost_scan: float = 0.0
+    #: The pinned transaction time (commit LSN) of an ``AS OF`` query;
+    #: ``None`` for ordinary head reads.  ``est_cost_reconstruct`` is
+    #: the surcharge for rebuilding the believed state -- 0.0 when the
+    #: pin is at the journal head (live state, full index stack).
+    as_of: int | None = None
+    est_cost_reconstruct: float | None = None
     #: Parallelism degree for the scan path: 1 = serial, >1 = scatter
     #: the extent over that many partitions (index paths stay serial
     #: -- they already touch only the matching postings).
@@ -190,6 +206,15 @@ class Plan:
             f"path     {self.access_path.upper()}  ({self.reason})",
             f"extent   {self.extent_size} oid(s)",
         ]
+        if self.as_of is not None:
+            assert self.est_cost_reconstruct is not None
+            pinned = (
+                "at head, live state"
+                if self.est_cost_reconstruct == 0.0
+                else "historical, est. reconstruction cost "
+                f"{self.est_cost_reconstruct:.0f}"
+            )
+            lines.append(f"txn-time as of lsn {self.as_of}  ({pinned})")
         for probe in self.probes:
             lines.append(f"         {probe.render()}")
         if self.residual:
@@ -236,6 +261,8 @@ class Plan:
             ],
             "residual": list(self.residual),
             "est_candidates": self.est_candidates,
+            "as_of": self.as_of,
+            "est_cost_reconstruct": self.est_cost_reconstruct,
             "degree": self.degree,
             "actual_candidates": self.actual_candidates,
             "actual_results": self.actual_results,
@@ -374,6 +401,19 @@ def _finalize_scan(db, chosen: Plan, query: Query) -> Plan:
     return chosen
 
 
+def _reconstruct_cost(db, query: Query) -> float | None:
+    """The ``AS OF`` surcharge: 0 at the journal head (the believed
+    state is the live state), proportional to the replayed prefix for a
+    historical pin.  *db* is the already-resolved target -- a detached
+    reconstruction has no journal, the live database has one."""
+    if query.as_of is None:
+        return None
+    journal = getattr(db, "journal", None)
+    if journal is not None and journal.last_lsn == query.as_of:
+        return 0.0
+    return RECONSTRUCT_COST * query.as_of
+
+
 def plan(db, query: Query) -> Plan:
     """Choose the access path for *query* (no execution)."""
     if obs.is_enabled:
@@ -395,6 +435,9 @@ def _plan(db, query: Query) -> Plan:
         scope += f" {query.at}"
     elif query.interval is not None:
         scope += f" [{query.interval[0]},{query.interval[1]}]"
+    if query.as_of is not None:
+        scope += f" as of {query.as_of}"
+    cost_reconstruct = _reconstruct_cost(db, query)
 
     atoms = conjuncts(query.predicate) if query.predicate else []
     eval_cost = EVAL_COST + _cold_penalty(db)
@@ -408,6 +451,8 @@ def _plan(db, query: Query) -> Plan:
         residual=tuple(_describe(a) for a in atoms),
         est_candidates=n,
         est_cost_scan=cost_scan,
+        as_of=query.as_of,
+        est_cost_reconstruct=cost_reconstruct,
     )
     base._residual_exprs = list(atoms)
     if not is_enabled:
@@ -482,6 +527,8 @@ def _plan(db, query: Query) -> Plan:
         est_candidates=est_min,
         est_cost_index=cost_index,
         est_cost_scan=cost_scan,
+        as_of=query.as_of,
+        est_cost_reconstruct=cost_reconstruct,
     )
     result._atoms = [(p[1], p[2]) for p in selected]
     result._residual_exprs = residual
@@ -617,7 +664,17 @@ def execute(db, query: Query) -> tuple[list[OID], Plan]:
 
 
 def explain(db, query: Query, *, execute_query: bool = True) -> Plan:
-    """The EXPLAIN surface: the plan, with actuals when executed."""
+    """The EXPLAIN surface: the plan, with actuals when executed.
+
+    An ``as_of`` query is resolved to its believed-at state first, so
+    the plan (extent size, probes, costs) describes the historical
+    database the query actually runs against, and the rendered plan
+    shows the pinned transaction time.
+    """
+    if query.as_of is not None:
+        from repro.bitemporal import asof as asof_mod
+
+        db = asof_mod.as_of(db, query.as_of)
     chosen = plan(db, query)
     if execute_query:
         run(db, query, chosen)

@@ -79,15 +79,24 @@ class ServerClient:
     def ping(self) -> bool:
         return self.request({"cmd": "ping"}) == "pong"
 
-    def query(self, text: str) -> list:
-        """Evaluate a SELECT; returns the matching oids (decoded)."""
-        result = self.request({"cmd": "query", "q": text})
-        return [protocol.decode_result(o) for o in result["oids"]]
+    def query(self, text: str, as_of: int | None = None) -> list:
+        """Evaluate a SELECT; returns the matching oids (decoded).
 
-    def query_raw(self, text: str) -> dict:
+        *as_of* pins the read at a past transaction time (commit LSN);
+        equivalent to an ``as of N`` clause in the query text."""
+        return [
+            protocol.decode_result(o)
+            for o in self.query_raw(text, as_of=as_of)["oids"]
+        ]
+
+    def query_raw(self, text: str, as_of: int | None = None) -> dict:
         """Evaluate a SELECT; returns the raw result envelope
-        (``oids`` still wire-encoded, plus ``count`` and ``now``)."""
-        return self.request({"cmd": "query", "q": text})
+        (``oids`` still wire-encoded, plus ``count`` and ``now``,
+        and the echoed ``as_of`` pin when one was given)."""
+        message: dict = {"cmd": "query", "q": text}
+        if as_of is not None:
+            message["as_of"] = as_of
+        return self.request(message)
 
     def execute(self, op: tuple) -> Any:
         """Apply one logical write operation (see

@@ -10,6 +10,11 @@ command-specific fields::
 Commands
 --------
 ``query``     evaluate a SELECT (``q``) under a per-request read view;
+              an optional integer ``as_of`` field pins the read at a
+              past transaction time (commit LSN) -- the reply then
+              carries the believed-at clock as ``now`` and echoes the
+              pin as ``as_of`` (equivalent to an ``as of N`` clause in
+              the query text itself);
 ``exec``      apply one logical write operation (``op``, see below);
 ``begin`` / ``commit`` / ``rollback``
               session transaction control (holds the global writer

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import asyncio
 import os
+import re
 import threading
 import weakref
 from typing import TYPE_CHECKING, Any, Optional
@@ -71,6 +72,11 @@ _GROUP_COMMITS = perf.metric("server.group_commits")
 
 #: Live servers in this process (for the aggregate :func:`stats`).
 _SERVERS: "weakref.WeakSet[TemporalServer]" = weakref.WeakSet()
+
+#: A trailing in-text ``as of N`` clause (case-insensitive, like every
+#: query keyword) -- sniffed before routing so transaction-time reads
+#: never reach the MVCC path, whose view proxy has no journal.
+_AS_OF_CLAUSE = re.compile(r"\bas\s+of\s+(\d+)\s*$", re.IGNORECASE)
 
 
 def _env_int(name: str) -> int:
@@ -270,7 +276,7 @@ class TemporalServer:
         self._executor = executor
         return executor
 
-    async def _run_query(self, text: str) -> dict:
+    async def _run_query(self, text: str, as_of: int | None = None) -> dict:
         db = self.db
         _READS.add()
         if self._inflight_reads >= self.max_inflight_reads:
@@ -280,6 +286,20 @@ class TemporalServer:
             )
         self._inflight_reads += 1
         try:
+            if as_of is None and _AS_OF_CLAUSE.search(text):
+                # An in-text `... as of N` clause without the protocol
+                # field: same transaction-time pin, same inline route
+                # (the MVCC view proxy has no journal to resolve it).
+                as_of = int(_AS_OF_CLAUSE.search(text).group(1))
+            if as_of is not None:
+                # Transaction-time pin: the believed-at state is
+                # immutable (a committed journal prefix never changes),
+                # so no read view is needed -- resolve and evaluate
+                # inline under the writer lock.  At-head pins read the
+                # live state; historical pins pay one reconstruction
+                # (memoized in repro.bitemporal.asof).
+                async with self._write_lock:
+                    return self._inline_query(text, as_of)
             if not (self.use_mvcc and mvcc_mod.is_enabled):
                 # Ablation baseline: reads serialize with writes on the
                 # global writer lock and run on the event loop --
@@ -322,16 +342,36 @@ class TemporalServer:
         finally:
             self._inflight_reads -= 1
 
-    def _inline_query(self, text: str) -> dict:
+    def _inline_query(self, text: str, as_of: int | None = None) -> dict:
+        from dataclasses import replace
+
         from repro.database.persistence import encode_value
         from repro.query.evaluator import evaluate
         from repro.query.parser import parse_query
 
-        oids = evaluate(self.db, parse_query(text))
+        query = parse_query(text)
+        if as_of is not None:
+            # The protocol field wins over an in-text `as of` clause.
+            query = replace(query, as_of=as_of)
+        if query.as_of is None:
+            oids = evaluate(self.db, query)
+            return {
+                "oids": [encode_value(oid) for oid in oids],
+                "count": len(oids),
+                "now": self.db.now,
+            }
+        from repro.bitemporal import asof as asof_mod
+
+        # Resolve once so the reply can carry the believed-at clock
+        # (the second resolution inside evaluate hits the same state:
+        # live at the head, the LRU memo otherwise).
+        believed = asof_mod.as_of(self.db, query.as_of)
+        oids = evaluate(self.db, query)
         return {
             "oids": [encode_value(oid) for oid in oids],
             "count": len(oids),
-            "now": self.db.now,
+            "now": believed.now,
+            "as_of": query.as_of,
         }
 
     # -- writes -----------------------------------------------------------
@@ -583,13 +623,28 @@ class _Session:
                     raise protocol.ProtocolError(
                         "query needs a string field 'q'"
                     )
+                as_of = message.get("as_of")
+                if as_of is not None and (
+                    isinstance(as_of, bool) or not isinstance(as_of, int)
+                ):
+                    raise protocol.ProtocolError(
+                        "query field 'as_of' must be an integer "
+                        "transaction time (LSN)"
+                    )
                 if self._txn is not None:
                     # This session owns the writer lock: evaluate its
                     # own uncommitted state inline (re-acquiring the
-                    # lock here would self-deadlock).
+                    # lock here would self-deadlock).  An AS OF read is
+                    # refused here by the bitemporal layer: the open
+                    # transaction's frames have no committed
+                    # transaction time yet.
                     _READS.add()
-                    return _ok(request_id, server._inline_query(text))
-                return _ok(request_id, await server._run_query(text))
+                    return _ok(
+                        request_id, server._inline_query(text, as_of)
+                    )
+                return _ok(
+                    request_id, await server._run_query(text, as_of)
+                )
             if command == "exec":
                 return await self._exec(request_id, message)
             if command == "begin":

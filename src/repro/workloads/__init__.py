@@ -12,18 +12,29 @@ package exposes.  Everything is seeded and deterministic.
   grown by replaying creates/updates/migrations/deletes over the
   clock (benches E6-E8, integration and property tests);
 * :func:`standard_schema` -- the employee/manager/project schema used
-  across examples and benches.
+  across examples and benches;
+* :func:`audit_workload` / :func:`audit_queries` -- the bitemporal
+  audit family: grow a journal-backed history while recording
+  :class:`CommitMark` anchors, then ask "what did we believe at
+  transaction time *t* about valid time *t'*?" (bench E19, the
+  AS OF property harness).
 """
 
 from repro.workloads.generator import (
+    CommitMark,
     WorkloadSpec,
+    audit_queries,
+    audit_workload,
     build_database,
     standard_schema,
     synthetic_history,
 )
 
 __all__ = [
+    "CommitMark",
     "WorkloadSpec",
+    "audit_queries",
+    "audit_workload",
     "build_database",
     "standard_schema",
     "synthetic_history",

@@ -121,6 +121,7 @@ def build_database(
     spec: WorkloadSpec,
     db: TemporalDatabase | None = None,
     bulk: bool = False,
+    on_tick=None,
 ) -> TemporalDatabase:
     """Grow a database by replaying *spec* against the clock.
 
@@ -136,6 +137,11 @@ def build_database(
     database (Definition 5.10) from the identical operation stream;
     ``bench_ingest`` and the query-oracle equivalence property both
     build on that guarantee.
+
+    *on_tick*, when given, is called with the database right after
+    every ``db.tick()`` (i.e. at a clean inter-wave boundary, never
+    mid-batch) -- the hook :func:`audit_workload` uses to record
+    commit marks without duplicating the growth loop.
     """
     rng = random.Random(spec.seed)
     if db is None:
@@ -174,6 +180,8 @@ def build_database(
 
     for _ in range(spec.n_ticks):
         db.tick()
+        if on_tick is not None:
+            on_tick(db)
         live = [
             oid
             for oid in employees
@@ -254,3 +262,93 @@ def build_database(
                     pass  # currently referenced; skip
     db.tick()
     return db
+
+
+# --------------------------------------------------------------- audit
+
+
+@dataclass(frozen=True)
+class CommitMark:
+    """One audit anchor: a committed transaction time and the valid-time
+    clock the database showed there.
+
+    ``lsn`` is ``db.journal.last_lsn`` at a clean inter-wave boundary
+    (never mid-batch), so ``as_of(db, lsn)`` reconstructs exactly the
+    state a contemporaneous reader saw; ``now`` is what ``db.now``
+    reported at that moment -- the believed clock every audit query
+    quantifies its valid-time scope against.
+    """
+
+    lsn: int
+    now: int
+
+
+def audit_workload(
+    db: TemporalDatabase,
+    spec: WorkloadSpec | None = None,
+) -> list[CommitMark]:
+    """Grow a *journal-backed* database while recording commit marks.
+
+    The audit question -- "what did we believe at transaction time
+    *t* about valid time *t'*?" -- needs two ingredients: a history
+    whose beliefs actually changed over transaction time (updates,
+    migrations, deletions rewriting the past's future), and a list of
+    transaction times worth asking about.  This runs the standard
+    mixed workload through :func:`build_database` and snapshots
+    ``(last_lsn, now)`` at every tick boundary, plus a final mark at
+    the head.  Deterministic in ``spec.seed``.
+    """
+    if getattr(db, "journal", None) is None:
+        raise ValueError("audit_workload needs a journal-backed database")
+    spec = spec or WorkloadSpec()
+    marks: list[CommitMark] = []
+
+    def mark(current: TemporalDatabase) -> None:
+        marks.append(CommitMark(current.journal.last_lsn, current.now))
+
+    build_database(spec, db=db, on_tick=mark)
+    mark(db)  # the head, after build_database's closing tick
+    return marks
+
+
+def audit_queries(
+    marks: list[CommitMark],
+    n_queries: int = 20,
+    seed: int = 0,
+    salary_span: int = 3000,
+) -> list[str]:
+    """*n_queries* audit query strings over the marked history.
+
+    Each query pins one recorded transaction time with ``as of`` and
+    quantifies over valid time with one of the five scopes (current,
+    ``at``, ``sometime``/``always``, ``sometime in``/``always in``),
+    drawing the instants from inside that mark's believed clock --
+    so every query is answerable by the reconstruction it targets.
+    Deterministic in *seed*; the E19 bench and the audit chapter of
+    the tutorial replay exactly these.
+    """
+    if not marks:
+        raise ValueError("audit_queries needs at least one commit mark")
+    rng = random.Random(seed)
+    queries: list[str] = []
+    for _ in range(n_queries):
+        mark = rng.choice(marks)
+        threshold = rng.randrange(salary_span)
+        pred = f"salary > {threshold}"
+        horizon = max(mark.now, 1)
+        kind = rng.randrange(5)
+        if kind == 0:
+            scope = ""  # current scope: [now, now] of the believed clock
+        elif kind == 1:
+            scope = f" at {rng.randrange(horizon)}"
+        elif kind == 2:
+            scope = rng.choice((" sometime", " always"))
+        else:
+            start = rng.randrange(horizon)
+            end = rng.randrange(start, horizon)
+            word = "sometime" if kind == 3 else "always"
+            scope = f" {word} in [{start}, {end}]"
+        queries.append(
+            f"select employee where {pred}{scope} as of {mark.lsn}"
+        )
+    return queries

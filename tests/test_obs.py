@@ -386,6 +386,7 @@ class TestExport:
             "slow_threshold_us",
             "slow_ops",
             "server",
+            "bitemporal",
         }
         assert set(obs.KINDS) <= set(data["histograms"])
         assert "database.snapshot" in data["counters"]
@@ -398,6 +399,15 @@ class TestExport:
             "inflight_reads",
         ):
             assert key in data["server"]
+        for key in (
+            "asof_reads",
+            "head_hits",
+            "cache_hits",
+            "reconstructions",
+            "cache_entries",
+            "cache_capacity",
+        ):
+            assert key in data["bitemporal"]
         json.dumps(data)  # must be serializable as-is
 
     def test_prom_text_histogram_contract(self):
@@ -543,6 +553,37 @@ class TestExport:
         )
         assert serving["sessions_active"] == 0  # no live server here
 
+    def test_bitemporal_gauges_in_prom_export(self, tmp_path):
+        from repro.bitemporal import asof as asof_mod
+
+        asof_mod.clear_cache()
+        db, _oids = build_db(tmp_path / "asof")
+        head = db.journal.last_lsn
+        assert db.as_of(head) is db               # head hit
+        db.as_of(max(1, head // 2))               # one reconstruction
+        db.as_of(max(1, head // 2))               # one memo hit
+        text = obs.prom_text()
+        for family in (
+            "repro_bitemporal_asof_reads",
+            "repro_bitemporal_head_hits",
+            "repro_bitemporal_reconstructions",
+            "repro_bitemporal_cache_hits",
+            "repro_bitemporal_cache_entries",
+        ):
+            assert f"# TYPE {family} gauge" in text
+        stats = asof_mod.stats()
+        assert stats["asof_reads"] >= 3
+        assert stats["reconstructions"] >= 1
+        assert stats["cache_hits"] >= 1
+        assert (
+            f"repro_bitemporal_asof_reads {stats['asof_reads']}" in text
+        )
+        # The reconstruction ran inside its instrumented boundary.
+        assert (
+            'repro_span_duration_us_count{kind="bitemporal.reconstruct"}'
+            in text
+        )
+
     def test_server_span_kinds_registered(self):
         for kind in ("server.request", "server.session"):
             assert kind in obs.KINDS
@@ -619,6 +660,20 @@ class TestStatsCLI:
         assert proc.returncode == 0, proc.stderr
         assert "# TYPE repro_span_duration_us histogram" in proc.stdout
         assert 'le="+Inf"' in proc.stdout
+        # The seeded workload runs one at-head and one historical
+        # AS OF read, so the bitemporal gauges are live, not zero.
+        for family, floor in (
+            ("repro_bitemporal_asof_reads", 2),
+            ("repro_bitemporal_head_hits", 1),
+            ("repro_bitemporal_reconstructions", 1),
+        ):
+            assert f"# TYPE {family} gauge" in proc.stdout
+            value = next(
+                int(line.split()[-1])
+                for line in proc.stdout.splitlines()
+                if line.startswith(f"{family} ")
+            )
+            assert value >= floor, family
 
     def test_stats_on_saved_file(self, saved_db):
         proc = run_cli("stats", str(saved_db), "--json")

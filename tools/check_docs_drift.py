@@ -46,6 +46,7 @@ def _known_names() -> tuple[set, set, set]:
     """(metric/span names, env vars, CLI subcommands) from the code."""
     sys.path.insert(0, str(SRC))
     # Importing these registers every counter/metric family.
+    import repro.bitemporal.asof  # noqa: F401
     import repro.constraints.constraints  # noqa: F401
     import repro.database.batch  # noqa: F401
     import repro.database.database  # noqa: F401
